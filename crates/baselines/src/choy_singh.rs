@@ -1,0 +1,303 @@
+use ekbd_detector::SuspicionView;
+use ekbd_dining::{DinerState, DiningAlgorithm, DiningInput, DiningMsg};
+use ekbd_graph::coloring::Color;
+use ekbd_graph::{ConflictGraph, ProcessId};
+
+/// Per-neighbor flags (no `replied`: the original doorway grants acks
+/// without a per-session limit).
+mod flag {
+    pub const PINGED: u8 = 1 << 0;
+    pub const ACK: u8 = 1 << 1;
+    pub const DEFERRED: u8 = 1 << 2;
+    pub const FORK: u8 = 1 << 3;
+    pub const TOKEN: u8 = 1 << 4;
+}
+
+/// The original Choy–Singh asynchronous-doorway dining algorithm, as
+/// described in §3 of Song & Pike before their two modifications.
+///
+/// Differences from Algorithm 1:
+///
+/// 1. **No failure detector.** The doorway guard requires *all* acks and
+///    the eating guard *all* forks; a crashed neighbor therefore blocks its
+///    hungry neighbors forever (no wait-freedom).
+/// 2. **Unlimited acks.** A hungry process outside the doorway grants every
+///    ping (the original rule: defer only while inside the doorway), so a
+///    neighbor can overtake more than twice while it waits.
+///
+/// The message protocol (ping/ack, token/fork with color priorities, FIFO
+/// channels) is otherwise identical, which isolates the contribution of
+/// ◇P₁ and of the revised doorway in the experiments.
+#[derive(Clone, Debug)]
+pub struct ChoySinghProcess {
+    id: ProcessId,
+    color: Color,
+    neighbors: Vec<ProcessId>,
+    state: DinerState,
+    inside: bool,
+    vars: Vec<u8>,
+}
+
+impl ChoySinghProcess {
+    /// Creates the process; fork/token placement mirrors Algorithm 1 (fork
+    /// at the higher-color endpoint).
+    pub fn new(
+        id: ProcessId,
+        color: Color,
+        neighbors: impl IntoIterator<Item = (ProcessId, Color)>,
+    ) -> Self {
+        let mut pairs: Vec<(ProcessId, Color)> = neighbors.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(q, _)| q);
+        let mut ids = Vec::with_capacity(pairs.len());
+        let mut vars = Vec::with_capacity(pairs.len());
+        for (q, qcolor) in pairs {
+            assert!(q != id, "a process is not its own neighbor");
+            assert!(qcolor != color, "coloring must be proper");
+            ids.push(q);
+            vars.push(if color > qcolor { flag::FORK } else { flag::TOKEN });
+        }
+        ChoySinghProcess {
+            id,
+            color,
+            neighbors: ids,
+            state: DinerState::Thinking,
+            inside: false,
+            vars,
+        }
+    }
+
+    /// Creates the process from a colored conflict graph.
+    pub fn from_graph(g: &ConflictGraph, colors: &[Color], id: ProcessId) -> Self {
+        Self::new(
+            id,
+            colors[id.index()],
+            g.neighbors(id).iter().map(|&q| (q, colors[q.index()])),
+        )
+    }
+
+    fn idx(&self, q: ProcessId) -> usize {
+        self.neighbors
+            .binary_search(&q)
+            .unwrap_or_else(|_| panic!("{q} is not a neighbor of {}", self.id))
+    }
+
+    fn get(&self, j: usize, f: u8) -> bool {
+        self.vars[j] & f != 0
+    }
+
+    fn set(&mut self, j: usize, f: u8, v: bool) {
+        if v {
+            self.vars[j] |= f;
+        } else {
+            self.vars[j] &= !f;
+        }
+    }
+
+    fn internal_actions(&mut self, sends: &mut Vec<(ProcessId, DiningMsg)>) {
+        // Request acks (outside the doorway).
+        if self.state == DinerState::Hungry && !self.inside {
+            for j in 0..self.neighbors.len() {
+                if !self.get(j, flag::PINGED) && !self.get(j, flag::ACK) {
+                    sends.push((self.neighbors[j], DiningMsg::Ping));
+                    self.set(j, flag::PINGED, true);
+                }
+            }
+            // Enter the doorway: ALL acks required — no oracle substitute.
+            if (0..self.neighbors.len()).all(|j| self.get(j, flag::ACK)) {
+                self.inside = true;
+                for j in 0..self.neighbors.len() {
+                    self.set(j, flag::ACK, false);
+                }
+            }
+        }
+        // Request forks (inside the doorway).
+        if self.state == DinerState::Hungry && self.inside {
+            for j in 0..self.neighbors.len() {
+                if self.get(j, flag::TOKEN) && !self.get(j, flag::FORK) {
+                    sends.push((self.neighbors[j], DiningMsg::Request { color: self.color }));
+                    self.set(j, flag::TOKEN, false);
+                }
+            }
+            // Eat: ALL forks required.
+            if (0..self.neighbors.len()).all(|j| self.get(j, flag::FORK)) {
+                self.state = DinerState::Eating;
+            }
+        }
+    }
+}
+
+impl DiningAlgorithm for ChoySinghProcess {
+    type Msg = DiningMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn handle(
+        &mut self,
+        input: DiningInput<DiningMsg>,
+        _suspicion: &dyn SuspicionView, // crash-oblivious: never consulted
+        sends: &mut Vec<(ProcessId, DiningMsg)>,
+    ) {
+        match input {
+            DiningInput::Hungry => {
+                if self.state == DinerState::Thinking {
+                    self.state = DinerState::Hungry;
+                }
+            }
+            DiningInput::DoneEating => {
+                if self.state == DinerState::Eating {
+                    self.inside = false;
+                    self.state = DinerState::Thinking;
+                    for j in 0..self.neighbors.len() {
+                        if self.get(j, flag::TOKEN) && self.get(j, flag::FORK) {
+                            sends.push((self.neighbors[j], DiningMsg::Fork));
+                            self.set(j, flag::FORK, false);
+                        }
+                        if self.get(j, flag::DEFERRED) {
+                            sends.push((self.neighbors[j], DiningMsg::Ack));
+                            self.set(j, flag::DEFERRED, false);
+                        }
+                    }
+                }
+            }
+            DiningInput::Message { from, msg } => {
+                let j = self.idx(from);
+                match msg {
+                    DiningMsg::Ping => {
+                        // Original rule: defer only while inside the doorway.
+                        if self.inside {
+                            self.set(j, flag::DEFERRED, true);
+                        } else {
+                            sends.push((from, DiningMsg::Ack));
+                        }
+                    }
+                    DiningMsg::Ack => {
+                        let useful = self.state == DinerState::Hungry && !self.inside;
+                        self.set(j, flag::ACK, useful);
+                        self.set(j, flag::PINGED, false);
+                    }
+                    DiningMsg::Request { color } => {
+                        debug_assert!(self.get(j, flag::FORK), "request without fork");
+                        self.set(j, flag::TOKEN, true);
+                        let grant = !self.inside
+                            || (self.state == DinerState::Hungry && self.color < color);
+                        if grant {
+                            sends.push((from, DiningMsg::Fork));
+                            self.set(j, flag::FORK, false);
+                        }
+                    }
+                    DiningMsg::Fork => {
+                        debug_assert!(!self.get(j, flag::FORK), "duplicate fork");
+                        self.set(j, flag::FORK, true);
+                    }
+                }
+            }
+            DiningInput::SuspicionChange => {}
+        }
+        self.internal_actions(sends);
+    }
+
+    fn state(&self) -> DinerState {
+        self.state
+    }
+
+    fn inside_doorway(&self) -> bool {
+        self.inside
+    }
+
+    /// 2 (state) + 1 (inside) + ⌈log₂(δ+1)⌉ (color) + 5δ (one flag fewer
+    /// than Algorithm 1: no `replied`).
+    fn state_bits(&self) -> usize {
+        let delta = self.neighbors.len();
+        let color_bits = (usize::BITS - delta.max(1).leading_zeros()) as usize;
+        2 + 1 + color_bits + 5 * delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    fn none() -> BTreeSet<ProcessId> {
+        BTreeSet::new()
+    }
+
+    #[test]
+    fn two_process_handshake_completes() {
+        let mut hi = ChoySinghProcess::new(p(0), 1, [(p(1), 0)]);
+        let mut lo = ChoySinghProcess::new(p(1), 0, [(p(0), 1)]);
+        let mut out = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut out);
+        assert_eq!(out, vec![(p(0), DiningMsg::Ping)]);
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            &none(),
+            &mut out,
+        );
+        assert_eq!(out, vec![(p(1), DiningMsg::Ack)]);
+        let mut out = Vec::new();
+        lo.handle(
+            DiningInput::Message { from: p(0), msg: DiningMsg::Ack },
+            &none(),
+            &mut out,
+        );
+        assert!(lo.inside_doorway());
+        assert_eq!(out, vec![(p(0), DiningMsg::Request { color: 0 })]);
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            &none(),
+            &mut out,
+        );
+        assert_eq!(out, vec![(p(1), DiningMsg::Fork)]);
+        lo.handle(
+            DiningInput::Message { from: p(0), msg: DiningMsg::Fork },
+            &none(),
+            &mut Vec::new(),
+        );
+        assert_eq!(lo.state(), DinerState::Eating);
+    }
+
+    #[test]
+    fn suspicion_is_ignored() {
+        // Even with every neighbor suspected, the crash-oblivious doorway
+        // still waits for real acks: no progress.
+        let mut lo = ChoySinghProcess::new(p(1), 0, [(p(0), 1)]);
+        let everyone: BTreeSet<ProcessId> = [p(0)].into_iter().collect();
+        let mut out = Vec::new();
+        lo.handle(DiningInput::Hungry, &everyone, &mut out);
+        assert_eq!(lo.state(), DinerState::Hungry);
+        assert!(!lo.inside_doorway());
+        assert_eq!(out, vec![(p(0), DiningMsg::Ping)], "still pings, still waits");
+    }
+
+    #[test]
+    fn hungry_process_grants_unlimited_acks() {
+        // The original doorway has no `replied` limit: a hungry process
+        // outside the doorway acks every ping.
+        let mut lo = ChoySinghProcess::new(p(1), 0, [(p(0), 1)]);
+        lo.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        for _ in 0..3 {
+            let mut out = Vec::new();
+            lo.handle(
+                DiningInput::Message { from: p(0), msg: DiningMsg::Ping },
+                &none(),
+                &mut out,
+            );
+            assert_eq!(out, vec![(p(0), DiningMsg::Ack)]);
+        }
+    }
+
+    #[test]
+    fn state_bits_smaller_than_algorithm1() {
+        let cs = ChoySinghProcess::new(p(0), 1, [(p(1), 0), (p(2), 2)]);
+        assert_eq!(cs.state_bits(), 2 + 1 + 2 + 10);
+    }
+}

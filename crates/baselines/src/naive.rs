@@ -1,0 +1,269 @@
+use ekbd_detector::SuspicionView;
+use ekbd_dining::{DinerState, DiningAlgorithm, DiningInput, DiningMsg};
+use ekbd_graph::coloring::Color;
+use ekbd_graph::{ConflictGraph, ProcessId};
+
+mod flag {
+    pub const FORK: u8 = 1 << 0;
+    pub const TOKEN: u8 = 1 << 1;
+}
+
+/// Fork collection with static color priorities and **no doorway**.
+///
+/// The hungry process requests every missing fork; the holder grants unless
+/// it is eating or is itself hungry with the higher color. Eating requires
+/// every fork to be held or its holder suspected (so the algorithm is
+/// crash-tolerant via ◇P₁, like Algorithm 1's phase 2 alone).
+///
+/// What it lacks is *fairness*: nothing stops a higher-color neighbor from
+/// re-acquiring a contested fork again and again while a lower-color diner
+/// stays hungry. The overtaking count is bounded only by the neighbor's
+/// appetite — this is the baseline the asynchronous doorway (and the
+/// paper's ◇2-BW theorem) improves on, measured in experiment E3.
+#[derive(Clone, Debug)]
+pub struct NaivePriorityProcess {
+    id: ProcessId,
+    color: Color,
+    neighbors: Vec<ProcessId>,
+    state: DinerState,
+    vars: Vec<u8>,
+}
+
+impl NaivePriorityProcess {
+    /// Creates the process; fork at the higher-color endpoint, token at the
+    /// lower, as in Algorithm 1.
+    pub fn new(
+        id: ProcessId,
+        color: Color,
+        neighbors: impl IntoIterator<Item = (ProcessId, Color)>,
+    ) -> Self {
+        let mut pairs: Vec<(ProcessId, Color)> = neighbors.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(q, _)| q);
+        let mut ids = Vec::with_capacity(pairs.len());
+        let mut vars = Vec::with_capacity(pairs.len());
+        for (q, qcolor) in pairs {
+            assert!(q != id, "a process is not its own neighbor");
+            assert!(qcolor != color, "coloring must be proper");
+            ids.push(q);
+            vars.push(if color > qcolor { flag::FORK } else { flag::TOKEN });
+        }
+        NaivePriorityProcess {
+            id,
+            color,
+            neighbors: ids,
+            state: DinerState::Thinking,
+            vars,
+        }
+    }
+
+    /// Creates the process from a colored conflict graph.
+    pub fn from_graph(g: &ConflictGraph, colors: &[Color], id: ProcessId) -> Self {
+        Self::new(
+            id,
+            colors[id.index()],
+            g.neighbors(id).iter().map(|&q| (q, colors[q.index()])),
+        )
+    }
+
+    fn idx(&self, q: ProcessId) -> usize {
+        self.neighbors
+            .binary_search(&q)
+            .unwrap_or_else(|_| panic!("{q} is not a neighbor of {}", self.id))
+    }
+
+    fn get(&self, j: usize, f: u8) -> bool {
+        self.vars[j] & f != 0
+    }
+
+    fn set(&mut self, j: usize, f: u8, v: bool) {
+        if v {
+            self.vars[j] |= f;
+        } else {
+            self.vars[j] &= !f;
+        }
+    }
+
+    fn internal_actions(
+        &mut self,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, DiningMsg)>,
+    ) {
+        if self.state != DinerState::Hungry {
+            return;
+        }
+        for j in 0..self.neighbors.len() {
+            if self.get(j, flag::TOKEN) && !self.get(j, flag::FORK) {
+                sends.push((self.neighbors[j], DiningMsg::Request { color: self.color }));
+                self.set(j, flag::TOKEN, false);
+            }
+        }
+        let all = (0..self.neighbors.len())
+            .all(|j| self.get(j, flag::FORK) || suspicion.suspects(self.neighbors[j]));
+        if all {
+            self.state = DinerState::Eating;
+        }
+    }
+}
+
+impl DiningAlgorithm for NaivePriorityProcess {
+    type Msg = DiningMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn handle(
+        &mut self,
+        input: DiningInput<DiningMsg>,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, DiningMsg)>,
+    ) {
+        match input {
+            DiningInput::Hungry => {
+                if self.state == DinerState::Thinking {
+                    self.state = DinerState::Hungry;
+                }
+            }
+            DiningInput::DoneEating => {
+                if self.state == DinerState::Eating {
+                    self.state = DinerState::Thinking;
+                    for j in 0..self.neighbors.len() {
+                        if self.get(j, flag::TOKEN) && self.get(j, flag::FORK) {
+                            sends.push((self.neighbors[j], DiningMsg::Fork));
+                            self.set(j, flag::FORK, false);
+                        }
+                    }
+                }
+            }
+            DiningInput::Message { from, msg } => {
+                let j = self.idx(from);
+                match msg {
+                    DiningMsg::Request { color } => {
+                        debug_assert!(self.get(j, flag::FORK), "request without fork");
+                        self.set(j, flag::TOKEN, true);
+                        // Defer while eating, or while hungry with the
+                        // higher color; grant otherwise.
+                        let grant = match self.state {
+                            DinerState::Eating => false,
+                            DinerState::Hungry => self.color < color,
+                            DinerState::Thinking => true,
+                        };
+                        if grant {
+                            sends.push((from, DiningMsg::Fork));
+                            self.set(j, flag::FORK, false);
+                        }
+                    }
+                    DiningMsg::Fork => {
+                        debug_assert!(!self.get(j, flag::FORK), "duplicate fork");
+                        self.set(j, flag::FORK, true);
+                    }
+                    DiningMsg::Ping | DiningMsg::Ack => {
+                        debug_assert!(false, "naive dining has no doorway traffic");
+                    }
+                }
+            }
+            DiningInput::SuspicionChange => {}
+        }
+        self.internal_actions(suspicion, sends);
+    }
+
+    fn state(&self) -> DinerState {
+        self.state
+    }
+
+    /// 2 (state) + ⌈log₂(δ+1)⌉ (color) + 2δ (fork, token).
+    fn state_bits(&self) -> usize {
+        let delta = self.neighbors.len();
+        let color_bits = (usize::BITS - delta.max(1).leading_zeros()) as usize;
+        2 + color_bits + 2 * delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    fn none() -> BTreeSet<ProcessId> {
+        BTreeSet::new()
+    }
+
+    #[test]
+    fn fork_transfer_lets_low_color_eat() {
+        let mut hi = NaivePriorityProcess::new(p(0), 1, [(p(1), 0)]);
+        let mut lo = NaivePriorityProcess::new(p(1), 0, [(p(0), 1)]);
+        let mut out = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut out);
+        assert_eq!(out, vec![(p(0), DiningMsg::Request { color: 0 })]);
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            &none(),
+            &mut out,
+        );
+        assert_eq!(out, vec![(p(1), DiningMsg::Fork)], "thinking holder grants");
+        let mut out = Vec::new();
+        lo.handle(
+            DiningInput::Message { from: p(0), msg: DiningMsg::Fork },
+            &none(),
+            &mut out,
+        );
+        assert_eq!(lo.state(), DinerState::Eating);
+    }
+
+    #[test]
+    fn hungry_higher_color_defers_lower_request() {
+        let mut hi = NaivePriorityProcess::new(p(0), 1, [(p(1), 0)]);
+        hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        assert_eq!(hi.state(), DinerState::Eating, "held its only fork");
+        // Make a fresh hungry-but-not-eating hi with two neighbors.
+        let mut hi = NaivePriorityProcess::new(p(0), 1, [(p(1), 0), (p(2), 2)]);
+        let mut out = Vec::new();
+        hi.handle(DiningInput::Hungry, &none(), &mut out);
+        assert_eq!(hi.state(), DinerState::Hungry, "fork from p2 missing");
+        assert_eq!(out, vec![(p(2), DiningMsg::Request { color: 1 })]);
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            &none(),
+            &mut out,
+        );
+        assert!(out.is_empty(), "hungry higher color defers");
+    }
+
+    #[test]
+    fn suspicion_substitutes_for_forks() {
+        let mut lo = NaivePriorityProcess::new(p(1), 0, [(p(0), 1)]);
+        let everyone: BTreeSet<ProcessId> = [p(0)].into_iter().collect();
+        let mut out = Vec::new();
+        lo.handle(DiningInput::Hungry, &everyone, &mut out);
+        assert_eq!(lo.state(), DinerState::Eating, "wait-free via ◇P₁");
+    }
+
+    #[test]
+    fn exit_grants_deferred_requests() {
+        let mut hi = NaivePriorityProcess::new(p(0), 1, [(p(1), 0)]);
+        hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        assert_eq!(hi.state(), DinerState::Eating);
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            &none(),
+            &mut out,
+        );
+        assert!(out.is_empty(), "eating holder defers");
+        let mut out = Vec::new();
+        hi.handle(DiningInput::DoneEating, &none(), &mut out);
+        assert_eq!(out, vec![(p(1), DiningMsg::Fork)]);
+    }
+
+    #[test]
+    fn state_bits_is_leanest() {
+        let n = NaivePriorityProcess::new(p(0), 1, [(p(1), 0), (p(2), 2)]);
+        assert_eq!(n.state_bits(), 2 + 2 + 4);
+    }
+}

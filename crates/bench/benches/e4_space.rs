@@ -1,0 +1,73 @@
+//! E4 — §7 bounded space.
+//!
+//! Claim: each process needs `log₂(δ) + 6δ + c` bits of protocol state
+//! (O(n) in the clique worst case). The implementation bit-packs exactly
+//! the paper's nine variable families, so the measured size should equal
+//! the formula with `c = 3` (2 state bits + 1 doorway bit).
+
+use ekbd_bench::{banner, conclude, verdict, Table};
+use ekbd_dining::{DiningAlgorithm, DiningProcess};
+use ekbd_graph::{coloring, topology, ProcessId};
+
+fn formula(delta: usize) -> usize {
+    let color_bits = (usize::BITS - delta.max(1).leading_zeros()) as usize;
+    2 + 1 + color_bits + 6 * delta
+}
+
+fn main() {
+    banner("E4", "§7 — per-process state is log₂(δ) + 6δ + c bits");
+    let mut table = Table::new(&[
+        "topology", "n", "δ(max)", "measured bits(max)", "formula bits", "bytes", "verdict",
+    ]);
+    let mut all_ok = true;
+    for (name, graph) in [
+        ("star-4", topology::star(4)),
+        ("star-8", topology::star(8)),
+        ("star-16", topology::star(16)),
+        ("star-32", topology::star(32)),
+        ("star-64", topology::star(64)),
+        ("clique-16", topology::clique(16)),
+        ("clique-64", topology::clique(64)),
+        ("ring-64", topology::ring(64)),
+        ("grid-8x8", topology::grid(8, 8)),
+    ] {
+        let colors = coloring::greedy(&graph);
+        let measured = graph
+            .processes()
+            .map(|p| DiningProcess::from_graph(&graph, &colors, p).state_bits())
+            .max()
+            .unwrap_or(0);
+        let delta = graph.max_degree();
+        let expect = formula(delta);
+        let ok = measured == expect;
+        all_ok &= ok;
+        table.row([
+            name.to_string(),
+            graph.len().to_string(),
+            delta.to_string(),
+            measured.to_string(),
+            expect.to_string(),
+            measured.div_ceil(8).to_string(),
+            verdict(ok),
+        ]);
+    }
+    table.print();
+
+    // Linearity check: bits grow linearly in δ (slope 6), not with n.
+    let b8 = DiningProcess::from_graph(
+        &topology::star(9),
+        &coloring::greedy(&topology::star(9)),
+        ProcessId(0),
+    )
+    .state_bits();
+    let b64 = DiningProcess::from_graph(
+        &topology::star(65),
+        &coloring::greedy(&topology::star(65)),
+        ProcessId(0),
+    )
+    .state_bits();
+    let slope = (b64 - b8) as f64 / (64 - 8) as f64;
+    println!("\nδ-slope between δ=8 and δ=64: {slope:.3} bits/neighbor (theory: 6 + o(1))");
+    let slope_ok = (slope - 6.0).abs() < 0.2;
+    conclude("E4", all_ok && slope_ok);
+}

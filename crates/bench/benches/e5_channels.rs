@@ -1,0 +1,96 @@
+//! E5 — §7 bounded-capacity channels.
+//!
+//! Claims: (a) at most four messages are ever simultaneously in transit
+//! between any pair of neighbors (1 fork + 1 token/request + 2 ping/ack);
+//! (b) each message carries O(log₂ n) bits of payload.
+//!
+//! Setup: long, contended runs with scripted oracles (which send no
+//! detector traffic, so the channel high-water mark counts exactly the
+//! dining messages the claim is about). Crashes and adversarial suspicion
+//! included — the bound is unconditional.
+
+use ekbd_bench::{banner, conclude, verdict, Table};
+use ekbd_dining::DiningMsg;
+use ekbd_graph::{random, topology, ConflictGraph, ProcessId};
+use ekbd_harness::{Scenario, Workload};
+use ekbd_sim::{DelayModel, Time};
+
+fn main() {
+    banner(
+        "E5",
+        "§7 — ≤ 4 in-transit messages per edge; O(log n)-bit messages",
+    );
+    let mut table = Table::new(&[
+        "topology",
+        "seeds",
+        "crashes",
+        "max in-transit/edge",
+        "bound",
+        "total msgs",
+        "verdict",
+    ]);
+    let mut all_ok = true;
+    let cases: Vec<(&str, ConflictGraph, usize)> = vec![
+        ("ring-8", topology::ring(8), 0),
+        ("ring-8", topology::ring(8), 2),
+        ("clique-5", topology::clique(5), 0),
+        ("clique-5", topology::clique(5), 1),
+        ("grid-4x4", topology::grid(4, 4), 3),
+        ("gnp-14-.25", random::connected_gnp(14, 0.25, 3), 2),
+    ];
+    for (name, graph, crashes) in cases {
+        let n = graph.len();
+        let mut high = 0usize;
+        let mut total = 0u64;
+        let seeds = 5;
+        for seed in 0..seeds {
+            let mut s = Scenario::new(graph.clone())
+                .seed(seed)
+                .adversarial_oracle(Time(2_500), 35)
+                .delay(DelayModel::Uniform { min: 1, max: 40 })
+                .workload(Workload {
+                    sessions: 20,
+                    think: (1, 10),
+                    eat: (1, 10),
+                })
+                .horizon(Time(300_000));
+            for c in 0..crashes {
+                s = s.crash(ProcessId::from((3 * c + 1) % n), Time(400 + 700 * c as u64));
+            }
+            let report = s.run_algorithm1();
+            high = high.max(report.max_channel_high_water);
+            total += report.total_messages;
+        }
+        let ok = high <= 4;
+        all_ok &= ok;
+        table.row([
+            name.to_string(),
+            seeds.to_string(),
+            crashes.to_string(),
+            high.to_string(),
+            "4".to_string(),
+            total.to_string(),
+            verdict(ok),
+        ]);
+    }
+    table.print();
+
+    // Message-size claim: only Request carries a payload, of ⌈log₂ n⌉ bits.
+    let mut size_table = Table::new(&["n", "request payload bits", "⌈log₂ n⌉", "verdict"]);
+    let mut size_ok = true;
+    for n in [4usize, 16, 64, 1024] {
+        let bits = DiningMsg::Request { color: 1 }.payload_bits(n);
+        let expect = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        let ok = bits == expect;
+        size_ok &= ok;
+        size_table.row([
+            n.to_string(),
+            bits.to_string(),
+            expect.to_string(),
+            verdict(ok),
+        ]);
+    }
+    println!();
+    size_table.print();
+    conclude("E5", all_ok && size_ok);
+}

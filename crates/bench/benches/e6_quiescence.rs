@@ -1,0 +1,104 @@
+//! E6 — §7 quiescence with respect to crashed processes.
+//!
+//! Claim: correct processes eventually stop sending messages to crashed
+//! neighbors — at most one final ping and one final fork request per
+//! neighbor can remain pending forever.
+//!
+//! Setup: crash one process mid-run and keep its neighbors busy for a long
+//! time afterwards. Reported: a time series of messages addressed to the
+//! crashed process per bucket (must decay to zero and stay), the total,
+//! and the paper's per-neighbor bound check (≤ 2 messages per live
+//! neighbor after the crash: one ping + one token).
+
+use ekbd_bench::{banner, conclude, verdict, Table};
+use ekbd_graph::{topology, ProcessId};
+use ekbd_harness::{Scenario, Workload};
+use ekbd_sim::Time;
+
+fn main() {
+    banner("E6", "§7 — communication with crashed processes ceases");
+    let crash_at = Time(2_000);
+    let horizon = Time(400_000);
+    let victim = ProcessId(2);
+    let mut all_ok = true;
+
+    let mut table = Table::new(&[
+        "topology",
+        "oracle",
+        "msgs to crashed",
+        "bound (4·deg)",
+        "last send",
+        "quiet for",
+        "verdict",
+    ]);
+    let mut series: Vec<(String, Vec<usize>)> = Vec::new();
+
+    for (name, graph) in [("ring-6", topology::ring(6)), ("clique-5", topology::clique(5))] {
+        for oracle in ["perfect", "adversarial"] {
+            let mut s = Scenario::new(graph.clone())
+                .seed(13)
+                .crash(victim, crash_at)
+                .workload(Workload {
+                    // ~60 sessions x ~90 ticks ≈ 5400 ticks: the neighbors
+                    // keep dining long after the victim crashes at t=2000.
+                    sessions: 60,
+                    think: (1, 150),
+                    eat: (1, 10),
+                })
+                .horizon(horizon);
+            s = if oracle == "perfect" {
+                s.perfect_oracle()
+            } else {
+                s.adversarial_oracle(Time(5_000), 60)
+            };
+            let report = s.run_algorithm1();
+            let q = report.quiescence();
+            let deg = graph.degree(victim);
+            // After the crash, each live neighbor can send at most one new
+            // ping and one fork request (both pend forever), plus one ack
+            // and one fork answering requests the victim made before dying.
+            let bound = 4 * deg as u64;
+            let last = q.last_send().unwrap_or(Time::ZERO);
+            let quiet_for = horizon.since(last);
+            let ok = q.total() <= bound && q.quiescent_by(horizon);
+            all_ok &= ok;
+            table.row([
+                name.to_string(),
+                oracle.to_string(),
+                q.total().to_string(),
+                bound.to_string(),
+                format!("{last}"),
+                quiet_for.to_string(),
+                verdict(ok),
+            ]);
+
+            // Bucketized decay series ("figure"): sends to the victim per
+            // 2000-tick bucket for the first 10 buckets after the crash.
+            let mut buckets = vec![0usize; 10];
+            for &(t, _, to) in &report.sends_to_crashed {
+                if to == victim {
+                    let b = t.since(crash_at) / 2_000;
+                    if (b as usize) < buckets.len() {
+                        buckets[b as usize] += 1;
+                    }
+                }
+            }
+            series.push((format!("{name}/{oracle}"), buckets));
+        }
+    }
+    table.print();
+
+    println!("\nDecay series — sends to the crashed process per 2000-tick bucket after the crash:");
+    let mut fig = Table::new(&[
+        "run", "b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8", "b9",
+    ]);
+    for (run, buckets) in &series {
+        let mut row = vec![run.clone()];
+        row.extend(buckets.iter().map(|c| c.to_string()));
+        fig.row_vec(row);
+        // The tail must be silent.
+        all_ok &= buckets[3..].iter().all(|&c| c == 0);
+    }
+    fig.print();
+    conclude("E6", all_ok);
+}

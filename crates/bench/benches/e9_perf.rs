@@ -1,0 +1,84 @@
+//! E9 — performance characterization (not a paper claim; standard
+//! open-source hygiene).
+//!
+//! Reported: simulator throughput (events/s and eat-sessions/s) across
+//! topology sizes, plus wall-clock scheduling throughput of the threaded
+//! runtime. Statistical micro-benchmarks live in `criterion_perf`.
+
+use ekbd_bench::{banner, Table};
+use ekbd_graph::{topology, ConflictGraph, ProcessId};
+use ekbd_harness::{Scenario, Workload};
+use ekbd_runtime::{RuntimeConfig, ThreadedDining};
+use ekbd_sim::Time;
+use std::time::Instant;
+
+fn sim_case(name: &str, graph: ConflictGraph, table: &mut Table) {
+    let n = graph.len();
+    let start = Instant::now();
+    let report = Scenario::new(graph)
+        .seed(1)
+        .adversarial_oracle(Time(2_000), 50)
+        .workload(Workload {
+            sessions: 20,
+            think: (1, 10),
+            eat: (1, 10),
+        })
+        .horizon(Time(500_000))
+        .run_algorithm1();
+    let wall = start.elapsed().as_secs_f64();
+    let sessions = report.total_eat_sessions();
+    table.row([
+        name.to_string(),
+        n.to_string(),
+        report.events_processed.to_string(),
+        format!("{:.0}", report.events_processed as f64 / wall),
+        sessions.to_string(),
+        format!("{:.0}", sessions as f64 / wall),
+        format!("{:.3}", wall),
+    ]);
+}
+
+fn main() {
+    banner("E9", "performance characterization — simulator and threaded runtime");
+
+    println!("Simulator (Algorithm 1, adversarial oracle, 20 sessions/process):\n");
+    let mut table = Table::new(&[
+        "topology", "n", "events", "events/s", "eat-sessions", "sessions/s", "wall s",
+    ]);
+    sim_case("ring-8", topology::ring(8), &mut table);
+    sim_case("ring-32", topology::ring(32), &mut table);
+    sim_case("ring-128", topology::ring(128), &mut table);
+    sim_case("clique-8", topology::clique(8), &mut table);
+    sim_case("clique-16", topology::clique(16), &mut table);
+    sim_case("grid-8x8", topology::grid(8, 8), &mut table);
+    table.print();
+
+    println!("\nThreaded runtime (real threads, wall-clock heartbeats, 300 ms window):\n");
+    let mut table = Table::new(&["topology", "n", "eat-sessions", "sessions/s"]);
+    for (name, graph) in [("ring-5", topology::ring(5)), ("clique-4", topology::clique(4))] {
+        let n = graph.len();
+        let sys = ThreadedDining::spawn(graph, RuntimeConfig::default());
+        let start = Instant::now();
+        // Keep everyone permanently greedy for the window.
+        for round in 0..30 {
+            for i in 0..n {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10 + (round % 3)));
+        }
+        let events = sys.shutdown_after(std::time::Duration::from_millis(50));
+        let wall = start.elapsed().as_secs_f64();
+        let sessions = events
+            .iter()
+            .filter(|e| e.obs == ekbd_dining::DiningObs::StartedEating)
+            .count();
+        table.row([
+            name.to_string(),
+            n.to_string(),
+            sessions.to_string(),
+            format!("{:.0}", sessions as f64 / wall),
+        ]);
+    }
+    table.print();
+    println!("\n[E9] overall: PASS (characterization only)\n");
+}

@@ -1,0 +1,165 @@
+//! Minimal `--flag value` argument parsing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from command-line parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not one of `run`, `stabilize`, `threaded`.
+    UnknownCommand(String),
+    /// A flag was given without a value.
+    MissingValue(String),
+    /// A positional token appeared where a `--flag` was expected.
+    UnexpectedToken(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag concerned.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => {
+                write!(f, "missing subcommand (run | stabilize | threaded)")
+            }
+            ArgError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgError::UnexpectedToken(t) => write!(f, "unexpected token '{t}'"),
+            ArgError::BadValue { flag, value, expected } => {
+                write!(f, "bad value '{value}' for {flag}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// A parsed command line: the subcommand plus its `--flag value` pairs
+/// (repeated flags accumulate, e.g. `--crash`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Parsed {
+    /// The subcommand.
+    pub command: String,
+    /// Flag → values, in the order given.
+    pub flags: BTreeMap<String, Vec<String>>,
+}
+
+impl Parsed {
+    /// Parses `args` (without the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, ArgError> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        if !["run", "stabilize", "threaded"].contains(&command.as_str()) {
+            return Err(ArgError::UnknownCommand(command));
+        }
+        let mut flags: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedToken(tok));
+            };
+            let value = it.next().ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+            flags.entry(name.to_string()).or_default().push(value);
+        }
+        Ok(Parsed { command, flags })
+    }
+
+    /// The last value of `flag`, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// All values of `flag`.
+    pub fn get_all(&self, flag: &str) -> &[String] {
+        self.flags.get(flag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The last value of `flag`, parsed, or `default`.
+    pub fn get_parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: format!("--{flag}"),
+                value: v.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// A `lo:hi` range flag, or `default`.
+    pub fn get_range(&self, flag: &str, default: (u64, u64)) -> Result<(u64, u64), ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => {
+                let bad = || ArgError::BadValue {
+                    flag: format!("--{flag}"),
+                    value: v.to_string(),
+                    expected: "lo:hi",
+                };
+                let (lo, hi) = v.split_once(':').ok_or_else(bad)?;
+                let lo = lo.parse().map_err(|_| bad())?;
+                let hi = hi.parse().map_err(|_| bad())?;
+                Ok((lo, hi))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Parsed, ArgError> {
+        Parsed::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = parse("run --topology ring:8 --seed 7 --crash 1:100 --crash 2:200").unwrap();
+        assert_eq!(p.command, "run");
+        assert_eq!(p.get("topology"), Some("ring:8"));
+        assert_eq!(p.get("seed"), Some("7"));
+        assert_eq!(p.get_all("crash"), &["1:100".to_string(), "2:200".to_string()]);
+        assert_eq!(p.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert_eq!(parse(""), Err(ArgError::MissingCommand));
+        assert!(matches!(parse("fly"), Err(ArgError::UnknownCommand(_))));
+        assert!(matches!(parse("run --seed"), Err(ArgError::MissingValue(_))));
+        assert!(matches!(parse("run stray"), Err(ArgError::UnexpectedToken(_))));
+    }
+
+    #[test]
+    fn typed_getters() {
+        let p = parse("run --seed 9 --think 1:30").unwrap();
+        assert_eq!(p.get_parsed("seed", 0u64).unwrap(), 9);
+        assert_eq!(p.get_parsed("horizon", 5u64).unwrap(), 5, "default");
+        assert_eq!(p.get_range("think", (0, 0)).unwrap(), (1, 30));
+        assert_eq!(p.get_range("eat", (2, 4)).unwrap(), (2, 4), "default");
+        let p = parse("run --seed nope").unwrap();
+        assert!(p.get_parsed("seed", 0u64).is_err());
+        let p = parse("run --think 1-30").unwrap();
+        assert!(p.get_range("think", (0, 0)).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgError::MissingCommand.to_string().contains("subcommand"));
+        let e = ArgError::BadValue {
+            flag: "--x".into(),
+            value: "y".into(),
+            expected: "z",
+        };
+        assert!(e.to_string().contains("expected z"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Subcommand implementations: build a scenario from parsed flags, run
+//! it, and print a human-readable report.
+
+use crate::args::{ArgError, Parsed};
+use crate::spec::{parse_crash, AlgorithmSpec, OracleArg, ProtocolSpec, TopologySpec};
+use ekbd_baselines::{ChoySinghProcess, NaivePriorityProcess};
+use ekbd_dining::{BudgetedDiningProcess, DiningProcess};
+use ekbd_graph::ProcessId;
+use ekbd_harness::{RunReport, Scenario, Workload};
+use ekbd_metrics::{DetectorQualityReport, Timeline};
+use ekbd_sim::Time;
+use ekbd_stabilize::{
+    ColoringProtocol, LeaderProtocol, MisProtocol, Protocol, ScheduledRun, SpanningTreeProtocol,
+    StabilizationConfig, TokenRingProtocol,
+};
+
+/// Usage text printed on `--help`-ish failures.
+pub const USAGE: &str = "\
+ekbd — eventually k-bounded wait-free distributed daemons (Song & Pike, DSN 2007)
+
+USAGE:
+  ekbd run       --topology SPEC [--algorithm alg1|choy-singh|naive|budgeted:m]
+                 [--oracle silent|perfect|adversarial:conv:burst|heartbeat:p:t:i]
+                 [--seed N] [--sessions N] [--think lo:hi] [--eat lo:hi]
+                 [--crash proc:time]... [--horizon N] [--timeline N]
+  ekbd stabilize --protocol coloring|coloring-adv|mis|token-ring:k|bfs-tree|leader
+                 --topology SPEC [--algorithm ...] [--oracle ...] [--seed N]
+                 [--crash proc:time]... [--faults N] [--horizon N]
+  ekbd threaded  [--n N] [--window-ms N] [--crash PROC]
+
+TOPOLOGY SPECS:
+  ring:n path:n star:n clique:n grid:RxC torus:RxC tree:n wheel:n
+  hypercube:d gnp:n:p:seed
+";
+
+/// Builds a [`Scenario`] from the common flags.
+fn scenario_from(parsed: &Parsed) -> Result<Scenario, ArgError> {
+    let topology = TopologySpec::parse(parsed.get("topology").unwrap_or("ring:5"))?;
+    let mut s = Scenario::new(topology.build())
+        .seed(parsed.get_parsed("seed", 0u64)?)
+        .horizon(Time(parsed.get_parsed("horizon", 200_000u64)?));
+    s.workload = Workload {
+        sessions: parsed.get_parsed("sessions", 20u32)?,
+        think: parsed.get_range("think", (1, 60))?,
+        eat: parsed.get_range("eat", (1, 15))?,
+    };
+    match OracleArg::parse(parsed.get("oracle").unwrap_or("silent"))? {
+        OracleArg::Silent => {}
+        OracleArg::Perfect => s = s.perfect_oracle(),
+        OracleArg::Adversarial { converge, burst } => {
+            s = s.adversarial_oracle(converge, burst);
+        }
+        OracleArg::Heartbeat(cfg) => s = s.heartbeat_oracle(cfg),
+        OracleArg::Probe(cfg) => s = s.probe_oracle(cfg),
+    }
+    for c in parsed.get_all("crash") {
+        let (p, t) = parse_crash(c)?;
+        s = s.crash(p, t);
+    }
+    Ok(s)
+}
+
+fn run_with_algorithm(s: &Scenario, alg: &AlgorithmSpec) -> RunReport {
+    match alg {
+        AlgorithmSpec::Algorithm1 => s.run_algorithm1(),
+        AlgorithmSpec::ChoySingh => {
+            s.run_with(|sc, p| ChoySinghProcess::from_graph(&sc.graph, &sc.colors, p))
+        }
+        AlgorithmSpec::Naive => {
+            s.run_with(|sc, p| NaivePriorityProcess::from_graph(&sc.graph, &sc.colors, p))
+        }
+        AlgorithmSpec::Budgeted(m) => {
+            let m = *m;
+            s.run_with(move |sc, p| {
+                BudgetedDiningProcess::from_graph(&sc.graph, &sc.colors, p, m)
+            })
+        }
+    }
+}
+
+fn print_report(report: &RunReport) {
+    let progress = report.progress();
+    let exclusion = report.exclusion();
+    let conv = report.detector_convergence();
+    println!("processes ................... {}", report.graph.len());
+    println!("events processed ............ {}", report.events_processed);
+    println!("messages .................... {}", report.total_messages);
+    println!("eat sessions ................ {}", report.total_eat_sessions());
+    println!("starving (correct) .......... {:?}", progress.starving());
+    let lat = progress.latency_summary();
+    println!(
+        "hungry latency .............. p50={} p99={} max={}",
+        lat.p50, lat.p99, lat.max
+    );
+    println!("detector convergence ........ {conv}");
+    println!(
+        "exclusion mistakes .......... total={} after-convergence={}",
+        exclusion.total(),
+        exclusion.after(conv)
+    );
+    println!(
+        "max overtakes (suffix) ...... {}",
+        report.fairness().max_overtakes_after(conv)
+    );
+    println!(
+        "channel high-water .......... {} (paper bound: 4 dining msgs)",
+        report.max_channel_high_water
+    );
+    if !report.crashes.is_empty() {
+        let q = report.quiescence();
+        println!(
+            "msgs to crashed ............. {} (last at {:?})",
+            q.total(),
+            q.last_send()
+        );
+        let quality = DetectorQualityReport::analyze(
+            &report.graph,
+            &report.suspicions,
+            &report.crashes,
+            report.horizon,
+        );
+        println!(
+            "detector .................... false-positives={} complete={} max-latency={:?}",
+            quality.false_positives,
+            quality.complete(),
+            quality.max_detection_latency()
+        );
+    }
+}
+
+/// `ekbd run …`
+pub fn cmd_run(parsed: &Parsed) -> Result<(), ArgError> {
+    let s = scenario_from(parsed)?;
+    let alg = AlgorithmSpec::parse(parsed.get("algorithm").unwrap_or("alg1"))?;
+    let report = run_with_algorithm(&s, &alg);
+    println!("== ekbd run: {alg:?} ==\n");
+    print_report(&report);
+    if let Some(until) = parsed.get("timeline") {
+        let until: u64 = until.parse().map_err(|_| ArgError::BadValue {
+            flag: "--timeline".into(),
+            value: until.to_string(),
+            expected: "u64 ticks",
+        })?;
+        println!("\neating timeline 0..{until} ('#' eating, '!' mistake, '×' crash):");
+        print!(
+            "{}",
+            Timeline::until(Time(until))
+                .marker(report.detector_convergence())
+                .render(&report.graph, &report.events, &|p| report.crash_time(p), report.horizon)
+        );
+    }
+    Ok(())
+}
+
+fn stabilize_with<P: Protocol>(
+    protocol: &P,
+    s: Scenario,
+    cfg: &StabilizationConfig,
+    alg: &AlgorithmSpec,
+) -> ekbd_stabilize::StabilizationReport {
+    match alg {
+        AlgorithmSpec::Algorithm1 => ScheduledRun::execute(protocol, s, cfg, |sc, p| {
+            DiningProcess::from_graph(&sc.graph, &sc.colors, p)
+        }),
+        AlgorithmSpec::ChoySingh => ScheduledRun::execute(protocol, s, cfg, |sc, p| {
+            ChoySinghProcess::from_graph(&sc.graph, &sc.colors, p)
+        }),
+        AlgorithmSpec::Naive => ScheduledRun::execute(protocol, s, cfg, |sc, p| {
+            NaivePriorityProcess::from_graph(&sc.graph, &sc.colors, p)
+        }),
+        AlgorithmSpec::Budgeted(m) => {
+            let m = *m;
+            ScheduledRun::execute(protocol, s, cfg, move |sc, p| {
+                BudgetedDiningProcess::from_graph(&sc.graph, &sc.colors, p, m)
+            })
+        }
+    }
+}
+
+/// `ekbd stabilize …`
+pub fn cmd_stabilize(parsed: &Parsed) -> Result<(), ArgError> {
+    let s = scenario_from(parsed)?;
+    let alg = AlgorithmSpec::parse(parsed.get("algorithm").unwrap_or("alg1"))?;
+    let protocol = ProtocolSpec::parse(parsed.get("protocol").unwrap_or("coloring"))?;
+    let n = s.graph.len();
+    let fault_count: u64 = parsed.get_parsed("faults", 6u64)?;
+    let cfg = StabilizationConfig {
+        seed: parsed.get_parsed("seed", 0u64)? + 1000,
+        think: (1, 8),
+        transient_faults: (0..fault_count)
+            .map(|k| (Time(2_000 + 400 * k), ProcessId::from((k as usize * 5 + 1) % n)))
+            .collect(),
+    };
+    let report = match &protocol {
+        ProtocolSpec::Coloring => {
+            stabilize_with(&ColoringProtocol::default(), s, &cfg, &alg)
+        }
+        ProtocolSpec::ColoringAdversarial => {
+            stabilize_with(&ColoringProtocol::adversarial(), s, &cfg, &alg)
+        }
+        ProtocolSpec::Mis => stabilize_with(&MisProtocol, s, &cfg, &alg),
+        ProtocolSpec::TokenRing(k) => {
+            stabilize_with(&TokenRingProtocol::new(*k), s, &cfg, &alg)
+        }
+        ProtocolSpec::BfsTree => stabilize_with(&SpanningTreeProtocol, s, &cfg, &alg),
+        ProtocolSpec::Leader => stabilize_with(&LeaderProtocol, s, &cfg, &alg),
+    };
+    println!("== ekbd stabilize: {} via {:?} ==\n", report.protocol, alg);
+    println!("steps executed .............. {}", report.steps_executed);
+    println!("no-op slots ................. {}", report.steps_skipped);
+    println!("faults injected ............. {}", report.faults_injected);
+    println!(
+        "converged ................... {} (at {:?})",
+        report.legitimate_at_end, report.converged_at
+    );
+    println!(
+        "starving (correct) .......... {:?}",
+        report.dining.progress().starving()
+    );
+    Ok(())
+}
+
+/// `ekbd threaded …`
+pub fn cmd_threaded(parsed: &Parsed) -> Result<(), ArgError> {
+    use ekbd_runtime::{RuntimeConfig, ThreadedDining};
+    let n: usize = parsed.get_parsed("n", 5usize)?;
+    let window_ms: u64 = parsed.get_parsed("window-ms", 400u64)?;
+    let sys = ThreadedDining::spawn(ekbd_graph::topology::ring(n.max(3)), RuntimeConfig::default());
+    let crash: Option<usize> = match parsed.get("crash") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
+            flag: "--crash".into(),
+            value: v.to_string(),
+            expected: "process index",
+        })?),
+    };
+    if let Some(victim) = crash {
+        sys.crash(ProcessId::from(victim));
+    }
+    let rounds = (window_ms / 25).max(1);
+    for _ in 0..rounds {
+        for i in 0..n {
+            sys.make_hungry(ProcessId::from(i));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let events = sys.shutdown_after(std::time::Duration::from_millis(150));
+    println!("== ekbd threaded: ring of {n}, {window_ms} ms ==\n");
+    let mut eats = vec![0u32; n];
+    for e in &events {
+        if e.obs == ekbd_dining::DiningObs::StartedEating {
+            eats[e.process.index()] += 1;
+        }
+    }
+    for (i, c) in eats.iter().enumerate() {
+        let marker = if crash == Some(i) { " (crashed)" } else { "" };
+        println!("p{i}: {c} eat sessions{marker}");
+    }
+    Ok(())
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(parsed: &Parsed) -> Result<(), ArgError> {
+    match parsed.command.as_str() {
+        "run" => cmd_run(parsed),
+        "stabilize" => cmd_stabilize(parsed),
+        "threaded" => cmd_threaded(parsed),
+        other => Err(ArgError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(s: &str) -> Parsed {
+        Parsed::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn scenario_builder_defaults() {
+        let s = scenario_from(&parsed("run")).unwrap();
+        assert_eq!(s.graph.len(), 5);
+        assert_eq!(s.workload.sessions, 20);
+    }
+
+    #[test]
+    fn scenario_builder_full() {
+        let s = scenario_from(&parsed(
+            "run --topology grid:3x3 --seed 4 --oracle adversarial:2000:40 \
+             --sessions 7 --think 1:9 --eat 2:5 --crash 4:100 --horizon 9999",
+        ))
+        .unwrap();
+        assert_eq!(s.graph.len(), 9);
+        assert_eq!(s.seed, 4);
+        assert_eq!(s.workload.sessions, 7);
+        assert_eq!(s.workload.think, (1, 9));
+        assert_eq!(s.crashes, vec![(ProcessId(4), Time(100))]);
+        assert_eq!(s.horizon, Time(9999));
+    }
+
+    #[test]
+    fn run_command_executes_each_algorithm() {
+        for alg in ["alg1", "choy-singh", "naive", "budgeted:2"] {
+            let p = parsed(&format!(
+                "run --topology ring:4 --sessions 3 --horizon 20000 --algorithm {alg}"
+            ));
+            cmd_run(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn run_command_with_timeline() {
+        let p = parsed("run --topology ring:4 --sessions 3 --horizon 20000 --timeline 2000");
+        cmd_run(&p).unwrap();
+    }
+
+    #[test]
+    fn stabilize_command_executes_each_protocol() {
+        for proto in ["coloring", "mis", "leader", "bfs-tree"] {
+            let p = parsed(&format!(
+                "stabilize --topology ring:4 --horizon 60000 --protocol {proto} --faults 2"
+            ));
+            cmd_stabilize(&p).unwrap();
+        }
+        let p = parsed("stabilize --topology ring:4 --horizon 60000 --protocol token-ring:6 --faults 1");
+        cmd_stabilize(&p).unwrap();
+    }
+
+    #[test]
+    fn bad_flags_surface_errors() {
+        assert!(cmd_run(&parsed("run --topology blob:2")).is_err());
+        assert!(cmd_run(&parsed("run --timeline soon")).is_err());
+        assert!(cmd_stabilize(&parsed("stabilize --protocol sorting")).is_err());
+    }
+}

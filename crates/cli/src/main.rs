@@ -1,0 +1,18 @@
+use ekbd_cli::commands::{dispatch, USAGE};
+use ekbd_cli::Parsed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "help" {
+        print!("{USAGE}");
+        return;
+    }
+    match Parsed::parse(args).and_then(|p| dispatch(&p)) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

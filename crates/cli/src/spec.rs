@@ -1,0 +1,314 @@
+//! Textual specifications for topologies, oracles, algorithms, and
+//! protocols, as used by the CLI flags.
+
+use crate::args::ArgError;
+use ekbd_detector::{HeartbeatConfig, ProbeConfig};
+use ekbd_graph::{random, topology, ConflictGraph, ProcessId};
+use ekbd_sim::Time;
+
+fn bad(flag: &'static str, value: &str, expected: &'static str) -> ArgError {
+    ArgError::BadValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+        expected,
+    }
+}
+
+/// A topology specification, e.g. `ring:8`, `grid:3x4`, `gnp:12:0.3:7`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// `ring:n`
+    Ring(usize),
+    /// `path:n`
+    Path(usize),
+    /// `star:n`
+    Star(usize),
+    /// `clique:n`
+    Clique(usize),
+    /// `grid:RxC`
+    Grid(usize, usize),
+    /// `torus:RxC`
+    Torus(usize, usize),
+    /// `tree:n`
+    Tree(usize),
+    /// `wheel:n`
+    Wheel(usize),
+    /// `hypercube:d`
+    Hypercube(u32),
+    /// `gnp:n:p:seed` (connected variant)
+    Gnp(usize, f64, u64),
+}
+
+impl TopologySpec {
+    /// Parses a topology spec string.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        const EXPECT: &str =
+            "ring:n | path:n | star:n | clique:n | grid:RxC | torus:RxC | tree:n | wheel:n | hypercube:d | gnp:n:p:seed";
+        let err = || bad("--topology", s, EXPECT);
+        let mut parts = s.split(':');
+        let kind = parts.next().ok_or_else(err)?;
+        let rest: Vec<&str> = parts.collect();
+        let one = |rest: &[&str]| -> Result<usize, ArgError> {
+            rest.first().ok_or_else(err)?.parse().map_err(|_| err())
+        };
+        let dims = |rest: &[&str]| -> Result<(usize, usize), ArgError> {
+            let (a, b) = rest.first().ok_or_else(err)?.split_once('x').ok_or_else(err)?;
+            Ok((a.parse().map_err(|_| err())?, b.parse().map_err(|_| err())?))
+        };
+        Ok(match kind {
+            "ring" => TopologySpec::Ring(one(&rest)?),
+            "path" => TopologySpec::Path(one(&rest)?),
+            "star" => TopologySpec::Star(one(&rest)?),
+            "clique" => TopologySpec::Clique(one(&rest)?),
+            "tree" => TopologySpec::Tree(one(&rest)?),
+            "wheel" => TopologySpec::Wheel(one(&rest)?),
+            "hypercube" => TopologySpec::Hypercube(one(&rest)? as u32),
+            "grid" => {
+                let (r, c) = dims(&rest)?;
+                TopologySpec::Grid(r, c)
+            }
+            "torus" => {
+                let (r, c) = dims(&rest)?;
+                TopologySpec::Torus(r, c)
+            }
+            "gnp" => {
+                if rest.len() != 3 {
+                    return Err(err());
+                }
+                TopologySpec::Gnp(
+                    rest[0].parse().map_err(|_| err())?,
+                    rest[1].parse().map_err(|_| err())?,
+                    rest[2].parse().map_err(|_| err())?,
+                )
+            }
+            _ => return Err(err()),
+        })
+    }
+
+    /// Builds the conflict graph.
+    pub fn build(&self) -> ConflictGraph {
+        match *self {
+            TopologySpec::Ring(n) => topology::ring(n),
+            TopologySpec::Path(n) => topology::path(n),
+            TopologySpec::Star(n) => topology::star(n),
+            TopologySpec::Clique(n) => topology::clique(n),
+            TopologySpec::Grid(r, c) => topology::grid(r, c),
+            TopologySpec::Torus(r, c) => topology::torus(r, c),
+            TopologySpec::Tree(n) => topology::binary_tree(n),
+            TopologySpec::Wheel(n) => topology::wheel(n),
+            TopologySpec::Hypercube(d) => topology::hypercube(d),
+            TopologySpec::Gnp(n, p, seed) => random::connected_gnp(n, p, seed),
+        }
+    }
+}
+
+/// An oracle specification: `silent`, `perfect`,
+/// `adversarial:<converge>:<burst>`, or
+/// `heartbeat:<period>:<timeout>:<increment>`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OracleArg {
+    /// Never suspects.
+    Silent,
+    /// Exact crash knowledge.
+    Perfect,
+    /// Scripted worst case.
+    Adversarial {
+        /// Convergence time.
+        converge: Time,
+        /// Burst length.
+        burst: u64,
+    },
+    /// Real heartbeat implementation.
+    Heartbeat(HeartbeatConfig),
+    /// Real pull-based probe/echo implementation.
+    Probe(ProbeConfig),
+}
+
+impl OracleArg {
+    /// Parses an oracle spec string.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        const EXPECT: &str = "silent | perfect | adversarial:converge:burst | \
+             heartbeat:period:timeout:increment | probe:period:timeout:increment";
+        let err = || bad("--oracle", s, EXPECT);
+        let parts: Vec<&str> = s.split(':').collect();
+        Ok(match parts.as_slice() {
+            ["silent"] => OracleArg::Silent,
+            ["perfect"] => OracleArg::Perfect,
+            ["adversarial", c, b] => OracleArg::Adversarial {
+                converge: Time(c.parse().map_err(|_| err())?),
+                burst: b.parse().map_err(|_| err())?,
+            },
+            ["heartbeat", p, t, i] => OracleArg::Heartbeat(HeartbeatConfig {
+                period: p.parse().map_err(|_| err())?,
+                initial_timeout: t.parse().map_err(|_| err())?,
+                timeout_increment: i.parse().map_err(|_| err())?,
+            }),
+            ["probe", p, t, i] => OracleArg::Probe(ProbeConfig {
+                period: p.parse().map_err(|_| err())?,
+                initial_timeout: t.parse().map_err(|_| err())?,
+                timeout_increment: i.parse().map_err(|_| err())?,
+            }),
+            _ => return Err(err()),
+        })
+    }
+}
+
+/// A dining-algorithm specification: `alg1`, `choy-singh`, `naive`, or
+/// `budgeted:<m>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgorithmSpec {
+    /// The paper's Algorithm 1.
+    Algorithm1,
+    /// The crash-oblivious Choy–Singh baseline.
+    ChoySingh,
+    /// Naive priority dining (no doorway).
+    Naive,
+    /// Algorithm 1 with a generalized ack budget.
+    Budgeted(u32),
+}
+
+impl AlgorithmSpec {
+    /// Parses an algorithm spec string.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        const EXPECT: &str = "alg1 | choy-singh | naive | budgeted:m";
+        let err = || bad("--algorithm", s, EXPECT);
+        Ok(match s {
+            "alg1" => AlgorithmSpec::Algorithm1,
+            "choy-singh" => AlgorithmSpec::ChoySingh,
+            "naive" => AlgorithmSpec::Naive,
+            other => match other.split_once(':') {
+                Some(("budgeted", m)) => {
+                    AlgorithmSpec::Budgeted(m.parse().map_err(|_| err())?)
+                }
+                _ => return Err(err()),
+            },
+        })
+    }
+}
+
+/// A stabilizing-protocol specification: `coloring`, `coloring-adv`,
+/// `mis`, `token-ring:<k>`, `bfs-tree`, `leader`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// (δ+1)-coloring with random faults.
+    Coloring,
+    /// (δ+1)-coloring with adversarial (conflict-creating) faults.
+    ColoringAdversarial,
+    /// Maximal independent set.
+    Mis,
+    /// Dijkstra's K-state ring.
+    TokenRing(u32),
+    /// BFS distances from p0.
+    BfsTree,
+    /// Max-id leader election.
+    Leader,
+}
+
+impl ProtocolSpec {
+    /// Parses a protocol spec string.
+    pub fn parse(s: &str) -> Result<Self, ArgError> {
+        const EXPECT: &str = "coloring | coloring-adv | mis | token-ring:k | bfs-tree | leader";
+        let err = || bad("--protocol", s, EXPECT);
+        Ok(match s {
+            "coloring" => ProtocolSpec::Coloring,
+            "coloring-adv" => ProtocolSpec::ColoringAdversarial,
+            "mis" => ProtocolSpec::Mis,
+            "bfs-tree" => ProtocolSpec::BfsTree,
+            "leader" => ProtocolSpec::Leader,
+            other => match other.split_once(':') {
+                Some(("token-ring", k)) => {
+                    ProtocolSpec::TokenRing(k.parse().map_err(|_| err())?)
+                }
+                _ => return Err(err()),
+            },
+        })
+    }
+}
+
+/// Parses a `process:time` crash spec.
+pub fn parse_crash(s: &str) -> Result<(ProcessId, Time), ArgError> {
+    let err = || bad("--crash", s, "process:time");
+    let (p, t) = s.split_once(':').ok_or_else(err)?;
+    Ok((
+        ProcessId::from(p.parse::<usize>().map_err(|_| err())?),
+        Time(t.parse().map_err(|_| err())?),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_specs_round_trip() {
+        assert_eq!(TopologySpec::parse("ring:8"), Ok(TopologySpec::Ring(8)));
+        assert_eq!(TopologySpec::parse("grid:3x4"), Ok(TopologySpec::Grid(3, 4)));
+        assert_eq!(
+            TopologySpec::parse("gnp:12:0.3:7"),
+            Ok(TopologySpec::Gnp(12, 0.3, 7))
+        );
+        assert_eq!(TopologySpec::parse("hypercube:3"), Ok(TopologySpec::Hypercube(3)));
+        assert!(TopologySpec::parse("blob:3").is_err());
+        assert!(TopologySpec::parse("grid:3").is_err());
+        assert_eq!(TopologySpec::parse("torus:3x4").unwrap().build().len(), 12);
+        assert_eq!(TopologySpec::parse("wheel:6").unwrap().build().len(), 6);
+        assert_eq!(TopologySpec::parse("tree:7").unwrap().build().edge_count(), 6);
+        assert_eq!(TopologySpec::parse("path:5").unwrap().build().edge_count(), 4);
+        assert_eq!(TopologySpec::parse("star:5").unwrap().build().max_degree(), 4);
+        assert_eq!(TopologySpec::parse("clique:4").unwrap().build().edge_count(), 6);
+        assert!(TopologySpec::parse("gnp:12:0.3:7").unwrap().build().is_connected());
+    }
+
+    #[test]
+    fn oracle_specs() {
+        assert_eq!(OracleArg::parse("silent"), Ok(OracleArg::Silent));
+        assert_eq!(OracleArg::parse("perfect"), Ok(OracleArg::Perfect));
+        assert_eq!(
+            OracleArg::parse("adversarial:2000:40"),
+            Ok(OracleArg::Adversarial {
+                converge: Time(2000),
+                burst: 40
+            })
+        );
+        assert!(matches!(
+            OracleArg::parse("heartbeat:10:50:25"),
+            Ok(OracleArg::Heartbeat(_))
+        ));
+        assert!(matches!(
+            OracleArg::parse("probe:10:50:25"),
+            Ok(OracleArg::Probe(_))
+        ));
+        assert!(OracleArg::parse("psychic").is_err());
+        assert!(OracleArg::parse("adversarial:2000").is_err());
+    }
+
+    #[test]
+    fn algorithm_specs() {
+        assert_eq!(AlgorithmSpec::parse("alg1"), Ok(AlgorithmSpec::Algorithm1));
+        assert_eq!(AlgorithmSpec::parse("choy-singh"), Ok(AlgorithmSpec::ChoySingh));
+        assert_eq!(AlgorithmSpec::parse("naive"), Ok(AlgorithmSpec::Naive));
+        assert_eq!(AlgorithmSpec::parse("budgeted:3"), Ok(AlgorithmSpec::Budgeted(3)));
+        assert!(AlgorithmSpec::parse("budgeted:x").is_err());
+        assert!(AlgorithmSpec::parse("dijkstra").is_err());
+    }
+
+    #[test]
+    fn protocol_specs() {
+        assert_eq!(ProtocolSpec::parse("coloring"), Ok(ProtocolSpec::Coloring));
+        assert_eq!(
+            ProtocolSpec::parse("coloring-adv"),
+            Ok(ProtocolSpec::ColoringAdversarial)
+        );
+        assert_eq!(ProtocolSpec::parse("token-ring:7"), Ok(ProtocolSpec::TokenRing(7)));
+        assert_eq!(ProtocolSpec::parse("bfs-tree"), Ok(ProtocolSpec::BfsTree));
+        assert_eq!(ProtocolSpec::parse("leader"), Ok(ProtocolSpec::Leader));
+        assert!(ProtocolSpec::parse("sorting").is_err());
+    }
+
+    #[test]
+    fn crash_spec() {
+        assert_eq!(parse_crash("2:1500"), Ok((ProcessId(2), Time(1500))));
+        assert!(parse_crash("2").is_err());
+        assert!(parse_crash("x:1").is_err());
+    }
+}

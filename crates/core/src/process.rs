@@ -1,0 +1,736 @@
+use crate::msg::DiningMsg;
+use crate::traits::{DinerState, DiningAlgorithm, DiningInput};
+use ekbd_detector::SuspicionView;
+use ekbd_graph::coloring::Color;
+use ekbd_graph::{ConflictGraph, ProcessId};
+
+/// Per-neighbor boolean variables of Algorithm 1, bit-packed so that the
+/// paper's space bound (`6δ` bits of neighbor state, §7) is literal.
+mod flag {
+    /// `pinged_ij` — a ping request to `j` is pending (sent, deferred by
+    /// `j`, or its ack is in flight).
+    pub const PINGED: u8 = 1 << 0;
+    /// `ack_ij` — an ack from `j` was received during the current hungry
+    /// session, while outside the doorway.
+    pub const ACK: u8 = 1 << 1;
+    /// `replied_ij` — an ack was sent to `j` during the current hungry
+    /// session of `self` (the ◇2-BW mechanism).
+    pub const REPLIED: u8 = 1 << 2;
+    /// `deferred_ij` — a ping from `j` is being deferred until after eating.
+    pub const DEFERRED: u8 = 1 << 3;
+    /// `fork_ij` — `self` holds the fork shared with `j`.
+    pub const FORK: u8 = 1 << 4;
+    /// `token_ij` — `self` holds the edge's request token.
+    pub const TOKEN: u8 = 1 << 5;
+}
+
+/// The per-process state machine of Algorithm 1.
+///
+/// All ten actions of the paper are implemented verbatim:
+///
+/// | Action | Trigger here | Paper lines |
+/// |---|---|---|
+/// | 1 — become hungry | [`DiningInput::Hungry`] | 1–2 |
+/// | 2 — request acks | internal, evaluated after every event | 3–5 |
+/// | 3 — receive ping | [`DiningInput::Message`] (`Ping`) | 6–10 |
+/// | 4 — receive ack | [`DiningInput::Message`] (`Ack`) | 11–13 |
+/// | 5 — enter doorway | internal | 14–17 |
+/// | 6 — request forks | internal | 18–20 |
+/// | 7 — receive request | [`DiningInput::Message`] (`Request`) | 21–24 |
+/// | 8 — receive fork | [`DiningInput::Message`] (`Fork`) | 25–26 |
+/// | 9 — eat | internal | 27–28 |
+/// | 10 — exit | [`DiningInput::DoneEating`] | 29–35 |
+///
+/// Internal actions (2, 5, 6, 9) are guarded commands; after handling any
+/// event the machine evaluates them in the enabling order 2 → 5 → 6 → 9,
+/// which is a legal weakly-fair schedule (an action enabled after an event
+/// fires before the next event is handled).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DiningProcess {
+    id: ProcessId,
+    color: Color,
+    /// Sorted neighbor ids; index into `vars` by position.
+    neighbors: Vec<ProcessId>,
+    state: DinerState,
+    inside: bool,
+    vars: Vec<u8>,
+}
+
+impl DiningProcess {
+    /// Creates the process `id` with static priority `color` and the given
+    /// neighbors (each with *its* color, used only for the initial fork and
+    /// token placement: fork at the higher-color endpoint, token at the
+    /// lower, §3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a neighbor shares `color` (the coloring must be proper) or
+    /// if a neighbor is `id` itself.
+    pub fn new(
+        id: ProcessId,
+        color: Color,
+        neighbors: impl IntoIterator<Item = (ProcessId, Color)>,
+    ) -> Self {
+        let mut pairs: Vec<(ProcessId, Color)> = neighbors.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(q, _)| q);
+        let mut ids = Vec::with_capacity(pairs.len());
+        let mut vars = Vec::with_capacity(pairs.len());
+        for (q, qcolor) in pairs {
+            assert!(q != id, "a process is not its own neighbor");
+            assert!(
+                qcolor != color,
+                "neighbors {id} and {q} share color {color}: coloring must be proper"
+            );
+            ids.push(q);
+            vars.push(if color > qcolor { flag::FORK } else { flag::TOKEN });
+        }
+        DiningProcess {
+            id,
+            color,
+            neighbors: ids,
+            state: DinerState::Thinking,
+            inside: false,
+            vars,
+        }
+    }
+
+    /// Creates the process `id` from a conflict graph and a proper coloring
+    /// (as produced by [`ekbd_graph::coloring`]).
+    pub fn from_graph(g: &ConflictGraph, colors: &[Color], id: ProcessId) -> Self {
+        Self::new(
+            id,
+            colors[id.index()],
+            g.neighbors(id).iter().map(|&q| (q, colors[q.index()])),
+        )
+    }
+
+    /// This process's static priority.
+    pub fn color(&self) -> Color {
+        self.color
+    }
+
+    /// Sorted neighbor ids.
+    pub fn neighbors(&self) -> &[ProcessId] {
+        &self.neighbors
+    }
+
+    fn idx(&self, q: ProcessId) -> usize {
+        self.neighbors
+            .binary_search(&q)
+            .unwrap_or_else(|_| panic!("{q} is not a neighbor of {}", self.id))
+    }
+
+    fn get(&self, j: usize, f: u8) -> bool {
+        self.vars[j] & f != 0
+    }
+
+    fn set(&mut self, j: usize, f: u8, v: bool) {
+        if v {
+            self.vars[j] |= f;
+        } else {
+            self.vars[j] &= !f;
+        }
+    }
+
+    /// Whether this process currently holds the fork shared with `q`.
+    pub fn holds_fork(&self, q: ProcessId) -> bool {
+        self.get(self.idx(q), flag::FORK)
+    }
+
+    /// Whether this process currently holds the token shared with `q`.
+    pub fn holds_token(&self, q: ProcessId) -> bool {
+        self.get(self.idx(q), flag::TOKEN)
+    }
+
+    /// Whether a ping to `q` is pending (Lemma 2.2 allows at most one).
+    pub fn ping_pending(&self, q: ProcessId) -> bool {
+        self.get(self.idx(q), flag::PINGED)
+    }
+
+    /// Whether this process is deferring a ping from `q`.
+    pub fn deferring_ack(&self, q: ProcessId) -> bool {
+        self.get(self.idx(q), flag::DEFERRED)
+    }
+
+    /// Whether this process has sent `q` an ack during its current hungry
+    /// session (the ◇2-BW `replied` flag).
+    pub fn replied_to(&self, q: ProcessId) -> bool {
+        self.get(self.idx(q), flag::REPLIED)
+    }
+
+    // ----- receive actions ---------------------------------------------
+
+    /// Action 3 (lines 6–10): decide whether to grant or defer a ping.
+    fn on_ping(&mut self, from: usize, sends: &mut Vec<(ProcessId, DiningMsg)>) {
+        if self.inside || self.get(from, flag::REPLIED) {
+            self.set(from, flag::DEFERRED, true);
+        } else {
+            sends.push((self.neighbors[from], DiningMsg::Ack));
+            self.set(from, flag::REPLIED, self.state == DinerState::Hungry);
+        }
+    }
+
+    /// Action 4 (lines 11–13): record an ack (only useful while hungry and
+    /// outside the doorway) and clear the pending-ping flag.
+    fn on_ack(&mut self, from: usize) {
+        let useful = self.state == DinerState::Hungry && !self.inside;
+        self.set(from, flag::ACK, useful);
+        self.set(from, flag::PINGED, false);
+    }
+
+    /// Action 7 (lines 21–24): receive a fork request; grant immediately if
+    /// outside the doorway or hungry-with-lower-color, else defer.
+    fn on_request(&mut self, from: usize, their_color: Color, sends: &mut Vec<(ProcessId, DiningMsg)>) {
+        debug_assert!(
+            self.get(from, flag::FORK),
+            "Lemma 1.1 violated: {} received a request from {} without holding the fork",
+            self.id,
+            self.neighbors[from]
+        );
+        self.set(from, flag::TOKEN, true);
+        let grant =
+            !self.inside || (self.state == DinerState::Hungry && self.color < their_color);
+        if grant {
+            sends.push((self.neighbors[from], DiningMsg::Fork));
+            self.set(from, flag::FORK, false);
+        }
+    }
+
+    /// Action 8 (lines 25–26): receive a fork.
+    fn on_fork(&mut self, from: usize) {
+        debug_assert!(
+            !self.get(from, flag::FORK),
+            "Lemma 1.2 violated: duplicate fork between {} and {}",
+            self.id,
+            self.neighbors[from]
+        );
+        self.set(from, flag::FORK, true);
+    }
+
+    // ----- internal guarded commands -----------------------------------
+
+    /// Action 2 (lines 3–5): while hungry and outside, ping every neighbor
+    /// whose ack is missing and to whom no ping is pending.
+    fn try_request_acks(&mut self, sends: &mut Vec<(ProcessId, DiningMsg)>) {
+        if self.state != DinerState::Hungry || self.inside {
+            return;
+        }
+        for j in 0..self.neighbors.len() {
+            if !self.get(j, flag::PINGED) && !self.get(j, flag::ACK) {
+                sends.push((self.neighbors[j], DiningMsg::Ping));
+                self.set(j, flag::PINGED, true);
+            }
+        }
+    }
+
+    /// Action 5 (lines 14–17): enter the doorway once every neighbor has
+    /// either acked or is suspected; reset `ack` and `replied`.
+    fn try_enter_doorway(&mut self, suspicion: &dyn SuspicionView) {
+        if self.state != DinerState::Hungry || self.inside {
+            return;
+        }
+        let all = (0..self.neighbors.len())
+            .all(|j| self.get(j, flag::ACK) || suspicion.suspects(self.neighbors[j]));
+        if all {
+            self.inside = true;
+            for j in 0..self.neighbors.len() {
+                self.set(j, flag::ACK, false);
+                self.set(j, flag::REPLIED, false);
+            }
+        }
+    }
+
+    /// Action 6 (lines 18–20): while hungry inside the doorway, spend held
+    /// tokens to request missing forks.
+    fn try_request_forks(&mut self, sends: &mut Vec<(ProcessId, DiningMsg)>) {
+        if self.state != DinerState::Hungry || !self.inside {
+            return;
+        }
+        for j in 0..self.neighbors.len() {
+            if self.get(j, flag::TOKEN) && !self.get(j, flag::FORK) {
+                sends.push((
+                    self.neighbors[j],
+                    DiningMsg::Request { color: self.color },
+                ));
+                self.set(j, flag::TOKEN, false);
+            }
+        }
+    }
+
+    /// Action 9 (lines 27–28): eat once every neighbor's fork is held or
+    /// the neighbor is suspected.
+    fn try_eat(&mut self, suspicion: &dyn SuspicionView) {
+        if self.state != DinerState::Hungry || !self.inside {
+            return;
+        }
+        let all = (0..self.neighbors.len())
+            .all(|j| self.get(j, flag::FORK) || suspicion.suspects(self.neighbors[j]));
+        if all {
+            self.state = DinerState::Eating;
+        }
+    }
+
+    /// Evaluates the internal guarded commands in enabling order.
+    fn internal_actions(&mut self, suspicion: &dyn SuspicionView, sends: &mut Vec<(ProcessId, DiningMsg)>) {
+        self.try_request_acks(sends);
+        self.try_enter_doorway(suspicion);
+        self.try_request_forks(sends);
+        self.try_eat(suspicion);
+    }
+
+    /// Action 10 (lines 29–35): exit eating — back to thinking, out of the
+    /// doorway, granting every deferred fork request and deferred ping.
+    fn exit(&mut self, sends: &mut Vec<(ProcessId, DiningMsg)>) {
+        self.inside = false;
+        self.state = DinerState::Thinking;
+        for j in 0..self.neighbors.len() {
+            if self.get(j, flag::TOKEN) && self.get(j, flag::FORK) {
+                sends.push((self.neighbors[j], DiningMsg::Fork));
+                self.set(j, flag::FORK, false);
+            }
+            if self.get(j, flag::DEFERRED) {
+                sends.push((self.neighbors[j], DiningMsg::Ack));
+                self.set(j, flag::DEFERRED, false);
+            }
+        }
+    }
+}
+
+impl DiningAlgorithm for DiningProcess {
+    type Msg = DiningMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn handle(
+        &mut self,
+        input: DiningInput<DiningMsg>,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, DiningMsg)>,
+    ) {
+        match input {
+            DiningInput::Hungry => {
+                debug_assert_eq!(
+                    self.state,
+                    DinerState::Thinking,
+                    "{}: Hungry is only legal while thinking",
+                    self.id
+                );
+                if self.state == DinerState::Thinking {
+                    self.state = DinerState::Hungry;
+                }
+            }
+            DiningInput::DoneEating => {
+                debug_assert_eq!(
+                    self.state,
+                    DinerState::Eating,
+                    "{}: DoneEating is only legal while eating",
+                    self.id
+                );
+                if self.state == DinerState::Eating {
+                    self.exit(sends);
+                }
+            }
+            DiningInput::Message { from, msg } => {
+                let j = self.idx(from);
+                match msg {
+                    DiningMsg::Ping => self.on_ping(j, sends),
+                    DiningMsg::Ack => self.on_ack(j),
+                    DiningMsg::Request { color } => self.on_request(j, color, sends),
+                    DiningMsg::Fork => self.on_fork(j),
+                }
+            }
+            DiningInput::SuspicionChange => {}
+        }
+        self.internal_actions(suspicion, sends);
+    }
+
+    fn state(&self) -> DinerState {
+        self.state
+    }
+
+    fn inside_doorway(&self) -> bool {
+        self.inside
+    }
+
+    /// §7: `log₂(δ) + 6δ + c` bits — 2 for `state`, 1 for `inside`,
+    /// `⌈log₂(δ+1)⌉` for the color, and 6 per neighbor.
+    fn state_bits(&self) -> usize {
+        let delta = self.neighbors.len();
+        // ⌈log₂(δ+1)⌉ bits index the δ+1 possible colors (at least 1 bit).
+        let color_bits = (usize::BITS - delta.max(1).leading_zeros()) as usize;
+        2 + 1 + color_bits + 6 * delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    fn none() -> BTreeSet<ProcessId> {
+        BTreeSet::new()
+    }
+
+    fn sus(ids: &[usize]) -> BTreeSet<ProcessId> {
+        ids.iter().map(|&i| p(i)).collect()
+    }
+
+    /// A two-process pair: `hi` (color 1, starts with fork) and `lo`
+    /// (color 0, starts with token).
+    fn pair() -> (DiningProcess, DiningProcess) {
+        let hi = DiningProcess::new(p(0), 1, [(p(1), 0)]);
+        let lo = DiningProcess::new(p(1), 0, [(p(0), 1)]);
+        (hi, lo)
+    }
+
+    #[test]
+    fn initial_fork_and_token_placement() {
+        let (hi, lo) = pair();
+        assert!(hi.holds_fork(p(1)) && !hi.holds_token(p(1)));
+        assert!(!lo.holds_fork(p(0)) && lo.holds_token(p(0)));
+        assert_eq!(hi.state(), DinerState::Thinking);
+        assert!(!hi.inside_doorway());
+    }
+
+    #[test]
+    #[should_panic(expected = "share color")]
+    fn rejects_improper_coloring() {
+        let _ = DiningProcess::new(p(0), 1, [(p(1), 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not its own neighbor")]
+    fn rejects_self_neighbor() {
+        let _ = DiningProcess::new(p(0), 1, [(p(0), 0)]);
+    }
+
+    #[test]
+    fn action2_hungry_sends_pings_once() {
+        let (mut hi, _) = pair();
+        let mut out = Vec::new();
+        hi.handle(DiningInput::Hungry, &none(), &mut out);
+        assert_eq!(out, vec![(p(1), DiningMsg::Ping)]);
+        assert!(hi.ping_pending(p(1)));
+        // Re-evaluating internal actions must not duplicate the ping
+        // (Lemma 2.2: at most one pending ping per direction).
+        let mut out = Vec::new();
+        hi.handle(DiningInput::SuspicionChange, &none(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn action3_thinking_process_grants_ack_without_replied() {
+        let (mut hi, _) = pair();
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            &none(),
+            &mut out,
+        );
+        assert_eq!(out, vec![(p(1), DiningMsg::Ack)]);
+        assert!(
+            !hi.replied_to(p(1)),
+            "replied is only set when the granter is hungry (line 10)"
+        );
+    }
+
+    #[test]
+    fn action3_hungry_process_grants_one_ack_then_defers() {
+        let (mut hi, _) = pair();
+        hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            &none(),
+            &mut out,
+        );
+        assert_eq!(out, vec![(p(1), DiningMsg::Ack)]);
+        assert!(hi.replied_to(p(1)), "hungry granter records the reply");
+
+        // A second ping within the same hungry session is deferred: this is
+        // the revised doorway that yields eventual 2-bounded waiting.
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            &none(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert!(hi.deferring_ack(p(1)));
+    }
+
+    #[test]
+    fn action4_ack_only_counts_while_hungry_outside() {
+        let (mut hi, _) = pair();
+        // Ack while thinking: pinged cleared, ack not recorded.
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
+            &none(),
+            &mut Vec::new(),
+        );
+        assert!(!hi.inside_doorway());
+        // Become hungry: pings go out; the ack arrives; doorway entered.
+        hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
+            &none(),
+            &mut out,
+        );
+        assert!(hi.inside_doorway(), "all acks collected ⇒ Action 5 fires");
+        assert!(
+            hi.state() == DinerState::Eating,
+            "hi already held the only fork ⇒ Action 9 fires too"
+        );
+    }
+
+    #[test]
+    fn action5_resets_ack_and_replied_on_entry() {
+        let (mut hi, _) = pair();
+        hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        // Grant an ack to the neighbor while hungry: replied = true.
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            &none(),
+            &mut Vec::new(),
+        );
+        assert!(hi.replied_to(p(1)));
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
+            &none(),
+            &mut Vec::new(),
+        );
+        assert!(hi.inside_doorway());
+        assert!(!hi.replied_to(p(1)), "replied resets on doorway entry");
+    }
+
+    #[test]
+    fn suspicion_substitutes_for_missing_ack_and_fork() {
+        // lo has neither the fork nor (ever) an ack from its crashed
+        // neighbor; suspicion lets it enter the doorway and eat (the crux of
+        // wait-freedom).
+        let (_, mut lo) = pair();
+        let suspects = sus(&[0]);
+        let mut out = Vec::new();
+        lo.handle(DiningInput::Hungry, &suspects, &mut out);
+        assert_eq!(lo.state(), DinerState::Eating);
+        assert!(lo.inside_doorway());
+        // It pinged and token-requested nobody useful — but messages to the
+        // crashed neighbor are allowed; check only that it ate.
+    }
+
+    #[test]
+    fn full_two_process_handshake_lower_color_wins_fork() {
+        let (mut hi, mut lo) = pair();
+        // lo becomes hungry: ping out.
+        let mut m1 = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut m1);
+        assert_eq!(m1, vec![(p(0), DiningMsg::Ping)]);
+        // hi (thinking) acks.
+        let mut m2 = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            &none(),
+            &mut m2,
+        );
+        assert_eq!(m2, vec![(p(1), DiningMsg::Ack)]);
+        // lo receives ack → enters doorway → spends token on a fork request.
+        let mut m3 = Vec::new();
+        lo.handle(
+            DiningInput::Message { from: p(0), msg: DiningMsg::Ack },
+            &none(),
+            &mut m3,
+        );
+        assert!(lo.inside_doorway());
+        assert_eq!(m3, vec![(p(0), DiningMsg::Request { color: 0 })]);
+        assert!(!lo.holds_token(p(0)), "token travels with the request");
+        // hi is outside the doorway → grants the fork (Action 7).
+        let mut m4 = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            &none(),
+            &mut m4,
+        );
+        assert_eq!(m4, vec![(p(1), DiningMsg::Fork)]);
+        assert!(!hi.holds_fork(p(1)));
+        assert!(hi.holds_token(p(1)), "token stays with the deferred granter");
+        // lo receives the fork → eats.
+        let mut m5 = Vec::new();
+        lo.handle(
+            DiningInput::Message { from: p(0), msg: DiningMsg::Fork },
+            &none(),
+            &mut m5,
+        );
+        assert_eq!(lo.state(), DinerState::Eating);
+        assert!(m5.is_empty());
+        // lo exits: no deferred requests, nothing to send.
+        let mut m6 = Vec::new();
+        lo.handle(DiningInput::DoneEating, &none(), &mut m6);
+        assert_eq!(lo.state(), DinerState::Thinking);
+        assert!(!lo.inside_doorway());
+        assert!(m6.is_empty());
+    }
+
+    #[test]
+    fn action7_defers_while_eating_and_grants_on_exit() {
+        let (mut hi, _lo) = pair();
+        // hi eats first (it holds the fork; the lone neighbor acks).
+        hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
+            &none(),
+            &mut Vec::new(),
+        );
+        assert_eq!(hi.state(), DinerState::Eating);
+        // A request arrives while eating: deferred (token retained).
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            &none(),
+            &mut out,
+        );
+        assert!(out.is_empty(), "eating processes defer fork requests");
+        assert!(hi.holds_token(p(1)) && hi.holds_fork(p(1)));
+        // Exit grants the deferred fork (Action 10, lines 32–33).
+        let mut out = Vec::new();
+        hi.handle(DiningInput::DoneEating, &none(), &mut out);
+        assert_eq!(out, vec![(p(1), DiningMsg::Fork)]);
+        assert!(!hi.holds_fork(p(1)));
+        assert!(hi.holds_token(p(1)));
+    }
+
+    #[test]
+    fn action7_priority_resolves_doorway_symmetry() {
+        // A hungry process inside the doorway grants fork requests from
+        // higher-color neighbors and defers those from lower-color ones —
+        // the paper's color-based symmetry breaking (line 23).
+        //
+        // Star around p0 (color 1), leaves p1 (color 0), p2 (color 2),
+        // p3 (color 3). Initially p0 holds fork(p1) and tokens for p2, p3.
+        let mut p0 = DiningProcess::new(p(0), 1, [(p(1), 0), (p(2), 2), (p(3), 3)]);
+        let mut out = Vec::new();
+        p0.handle(DiningInput::Hungry, &none(), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                (p(1), DiningMsg::Ping),
+                (p(2), DiningMsg::Ping),
+                (p(3), DiningMsg::Ping)
+            ]
+        );
+        // All three leaves (thinking) ack; p0 enters the doorway and spends
+        // both tokens requesting the missing forks.
+        let mut out = Vec::new();
+        for j in [1, 2, 3] {
+            p0.handle(
+                DiningInput::Message { from: p(j), msg: DiningMsg::Ack },
+                &none(),
+                &mut out,
+            );
+        }
+        assert!(p0.inside_doorway());
+        assert_eq!(p0.state(), DinerState::Hungry);
+        assert!(out.contains(&(p(2), DiningMsg::Request { color: 1 })));
+        assert!(out.contains(&(p(3), DiningMsg::Request { color: 1 })));
+        // p2 grants its fork; p3's is still missing, so p0 stays hungry
+        // inside the doorway holding fork(p1) and fork(p2).
+        p0.handle(
+            DiningInput::Message { from: p(2), msg: DiningMsg::Fork },
+            &none(),
+            &mut Vec::new(),
+        );
+        assert_eq!(p0.state(), DinerState::Hungry);
+        // Request from the HIGHER-color p2 (it got the token with p0's
+        // request): hungry insider with lower color must grant — and, since
+        // Action 6 is still enabled (token back, fork gone), immediately
+        // re-request the fork. This is the fork bouncing Lemma 2.3 talks
+        // about: "i may lose forks to its neighbors in High_i before i eats".
+        let mut out = Vec::new();
+        p0.handle(
+            DiningInput::Message { from: p(2), msg: DiningMsg::Request { color: 2 } },
+            &none(),
+            &mut out,
+        );
+        assert_eq!(
+            out,
+            vec![(p(2), DiningMsg::Fork), (p(2), DiningMsg::Request { color: 1 })]
+        );
+        assert!(!p0.holds_fork(p(2)));
+        // Request from the LOWER-color p1: hungry insider with higher color
+        // defers (token retained alongside the fork).
+        let mut out = Vec::new();
+        p0.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            &none(),
+            &mut out,
+        );
+        assert!(out.is_empty(), "higher-color hungry insider defers");
+        assert!(p0.holds_fork(p(1)) && p0.holds_token(p(1)));
+    }
+
+    #[test]
+    fn exit_sends_deferred_acks() {
+        let (mut hi, _) = pair();
+        hi.handle(DiningInput::Hungry, &sus(&[1]), &mut Vec::new());
+        assert_eq!(hi.state(), DinerState::Eating);
+        // Ping arrives while inside: deferred.
+        let mut out = Vec::new();
+        hi.handle(
+            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            &none(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert!(hi.deferring_ack(p(1)));
+        let mut out = Vec::new();
+        hi.handle(DiningInput::DoneEating, &none(), &mut out);
+        assert_eq!(out, vec![(p(1), DiningMsg::Ack)]);
+        assert!(!hi.deferring_ack(p(1)));
+    }
+
+    #[test]
+    fn state_bits_matches_paper_formula() {
+        let g = ekbd_graph::topology::star(9);
+        let colors = ekbd_graph::coloring::greedy(&g);
+        let hub = DiningProcess::from_graph(&g, &colors, p(0));
+        let leaf = DiningProcess::from_graph(&g, &colors, p(3));
+        // hub: δ = 8 ⇒ 2 + 1 + ⌈log₂ 9⌉ + 48 = 2 + 1 + 4 + 48 = 55.
+        assert_eq!(hub.state_bits(), 55);
+        // leaf: δ = 1 ⇒ 2 + 1 + 1 + 6 = 10.
+        assert_eq!(leaf.state_bits(), 10);
+    }
+
+    #[test]
+    fn from_graph_places_forks_by_color() {
+        let g = ekbd_graph::topology::ring(5);
+        let colors = ekbd_graph::coloring::greedy(&g);
+        for e in g.edges() {
+            let a = DiningProcess::from_graph(&g, &colors, e.lo);
+            let b = DiningProcess::from_graph(&g, &colors, e.hi);
+            let fork_count = a.holds_fork(e.hi) as u32 + b.holds_fork(e.lo) as u32;
+            let token_count = a.holds_token(e.hi) as u32 + b.holds_token(e.lo) as u32;
+            assert_eq!(fork_count, 1, "exactly one fork per edge");
+            assert_eq!(token_count, 1, "exactly one token per edge");
+            let holder = if a.holds_fork(e.hi) { &a } else { &b };
+            let other = if a.holds_fork(e.hi) { &b } else { &a };
+            assert!(holder.color() > other.color(), "fork starts at higher color");
+        }
+    }
+
+    #[test]
+    fn eating_ignores_suspicion_changes() {
+        let (mut hi, _) = pair();
+        hi.handle(DiningInput::Hungry, &sus(&[1]), &mut Vec::new());
+        assert_eq!(hi.state(), DinerState::Eating);
+        let mut out = Vec::new();
+        hi.handle(DiningInput::SuspicionChange, &none(), &mut out);
+        assert_eq!(hi.state(), DinerState::Eating, "eating is not revoked");
+        assert!(out.is_empty());
+    }
+}

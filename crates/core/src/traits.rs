@@ -1,0 +1,122 @@
+use ekbd_detector::SuspicionView;
+use ekbd_graph::ProcessId;
+use std::fmt;
+
+/// The dining phase of a process (Song & Pike §2): *thinking* (executing
+/// independently), *hungry* (requesting shared resources), or *eating*
+/// (inside the critical section).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DinerState {
+    /// Executing independently; may become hungry at any time.
+    Thinking,
+    /// Requesting shared resources; a *hungry session* lasts from becoming
+    /// hungry until scheduled to eat.
+    Hungry,
+    /// Using shared resources in the critical section; always finite for
+    /// correct processes.
+    Eating,
+}
+
+impl fmt::Display for DinerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DinerState::Thinking => "thinking",
+            DinerState::Hungry => "hungry",
+            DinerState::Eating => "eating",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Inputs to a [`DiningAlgorithm`].
+///
+/// `Hungry` and `DoneEating` are the environment actions (Action 1 and the
+/// trigger of Action 10 in Algorithm 1); the rest is transport and oracle
+/// plumbing.
+#[derive(Clone, Debug)]
+pub enum DiningInput<M> {
+    /// The application asks to be scheduled (legal only while thinking).
+    Hungry,
+    /// The application finished its critical section (legal only while
+    /// eating). Correct processes always eventually issue this.
+    DoneEating,
+    /// A dining-layer message arrived on the FIFO channel `from → self`.
+    Message {
+        /// The sender.
+        from: ProcessId,
+        /// The payload.
+        msg: M,
+    },
+    /// The local failure-detector output changed; oracle-guarded actions
+    /// must be re-evaluated.
+    SuspicionChange,
+}
+
+/// Scheduling-relevant transitions, emitted by hosts for the metrics layer.
+///
+/// Hosts derive these by diffing [`DiningAlgorithm::state`] and
+/// [`DiningAlgorithm::inside_doorway`] around each [`DiningAlgorithm::handle`]
+/// call, so algorithms cannot forget to report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiningObs {
+    /// Transitioned thinking → hungry.
+    BecameHungry,
+    /// Entered the doorway (Algorithm 1, Action 5).
+    EnteredDoorway,
+    /// Transitioned hungry → eating.
+    StartedEating,
+    /// Transitioned eating → thinking.
+    StoppedEating,
+    /// Left the doorway (Algorithm 1, Action 10).
+    ExitedDoorway,
+}
+
+/// A dining-philosophers algorithm as a pure, runtime-agnostic state
+/// machine.
+///
+/// Implementations receive [`DiningInput`]s, may consult the local failure
+/// detector through the supplied [`SuspicionView`], and append outgoing
+/// messages to `sends`. All the algorithms in this workspace — Algorithm 1
+/// ([`DiningProcess`](crate::DiningProcess)) and every baseline — implement
+/// this trait, so harnesses, metrics, examples, and benchmarks are shared.
+pub trait DiningAlgorithm {
+    /// The algorithm's wire-message type.
+    type Msg: Clone + fmt::Debug;
+
+    /// This process's id.
+    fn id(&self) -> ProcessId;
+
+    /// Handles one input, appending outgoing `(destination, message)` pairs
+    /// to `sends`.
+    fn handle(
+        &mut self,
+        input: DiningInput<Self::Msg>,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, Self::Msg)>,
+    );
+
+    /// Current dining phase.
+    fn state(&self) -> DinerState;
+
+    /// Whether the process is inside the doorway (always `false` for
+    /// algorithms without one).
+    fn inside_doorway(&self) -> bool {
+        false
+    }
+
+    /// Size of the per-process protocol state in bits, as accounted in the
+    /// paper's §7 space analysis (`log₂(δ) + 6δ + c` for Algorithm 1).
+    fn state_bits(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diner_state_displays() {
+        assert_eq!(DinerState::Thinking.to_string(), "thinking");
+        assert_eq!(DinerState::Hungry.to_string(), "hungry");
+        assert_eq!(DinerState::Eating.to_string(), "eating");
+    }
+}

@@ -1,0 +1,320 @@
+use crate::module::{DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, SuspicionView};
+use ekbd_sim::{Duration, ProcessId, Time};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning knobs of the [`HeartbeatDetector`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// How often heartbeats are sent and timeouts checked.
+    pub period: Duration,
+    /// Initial per-neighbor timeout.
+    pub initial_timeout: Duration,
+    /// How much a neighbor's timeout grows after each false suspicion.
+    pub timeout_increment: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            period: 10,
+            initial_timeout: 30,
+            timeout_increment: 20,
+        }
+    }
+}
+
+/// The classic heartbeat + adaptive-timeout implementation of ◇P₁
+/// (Chandra & Toueg 1996; Dwork–Lynch–Stockmeyer partial synchrony).
+///
+/// Every `period` ticks the module sends [`DetectorMsg::Heartbeat`] to each
+/// monitored neighbor and suspects any neighbor not heard from within its
+/// current timeout. When a heartbeat arrives from a suspected neighbor the
+/// suspicion is withdrawn — a false positive — and that neighbor's timeout
+/// is increased by `timeout_increment`.
+///
+/// Why this is ◇P₁ under the simulator's GST delay model:
+///
+/// * **Local strong completeness.** A crashed neighbor sends no further
+///   heartbeats, so its silence gap grows without bound, it gets suspected,
+///   and — since no heartbeat can ever withdraw the suspicion — remains
+///   suspected permanently.
+/// * **Local eventual strong accuracy.** After GST every delay is ≤ Δ, so
+///   consecutive heartbeats from a correct neighbor arrive at most
+///   `period + Δ` apart. Each false suspicion grows the timeout by a fixed
+///   increment, so after finitely many mistakes the timeout exceeds
+///   `period + Δ` and no correct neighbor is ever suspected again.
+#[derive(Clone, Debug)]
+pub struct HeartbeatDetector {
+    cfg: HeartbeatConfig,
+    neighbors: Vec<ProcessId>,
+    last_heard: BTreeMap<ProcessId, Time>,
+    timeout: BTreeMap<ProcessId, Duration>,
+    suspects: BTreeSet<ProcessId>,
+    /// Count of withdrawn suspicions (false positives), per neighbor.
+    false_positives: BTreeMap<ProcessId, u64>,
+}
+
+/// The single timer tag used by the heartbeat detector.
+const HB_TIMER_TAG: u64 = 1;
+
+impl HeartbeatDetector {
+    /// Creates a detector monitoring `neighbors`.
+    pub fn new(cfg: HeartbeatConfig, neighbors: impl IntoIterator<Item = ProcessId>) -> Self {
+        let neighbors: Vec<ProcessId> = neighbors.into_iter().collect();
+        let timeout = neighbors
+            .iter()
+            .map(|&q| (q, cfg.initial_timeout.max(1)))
+            .collect();
+        HeartbeatDetector {
+            cfg,
+            neighbors,
+            last_heard: BTreeMap::new(),
+            timeout,
+            suspects: BTreeSet::new(),
+            false_positives: BTreeMap::new(),
+        }
+    }
+
+    /// Total false positives (suspicions later withdrawn) so far.
+    pub fn total_false_positives(&self) -> u64 {
+        self.false_positives.values().sum()
+    }
+
+    /// The current timeout for `q`, if monitored.
+    pub fn timeout_of(&self, q: ProcessId) -> Option<Duration> {
+        self.timeout.get(&q).copied()
+    }
+
+    fn beat(&mut self, out: &mut DetectorOutput) {
+        for &q in &self.neighbors {
+            out.sends.push((q, DetectorMsg::Heartbeat));
+        }
+        out.timers.push((self.cfg.period.max(1), HB_TIMER_TAG));
+    }
+
+    fn check(&mut self, now: Time, out: &mut DetectorOutput) {
+        for &q in &self.neighbors {
+            let heard = self.last_heard.get(&q).copied().unwrap_or(Time::ZERO);
+            let quiet = now.since(heard);
+            if quiet > self.timeout[&q] && self.suspects.insert(q) {
+                out.changed = true;
+            }
+        }
+    }
+}
+
+impl SuspicionView for HeartbeatDetector {
+    fn suspects(&self, q: ProcessId) -> bool {
+        self.suspects.contains(&q)
+    }
+}
+
+impl DetectorModule for HeartbeatDetector {
+    fn handle(&mut self, ev: DetectorEvent, out: &mut DetectorOutput) {
+        match ev {
+            DetectorEvent::Start { now } => {
+                // Grace period: treat everyone as heard-from at start.
+                for &q in &self.neighbors.clone() {
+                    self.last_heard.insert(q, now);
+                }
+                self.beat(out);
+            }
+            DetectorEvent::Timer {
+                now,
+                tag: HB_TIMER_TAG,
+            } => {
+                self.beat(out);
+                self.check(now, out);
+            }
+            DetectorEvent::Timer { .. } => {}
+            DetectorEvent::Message {
+                from,
+                msg: DetectorMsg::Probe,
+                ..
+            } => {
+                // A pull-based peer is asking: answer so mixed deployments
+                // stay safe.
+                out.sends.push((from, DetectorMsg::Echo));
+            }
+            DetectorEvent::Message {
+                now,
+                from,
+                msg: DetectorMsg::Heartbeat | DetectorMsg::Echo,
+            } => {
+                self.last_heard.insert(from, now);
+                if self.suspects.remove(&from) {
+                    // False positive: withdraw and adapt.
+                    out.changed = true;
+                    *self.false_positives.entry(from).or_insert(0) += 1;
+                    if let Some(t) = self.timeout.get_mut(&from) {
+                        *t = t.saturating_add(self.cfg.timeout_increment);
+                    }
+                }
+            }
+        }
+    }
+
+    fn suspect_set(&self) -> BTreeSet<ProcessId> {
+        self.suspects.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    fn cfg() -> HeartbeatConfig {
+        HeartbeatConfig {
+            period: 10,
+            initial_timeout: 25,
+            timeout_increment: 15,
+        }
+    }
+
+    #[test]
+    fn start_sends_heartbeats_and_sets_timer() {
+        let mut d = HeartbeatDetector::new(cfg(), [p(1), p(2)]);
+        let mut out = DetectorOutput::new();
+        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut out);
+        assert_eq!(
+            out.sends,
+            vec![(p(1), DetectorMsg::Heartbeat), (p(2), DetectorMsg::Heartbeat)]
+        );
+        assert_eq!(out.timers, vec![(10, HB_TIMER_TAG)]);
+        assert!(!out.changed);
+    }
+
+    #[test]
+    fn silence_leads_to_suspicion() {
+        let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
+        let mut out = DetectorOutput::new();
+        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut out);
+        // Quiet gap of 30 > timeout 25 → suspect.
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(30),
+                tag: HB_TIMER_TAG,
+            },
+            &mut out,
+        );
+        assert!(out.changed);
+        assert!(d.suspects(p(1)));
+    }
+
+    #[test]
+    fn heartbeat_withdraws_suspicion_and_adapts_timeout() {
+        let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
+        let mut out = DetectorOutput::new();
+        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut out);
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(30),
+                tag: HB_TIMER_TAG,
+            },
+            &mut DetectorOutput::new(),
+        );
+        assert!(d.suspects(p(1)));
+        assert_eq!(d.timeout_of(p(1)), Some(25));
+
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Message {
+                now: Time(31),
+                from: p(1),
+                msg: DetectorMsg::Heartbeat,
+            },
+            &mut out,
+        );
+        assert!(out.changed);
+        assert!(!d.suspects(p(1)));
+        assert_eq!(d.timeout_of(p(1)), Some(40), "timeout grew by increment");
+        assert_eq!(d.total_false_positives(), 1);
+    }
+
+    #[test]
+    fn crashed_neighbor_stays_suspected() {
+        let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
+        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        for t in (10..500).step_by(10) {
+            d.handle(
+                DetectorEvent::Timer {
+                    now: Time(t),
+                    tag: HB_TIMER_TAG,
+                },
+                &mut DetectorOutput::new(),
+            );
+        }
+        assert!(d.suspects(p(1)));
+        assert_eq!(d.total_false_positives(), 0, "never withdrawn");
+    }
+
+    #[test]
+    fn regular_heartbeats_prevent_suspicion() {
+        let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
+        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        for t in (5..300).step_by(10) {
+            d.handle(
+                DetectorEvent::Message {
+                    now: Time(t),
+                    from: p(1),
+                    msg: DetectorMsg::Heartbeat,
+                },
+                &mut DetectorOutput::new(),
+            );
+            d.handle(
+                DetectorEvent::Timer {
+                    now: Time(t + 5),
+                    tag: HB_TIMER_TAG,
+                },
+                &mut DetectorOutput::new(),
+            );
+        }
+        assert!(d.suspect_set().is_empty());
+    }
+
+    #[test]
+    fn timeout_growth_eventually_tolerates_any_fixed_gap() {
+        // Simulate a neighbor whose heartbeats arrive every 60 ticks while
+        // the timeout starts at 25: suspicion flaps at first, then the
+        // adaptive timeout exceeds 60 and accuracy holds thereafter.
+        let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
+        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        let mut last_fp_at = None;
+        for t in 1..2_000u64 {
+            if t % 10 == 0 {
+                d.handle(
+                    DetectorEvent::Timer {
+                        now: Time(t),
+                        tag: HB_TIMER_TAG,
+                    },
+                    &mut DetectorOutput::new(),
+                );
+            }
+            if t % 60 == 0 {
+                let before = d.total_false_positives();
+                d.handle(
+                    DetectorEvent::Message {
+                        now: Time(t),
+                        from: p(1),
+                        msg: DetectorMsg::Heartbeat,
+                    },
+                    &mut DetectorOutput::new(),
+                );
+                if d.total_false_positives() > before {
+                    last_fp_at = Some(t);
+                }
+            }
+        }
+        let fp = d.total_false_positives();
+        assert!(fp >= 1, "initial timeout is too small, flaps expected");
+        assert!(fp <= 4, "adaptation must stop the flapping, saw {fp}");
+        assert!(d.timeout_of(p(1)).unwrap() > 60);
+        assert!(last_fp_at.unwrap() < 500, "accuracy holds in the suffix");
+        assert!(!d.suspects(p(1)));
+    }
+}

@@ -1,0 +1,113 @@
+use ekbd_sim::{Duration, ProcessId, Time};
+use std::collections::BTreeSet;
+
+/// Wire messages exchanged by failure-detector modules.
+///
+/// Only the heartbeat implementation actually sends anything; oracles are
+/// silent. Keeping the type shared lets host processes multiplex detector
+/// traffic next to application traffic with a single envelope enum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetectorMsg {
+    /// "I am alive" — periodic push heartbeat.
+    Heartbeat,
+    /// "Are you alive?" — pull-based liveness query.
+    Probe,
+    /// "Yes" — the answer to a [`DetectorMsg::Probe`].
+    Echo,
+}
+
+/// Inputs to a [`DetectorModule`], delivered by the host process.
+#[derive(Clone, Copy, Debug)]
+pub enum DetectorEvent {
+    /// Delivered once before anything else.
+    Start {
+        /// Current time.
+        now: Time,
+    },
+    /// A detector timer (set through [`DetectorOutput::timers`]) fired.
+    Timer {
+        /// Current time.
+        now: Time,
+        /// The tag given when the timer was set.
+        tag: u64,
+    },
+    /// A detector message arrived.
+    Message {
+        /// Current time.
+        now: Time,
+        /// The sender.
+        from: ProcessId,
+        /// The payload.
+        msg: DetectorMsg,
+    },
+}
+
+/// Effects requested by a [`DetectorModule`] in response to an event.
+#[derive(Debug, Default)]
+pub struct DetectorOutput {
+    /// Messages to send.
+    pub sends: Vec<(ProcessId, DetectorMsg)>,
+    /// Timers to set, as `(delay, tag)`; redelivered as
+    /// [`DetectorEvent::Timer`].
+    pub timers: Vec<(Duration, u64)>,
+    /// Whether the suspect set changed while handling this event. Hosts use
+    /// this to re-evaluate guards that mention the detector (Actions 5 and 9
+    /// of Algorithm 1 are guarded on `j ∈ ◇P₁`).
+    pub changed: bool,
+}
+
+impl DetectorOutput {
+    /// An output with no effects.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A read-only view of a suspect set, as consumed by the dining layer.
+///
+/// Algorithm 1 queries its local ◇P₁ module in the guards of Actions 5
+/// (enter the doorway) and 9 (eat); this trait is exactly that query.
+pub trait SuspicionView {
+    /// Whether `q` is currently suspected.
+    fn suspects(&self, q: ProcessId) -> bool;
+}
+
+impl SuspicionView for BTreeSet<ProcessId> {
+    fn suspects(&self, q: ProcessId) -> bool {
+        self.contains(&q)
+    }
+}
+
+/// A failure-detector module: a pure state machine hosted inside a process.
+///
+/// The host forwards [`DetectorEvent`]s, applies the requested
+/// [`DetectorOutput`] effects, and consults [`DetectorModule::suspects`]
+/// whenever the application layer evaluates an oracle-guarded action.
+pub trait DetectorModule: SuspicionView {
+    /// Handles one event, accumulating effects into `out`.
+    fn handle(&mut self, ev: DetectorEvent, out: &mut DetectorOutput);
+
+    /// Snapshot of the current suspect set (sorted).
+    fn suspect_set(&self) -> BTreeSet<ProcessId>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btreeset_is_a_suspicion_view() {
+        let mut s = BTreeSet::new();
+        s.insert(ProcessId(3));
+        assert!(s.suspects(ProcessId(3)));
+        assert!(!s.suspects(ProcessId(1)));
+    }
+
+    #[test]
+    fn default_output_is_empty() {
+        let out = DetectorOutput::new();
+        assert!(out.sends.is_empty());
+        assert!(out.timers.is_empty());
+        assert!(!out.changed);
+    }
+}

@@ -1,0 +1,254 @@
+use crate::module::{DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, SuspicionView};
+use ekbd_sim::{Duration, ProcessId, Time};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning knobs of the [`ProbeDetector`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// How often probes are sent and timeouts checked.
+    pub period: Duration,
+    /// Initial per-neighbor round-trip timeout.
+    pub initial_timeout: Duration,
+    /// Timeout growth after each false suspicion.
+    pub timeout_increment: Duration,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            period: 10,
+            initial_timeout: 40,
+            timeout_increment: 25,
+        }
+    }
+}
+
+/// A *pull-based* ◇P₁: periodic probe/echo round trips with adaptive
+/// timeouts (the Chen–Toueg style alternative to push heartbeats).
+///
+/// Every `period` the module probes each monitored neighbor; a live
+/// neighbor echoes immediately. A neighbor whose last echo is older than
+/// its timeout is suspected; an echo from a suspected neighbor withdraws
+/// the suspicion (a false positive) and grows that neighbor's timeout.
+///
+/// Compared to [`HeartbeatDetector`](crate::HeartbeatDetector):
+///
+/// * twice the messages (probe + echo per round trip) — but monitoring is
+///   *demand-driven*: only processes that monitor cause traffic;
+/// * the adaptive timeout covers a full round trip (2Δ after GST), so
+///   detection latency and the false-positive/latency trade-off sit at
+///   roughly twice the one-way figures. Experiment E11 compares both.
+///
+/// The ◇P₁ argument mirrors the heartbeat case: a crashed neighbor never
+/// echoes again (completeness), and after GST round trips are bounded by
+/// `period + 2Δ`, so finitely many timeout bumps end the false positives
+/// (eventual accuracy).
+#[derive(Clone, Debug)]
+pub struct ProbeDetector {
+    cfg: ProbeConfig,
+    neighbors: Vec<ProcessId>,
+    last_echo: BTreeMap<ProcessId, Time>,
+    timeout: BTreeMap<ProcessId, Duration>,
+    suspects: BTreeSet<ProcessId>,
+    false_positives: u64,
+}
+
+/// The single timer tag used by the probe detector.
+const PROBE_TIMER_TAG: u64 = 2;
+
+impl ProbeDetector {
+    /// Creates a detector monitoring `neighbors`.
+    pub fn new(cfg: ProbeConfig, neighbors: impl IntoIterator<Item = ProcessId>) -> Self {
+        let neighbors: Vec<ProcessId> = neighbors.into_iter().collect();
+        let timeout = neighbors
+            .iter()
+            .map(|&q| (q, cfg.initial_timeout.max(1)))
+            .collect();
+        ProbeDetector {
+            cfg,
+            neighbors,
+            last_echo: BTreeMap::new(),
+            timeout,
+            suspects: BTreeSet::new(),
+            false_positives: 0,
+        }
+    }
+
+    /// Withdrawn suspicions so far.
+    pub fn total_false_positives(&self) -> u64 {
+        self.false_positives
+    }
+
+    fn probe_round(&mut self, now: Time, out: &mut DetectorOutput) {
+        for &q in &self.neighbors {
+            out.sends.push((q, DetectorMsg::Probe));
+            let heard = self.last_echo.get(&q).copied().unwrap_or(Time::ZERO);
+            if now.since(heard) > self.timeout[&q] && self.suspects.insert(q) {
+                out.changed = true;
+            }
+        }
+        out.timers.push((self.cfg.period.max(1), PROBE_TIMER_TAG));
+    }
+}
+
+impl SuspicionView for ProbeDetector {
+    fn suspects(&self, q: ProcessId) -> bool {
+        self.suspects.contains(&q)
+    }
+}
+
+impl DetectorModule for ProbeDetector {
+    fn handle(&mut self, ev: DetectorEvent, out: &mut DetectorOutput) {
+        match ev {
+            DetectorEvent::Start { now } => {
+                for &q in &self.neighbors.clone() {
+                    self.last_echo.insert(q, now); // start-up grace
+                }
+                // First round goes out immediately; no timeout checks yet.
+                for &q in &self.neighbors {
+                    out.sends.push((q, DetectorMsg::Probe));
+                }
+                out.timers.push((self.cfg.period.max(1), PROBE_TIMER_TAG));
+            }
+            DetectorEvent::Timer {
+                now,
+                tag: PROBE_TIMER_TAG,
+            } => self.probe_round(now, out),
+            DetectorEvent::Timer { .. } => {}
+            DetectorEvent::Message {
+                from,
+                msg: DetectorMsg::Probe,
+                ..
+            } => {
+                // Answer on the monitored side, whatever detector we are.
+                out.sends.push((from, DetectorMsg::Echo));
+            }
+            DetectorEvent::Message {
+                now,
+                from,
+                msg: DetectorMsg::Echo,
+            } => {
+                self.last_echo.insert(from, now);
+                if self.suspects.remove(&from) {
+                    out.changed = true;
+                    self.false_positives += 1;
+                    if let Some(t) = self.timeout.get_mut(&from) {
+                        *t = t.saturating_add(self.cfg.timeout_increment);
+                    }
+                }
+            }
+            DetectorEvent::Message {
+                msg: DetectorMsg::Heartbeat,
+                ..
+            } => {} // push traffic from a foreign detector: ignore
+        }
+    }
+
+    fn suspect_set(&self) -> BTreeSet<ProcessId> {
+        self.suspects.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    fn cfg() -> ProbeConfig {
+        ProbeConfig {
+            period: 10,
+            initial_timeout: 25,
+            timeout_increment: 15,
+        }
+    }
+
+    #[test]
+    fn start_probes_everyone() {
+        let mut d = ProbeDetector::new(cfg(), [p(1), p(2)]);
+        let mut out = DetectorOutput::new();
+        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut out);
+        assert_eq!(
+            out.sends,
+            vec![(p(1), DetectorMsg::Probe), (p(2), DetectorMsg::Probe)]
+        );
+        assert_eq!(out.timers, vec![(10, PROBE_TIMER_TAG)]);
+    }
+
+    #[test]
+    fn probes_are_echoed() {
+        let mut d = ProbeDetector::new(cfg(), [p(1)]);
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Message {
+                now: Time(5),
+                from: p(1),
+                msg: DetectorMsg::Probe,
+            },
+            &mut out,
+        );
+        assert_eq!(out.sends, vec![(p(1), DetectorMsg::Echo)]);
+    }
+
+    #[test]
+    fn silence_is_suspected_echo_withdraws_and_adapts() {
+        let mut d = ProbeDetector::new(cfg(), [p(1)]);
+        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(30),
+                tag: PROBE_TIMER_TAG,
+            },
+            &mut out,
+        );
+        assert!(out.changed);
+        assert!(d.suspects(p(1)));
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Message {
+                now: Time(31),
+                from: p(1),
+                msg: DetectorMsg::Echo,
+            },
+            &mut out,
+        );
+        assert!(out.changed);
+        assert!(!d.suspects(p(1)));
+        assert_eq!(d.total_false_positives(), 1);
+    }
+
+    #[test]
+    fn crashed_neighbor_stays_suspected_forever() {
+        let mut d = ProbeDetector::new(cfg(), [p(1)]);
+        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        for t in (10..400).step_by(10) {
+            d.handle(
+                DetectorEvent::Timer {
+                    now: Time(t),
+                    tag: PROBE_TIMER_TAG,
+                },
+                &mut DetectorOutput::new(),
+            );
+        }
+        assert!(d.suspects(p(1)));
+        assert_eq!(d.total_false_positives(), 0);
+    }
+
+    #[test]
+    fn foreign_heartbeats_are_ignored() {
+        let mut d = ProbeDetector::new(cfg(), [p(1)]);
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Message {
+                now: Time(5),
+                from: p(1),
+                msg: DetectorMsg::Heartbeat,
+            },
+            &mut out,
+        );
+        assert!(out.sends.is_empty() && !out.changed);
+    }
+}

@@ -1,0 +1,310 @@
+use crate::module::{DetectorEvent, DetectorModule, DetectorOutput, SuspicionView};
+use ekbd_sim::{ProcessId, Time};
+use std::collections::BTreeSet;
+
+/// One step of a suspicion script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuspicionChange {
+    /// When the change takes effect.
+    pub at: Time,
+    /// The process whose suspicion status changes.
+    pub target: ProcessId,
+    /// `true` to start suspecting, `false` to stop.
+    pub suspect: bool,
+}
+
+/// A deterministic oracle replaying a fixed suspicion history.
+///
+/// A scripted oracle is the adversary's tool: tests hand it worst-case
+/// pre-convergence behaviour — mutual false suspicions between correct
+/// neighbors, arbitrarily late convergence — and the algorithm must still
+/// deliver all its properties. As long as the script (a) eventually and
+/// permanently suspects all crashed neighbors and (b) stops suspecting
+/// correct neighbors after some point, it is a legal ◇P₁ history.
+///
+/// The oracle asks its host for a timer at every script transition, so the
+/// host can re-evaluate oracle-guarded actions exactly when the suspect set
+/// changes.
+#[derive(Clone, Debug)]
+pub struct ScriptedOracle {
+    script: Vec<SuspicionChange>,
+    applied: usize,
+    now: Time,
+    suspects: BTreeSet<ProcessId>,
+}
+
+/// Detector timers use this tag; hosts namespace detector tags separately
+/// from their own, so the concrete value only needs to be stable.
+const SCRIPT_TIMER_TAG: u64 = 0;
+
+impl ScriptedOracle {
+    /// Creates an oracle from a script. Changes are sorted by time; equal
+    /// times apply in the order given.
+    pub fn new(mut script: Vec<SuspicionChange>) -> Self {
+        script.sort_by_key(|c| c.at);
+        ScriptedOracle {
+            script,
+            applied: 0,
+            now: Time::ZERO,
+            suspects: BTreeSet::new(),
+        }
+    }
+
+    /// An oracle that never suspects anyone (a legal ◇P₁ history in runs
+    /// where no monitored neighbor crashes).
+    pub fn silent() -> Self {
+        Self::new(Vec::new())
+    }
+
+    /// The *perfect* detector `P` for a known crash schedule: suspects
+    /// exactly the crashed neighbors, each exactly from its crash time,
+    /// forever. Zero false positives, zero detection latency.
+    pub fn perfect(crashes: impl IntoIterator<Item = (ProcessId, Time)>) -> Self {
+        Self::new(
+            crashes
+                .into_iter()
+                .map(|(target, at)| SuspicionChange {
+                    at,
+                    target,
+                    suspect: true,
+                })
+                .collect(),
+        )
+    }
+
+    /// A worst-case-but-legal ◇P₁ history: falsely suspect every process in
+    /// `neighbors` during `[0, converge_at)` in alternating on/off bursts of
+    /// `burst` ticks, then converge (suspect exactly the crashed from their
+    /// crash times, or immediately if they crashed before `converge_at`).
+    pub fn adversarial(
+        neighbors: &[ProcessId],
+        converge_at: Time,
+        burst: u64,
+        crashes: &[(ProcessId, Time)],
+    ) -> Self {
+        let mut script = Vec::new();
+        let burst = burst.max(1);
+        for &q in neighbors {
+            let mut t = Time::ZERO;
+            let mut on = true;
+            while t < converge_at {
+                script.push(SuspicionChange {
+                    at: t,
+                    target: q,
+                    suspect: on,
+                });
+                on = !on;
+                t = t + burst;
+            }
+            // At convergence, clear any lingering false suspicion…
+            script.push(SuspicionChange {
+                at: converge_at,
+                target: q,
+                suspect: false,
+            });
+        }
+        // …then (re)establish permanent suspicion of the actually crashed.
+        for &(q, at) in crashes {
+            script.push(SuspicionChange {
+                at: at.max(converge_at),
+                target: q,
+                suspect: true,
+            });
+        }
+        Self::new(script)
+    }
+
+    /// Advances the oracle's clock, applying due script entries. Returns
+    /// whether the suspect set changed.
+    fn advance(&mut self, now: Time) -> bool {
+        self.now = self.now.max(now);
+        let mut changed = false;
+        while self.applied < self.script.len() && self.script[self.applied].at <= self.now {
+            let c = self.script[self.applied];
+            self.applied += 1;
+            let did = if c.suspect {
+                self.suspects.insert(c.target)
+            } else {
+                self.suspects.remove(&c.target)
+            };
+            changed |= did;
+        }
+        changed
+    }
+
+    /// Requests a wake-up timer for the next pending script entry, if any.
+    fn request_next_wakeup(&self, now: Time, out: &mut DetectorOutput) {
+        if let Some(next) = self.script.get(self.applied) {
+            let delay = next.at.since(now).max(1);
+            out.timers.push((delay, SCRIPT_TIMER_TAG));
+        }
+    }
+}
+
+impl SuspicionView for ScriptedOracle {
+    fn suspects(&self, q: ProcessId) -> bool {
+        self.suspects.contains(&q)
+    }
+}
+
+impl DetectorModule for ScriptedOracle {
+    fn handle(&mut self, ev: DetectorEvent, out: &mut DetectorOutput) {
+        match ev {
+            DetectorEvent::Start { now } | DetectorEvent::Timer { now, .. } => {
+                out.changed |= self.advance(now);
+                self.request_next_wakeup(now, out);
+            }
+            DetectorEvent::Message { now, .. } => {
+                // Oracles ignore network traffic but still track time.
+                out.changed |= self.advance(now);
+            }
+        }
+    }
+
+    fn suspect_set(&self) -> BTreeSet<ProcessId> {
+        self.suspects.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    fn drive_to(oracle: &mut ScriptedOracle, t: u64) -> DetectorOutput {
+        let mut out = DetectorOutput::new();
+        oracle.handle(
+            DetectorEvent::Timer {
+                now: Time(t),
+                tag: 0,
+            },
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn replays_script_in_time_order() {
+        let mut o = ScriptedOracle::new(vec![
+            SuspicionChange {
+                at: Time(10),
+                target: p(1),
+                suspect: true,
+            },
+            SuspicionChange {
+                at: Time(5),
+                target: p(2),
+                suspect: true,
+            },
+            SuspicionChange {
+                at: Time(20),
+                target: p(1),
+                suspect: false,
+            },
+        ]);
+        let mut out = DetectorOutput::new();
+        o.handle(DetectorEvent::Start { now: Time::ZERO }, &mut out);
+        assert!(!out.changed);
+        assert_eq!(out.timers.len(), 1, "wakeup for the first change");
+
+        let out = drive_to(&mut o, 5);
+        assert!(out.changed);
+        assert!(o.suspects(p(2)) && !o.suspects(p(1)));
+
+        let out = drive_to(&mut o, 15);
+        assert!(out.changed);
+        assert!(o.suspects(p(1)));
+
+        let out = drive_to(&mut o, 25);
+        assert!(out.changed);
+        assert!(!o.suspects(p(1)));
+        assert!(o.suspects(p(2)));
+        assert_eq!(o.suspect_set(), BTreeSet::from([p(2)]));
+    }
+
+    #[test]
+    fn silent_oracle_never_suspects() {
+        let mut o = ScriptedOracle::silent();
+        let out = drive_to(&mut o, 1_000_000);
+        assert!(!out.changed);
+        assert!(o.suspect_set().is_empty());
+    }
+
+    #[test]
+    fn perfect_oracle_tracks_crashes_exactly() {
+        let mut o = ScriptedOracle::perfect([(p(3), Time(50)), (p(1), Time(10))]);
+        drive_to(&mut o, 9);
+        assert!(o.suspect_set().is_empty());
+        drive_to(&mut o, 10);
+        assert_eq!(o.suspect_set(), BTreeSet::from([p(1)]));
+        drive_to(&mut o, 100);
+        assert_eq!(o.suspect_set(), BTreeSet::from([p(1), p(3)]));
+    }
+
+    #[test]
+    fn redundant_changes_do_not_report_changed() {
+        let mut o = ScriptedOracle::new(vec![
+            SuspicionChange {
+                at: Time(5),
+                target: p(1),
+                suspect: false, // already unsuspected
+            },
+        ]);
+        let out = drive_to(&mut o, 6);
+        assert!(!out.changed);
+    }
+
+    #[test]
+    fn adversarial_is_a_legal_diamond_p_history() {
+        let neighbors = [p(1), p(2)];
+        let crashes = [(p(2), Time(30))];
+        let mut o = ScriptedOracle::adversarial(&neighbors, Time(100), 7, &crashes);
+        // Pre-convergence: suspicion flaps.
+        let mut ever_suspected_p1 = false;
+        for t in 0..100 {
+            drive_to(&mut o, t);
+            ever_suspected_p1 |= o.suspects(p(1));
+        }
+        assert!(ever_suspected_p1, "false positives expected before GST");
+        // Post-convergence: exactly the crashed are suspected, permanently.
+        for t in 100..200 {
+            drive_to(&mut o, t);
+            assert_eq!(o.suspect_set(), BTreeSet::from([p(2)]), "at t={t}");
+        }
+    }
+
+    #[test]
+    fn wakeups_cover_every_transition() {
+        // The host that faithfully sets each requested timer observes every
+        // scripted change no later than the tick it becomes due.
+        let mut o = ScriptedOracle::new(vec![
+            SuspicionChange {
+                at: Time(3),
+                target: p(1),
+                suspect: true,
+            },
+            SuspicionChange {
+                at: Time(8),
+                target: p(1),
+                suspect: false,
+            },
+        ]);
+        let mut out = DetectorOutput::new();
+        o.handle(DetectorEvent::Start { now: Time::ZERO }, &mut out);
+        let mut now = Time::ZERO;
+        let mut changes = 0;
+        let mut pending = out.timers;
+        while let Some((delay, tag)) = pending.pop() {
+            now = now + delay;
+            let mut out = DetectorOutput::new();
+            o.handle(DetectorEvent::Timer { now, tag }, &mut out);
+            changes += out.changed as u32;
+            pending.extend(out.timers);
+        }
+        assert_eq!(changes, 2);
+        assert!(o.suspect_set().is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+use std::fmt;
+
+/// Identifier of a process (diner) in the conflict graph.
+///
+/// Process ids are dense indices `0..n` assigned at graph construction;
+/// they double as vector indices throughout the workspace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Returns the id as a `usize` suitable for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(v: usize) -> Self {
+        ProcessId(u32::try_from(v).expect("process id exceeds u32::MAX"))
+    }
+}
+
+/// An undirected edge of the conflict graph, stored in canonical
+/// (smaller-endpoint-first) order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge {
+    /// The endpoint with the smaller process id.
+    pub lo: ProcessId,
+    /// The endpoint with the larger process id.
+    pub hi: ProcessId,
+}
+
+impl Edge {
+    /// Creates the canonical edge between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (the conflict graph has no self-loops).
+    pub fn new(a: ProcessId, b: ProcessId) -> Self {
+        assert!(a != b, "conflict graph has no self-loops");
+        if a < b {
+            Edge { lo: a, hi: b }
+        } else {
+            Edge { lo: b, hi: a }
+        }
+    }
+
+    /// Returns the endpoint opposite to `p`, or `None` if `p` is not an
+    /// endpoint of this edge.
+    pub fn other(&self, p: ProcessId) -> Option<ProcessId> {
+        if p == self.lo {
+            Some(self.hi)
+        } else if p == self.hi {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+}
+
+/// Errors produced when constructing a [`ConflictGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a vertex outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: ProcessId,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// An edge connected a vertex to itself.
+    SelfLoop(ProcessId),
+    /// The same edge appeared twice.
+    DuplicateEdge(Edge),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph of {n} vertices")
+            }
+            GraphError::SelfLoop(p) => write!(f, "self-loop at {p}"),
+            GraphError::DuplicateEdge(e) => write!(f, "duplicate edge {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable undirected conflict graph over processes `0..n`.
+///
+/// Neighbor lists are kept sorted, and edges are deduplicated and
+/// validated at construction, so downstream code can rely on canonical
+/// iteration order — essential for deterministic simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConflictGraph {
+    n: usize,
+    adjacency: Vec<Vec<ProcessId>>,
+    edges: Vec<Edge>,
+}
+
+impl ConflictGraph {
+    /// Builds a conflict graph over `n` vertices from an edge list.
+    ///
+    /// Edges may be given in either orientation; they are canonicalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an edge is out of range, a self-loop, or
+    /// a duplicate.
+    pub fn new(
+        n: usize,
+        edge_list: impl IntoIterator<Item = (ProcessId, ProcessId)>,
+    ) -> Result<Self, GraphError> {
+        let mut edges = Vec::new();
+        for (a, b) in edge_list {
+            if a == b {
+                return Err(GraphError::SelfLoop(a));
+            }
+            for v in [a, b] {
+                if v.index() >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: v, n });
+                }
+            }
+            edges.push(Edge::new(a, b));
+        }
+        edges.sort_unstable();
+        if let Some(w) = edges.windows(2).find(|w| w[0] == w[1]) {
+            return Err(GraphError::DuplicateEdge(w[0]));
+        }
+        let mut adjacency = vec![Vec::new(); n];
+        for e in &edges {
+            adjacency[e.lo.index()].push(e.hi);
+            adjacency[e.hi.index()].push(e.lo);
+        }
+        for nbrs in &mut adjacency {
+            nbrs.sort_unstable();
+        }
+        Ok(ConflictGraph { n, adjacency, edges })
+    }
+
+    /// Builds a graph from `usize` pairs; convenience for literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid edges; use [`ConflictGraph::new`] for fallible
+    /// construction.
+    pub fn from_pairs(n: usize, pairs: &[(usize, usize)]) -> Self {
+        Self::new(
+            n,
+            pairs
+                .iter()
+                .map(|&(a, b)| (ProcessId::from(a), ProcessId::from(b))),
+        )
+        .expect("invalid edge list")
+    }
+
+    /// Number of vertices (processes).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All canonical edges in sorted order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Sorted neighbor list of `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn neighbors(&self, p: ProcessId) -> &[ProcessId] {
+        &self.adjacency[p.index()]
+    }
+
+    /// Degree of `p`.
+    pub fn degree(&self, p: ProcessId) -> usize {
+        self.adjacency[p.index()].len()
+    }
+
+    /// Maximum degree `δ` of the graph (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether `a` and `b` are neighbors.
+    pub fn are_neighbors(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.adjacency[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all process ids `0..n`.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.n).map(ProcessId::from)
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![ProcessId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(p) = stack.pop() {
+            for &q in self.neighbors(p) {
+                if !seen[q.index()] {
+                    seen[q.index()] = true;
+                    count += 1;
+                    stack.push(q);
+                }
+            }
+        }
+        count == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn edge_canonicalizes_orientation() {
+        assert_eq!(Edge::new(p(3), p(1)), Edge::new(p(1), p(3)));
+        let e = Edge::new(p(2), p(5));
+        assert_eq!(e.lo, p(2));
+        assert_eq!(e.hi, p(5));
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let e = Edge::new(p(1), p(4));
+        assert_eq!(e.other(p(1)), Some(p(4)));
+        assert_eq!(e.other(p(4)), Some(p(1)));
+        assert_eq!(e.other(p(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(p(2), p(2));
+    }
+
+    #[test]
+    fn graph_construction_and_queries() {
+        let g = ConflictGraph::from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(p(1)), &[p(0), p(2)]);
+        assert_eq!(g.degree(p(0)), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.are_neighbors(p(0), p(3)));
+        assert!(!g.are_neighbors(p(0), p(2)));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn graph_rejects_out_of_range() {
+        let err = ConflictGraph::new(2, vec![(p(0), p(2))]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfRange { vertex: p(2), n: 2 }
+        );
+    }
+
+    #[test]
+    fn graph_rejects_self_loop() {
+        let err = ConflictGraph::new(3, vec![(p(1), p(1))]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop(p(1)));
+    }
+
+    #[test]
+    fn graph_rejects_duplicate_even_reversed() {
+        let err = ConflictGraph::new(3, vec![(p(0), p(1)), (p(1), p(0))]).unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdge(Edge::new(p(0), p(1))));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = ConflictGraph::from_pairs(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g0 = ConflictGraph::from_pairs(0, &[]);
+        assert!(g0.is_empty());
+        assert!(g0.is_connected());
+        let g1 = ConflictGraph::from_pairs(1, &[]);
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g1.max_degree(), 0);
+        assert!(g1.is_connected());
+    }
+
+    #[test]
+    fn edges_sorted_canonically() {
+        let g = ConflictGraph::from_pairs(4, &[(3, 2), (1, 0), (2, 0)]);
+        assert_eq!(
+            g.edges(),
+            &[
+                Edge::new(p(0), p(1)),
+                Edge::new(p(0), p(2)),
+                Edge::new(p(2), p(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", p(7)), "p7");
+        assert_eq!(format!("{:?}", p(7)), "p7");
+        let err = GraphError::SelfLoop(p(1));
+        assert!(err.to_string().contains("self-loop"));
+    }
+}

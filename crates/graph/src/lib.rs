@@ -1,0 +1,39 @@
+//! Conflict graphs for dining-philosophers-based distributed daemons.
+//!
+//! A dining instance is modeled by an undirected *conflict graph*
+//! `C = (Π, E)` where each vertex is a process (diner) and each edge
+//! `(i, j)` indicates that `i` and `j` must never be scheduled to execute
+//! conflicting actions simultaneously (Song & Pike, DSN 2007, §2).
+//!
+//! This crate provides:
+//!
+//! * [`ConflictGraph`] — an immutable, validated adjacency structure,
+//! * [`topology`] — standard graph families used throughout the
+//!   experiments (ring, path, star, clique, grid, tree, random `G(n, p)`),
+//! * [`coloring`] — greedy and DSATUR node colorings producing the static
+//!   priorities required by Algorithm 1 (no two neighbors share a color,
+//!   `O(δ)` distinct values),
+//! * [`random`] — seeded random-graph generators for property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use ekbd_graph::{topology, coloring};
+//!
+//! let g = topology::ring(5);
+//! assert_eq!(g.len(), 5);
+//! assert_eq!(g.edge_count(), 5);
+//!
+//! let colors = coloring::greedy(&g);
+//! coloring::validate(&g, &colors).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+mod graph;
+pub mod random;
+pub mod topology;
+
+pub use graph::{ConflictGraph, Edge, GraphError, ProcessId};

@@ -1,0 +1,176 @@
+//! Seeded random-graph generators.
+//!
+//! Everything here is deterministic in the seed, so property tests across
+//! the workspace can shrink on `(seed, n, p)` triples and replay failures
+//! exactly.
+
+use crate::{ConflictGraph, ProcessId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: each of the `n·(n-1)/2` possible edges is present
+/// independently with probability `p`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> ConflictGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                edges.push((ProcessId::from(i), ProcessId::from(j)));
+            }
+        }
+    }
+    ConflictGraph::new(n, edges).expect("gnp edges are valid by construction")
+}
+
+/// A connected variant of [`gnp`]: starts from a uniformly random spanning
+/// tree (random-permutation attachment) and sprinkles extra `G(n, p)` edges
+/// on top.
+///
+/// Connectivity matters for experiments that route hunger through every
+/// process: an isolated vertex trivially satisfies every dining property.
+pub fn connected_gnp(n: usize, p: f64, seed: u64) -> ConflictGraph {
+    if n == 0 {
+        return ConflictGraph::from_pairs(0, &[]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut edges: Vec<(ProcessId, ProcessId)> = Vec::new();
+    for k in 1..n {
+        // Attach the k-th vertex of the permutation to a random earlier one.
+        let parent = order[rng.gen_range(0..k)];
+        edges.push((ProcessId::from(order[k]), ProcessId::from(parent)));
+    }
+    let mut have: std::collections::HashSet<crate::Edge> = edges
+        .iter()
+        .map(|&(a, b)| crate::Edge::new(a, b))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let e = crate::Edge::new(ProcessId::from(i), ProcessId::from(j));
+            if !have.contains(&e) && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                have.insert(e);
+                edges.push((ProcessId::from(i), ProcessId::from(j)));
+            }
+        }
+    }
+    ConflictGraph::new(n, edges).expect("connected_gnp edges are valid by construction")
+}
+
+/// A random `d`-regular-ish graph built by edge switching over a ring
+/// (degree is exactly `d` when `n·d` is even and `d < n`; otherwise falls
+/// back to the nearest feasible construction).
+///
+/// Used where experiments want to hold degree constant while growing `n`.
+pub fn regularish(n: usize, d: usize, seed: u64) -> ConflictGraph {
+    assert!(d < n.max(1), "degree must be < n");
+    if n == 0 || d == 0 {
+        return ConflictGraph::new(n, Vec::new()).expect("empty graph is valid");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Circulant base graph: connect each i to i±1, i±2, …, i±⌈d/2⌉.
+    let half = d / 2;
+    let mut set = std::collections::BTreeSet::new();
+    for i in 0..n {
+        for k in 1..=half {
+            set.insert(crate::Edge::new(
+                ProcessId::from(i),
+                ProcessId::from((i + k) % n),
+            ));
+        }
+        if d % 2 == 1 && n % 2 == 0 {
+            // Perfect matching across the ring for odd degree.
+            set.insert(crate::Edge::new(
+                ProcessId::from(i),
+                ProcessId::from((i + n / 2) % n),
+            ));
+        }
+    }
+    // Randomize with double-edge swaps that preserve the degree sequence.
+    let mut edges: Vec<crate::Edge> = set.iter().copied().collect();
+    let swaps = edges.len() * 4;
+    for _ in 0..swaps {
+        if edges.len() < 2 {
+            break;
+        }
+        let a = rng.gen_range(0..edges.len());
+        let b = rng.gen_range(0..edges.len());
+        if a == b {
+            continue;
+        }
+        let (e1, e2) = (edges[a], edges[b]);
+        let (x, y, u, v) = (e1.lo, e1.hi, e2.lo, e2.hi);
+        if x == u || x == v || y == u || y == v {
+            continue;
+        }
+        let n1 = crate::Edge::new(x, u);
+        let n2 = crate::Edge::new(y, v);
+        if set.contains(&n1) || set.contains(&n2) {
+            continue;
+        }
+        set.remove(&e1);
+        set.remove(&e2);
+        set.insert(n1);
+        set.insert(n2);
+        edges[a] = n1;
+        edges[b] = n2;
+    }
+    ConflictGraph::new(n, set.into_iter().map(|e| (e.lo, e.hi)))
+        .expect("edge swaps preserve validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_is_deterministic_in_seed() {
+        let a = gnp(20, 0.3, 42);
+        let b = gnp(20, 0.3, 42);
+        assert_eq!(a, b);
+        let c = gnp(20, 0.3, 43);
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, 1).edge_count(), 45);
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        for seed in 0..20 {
+            let g = connected_gnp(25, 0.05, seed);
+            assert!(g.is_connected(), "seed {seed} produced disconnected graph");
+        }
+    }
+
+    #[test]
+    fn connected_gnp_handles_tiny() {
+        assert!(connected_gnp(0, 0.5, 7).is_empty());
+        assert_eq!(connected_gnp(1, 0.5, 7).len(), 1);
+        assert_eq!(connected_gnp(2, 0.0, 7).edge_count(), 1);
+    }
+
+    #[test]
+    fn regularish_has_uniform_degree_when_feasible() {
+        let g = regularish(12, 4, 5);
+        assert!(g.processes().all(|p| g.degree(p) == 4));
+        let g = regularish(10, 3, 9);
+        assert!(g.processes().all(|p| g.degree(p) == 3));
+    }
+
+    #[test]
+    fn regularish_deterministic() {
+        assert_eq!(regularish(16, 4, 11), regularish(16, 4, 11));
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be < n")]
+    fn regularish_rejects_degree_ge_n() {
+        let _ = regularish(4, 4, 0);
+    }
+}

@@ -1,0 +1,294 @@
+use crate::detector::AnyDetector;
+use ekbd_detector::{DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput};
+use ekbd_dining::{DinerState, DiningAlgorithm, DiningInput, DiningObs};
+use ekbd_graph::ProcessId;
+use ekbd_sim::{Context, Node, NodeEvent};
+use rand::Rng;
+
+/// Wire envelope multiplexing dining-layer and detector-layer traffic over
+/// one simulated channel per neighbor pair.
+#[derive(Clone, Debug)]
+pub enum Envelope<M> {
+    /// Dining-algorithm message.
+    Dining(M),
+    /// Failure-detector message (heartbeats).
+    Detector(DetectorMsg),
+}
+
+/// Externally injected workload commands (the environment actions of
+/// Algorithm 1: Action 1 and the finite-eating rule behind Action 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostCmd {
+    /// Become hungry now (legal only while thinking).
+    BecomeHungry,
+    /// Finish eating now (legal only while eating).
+    StopEating,
+}
+
+/// Observations emitted by a [`DinerHost`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostObs {
+    /// A scheduling-relevant dining transition.
+    Sched(DiningObs),
+    /// The local detector started suspecting `target`.
+    Suspect {
+        /// The newly suspected process.
+        target: ProcessId,
+    },
+    /// The local detector stopped suspecting `target`.
+    Unsuspect {
+        /// The no-longer-suspected process.
+        target: ProcessId,
+    },
+    /// The dining layer sent a message to `to`. Used to check the §7
+    /// quiescence claim for exactly the traffic it covers (the oracle's
+    /// own heartbeats are perpetual by nature — crash monitoring cannot
+    /// quiesce).
+    DiningSend {
+        /// The destination.
+        to: ProcessId,
+    },
+}
+
+/// Automatic workload driven by the host itself.
+///
+/// With `sessions > 0` the host becomes hungry `sessions` times, thinking
+/// for a uniform `think` delay between sessions and eating for a uniform
+/// `eat` duration once scheduled (correct processes always eat finitely,
+/// §2). With `sessions == 0` the host only reacts to [`HostCmd`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HostWorkload {
+    /// Number of auto-generated hungry sessions.
+    pub sessions: u32,
+    /// Uniform range (inclusive) of thinking delays before each session.
+    pub think: (u64, u64),
+    /// Uniform range (inclusive) of eating durations.
+    pub eat: (u64, u64),
+}
+
+impl HostWorkload {
+    /// A workload that never gets hungry by itself.
+    pub fn manual() -> Self {
+        HostWorkload {
+            sessions: 0,
+            think: (1, 1),
+            eat: (1, 1),
+        }
+    }
+}
+
+/// Detector timer tags live below this; host timer tags above.
+const HOST_TAG_BASE: u64 = 1 << 40;
+const EAT_TAG: u64 = HOST_TAG_BASE;
+const HUNGER_TAG: u64 = HOST_TAG_BASE + 1;
+
+/// A simulated process hosting a dining algorithm and a failure detector.
+///
+/// The host owns all the plumbing the paper leaves implicit: delivering
+/// detector output changes to the dining layer (so oracle-guarded actions
+/// re-fire), finite eating, recurring appetite, and the emission of
+/// [`HostObs`] for the metrics layer — derived by *diffing* the algorithm's
+/// visible state around each call, so no algorithm can misreport itself.
+pub struct DinerHost<A: DiningAlgorithm> {
+    alg: A,
+    det: AnyDetector,
+    workload: HostWorkload,
+    sessions_left: u32,
+}
+
+impl<A: DiningAlgorithm> DinerHost<A> {
+    /// Creates a host around `alg` and `det`.
+    pub fn new(alg: A, det: AnyDetector, workload: HostWorkload) -> Self {
+        let sessions_left = workload.sessions;
+        DinerHost {
+            alg,
+            det,
+            workload,
+            sessions_left,
+        }
+    }
+
+    /// The hosted algorithm (for state assertions).
+    pub fn algorithm(&self) -> &A {
+        &self.alg
+    }
+
+    /// The hosted detector.
+    pub fn detector(&self) -> &AnyDetector {
+        &self.det
+    }
+
+    /// Applies a detector output: wraps sends, forwards timers, reports
+    /// suspicion changes, and — if the suspect set changed — lets the
+    /// dining layer re-evaluate its oracle-guarded actions.
+    fn apply_detector_output(
+        &mut self,
+        before: std::collections::BTreeSet<ProcessId>,
+        out: DetectorOutput,
+        ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
+    ) {
+        for (to, msg) in out.sends {
+            ctx.send(to, Envelope::Detector(msg));
+        }
+        for (delay, tag) in out.timers {
+            debug_assert!(tag < HOST_TAG_BASE, "detector tag collides with host tags");
+            ctx.set_timer(delay, tag);
+        }
+        if out.changed {
+            let after = self.det.suspect_set();
+            for &q in after.difference(&before) {
+                ctx.observe(HostObs::Suspect { target: q });
+            }
+            for &q in before.difference(&after) {
+                ctx.observe(HostObs::Unsuspect { target: q });
+            }
+            self.drive(DiningInput::SuspicionChange, ctx);
+        }
+    }
+
+    fn detector_event(
+        &mut self,
+        ev: DetectorEvent,
+        ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
+    ) {
+        let before = self.det.suspect_set();
+        let mut out = DetectorOutput::new();
+        self.det.handle(ev, &mut out);
+        self.apply_detector_output(before, out, ctx);
+    }
+
+    /// Feeds one input to the dining algorithm, forwards its sends, diffs
+    /// its visible state into observations, and manages the eat/think
+    /// timers of the workload.
+    fn drive(
+        &mut self,
+        input: DiningInput<A::Msg>,
+        ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
+    ) {
+        let state_before = self.alg.state();
+        let inside_before = self.alg.inside_doorway();
+        let mut sends = Vec::new();
+        self.alg.handle(input, &self.det, &mut sends);
+        for (to, msg) in sends {
+            ctx.observe(HostObs::DiningSend { to });
+            ctx.send(to, Envelope::Dining(msg));
+        }
+        let state_after = self.alg.state();
+        let inside_after = self.alg.inside_doorway();
+
+        // One `handle` call can traverse several phases (e.g. thinking →
+        // hungry → doorway → eating when every neighbor is suspected), so
+        // decompose the endpoint diff into the full transition sequence.
+        debug_assert!(
+            !matches!(
+                (state_before, state_after),
+                (DinerState::Eating, DinerState::Hungry)
+                    | (DinerState::Hungry, DinerState::Thinking)
+            ),
+            "illegal dining transition {state_before} → {state_after}"
+        );
+        if state_before == DinerState::Thinking && state_after != DinerState::Thinking {
+            ctx.observe(HostObs::Sched(DiningObs::BecameHungry));
+        }
+        if !inside_before && inside_after {
+            ctx.observe(HostObs::Sched(DiningObs::EnteredDoorway));
+        }
+        if state_before != DinerState::Eating && state_after == DinerState::Eating {
+            ctx.observe(HostObs::Sched(DiningObs::StartedEating));
+            let (lo, hi) = self.workload.eat;
+            let dur = ctx.rng().gen_range(lo..=hi.max(lo));
+            ctx.set_timer(dur, EAT_TAG);
+        }
+        if state_before == DinerState::Eating && state_after == DinerState::Thinking {
+            ctx.observe(HostObs::Sched(DiningObs::StoppedEating));
+            self.schedule_appetite(ctx);
+        }
+        if inside_before && !inside_after {
+            ctx.observe(HostObs::Sched(DiningObs::ExitedDoorway));
+        }
+    }
+
+    /// Arms the next auto-hunger timer, if sessions remain.
+    fn schedule_appetite(&mut self, ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>) {
+        if self.sessions_left == 0 {
+            return;
+        }
+        self.sessions_left -= 1;
+        let (lo, hi) = self.workload.think;
+        let delay = ctx.rng().gen_range(lo..=hi.max(lo));
+        ctx.set_timer(delay, HUNGER_TAG);
+    }
+}
+
+impl<A: DiningAlgorithm> Node for DinerHost<A> {
+    type Msg = Envelope<A::Msg>;
+    type Ext = HostCmd;
+    type Obs = HostObs;
+
+    fn handle(
+        &mut self,
+        ev: NodeEvent<Self::Msg, HostCmd>,
+        ctx: &mut Context<'_, Self::Msg, HostObs>,
+    ) {
+        match ev {
+            NodeEvent::Start => {
+                self.detector_event(DetectorEvent::Start { now: ctx.now() }, ctx);
+                self.schedule_appetite(ctx);
+            }
+            NodeEvent::Timer { tag } if tag < HOST_TAG_BASE => {
+                self.detector_event(
+                    DetectorEvent::Timer {
+                        now: ctx.now(),
+                        tag,
+                    },
+                    ctx,
+                );
+            }
+            NodeEvent::Timer { tag: EAT_TAG } => {
+                // Correct processes eat only finitely long (§2).
+                if self.alg.state() == DinerState::Eating {
+                    self.drive(DiningInput::DoneEating, ctx);
+                }
+            }
+            NodeEvent::Timer { tag: HUNGER_TAG } => {
+                if self.alg.state() == DinerState::Thinking {
+                    self.drive(DiningInput::Hungry, ctx);
+                } else {
+                    // Still busy (only possible with interleaved manual
+                    // commands): retry shortly rather than drop the session.
+                    ctx.set_timer(1, HUNGER_TAG);
+                }
+            }
+            NodeEvent::Timer { tag } => debug_assert!(false, "unknown timer tag {tag}"),
+            NodeEvent::Message {
+                from,
+                msg: Envelope::Detector(m),
+            } => {
+                self.detector_event(
+                    DetectorEvent::Message {
+                        now: ctx.now(),
+                        from,
+                        msg: m,
+                    },
+                    ctx,
+                );
+            }
+            NodeEvent::Message {
+                from,
+                msg: Envelope::Dining(m),
+            } => {
+                self.drive(DiningInput::Message { from, msg: m }, ctx);
+            }
+            NodeEvent::External(HostCmd::BecomeHungry) => {
+                if self.alg.state() == DinerState::Thinking {
+                    self.drive(DiningInput::Hungry, ctx);
+                }
+            }
+            NodeEvent::External(HostCmd::StopEating) => {
+                if self.alg.state() == DinerState::Eating {
+                    self.drive(DiningInput::DoneEating, ctx);
+                }
+            }
+        }
+    }
+}

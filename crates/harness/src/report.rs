@@ -1,0 +1,361 @@
+use crate::host::{DinerHost, HostObs};
+use crate::scenario::Scenario;
+use ekbd_dining::{DinerState, DiningAlgorithm, DiningObs};
+use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_metrics::{
+    ConcurrencyReport, ExclusionReport, FairnessReport, ProgressReport, QuiescenceReport,
+    SchedEvent,
+};
+use ekbd_sim::{Simulator, Time};
+
+/// Everything measured in one scenario run.
+///
+/// The raw material (scheduling events, suspicion history, channel stats)
+/// is captured here; the per-claim analyses are produced on demand by
+/// [`exclusion`](Self::exclusion), [`fairness`](Self::fairness),
+/// [`progress`](Self::progress) and [`quiescence`](Self::quiescence).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The conflict graph of the run.
+    pub graph: ConflictGraph,
+    /// The run horizon.
+    pub horizon: Time,
+    /// The crash schedule that was applied.
+    pub crashes: Vec<(ProcessId, Time)>,
+    /// Scheduling events (hungry/doorway/eat transitions).
+    pub events: Vec<SchedEvent>,
+    /// Suspicion history: `(when, observer, target, suspected)`.
+    pub suspicions: Vec<(Time, ProcessId, ProcessId, bool)>,
+    /// Final dining state per process.
+    pub final_states: Vec<DinerState>,
+    /// Protocol state size in bits per process (paper §7).
+    pub state_bits: Vec<usize>,
+    /// Largest number of simultaneously in-flight messages on any channel.
+    /// **Includes detector traffic**; for the paper's ≤ 4 bound (dining
+    /// messages only) use a scripted oracle, which sends nothing.
+    pub max_channel_high_water: usize,
+    /// Total messages sent (all layers).
+    pub total_messages: u64,
+    /// `(send_time, from, to)` for **all** messages (dining + detector)
+    /// sent to crashed destinations, as counted by the network fabric.
+    pub sends_to_crashed: Vec<(Time, ProcessId, ProcessId)>,
+    /// `(send_time, from, to)` for every **dining-layer** message — the
+    /// traffic the §7 quiescence claim covers (heartbeat monitoring is
+    /// perpetual by nature and excluded).
+    pub dining_sends: Vec<(Time, ProcessId, ProcessId)>,
+    /// Simulator events processed.
+    pub events_processed: u64,
+}
+
+impl RunReport {
+    /// Harvests a finished simulation.
+    pub(crate) fn collect<A: DiningAlgorithm>(
+        scenario: &Scenario,
+        sim: &mut Simulator<DinerHost<A>>,
+    ) -> Self {
+        let mut events = Vec::new();
+        let mut suspicions = Vec::new();
+        let mut dining_sends = Vec::new();
+        for o in sim.take_observations() {
+            match o.obs {
+                HostObs::Sched(obs) => events.push(SchedEvent::new(o.time, o.process, obs)),
+                HostObs::Suspect { target } => {
+                    suspicions.push((o.time, o.process, target, true));
+                }
+                HostObs::Unsuspect { target } => {
+                    suspicions.push((o.time, o.process, target, false));
+                }
+                HostObs::DiningSend { to } => {
+                    dining_sends.push((o.time, o.process, to));
+                }
+            }
+        }
+        let n = scenario.graph.len();
+        let final_states = (0..n)
+            .map(|i| sim.node(ProcessId::from(i)).algorithm().state())
+            .collect();
+        let state_bits = (0..n)
+            .map(|i| sim.node(ProcessId::from(i)).algorithm().state_bits())
+            .collect();
+        RunReport {
+            graph: scenario.graph.clone(),
+            horizon: scenario.horizon,
+            crashes: scenario.crashes.clone(),
+            events,
+            suspicions,
+            final_states,
+            state_bits,
+            max_channel_high_water: sim.max_channel_high_water(),
+            total_messages: sim.total_messages(),
+            sends_to_crashed: sim.sends_to_crashed().to_vec(),
+            dining_sends,
+            events_processed: sim.events_processed(),
+        }
+    }
+
+    /// Crash time of `p`, if scheduled (and before the horizon).
+    pub fn crash_time(&self, p: ProcessId) -> Option<Time> {
+        self.crashes
+            .iter()
+            .find(|&&(q, t)| q == p && t <= self.horizon)
+            .map(|&(_, t)| t)
+    }
+
+    /// Whether `p` is correct in this run.
+    pub fn is_correct(&self, p: ProcessId) -> bool {
+        self.crash_time(p).is_none()
+    }
+
+    /// Theorem 1 analysis (◇WX safety).
+    pub fn exclusion(&self) -> ExclusionReport {
+        ExclusionReport::analyze(
+            &self.graph,
+            &self.events,
+            &|p| self.crash_time(p),
+            self.horizon,
+        )
+    }
+
+    /// Theorem 3 analysis (◇2-bounded waiting).
+    pub fn fairness(&self) -> FairnessReport {
+        FairnessReport::analyze(
+            &self.graph,
+            &self.events,
+            &|p| self.crash_time(p),
+            self.horizon,
+        )
+    }
+
+    /// Theorem 2 analysis (wait-freedom).
+    pub fn progress(&self) -> ProgressReport {
+        ProgressReport::analyze(
+            self.graph.len(),
+            &self.events,
+            &|p| self.crash_time(p),
+            self.horizon,
+        )
+    }
+
+    /// §7 quiescence analysis over the dining layer's traffic (the claim's
+    /// scope; a heartbeat oracle's own monitoring traffic is perpetual).
+    pub fn quiescence(&self) -> QuiescenceReport {
+        let to_crashed: Vec<(Time, ProcessId, ProcessId)> = self
+            .dining_sends
+            .iter()
+            .copied()
+            .filter(|&(t, _, to)| self.crash_time(to).is_some_and(|c| c <= t))
+            .collect();
+        QuiescenceReport::analyze(&to_crashed, &self.crashes)
+    }
+
+    /// Scheduling-parallelism analysis (average/max simultaneous eaters).
+    pub fn concurrency(&self) -> ConcurrencyReport {
+        ConcurrencyReport::analyze(
+            self.graph.len(),
+            &self.events,
+            &|p| self.crash_time(p),
+            self.horizon,
+        )
+    }
+
+    /// Eat-slots granted in total (completed hungry sessions).
+    pub fn total_eat_sessions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.obs == DiningObs::StartedEating)
+            .count()
+    }
+
+    /// The *measured* ◇P₁ convergence time of this run: the earliest time
+    /// from which (a) no correct process suspects a correct neighbor
+    /// (eventual strong accuracy) and (b) every crashed process is
+    /// permanently suspected by each correct neighbor that ever reported on
+    /// it (strong completeness). Returns the horizon when the run ended
+    /// before convergence was visible.
+    pub fn detector_convergence(&self) -> Time {
+        let mut conv = Time::ZERO;
+        // Group suspicion events per (observer, target).
+        use std::collections::BTreeMap;
+        let mut hist: BTreeMap<(ProcessId, ProcessId), Vec<(Time, bool)>> = BTreeMap::new();
+        for &(t, obs, target, s) in &self.suspicions {
+            hist.entry((obs, target)).or_default().push((t, s));
+        }
+        for ((observer, target), h) in &hist {
+            if !self.is_correct(*observer) {
+                continue; // only correct observers constrain ◇P₁
+            }
+            let last = h.last().expect("non-empty history");
+            if self.is_correct(*target) {
+                // Accuracy: the last event must be a withdrawal; until then
+                // the pair had a standing false positive.
+                conv = conv.max(if last.1 { self.horizon } else { last.0 });
+            } else {
+                // Completeness: the last event must be a (permanent)
+                // suspicion.
+                conv = conv.max(if last.1 { last.0 } else { self.horizon });
+            }
+        }
+        // A crashed neighbor never suspected at all: completeness not yet
+        // visible — convergence did not happen within this run.
+        for &(q, t) in &self.crashes {
+            if t > self.horizon {
+                continue;
+            }
+            for &i in self.graph.neighbors(q) {
+                if self.is_correct(i) && !hist.contains_key(&(i, q)) {
+                    conv = self.horizon;
+                }
+            }
+        }
+        conv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{OracleSpec, Scenario, Workload};
+    use ekbd_graph::{topology, ProcessId};
+    use ekbd_sim::{DelayModel, Time};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn crash_free_ring_run_satisfies_everything() {
+        let report = Scenario::new(topology::ring(5))
+            .seed(3)
+            .workload(Workload {
+                sessions: 8,
+                think: (1, 30),
+                eat: (1, 10),
+            })
+            .horizon(Time(50_000))
+            .run_algorithm1();
+        let progress = report.progress();
+        assert!(progress.wait_free(), "starving: {:?}", progress.starving());
+        assert_eq!(progress.total_sessions(), 5 * 8);
+        assert_eq!(report.exclusion().total(), 0, "silent oracle ⇒ no mistakes ever");
+        assert!(report.fairness().max_overtakes() <= 2);
+        assert!(report.max_channel_high_water <= 4, "paper §7 channel bound");
+        assert_eq!(report.detector_convergence(), Time::ZERO);
+        assert!(report
+            .final_states
+            .iter()
+            .all(|s| *s == ekbd_dining::DinerState::Thinking));
+    }
+
+    #[test]
+    fn crash_with_perfect_oracle_keeps_progress() {
+        let report = Scenario::new(topology::ring(5))
+            .seed(11)
+            .perfect_oracle()
+            .crash(p(2), Time(200))
+            .workload(Workload {
+                sessions: 8,
+                think: (1, 30),
+                eat: (1, 10),
+            })
+            .horizon(Time(50_000))
+            .run_algorithm1();
+        assert!(report.progress().wait_free());
+        assert_eq!(report.exclusion().total(), 0, "perfect oracle ⇒ no mistakes");
+        // Quiescence: finitely many messages to the crashed process.
+        let q = report.quiescence();
+        assert!(q.total() < 20);
+        assert!(q.quiescent_by(report.horizon));
+    }
+
+    #[test]
+    fn adversarial_oracle_mistakes_stop_after_convergence() {
+        let report = Scenario::new(topology::clique(4))
+            .seed(7)
+            .adversarial_oracle(Time(3_000), 40)
+            .workload(Workload {
+                sessions: 12,
+                think: (1, 20),
+                eat: (1, 15),
+            })
+            .horizon(Time(80_000))
+            .run_algorithm1();
+        assert!(report.progress().wait_free());
+        let conv = report.detector_convergence();
+        assert!(conv <= Time(3_000));
+        assert_eq!(
+            report.exclusion().after(Time(3_000)),
+            0,
+            "Theorem 1: no mistakes after ◇P₁ converges"
+        );
+        assert!(
+            report.fairness().max_overtakes_after(Time(3_000)) <= 2,
+            "Theorem 3: ◇2-BW in the suffix"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let make = || {
+            Scenario::new(topology::grid(3, 3))
+                .seed(99)
+                .adversarial_oracle(Time(1_000), 25)
+                .crash(p(4), Time(700))
+                .horizon(Time(30_000))
+                .run_algorithm1()
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.suspicions, b.suspicions);
+        assert_eq!(a.total_messages, b.total_messages);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn heartbeat_oracle_runs_and_detects() {
+        let hb = ekbd_detector::HeartbeatConfig {
+            period: 10,
+            initial_timeout: 50,
+            timeout_increment: 25,
+        };
+        let report = Scenario::new(topology::ring(4))
+            .seed(5)
+            .heartbeat_oracle(hb)
+            .delay(DelayModel::Gst {
+                gst: Time(400),
+                pre_max: 120,
+                delta: 6,
+            })
+            .crash(p(1), Time(600))
+            .workload(Workload {
+                sessions: 6,
+                think: (1, 40),
+                eat: (1, 10),
+            })
+            .horizon(Time(60_000))
+            .run_algorithm1();
+        assert!(report.progress().wait_free());
+        let conv = report.detector_convergence();
+        assert!(conv < report.horizon, "heartbeat ◇P₁ must converge");
+        assert_eq!(report.exclusion().after(conv), 0);
+        // The crashed process is suspected by both ring neighbors.
+        let suspected_by: Vec<_> = report
+            .suspicions
+            .iter()
+            .filter(|&&(_, _, t, s)| t == p(1) && s)
+            .map(|&(_, o, _, _)| o)
+            .collect();
+        assert!(suspected_by.contains(&p(0)) && suspected_by.contains(&p(2)));
+    }
+
+    #[test]
+    fn oracle_spec_debug_shapes() {
+        // Exercise the enum's surface (cheap coverage of derives).
+        let s = format!(
+            "{:?}",
+            OracleSpec::Adversarial {
+                converge_at: Time(5),
+                burst: 2
+            }
+        );
+        assert!(s.contains("Adversarial"));
+    }
+}

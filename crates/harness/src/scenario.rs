@@ -1,0 +1,277 @@
+use crate::detector::AnyDetector;
+use crate::host::{DinerHost, HostCmd, HostWorkload};
+use crate::report::RunReport;
+use ekbd_detector::{HeartbeatConfig, HeartbeatDetector, ProbeConfig, ProbeDetector, ScriptedOracle};
+use ekbd_dining::{DiningAlgorithm, DiningProcess};
+use ekbd_graph::coloring::{self, Color};
+use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_sim::{DelayModel, SimConfig, Simulator, Time};
+
+/// Which failure detector each process runs.
+#[derive(Clone, Debug)]
+pub enum OracleSpec {
+    /// Never suspects anyone. A legal ◇P₁ history only for crash-free runs.
+    Silent,
+    /// Suspects exactly the crashed, from their crash instants (detector
+    /// `P`). The reference point of experiment E8.
+    Perfect,
+    /// Worst-case-but-legal ◇P₁: false suspicions of every neighbor in
+    /// on/off bursts until `converge_at`, then exact.
+    Adversarial {
+        /// When the oracle converges.
+        converge_at: Time,
+        /// Length of each on/off suspicion burst.
+        burst: u64,
+    },
+    /// A real heartbeat + adaptive timeout detector; convergence emerges
+    /// from the delay model rather than being scripted.
+    Heartbeat(HeartbeatConfig),
+    /// A real pull-based probe/echo detector.
+    Probe(ProbeConfig),
+}
+
+/// The workload every process runs (see
+/// [`HostWorkload`](crate::HostWorkload); this is the same data at scenario
+/// scope).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Workload {
+    /// Hungry sessions per process.
+    pub sessions: u32,
+    /// Thinking-delay range.
+    pub think: (u64, u64),
+    /// Eating-duration range.
+    pub eat: (u64, u64),
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            sessions: 5,
+            think: (1, 50),
+            eat: (1, 20),
+        }
+    }
+}
+
+/// A declarative dining experiment.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The conflict graph.
+    pub graph: ConflictGraph,
+    /// A proper coloring (defaults to greedy).
+    pub colors: Vec<Color>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Message-delay model.
+    pub delay: DelayModel,
+    /// The oracle specification.
+    pub oracle: OracleSpec,
+    /// The automatic workload.
+    pub workload: Workload,
+    /// Crash schedule.
+    pub crashes: Vec<(ProcessId, Time)>,
+    /// Manually injected hunger, in addition to the automatic workload.
+    pub manual_hunger: Vec<(ProcessId, Time)>,
+    /// How long to run.
+    pub horizon: Time,
+}
+
+impl Scenario {
+    /// Creates a scenario over `graph` with defaults: greedy coloring, seed
+    /// 0, uniform delays 1–8, silent oracle, default workload, no crashes,
+    /// horizon 100 000.
+    pub fn new(graph: ConflictGraph) -> Self {
+        let colors = coloring::greedy(&graph);
+        Scenario {
+            graph,
+            colors,
+            seed: 0,
+            delay: DelayModel::default(),
+            oracle: OracleSpec::Silent,
+            workload: Workload::default(),
+            crashes: Vec::new(),
+            manual_hunger: Vec::new(),
+            horizon: Time(100_000),
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the coloring (must be proper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring is not proper for the scenario's graph.
+    pub fn colors(mut self, colors: Vec<Color>) -> Self {
+        coloring::validate(&self.graph, &colors).expect("scenario coloring must be proper");
+        self.colors = colors;
+        self
+    }
+
+    /// Sets the delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Uses the perfect oracle.
+    pub fn perfect_oracle(mut self) -> Self {
+        self.oracle = OracleSpec::Perfect;
+        self
+    }
+
+    /// Uses the adversarial scripted oracle.
+    pub fn adversarial_oracle(mut self, converge_at: Time, burst: u64) -> Self {
+        self.oracle = OracleSpec::Adversarial { converge_at, burst };
+        self
+    }
+
+    /// Uses the heartbeat detector.
+    pub fn heartbeat_oracle(mut self, cfg: HeartbeatConfig) -> Self {
+        self.oracle = OracleSpec::Heartbeat(cfg);
+        self
+    }
+
+    /// Uses the pull-based probe/echo detector.
+    pub fn probe_oracle(mut self, cfg: ProbeConfig) -> Self {
+        self.oracle = OracleSpec::Probe(cfg);
+        self
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Schedules a crash.
+    pub fn crash(mut self, p: ProcessId, at: Time) -> Self {
+        self.crashes.push((p, at));
+        self
+    }
+
+    /// Schedules an extra manual hungry session.
+    pub fn hunger(mut self, p: ProcessId, at: Time) -> Self {
+        self.manual_hunger.push((p, at));
+        self
+    }
+
+    /// Sets the run horizon.
+    pub fn horizon(mut self, t: Time) -> Self {
+        self.horizon = t;
+        self
+    }
+
+    /// Builds the detector for process `p` per the oracle spec.
+    pub(crate) fn detector_for(&self, p: ProcessId) -> AnyDetector {
+        let neighbors = self.graph.neighbors(p);
+        let neighbor_crashes: Vec<(ProcessId, Time)> = self
+            .crashes
+            .iter()
+            .copied()
+            .filter(|&(q, _)| neighbors.contains(&q))
+            .collect();
+        match &self.oracle {
+            OracleSpec::Silent => AnyDetector::Scripted(ScriptedOracle::silent()),
+            OracleSpec::Perfect => {
+                AnyDetector::Scripted(ScriptedOracle::perfect(neighbor_crashes))
+            }
+            OracleSpec::Adversarial { converge_at, burst } => AnyDetector::Scripted(
+                ScriptedOracle::adversarial(neighbors, *converge_at, *burst, &neighbor_crashes),
+            ),
+            OracleSpec::Heartbeat(cfg) => {
+                AnyDetector::Heartbeat(HeartbeatDetector::new(*cfg, neighbors.iter().copied()))
+            }
+            OracleSpec::Probe(cfg) => {
+                AnyDetector::Probe(ProbeDetector::new(*cfg, neighbors.iter().copied()))
+            }
+        }
+    }
+
+    /// Runs the scenario with a custom dining-algorithm factory.
+    pub fn run_with<A>(&self, mut factory: impl FnMut(&Scenario, ProcessId) -> A) -> RunReport
+    where
+        A: DiningAlgorithm,
+    {
+        let cfg = SimConfig::default()
+            .n(self.graph.len())
+            .seed(self.seed)
+            .delay(self.delay.clone());
+        let workload = HostWorkload {
+            sessions: self.workload.sessions,
+            think: self.workload.think,
+            eat: self.workload.eat,
+        };
+        let mut sim = Simulator::new(cfg, |p, _| {
+            DinerHost::new(factory(self, p), self.detector_for(p), workload)
+        });
+        for &(p, t) in &self.crashes {
+            sim.schedule_crash(p, t);
+        }
+        for &(p, t) in &self.manual_hunger {
+            sim.schedule_external(p, t, HostCmd::BecomeHungry);
+        }
+        sim.run_until(self.horizon);
+        RunReport::collect(self, &mut sim)
+    }
+
+    /// Runs the scenario with the paper's Algorithm 1.
+    pub fn run_algorithm1(&self) -> RunReport {
+        self.run_with(|s, p| DiningProcess::from_graph(&s.graph, &s.colors, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekbd_graph::topology;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let s = Scenario::new(topology::ring(4))
+            .seed(9)
+            .horizon(Time(1_000))
+            .crash(ProcessId(1), Time(10))
+            .hunger(ProcessId(0), Time(5));
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.horizon, Time(1_000));
+        assert_eq!(s.crashes, vec![(ProcessId(1), Time(10))]);
+        assert_eq!(s.manual_hunger, vec![(ProcessId(0), Time(5))]);
+        coloring::validate(&s.graph, &s.colors).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "proper")]
+    fn rejects_improper_coloring() {
+        let _ = Scenario::new(topology::ring(4)).colors(vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn detector_for_scopes_crashes_to_neighbors() {
+        let s = Scenario::new(topology::path(3))
+            .perfect_oracle()
+            .crash(ProcessId(2), Time(10));
+        // p0 is not a neighbor of p2: its perfect oracle never suspects.
+        let d0 = s.detector_for(ProcessId(0));
+        let d1 = s.detector_for(ProcessId(1));
+        use ekbd_detector::{DetectorEvent, DetectorModule, DetectorOutput};
+        let drive = |d: &mut AnyDetector| {
+            d.handle(
+                DetectorEvent::Timer {
+                    now: Time(100),
+                    tag: 0,
+                },
+                &mut DetectorOutput::new(),
+            );
+        };
+        let (mut d0, mut d1) = (d0, d1);
+        drive(&mut d0);
+        drive(&mut d1);
+        assert!(d0.suspect_set().is_empty());
+        assert_eq!(d1.suspect_set(), [ProcessId(2)].into_iter().collect());
+    }
+}

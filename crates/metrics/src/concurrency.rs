@@ -1,0 +1,125 @@
+use crate::{intervals_of, SchedEvent};
+use ekbd_dining::DiningObs;
+use ekbd_graph::ProcessId;
+use ekbd_sim::Time;
+
+/// How much parallelism the daemon actually extracted.
+///
+/// A daemon should schedule *non-conflicting* processes concurrently; the
+/// paper's scheduler is judged not only by safety/liveness but by how
+/// much simultaneous eating it allows. This report integrates the number
+/// of concurrent eaters over time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConcurrencyReport {
+    /// ∫ (number of simultaneous eaters) dt, in eater-ticks.
+    pub eater_ticks: u64,
+    /// Ticks during which at least one process was eating.
+    pub busy_ticks: u64,
+    /// Maximum simultaneous eaters observed.
+    pub max_simultaneous: usize,
+}
+
+impl ConcurrencyReport {
+    /// Builds the report from a run's event stream.
+    pub fn analyze(
+        n: usize,
+        events: &[SchedEvent],
+        crash_time: &dyn Fn(ProcessId) -> Option<Time>,
+        horizon: Time,
+    ) -> Self {
+        let eats = intervals_of(
+            events,
+            n,
+            DiningObs::StartedEating,
+            DiningObs::StoppedEating,
+            crash_time,
+            horizon,
+        );
+        // Sweep line over interval endpoints.
+        let mut points: Vec<(Time, i64)> = Vec::new();
+        for ivs in &eats {
+            for iv in ivs {
+                points.push((iv.start, 1));
+                points.push((iv.end, -1));
+            }
+        }
+        // Ends sort before starts at the same instant: the intervals are
+        // half-open, so back-to-back sessions never overlap.
+        points.sort_by_key(|&(t, delta)| (t, delta));
+        let mut level: i64 = 0;
+        let mut last = Time::ZERO;
+        let mut eater_ticks = 0u64;
+        let mut busy_ticks = 0u64;
+        let mut max_simultaneous = 0usize;
+        for (t, delta) in points {
+            let dt = t.since(last);
+            eater_ticks += level.max(0) as u64 * dt;
+            if level > 0 {
+                busy_ticks += dt;
+            }
+            level += delta;
+            max_simultaneous = max_simultaneous.max(level.max(0) as usize);
+            last = t;
+        }
+        ConcurrencyReport {
+            eater_ticks,
+            busy_ticks,
+            max_simultaneous,
+        }
+    }
+
+    /// Average eaters while anyone was eating (≥ 1.0 when busy_ticks > 0).
+    pub fn avg_concurrency_while_busy(&self) -> f64 {
+        if self.busy_ticks == 0 {
+            0.0
+        } else {
+            self.eater_ticks as f64 / self.busy_ticks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, p: usize, o: DiningObs) -> SchedEvent {
+        SchedEvent::new(Time(t), ProcessId::from(p), o)
+    }
+
+    #[test]
+    fn counts_parallel_eaters() {
+        // p0 eats 0..10; p1 eats 5..15: levels 1,2,1 over 5-tick spans.
+        let events = vec![
+            ev(0, 0, DiningObs::StartedEating),
+            ev(5, 1, DiningObs::StartedEating),
+            ev(10, 0, DiningObs::StoppedEating),
+            ev(15, 1, DiningObs::StoppedEating),
+        ];
+        let r = ConcurrencyReport::analyze(2, &events, &|_| None, Time(100));
+        assert_eq!(r.eater_ticks, 5 + 10 + 5);
+        assert_eq!(r.busy_ticks, 15);
+        assert_eq!(r.max_simultaneous, 2);
+        assert!((r.avg_concurrency_while_busy() - 20.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_eating_has_concurrency_one() {
+        let events = vec![
+            ev(0, 0, DiningObs::StartedEating),
+            ev(10, 0, DiningObs::StoppedEating),
+            ev(10, 1, DiningObs::StartedEating),
+            ev(20, 1, DiningObs::StoppedEating),
+        ];
+        let r = ConcurrencyReport::analyze(2, &events, &|_| None, Time(100));
+        assert_eq!(r.max_simultaneous, 1);
+        assert_eq!(r.busy_ticks, 20);
+        assert_eq!(r.avg_concurrency_while_busy(), 1.0);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let r = ConcurrencyReport::analyze(3, &[], &|_| None, Time(100));
+        assert_eq!(r, ConcurrencyReport::default());
+        assert_eq!(r.avg_concurrency_while_busy(), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_sim::Time;
+
+/// Quality metrics for a ◇P₁ history, computed from the suspicion event
+/// stream `(when, observer, target, suspected)` of a run.
+///
+/// These quantify the two properties of the oracle class (§2): how often
+/// eventual strong accuracy was violated before convergence (false
+/// positives), and how quickly strong completeness kicked in after each
+/// crash (detection latency).
+#[derive(Clone, Debug, Default)]
+pub struct DetectorQualityReport {
+    /// Suspicions of a correct target raised by a correct observer.
+    pub false_positives: u64,
+    /// `(observer, crashed, latency)` — delay from the crash until the
+    /// observer's suspicion became permanent. `None` latency means the
+    /// crash was never permanently suspected within the horizon (a
+    /// completeness violation if the run was long enough).
+    pub detection: Vec<(ProcessId, ProcessId, Option<u64>)>,
+}
+
+impl DetectorQualityReport {
+    /// Analyzes the suspicion history of a run.
+    pub fn analyze(
+        graph: &ConflictGraph,
+        suspicions: &[(Time, ProcessId, ProcessId, bool)],
+        crashes: &[(ProcessId, Time)],
+        horizon: Time,
+    ) -> Self {
+        let crash_time = |p: ProcessId| {
+            crashes
+                .iter()
+                .find(|&&(q, t)| q == p && t <= horizon)
+                .map(|&(_, t)| t)
+        };
+        let correct = |p: ProcessId| crash_time(p).is_none();
+
+        let false_positives = suspicions
+            .iter()
+            .filter(|&&(_, o, t, s)| s && correct(o) && correct(t))
+            .count() as u64;
+
+        let mut detection = Vec::new();
+        for &(q, crashed_at) in crashes {
+            if crashed_at > horizon {
+                continue;
+            }
+            for &o in graph.neighbors(q) {
+                if !correct(o) {
+                    continue;
+                }
+                // The suspicion is permanent iff the LAST event for (o, q)
+                // is a suspicion; its time is the detection instant.
+                let last = suspicions
+                    .iter()
+                    .filter(|&&(_, ob, tg, _)| ob == o && tg == q)
+                    .next_back();
+                let latency = match last {
+                    Some(&(t, _, _, true)) => Some(t.since(crashed_at)),
+                    _ => None,
+                };
+                detection.push((o, q, latency));
+            }
+        }
+        DetectorQualityReport {
+            false_positives,
+            detection,
+        }
+    }
+
+    /// Whether every crashed process was permanently suspected by every
+    /// correct neighbor (strong completeness, as visible in this run).
+    pub fn complete(&self) -> bool {
+        self.detection.iter().all(|&(_, _, l)| l.is_some())
+    }
+
+    /// Worst-case detection latency, if completeness held.
+    pub fn max_detection_latency(&self) -> Option<u64> {
+        self.detection.iter().map(|&(_, _, l)| l).collect::<Option<Vec<_>>>()?.into_iter().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekbd_graph::topology;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn counts_false_positives_and_latency() {
+        let g = topology::path(3);
+        let crashes = vec![(p(2), Time(100))];
+        let suspicions = vec![
+            (Time(10), p(0), p(1), true),  // FP (both correct)
+            (Time(20), p(0), p(1), false), // withdrawal
+            (Time(50), p(1), p(2), true),  // premature, but target crashes later
+            (Time(60), p(1), p(2), false),
+            (Time(130), p(1), p(2), true), // permanent detection
+        ];
+        let r = DetectorQualityReport::analyze(&g, &suspicions, &crashes, Time(1_000));
+        assert_eq!(r.false_positives, 1, "only the correct-correct suspicion");
+        assert!(r.complete());
+        assert_eq!(r.detection, vec![(p(1), p(2), Some(30))]);
+        assert_eq!(r.max_detection_latency(), Some(30));
+    }
+
+    #[test]
+    fn incomplete_detection_is_reported() {
+        let g = topology::path(2);
+        let crashes = vec![(p(1), Time(100))];
+        let r = DetectorQualityReport::analyze(&g, &[], &crashes, Time(1_000));
+        assert!(!r.complete());
+        assert_eq!(r.max_detection_latency(), None);
+        assert_eq!(r.detection, vec![(p(0), p(1), None)]);
+    }
+
+    #[test]
+    fn withdrawn_suspicion_of_crashed_is_not_detection() {
+        let g = topology::path(2);
+        let crashes = vec![(p(1), Time(100))];
+        let suspicions = vec![
+            (Time(150), p(0), p(1), true),
+            (Time(160), p(0), p(1), false), // withdrawn: not permanent
+        ];
+        let r = DetectorQualityReport::analyze(&g, &suspicions, &crashes, Time(1_000));
+        assert!(!r.complete());
+    }
+}

@@ -1,0 +1,155 @@
+use crate::{intervals_of, SchedEvent};
+use ekbd_dining::DiningObs;
+use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_sim::Time;
+
+/// One scheduling mistake: two live neighbors eating simultaneously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mistake {
+    /// One of the overlapping eaters.
+    pub a: ProcessId,
+    /// The other.
+    pub b: ProcessId,
+    /// Start of the overlap.
+    pub from: Time,
+    /// End of the overlap (exclusive).
+    pub until: Time,
+}
+
+/// Theorem 1 (◇WX): for every run there is a time after which no two live
+/// neighbors eat simultaneously — equivalently, only finitely many
+/// scheduling mistakes, all before some bound.
+///
+/// The checker intersects the eating intervals of every neighbor pair.
+/// Intervals are trimmed at crash times: the paper's exclusion clause only
+/// covers *live* processes, so an eater that crashed mid-bite stops counting
+/// at its crash.
+#[derive(Clone, Debug, Default)]
+pub struct ExclusionReport {
+    /// Every overlap found, in no particular order.
+    pub mistakes: Vec<Mistake>,
+}
+
+impl ExclusionReport {
+    /// Builds the report for a run over `graph` with the given events,
+    /// crash schedule, and horizon.
+    pub fn analyze(
+        graph: &ConflictGraph,
+        events: &[SchedEvent],
+        crash_time: &dyn Fn(ProcessId) -> Option<Time>,
+        horizon: Time,
+    ) -> Self {
+        let eats = intervals_of(
+            events,
+            graph.len(),
+            DiningObs::StartedEating,
+            DiningObs::StoppedEating,
+            crash_time,
+            horizon,
+        );
+        let mut mistakes = Vec::new();
+        for e in graph.edges() {
+            for ia in &eats[e.lo.index()] {
+                for ib in &eats[e.hi.index()] {
+                    if ia.overlaps(ib) {
+                        mistakes.push(Mistake {
+                            a: e.lo,
+                            b: e.hi,
+                            from: ia.start.max(ib.start),
+                            until: ia.end.min(ib.end),
+                        });
+                    }
+                }
+            }
+        }
+        ExclusionReport { mistakes }
+    }
+
+    /// Total number of scheduling mistakes in the run.
+    pub fn total(&self) -> usize {
+        self.mistakes.len()
+    }
+
+    /// Number of mistakes whose overlap begins at or after `cutoff` —
+    /// Theorem 1 demands this be zero once the detector has converged.
+    pub fn after(&self, cutoff: Time) -> usize {
+        self.mistakes.iter().filter(|m| m.from >= cutoff).count()
+    }
+
+    /// The instant the last mistake ended, if any — a witness for the
+    /// "there exists a time after which…" quantifier.
+    pub fn last_mistake_end(&self) -> Option<Time> {
+        self.mistakes.iter().map(|m| m.until).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedEvent;
+    use ekbd_graph::topology;
+
+    fn ev(t: u64, p: usize, o: DiningObs) -> SchedEvent {
+        SchedEvent::new(Time(t), ProcessId::from(p), o)
+    }
+
+    #[test]
+    fn detects_neighbor_overlap() {
+        let g = topology::path(3);
+        let events = vec![
+            ev(0, 0, DiningObs::StartedEating),
+            ev(5, 1, DiningObs::StartedEating),
+            ev(8, 0, DiningObs::StoppedEating),
+            ev(9, 1, DiningObs::StoppedEating),
+        ];
+        let r = ExclusionReport::analyze(&g, &events, &|_| None, Time(100));
+        assert_eq!(r.total(), 1);
+        let m = r.mistakes[0];
+        assert_eq!((m.from, m.until), (Time(5), Time(8)));
+        assert_eq!(r.after(Time(5)), 1);
+        assert_eq!(r.after(Time(6)), 0);
+        assert_eq!(r.last_mistake_end(), Some(Time(8)));
+    }
+
+    #[test]
+    fn non_neighbors_may_eat_together() {
+        let g = topology::path(3); // 0-1-2: 0 and 2 are independent
+        let events = vec![
+            ev(0, 0, DiningObs::StartedEating),
+            ev(0, 2, DiningObs::StartedEating),
+            ev(10, 0, DiningObs::StoppedEating),
+            ev(10, 2, DiningObs::StoppedEating),
+        ];
+        let r = ExclusionReport::analyze(&g, &events, &|_| None, Time(100));
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn crash_trims_the_eating_interval() {
+        let g = topology::path(2);
+        // p0 starts eating at 0 and crashes at 4 (never stops); p1 eats 5..9.
+        let events = vec![
+            ev(0, 0, DiningObs::StartedEating),
+            ev(5, 1, DiningObs::StartedEating),
+            ev(9, 1, DiningObs::StoppedEating),
+        ];
+        let crashed = |p: ProcessId| (p == ProcessId(0)).then_some(Time(4));
+        let r = ExclusionReport::analyze(&g, &events, &crashed, Time(100));
+        assert_eq!(r.total(), 0, "a dead holder is not a live eater");
+    }
+
+    #[test]
+    fn sequential_eating_is_clean() {
+        let g = topology::ring(3);
+        let mut events = Vec::new();
+        for round in 0..5u64 {
+            for p in 0..3usize {
+                let t = round * 30 + p as u64 * 10;
+                events.push(ev(t, p, DiningObs::StartedEating));
+                events.push(ev(t + 9, p, DiningObs::StoppedEating));
+            }
+        }
+        let r = ExclusionReport::analyze(&g, &events, &|_| None, Time(1_000));
+        assert_eq!(r.total(), 0);
+    }
+}

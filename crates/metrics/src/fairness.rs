@@ -1,0 +1,180 @@
+use crate::{intervals_of, SchedEvent};
+use ekbd_dining::DiningObs;
+use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_sim::Time;
+
+/// A record of a hungry session being overtaken by a neighbor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overtake {
+    /// The continuously hungry process.
+    pub hungry: ProcessId,
+    /// The neighbor that kept eating.
+    pub eater: ProcessId,
+    /// Start of the hungry session.
+    pub session_start: Time,
+    /// How many times `eater` started eating during the session.
+    pub count: usize,
+}
+
+/// Theorem 3 (◇2-BW): for each execution there is a time after which no
+/// live process goes to eat more than twice while any live neighbor is
+/// hungry.
+///
+/// For every *hungry session* of every process `j` (from `BecameHungry` to
+/// the matching `StartedEating`), the checker counts how many times each
+/// neighbor `i` started eating inside that window. The paper's bound: in
+/// the convergence suffix, that count never exceeds 2.
+#[derive(Clone, Debug, Default)]
+pub struct FairnessReport {
+    /// One record per (session, neighbor) pair with `count > 0`.
+    pub overtakes: Vec<Overtake>,
+}
+
+impl FairnessReport {
+    /// Builds the report. `crash_time` trims sessions and discounts eaters
+    /// that crashed (the bound concerns live processes).
+    pub fn analyze(
+        graph: &ConflictGraph,
+        events: &[SchedEvent],
+        crash_time: &dyn Fn(ProcessId) -> Option<Time>,
+        horizon: Time,
+    ) -> Self {
+        let n = graph.len();
+        // Hungry sessions: BecameHungry .. StartedEating (or crash/horizon).
+        let sessions = intervals_of(
+            events,
+            n,
+            DiningObs::BecameHungry,
+            DiningObs::StartedEating,
+            crash_time,
+            horizon,
+        );
+        // Eating start times per process.
+        let mut eat_starts = vec![Vec::new(); n];
+        for e in events {
+            if e.obs == DiningObs::StartedEating {
+                eat_starts[e.process.index()].push(e.time);
+            }
+        }
+        let mut overtakes = Vec::new();
+        for j in 0..n {
+            let pj = ProcessId::from(j);
+            for s in &sessions[j] {
+                for &pi in graph.neighbors(pj) {
+                    let count = eat_starts[pi.index()]
+                        .iter()
+                        .filter(|&&t| {
+                            // An eat-start counts only while both are live.
+                            s.start <= t
+                                && t < s.end
+                                && crash_time(pi).is_none_or(|c| t < c)
+                        })
+                        .count();
+                    if count > 0 {
+                        overtakes.push(Overtake {
+                            hungry: pj,
+                            eater: pi,
+                            session_start: s.start,
+                            count,
+                        });
+                    }
+                }
+            }
+        }
+        FairnessReport { overtakes }
+    }
+
+    /// The worst overtaking count across the whole run.
+    pub fn max_overtakes(&self) -> usize {
+        self.overtakes.iter().map(|o| o.count).max().unwrap_or(0)
+    }
+
+    /// The worst overtaking count among sessions starting at or after
+    /// `cutoff` — Theorem 3 demands ≤ 2 for k = 2 once the suffix begins.
+    pub fn max_overtakes_after(&self, cutoff: Time) -> usize {
+        self.overtakes
+            .iter()
+            .filter(|o| o.session_start >= cutoff)
+            .map(|o| o.count)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekbd_graph::topology;
+
+    fn ev(t: u64, p: usize, o: DiningObs) -> SchedEvent {
+        SchedEvent::new(Time(t), ProcessId::from(p), o)
+    }
+
+    #[test]
+    fn counts_eats_within_hungry_session() {
+        let g = topology::path(2);
+        let mut events = vec![ev(0, 1, DiningObs::BecameHungry)];
+        // p0 eats three times while p1 is continuously hungry.
+        for k in 0..3u64 {
+            events.push(ev(1 + 10 * k, 0, DiningObs::StartedEating));
+            events.push(ev(9 + 10 * k, 0, DiningObs::StoppedEating));
+        }
+        events.push(ev(40, 1, DiningObs::StartedEating));
+        let r = FairnessReport::analyze(&g, &events, &|_| None, Time(100));
+        assert_eq!(r.max_overtakes(), 3);
+        assert_eq!(r.max_overtakes_after(Time(50)), 0);
+        assert_eq!(
+            r.overtakes,
+            vec![Overtake {
+                hungry: ProcessId(1),
+                eater: ProcessId(0),
+                session_start: Time(0),
+                count: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn eats_outside_session_do_not_count() {
+        let g = topology::path(2);
+        let events = vec![
+            ev(0, 0, DiningObs::StartedEating),
+            ev(5, 0, DiningObs::StoppedEating),
+            ev(10, 1, DiningObs::BecameHungry),
+            ev(20, 1, DiningObs::StartedEating),
+            ev(30, 0, DiningObs::StartedEating),
+        ];
+        let r = FairnessReport::analyze(&g, &events, &|_| None, Time(100));
+        assert_eq!(r.max_overtakes(), 0);
+    }
+
+    #[test]
+    fn crashed_eater_does_not_count_after_crash() {
+        let g = topology::path(2);
+        let events = vec![
+            ev(0, 1, DiningObs::BecameHungry),
+            ev(5, 0, DiningObs::StartedEating),
+            ev(8, 0, DiningObs::StoppedEating),
+            ev(20, 0, DiningObs::StartedEating), // after p0's crash: impossible in a real run, defensive here
+        ];
+        let crashed = |p: ProcessId| (p == ProcessId(0)).then_some(Time(15));
+        let r = FairnessReport::analyze(&g, &events, &crashed, Time(100));
+        assert_eq!(r.max_overtakes(), 1);
+    }
+
+    #[test]
+    fn starving_session_truncates_at_horizon() {
+        let g = topology::path(2);
+        let events = vec![
+            ev(0, 1, DiningObs::BecameHungry),
+            ev(10, 0, DiningObs::StartedEating),
+            ev(12, 0, DiningObs::StoppedEating),
+            ev(20, 0, DiningObs::StartedEating),
+            ev(22, 0, DiningObs::StoppedEating),
+        ];
+        // p1 never eats: its session runs to the horizon and records both
+        // overtakes — how starvation shows up in this metric.
+        let r = FairnessReport::analyze(&g, &events, &|_| None, Time(100));
+        assert_eq!(r.max_overtakes(), 2);
+    }
+}

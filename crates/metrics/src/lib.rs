@@ -1,0 +1,147 @@
+//! Property checkers for dining-based distributed daemons.
+//!
+//! Every theorem and quantitative claim of Song & Pike (DSN 2007) is checked
+//! here against the observation stream of an actual run:
+//!
+//! * [`ExclusionReport`] — Theorem 1 (◇WX safety): counts *scheduling
+//!   mistakes* (pairs of live neighbors eating simultaneously) and locates
+//!   the last one; after detector convergence there must be none.
+//! * [`FairnessReport`] — Theorem 3 (◇2-BW): the maximum number of times a
+//!   neighbor starts eating within one continuous hungry session; in the
+//!   convergence suffix this may not exceed 2.
+//! * [`ProgressReport`] — Theorem 2 (wait-freedom): every correct hungry
+//!   process eats; also hungry-session latency statistics.
+//! * [`QuiescenceReport`] — §7: correct processes eventually stop sending
+//!   to crashed neighbors.
+//!
+//! The input is the stream of [`SchedEvent`]s a harness host emits by
+//! diffing its algorithm's externally visible state, so the checkers apply
+//! uniformly to Algorithm 1 and to every baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod concurrency;
+mod detector_quality;
+mod exclusion;
+mod fairness;
+mod progress;
+mod quiescence;
+mod stats;
+mod timeline;
+
+pub use concurrency::ConcurrencyReport;
+pub use detector_quality::DetectorQualityReport;
+pub use exclusion::{ExclusionReport, Mistake};
+pub use fairness::{FairnessReport, Overtake};
+pub use progress::{ProgressReport, SessionStats};
+pub use quiescence::QuiescenceReport;
+pub use stats::Summary;
+pub use timeline::Timeline;
+
+use ekbd_dining::DiningObs;
+use ekbd_graph::ProcessId;
+use ekbd_sim::Time;
+
+/// One scheduling-relevant event of a run: at `time`, `process` underwent
+/// `obs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedEvent {
+    /// When it happened.
+    pub time: Time,
+    /// Which process.
+    pub process: ProcessId,
+    /// What happened.
+    pub obs: DiningObs,
+}
+
+impl SchedEvent {
+    /// Convenience constructor.
+    pub fn new(time: Time, process: ProcessId, obs: DiningObs) -> Self {
+        SchedEvent { time, process, obs }
+    }
+}
+
+/// A half-open interval `[start, end)` in virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: Time,
+    /// Exclusive end.
+    pub end: Time,
+}
+
+impl Interval {
+    /// Whether two half-open intervals overlap in at least one instant.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Extracts per-process half-open intervals `[when obs_open, when obs_close)`
+/// from an event stream. Intervals still open at `horizon` (or cut short by
+/// a crash) are closed at `min(horizon, crash_time)`.
+pub(crate) fn intervals_of(
+    events: &[SchedEvent],
+    n: usize,
+    open: DiningObs,
+    close: DiningObs,
+    crash_time: &dyn Fn(ProcessId) -> Option<Time>,
+    horizon: Time,
+) -> Vec<Vec<Interval>> {
+    let mut result = vec![Vec::new(); n];
+    let mut open_at: Vec<Option<Time>> = vec![None; n];
+    for e in events {
+        let i = e.process.index();
+        if e.obs == open {
+            debug_assert!(open_at[i].is_none(), "nested {open:?} for {}", e.process);
+            open_at[i] = Some(e.time);
+        } else if e.obs == close {
+            if let Some(start) = open_at[i].take() {
+                result[i].push(Interval { start, end: e.time });
+            }
+        }
+    }
+    for i in 0..n {
+        if let Some(start) = open_at[i].take() {
+            let end = crash_time(ProcessId::from(i)).unwrap_or(horizon).min(horizon);
+            if end > start {
+                result[i].push(Interval { start, end });
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_overlap_semantics() {
+        let a = Interval { start: Time(0), end: Time(10) };
+        let b = Interval { start: Time(10), end: Time(20) };
+        assert!(!a.overlaps(&b), "touching endpoints do not overlap");
+        let c = Interval { start: Time(9), end: Time(11) };
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&a));
+    }
+
+    #[test]
+    fn intervals_close_at_crash_or_horizon() {
+        let events = vec![
+            SchedEvent::new(Time(5), ProcessId(0), DiningObs::StartedEating),
+            SchedEvent::new(Time(7), ProcessId(1), DiningObs::StartedEating),
+        ];
+        let iv = intervals_of(
+            &events,
+            2,
+            DiningObs::StartedEating,
+            DiningObs::StoppedEating,
+            &|p| (p == ProcessId(0)).then_some(Time(8)),
+            Time(100),
+        );
+        assert_eq!(iv[0], vec![Interval { start: Time(5), end: Time(8) }]);
+        assert_eq!(iv[1], vec![Interval { start: Time(7), end: Time(100) }]);
+    }
+}

@@ -1,0 +1,156 @@
+use crate::{intervals_of, SchedEvent};
+use crate::stats::Summary;
+use ekbd_dining::DiningObs;
+use ekbd_graph::ProcessId;
+use ekbd_sim::Time;
+
+/// Per-process hungry-session statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Completed hungry sessions (ended in eating).
+    pub completed: usize,
+    /// A hungry session still open at the horizon (starvation witness if
+    /// the process is correct and the run was long enough).
+    pub starving_since: Option<Time>,
+    /// Durations of the completed sessions.
+    pub latencies: Vec<u64>,
+}
+
+/// Theorem 2 (wait-freedom): every correct hungry process eventually eats,
+/// regardless of crashes.
+///
+/// In a finite run, "eventually" is witnessed by every hungry session of a
+/// correct process completing before the horizon; a correct process still
+/// hungry at the horizon of a generously long run is reported as starving
+/// (which is how the crash-oblivious baseline fails).
+#[derive(Clone, Debug, Default)]
+pub struct ProgressReport {
+    /// Indexed by process.
+    pub per_process: Vec<SessionStats>,
+}
+
+impl ProgressReport {
+    /// Builds the report for `n` processes.
+    pub fn analyze(
+        n: usize,
+        events: &[SchedEvent],
+        crash_time: &dyn Fn(ProcessId) -> Option<Time>,
+        horizon: Time,
+    ) -> Self {
+        let sessions = intervals_of(
+            events,
+            n,
+            DiningObs::BecameHungry,
+            DiningObs::StartedEating,
+            crash_time,
+            horizon,
+        );
+        // Which sessions actually completed (ended in StartedEating, not
+        // trimmed at crash/horizon): recompute open sessions.
+        let mut open_at: Vec<Option<Time>> = vec![None; n];
+        for e in events {
+            match e.obs {
+                DiningObs::BecameHungry => open_at[e.process.index()] = Some(e.time),
+                DiningObs::StartedEating => open_at[e.process.index()] = None,
+                _ => {}
+            }
+        }
+        let per_process = (0..n)
+            .map(|i| {
+                let p = ProcessId::from(i);
+                let all = &sessions[i];
+                let open = open_at[i];
+                let completed = all.len() - open.is_some() as usize;
+                let latencies = all
+                    .iter()
+                    .take(completed)
+                    .map(|iv| iv.end.since(iv.start))
+                    .collect();
+                // A crashed process cannot starve — it is not correct.
+                let starving_since = match (open, crash_time(p)) {
+                    (Some(t), None) => Some(t),
+                    _ => None,
+                };
+                SessionStats {
+                    completed,
+                    starving_since,
+                    latencies,
+                }
+            })
+            .collect();
+        ProgressReport { per_process }
+    }
+
+    /// Processes (correct ones only, by construction) with an unfinished
+    /// hungry session at the horizon.
+    pub fn starving(&self) -> Vec<ProcessId> {
+        self.per_process
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.starving_since.map(|_| ProcessId::from(i)))
+            .collect()
+    }
+
+    /// Whether every correct hungry process was scheduled in this run.
+    pub fn wait_free(&self) -> bool {
+        self.starving().is_empty()
+    }
+
+    /// Total completed eat-slots across all processes.
+    pub fn total_sessions(&self) -> usize {
+        self.per_process.iter().map(|s| s.completed).sum()
+    }
+
+    /// Summary of all hungry-session latencies.
+    pub fn latency_summary(&self) -> Summary {
+        Summary::of(
+            self.per_process
+                .iter()
+                .flat_map(|s| s.latencies.iter().copied()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, p: usize, o: DiningObs) -> SchedEvent {
+        SchedEvent::new(Time(t), ProcessId::from(p), o)
+    }
+
+    #[test]
+    fn completed_sessions_and_latencies() {
+        let events = vec![
+            ev(0, 0, DiningObs::BecameHungry),
+            ev(4, 0, DiningObs::StartedEating),
+            ev(6, 0, DiningObs::StoppedEating),
+            ev(10, 0, DiningObs::BecameHungry),
+            ev(22, 0, DiningObs::StartedEating),
+        ];
+        let r = ProgressReport::analyze(1, &events, &|_| None, Time(100));
+        assert_eq!(r.per_process[0].completed, 2);
+        assert_eq!(r.per_process[0].latencies, vec![4, 12]);
+        assert!(r.wait_free());
+        assert_eq!(r.total_sessions(), 2);
+        assert_eq!(r.latency_summary().max, 12);
+    }
+
+    #[test]
+    fn starvation_is_reported_for_correct_processes() {
+        let events = vec![ev(5, 0, DiningObs::BecameHungry)];
+        let r = ProgressReport::analyze(1, &events, &|_| None, Time(1_000));
+        assert_eq!(r.starving(), vec![ProcessId(0)]);
+        assert!(!r.wait_free());
+        assert_eq!(r.per_process[0].starving_since, Some(Time(5)));
+    }
+
+    #[test]
+    fn crashed_processes_cannot_starve() {
+        let events = vec![ev(5, 0, DiningObs::BecameHungry)];
+        let crashed = |p: ProcessId| (p == ProcessId(0)).then_some(Time(50));
+        let r = ProgressReport::analyze(1, &events, &crashed, Time(1_000));
+        assert!(r.wait_free());
+        assert_eq!(r.per_process[0].completed, 0);
+    }
+}

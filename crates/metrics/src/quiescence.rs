@@ -1,0 +1,88 @@
+use ekbd_graph::ProcessId;
+use ekbd_sim::Time;
+
+/// §7, quiescence: "processes eventually stop communicating with crashed
+/// processes". The checker consumes the simulator's record of messages sent
+/// to already-crashed destinations and, per crashed process, reports the
+/// count and the last such send — which must exist finitely (the count is
+/// bounded) and stop growing.
+#[derive(Clone, Debug, Default)]
+pub struct QuiescenceReport {
+    /// Per crashed process: `(crashed, messages sent to it after its crash,
+    /// time of the last such send)`.
+    pub per_crashed: Vec<(ProcessId, u64, Option<Time>)>,
+}
+
+impl QuiescenceReport {
+    /// Builds the report from the simulator's `sends_to_crashed` record and
+    /// the crash schedule.
+    pub fn analyze(
+        sends_to_crashed: &[(Time, ProcessId, ProcessId)],
+        crashes: &[(ProcessId, Time)],
+    ) -> Self {
+        let per_crashed = crashes
+            .iter()
+            .map(|&(p, _)| {
+                let mut count = 0;
+                let mut last = None;
+                for &(t, _, to) in sends_to_crashed {
+                    if to == p {
+                        count += 1;
+                        last = Some(last.map_or(t, |l: Time| l.max(t)));
+                    }
+                }
+                (p, count, last)
+            })
+            .collect();
+        QuiescenceReport { per_crashed }
+    }
+
+    /// Total number of messages sent to crashed destinations.
+    pub fn total(&self) -> u64 {
+        self.per_crashed.iter().map(|&(_, c, _)| c).sum()
+    }
+
+    /// The last time any live process sent anything to any crashed one.
+    pub fn last_send(&self) -> Option<Time> {
+        self.per_crashed.iter().filter_map(|&(_, _, t)| t).max()
+    }
+
+    /// Whether communication with the crashed had ceased by `cutoff` —
+    /// i.e. no send to a crashed destination at or after it.
+    pub fn quiescent_by(&self, cutoff: Time) -> bool {
+        self.last_send().is_none_or(|t| t < cutoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn counts_and_last_send_per_crashed() {
+        let sends = vec![
+            (Time(10), p(0), p(2)),
+            (Time(12), p(1), p(2)),
+            (Time(30), p(0), p(3)),
+        ];
+        let crashes = vec![(p(2), Time(5)), (p(3), Time(20))];
+        let r = QuiescenceReport::analyze(&sends, &crashes);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.per_crashed[0], (p(2), 2, Some(Time(12))));
+        assert_eq!(r.per_crashed[1], (p(3), 1, Some(Time(30))));
+        assert_eq!(r.last_send(), Some(Time(30)));
+        assert!(r.quiescent_by(Time(31)));
+        assert!(!r.quiescent_by(Time(30)));
+    }
+
+    #[test]
+    fn no_crashes_is_trivially_quiescent() {
+        let r = QuiescenceReport::analyze(&[], &[]);
+        assert_eq!(r.total(), 0);
+        assert!(r.quiescent_by(Time(0)));
+    }
+}

@@ -1,0 +1,72 @@
+/// Summary statistics over a set of `u64` samples (latencies, counts).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample (0 if empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 if empty).
+    pub mean: f64,
+    /// Median (0 if empty).
+    pub p50: u64,
+    /// 99th percentile, nearest-rank (0 if empty).
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Computes a summary of `samples`.
+    pub fn of(samples: impl IntoIterator<Item = u64>) -> Self {
+        let mut v: Vec<u64> = samples.into_iter().collect();
+        if v.is_empty() {
+            return Summary::default();
+        }
+        v.sort_unstable();
+        let count = v.len();
+        let sum: u128 = v.iter().map(|&x| x as u128).sum();
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
+            v[idx]
+        };
+        Summary {
+            count,
+            min: v[0],
+            max: v[count - 1],
+            mean: sum as f64 / count as f64,
+            p50: rank(0.50),
+            p99: rank(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = Summary::of([]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::of([5, 1, 9, 3, 7]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.p99, 9);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = Summary::of(1..=100u64);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 99);
+    }
+}

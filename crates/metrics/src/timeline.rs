@@ -1,0 +1,178 @@
+use crate::{intervals_of, ExclusionReport, SchedEvent};
+use ekbd_dining::DiningObs;
+use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_sim::Time;
+
+/// Renders an ASCII Gantt chart of eating intervals — the visual form of
+/// eventual weak exclusion: overlapping `#` runs in neighbor lanes before
+/// convergence, a clean schedule after.
+///
+/// Legend: `#` eating, `!` an exclusion mistake begins at this column,
+/// `×` the process crashes here, `.` idle.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// Render window `[from, until)`.
+    pub from: Time,
+    /// End of the window (exclusive).
+    pub until: Time,
+    /// Characters per lane.
+    pub width: usize,
+    /// Optional marker column (e.g. detector convergence).
+    pub marker: Option<Time>,
+}
+
+impl Timeline {
+    /// A timeline over `[0, until)` with the default width of 96 columns.
+    pub fn until(until: Time) -> Self {
+        Timeline {
+            from: Time::ZERO,
+            until,
+            width: 96,
+            marker: None,
+        }
+    }
+
+    /// Sets the render window start.
+    pub fn from(mut self, t: Time) -> Self {
+        self.from = t;
+        self
+    }
+
+    /// Sets the lane width in characters.
+    pub fn width(mut self, w: usize) -> Self {
+        self.width = w.max(8);
+        self
+    }
+
+    /// Adds a vertical marker (rendered as `v` on the ruler line).
+    pub fn marker(mut self, t: Time) -> Self {
+        self.marker = Some(t);
+        self
+    }
+
+    fn col(&self, t: Time) -> Option<usize> {
+        if t < self.from || t >= self.until {
+            return None;
+        }
+        let span = self.until.since(self.from).max(1);
+        Some(((t.since(self.from)) * self.width as u64 / span) as usize)
+    }
+
+    /// Renders the timeline for a run over `graph`.
+    pub fn render(
+        &self,
+        graph: &ConflictGraph,
+        events: &[SchedEvent],
+        crash_time: &dyn Fn(ProcessId) -> Option<Time>,
+        horizon: Time,
+    ) -> String {
+        let n = graph.len();
+        let eats = intervals_of(
+            events,
+            n,
+            DiningObs::StartedEating,
+            DiningObs::StoppedEating,
+            crash_time,
+            horizon,
+        );
+        let mut lanes = vec![vec![b'.'; self.width]; n];
+        for (i, lane_intervals) in eats.iter().enumerate() {
+            for iv in lane_intervals {
+                if iv.end <= self.from || iv.start >= self.until {
+                    continue; // entirely outside the window
+                }
+                let a = self.col(iv.start.max(self.from)).unwrap_or(0);
+                let b = if iv.end >= self.until {
+                    self.width
+                } else {
+                    self.col(iv.end).unwrap_or(self.width)
+                };
+                for c in a..b.max(a + 1).min(self.width) {
+                    lanes[i][c] = b'#';
+                }
+            }
+        }
+        let mistakes = ExclusionReport::analyze(graph, events, crash_time, horizon);
+        for m in &mistakes.mistakes {
+            if let Some(c) = self.col(m.from) {
+                lanes[m.a.index()][c] = b'!';
+                lanes[m.b.index()][c] = b'!';
+            }
+        }
+        for i in 0..n {
+            if let Some(ct) = crash_time(ProcessId::from(i)) {
+                if let Some(c) = self.col(ct) {
+                    lanes[i][c] = b'\xc3'; // placeholder, replaced below
+                }
+            }
+        }
+        let mut out = String::new();
+        if let Some(mt) = self.marker {
+            let mut ruler = vec![b' '; self.width];
+            if let Some(c) = self.col(mt) {
+                ruler[c] = b'v';
+            }
+            out.push_str("      ");
+            out.push_str(&String::from_utf8_lossy(&ruler));
+            out.push('\n');
+        }
+        for (i, lane) in lanes.iter().enumerate() {
+            out.push_str(&format!("  p{i:<3} "));
+            for &b in lane {
+                out.push(if b == b'\xc3' { '×' } else { b as char });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekbd_graph::topology;
+
+    fn ev(t: u64, p: usize, o: DiningObs) -> SchedEvent {
+        SchedEvent::new(Time(t), ProcessId::from(p), o)
+    }
+
+    #[test]
+    fn renders_eating_runs_and_mistakes() {
+        let g = topology::path(2);
+        let events = vec![
+            ev(0, 0, DiningObs::StartedEating),
+            ev(40, 0, DiningObs::StoppedEating),
+            ev(20, 1, DiningObs::StartedEating), // overlaps p0: mistake
+            ev(60, 1, DiningObs::StoppedEating),
+        ];
+        let tl = Timeline::until(Time(100)).width(10).marker(Time(50));
+        let s = tl.render(&g, &events, &|_| None, Time(100));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "ruler + two lanes");
+        assert!(lines[0].contains('v'));
+        assert!(lines[1].contains('#'));
+        assert!(lines[1].contains('!'), "mistake marked: {s}");
+        assert!(lines[2].contains('!'));
+    }
+
+    #[test]
+    fn renders_crash_marker() {
+        let g = topology::path(2);
+        let events = vec![ev(0, 0, DiningObs::StartedEating)];
+        let tl = Timeline::until(Time(100)).width(10);
+        let s = tl.render(&g, &events, &|p| (p == ProcessId(1)).then_some(Time(50)), Time(100));
+        assert!(s.contains('×'), "{s}");
+    }
+
+    #[test]
+    fn window_clips_out_of_range_events() {
+        let g = topology::path(2);
+        let events = vec![
+            ev(500, 0, DiningObs::StartedEating),
+            ev(600, 0, DiningObs::StoppedEating),
+        ];
+        let tl = Timeline::until(Time(100)).width(10);
+        let s = tl.render(&g, &events, &|_| None, Time(1_000));
+        assert!(!s.contains('#'), "out-of-window eating not drawn: {s}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Threaded real-time runtime for the dining state machines.
+//!
+//! The dining layer ([`DiningAlgorithm`](ekbd_dining::DiningAlgorithm)) and
+//! the detector layer ([`DetectorModule`](ekbd_detector::DetectorModule))
+//! are pure state machines, so the same code that runs on the
+//! discrete-event simulator runs here on OS threads: one thread per
+//! process, crossbeam channels as the reliable FIFO links, wall-clock
+//! milliseconds as the time base, and a live
+//! [`HeartbeatDetector`](ekbd_detector::HeartbeatDetector) as ◇P₁.
+//!
+//! Crashes are real: a crashed process's thread exits, its channel
+//! receivers drop, and from then on it neither sends nor receives —
+//! exactly the paper's crash-fault model.
+//!
+//! This crate exists to demonstrate runtime-independence and to host the
+//! wall-clock benchmarks; the measured experiments live on the simulator,
+//! where runs are deterministic and replayable.
+//!
+//! # Example
+//!
+//! ```
+//! use ekbd_runtime::{ThreadedDining, RuntimeConfig};
+//! use ekbd_graph::{topology, ProcessId};
+//!
+//! let sys = ThreadedDining::spawn(topology::ring(3), RuntimeConfig::default());
+//! for i in 0..3 {
+//!     sys.make_hungry(ProcessId(i));
+//! }
+//! let events = sys.shutdown_after(std::time::Duration::from_millis(300));
+//! // Everyone ate at least once.
+//! let eaters: std::collections::BTreeSet<_> = events.iter()
+//!     .filter(|e| e.obs == ekbd_dining::DiningObs::StartedEating)
+//!     .map(|e| e.process)
+//!     .collect();
+//! assert_eq!(eaters.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod process;
+mod system;
+
+pub use system::{RuntimeConfig, ThreadedDining};

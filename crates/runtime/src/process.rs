@@ -1,0 +1,158 @@
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use ekbd_detector::{DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, HeartbeatDetector};
+use ekbd_dining::{DinerState, DiningAlgorithm, DiningInput, DiningMsg, DiningObs};
+use ekbd_graph::ProcessId;
+use ekbd_metrics::SchedEvent;
+use ekbd_sim::Time;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Messages delivered to a process thread.
+pub(crate) enum ThreadMsg {
+    /// Dining-layer traffic.
+    Dining(ProcessId, DiningMsg),
+    /// Detector-layer traffic.
+    Detector(ProcessId, DetectorMsg),
+    /// Workload: become hungry.
+    Hungry,
+    /// Fault injection: crash now (the thread exits without cleanup).
+    Crash,
+    /// Orderly end of the experiment.
+    Shutdown,
+}
+
+pub(crate) struct ProcessThread<A: DiningAlgorithm<Msg = DiningMsg>> {
+    pub id: ProcessId,
+    pub alg: A,
+    pub det: HeartbeatDetector,
+    pub rx: Receiver<ThreadMsg>,
+    pub txs: HashMap<ProcessId, Sender<ThreadMsg>>,
+    pub epoch: Instant,
+    pub events: Arc<Mutex<Vec<SchedEvent>>>,
+    /// Fixed eating duration in milliseconds.
+    pub eat_ms: u64,
+}
+
+impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
+    fn now(&self) -> Time {
+        Time(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    fn record(&self, obs: DiningObs) {
+        let e = SchedEvent::new(self.now(), self.id, obs);
+        self.events.lock().push(e);
+    }
+
+    fn apply_detector_output(&mut self, out: DetectorOutput, timers: &mut Vec<(Instant, u64)>) {
+        for (to, msg) in out.sends {
+            // A send to a crashed (exited) neighbor fails; that is exactly
+            // the crash model — ignore the error.
+            if let Some(tx) = self.txs.get(&to) {
+                let _ = tx.send(ThreadMsg::Detector(self.id, msg));
+            }
+        }
+        for (delay_ms, tag) in out.timers {
+            timers.push((
+                Instant::now() + std::time::Duration::from_millis(delay_ms),
+                tag,
+            ));
+        }
+        if out.changed {
+            self.drive(DiningInput::SuspicionChange, timers);
+        }
+    }
+
+    /// Feeds the dining algorithm, mirroring the simulator host's diffing.
+    fn drive(&mut self, input: DiningInput<DiningMsg>, timers: &mut Vec<(Instant, u64)>) {
+        let before = self.alg.state();
+        let mut sends = Vec::new();
+        self.alg.handle(input, &self.det, &mut sends);
+        for (to, msg) in sends {
+            if let Some(tx) = self.txs.get(&to) {
+                let _ = tx.send(ThreadMsg::Dining(self.id, msg));
+            }
+        }
+        let after = self.alg.state();
+        if before == DinerState::Thinking && after != DinerState::Thinking {
+            self.record(DiningObs::BecameHungry);
+        }
+        if before != DinerState::Eating && after == DinerState::Eating {
+            self.record(DiningObs::StartedEating);
+            timers.push((
+                Instant::now() + std::time::Duration::from_millis(self.eat_ms),
+                EAT_TAG,
+            ));
+        }
+        if before == DinerState::Eating && after == DinerState::Thinking {
+            self.record(DiningObs::StoppedEating);
+        }
+    }
+
+    /// The thread body: an event loop over channel messages and timer
+    /// deadlines until shutdown or crash.
+    pub fn run(mut self) {
+        let mut timers: Vec<(Instant, u64)> = Vec::new();
+        let mut out = DetectorOutput::new();
+        self.det
+            .handle(DetectorEvent::Start { now: self.now() }, &mut out);
+        self.apply_detector_output(out, &mut timers);
+
+        loop {
+            // Fire every due timer.
+            let now_i = Instant::now();
+            let mut due: Vec<u64> = Vec::new();
+            timers.retain(|&(at, tag)| {
+                if at <= now_i {
+                    due.push(tag);
+                    false
+                } else {
+                    true
+                }
+            });
+            for tag in due {
+                if tag == EAT_TAG {
+                    if self.alg.state() == DinerState::Eating {
+                        self.drive(DiningInput::DoneEating, &mut timers);
+                    }
+                } else {
+                    let mut out = DetectorOutput::new();
+                    let now = self.now();
+                    self.det.handle(DetectorEvent::Timer { now, tag }, &mut out);
+                    self.apply_detector_output(out, &mut timers);
+                }
+            }
+
+            let deadline = timers
+                .iter()
+                .map(|&(at, _)| at)
+                .min()
+                .unwrap_or_else(|| Instant::now() + std::time::Duration::from_millis(50));
+            match self.rx.recv_deadline(deadline) {
+                Ok(ThreadMsg::Dining(from, msg)) => {
+                    self.drive(DiningInput::Message { from, msg }, &mut timers);
+                }
+                Ok(ThreadMsg::Detector(from, msg)) => {
+                    let mut out = DetectorOutput::new();
+                    let now = self.now();
+                    self.det
+                        .handle(DetectorEvent::Message { now, from, msg }, &mut out);
+                    self.apply_detector_output(out, &mut timers);
+                }
+                Ok(ThreadMsg::Hungry) => {
+                    if self.alg.state() == DinerState::Thinking {
+                        self.drive(DiningInput::Hungry, &mut timers);
+                    }
+                }
+                Ok(ThreadMsg::Crash) | Ok(ThreadMsg::Shutdown) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+/// Tag for the host-level eating timer; the heartbeat detector uses tag 1,
+/// so any value ≥ 2 is free.
+const EAT_TAG: u64 = u64::MAX;

@@ -1,0 +1,192 @@
+use crate::process::{ProcessThread, ThreadMsg};
+use crossbeam_channel::{unbounded, Sender};
+use ekbd_detector::{HeartbeatConfig, HeartbeatDetector};
+use ekbd_dining::DiningProcess;
+use ekbd_graph::{coloring, ConflictGraph, ProcessId};
+use ekbd_metrics::SchedEvent;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the threaded runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Heartbeat detector settings, in milliseconds.
+    pub heartbeat: HeartbeatConfig,
+    /// Eating duration in milliseconds.
+    pub eat_ms: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            heartbeat: HeartbeatConfig {
+                period: 10,
+                initial_timeout: 100,
+                timeout_increment: 50,
+            },
+            eat_ms: 5,
+        }
+    }
+}
+
+/// A dining system running live: one OS thread per philosopher, crossbeam
+/// channels as FIFO links, wall-clock heartbeats as ◇P₁.
+pub struct ThreadedDining {
+    txs: Vec<Sender<ThreadMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    events: Arc<Mutex<Vec<SchedEvent>>>,
+    epoch: Instant,
+}
+
+impl ThreadedDining {
+    /// Spawns the system over `graph` running Algorithm 1 with a greedy
+    /// coloring.
+    pub fn spawn(graph: ConflictGraph, config: RuntimeConfig) -> Self {
+        let colors = coloring::greedy(&graph);
+        let epoch = Instant::now();
+        let events: Arc<Mutex<Vec<SchedEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let channels: Vec<_> = (0..graph.len()).map(|_| unbounded::<ThreadMsg>()).collect();
+        let txs: Vec<Sender<ThreadMsg>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let mut handles = Vec::with_capacity(graph.len());
+        for (i, (_, rx)) in channels.into_iter().enumerate() {
+            let id = ProcessId::from(i);
+            let neighbor_txs: HashMap<ProcessId, Sender<ThreadMsg>> = graph
+                .neighbors(id)
+                .iter()
+                .map(|&q| (q, txs[q.index()].clone()))
+                .collect();
+            let thread = ProcessThread {
+                id,
+                alg: DiningProcess::from_graph(&graph, &colors, id),
+                det: HeartbeatDetector::new(config.heartbeat, graph.neighbors(id).iter().copied()),
+                rx,
+                txs: neighbor_txs,
+                epoch,
+                events: Arc::clone(&events),
+                eat_ms: config.eat_ms.max(1),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("diner-{i}"))
+                    .spawn(move || thread.run())
+                    .expect("spawn diner thread"),
+            );
+        }
+        ThreadedDining {
+            txs,
+            handles,
+            events,
+            epoch,
+        }
+    }
+
+    /// Milliseconds elapsed since the system started.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Asks `p` to become hungry (ignored unless it is thinking).
+    pub fn make_hungry(&self, p: ProcessId) {
+        let _ = self.txs[p.index()].send(ThreadMsg::Hungry);
+    }
+
+    /// Crashes `p`: its thread exits immediately and permanently.
+    pub fn crash(&self, p: ProcessId) {
+        let _ = self.txs[p.index()].send(ThreadMsg::Crash);
+    }
+
+    /// Snapshot of the events recorded so far.
+    pub fn events_so_far(&self) -> Vec<SchedEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Lets the system run for `window`, then shuts every thread down and
+    /// returns the recorded scheduling events.
+    pub fn shutdown_after(self, window: Duration) -> Vec<SchedEvent> {
+        std::thread::sleep(window);
+        for tx in &self.txs {
+            let _ = tx.send(ThreadMsg::Shutdown);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+        Arc::try_unwrap(self.events)
+            .map(|m| m.into_inner())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekbd_dining::DiningObs;
+    use ekbd_graph::topology;
+    use ekbd_metrics::ExclusionReport;
+    use ekbd_sim::Time;
+
+    #[test]
+    fn everyone_eats_on_a_ring() {
+        let sys = ThreadedDining::spawn(topology::ring(5), RuntimeConfig::default());
+        for i in 0..5 {
+            sys.make_hungry(ProcessId::from(i));
+        }
+        let events = sys.shutdown_after(Duration::from_millis(400));
+        let mut ate = [false; 5];
+        for e in &events {
+            if e.obs == DiningObs::StartedEating {
+                ate[e.process.index()] = true;
+            }
+        }
+        assert!(ate.iter().all(|&x| x), "everyone must eat: {ate:?}");
+    }
+
+    #[test]
+    fn no_mistakes_without_false_suspicions() {
+        // With a suspicion timeout far beyond the test duration the
+        // detector never falsely suspects (even on a loaded machine), so
+        // exclusion must be perfect from the start.
+        let g = topology::clique(4);
+        let cfg = RuntimeConfig {
+            heartbeat: HeartbeatConfig {
+                period: 10,
+                initial_timeout: 60_000,
+                timeout_increment: 50,
+            },
+            eat_ms: 5,
+        };
+        let sys = ThreadedDining::spawn(g.clone(), cfg);
+        for round in 0..3 {
+            for i in 0..4 {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(Duration::from_millis(60 + round * 10));
+        }
+        let events = sys.shutdown_after(Duration::from_millis(200));
+        let report = ExclusionReport::analyze(&g, &events, &|_| None, Time(60_000));
+        assert_eq!(report.total(), 0, "mistakes: {:?}", report.mistakes);
+    }
+
+    #[test]
+    fn crashed_neighbor_does_not_block_the_ring() {
+        let sys = ThreadedDining::spawn(topology::ring(3), RuntimeConfig::default());
+        sys.crash(ProcessId(0));
+        std::thread::sleep(Duration::from_millis(20));
+        sys.make_hungry(ProcessId(1));
+        sys.make_hungry(ProcessId(2));
+        // p1 and p2 each share an edge with the crashed p0; the heartbeat
+        // detector needs ~100ms to suspect it.
+        let events = sys.shutdown_after(Duration::from_millis(700));
+        let eaters: std::collections::BTreeSet<ProcessId> = events
+            .iter()
+            .filter(|e| e.obs == DiningObs::StartedEating)
+            .map(|e| e.process)
+            .collect();
+        assert!(
+            eaters.contains(&ProcessId(1)) && eaters.contains(&ProcessId(2)),
+            "wait-freedom on real threads: {eaters:?}"
+        );
+    }
+}

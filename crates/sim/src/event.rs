@@ -1,0 +1,128 @@
+use crate::time::Time;
+use crate::ProcessId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when a queued event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M, E> {
+    /// Deliver a message on the FIFO channel `from → to`.
+    Deliver { from: ProcessId, msg: M },
+    /// Fire a timer with the node-chosen tag.
+    Timer { tag: u64 },
+    /// Deliver an externally scheduled event (e.g. "become hungry").
+    External(E),
+    /// Crash the target process.
+    Crash,
+}
+
+/// A queued event, ordered by `(time, seq)`.
+///
+/// `seq` is a global monotone counter assigned at scheduling time, so
+/// simultaneous events fire in a deterministic scheduling order, making the
+/// whole simulation a pure function of `(seed, schedule)`.
+pub(crate) struct Scheduled<M, E> {
+    pub time: Time,
+    pub seq: u64,
+    pub target: ProcessId,
+    pub kind: EventKind<M, E>,
+}
+
+impl<M, E> PartialEq for Scheduled<M, E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M, E> Eq for Scheduled<M, E> {}
+impl<M, E> PartialOrd for Scheduled<M, E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M, E> Ord for Scheduled<M, E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Deterministic priority queue of scheduled events.
+pub(crate) struct EventQueue<M, E> {
+    heap: BinaryHeap<Scheduled<M, E>>,
+    next_seq: u64,
+}
+
+impl<M, E> EventQueue<M, E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at `time` for `target`; returns the sequence number.
+    pub fn push(&mut self, time: Time, target: ProcessId, kind: EventKind<M, E>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            target,
+            kind,
+        });
+        seq
+    }
+
+    pub fn pop(&mut self) -> Option<Scheduled<M, E>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q: EventQueue<u32, ()> = EventQueue::new();
+        q.push(Time(5), p(0), EventKind::Timer { tag: 1 });
+        q.push(Time(3), p(1), EventKind::Timer { tag: 2 });
+        q.push(Time(5), p(2), EventKind::Timer { tag: 3 });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(Time(3)));
+        let a = q.pop().unwrap();
+        assert_eq!((a.time, a.target), (Time(3), p(1)));
+        let b = q.pop().unwrap();
+        let c = q.pop().unwrap();
+        // Same timestamp: scheduling order (seq) breaks the tie.
+        assert_eq!((b.time, b.target), (Time(5), p(0)));
+        assert_eq!((c.time, c.target), (Time(5), p(2)));
+        assert!(b.seq < c.seq);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn seq_is_globally_monotone() {
+        let mut q: EventQueue<(), ()> = EventQueue::new();
+        let s1 = q.push(Time(9), p(0), EventKind::Crash);
+        let s2 = q.push(Time(1), p(0), EventKind::Crash);
+        assert!(s2 > s1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Deterministic discrete-event simulation of asynchronous message-passing
+//! systems with crash faults and partial synchrony.
+//!
+//! The paper's computational model (§2) is an asynchronous message-passing
+//! system with reliable FIFO channels, unbounded message delays and relative
+//! process speeds, and crash faults, augmented with enough partial synchrony
+//! to implement the eventually perfect failure detector ◇P. This crate is
+//! that substrate:
+//!
+//! * [`Simulator`] — a seeded, fully deterministic discrete-event kernel.
+//!   Processes are [`Node`] state machines; every run with the same seed and
+//!   schedule produces the identical trace, which is what makes the paper's
+//!   *eventual* properties (finitely many mistakes, infinite suffixes)
+//!   checkable in finite executions.
+//! * [`DelayModel`] — message-delay distributions, including the
+//!   Dwork–Lynch–Stockmeyer **global stabilization time** (GST) model: delays
+//!   are adversarially large before GST and bounded by Δ afterwards, which is
+//!   exactly the partial synchrony the paper cites as sufficient for ◇P.
+//! * Reliable FIFO channels with per-edge in-transit accounting (high-water
+//!   marks feed the paper's "at most four messages per edge" claim, §7).
+//! * Crash injection: a crashed process "ceases execution without warning and
+//!   never recovers"; messages addressed to it after the crash are counted
+//!   (for the quiescence claim, §7) and discarded on delivery.
+//!
+//! # Example
+//!
+//! ```
+//! use ekbd_sim::{Simulator, SimConfig, Node, NodeEvent, Context, ProcessId};
+//!
+//! /// A node that greets its successor once and notes the echo it gets back.
+//! struct Echo { n: usize }
+//! impl Node for Echo {
+//!     type Msg = &'static str;
+//!     type Ext = ();
+//!     type Obs = String;
+//!     fn handle(&mut self, ev: NodeEvent<Self::Msg, Self::Ext>,
+//!               ctx: &mut Context<'_, Self::Msg, Self::Obs>) {
+//!         match ev {
+//!             NodeEvent::Start => {
+//!                 let next = ProcessId::from((ctx.id().index() + 1) % self.n);
+//!                 ctx.send(next, "hello");
+//!             }
+//!             NodeEvent::Message { from, msg: "hello" } => ctx.send(from, "world"),
+//!             NodeEvent::Message { from, .. } => ctx.observe(format!("done with {from}")),
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(SimConfig::default().seed(7), |_, _| Echo { n: 3 });
+//! sim.run();
+//! assert_eq!(sim.observations().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod network;
+mod node;
+mod sim;
+mod time;
+mod trace;
+
+pub use ekbd_graph::ProcessId;
+pub use network::{ChannelStats, DelayModel};
+pub use node::{Context, Node, NodeEvent};
+pub use sim::{SimConfig, Simulator};
+pub use time::{Duration, Time};
+pub use trace::{Observation, TraceEvent, TraceKind};

@@ -1,0 +1,265 @@
+use crate::time::{Duration, Time};
+use crate::ProcessId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Message-delay distribution of the simulated network.
+///
+/// The paper's system model is asynchronous (unbounded delays) with enough
+/// partial synchrony to implement ◇P. [`DelayModel::Gst`] realizes the
+/// Dwork–Lynch–Stockmeyer formulation the paper cites: an unknown global
+/// stabilization time after which every message delay is bounded by Δ.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly `d ≥ 1` ticks.
+    Fixed(Duration),
+    /// Delays drawn uniformly from `[min, max]`.
+    Uniform {
+        /// Minimum delay (clamped to ≥ 1).
+        min: Duration,
+        /// Maximum delay (inclusive).
+        max: Duration,
+    },
+    /// Partial synchrony: before `gst`, delays are drawn uniformly from
+    /// `[1, pre_max]` (adversarially large); from `gst` on, uniformly from
+    /// `[1, delta]`. The failure-detector layer does not know `gst`.
+    Gst {
+        /// Global stabilization time.
+        gst: Time,
+        /// Worst-case delay before stabilization.
+        pre_max: Duration,
+        /// Delay bound Δ after stabilization.
+        delta: Duration,
+    },
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::Uniform { min: 1, max: 8 }
+    }
+}
+
+impl DelayModel {
+    /// Samples a delay for a message sent at `now`.
+    pub(crate) fn sample(&self, now: Time, rng: &mut StdRng) -> Duration {
+        let d = match *self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { min, max } => rng.gen_range(min..=max.max(min)),
+            DelayModel::Gst {
+                gst,
+                pre_max,
+                delta,
+            } => {
+                let bound = if now < gst { pre_max } else { delta };
+                rng.gen_range(1..=bound.max(1))
+            }
+        };
+        d.max(1)
+    }
+
+    /// The post-stabilization delay bound, if this model has one.
+    pub fn eventual_bound(&self) -> Duration {
+        match *self {
+            DelayModel::Fixed(d) => d.max(1),
+            DelayModel::Uniform { min, max } => max.max(min).max(1),
+            DelayModel::Gst { delta, .. } => delta.max(1),
+        }
+    }
+}
+
+/// Per-channel bookkeeping exposed after a run.
+///
+/// `in_transit` counts both directions of the unordered pair `{a, b}`, which
+/// is the unit of the paper's §7 claim that *at most four messages are in
+/// transit between each pair of neighbors at any time*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages currently in flight on the pair (both directions).
+    pub in_transit: usize,
+    /// Maximum simultaneous in-flight messages observed on the pair.
+    pub high_water: usize,
+    /// Total messages ever sent on the pair.
+    pub total: u64,
+}
+
+/// The reliable-FIFO network fabric.
+///
+/// Every message sent is eventually delivered exactly once, uncorrupted, in
+/// per-ordered-channel FIFO order. FIFO is enforced by never scheduling a
+/// delivery earlier than the previously scheduled delivery on the same
+/// ordered channel (ties broken by scheduling sequence in the event queue).
+pub(crate) struct Network {
+    delay: DelayModel,
+    /// Last scheduled delivery time per ordered channel.
+    last_delivery: HashMap<(ProcessId, ProcessId), Time>,
+    /// Stats per unordered pair.
+    stats: HashMap<(ProcessId, ProcessId), ChannelStats>,
+    /// Messages sent to each destination after it crashed, by send time.
+    to_crashed: Vec<(Time, ProcessId, ProcessId)>,
+}
+
+fn unordered(a: ProcessId, b: ProcessId) -> (ProcessId, ProcessId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Network {
+    pub fn new(delay: DelayModel) -> Self {
+        Network {
+            delay,
+            last_delivery: HashMap::new(),
+            stats: HashMap::new(),
+            to_crashed: Vec::new(),
+        }
+    }
+
+    /// Computes the FIFO-respecting delivery time for a message sent at
+    /// `now` on the ordered channel `from → to`, and updates accounting.
+    pub fn schedule_send(
+        &mut self,
+        now: Time,
+        from: ProcessId,
+        to: ProcessId,
+        dest_crashed: bool,
+        rng: &mut StdRng,
+    ) -> Time {
+        let raw = now + self.delay.sample(now, rng);
+        let entry = self.last_delivery.entry((from, to)).or_insert(Time::ZERO);
+        let delivery = raw.max(*entry);
+        *entry = delivery;
+        let s = self.stats.entry(unordered(from, to)).or_default();
+        s.in_transit += 1;
+        s.high_water = s.high_water.max(s.in_transit);
+        s.total += 1;
+        if dest_crashed {
+            self.to_crashed.push((now, from, to));
+        }
+        delivery
+    }
+
+    /// Marks a message on `from → to` as delivered (or discarded at a
+    /// crashed destination).
+    pub fn complete_delivery(&mut self, from: ProcessId, to: ProcessId) {
+        let s = self
+            .stats
+            .get_mut(&unordered(from, to))
+            .expect("delivery without matching send");
+        debug_assert!(s.in_transit > 0, "channel accounting underflow");
+        s.in_transit = s.in_transit.saturating_sub(1);
+    }
+
+    pub fn stats(&self, a: ProcessId, b: ProcessId) -> ChannelStats {
+        self.stats.get(&unordered(a, b)).copied().unwrap_or_default()
+    }
+
+    pub fn all_stats(&self) -> impl Iterator<Item = ((ProcessId, ProcessId), ChannelStats)> + '_ {
+        self.stats.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// `(send_time, from, to)` records of messages addressed to already
+    /// crashed processes — the raw material of the quiescence experiment.
+    pub fn sends_to_crashed(&self) -> &[(Time, ProcessId, ProcessId)] {
+        &self.to_crashed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn fixed_delay_is_fixed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = DelayModel::Fixed(5);
+        for t in [0u64, 10, 1000] {
+            assert_eq!(m.sample(Time(t), &mut rng), 5);
+        }
+        assert_eq!(m.eventual_bound(), 5);
+    }
+
+    #[test]
+    fn uniform_delay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DelayModel::Uniform { min: 2, max: 9 };
+        for _ in 0..200 {
+            let d = m.sample(Time(0), &mut rng);
+            assert!((2..=9).contains(&d));
+        }
+        assert_eq!(m.eventual_bound(), 9);
+    }
+
+    #[test]
+    fn gst_delay_shrinks_after_stabilization() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = DelayModel::Gst {
+            gst: Time(100),
+            pre_max: 1000,
+            delta: 4,
+        };
+        let mut saw_large_pre = false;
+        for _ in 0..300 {
+            let pre = m.sample(Time(50), &mut rng);
+            assert!(pre >= 1 && pre <= 1000);
+            saw_large_pre |= pre > 4;
+            let post = m.sample(Time(100), &mut rng);
+            assert!(post >= 1 && post <= 4);
+        }
+        assert!(saw_large_pre, "pre-GST delays should exceed delta sometimes");
+        assert_eq!(m.eventual_bound(), 4);
+    }
+
+    #[test]
+    fn delay_never_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(DelayModel::Fixed(0).sample(Time(0), &mut rng), 1);
+        let m = DelayModel::Uniform { min: 0, max: 0 };
+        assert_eq!(m.sample(Time(0), &mut rng), 1);
+    }
+
+    #[test]
+    fn fifo_preserved_even_with_random_delays() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Network::new(DelayModel::Uniform { min: 1, max: 100 });
+        let mut last = Time::ZERO;
+        for t in 0..50u64 {
+            let d = net.schedule_send(Time(t), p(0), p(1), false, &mut rng);
+            assert!(d >= last, "delivery times must be monotone per channel");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn in_transit_accounting() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Network::new(DelayModel::Fixed(10));
+        net.schedule_send(Time(0), p(0), p(1), false, &mut rng);
+        net.schedule_send(Time(1), p(1), p(0), false, &mut rng);
+        net.schedule_send(Time(2), p(0), p(1), false, &mut rng);
+        let s = net.stats(p(1), p(0));
+        assert_eq!(s.in_transit, 3);
+        assert_eq!(s.high_water, 3);
+        assert_eq!(s.total, 3);
+        net.complete_delivery(p(0), p(1));
+        let s = net.stats(p(0), p(1));
+        assert_eq!(s.in_transit, 2);
+        assert_eq!(s.high_water, 3, "high water mark is sticky");
+    }
+
+    #[test]
+    fn records_sends_to_crashed() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = Network::new(DelayModel::Fixed(1));
+        net.schedule_send(Time(3), p(0), p(1), true, &mut rng);
+        net.schedule_send(Time(4), p(0), p(2), false, &mut rng);
+        assert_eq!(net.sends_to_crashed(), &[(Time(3), p(0), p(1))]);
+    }
+}

@@ -1,0 +1,121 @@
+use crate::time::{Duration, Time};
+use crate::ProcessId;
+use rand::rngs::StdRng;
+
+/// An input delivered to a [`Node`] by the simulator.
+#[derive(Debug)]
+pub enum NodeEvent<M, E> {
+    /// Fired once for every process at time zero, before any other event.
+    Start,
+    /// A message arrived on the FIFO channel `from → self`.
+    Message {
+        /// The sender.
+        from: ProcessId,
+        /// The payload.
+        msg: M,
+    },
+    /// A timer set via [`Context::set_timer`] fired.
+    Timer {
+        /// The tag passed to `set_timer`.
+        tag: u64,
+    },
+    /// An externally scheduled event (workload input such as "become
+    /// hungry" or "stop eating") arrived.
+    External(E),
+}
+
+/// A process in the simulated system.
+///
+/// Nodes are *pure state machines*: all interaction with the outside world
+/// goes through the [`Context`] passed to [`Node::handle`]. This is what
+/// lets the same algorithm code run unchanged on the discrete-event
+/// simulator and on the threaded real-time runtime.
+pub trait Node {
+    /// Message type exchanged between nodes.
+    type Msg;
+    /// Externally injected events (the workload interface).
+    type Ext;
+    /// Observations emitted for metrics/checkers.
+    type Obs;
+
+    /// Handles one event, possibly sending messages, setting timers, and
+    /// emitting observations via `ctx`.
+    fn handle(&mut self, ev: NodeEvent<Self::Msg, Self::Ext>, ctx: &mut Context<'_, Self::Msg, Self::Obs>);
+}
+
+/// The effect interface handed to [`Node::handle`].
+///
+/// Effects are buffered and applied by the simulator after the handler
+/// returns, so a handler always sees a consistent snapshot of time.
+pub struct Context<'a, M, O> {
+    pub(crate) id: ProcessId,
+    pub(crate) now: Time,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) sends: Vec<(ProcessId, M)>,
+    pub(crate) timers: Vec<(Duration, u64)>,
+    pub(crate) observations: Vec<O>,
+}
+
+impl<'a, M, O> Context<'a, M, O> {
+    pub(crate) fn new(id: ProcessId, now: Time, rng: &'a mut StdRng) -> Self {
+        Context {
+            id,
+            now,
+            rng,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `msg` to `to` over the reliable FIFO channel.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Arranges a [`NodeEvent::Timer`] with `tag` to fire after `delay`
+    /// ticks (at least one tick in the future).
+    pub fn set_timer(&mut self, delay: Duration, tag: u64) {
+        self.timers.push((delay.max(1), tag));
+    }
+
+    /// Emits an observation for the metrics layer.
+    pub fn observe(&mut self, obs: O) {
+        self.observations.push(obs);
+    }
+
+    /// Deterministic per-simulation random source.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_buffers_effects() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx: Context<'_, &str, u32> = Context::new(ProcessId(2), Time(7), &mut rng);
+        assert_eq!(ctx.id(), ProcessId(2));
+        assert_eq!(ctx.now(), Time(7));
+        ctx.send(ProcessId(0), "hi");
+        ctx.set_timer(0, 9); // clamped to 1
+        ctx.observe(41);
+        assert_eq!(ctx.sends, vec![(ProcessId(0), "hi")]);
+        assert_eq!(ctx.timers, vec![(1, 9)]);
+        assert_eq!(ctx.observations, vec![41]);
+    }
+}

@@ -1,0 +1,616 @@
+use crate::event::{EventKind, EventQueue};
+use crate::network::{ChannelStats, DelayModel, Network};
+use crate::node::{Context, Node, NodeEvent};
+use crate::time::Time;
+use crate::trace::{Observation, TraceEvent, TraceKind};
+use crate::ProcessId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a [`Simulator`].
+///
+/// All builder methods consume and return `self`, so configurations read as
+/// one expression:
+///
+/// ```
+/// use ekbd_sim::{SimConfig, DelayModel, Time};
+/// let cfg = SimConfig::default()
+///     .n(8)
+///     .seed(42)
+///     .delay(DelayModel::Gst { gst: Time(500), pre_max: 200, delta: 5 })
+///     .record_trace(true);
+/// assert_eq!(cfg.n, 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// RNG seed; the entire run is a pure function of the seed and the
+    /// scheduled external events/crashes.
+    pub seed: u64,
+    /// Message delay model.
+    pub delay: DelayModel,
+    /// Whether to record the kernel trace (off by default; observations are
+    /// always recorded).
+    pub record_trace: bool,
+    /// Safety valve: [`Simulator::run`] stops after this many events.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n: 3,
+            seed: 0,
+            delay: DelayModel::default(),
+            record_trace: false,
+            max_events: 50_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the number of processes.
+    pub fn n(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+    /// Sets the delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+    /// Enables or disables kernel-trace recording.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+    /// Sets the event-count safety valve.
+    pub fn max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+}
+
+/// A deterministic discrete-event simulator over `n` [`Node`]s.
+///
+/// The life of a run:
+///
+/// 1. construct with a per-process node factory,
+/// 2. schedule workload ([`schedule_external`](Self::schedule_external)) and
+///    faults ([`schedule_crash`](Self::schedule_crash)),
+/// 3. drive with [`run_until`](Self::run_until) (or [`run`](Self::run) for
+///    workloads that quiesce),
+/// 4. inspect [`observations`](Self::observations), nodes, channel stats.
+pub struct Simulator<N: Node> {
+    config: SimConfig,
+    time: Time,
+    queue: EventQueue<N::Msg, N::Ext>,
+    network: Network,
+    nodes: Vec<N>,
+    crashed: Vec<bool>,
+    crash_times: Vec<Option<Time>>,
+    rng: StdRng,
+    started: bool,
+    events_processed: u64,
+    trace: Vec<TraceEvent>,
+    observations: Vec<Observation<N::Obs>>,
+}
+
+impl<N: Node> Simulator<N> {
+    /// Creates a simulator; `factory(id, rng)` builds the node for each
+    /// process id in order.
+    pub fn new(config: SimConfig, mut factory: impl FnMut(ProcessId, &mut StdRng) -> N) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let nodes: Vec<N> = (0..config.n)
+            .map(|i| factory(ProcessId::from(i), &mut rng))
+            .collect();
+        let n = config.n;
+        Simulator {
+            network: Network::new(config.delay.clone()),
+            config,
+            time: Time::ZERO,
+            queue: EventQueue::new(),
+            nodes,
+            crashed: vec![false; n],
+            crash_times: vec![None; n],
+            rng,
+            started: false,
+            events_processed: 0,
+            trace: Vec::new(),
+            observations: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the system has zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node's state (for assertions and metrics).
+    pub fn node(&self, p: ProcessId) -> &N {
+        &self.nodes[p.index()]
+    }
+
+    /// Whether `p` has crashed (by current virtual time).
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.crashed[p.index()]
+    }
+
+    /// The crash time of `p`, if it crashed.
+    pub fn crash_time(&self, p: ProcessId) -> Option<Time> {
+        self.crash_times[p.index()]
+    }
+
+    /// Ids of processes that never crash in this run *as scheduled so far*.
+    pub fn correct_processes(&self) -> Vec<ProcessId> {
+        (0..self.len())
+            .map(ProcessId::from)
+            .filter(|p| !self.crashed[p.index()] && self.crash_times[p.index()].is_none())
+            .collect()
+    }
+
+    /// Schedules process `p` to crash at time `t`.
+    ///
+    /// A crash takes effect as an ordinary event: everything `p` did before
+    /// `t` stands (including messages already in flight), and `p` handles no
+    /// event from `t` on.
+    pub fn schedule_crash(&mut self, p: ProcessId, t: Time) {
+        assert!(p.index() < self.len(), "crash target out of range");
+        self.crash_times[p.index()] = Some(t);
+        self.queue.push(t, p, EventKind::Crash);
+    }
+
+    /// Schedules an external (workload) event for `p` at time `t`.
+    pub fn schedule_external(&mut self, p: ProcessId, t: Time, ev: N::Ext) {
+        assert!(p.index() < self.len(), "external target out of range");
+        self.queue.push(t, p, EventKind::External(ev));
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// All observations emitted so far, in emission order.
+    pub fn observations(&self) -> &[Observation<N::Obs>] {
+        &self.observations
+    }
+
+    /// Drains and returns the observations buffered so far.
+    pub fn take_observations(&mut self) -> Vec<Observation<N::Obs>> {
+        std::mem::take(&mut self.observations)
+    }
+
+    /// The kernel trace (empty unless [`SimConfig::record_trace`] was set).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Channel statistics for the unordered pair `{a, b}`.
+    pub fn channel_stats(&self, a: ProcessId, b: ProcessId) -> ChannelStats {
+        self.network.stats(a, b)
+    }
+
+    /// The largest in-transit high-water mark over all channels.
+    pub fn max_channel_high_water(&self) -> usize {
+        self.network
+            .all_stats()
+            .map(|(_, s)| s.high_water)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total messages sent in the run.
+    pub fn total_messages(&self) -> u64 {
+        self.network.all_stats().map(|(_, s)| s.total).sum()
+    }
+
+    /// `(send_time, from, to)` for every message sent to an
+    /// already-crashed destination.
+    pub fn sends_to_crashed(&self) -> &[(Time, ProcessId, ProcessId)] {
+        self.network.sends_to_crashed()
+    }
+
+    fn dispatch(&mut self, target: ProcessId, ev: NodeEvent<N::Msg, N::Ext>) {
+        let mut ctx = Context::new(target, self.time, &mut self.rng);
+        self.nodes[target.index()].handle(ev, &mut ctx);
+        let Context {
+            sends,
+            timers,
+            observations,
+            ..
+        } = ctx;
+        for (to, msg) in sends {
+            assert!(to.index() < self.crashed.len(), "send target out of range");
+            assert!(to != target, "a process cannot send to itself");
+            let dest_crashed = self.crashed[to.index()];
+            let delivery =
+                self.network
+                    .schedule_send(self.time, target, to, dest_crashed, &mut self.rng);
+            self.queue
+                .push(delivery, to, EventKind::Deliver { from: target, msg });
+            if self.config.record_trace {
+                self.trace.push(TraceEvent {
+                    time: self.time,
+                    kind: TraceKind::Sent {
+                        from: target,
+                        to,
+                        delivery,
+                    },
+                });
+            }
+        }
+        for (delay, tag) in timers {
+            self.queue
+                .push(self.time + delay, target, EventKind::Timer { tag });
+        }
+        for obs in observations {
+            self.observations.push(Observation {
+                time: self.time,
+                process: target,
+                obs,
+            });
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.len() {
+            self.dispatch(ProcessId::from(i), NodeEvent::Start);
+        }
+    }
+
+    /// The timestamp of the next queued event, if any. Note that before the
+    /// first [`step`](Self::step)/[`run`](Self::run) call, start-up events
+    /// have not yet been dispatched and may enqueue more work.
+    pub fn peek_next_time(&mut self) -> Option<Time> {
+        self.ensure_started();
+        self.queue.peek_time()
+    }
+
+    /// Processes the next event, if any; returns its time.
+    pub fn step(&mut self) -> Option<Time> {
+        self.ensure_started();
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.time >= self.time, "time cannot run backwards");
+        self.time = self.time.max(ev.time);
+        self.events_processed += 1;
+        let target = ev.target;
+        match ev.kind {
+            EventKind::Crash => {
+                self.crashed[target.index()] = true;
+                if self.config.record_trace {
+                    self.trace.push(TraceEvent {
+                        time: self.time,
+                        kind: TraceKind::Crashed { process: target },
+                    });
+                }
+            }
+            EventKind::Deliver { from, msg } => {
+                self.network.complete_delivery(from, target);
+                if self.crashed[target.index()] {
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent {
+                            time: self.time,
+                            kind: TraceKind::DroppedAtCrashed { from, to: target },
+                        });
+                    }
+                } else {
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent {
+                            time: self.time,
+                            kind: TraceKind::Delivered { from, to: target },
+                        });
+                    }
+                    self.dispatch(target, NodeEvent::Message { from, msg });
+                }
+            }
+            EventKind::Timer { tag } => {
+                if !self.crashed[target.index()] {
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent {
+                            time: self.time,
+                            kind: TraceKind::TimerFired {
+                                process: target,
+                                tag,
+                            },
+                        });
+                    }
+                    self.dispatch(target, NodeEvent::Timer { tag });
+                }
+            }
+            EventKind::External(ext) => {
+                if !self.crashed[target.index()] {
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent {
+                            time: self.time,
+                            kind: TraceKind::ExternalDelivered { process: target },
+                        });
+                    }
+                    self.dispatch(target, NodeEvent::External(ext));
+                }
+            }
+        }
+        Some(self.time)
+    }
+
+    /// Runs until the event queue drains or `max_events` is hit; returns
+    /// `true` if the system quiesced (queue drained).
+    pub fn run(&mut self) -> bool {
+        self.ensure_started();
+        while self.events_processed < self.config.max_events {
+            if self.step().is_none() {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    /// Processes every event with `time ≤ horizon`, then advances the clock
+    /// to exactly `horizon`. This is the main driver for workloads (like
+    /// heartbeat failure detectors) that never quiesce.
+    pub fn run_until(&mut self, horizon: Time) {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon || self.events_processed >= self.config.max_events {
+                break;
+            }
+            self.step();
+        }
+        self.time = self.time.max(horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    /// Test node: forwards each received counter+1 to the next process in
+    /// the ring until the counter reaches a limit; records each hop.
+    struct RingHop {
+        n: usize,
+        limit: u32,
+    }
+
+    impl Node for RingHop {
+        type Msg = u32;
+        type Ext = u32;
+        type Obs = u32;
+
+        fn handle(
+            &mut self,
+            ev: NodeEvent<u32, u32>,
+            ctx: &mut Context<'_, u32, u32>,
+        ) {
+            let next = ProcessId::from((ctx.id().index() + 1) % self.n);
+            match ev {
+                NodeEvent::Start => {}
+                NodeEvent::External(c) | NodeEvent::Message { msg: c, .. } => {
+                    ctx.observe(c);
+                    if c < self.limit {
+                        ctx.send(next, c + 1);
+                    }
+                }
+                NodeEvent::Timer { .. } => {}
+            }
+        }
+    }
+
+    fn ring_sim(seed: u64) -> Simulator<RingHop> {
+        let cfg = SimConfig::default().n(4).seed(seed).record_trace(true);
+        let mut sim = Simulator::new(cfg, |_, _| RingHop { n: 4, limit: 10 });
+        sim.schedule_external(p(0), Time(1), 0);
+        sim
+    }
+
+    #[test]
+    fn token_circulates_and_quiesces() {
+        let mut sim = ring_sim(1);
+        assert!(sim.run(), "run should quiesce");
+        let hops: Vec<u32> = sim.observations().iter().map(|o| o.obs).collect();
+        assert_eq!(hops, (0..=10).collect::<Vec<_>>());
+        // Message k is observed at process (k mod 4) shifted by origin 0.
+        for (k, o) in sim.observations().iter().enumerate() {
+            assert_eq!(o.process, p(k % 4));
+        }
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let mut a = ring_sim(77);
+        let mut b = ring_sim(77);
+        a.run();
+        b.run();
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.events_processed(), b.events_processed());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let mut a = ring_sim(1);
+        let mut b = ring_sim(2);
+        a.run();
+        b.run();
+        assert_ne!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn crash_stops_a_process() {
+        let mut sim = ring_sim(5);
+        sim.schedule_crash(p(2), Time(2));
+        sim.run();
+        // The token dies when it reaches the crashed p2.
+        assert!(sim.is_crashed(p(2)));
+        assert_eq!(sim.crash_time(p(2)), Some(Time(2)));
+        let max_hop = sim.observations().iter().map(|o| o.obs).max().unwrap();
+        assert!(max_hop < 10, "token should not survive the crash");
+        assert!(sim
+            .observations()
+            .iter()
+            .all(|o| o.process != p(2) || o.time < Time(2)));
+        assert_eq!(sim.correct_processes(), vec![p(0), p(1), p(3)]);
+    }
+
+    #[test]
+    fn sends_to_crashed_are_counted_and_dropped() {
+        struct Pester;
+        impl Node for Pester {
+            type Msg = ();
+            type Ext = ();
+            type Obs = ();
+            fn handle(&mut self, ev: NodeEvent<(), ()>, ctx: &mut Context<'_, (), ()>) {
+                if matches!(ev, NodeEvent::External(())) {
+                    ctx.send(ProcessId(1), ());
+                }
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::default().n(2).record_trace(true), |_, _| Pester);
+        sim.schedule_crash(p(1), Time(5));
+        sim.schedule_external(p(0), Time(10), ());
+        sim.run();
+        assert_eq!(sim.sends_to_crashed().len(), 1);
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::DroppedAtCrashed { .. })));
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_horizon() {
+        let mut sim = ring_sim(3);
+        sim.run_until(Time(1_000));
+        assert_eq!(sim.now(), Time(1_000));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode;
+        impl Node for TimerNode {
+            type Msg = ();
+            type Ext = ();
+            type Obs = u64;
+            fn handle(&mut self, ev: NodeEvent<(), ()>, ctx: &mut Context<'_, (), u64>) {
+                match ev {
+                    NodeEvent::Start => {
+                        ctx.set_timer(30, 3);
+                        ctx.set_timer(10, 1);
+                        ctx.set_timer(20, 2);
+                    }
+                    NodeEvent::Timer { tag } => ctx.observe(tag),
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::default().n(1), |_, _| TimerNode);
+        sim.run();
+        let tags: Vec<u64> = sim.observations().iter().map(|o| o.obs).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert_eq!(sim.now(), Time(30));
+    }
+
+    #[test]
+    fn fifo_order_respected_under_random_delays() {
+        struct Burst;
+        impl Node for Burst {
+            type Msg = u32;
+            type Ext = ();
+            type Obs = u32;
+            fn handle(&mut self, ev: NodeEvent<u32, ()>, ctx: &mut Context<'_, u32, u32>) {
+                match ev {
+                    NodeEvent::External(()) => {
+                        for k in 0..100 {
+                            ctx.send(ProcessId(1), k);
+                        }
+                    }
+                    NodeEvent::Message { msg, .. } => ctx.observe(msg),
+                    _ => {}
+                }
+            }
+        }
+        for seed in 0..10 {
+            let cfg = SimConfig::default()
+                .n(2)
+                .seed(seed)
+                .delay(DelayModel::Uniform { min: 1, max: 50 });
+            let mut sim = Simulator::new(cfg, |_, _| Burst);
+            sim.schedule_external(p(0), Time(1), ());
+            sim.run();
+            let got: Vec<u32> = sim.observations().iter().map(|o| o.obs).collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>(), "seed {seed} broke FIFO");
+        }
+    }
+
+    #[test]
+    fn max_events_valve_stops_runaway() {
+        struct PingPong;
+        impl Node for PingPong {
+            type Msg = ();
+            type Ext = ();
+            type Obs = ();
+            fn handle(&mut self, ev: NodeEvent<(), ()>, ctx: &mut Context<'_, (), ()>) {
+                let other = ProcessId::from(1 - ctx.id().index());
+                match ev {
+                    NodeEvent::Start if ctx.id() == ProcessId(0) => ctx.send(other, ()),
+                    NodeEvent::Message { .. } => ctx.send(other, ()),
+                    _ => {}
+                }
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::default().n(2).max_events(500), |_, _| PingPong);
+        assert!(!sim.run(), "infinite ping-pong must hit the valve");
+        assert_eq!(sim.events_processed(), 500);
+    }
+
+    #[test]
+    fn channel_stats_track_high_water() {
+        struct Burst;
+        impl Node for Burst {
+            type Msg = u32;
+            type Ext = ();
+            type Obs = ();
+            fn handle(&mut self, ev: NodeEvent<u32, ()>, ctx: &mut Context<'_, u32, ()>) {
+                if matches!(ev, NodeEvent::External(())) {
+                    for k in 0..5 {
+                        ctx.send(ProcessId(1), k);
+                    }
+                }
+            }
+        }
+        let mut sim = Simulator::new(
+            SimConfig::default().n(2).delay(DelayModel::Fixed(10)),
+            |_, _| Burst,
+        );
+        sim.schedule_external(p(0), Time(1), ());
+        sim.run();
+        let s = sim.channel_stats(p(0), p(1));
+        assert_eq!(s.total, 5);
+        assert_eq!(s.high_water, 5);
+        assert_eq!(s.in_transit, 0, "all delivered after run");
+        assert_eq!(sim.max_channel_high_water(), 5);
+        assert_eq!(sim.total_messages(), 5);
+    }
+}

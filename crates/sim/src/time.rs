@@ -1,0 +1,103 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Virtual-time duration, in abstract ticks.
+pub type Duration = u64;
+
+/// A point in virtual time.
+///
+/// The simulator's clock is a plain tick counter: absolute values are
+/// meaningless, only order and differences matter. `Time` is totally
+/// ordered and saturates rather than overflowing on arithmetic so that
+/// "effectively infinite" horizons are safe to express.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The start of every simulation.
+    pub const ZERO: Time = Time(0);
+    /// A horizon later than any event a bounded run can produce.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Ticks elapsed since time zero.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn since(self, earlier: Time) -> Duration {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(v: u64) -> Self {
+        Time(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let t = Time(10);
+        assert_eq!(t + 5, Time(15));
+        assert_eq!(Time(15) - Time(10), 5);
+        assert_eq!(Time(10) - Time(15), 0, "difference saturates at zero");
+        assert!(Time(3) < Time(4));
+        assert_eq!(Time(7).since(Time(2)), 5);
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        assert_eq!(Time::MAX + 1, Time::MAX);
+        let mut t = Time::MAX;
+        t += 100;
+        assert_eq!(t, Time::MAX);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{}", Time(42)), "t42");
+        assert_eq!(format!("{:?}", Time(42)), "t42");
+    }
+}

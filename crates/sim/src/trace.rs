@@ -1,0 +1,75 @@
+use crate::time::Time;
+use crate::ProcessId;
+
+/// A kernel-level trace record. Traces are optional (see
+/// [`SimConfig::record_trace`](crate::SimConfig::record_trace)) and exist
+/// for debugging and for the determinism property tests (same seed ⇒
+/// identical trace).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was handed to the network.
+    Sent {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Delivery time chosen by the network.
+        delivery: Time,
+    },
+    /// A message was delivered to a live process.
+    Delivered {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+    },
+    /// A message arrived at a crashed process and was discarded.
+    DroppedAtCrashed {
+        /// Sender.
+        from: ProcessId,
+        /// Crashed destination.
+        to: ProcessId,
+    },
+    /// A process crashed.
+    Crashed {
+        /// The crashed process.
+        process: ProcessId,
+    },
+    /// A timer fired at a live process.
+    TimerFired {
+        /// The process whose timer fired.
+        process: ProcessId,
+        /// The tag given at `set_timer`.
+        tag: u64,
+    },
+    /// An external (workload) event was delivered to a live process.
+    ExternalDelivered {
+        /// The target process.
+        process: ProcessId,
+    },
+}
+
+/// A timestamped [`TraceKind`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub time: Time,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A timestamped observation emitted by a node via
+/// [`Context::observe`](crate::Context::observe).
+///
+/// Observations are the contract between algorithms and the metrics layer:
+/// the dining crate emits domain events (became hungry, started eating, …)
+/// and `ekbd-metrics` folds them into property checkers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observation<O> {
+    /// When the observation was emitted.
+    pub time: Time,
+    /// The emitting process.
+    pub process: ProcessId,
+    /// The payload.
+    pub obs: O,
+}

@@ -1,0 +1,130 @@
+use crate::protocol::Protocol;
+use ekbd_graph::{ConflictGraph, ProcessId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Self-stabilizing leader election by maximal-id propagation over a
+/// bounded id space.
+///
+/// State: a claimed leader id in `0..n`. A process's action sets its claim
+/// to `max(own id, max neighbor claim)`. Because the id space is bounded
+/// by the real ids and the true maximum (`n-1`) re-asserts itself at its
+/// own process, every connected configuration converges to "everyone
+/// claims `n-1`" — with no ghost-leader problem (any claim in `0..n` is
+/// eventually dominated by the real maximum).
+///
+/// Crash-free, like the token ring: a crashed process's frozen claim
+/// still propagates, and a crashed true leader cannot be deposed in this
+/// simple rule set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeaderProtocol;
+
+impl Protocol for LeaderProtocol {
+    type State = u32;
+
+    fn name(&self) -> &'static str {
+        "leader"
+    }
+
+    fn random_config(&self, g: &ConflictGraph, rng: &mut StdRng) -> Vec<u32> {
+        let n = g.len().max(1) as u32;
+        (0..g.len()).map(|_| rng.gen_range(0..n)).collect()
+    }
+
+    fn corrupt(&self, _p: ProcessId, _states: &[u32], g: &ConflictGraph, rng: &mut StdRng) -> u32 {
+        rng.gen_range(0..g.len().max(1) as u32)
+    }
+
+    fn enabled(&self, p: ProcessId, view: &[u32], g: &ConflictGraph) -> bool {
+        view[p.index()] != self.target(p, view, g)
+    }
+
+    fn target(&self, p: ProcessId, view: &[u32], g: &ConflictGraph) -> u32 {
+        g.neighbors(p)
+            .iter()
+            .map(|&q| view[q.index()])
+            .chain([p.0])
+            .max()
+            .expect("own id always present")
+    }
+
+    fn legitimate(
+        &self,
+        states: &[u32],
+        g: &ConflictGraph,
+        alive: &dyn Fn(ProcessId) -> bool,
+    ) -> bool {
+        if g.processes().any(|p| !alive(p)) {
+            return false; // crash-free protocol
+        }
+        let max_id = g.len().saturating_sub(1) as u32;
+        states.iter().all(|&s| s == max_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekbd_graph::topology;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn max_id_wins_locally() {
+        let g = topology::path(3);
+        let proto = LeaderProtocol;
+        let view = vec![0, 0, 0];
+        // p2 has the largest id and asserts itself.
+        assert!(proto.enabled(p(2), &view, &g));
+        assert_eq!(proto.target(p(2), &view, &g), 2);
+        // p0 adopts a larger neighbor claim.
+        let view = vec![0, 2, 2];
+        assert_eq!(proto.target(p(0), &view, &g), 2);
+    }
+
+    #[test]
+    fn ghost_claims_are_dominated() {
+        // An arbitrary initial claim (here 1 everywhere) is legal but the
+        // real maximum id eventually dominates.
+        let g = topology::ring(5);
+        let proto = LeaderProtocol;
+        let mut states = vec![1, 1, 1, 1, 1];
+        let alive = |_: ProcessId| true;
+        let mut steps = 0;
+        while !proto.legitimate(&states, &g, &alive) {
+            let next = g
+                .processes()
+                .find(|&q| proto.enabled(q, &states, &g))
+                .expect("illegitimate ⇒ someone enabled");
+            states[next.index()] = proto.target(next, &states, &g);
+            steps += 1;
+            assert!(steps < 10_000);
+        }
+        assert_eq!(states, vec![4; 5]);
+    }
+
+    #[test]
+    fn converges_from_random_configs() {
+        for seed in 0..5 {
+            let g = topology::grid(3, 4);
+            let proto = LeaderProtocol;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut states = proto.random_config(&g, &mut rng);
+            let alive = |_: ProcessId| true;
+            let mut steps = 0;
+            while !proto.legitimate(&states, &g, &alive) {
+                let next = g
+                    .processes()
+                    .find(|&q| proto.enabled(q, &states, &g))
+                    .unwrap();
+                states[next.index()] = proto.target(next, &states, &g);
+                steps += 1;
+                assert!(steps < 10_000);
+            }
+            assert!(states.iter().all(|&s| s == 11));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Self-stabilizing protocols scheduled by a dining-based distributed
+//! daemon.
+//!
+//! This crate closes the loop on the paper's motivation (§1): a
+//! self-stabilizing protocol converges from *any* configuration provided
+//! every correct process executes infinitely many steps under local mutual
+//! exclusion. A crash-oblivious daemon starves diners once neighbors crash,
+//! so convergence fails; the paper's wait-free daemon keeps scheduling
+//! every correct process, so convergence survives crashes — and each ◇WX
+//! scheduling mistake is at worst one more transient fault, which
+//! stabilization absorbs.
+//!
+//! Pieces:
+//!
+//! * [`Protocol`] — a guarded-command protocol in the classic shared-state
+//!   model: `enabled(p, view)` and `target(p, view)` over neighbor states,
+//!   plus a legitimacy predicate.
+//! * Protocols: [`ColoringProtocol`] (δ+1 graph coloring),
+//!   [`MisProtocol`] (maximal independent set), [`TokenRingProtocol`]
+//!   (Dijkstra's K-state mutual exclusion), [`SpanningTreeProtocol`]
+//!   (BFS distances), and [`LeaderProtocol`] (max-id election) — the last
+//!   three are crash-free protocols (e.g. a crashed ring cannot circulate
+//!   a token; that limits the *protocol*, not the daemon).
+//! * [`ScheduledRun`] — drives a protocol through eat-slots granted by any
+//!   [`DiningAlgorithm`](ekbd_dining::DiningAlgorithm): a process becomes
+//!   hungry when enabled; its step *reads* its neighborhood when eating
+//!   starts and *writes* when eating ends, so overlapping eat sessions
+//!   (daemon mistakes) cause genuinely stale reads — the sharing-violation
+//!   semantics of §1.
+//! * Transient-fault injection corrupting process states mid-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coloring;
+mod leader;
+mod mis;
+mod protocol;
+mod runner;
+mod spanning_tree;
+mod token_ring;
+
+pub use coloring::ColoringProtocol;
+pub use leader::LeaderProtocol;
+pub use mis::MisProtocol;
+pub use protocol::Protocol;
+pub use runner::{ScheduledRun, StabilizationConfig, StabilizationReport};
+pub use spanning_tree::SpanningTreeProtocol;
+pub use token_ring::TokenRingProtocol;

@@ -1,0 +1,121 @@
+use crate::protocol::Protocol;
+use ekbd_graph::{ConflictGraph, ProcessId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Self-stabilizing maximal independent set.
+///
+/// State: `true` = in the set. Rules (the classic two-rule MIS protocol):
+///
+/// * **leave** — in the set with a neighbor also in the set;
+/// * **join** — out of the set with no neighbor in the set.
+///
+/// Under local mutual exclusion, steps of conflicting neighbors serialize
+/// and the usual potential-function argument gives convergence; overlapping
+/// steps can let two neighbors join together (a fresh transient fault).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MisProtocol;
+
+impl Protocol for MisProtocol {
+    type State = bool;
+
+    fn name(&self) -> &'static str {
+        "mis"
+    }
+
+    fn random_config(&self, g: &ConflictGraph, rng: &mut StdRng) -> Vec<bool> {
+        (0..g.len()).map(|_| rng.gen_bool(0.5)).collect()
+    }
+
+    fn corrupt(&self, _p: ProcessId, _states: &[bool], _g: &ConflictGraph, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+
+    fn enabled(&self, p: ProcessId, view: &[bool], g: &ConflictGraph) -> bool {
+        let me = view[p.index()];
+        let any_in = g.neighbors(p).iter().any(|&q| view[q.index()]);
+        (me && any_in) || (!me && !any_in)
+    }
+
+    fn target(&self, p: ProcessId, view: &[bool], _g: &ConflictGraph) -> bool {
+        !view[p.index()]
+    }
+
+    fn legitimate(
+        &self,
+        states: &[bool],
+        g: &ConflictGraph,
+        alive: &dyn Fn(ProcessId) -> bool,
+    ) -> bool {
+        // Live processes must be locally stable: dead neighbors' frozen
+        // membership counts (a live process adjacent to a dead in-node must
+        // stay out; a live out-node with no in-neighbor must join).
+        g.processes()
+            .filter(|&p| alive(p))
+            .all(|p| !self.enabled(p, states, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekbd_graph::topology;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn rules_enable_correctly() {
+        let g = topology::path(3);
+        let proto = MisProtocol;
+        // [in, in, out]: p0,p1 must leave; p2 has in-neighbor p1, stable.
+        let view = vec![true, true, false];
+        assert!(proto.enabled(p(0), &view, &g));
+        assert!(proto.enabled(p(1), &view, &g));
+        assert!(!proto.enabled(p(2), &view, &g));
+        // [out, out, out]: everyone can join.
+        let view = vec![false, false, false];
+        assert!(proto.enabled(p(0), &view, &g));
+    }
+
+    #[test]
+    fn sequential_daemon_converges_to_mis() {
+        let g = topology::grid(4, 4);
+        let proto = MisProtocol;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut states = proto.random_config(&g, &mut rng);
+        let alive = |_: ProcessId| true;
+        let mut steps = 0;
+        while !proto.legitimate(&states, &g, &alive) {
+            let next = g
+                .processes()
+                .find(|&q| proto.enabled(q, &states, &g))
+                .expect("illegitimate ⇒ someone enabled");
+            states[next.index()] = proto.target(next, &states, &g);
+            steps += 1;
+            assert!(steps < 10_000, "MIS failed to converge");
+        }
+        // Verify it really is a maximal independent set.
+        for e in g.edges() {
+            assert!(!(states[e.lo.index()] && states[e.hi.index()]), "independence");
+        }
+        for q in g.processes() {
+            let any_in = g.neighbors(q).iter().any(|&r| states[r.index()]);
+            assert!(states[q.index()] || any_in, "maximality at {q}");
+        }
+    }
+
+    #[test]
+    fn dead_in_node_keeps_live_neighbors_out() {
+        let g = topology::path(2);
+        let proto = MisProtocol;
+        // p0 dead and in; p1 out: p1 is stable (has an in-neighbor).
+        let states = vec![true, false];
+        assert!(proto.legitimate(&states, &g, &|q| q == p(1)));
+        // p0 dead and out; p1 out: p1 must join — illegitimate.
+        let states = vec![false, false];
+        assert!(!proto.legitimate(&states, &g, &|q| q == p(1)));
+    }
+}

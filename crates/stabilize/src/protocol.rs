@@ -1,0 +1,50 @@
+use ekbd_graph::{ConflictGraph, ProcessId};
+use rand::rngs::StdRng;
+use std::fmt;
+
+/// A self-stabilizing protocol in the locally shared state model.
+///
+/// Each process holds one `State`; a process's action reads the states of
+/// its closed neighborhood (a *view*, indexed by process id) and rewrites
+/// its own state. The dining daemon supplies the local mutual exclusion
+/// that makes a step effectively atomic — except during the finitely many
+/// ◇WX mistakes, when two neighbors may step from stale views.
+pub trait Protocol {
+    /// Per-process state.
+    type State: Clone + Eq + fmt::Debug;
+
+    /// Protocol name for reports.
+    fn name(&self) -> &'static str;
+
+    /// An arbitrary (adversarial) initial configuration — self-stabilizing
+    /// protocols must converge from any of these.
+    fn random_config(&self, g: &ConflictGraph, rng: &mut StdRng) -> Vec<Self::State>;
+
+    /// A single-state corruption (transient fault) for process `p`. The
+    /// adversary sees the current configuration `states`, so protocols can
+    /// model worst-case faults (e.g. cloning a neighbor's color).
+    fn corrupt(
+        &self,
+        p: ProcessId,
+        states: &[Self::State],
+        g: &ConflictGraph,
+        rng: &mut StdRng,
+    ) -> Self::State;
+
+    /// Whether `p` has an enabled action in `view`.
+    fn enabled(&self, p: ProcessId, view: &[Self::State], g: &ConflictGraph) -> bool;
+
+    /// The new state `p` writes when executing its action from `view`.
+    /// Called only when [`enabled`](Self::enabled) holds in `view`.
+    fn target(&self, p: ProcessId, view: &[Self::State], g: &ConflictGraph) -> Self::State;
+
+    /// Global legitimacy, restricted to live processes: crashed processes
+    /// keep their last state forever, and the predicate must only require
+    /// what live processes can still achieve.
+    fn legitimate(
+        &self,
+        states: &[Self::State],
+        g: &ConflictGraph,
+        alive: &dyn Fn(ProcessId) -> bool,
+    ) -> bool;
+}

@@ -1,0 +1,338 @@
+use crate::protocol::Protocol;
+use ekbd_dining::{DiningAlgorithm, DiningObs};
+use ekbd_graph::ProcessId;
+use ekbd_harness::{HostObs, LiveRun, RunReport, Scenario};
+use ekbd_sim::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a daemon-scheduled stabilization run.
+#[derive(Clone, Debug)]
+pub struct StabilizationConfig {
+    /// Seed for the protocol's initial configuration and fault values
+    /// (independent of the simulator seed).
+    pub seed: u64,
+    /// Delay range between detecting an enabled action and becoming hungry.
+    pub think: (u64, u64),
+    /// Transient faults: at each time, the given process's state is
+    /// replaced by a random corruption (ignored if it already crashed).
+    pub transient_faults: Vec<(Time, ProcessId)>,
+}
+
+impl Default for StabilizationConfig {
+    fn default() -> Self {
+        StabilizationConfig {
+            seed: 0,
+            think: (1, 10),
+            transient_faults: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of a daemon-scheduled stabilization run.
+#[derive(Clone, Debug)]
+pub struct StabilizationReport {
+    /// The protocol's name.
+    pub protocol: &'static str,
+    /// When the configuration last became legitimate and stayed so, if it
+    /// was legitimate at the end of the run.
+    pub converged_at: Option<Time>,
+    /// Whether the final configuration is legitimate (restricted to
+    /// processes correct in this run).
+    pub legitimate_at_end: bool,
+    /// Protocol steps executed (writes).
+    pub steps_executed: u64,
+    /// Eat-slots in which the action was no longer enabled (no-op steps).
+    pub steps_skipped: u64,
+    /// Transient faults injected.
+    pub faults_injected: u64,
+    /// The underlying dining run (for wait-freedom, mistakes, …).
+    pub dining: RunReport,
+}
+
+/// Schedules a self-stabilizing [`Protocol`] through eat-slots granted by a
+/// dining algorithm.
+///
+/// The execution model follows §1–2 of the paper: each diner represents a
+/// process of the stabilizing protocol; it becomes hungry whenever it has an
+/// enabled action; when scheduled to eat it executes the action. A step
+/// *reads* its neighborhood at the moment eating starts and *writes* its own
+/// state when eating ends, so two overlapping eat sessions (a ◇WX mistake)
+/// read stale views — a genuine sharing violation whose effect is at worst
+/// one more transient fault.
+pub struct ScheduledRun;
+
+impl ScheduledRun {
+    /// Runs `protocol` under the daemon produced by `factory` on the given
+    /// scenario (the scenario's automatic workload is ignored: hunger comes
+    /// from enabled actions).
+    pub fn execute<P, A>(
+        protocol: &P,
+        mut scenario: Scenario,
+        cfg: &StabilizationConfig,
+        factory: impl FnMut(&Scenario, ProcessId) -> A,
+    ) -> StabilizationReport
+    where
+        P: Protocol,
+        A: DiningAlgorithm,
+    {
+        scenario.workload.sessions = 0; // hunger is driven by enabledness
+        let graph = scenario.graph.clone();
+        let horizon = scenario.horizon;
+        let crashes = scenario.crashes.clone();
+        let crashed_in_run =
+            |p: ProcessId| crashes.iter().any(|&(q, t)| q == p && t <= horizon);
+        let alive = |p: ProcessId| !crashed_in_run(p);
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut states = protocol.random_config(&graph, &mut rng);
+        let n = graph.len();
+
+        let mut live = LiveRun::new(scenario, factory);
+        let mut snapshots: Vec<Option<Vec<P::State>>> = vec![None; n];
+        let mut pending_hunger = vec![false; n];
+        // Mirror of each process's dining phase; a hunger command is only
+        // injected while the process is (believed) thinking, otherwise the
+        // host would drop it and the pending flag would stick forever.
+        let mut busy = vec![false; n];
+        let mut steps_executed = 0u64;
+        let mut steps_skipped = 0u64;
+        let mut faults_injected = 0u64;
+
+        let mut faults = cfg.transient_faults.clone();
+        faults.sort_by_key(|&(t, _)| t);
+        faults.reverse(); // pop() yields the earliest
+
+        let mut legit = protocol.legitimate(&states, &graph, &alive);
+        let mut became_legit_at = legit.then_some(Time::ZERO);
+
+        // Kick off: every enabled process gets hungry.
+        let mut to_check: Vec<ProcessId> = graph.processes().collect();
+        loop {
+            // (Re)schedule hunger for enabled thinking processes.
+            for p in to_check.drain(..) {
+                if pending_hunger[p.index()] || busy[p.index()] || live.is_crashed(p) {
+                    continue;
+                }
+                if protocol.enabled(p, &states, &graph) {
+                    let (lo, hi) = cfg.think;
+                    let delay = rng.gen_range(lo.max(1)..=hi.max(lo.max(1)));
+                    live.inject_hunger(p, live.now() + delay);
+                    pending_hunger[p.index()] = true;
+                }
+            }
+
+            if !live.step() {
+                // The system quiesced; if faults are still scheduled before
+                // the horizon, jump the clock to the next one so it fires.
+                match faults.last() {
+                    Some(&(t, _)) if t <= horizon => live.advance_to(t),
+                    _ => break,
+                }
+            }
+            let now = live.now();
+
+            // Apply transient faults that have come due.
+            while faults.last().is_some_and(|&(t, _)| t <= now) {
+                let (_, p) = faults.pop().expect("non-empty");
+                if !live.is_crashed(p) {
+                    states[p.index()] = protocol.corrupt(p, &states, &graph, &mut rng);
+                    faults_injected += 1;
+                    let was = legit;
+                    legit = protocol.legitimate(&states, &graph, &alive);
+                    if was && !legit {
+                        became_legit_at = None;
+                    }
+                    to_check.push(p);
+                    to_check.extend(graph.neighbors(p).iter().copied());
+                }
+            }
+
+            let observations: Vec<(Time, ProcessId, HostObs)> = live
+                .new_observations()
+                .iter()
+                .map(|o| (o.time, o.process, o.obs))
+                .collect();
+            for (t, p, obs) in observations {
+                match obs {
+                    HostObs::Sched(DiningObs::BecameHungry) => {
+                        pending_hunger[p.index()] = false;
+                        busy[p.index()] = true;
+                    }
+                    HostObs::Sched(DiningObs::StartedEating) => {
+                        // Read phase: snapshot the whole view.
+                        snapshots[p.index()] = Some(states.clone());
+                    }
+                    HostObs::Sched(DiningObs::StoppedEating) => {
+                        busy[p.index()] = false;
+                        if let Some(view) = snapshots[p.index()].take() {
+                            if protocol.enabled(p, &view, &graph) {
+                                states[p.index()] = protocol.target(p, &view, &graph);
+                                steps_executed += 1;
+                                let was = legit;
+                                legit = protocol.legitimate(&states, &graph, &alive);
+                                if !was && legit {
+                                    became_legit_at = Some(t);
+                                } else if was && !legit {
+                                    became_legit_at = None;
+                                }
+                            } else {
+                                steps_skipped += 1;
+                            }
+                            to_check.push(p);
+                            to_check.extend(graph.neighbors(p).iter().copied());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let legitimate_at_end = protocol.legitimate(&states, &graph, &alive);
+        StabilizationReport {
+            protocol: protocol.name(),
+            converged_at: legitimate_at_end.then_some(became_legit_at).flatten(),
+            legitimate_at_end,
+            steps_executed,
+            steps_skipped,
+            faults_injected,
+            dining: live.finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColoringProtocol, MisProtocol, TokenRingProtocol};
+    use ekbd_baselines::ChoySinghProcess;
+    use ekbd_dining::DiningProcess;
+    use ekbd_graph::topology;
+
+    fn algorithm1(
+        s: &Scenario,
+        p: ProcessId,
+    ) -> DiningProcess {
+        DiningProcess::from_graph(&s.graph, &s.colors, p)
+    }
+
+    #[test]
+    fn coloring_converges_crash_free() {
+        let scenario = Scenario::new(topology::grid(3, 3))
+            .seed(2)
+            .horizon(Time(200_000));
+        let report = ScheduledRun::execute(
+            &ColoringProtocol::default(),
+            scenario,
+            &StabilizationConfig {
+                seed: 5,
+                ..Default::default()
+            },
+            algorithm1,
+        );
+        assert!(report.legitimate_at_end, "coloring must converge");
+        assert!(report.converged_at.is_some());
+        assert!(report.steps_executed > 0);
+        assert!(report.dining.progress().wait_free());
+    }
+
+    #[test]
+    fn coloring_converges_despite_crashes_with_wait_free_daemon() {
+        let scenario = Scenario::new(topology::grid(3, 3))
+            .seed(3)
+            .adversarial_oracle(Time(2_000), 60)
+            .crash(ProcessId(4), Time(1_000)) // the center of the grid
+            .horizon(Time(400_000));
+        let cfg = StabilizationConfig {
+            seed: 6,
+            transient_faults: vec![
+                (Time(5_000), ProcessId(1)),
+                (Time(6_000), ProcessId(3)),
+                (Time(7_000), ProcessId(7)),
+            ],
+            ..Default::default()
+        };
+        let report = ScheduledRun::execute(&ColoringProtocol::default(), scenario, &cfg, algorithm1);
+        assert!(
+            report.legitimate_at_end,
+            "wait-free daemon must let the protocol converge despite the crash"
+        );
+        assert!(report.dining.progress().wait_free());
+    }
+
+    #[test]
+    fn crash_oblivious_daemon_blocks_convergence() {
+        // Same shape, but the Choy–Singh daemon: the crashed center blocks
+        // its neighbors in the doorway forever, so corruptions injected
+        // after the crash can never be repaired by blocked processes.
+        let scenario = Scenario::new(topology::star(5))
+            .seed(3)
+            .crash(ProcessId(0), Time(1_000)) // hub crashes
+            .horizon(Time(300_000));
+        // Force every leaf to need a step after the hub crashed: corrupt
+        // them to the hub's color region repeatedly.
+        let cfg = StabilizationConfig {
+            seed: 11,
+            transient_faults: (0..20)
+                .map(|k| (Time(2_000 + k * 100), ProcessId::from(1 + (k as usize % 4))))
+                .collect(),
+            ..Default::default()
+        };
+        let cs = ScheduledRun::execute(
+            &ColoringProtocol::default(),
+            scenario.clone(),
+            &cfg,
+            |s: &Scenario, p| ChoySinghProcess::from_graph(&s.graph, &s.colors, p),
+        );
+        // The crash-oblivious baseline leaves starving diners…
+        assert!(
+            !cs.dining.progress().wait_free(),
+            "Choy–Singh starves once the hub crashes"
+        );
+        // …while Algorithm 1 under the same schedule (with an oracle — here
+        // the perfect one) stays wait-free and converges.
+        let algo1 = ScheduledRun::execute(
+            &ColoringProtocol::default(),
+            scenario.perfect_oracle(),
+            &cfg,
+            algorithm1,
+        );
+        assert!(algo1.dining.progress().wait_free());
+        assert!(algo1.legitimate_at_end);
+    }
+
+    #[test]
+    fn mis_converges_with_daemon() {
+        let scenario = Scenario::new(topology::ring(6))
+            .seed(9)
+            .horizon(Time(200_000));
+        let report = ScheduledRun::execute(
+            &MisProtocol,
+            scenario,
+            &StabilizationConfig {
+                seed: 1,
+                ..Default::default()
+            },
+            algorithm1,
+        );
+        assert!(report.legitimate_at_end);
+    }
+
+    #[test]
+    fn token_ring_converges_with_daemon() {
+        let scenario = Scenario::new(topology::ring(5))
+            .seed(14)
+            .horizon(Time(400_000));
+        let report = ScheduledRun::execute(
+            &TokenRingProtocol::new(7),
+            scenario,
+            &StabilizationConfig {
+                seed: 2,
+                ..Default::default()
+            },
+            algorithm1,
+        );
+        assert!(report.legitimate_at_end, "K-state ring must stabilize");
+        assert!(report.steps_executed > 0);
+    }
+}

@@ -1,0 +1,160 @@
+use crate::protocol::Protocol;
+use ekbd_graph::{ConflictGraph, ProcessId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Self-stabilizing BFS distance computation (the Dolev–Israeli–Moran
+/// spanning-tree construction, distance part).
+///
+/// Process 0 is the root. State: a claimed distance in `0..=n` (`n` acts
+/// as ∞). Rules:
+///
+/// * root enabled iff its distance is not 0; action: set 0;
+/// * non-root enabled iff its distance ≠ 1 + min neighbor distance;
+///   action: set that value (each process's parent is then any neighbor
+///   attaining the minimum, so the distances induce a BFS tree).
+///
+/// Legitimacy: every distance equals the true BFS distance from the root.
+/// Like Dijkstra's token ring, this protocol is used in **crash-free**
+/// runs: a process cannot tell a crashed neighbor's frozen distance from
+/// a live one, so a severed or stale region cannot be recomputed around —
+/// a limitation of the protocol, not of the scheduling daemon.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpanningTreeProtocol;
+
+impl SpanningTreeProtocol {
+    /// True BFS distances from `p0`, with `n` for unreachable.
+    fn bfs(g: &ConflictGraph) -> Vec<u32> {
+        let n = g.len();
+        let mut dist = vec![n as u32; n];
+        if n == 0 {
+            return dist;
+        }
+        dist[0] = 0;
+        let mut queue = std::collections::VecDeque::from([ProcessId(0)]);
+        while let Some(p) = queue.pop_front() {
+            for &q in g.neighbors(p) {
+                if dist[q.index()] == n as u32 {
+                    dist[q.index()] = dist[p.index()] + 1;
+                    queue.push_back(q);
+                }
+            }
+        }
+        dist
+    }
+}
+
+impl Protocol for SpanningTreeProtocol {
+    type State = u32;
+
+    fn name(&self) -> &'static str {
+        "bfs-tree"
+    }
+
+    fn random_config(&self, g: &ConflictGraph, rng: &mut StdRng) -> Vec<u32> {
+        (0..g.len()).map(|_| rng.gen_range(0..=g.len() as u32)).collect()
+    }
+
+    fn corrupt(&self, _p: ProcessId, _states: &[u32], g: &ConflictGraph, rng: &mut StdRng) -> u32 {
+        rng.gen_range(0..=g.len() as u32)
+    }
+
+    fn enabled(&self, p: ProcessId, view: &[u32], g: &ConflictGraph) -> bool {
+        view[p.index()] != self.target(p, view, g)
+    }
+
+    fn target(&self, p: ProcessId, view: &[u32], g: &ConflictGraph) -> u32 {
+        if p.index() == 0 {
+            return 0;
+        }
+        let min = g
+            .neighbors(p)
+            .iter()
+            .map(|&q| view[q.index()])
+            .min()
+            .unwrap_or(g.len() as u32);
+        min.saturating_add(1).min(g.len() as u32)
+    }
+
+    fn legitimate(
+        &self,
+        states: &[u32],
+        g: &ConflictGraph,
+        alive: &dyn Fn(ProcessId) -> bool,
+    ) -> bool {
+        if g.processes().any(|p| !alive(p)) {
+            return false; // crash-free protocol
+        }
+        states == Self::bfs(g).as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekbd_graph::topology;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = topology::path(4);
+        assert_eq!(SpanningTreeProtocol::bfs(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn root_pins_itself_to_zero() {
+        let g = topology::path(3);
+        let proto = SpanningTreeProtocol;
+        let view = vec![5, 1, 2];
+        assert!(proto.enabled(p(0), &view, &g));
+        assert_eq!(proto.target(p(0), &view, &g), 0);
+    }
+
+    #[test]
+    fn non_root_takes_min_plus_one() {
+        let g = topology::star(4);
+        let proto = SpanningTreeProtocol;
+        let view = vec![0, 3, 1, 1];
+        assert_eq!(proto.target(p(1), &view, &g), 1);
+        assert!(proto.enabled(p(1), &view, &g));
+        assert!(!proto.enabled(p(2), &view, &g));
+    }
+
+    #[test]
+    fn sequential_daemon_converges_to_bfs() {
+        for (g, seed) in [
+            (topology::grid(3, 3), 1u64),
+            (topology::binary_tree(11), 2),
+            (topology::wheel(8), 3),
+        ] {
+            let proto = SpanningTreeProtocol;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut states = proto.random_config(&g, &mut rng);
+            let alive = |_: ProcessId| true;
+            let mut steps = 0;
+            while !proto.legitimate(&states, &g, &alive) {
+                let next = g
+                    .processes()
+                    .find(|&q| proto.enabled(q, &states, &g))
+                    .expect("illegitimate ⇒ someone enabled");
+                states[next.index()] = proto.target(next, &states, &g);
+                steps += 1;
+                assert!(steps < 100_000, "BFS failed to converge");
+            }
+            assert_eq!(states, SpanningTreeProtocol::bfs(&g));
+        }
+    }
+
+    #[test]
+    fn crashes_forfeit_legitimacy() {
+        let g = topology::path(3);
+        let proto = SpanningTreeProtocol;
+        let states = SpanningTreeProtocol::bfs(&g);
+        assert!(proto.legitimate(&states, &g, &|_| true));
+        assert!(!proto.legitimate(&states, &g, &|q| q != p(2)));
+    }
+}

@@ -1,0 +1,181 @@
+use crate::protocol::Protocol;
+use ekbd_graph::{ConflictGraph, ProcessId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Dijkstra's K-state self-stabilizing token ring (1974) — the protocol
+/// that founded the field, and the paper's canonical "stabilizing protocol
+/// that needs a daemon".
+///
+/// Processes `0..n` form a directed ring; state is a counter in `0..k`
+/// with `k > n`. Process 0 holds the token when its state equals its
+/// predecessor's (process `n-1`) and increments modulo `k`; every other
+/// process holds the token when its state *differs* from its predecessor's
+/// and copies it. Legitimacy: exactly one process holds the token.
+///
+/// Crash caveat: a ring with a crashed member cannot circulate a token, so
+/// this protocol is used in crash-free experiments only (the paper's
+/// wait-free daemon keeps *scheduling* everyone, but no daemon can repair
+/// a protocol whose own communication structure is severed — that is a
+/// limitation of the scheduled protocol, not of the daemon).
+#[derive(Clone, Copy, Debug)]
+pub struct TokenRingProtocol {
+    /// Number of counter values; must exceed the ring size.
+    pub k: u32,
+}
+
+impl TokenRingProtocol {
+    /// Creates the protocol for rings of fewer than `k` processes.
+    pub fn new(k: u32) -> Self {
+        TokenRingProtocol { k }
+    }
+
+    fn pred(p: ProcessId, n: usize) -> usize {
+        (p.index() + n - 1) % n
+    }
+
+    /// Whether `p` holds the token in `view`.
+    pub fn holds_token(&self, p: ProcessId, view: &[u32]) -> bool {
+        let n = view.len();
+        let me = view[p.index()];
+        let pred = view[Self::pred(p, n)];
+        if p.index() == 0 {
+            me == pred
+        } else {
+            me != pred
+        }
+    }
+}
+
+impl Protocol for TokenRingProtocol {
+    type State = u32;
+
+    fn name(&self) -> &'static str {
+        "token-ring"
+    }
+
+    fn random_config(&self, g: &ConflictGraph, rng: &mut StdRng) -> Vec<u32> {
+        assert!(
+            (g.len() as u32) < self.k,
+            "K-state ring needs k > n (k={}, n={})",
+            self.k,
+            g.len()
+        );
+        (0..g.len()).map(|_| rng.gen_range(0..self.k)).collect()
+    }
+
+    fn corrupt(&self, _p: ProcessId, _states: &[u32], _g: &ConflictGraph, rng: &mut StdRng) -> u32 {
+        rng.gen_range(0..self.k)
+    }
+
+    fn enabled(&self, p: ProcessId, view: &[u32], _g: &ConflictGraph) -> bool {
+        self.holds_token(p, view)
+    }
+
+    fn target(&self, p: ProcessId, view: &[u32], _g: &ConflictGraph) -> u32 {
+        let n = view.len();
+        if p.index() == 0 {
+            (view[0] + 1) % self.k
+        } else {
+            view[Self::pred(p, n)]
+        }
+    }
+
+    fn legitimate(
+        &self,
+        states: &[u32],
+        _g: &ConflictGraph,
+        alive: &dyn Fn(ProcessId) -> bool,
+    ) -> bool {
+        // Crash-free protocol: legitimacy is only meaningful with everyone
+        // alive; a severed ring is never legitimate.
+        let n = states.len();
+        if (0..n).any(|i| !alive(ProcessId::from(i))) {
+            return false;
+        }
+        let holders = (0..n)
+            .filter(|&i| self.holds_token(ProcessId::from(i), states))
+            .count();
+        holders == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ekbd_graph::topology;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    #[test]
+    fn uniform_config_gives_token_to_p0() {
+        let proto = TokenRingProtocol::new(7);
+        let view = vec![3, 3, 3, 3];
+        assert!(proto.holds_token(p(0), &view));
+        assert!(!proto.holds_token(p(1), &view));
+        assert!(proto.legitimate(&view, &topology::ring(4), &|_| true));
+    }
+
+    #[test]
+    fn token_circulates() {
+        let g = topology::ring(4);
+        let proto = TokenRingProtocol::new(7);
+        let mut view = vec![3, 3, 3, 3];
+        // p0 fires: 4,3,3,3 → token at p1; then copies propagate.
+        for expected_holder in [0usize, 1, 2, 3] {
+            assert!(proto.holds_token(p(expected_holder), &view));
+            assert!(proto.enabled(p(expected_holder), &view, &g));
+            view[expected_holder] = proto.target(p(expected_holder), &view, &g);
+        }
+        assert_eq!(view, vec![4, 4, 4, 4]);
+        assert!(proto.holds_token(p(0), &view), "token is back at p0");
+    }
+
+    #[test]
+    fn converges_from_arbitrary_config() {
+        let g = topology::ring(5);
+        let proto = TokenRingProtocol::new(6);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut states = proto.random_config(&g, &mut rng);
+        let alive = |_: ProcessId| true;
+        // Central-daemon execution: step the lowest-id token holder.
+        let mut steps = 0;
+        while !proto.legitimate(&states, &g, &alive) {
+            let holder = g
+                .processes()
+                .find(|&q| proto.enabled(q, &states, &g))
+                .expect("some process always holds a token");
+            states[holder.index()] = proto.target(holder, &states, &g);
+            steps += 1;
+            assert!(steps < 1_000, "K-state ring failed to converge");
+        }
+        // And once legitimate, stays legitimate while circulating.
+        for _ in 0..20 {
+            let holder = g
+                .processes()
+                .find(|&q| proto.enabled(q, &states, &g))
+                .unwrap();
+            states[holder.index()] = proto.target(holder, &states, &g);
+            assert!(proto.legitimate(&states, &g, &alive));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k > n")]
+    fn rejects_small_k() {
+        let g = topology::ring(6);
+        let proto = TokenRingProtocol::new(5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = proto.random_config(&g, &mut rng);
+    }
+
+    #[test]
+    fn crashed_ring_is_never_legitimate() {
+        let proto = TokenRingProtocol::new(7);
+        let view = vec![3, 3, 3, 3];
+        assert!(!proto.legitimate(&view, &topology::ring(4), &|q| q != p(2)));
+    }
+}

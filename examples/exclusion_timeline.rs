@@ -1,0 +1,57 @@
+//! An ASCII timeline of eating intervals around the oracle's convergence:
+//! *watch* eventual weak exclusion establish itself.
+//!
+//! Before the scripted ◇P₁ converges (t=1200), bursts of mutual false
+//! suspicion let neighbors eat simultaneously (scheduling mistakes, marked
+//! `!` where an overlap begins). After convergence the schedule is clean
+//! forever. A crash is marked `×`.
+//!
+//! ```sh
+//! cargo run --example exclusion_timeline
+//! ```
+
+use ekbd::graph::{topology, ProcessId};
+use ekbd::harness::{Scenario, Workload};
+use ekbd::metrics::Timeline;
+use ekbd::sim::Time;
+
+const CONVERGE: u64 = 1_200;
+
+fn main() {
+    let graph = topology::ring(4);
+    let report = Scenario::new(graph.clone())
+        .seed(3)
+        .adversarial_oracle(Time(CONVERGE), 45)
+        .crash(ProcessId(3), Time(1_800))
+        .workload(Workload {
+            sessions: 60,
+            think: (1, 30),
+            eat: (8, 25),
+        })
+        .horizon(Time(50_000))
+        .run_algorithm1();
+
+    println!(
+        "eating timeline, t=0..2400; '#' eating, '!' mistake begins, '×' crash\n"
+    );
+    let rendering = Timeline::until(Time(2_400))
+        .width(96)
+        .marker(Time(CONVERGE))
+        .render(&graph, &report.events, &|p| report.crash_time(p), report.horizon);
+    println!(
+        "      {}  <- ◇P₁ converges (t={CONVERGE})",
+        rendering.lines().next().unwrap_or("").trim_end()
+    );
+    for line in rendering.lines().skip(1) {
+        println!("{line}");
+    }
+
+    let exclusion = report.exclusion();
+    println!(
+        "\nmistakes before convergence: {}; after: {}",
+        exclusion.total(),
+        exclusion.after(Time(CONVERGE))
+    );
+    assert_eq!(exclusion.after(Time(CONVERGE)), 0, "Theorem 1: clean suffix");
+    assert!(report.progress().wait_free(), "Theorem 2 despite the crash");
+}

@@ -1,0 +1,38 @@
+//! # EKBD — Eventually k-Bounded Wait-Free Distributed Daemons
+//!
+//! Facade crate for the EKBD workspace, a full Rust reproduction of
+//! Song & Pike, *"Eventually k-bounded Wait-Free Distributed Daemons"*
+//! (DSN 2007): a wait-free dining-philosophers algorithm under eventual
+//! weak exclusion (◇WX) using the locally scope-restricted eventually
+//! perfect failure detector ◇P₁, satisfying eventual 2-bounded waiting,
+//! bounded space, bounded-capacity channels, and quiescence with respect
+//! to crashed processes.
+//!
+//! Each subsystem lives in its own crate and is re-exported here:
+//!
+//! * [`graph`] — conflict graphs and priority colorings,
+//! * [`sim`] — deterministic discrete-event simulation substrate,
+//! * [`detector`] — ◇P₁ failure detectors (scripted oracles and a real
+//!   heartbeat implementation),
+//! * [`dining`] — **the paper's Algorithm 1** and the daemon abstraction,
+//! * [`baselines`] — comparison algorithms (Choy–Singh doorway, naive
+//!   priority dining, perfect-oracle dining),
+//! * [`stabilize`] — self-stabilizing protocols scheduled by the daemon,
+//! * [`metrics`] — property checkers (exclusion, fairness, quiescence, …),
+//! * [`harness`] — declarative scenario runner wiring everything together,
+//! * [`runtime`] — threaded real-time runtime for the same state machines.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture
+//! and the experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use ekbd_baselines as baselines;
+pub use ekbd_detector as detector;
+pub use ekbd_dining as dining;
+pub use ekbd_graph as graph;
+pub use ekbd_harness as harness;
+pub use ekbd_metrics as metrics;
+pub use ekbd_runtime as runtime;
+pub use ekbd_sim as sim;
+pub use ekbd_stabilize as stabilize;

@@ -1,0 +1,230 @@
+//! Boundary conditions: degenerate graphs, extreme crash schedules, and
+//! odd-but-legal configurations.
+
+use ekbd::dining::{DinerState, DiningAlgorithm, DiningInput, DiningProcess};
+use ekbd::graph::{topology, ConflictGraph, ProcessId};
+use ekbd::harness::{Scenario, Workload};
+use ekbd::sim::{DelayModel, Time};
+use std::collections::BTreeSet;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from(i)
+}
+
+#[test]
+fn isolated_diner_eats_instantly() {
+    // A process with no conflict edges needs no doorway and no forks.
+    let mut lone = DiningProcess::new(p(0), 0, []);
+    let mut out = Vec::new();
+    lone.handle(DiningInput::Hungry, &BTreeSet::new(), &mut out);
+    assert_eq!(lone.state(), DinerState::Eating);
+    assert!(out.is_empty(), "no one to talk to");
+    assert!(lone.inside_doorway());
+}
+
+#[test]
+fn edgeless_graph_scenario() {
+    // Three mutually independent processes: everyone eats immediately and
+    // simultaneously, and that is *not* a mistake (no conflict edges).
+    let g = ConflictGraph::from_pairs(3, &[]);
+    let report = Scenario::new(g)
+        .seed(1)
+        .workload(Workload {
+            sessions: 5,
+            think: (1, 5),
+            eat: (1, 5),
+        })
+        .horizon(Time(10_000))
+        .run_algorithm1();
+    assert!(report.progress().wait_free());
+    assert_eq!(report.exclusion().total(), 0);
+    assert_eq!(report.total_messages, 0, "no edges, no traffic");
+    assert_eq!(report.progress().total_sessions(), 15);
+}
+
+#[test]
+fn two_process_system_works() {
+    let report = Scenario::new(topology::path(2))
+        .seed(2)
+        .workload(Workload {
+            sessions: 25,
+            think: (1, 5),
+            eat: (1, 5),
+        })
+        .horizon(Time(60_000))
+        .run_algorithm1();
+    assert!(report.progress().wait_free());
+    assert_eq!(report.exclusion().total(), 0);
+    assert!(report.fairness().max_overtakes() <= 2);
+}
+
+#[test]
+fn crash_at_time_zero() {
+    // A process that crashes before doing anything: neighbors proceed via
+    // suspicion; the dead process's initial fork is simply lost.
+    let report = Scenario::new(topology::ring(4))
+        .seed(3)
+        .perfect_oracle()
+        .crash(p(0), Time(0))
+        .workload(Workload {
+            sessions: 10,
+            think: (1, 10),
+            eat: (1, 10),
+        })
+        .horizon(Time(100_000))
+        .run_algorithm1();
+    assert!(report.progress().wait_free());
+    assert_eq!(report.progress().per_process[0].completed, 0);
+    assert!(report.progress().per_process[1].completed > 0);
+}
+
+#[test]
+fn all_but_one_crash() {
+    // n-1 of n crash: the survivor must keep getting scheduled.
+    let n = 6;
+    let mut s = Scenario::new(topology::clique(n))
+        .seed(4)
+        .perfect_oracle()
+        .workload(Workload {
+            sessions: 12,
+            think: (1, 40),
+            eat: (1, 10),
+        })
+        .horizon(Time(200_000));
+    for i in 1..n {
+        s = s.crash(p(i), Time(100 * i as u64));
+    }
+    let report = s.run_algorithm1();
+    assert!(report.progress().wait_free());
+    assert_eq!(report.progress().per_process[0].completed, 12);
+}
+
+#[test]
+fn everyone_crashes() {
+    // Vacuously wait-free: nobody is correct.
+    let mut s = Scenario::new(topology::ring(3))
+        .seed(5)
+        .perfect_oracle()
+        .workload(Workload {
+            sessions: 10,
+            think: (1, 10),
+            eat: (1, 10),
+        })
+        .horizon(Time(50_000));
+    for i in 0..3 {
+        s = s.crash(p(i), Time(50 + 10 * i as u64));
+    }
+    let report = s.run_algorithm1();
+    assert!(report.progress().wait_free(), "vacuous: no correct process");
+    // Nothing can happen after the last crash.
+    let last_crash = Time(70);
+    assert!(report.events.iter().all(|e| e.time <= last_crash));
+}
+
+#[test]
+fn fixed_delay_degenerate_network() {
+    // Delay 1 everywhere: the most synchronous legal network.
+    let report = Scenario::new(topology::ring(5))
+        .seed(6)
+        .delay(DelayModel::Fixed(1))
+        .workload(Workload {
+            sessions: 10,
+            think: (1, 3),
+            eat: (1, 3),
+        })
+        .horizon(Time(30_000))
+        .run_algorithm1();
+    assert!(report.progress().wait_free());
+    assert_eq!(report.exclusion().total(), 0);
+}
+
+#[test]
+fn huge_delay_variance() {
+    // Delays spanning three orders of magnitude stress FIFO convoying.
+    let report = Scenario::new(topology::ring(4))
+        .seed(7)
+        .delay(DelayModel::Uniform { min: 1, max: 900 })
+        .workload(Workload {
+            sessions: 6,
+            think: (1, 10),
+            eat: (1, 10),
+        })
+        .horizon(Time(500_000))
+        .run_algorithm1();
+    assert!(report.progress().wait_free());
+    assert_eq!(report.exclusion().total(), 0);
+    assert!(report.max_channel_high_water <= 4);
+}
+
+#[test]
+fn zero_sessions_idle_system() {
+    let report = Scenario::new(topology::ring(4))
+        .seed(8)
+        .workload(Workload {
+            sessions: 0,
+            think: (1, 1),
+            eat: (1, 1),
+        })
+        .horizon(Time(10_000))
+        .run_algorithm1();
+    assert_eq!(report.events.len(), 0);
+    assert_eq!(report.total_messages, 0);
+    assert!(report.progress().wait_free());
+}
+
+#[test]
+fn manual_hunger_while_busy_is_ignored() {
+    // Injecting hunger into a non-thinking process must not corrupt state.
+    let report = Scenario::new(topology::path(2))
+        .seed(9)
+        .workload(Workload {
+            sessions: 2,
+            think: (1, 2),
+            eat: (50, 60),
+        })
+        .hunger(p(0), Time(5))
+        .hunger(p(0), Time(6))
+        .hunger(p(0), Time(7))
+        .horizon(Time(20_000))
+        .run_algorithm1();
+    assert!(report.progress().wait_free());
+    // Sessions: the two automatic ones plus at most one manual that landed
+    // while thinking.
+    assert!(report.progress().per_process[0].completed <= 3 + 1);
+}
+
+#[test]
+fn colorings_with_gaps_are_legal() {
+    // The algorithm only needs neighbor-distinct colors, not consecutive
+    // ones: use widely spaced priorities.
+    let report = Scenario::new(topology::ring(4))
+        .colors(vec![10, 500, 10, 999])
+        .seed(10)
+        .workload(Workload {
+            sessions: 8,
+            think: (1, 5),
+            eat: (1, 5),
+        })
+        .horizon(Time(40_000))
+        .run_algorithm1();
+    assert!(report.progress().wait_free());
+    assert_eq!(report.exclusion().total(), 0);
+}
+
+#[test]
+fn repeated_crash_schedule_entries_are_tolerated() {
+    // Scheduling the same crash twice is idempotent.
+    let report = Scenario::new(topology::ring(4))
+        .seed(11)
+        .perfect_oracle()
+        .crash(p(1), Time(100))
+        .crash(p(1), Time(100))
+        .workload(Workload {
+            sessions: 5,
+            think: (1, 10),
+            eat: (1, 10),
+        })
+        .horizon(Time(50_000))
+        .run_algorithm1();
+    assert!(report.progress().wait_free());
+}

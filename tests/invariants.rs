@@ -1,0 +1,138 @@
+//! Stepwise global-invariant checks: properties the paper proves as lemmas
+//! (fork/token uniqueness, channel bounds) asserted at *every* step of
+//! live runs, not just at the end.
+
+use ekbd::dining::DiningProcess;
+use ekbd::graph::{topology, ConflictGraph};
+use ekbd::harness::{LiveRun, Scenario, Workload};
+use ekbd::sim::Time;
+
+/// Lemma 1.2: the fork is unique per edge. At any instant, at most one
+/// endpoint holds it (it may also be in transit — then neither does).
+/// Same for the token. Also §7: ≤ 4 messages in transit per channel.
+fn assert_edge_invariants(live: &LiveRun<DiningProcess>, graph: &ConflictGraph) {
+    for e in graph.edges() {
+        let a = live.algorithm(e.lo);
+        let b = live.algorithm(e.hi);
+        assert!(
+            !(a.holds_fork(e.hi) && b.holds_fork(e.lo)),
+            "duplicated fork on {:?} at {}",
+            e,
+            live.now()
+        );
+        assert!(
+            !(a.holds_token(e.hi) && b.holds_token(e.lo)),
+            "duplicated token on {:?} at {}",
+            e,
+            live.now()
+        );
+    }
+    assert!(
+        live.max_channel_high_water() <= 4,
+        "channel capacity exceeded at {}",
+        live.now()
+    );
+}
+
+fn run_with_invariants(scenario: Scenario) {
+    let graph = scenario.graph.clone();
+    let mut live = LiveRun::new(scenario, |s, p| {
+        DiningProcess::from_graph(&s.graph, &s.colors, p)
+    });
+    let mut steps = 0u64;
+    while live.step() {
+        steps += 1;
+        // Checking every step is O(E) each; sample densely but not always.
+        if steps % 3 == 0 {
+            assert_edge_invariants(&live, &graph);
+        }
+    }
+    assert_edge_invariants(&live, &graph);
+    let report = live.finish();
+    assert!(report.progress().wait_free());
+}
+
+#[test]
+fn fork_uniqueness_holds_throughout_contended_run() {
+    run_with_invariants(
+        Scenario::new(topology::clique(5))
+            .seed(31)
+            .workload(Workload {
+                sessions: 30,
+                think: (1, 5),
+                eat: (1, 10),
+            })
+            .horizon(Time(100_000)),
+    );
+}
+
+#[test]
+fn fork_uniqueness_holds_with_adversarial_oracle_and_crash() {
+    run_with_invariants(
+        Scenario::new(topology::grid(3, 3))
+            .seed(32)
+            .adversarial_oracle(Time(1_500), 40)
+            .crash(ekbd::graph::ProcessId(4), Time(800))
+            .workload(Workload {
+                sessions: 25,
+                think: (1, 40),
+                eat: (1, 10),
+            })
+            .horizon(Time(150_000)),
+    );
+}
+
+#[test]
+fn fork_uniqueness_on_rings_many_seeds() {
+    for seed in 0..6 {
+        run_with_invariants(
+            Scenario::new(topology::ring(6))
+                .seed(seed)
+                .workload(Workload {
+                    sessions: 15,
+                    think: (1, 10),
+                    eat: (1, 8),
+                })
+                .horizon(Time(60_000)),
+        );
+    }
+}
+
+#[test]
+fn final_state_is_clean_after_quiescence() {
+    // After everyone finishes all sessions (no crashes): every process is
+    // thinking, outside the doorway, and every edge has exactly one fork
+    // and one token *held* (nothing left in transit).
+    let scenario = Scenario::new(topology::ring(5))
+        .seed(77)
+        .workload(Workload {
+            sessions: 10,
+            think: (1, 10),
+            eat: (1, 10),
+        })
+        .horizon(Time(200_000));
+    let graph = scenario.graph.clone();
+    let mut live = LiveRun::new(scenario, |s, p| {
+        DiningProcess::from_graph(&s.graph, &s.colors, p)
+    });
+    while live.step() {}
+    for e in graph.edges() {
+        let a = live.algorithm(e.lo);
+        let b = live.algorithm(e.hi);
+        assert_eq!(
+            a.holds_fork(e.hi) as u32 + b.holds_fork(e.lo) as u32,
+            1,
+            "exactly one fork held on {e:?} after quiescence"
+        );
+        assert_eq!(
+            a.holds_token(e.hi) as u32 + b.holds_token(e.lo) as u32,
+            1,
+            "exactly one token held on {e:?} after quiescence"
+        );
+    }
+    let report = live.finish();
+    assert!(report
+        .final_states
+        .iter()
+        .all(|s| *s == ekbd::dining::DinerState::Thinking));
+}

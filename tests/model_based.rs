@@ -1,0 +1,301 @@
+//! Model-based fuzzing of the raw Algorithm 1 state machines.
+//!
+//! Independent of `ekbd-sim`, this harness shuttles messages between
+//! `DiningProcess` instances through explicit per-edge FIFO queues, so the
+//! conservation lemmas can be checked *including messages in flight*:
+//!
+//! * Lemma 1.2 — exactly one fork per edge (holders + in-transit `Fork`s),
+//! * token conservation — exactly one token per edge (holders + in-transit
+//!   `Request`s),
+//! * Lemma 2.2 — at most one pending ping per direction, and the `pinged`
+//!   flag exactly matches the pending evidence (a `Ping` in flight, a
+//!   deferral at the peer, or an `Ack` on its way back).
+//!
+//! The driver explores random interleavings of deliveries, hunger, meal
+//! endings, suspicion flips, and (in crash mode) crashes; a final
+//! "convergence" phase checks message-level wait-freedom: once suspicions
+//! are exact and all traffic drains, every hungry live process eats.
+
+use ekbd::dining::{DinerState, DiningAlgorithm, DiningInput, DiningMsg, DiningProcess};
+use ekbd::graph::{coloring, random, topology, ConflictGraph, ProcessId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+struct Shuttle {
+    graph: ConflictGraph,
+    procs: Vec<DiningProcess>,
+    /// FIFO queue per ordered neighbor pair.
+    channels: BTreeMap<(ProcessId, ProcessId), VecDeque<DiningMsg>>,
+    crashed: Vec<bool>,
+    suspects: Vec<BTreeSet<ProcessId>>,
+    rng: StdRng,
+}
+
+impl Shuttle {
+    fn new(graph: ConflictGraph, seed: u64) -> Self {
+        let colors = coloring::greedy(&graph);
+        let procs = graph
+            .processes()
+            .map(|p| DiningProcess::from_graph(&graph, &colors, p))
+            .collect();
+        let mut channels = BTreeMap::new();
+        for e in graph.edges() {
+            channels.insert((e.lo, e.hi), VecDeque::new());
+            channels.insert((e.hi, e.lo), VecDeque::new());
+        }
+        let n = graph.len();
+        Shuttle {
+            graph,
+            procs,
+            channels,
+            crashed: vec![false; n],
+            suspects: vec![BTreeSet::new(); n],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn apply(&mut self, p: ProcessId, input: DiningInput<DiningMsg>) {
+        if self.crashed[p.index()] {
+            return;
+        }
+        let mut sends = Vec::new();
+        let suspects = self.suspects[p.index()].clone();
+        self.procs[p.index()].handle(input, &suspects, &mut sends);
+        for (to, msg) in sends {
+            self.channels
+                .get_mut(&(p, to))
+                .expect("sends only go to neighbors")
+                .push_back(msg);
+        }
+    }
+
+    /// Delivers the head of one nonempty channel; drops at crashed dests.
+    fn deliver_one(&mut self) -> bool {
+        let nonempty: Vec<(ProcessId, ProcessId)> = self
+            .channels
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&k, _)| k)
+            .collect();
+        let Some(&(from, to)) = nonempty.choose(&mut self.rng) else {
+            return false;
+        };
+        let msg = self
+            .channels
+            .get_mut(&(from, to))
+            .and_then(|q| q.pop_front())
+            .expect("chosen channel is nonempty");
+        if !self.crashed[to.index()] {
+            self.apply(to, DiningInput::Message { from, msg });
+        }
+        true
+    }
+
+    fn in_transit(&self, a: ProcessId, b: ProcessId, pred: impl Fn(&DiningMsg) -> bool) -> usize {
+        [(a, b), (b, a)]
+            .iter()
+            .map(|k| self.channels[k].iter().filter(|m| pred(m)).count())
+            .sum()
+    }
+
+    fn both_live_never_crashed(&self, a: ProcessId, b: ProcessId) -> bool {
+        !self.crashed[a.index()] && !self.crashed[b.index()]
+    }
+
+    /// The conservation invariants, checked over every edge.
+    fn check_invariants(&self, label: &str) {
+        for e in self.graph.edges() {
+            let (a, b) = (e.lo, e.hi);
+            let forks_held = self.procs[a.index()].holds_fork(b) as usize
+                + self.procs[b.index()].holds_fork(a) as usize;
+            let forks_wire = self.in_transit(a, b, |m| matches!(m, DiningMsg::Fork));
+            let fork_total = forks_held + forks_wire;
+            let tokens_held = self.procs[a.index()].holds_token(b) as usize
+                + self.procs[b.index()].holds_token(a) as usize;
+            let tokens_wire = self.in_transit(a, b, |m| matches!(m, DiningMsg::Request { .. }));
+            let token_total = tokens_held + tokens_wire;
+            if self.both_live_never_crashed(a, b) {
+                assert_eq!(fork_total, 1, "{label}: fork conservation on {e:?}");
+                assert_eq!(token_total, 1, "{label}: token conservation on {e:?}");
+            } else {
+                // Messages to a crashed endpoint are dropped: the resource
+                // can be lost but never duplicated.
+                assert!(fork_total <= 1, "{label}: duplicated fork on {e:?}");
+                assert!(token_total <= 1, "{label}: duplicated token on {e:?}");
+            }
+            // Lemma 2.2 per direction, crash-free edges only (drops break
+            // the conservation but never create duplicates).
+            for (i, j) in [(a, b), (b, a)] {
+                let ping_wire = self.channels[&(i, j)]
+                    .iter()
+                    .filter(|m| matches!(m, DiningMsg::Ping))
+                    .count();
+                let ack_wire = self.channels[&(j, i)]
+                    .iter()
+                    .filter(|m| matches!(m, DiningMsg::Ack))
+                    .count();
+                let deferred = self.procs[j.index()].deferring_ack(i) as usize;
+                let evidence = ping_wire + ack_wire + deferred;
+                if self.both_live_never_crashed(a, b) {
+                    assert_eq!(
+                        self.procs[i.index()].ping_pending(j) as usize,
+                        evidence,
+                        "{label}: Lemma 2.2 evidence mismatch {i}→{j}"
+                    );
+                }
+                assert!(evidence <= 1, "{label}: more than one pending ping {i}→{j}");
+            }
+        }
+    }
+
+    /// Sets suspicion to exactly the crashed neighbors and notifies.
+    fn converge_suspicions(&mut self) {
+        for i in 0..self.procs.len() {
+            if self.crashed[i] {
+                continue;
+            }
+            let p = ProcessId::from(i);
+            let exact: BTreeSet<ProcessId> = self
+                .graph
+                .neighbors(p)
+                .iter()
+                .copied()
+                .filter(|q| self.crashed[q.index()])
+                .collect();
+            if self.suspects[i] != exact {
+                self.suspects[i] = exact;
+                self.apply(p, DiningInput::SuspicionChange);
+            }
+        }
+    }
+
+    /// Drains all channels and ends all meals until quiescent; returns the
+    /// number of iterations used.
+    fn settle(&mut self, max_iters: usize, label: &str) -> usize {
+        for iter in 0..max_iters {
+            let mut progress = false;
+            // End every meal (finite eating).
+            for i in 0..self.procs.len() {
+                if !self.crashed[i] && self.procs[i].state() == DinerState::Eating {
+                    self.apply(ProcessId::from(i), DiningInput::DoneEating);
+                    progress = true;
+                }
+            }
+            while self.deliver_one() {
+                progress = true;
+            }
+            self.check_invariants(label);
+            if !progress {
+                return iter;
+            }
+        }
+        panic!("{label}: did not settle within {max_iters} iterations");
+    }
+}
+
+fn fuzz(graph: ConflictGraph, seed: u64, steps: usize, crash_prob: f64) {
+    let mut s = Shuttle::new(graph, seed);
+    let n = s.procs.len();
+    for step in 0..steps {
+        let roll: f64 = s.rng.gen();
+        if roll < 0.55 {
+            s.deliver_one();
+        } else if roll < 0.75 {
+            let p = ProcessId::from(s.rng.gen_range(0..n));
+            if s.procs[p.index()].state() == DinerState::Thinking {
+                s.apply(p, DiningInput::Hungry);
+            }
+        } else if roll < 0.90 {
+            let p = ProcessId::from(s.rng.gen_range(0..n));
+            if s.procs[p.index()].state() == DinerState::Eating {
+                s.apply(p, DiningInput::DoneEating);
+            }
+        } else if roll < 0.97 {
+            // Random (possibly false) suspicion flip of one neighbor.
+            let p = ProcessId::from(s.rng.gen_range(0..n));
+            if !s.crashed[p.index()] && s.graph.degree(p) > 0 {
+                let nbrs = s.graph.neighbors(p);
+                let q = nbrs[s.rng.gen_range(0..nbrs.len())];
+                if !s.suspects[p.index()].remove(&q) {
+                    s.suspects[p.index()].insert(q);
+                }
+                s.apply(p, DiningInput::SuspicionChange);
+            }
+        } else if s.rng.gen_bool(crash_prob) {
+            let p = s.rng.gen_range(0..n);
+            s.crashed[p] = true;
+        }
+        if step % 7 == 0 {
+            s.check_invariants("fuzz");
+        }
+    }
+    // Convergence phase: exact suspicions, drain everything, and verify
+    // message-level wait-freedom — every live hungry process eats.
+    s.converge_suspicions();
+    // Hungry processes may need several grant/drain rounds (doorway, then
+    // forks, with fork bouncing between hungry insiders).
+    for _ in 0..3 * n + 10 {
+        s.settle(10_000, "converge");
+        s.converge_suspicions();
+        let any_hungry = (0..n)
+            .any(|i| !s.crashed[i] && s.procs[i].state() == DinerState::Hungry);
+        if !any_hungry {
+            break;
+        }
+        // Feed one meal ending per round so doorway insiders cycle through.
+        for i in 0..n {
+            if !s.crashed[i] && s.procs[i].state() == DinerState::Eating {
+                s.apply(ProcessId::from(i), DiningInput::DoneEating);
+            }
+        }
+    }
+    s.settle(10_000, "final");
+    for i in 0..n {
+        if !s.crashed[i] {
+            assert_ne!(
+                s.procs[i].state(),
+                DinerState::Hungry,
+                "p{i} starved at the message level (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_ring_crash_free() {
+    for seed in 0..12 {
+        fuzz(topology::ring(5), seed, 2_000, 0.0);
+    }
+}
+
+#[test]
+fn fuzz_clique_crash_free() {
+    for seed in 0..8 {
+        fuzz(topology::clique(5), seed, 2_500, 0.0);
+    }
+}
+
+#[test]
+fn fuzz_with_crashes() {
+    for seed in 0..12 {
+        fuzz(topology::grid(3, 3), seed, 3_000, 0.6);
+    }
+}
+
+#[test]
+fn fuzz_random_graphs_with_crashes() {
+    for seed in 0..8 {
+        let g = random::connected_gnp(8, 0.4, 100 + seed);
+        fuzz(g, seed, 2_500, 0.5);
+    }
+}
+
+#[test]
+fn fuzz_star_and_wheel() {
+    for seed in 0..6 {
+        fuzz(topology::star(6), seed, 2_000, 0.3);
+        fuzz(topology::wheel(6), seed, 2_000, 0.3);
+    }
+}

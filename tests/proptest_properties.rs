@@ -1,0 +1,167 @@
+//! Property-based tests: the paper's guarantees over *randomized*
+//! topologies, colorings, crash schedules, delays, and oracles.
+
+use ekbd::graph::{coloring, random, ProcessId};
+use ekbd::harness::{Scenario, Workload};
+use ekbd::sim::{DelayModel, Time};
+use proptest::prelude::*;
+
+/// Strategy: a connected random graph plus a legal crash schedule leaving
+/// at least one correct process.
+fn scenario_inputs() -> impl Strategy<Value = (usize, u64, Vec<(usize, u64)>, u64)> {
+    (3usize..10, 0u64..1_000).prop_flat_map(|(n, seed)| {
+        let crashes = proptest::collection::vec((0..n, 300u64..2_500), 0..n - 1).prop_map(
+            move |mut v: Vec<(usize, u64)>| {
+                v.sort();
+                v.dedup_by_key(|e| e.0);
+                v
+            },
+        );
+        (Just(n), Just(seed), crashes, 0u64..1_000)
+    })
+}
+
+fn build(n: usize, gseed: u64, crashes: &[(usize, u64)], seed: u64) -> Scenario {
+    let g = random::connected_gnp(n, 0.35, gseed);
+    let mut s = Scenario::new(g)
+        .seed(seed)
+        .adversarial_oracle(Time(2_000), 35)
+        .workload(Workload {
+            sessions: 15,
+            think: (1, 80),
+            eat: (1, 12),
+        })
+        .horizon(Time(250_000));
+    for &(q, t) in crashes {
+        s = s.crash(ProcessId::from(q), Time(t));
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorems 1–3 and the §7 channel bound, randomized.
+    #[test]
+    fn randomized_runs_satisfy_all_theorems(
+        (n, gseed, crashes, seed) in scenario_inputs()
+    ) {
+        let report = build(n, gseed, &crashes, seed).run_algorithm1();
+        let progress = report.progress();
+        prop_assert!(progress.wait_free(), "starving: {:?}", progress.starving());
+        prop_assert_eq!(report.exclusion().after(Time(2_000)), 0);
+        prop_assert!(report.fairness().max_overtakes_after(Time(2_000)) <= 2);
+        prop_assert!(report.max_channel_high_water <= 4);
+        prop_assert!(report.quiescence().quiescent_by(report.horizon));
+    }
+
+    /// Determinism: a run is a pure function of (scenario, seed).
+    #[test]
+    fn runs_are_reproducible(
+        (n, gseed, crashes, seed) in scenario_inputs()
+    ) {
+        let a = build(n, gseed, &crashes, seed).run_algorithm1();
+        let b = build(n, gseed, &crashes, seed).run_algorithm1();
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.suspicions, b.suspicions);
+        prop_assert_eq!(a.total_messages, b.total_messages);
+    }
+
+    /// Proper colorings from both algorithms on arbitrary graphs.
+    #[test]
+    fn colorings_always_proper(n in 1usize..40, p in 0.0f64..1.0, seed in 0u64..500) {
+        let g = random::gnp(n, p, seed);
+        let greedy = coloring::greedy(&g);
+        prop_assert!(coloring::validate(&g, &greedy).is_ok());
+        prop_assert!(coloring::palette_size(&greedy) <= g.max_degree() + 1);
+        let dsatur = coloring::dsatur(&g);
+        prop_assert!(coloring::validate(&g, &dsatur).is_ok());
+        prop_assert!(coloring::palette_size(&dsatur) <= g.max_degree() + 1);
+    }
+
+    /// connected_gnp always yields connected graphs.
+    #[test]
+    fn connected_gnp_is_connected(n in 1usize..30, p in 0.0f64..0.4, seed in 0u64..500) {
+        prop_assert!(random::connected_gnp(n, p, seed).is_connected());
+    }
+
+    /// FIFO channels under arbitrary delay models: messages arrive in
+    /// order regardless of the delay distribution.
+    #[test]
+    fn fifo_order_under_random_delays(
+        seed in 0u64..1_000,
+        min in 1u64..20,
+        spread in 0u64..80,
+        burst in 1usize..60,
+    ) {
+        use ekbd::sim::{Context, Node, NodeEvent, SimConfig, Simulator};
+        struct Burst(usize);
+        impl Node for Burst {
+            type Msg = u32;
+            type Ext = ();
+            type Obs = u32;
+            fn handle(&mut self, ev: NodeEvent<u32, ()>, ctx: &mut Context<'_, u32, u32>) {
+                match ev {
+                    NodeEvent::External(()) => {
+                        for k in 0..self.0 as u32 {
+                            ctx.send(ProcessId(1), k);
+                        }
+                    }
+                    NodeEvent::Message { msg, .. } => ctx.observe(msg),
+                    _ => {}
+                }
+            }
+        }
+        let cfg = SimConfig::default()
+            .n(2)
+            .seed(seed)
+            .delay(DelayModel::Uniform { min, max: min + spread });
+        let mut sim = Simulator::new(cfg, |_, _| Burst(burst));
+        sim.schedule_external(ProcessId(0), Time(1), ());
+        sim.run();
+        let got: Vec<u32> = sim.observations().iter().map(|o| o.obs).collect();
+        prop_assert_eq!(got, (0..burst as u32).collect::<Vec<_>>());
+    }
+
+    /// The GST delay model respects its post-stabilization bound.
+    #[test]
+    fn gst_delays_bounded_after_stabilization(seed in 0u64..300, delta in 1u64..30) {
+        use ekbd::sim::{Context, Node, NodeEvent, SimConfig, Simulator};
+        struct Echo;
+        impl Node for Echo {
+            type Msg = u64;
+            type Ext = ();
+            type Obs = u64;
+            fn handle(&mut self, ev: NodeEvent<u64, ()>, ctx: &mut Context<'_, u64, u64>) {
+                match ev {
+                    NodeEvent::External(()) | NodeEvent::Timer { .. } => {
+                        ctx.send(ProcessId(1), ctx.now().ticks());
+                        ctx.set_timer(7, 9);
+                    }
+                    NodeEvent::Message { msg: sent_at, .. } => {
+                        ctx.observe(ctx.now().ticks() - sent_at);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let gst = Time(500);
+        let cfg = SimConfig::default().n(2).seed(seed).delay(DelayModel::Gst {
+            gst,
+            pre_max: 200,
+            delta,
+        });
+        let mut sim = Simulator::new(cfg, |_, _| Echo);
+        sim.schedule_external(ProcessId(0), Time(1), ());
+        sim.run_until(Time(2_000));
+        for o in sim.observations() {
+            // FIFO lets a post-GST message queue behind a slow pre-GST one,
+            // so the Δ bound provably applies once pre-GST traffic has
+            // drained: for messages sent at or after gst + pre_max.
+            let sent_at = o.time.ticks() - o.obs;
+            if sent_at >= gst.ticks() + 200 {
+                prop_assert!(o.obs <= delta, "delay {} > Δ {}", o.obs, delta);
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration of the stabilization layer with the daemon across
+//! protocols, topologies, daemons, and fault loads.
+
+use ekbd::baselines::ChoySinghProcess;
+use ekbd::dining::DiningProcess;
+use ekbd::graph::{topology, ProcessId};
+use ekbd::harness::Scenario;
+use ekbd::sim::Time;
+use ekbd::stabilize::{
+    ColoringProtocol, MisProtocol, Protocol, ScheduledRun, StabilizationConfig, TokenRingProtocol,
+};
+
+fn algorithm1(s: &Scenario, p: ProcessId) -> DiningProcess {
+    DiningProcess::from_graph(&s.graph, &s.colors, p)
+}
+
+fn faults(n: usize, count: u64, from: u64) -> Vec<(Time, ProcessId)> {
+    (0..count)
+        .map(|k| (Time(from + 300 * k), ProcessId::from((k as usize * 3 + 1) % n)))
+        .collect()
+}
+
+#[test]
+fn coloring_converges_across_topologies() {
+    for (g, seed) in [
+        (topology::ring(7), 1u64),
+        (topology::grid(3, 4), 2),
+        (topology::binary_tree(10), 3),
+        (topology::clique(5), 4),
+    ] {
+        let n = g.len();
+        let scenario = Scenario::new(g).seed(seed).horizon(Time(300_000));
+        let cfg = StabilizationConfig {
+            seed: seed * 7,
+            think: (1, 8),
+            transient_faults: faults(n, 6, 2_000),
+        };
+        let r = ScheduledRun::execute(&ColoringProtocol::default(), scenario, &cfg, algorithm1);
+        assert!(r.legitimate_at_end, "coloring failed (seed {seed})");
+        assert!(r.converged_at.is_some());
+        assert_eq!(r.faults_injected, 6);
+    }
+}
+
+#[test]
+fn mis_converges_with_crashes_and_adversarial_oracle() {
+    let scenario = Scenario::new(topology::grid(3, 3))
+        .seed(6)
+        .adversarial_oracle(Time(1_500), 45)
+        .crash(ProcessId(0), Time(900))
+        .horizon(Time(500_000));
+    let cfg = StabilizationConfig {
+        seed: 20,
+        think: (1, 8),
+        transient_faults: faults(9, 8, 3_000),
+    };
+    let r = ScheduledRun::execute(&MisProtocol, scenario, &cfg, algorithm1);
+    assert!(r.legitimate_at_end, "MIS must converge despite the crash");
+    assert!(r.dining.progress().wait_free());
+}
+
+#[test]
+fn scheduling_mistakes_only_delay_convergence() {
+    // With a late-converging oracle, ◇WX mistakes during the prefix act as
+    // extra transient faults; the suffix still converges.
+    let scenario = Scenario::new(topology::clique(4))
+        .seed(8)
+        .adversarial_oracle(Time(4_000), 60)
+        .horizon(Time(500_000));
+    let cfg = StabilizationConfig {
+        seed: 3,
+        think: (1, 5),
+        transient_faults: Vec::new(),
+    };
+    let r = ScheduledRun::execute(&ColoringProtocol::default(), scenario, &cfg, algorithm1);
+    assert!(r.legitimate_at_end);
+    // The dining layer may well have made mistakes pre-convergence; the
+    // point is that convergence happened anyway.
+    assert_eq!(r.dining.exclusion().after(Time(4_000)), 0);
+}
+
+#[test]
+fn token_ring_stabilizes_and_circulates() {
+    let scenario = Scenario::new(topology::ring(4))
+        .seed(10)
+        .horizon(Time(300_000));
+    let cfg = StabilizationConfig {
+        seed: 4,
+        think: (1, 5),
+        transient_faults: vec![(Time(2_000), ProcessId(1))],
+    };
+    let r = ScheduledRun::execute(&TokenRingProtocol::new(6), scenario, &cfg, algorithm1);
+    assert!(r.legitimate_at_end);
+    // The ring keeps moving after convergence: plenty of steps executed.
+    assert!(r.steps_executed > 50, "steps: {}", r.steps_executed);
+}
+
+#[test]
+fn adversarial_faults_cannot_defeat_the_wait_free_daemon() {
+    // Worst-case corruptions (clone a neighbor's color), repeatedly, with
+    // a crash: Algorithm 1 still converges.
+    let scenario = Scenario::new(topology::grid(3, 3))
+        .seed(12)
+        .perfect_oracle()
+        .crash(ProcessId(4), Time(800))
+        .horizon(Time(600_000));
+    let cfg = StabilizationConfig {
+        seed: 5,
+        think: (1, 8),
+        transient_faults: (0..16)
+            .map(|k| {
+                let victims = [1usize, 3, 5, 7];
+                (Time(3_000 + 400 * k), ProcessId::from(victims[k as usize % 4]))
+            })
+            .collect(),
+    };
+    let r = ScheduledRun::execute(&ColoringProtocol::adversarial(), scenario, &cfg, algorithm1);
+    assert!(r.legitimate_at_end);
+    assert!(r.dining.progress().wait_free());
+}
+
+#[test]
+fn crash_oblivious_daemon_fails_deterministically_under_adversarial_faults() {
+    let scenario = Scenario::new(topology::grid(3, 3))
+        .seed(12)
+        .crash(ProcessId(4), Time(800))
+        .horizon(Time(600_000));
+    let cfg = StabilizationConfig {
+        seed: 5,
+        think: (1, 8),
+        transient_faults: (0..16)
+            .map(|k| {
+                let victims = [1usize, 3, 5, 7];
+                (Time(3_000 + 400 * k), ProcessId::from(victims[k as usize % 4]))
+            })
+            .collect(),
+    };
+    let r = ScheduledRun::execute(&ColoringProtocol::adversarial(), scenario, &cfg, |s, p| {
+        ChoySinghProcess::from_graph(&s.graph, &s.colors, p)
+    });
+    assert!(!r.dining.progress().wait_free(), "neighbors of p4 starve");
+    assert!(
+        !r.legitimate_at_end,
+        "a corrupted, starved process can never repair its state"
+    );
+}
+
+#[test]
+fn protocols_report_names() {
+    assert_eq!(ColoringProtocol::default().name(), "coloring");
+    assert_eq!(MisProtocol.name(), "mis");
+    assert_eq!(TokenRingProtocol::new(5).name(), "token-ring");
+}

@@ -1,0 +1,192 @@
+//! Deterministic, message-by-message witnesses for Theorem 3.
+//!
+//! The paper's bound is *eventual 2-bounded waiting*: in the convergence
+//! suffix, a neighbor can overtake a continuously hungry process at most
+//! twice — once on an ack that was already in flight when the hungry
+//! session began, and once on the single ack the revised doorway grants
+//! per session. These tests replay the exact interleavings:
+//!
+//! * [`two_overtakes_witness`] — the bound is **tight**: a 3-process chain
+//!   where `hi` eats twice during one hungry session of `lo`, and a third
+//!   attempt is provably blocked (`replied` defers the ping).
+//! * [`two_process_fifo_caps_at_one`] — with only two processes, FIFO
+//!   ordering of the deferred ack before the next ping means the second
+//!   doorway entry cannot happen: a stronger bound that emerges from the
+//!   channel discipline, not from the doorway rule.
+
+use ekbd::dining::{DinerState, DiningAlgorithm, DiningInput, DiningMsg, DiningProcess};
+use ekbd::graph::ProcessId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A hand-cranked FIFO network over explicitly colored processes.
+struct Net {
+    procs: BTreeMap<ProcessId, DiningProcess>,
+    channels: BTreeMap<(ProcessId, ProcessId), VecDeque<DiningMsg>>,
+}
+
+impl Net {
+    fn new(spec: &[(usize, u32, &[usize])]) -> Self {
+        let color_of: BTreeMap<usize, u32> = spec.iter().map(|&(i, c, _)| (i, c)).collect();
+        let mut procs = BTreeMap::new();
+        let mut channels = BTreeMap::new();
+        for &(i, c, nbrs) in spec {
+            let p = ProcessId::from(i);
+            procs.insert(
+                p,
+                DiningProcess::new(
+                    p,
+                    c,
+                    nbrs.iter().map(|&j| (ProcessId::from(j), color_of[&j])),
+                ),
+            );
+            for &j in nbrs {
+                channels.insert((p, ProcessId::from(j)), VecDeque::new());
+            }
+        }
+        Net { procs, channels }
+    }
+
+    fn apply(&mut self, who: usize, input: DiningInput<DiningMsg>) {
+        let who = ProcessId::from(who);
+        let nobody = BTreeSet::new();
+        let mut sends = Vec::new();
+        self.procs
+            .get_mut(&who)
+            .expect("known process")
+            .handle(input, &nobody, &mut sends);
+        for (to, msg) in sends {
+            self.channels
+                .get_mut(&(who, to))
+                .expect("known channel")
+                .push_back(msg);
+        }
+    }
+
+    /// Delivers the oldest message on `from → to`, asserting its kind.
+    fn deliver(&mut self, from: usize, to: usize, expect: DiningMsg) {
+        let (f, t) = (ProcessId::from(from), ProcessId::from(to));
+        let msg = self
+            .channels
+            .get_mut(&(f, t))
+            .and_then(|q| q.pop_front())
+            .unwrap_or_else(|| panic!("nothing in flight {f} → {t}"));
+        assert_eq!(msg, expect, "unexpected message on {f} → {t}");
+        self.apply(to, DiningInput::Message { from: f, msg });
+    }
+
+    fn state(&self, who: usize) -> DinerState {
+        self.procs[&ProcessId::from(who)].state()
+    }
+
+    fn proc_(&self, who: usize) -> &DiningProcess {
+        &self.procs[&ProcessId::from(who)]
+    }
+}
+
+const HI: usize = 0; // color 1
+const LO: usize = 1; // color 0, neighbor of both HI and W
+const W: usize = 2; // color 2, the slow third party
+
+fn chain() -> Net {
+    // Path HI — LO — W. Forks start at the higher-color endpoint:
+    // HI holds fork(HI,LO); W holds fork(LO,W); LO holds both tokens.
+    Net::new(&[(HI, 1, &[LO]), (LO, 0, &[HI, W]), (W, 2, &[LO])])
+}
+
+#[test]
+fn two_overtakes_witness() {
+    let mut net = chain();
+
+    // A stale ack: HI hungry, LO (thinking) grants without `replied`.
+    net.apply(HI, DiningInput::Hungry);
+    net.deliver(HI, LO, DiningMsg::Ping);
+
+    // LO's hungry session starts; its acks to HI and pings to both fly.
+    net.apply(LO, DiningInput::Hungry);
+
+    // OVERTAKE 1: the stale ack reaches HI → doorway → fork held → eats.
+    net.deliver(LO, HI, DiningMsg::Ack);
+    assert_eq!(net.state(HI), DinerState::Eating, "overtake 1");
+
+    // LO's ping reaches the eating HI: deferred. W acks LO's ping, but
+    // that ack is SLOW — we simply don't deliver it yet.
+    net.deliver(LO, HI, DiningMsg::Ping);
+    net.deliver(LO, W, DiningMsg::Ping);
+    assert!(net.proc_(HI).deferring_ack(ProcessId::from(LO)));
+
+    // HI finishes (deferred ack to LO flows) and is hungry again (ping
+    // queued behind that ack).
+    net.apply(HI, DiningInput::DoneEating);
+    net.apply(HI, DiningInput::Hungry);
+
+    // LO receives HI's deferred ack — but W's ack is still missing, so LO
+    // stays OUTSIDE the doorway. This is why two processes are not
+    // enough: a third, slower neighbor must hold LO at the door.
+    net.deliver(HI, LO, DiningMsg::Ack);
+    assert!(!net.proc_(LO).inside_doorway());
+
+    // HI's new ping arrives: LO is hungry, outside, and has not replied
+    // this session → grants its one in-session ack (`replied := true`).
+    net.deliver(HI, LO, DiningMsg::Ping);
+    assert!(net.proc_(LO).replied_to(ProcessId::from(HI)));
+
+    // OVERTAKE 2: HI re-enters the doorway (it kept the fork) and eats.
+    net.deliver(LO, HI, DiningMsg::Ack);
+    assert_eq!(net.state(HI), DinerState::Eating, "overtake 2");
+
+    // A third overtake is impossible: HI's next ping is deferred because
+    // `replied` is set for this hungry session of LO.
+    net.apply(HI, DiningInput::DoneEating); // nothing was deferred this meal
+    net.apply(HI, DiningInput::Hungry);
+    net.deliver(HI, LO, DiningMsg::Ping);
+    assert!(net.proc_(LO).deferring_ack(ProcessId::from(HI)));
+    assert_eq!(net.state(HI), DinerState::Hungry);
+    assert!(!net.proc_(HI).inside_doorway(), "third entry blocked");
+
+    // W's slow ack finally lands: LO enters, collects both forks, eats.
+    net.deliver(W, LO, DiningMsg::Ack);
+    assert!(net.proc_(LO).inside_doorway());
+    net.deliver(LO, HI, DiningMsg::Request { color: 0 });
+    net.deliver(LO, W, DiningMsg::Request { color: 0 });
+    net.deliver(HI, LO, DiningMsg::Fork); // HI outside ⇒ granted
+    net.deliver(W, LO, DiningMsg::Fork); // W thinking ⇒ granted
+    assert_eq!(net.state(LO), DinerState::Eating, "LO eats after exactly 2 overtakes");
+
+    // And the deferred ack releases HI afterwards — nobody starves.
+    net.apply(LO, DiningInput::DoneEating);
+    net.deliver(LO, HI, DiningMsg::Ack);
+    assert!(net.proc_(HI).inside_doorway());
+    net.deliver(HI, LO, DiningMsg::Request { color: 1 });
+    net.deliver(LO, HI, DiningMsg::Fork);
+    assert_eq!(net.state(HI), DinerState::Eating);
+}
+
+#[test]
+fn two_process_fifo_caps_at_one() {
+    // With only two processes the deferred ack travels FIFO-before HI's
+    // next ping, so LO has already entered the doorway when the ping
+    // lands and defers it: the second doorway entry never happens.
+    let mut net = Net::new(&[(HI, 1, &[LO]), (LO, 0, &[HI])]);
+
+    net.apply(HI, DiningInput::Hungry);
+    net.deliver(HI, LO, DiningMsg::Ping);
+    net.apply(LO, DiningInput::Hungry);
+    net.deliver(LO, HI, DiningMsg::Ack);
+    assert_eq!(net.state(HI), DinerState::Eating, "overtake 1 (stale ack)");
+    net.deliver(LO, HI, DiningMsg::Ping); // deferred at eating HI
+    net.apply(HI, DiningInput::DoneEating);
+    net.apply(HI, DiningInput::Hungry);
+
+    // FIFO forces the deferred ack before the new ping: LO enters.
+    net.deliver(HI, LO, DiningMsg::Ack);
+    assert!(net.proc_(LO).inside_doorway());
+    net.deliver(HI, LO, DiningMsg::Ping);
+    assert!(net.proc_(LO).deferring_ack(ProcessId::from(HI)), "inside ⇒ defers");
+
+    // LO collects the fork and eats; HI stayed at one overtake.
+    net.deliver(LO, HI, DiningMsg::Request { color: 0 });
+    net.deliver(HI, LO, DiningMsg::Fork);
+    assert_eq!(net.state(LO), DinerState::Eating);
+    assert_eq!(net.state(HI), DinerState::Hungry);
+    assert!(!net.proc_(HI).inside_doorway());
+}
