@@ -54,7 +54,11 @@ impl ChoySinghProcess {
             assert!(q != id, "a process is not its own neighbor");
             assert!(qcolor != color, "coloring must be proper");
             ids.push(q);
-            vars.push(if color > qcolor { flag::FORK } else { flag::TOKEN });
+            vars.push(if color > qcolor {
+                flag::FORK
+            } else {
+                flag::TOKEN
+            });
         }
         ChoySinghProcess {
             id,
@@ -237,14 +241,20 @@ mod tests {
         assert_eq!(out, vec![(p(0), DiningMsg::Ping)]);
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut out,
         );
         assert_eq!(out, vec![(p(1), DiningMsg::Ack)]);
         let mut out = Vec::new();
         lo.handle(
-            DiningInput::Message { from: p(0), msg: DiningMsg::Ack },
+            DiningInput::Message {
+                from: p(0),
+                msg: DiningMsg::Ack,
+            },
             &none(),
             &mut out,
         );
@@ -252,13 +262,19 @@ mod tests {
         assert_eq!(out, vec![(p(0), DiningMsg::Request { color: 0 })]);
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Request { color: 0 },
+            },
             &none(),
             &mut out,
         );
         assert_eq!(out, vec![(p(1), DiningMsg::Fork)]);
         lo.handle(
-            DiningInput::Message { from: p(0), msg: DiningMsg::Fork },
+            DiningInput::Message {
+                from: p(0),
+                msg: DiningMsg::Fork,
+            },
             &none(),
             &mut Vec::new(),
         );
@@ -275,7 +291,11 @@ mod tests {
         lo.handle(DiningInput::Hungry, &everyone, &mut out);
         assert_eq!(lo.state(), DinerState::Hungry);
         assert!(!lo.inside_doorway());
-        assert_eq!(out, vec![(p(0), DiningMsg::Ping)], "still pings, still waits");
+        assert_eq!(
+            out,
+            vec![(p(0), DiningMsg::Ping)],
+            "still pings, still waits"
+        );
     }
 
     #[test]
@@ -287,7 +307,10 @@ mod tests {
         for _ in 0..3 {
             let mut out = Vec::new();
             lo.handle(
-                DiningInput::Message { from: p(0), msg: DiningMsg::Ping },
+                DiningInput::Message {
+                    from: p(0),
+                    msg: DiningMsg::Ping,
+                },
                 &none(),
                 &mut out,
             );

@@ -51,7 +51,11 @@ impl HierarchicalProcess {
             assert!(q != id, "a process is not its own neighbor");
             assert!(qcolor != color, "coloring must be proper");
             ids.push(q);
-            vars.push(if color > qcolor { flag::FORK } else { flag::TOKEN });
+            vars.push(if color > qcolor {
+                flag::FORK
+            } else {
+                flag::TOKEN
+            });
         }
         HierarchicalProcess {
             id,
@@ -224,14 +228,20 @@ mod tests {
         // First fork arrives → only now the second request goes out.
         let mut out = Vec::new();
         proc_.handle(
-            DiningInput::Message { from: p(0), msg: DiningMsg::Fork },
+            DiningInput::Message {
+                from: p(0),
+                msg: DiningMsg::Fork,
+            },
             &none(),
             &mut out,
         );
         assert_eq!(out, vec![(p(2), DiningMsg::Request { color: 0 })]);
         let mut out = Vec::new();
         proc_.handle(
-            DiningInput::Message { from: p(2), msg: DiningMsg::Fork },
+            DiningInput::Message {
+                from: p(2),
+                msg: DiningMsg::Fork,
+            },
             &none(),
             &mut out,
         );
@@ -243,7 +253,10 @@ mod tests {
         let mut proc_ = HierarchicalProcess::new(p(1), 0, [(p(0), 1), (p(2), 2)]);
         proc_.handle(DiningInput::Hungry, &none(), &mut Vec::new());
         proc_.handle(
-            DiningInput::Message { from: p(0), msg: DiningMsg::Fork },
+            DiningInput::Message {
+                from: p(0),
+                msg: DiningMsg::Fork,
+            },
             &none(),
             &mut Vec::new(),
         );
@@ -251,14 +264,20 @@ mod tests {
         // request for it is deferred even though p1 is still hungry.
         let mut out = Vec::new();
         proc_.handle(
-            DiningInput::Message { from: p(0), msg: DiningMsg::Request { color: 1 } },
+            DiningInput::Message {
+                from: p(0),
+                msg: DiningMsg::Request { color: 1 },
+            },
             &none(),
             &mut out,
         );
         assert!(out.is_empty(), "locked fork deferred");
         // Finish acquiring and eating; exit returns the deferred fork.
         proc_.handle(
-            DiningInput::Message { from: p(2), msg: DiningMsg::Fork },
+            DiningInput::Message {
+                from: p(2),
+                msg: DiningMsg::Fork,
+            },
             &none(),
             &mut Vec::new(),
         );
@@ -273,7 +292,10 @@ mod tests {
         let mut holder = HierarchicalProcess::new(p(0), 1, [(p(1), 0)]);
         let mut out = Vec::new();
         holder.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Request { color: 0 },
+            },
             &none(),
             &mut out,
         );

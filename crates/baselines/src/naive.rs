@@ -45,7 +45,11 @@ impl NaivePriorityProcess {
             assert!(q != id, "a process is not its own neighbor");
             assert!(qcolor != color, "coloring must be proper");
             ids.push(q);
-            vars.push(if color > qcolor { flag::FORK } else { flag::TOKEN });
+            vars.push(if color > qcolor {
+                flag::FORK
+            } else {
+                flag::TOKEN
+            });
         }
         NaivePriorityProcess {
             id,
@@ -201,14 +205,20 @@ mod tests {
         assert_eq!(out, vec![(p(0), DiningMsg::Request { color: 0 })]);
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Request { color: 0 },
+            },
             &none(),
             &mut out,
         );
         assert_eq!(out, vec![(p(1), DiningMsg::Fork)], "thinking holder grants");
         let mut out = Vec::new();
         lo.handle(
-            DiningInput::Message { from: p(0), msg: DiningMsg::Fork },
+            DiningInput::Message {
+                from: p(0),
+                msg: DiningMsg::Fork,
+            },
             &none(),
             &mut out,
         );
@@ -228,7 +238,10 @@ mod tests {
         assert_eq!(out, vec![(p(2), DiningMsg::Request { color: 1 })]);
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Request { color: 0 },
+            },
             &none(),
             &mut out,
         );
@@ -251,7 +264,10 @@ mod tests {
         assert_eq!(hi.state(), DinerState::Eating);
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Request { color: 0 },
+            },
             &none(),
             &mut out,
         );

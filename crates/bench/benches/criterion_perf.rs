@@ -125,18 +125,30 @@ fn bench_detector(c: &mut Criterion) {
     let neighbors: Vec<ProcessId> = (1..9).map(ProcessId::from).collect();
     c.bench_function("heartbeat_timer_tick", |b| {
         let mut d = HeartbeatDetector::new(HeartbeatConfig::default(), neighbors.clone());
-        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
         let mut now = 0u64;
         b.iter(|| {
             now += 10;
             let mut out = DetectorOutput::new();
-            d.handle(DetectorEvent::Timer { now: Time(now), tag: 1 }, &mut out);
+            d.handle(
+                DetectorEvent::Timer {
+                    now: Time(now),
+                    tag: 1,
+                },
+                &mut out,
+            );
             black_box(out.sends.len())
         });
     });
     c.bench_function("heartbeat_receive", |b| {
         let mut d = HeartbeatDetector::new(HeartbeatConfig::default(), neighbors.clone());
-        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
         let mut now = 0u64;
         b.iter(|| {
             now += 1;

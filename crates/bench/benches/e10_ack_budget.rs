@@ -45,9 +45,7 @@ fn main() {
                     eat: (6, 14),
                 })
                 .horizon(Time(500_000))
-                .run_with(|s, p| {
-                    BudgetedDiningProcess::from_graph(&s.graph, &s.colors, p, m)
-                });
+                .run_with(|s, p| BudgetedDiningProcess::from_graph(&s.graph, &s.colors, p, m));
             assert!(report.progress().wait_free());
             // Silent oracle, no crashes: the suffix is the whole run.
             worst = worst.max(report.fairness().max_overtakes());

@@ -52,7 +52,12 @@ fn main() {
         ("clique-6", topology::clique(6)),
         ("grid-4x4", topology::grid(4, 4)),
     ] {
-        for alg in ["algorithm-1", "choy-singh", "naive-priority", "hierarchical"] {
+        for alg in [
+            "algorithm-1",
+            "choy-singh",
+            "naive-priority",
+            "hierarchical",
+        ] {
             let mut sessions = 0usize;
             let mut messages = 0u64;
             let mut p50 = 0u64;

@@ -69,10 +69,7 @@ fn main() {
     let path7 = ekbd_graph::topology::path(7);
     let (db, db_cut) = dumbbell(4);
     let cut_at = Time(3_000);
-    for (name, graph, cut) in [
-        ("path-7", path7, ProcessId(3)),
-        ("dumbbell-9", db, db_cut),
-    ] {
+    for (name, graph, cut) in [("path-7", path7, ProcessId(3)), ("dumbbell-9", db, db_cut)] {
         let report = Scenario::new(graph)
             .seed(5)
             .heartbeat_oracle(hb)
@@ -93,9 +90,7 @@ fn main() {
         let before = report
             .events
             .iter()
-            .filter(|e| {
-                e.obs == ekbd_dining::DiningObs::StartedEating && e.time < cut_at
-            })
+            .filter(|e| e.obs == ekbd_dining::DiningObs::StartedEating && e.time < cut_at)
             .count();
         let after = report.total_eat_sessions() - before;
         let conv = report.detector_convergence();

@@ -1,0 +1,169 @@
+//! E14 — beyond the paper: the theorems survive adversarial channels
+//! behind a self-healing link layer.
+//!
+//! The paper's system model (§2) assumes reliable FIFO channels. This
+//! experiment injects message loss, duplication, bounded reordering, and a
+//! healing partition, and routes dining traffic through the `ekbd-link`
+//! recovery layer (sequence numbers, cumulative acks, retransmission with
+//! exponential backoff, duplicate suppression). Checks:
+//!
+//! * **Theorem 2 (wait-freedom)** and **Theorem 1 (◇WX)** hold across a
+//!   loss sweep of 0–20% per edge, with no post-convergence mistakes.
+//! * **Theorem 3 (◇2-BW)** holds in the convergence suffix.
+//! * **§7 S2 restated:** over lossy channels the in-transit bound is per
+//!   *distinct payloads* — the per-edge unacked high-water stays small
+//!   even though retransmission copies are unbounded in principle.
+//! * **§7 S3 (quiescence):** retransmission toward a crashed neighbor
+//!   ceases once ◇P₁ suspects it — finitely many sends to the crashed.
+//! * **Determinism:** a faulty run is a pure function of its seed.
+
+use ekbd_bench::{banner, conclude, verdict, Table};
+use ekbd_harness::{Scenario, Workload};
+use ekbd_link::LinkConfig;
+use ekbd_sim::{FaultPlan, ProcessId, Time};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from(i)
+}
+
+fn lossy_scenario(loss: f64, seed: u64) -> Scenario {
+    let mut faults = FaultPlan::new().duplication(0.02).reorder(0.05, 10);
+    if loss > 0.0 {
+        faults = faults.loss(loss);
+    }
+    Scenario::new(ekbd_graph::topology::ring(6))
+        .seed(seed)
+        .adversarial_oracle(Time(2_000), 40)
+        .workload(Workload {
+            sessions: 8,
+            think: (1, 40),
+            eat: (1, 10),
+        })
+        .faults(faults)
+        .reliable_link(LinkConfig::default())
+        .horizon(Time(200_000))
+}
+
+fn main() {
+    banner(
+        "E14",
+        "beyond the paper — ◇WX, wait-freedom, ◇2-BW survive lossy/duplicating/reordering channels behind the link layer",
+    );
+
+    // Part 1: loss sweep. Every row also carries 2% duplication and 5%
+    // reordering, so the link layer is exercised on all three fault axes.
+    println!("loss sweep (ring-6, adversarial oracle converging at t=2000, 8 sessions/process):\n");
+    let mut table = Table::new(&[
+        "loss",
+        "dropped",
+        "retransmit ratio",
+        "eat sessions",
+        "starved",
+        "mistakes after conv",
+        "max overtakes",
+        "max unacked/edge",
+        "verdict",
+    ]);
+    let mut all_ok = true;
+    for loss in [0.0, 0.01, 0.05, 0.10, 0.20] {
+        let report = lossy_scenario(loss, 42).run_algorithm1();
+        let progress = report.progress();
+        let link = report.link.expect("link layer enabled");
+        let mistakes_after = report.exclusion().after(Time(2_000));
+        let overtakes = report.fairness().max_overtakes_after(Time(2_000));
+        let ok = progress.wait_free()
+            && mistakes_after == 0
+            && overtakes <= 2
+            && link.delivered == link.payloads_sent;
+        all_ok &= ok;
+        table.row([
+            format!("{:.0}%", loss * 100.0),
+            report.messages_dropped.to_string(),
+            format!("{:.3}", link.retransmit_ratio()),
+            report.total_eat_sessions().to_string(),
+            format!("{:?}", progress.starving()),
+            mistakes_after.to_string(),
+            overtakes.to_string(),
+            link.max_unacked.to_string(),
+            verdict(ok),
+        ]);
+    }
+    table.print();
+
+    // Part 2: 10% loss plus a partition isolating {p0, p1} from t=500 to
+    // t=3000, which then heals. The link layer retransmits across the heal.
+    println!("\nhealed partition ({{p0,p1}} cut off 500..3000, 10% loss everywhere):\n");
+    let partition_scenario = |seed: u64| {
+        Scenario::new(ekbd_graph::topology::ring(6))
+            .seed(seed)
+            .adversarial_oracle(Time(2_000), 40)
+            .workload(Workload {
+                sessions: 6,
+                think: (1, 30),
+                eat: (1, 10),
+            })
+            .faults(
+                FaultPlan::new()
+                    .loss(0.10)
+                    .partition(vec![p(0), p(1)], Time(500), Time(3_000)),
+            )
+            .reliable_link(LinkConfig::default())
+            .horizon(Time(120_000))
+    };
+    let a = partition_scenario(7).run_algorithm1();
+    let b = partition_scenario(7).run_algorithm1();
+    let deterministic = a.events == b.events && a.link == b.link;
+    let healed_ok = a.progress().wait_free()
+        && a.exclusion().after(Time(2_000)) == 0
+        && a.link.expect("link").delivered == a.link.expect("link").payloads_sent;
+    all_ok &= deterministic && healed_ok;
+    println!(
+        "  wait-free: {}   mistakes after conv: {}   dropped: {}   retransmissions: {}",
+        a.progress().wait_free(),
+        a.exclusion().after(Time(2_000)),
+        a.messages_dropped,
+        a.link.expect("link").retransmissions,
+    );
+    println!(
+        "  identical trace on re-run (same seed): {}   [{}]",
+        deterministic,
+        verdict(deterministic && healed_ok)
+    );
+
+    // Part 3: quiescence toward a crashed neighbor under 10% loss — the
+    // retransmitter must not babble at the dead (§7 S3).
+    println!("\nquiescence under loss (ring-5, p2 crashes at t=400, perfect oracle):\n");
+    let report = Scenario::new(ekbd_graph::topology::ring(5))
+        .seed(17)
+        .perfect_oracle()
+        .crash(p(2), Time(400))
+        .workload(Workload {
+            sessions: 8,
+            think: (1, 30),
+            eat: (1, 10),
+        })
+        .faults(FaultPlan::new().loss(0.10))
+        .reliable_link(LinkConfig::default())
+        .horizon(Time(120_000))
+        .run_algorithm1();
+    let q = report.quiescence();
+    let quiescent = q.quiescent_by(report.horizon);
+    let ok = report.progress().wait_free() && quiescent;
+    all_ok &= ok;
+    println!(
+        "  sends to crashed: {}   last at: {:?}   quiescent: {}   [{}]",
+        q.total(),
+        q.last_send(),
+        quiescent,
+        verdict(ok)
+    );
+
+    println!(
+        "\nWith sequence numbers, cumulative acks, and suspicion-gated\n\
+         retransmission, the daemon's guarantees are insensitive to channel\n\
+         loss up to 20% per edge: exactly-once FIFO delivery is restored\n\
+         between correct processes, and the §7 in-transit bound reappears\n\
+         as a bound on *distinct unacked payloads* per edge."
+    );
+    conclude("E14", all_ok);
+}

@@ -30,7 +30,12 @@ fn main() {
     );
     let converge_at = Time(3_000);
     let mut table = Table::new(&[
-        "topology", "crashes", "seeds", "mistakes(total)", "mistakes(after conv)", "wait-free",
+        "topology",
+        "crashes",
+        "seeds",
+        "mistakes(total)",
+        "mistakes(after conv)",
+        "wait-free",
         "verdict",
     ]);
     let mut all_ok = true;
@@ -55,10 +60,7 @@ fn main() {
                     .horizon(Time(150_000));
                 for c in 0..crashes {
                     // Spread crashes across the run, including pre-convergence.
-                    s = s.crash(
-                        ProcessId::from((c * 2 + 1) % n),
-                        Time(500 + 900 * c as u64),
-                    );
+                    s = s.crash(ProcessId::from((c * 2 + 1) % n), Time(500 + 900 * c as u64));
                 }
                 let report = s.run_algorithm1();
                 let ex = report.exclusion();

@@ -71,9 +71,7 @@ fn main() {
                     let report = if alg == "algorithm-1" {
                         s.run_algorithm1()
                     } else {
-                        s.run_with(|sc, p| {
-                            ChoySinghProcess::from_graph(&sc.graph, &sc.colors, p)
-                        })
+                        s.run_with(|sc, p| ChoySinghProcess::from_graph(&sc.graph, &sc.colors, p))
                     };
                     let progress = report.progress();
                     starved += progress.starving().len();

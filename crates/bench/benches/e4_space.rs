@@ -17,7 +17,13 @@ fn formula(delta: usize) -> usize {
 fn main() {
     banner("E4", "§7 — per-process state is log₂(δ) + 6δ + c bits");
     let mut table = Table::new(&[
-        "topology", "n", "δ(max)", "measured bits(max)", "formula bits", "bytes", "verdict",
+        "topology",
+        "n",
+        "δ(max)",
+        "measured bits(max)",
+        "formula bits",
+        "bytes",
+        "verdict",
     ]);
     let mut all_ok = true;
     for (name, graph) in [

@@ -33,7 +33,10 @@ fn main() {
     ]);
     let mut series: Vec<(String, Vec<usize>)> = Vec::new();
 
-    for (name, graph) in [("ring-6", topology::ring(6)), ("clique-5", topology::clique(5))] {
+    for (name, graph) in [
+        ("ring-6", topology::ring(6)),
+        ("clique-5", topology::clique(5)),
+    ] {
         for oracle in ["perfect", "adversarial"] {
             let mut s = Scenario::new(graph.clone())
                 .seed(13)

@@ -39,11 +39,20 @@ fn sim_case(name: &str, graph: ConflictGraph, table: &mut Table) {
 }
 
 fn main() {
-    banner("E9", "performance characterization — simulator and threaded runtime");
+    banner(
+        "E9",
+        "performance characterization — simulator and threaded runtime",
+    );
 
     println!("Simulator (Algorithm 1, adversarial oracle, 20 sessions/process):\n");
     let mut table = Table::new(&[
-        "topology", "n", "events", "events/s", "eat-sessions", "sessions/s", "wall s",
+        "topology",
+        "n",
+        "events",
+        "events/s",
+        "eat-sessions",
+        "sessions/s",
+        "wall s",
     ]);
     sim_case("ring-8", topology::ring(8), &mut table);
     sim_case("ring-32", topology::ring(32), &mut table);
@@ -55,7 +64,10 @@ fn main() {
 
     println!("\nThreaded runtime (real threads, wall-clock heartbeats, 300 ms window):\n");
     let mut table = Table::new(&["topology", "n", "eat-sessions", "sessions/s"]);
-    for (name, graph) in [("ring-5", topology::ring(5)), ("clique-4", topology::clique(4))] {
+    for (name, graph) in [
+        ("ring-5", topology::ring(5)),
+        ("clique-4", topology::clique(4)),
+    ] {
         let n = graph.len();
         let sys = ThreadedDining::spawn(graph, RuntimeConfig::default());
         let start = Instant::now();

@@ -17,6 +17,11 @@
 //! | `e7_stabilization` | §1 — daemon-scheduled self-stabilization under crashes |
 //! | `e8_oracle_sensitivity` | §1 — mistakes shrink with oracle quality; perpetual WX needs `P` |
 //! | `e9_perf` | throughput/scaling characterization (sim + threaded runtime) |
+//! | `e10_ack_budget` | ablation — the ack budget m is the "k": ◇(m+1)-BW |
+//! | `e11_detector_quality` | §2 — ◇P₁ implementability: heartbeat & probe tuning sweep |
+//! | `e12_message_cost` | engineering context — doorway cost vs. baselines |
+//! | `e13_partitionable` | §8 — ◇P₁ and the daemon survive crash partitions |
+//! | `e14_unreliable_channels` | beyond the paper — theorems survive lossy channels behind `ekbd-link` |
 //! | `criterion_perf` | statistical micro-benchmarks (Criterion) |
 //!
 //! This library crate holds the plain-text table writer and small helpers
@@ -104,16 +109,16 @@ pub fn banner(id: &str, claim: &str) {
 
 /// PASS/FAIL cell for claim checks.
 pub fn verdict(ok: bool) -> String {
-    if ok { "PASS".into() } else { "FAIL".into() }
+    if ok {
+        "PASS".into()
+    } else {
+        "FAIL".into()
+    }
 }
 
 /// Prints the experiment's overall verdict line (greppable).
 pub fn conclude(id: &str, ok: bool) {
-    println!(
-        "\n[{}] overall: {}\n",
-        id,
-        if ok { "PASS" } else { "FAIL" }
-    );
+    println!("\n[{}] overall: {}\n", id, if ok { "PASS" } else { "FAIL" });
 }
 
 #[cfg(test)]

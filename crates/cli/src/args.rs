@@ -34,7 +34,11 @@ impl fmt::Display for ArgError {
             ArgError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
             ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
             ArgError::UnexpectedToken(t) => write!(f, "unexpected token '{t}'"),
-            ArgError::BadValue { flag, value, expected } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "bad value '{value}' for {flag}: expected {expected}")
             }
         }
@@ -66,7 +70,9 @@ impl Parsed {
             let Some(name) = tok.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedToken(tok));
             };
-            let value = it.next().ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
             flags.entry(name.to_string()).or_default().push(value);
         }
         Ok(Parsed { command, flags })
@@ -74,7 +80,10 @@ impl Parsed {
 
     /// The last value of `flag`, if present.
     pub fn get(&self, flag: &str) -> Option<&str> {
-        self.flags.get(flag).and_then(|v| v.last()).map(String::as_str)
+        self.flags
+            .get(flag)
+            .and_then(|v| v.last())
+            .map(String::as_str)
     }
 
     /// All values of `flag`.
@@ -127,7 +136,10 @@ mod tests {
         assert_eq!(p.command, "run");
         assert_eq!(p.get("topology"), Some("ring:8"));
         assert_eq!(p.get("seed"), Some("7"));
-        assert_eq!(p.get_all("crash"), &["1:100".to_string(), "2:200".to_string()]);
+        assert_eq!(
+            p.get_all("crash"),
+            &["1:100".to_string(), "2:200".to_string()]
+        );
         assert_eq!(p.get("missing"), None);
     }
 
@@ -135,8 +147,14 @@ mod tests {
     fn rejects_bad_shapes() {
         assert_eq!(parse(""), Err(ArgError::MissingCommand));
         assert!(matches!(parse("fly"), Err(ArgError::UnknownCommand(_))));
-        assert!(matches!(parse("run --seed"), Err(ArgError::MissingValue(_))));
-        assert!(matches!(parse("run stray"), Err(ArgError::UnexpectedToken(_))));
+        assert!(matches!(
+            parse("run --seed"),
+            Err(ArgError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse("run stray"),
+            Err(ArgError::UnexpectedToken(_))
+        ));
     }
 
     #[test]

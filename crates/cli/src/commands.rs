@@ -2,7 +2,10 @@
 //! it, and print a human-readable report.
 
 use crate::args::{ArgError, Parsed};
-use crate::spec::{parse_crash, AlgorithmSpec, OracleArg, ProtocolSpec, TopologySpec};
+use crate::spec::{
+    parse_crash, parse_link, parse_partition, parse_reorder, AlgorithmSpec, OracleArg,
+    ProtocolSpec, TopologySpec,
+};
 use ekbd_baselines::{ChoySinghProcess, NaivePriorityProcess};
 use ekbd_dining::{BudgetedDiningProcess, DiningProcess};
 use ekbd_graph::ProcessId;
@@ -23,6 +26,8 @@ USAGE:
                  [--oracle silent|perfect|adversarial:conv:burst|heartbeat:p:t:i]
                  [--seed N] [--sessions N] [--think lo:hi] [--eat lo:hi]
                  [--crash proc:time]... [--horizon N] [--timeline N]
+                 [--loss P] [--dup P] [--reorder P:WINDOW]
+                 [--partition procs:start-heal]... [--link on|base:cap]
   ekbd stabilize --protocol coloring|coloring-adv|mis|token-ring:k|bfs-tree|leader
                  --topology SPEC [--algorithm ...] [--oracle ...] [--seed N]
                  [--crash proc:time]... [--faults N] [--horizon N]
@@ -57,6 +62,27 @@ fn scenario_from(parsed: &Parsed) -> Result<Scenario, ArgError> {
         let (p, t) = parse_crash(c)?;
         s = s.crash(p, t);
     }
+    let mut faults = ekbd_sim::FaultPlan::new();
+    if parsed.get("loss").is_some() {
+        faults = faults.loss(parsed.get_parsed("loss", 0.0f64)?);
+    }
+    if parsed.get("dup").is_some() {
+        faults = faults.duplication(parsed.get_parsed("dup", 0.0f64)?);
+    }
+    if let Some(spec) = parsed.get("reorder") {
+        let (p, window) = parse_reorder(spec)?;
+        faults = faults.reorder(p, window);
+    }
+    for spec in parsed.get_all("partition") {
+        let (side, start, heal) = parse_partition(spec)?;
+        faults = faults.partition(side, start, heal);
+    }
+    if !faults.is_inert() {
+        s = s.faults(faults);
+    }
+    if let Some(spec) = parsed.get("link") {
+        s = s.reliable_link(parse_link(spec)?);
+    }
     Ok(s)
 }
 
@@ -71,9 +97,7 @@ fn run_with_algorithm(s: &Scenario, alg: &AlgorithmSpec) -> RunReport {
         }
         AlgorithmSpec::Budgeted(m) => {
             let m = *m;
-            s.run_with(move |sc, p| {
-                BudgetedDiningProcess::from_graph(&sc.graph, &sc.colors, p, m)
-            })
+            s.run_with(move |sc, p| BudgetedDiningProcess::from_graph(&sc.graph, &sc.colors, p, m))
         }
     }
 }
@@ -85,7 +109,10 @@ fn print_report(report: &RunReport) {
     println!("processes ................... {}", report.graph.len());
     println!("events processed ............ {}", report.events_processed);
     println!("messages .................... {}", report.total_messages);
-    println!("eat sessions ................ {}", report.total_eat_sessions());
+    println!(
+        "eat sessions ................ {}",
+        report.total_eat_sessions()
+    );
     println!("starving (correct) .......... {:?}", progress.starving());
     let lat = progress.latency_summary();
     println!(
@@ -106,6 +133,25 @@ fn print_report(report: &RunReport) {
         "channel high-water .......... {} (paper bound: 4 dining msgs)",
         report.max_channel_high_water
     );
+    if report.messages_dropped > 0 || report.messages_duplicated > 0 {
+        println!(
+            "channel faults .............. dropped={} duplicated={}",
+            report.messages_dropped, report.messages_duplicated
+        );
+    }
+    if let Some(link) = &report.link {
+        println!(
+            "link delivered/sent ......... {}/{} (retransmissions={}, ratio {:.2})",
+            link.delivered,
+            link.payloads_sent,
+            link.retransmissions,
+            link.retransmit_ratio()
+        );
+        println!(
+            "link dup-suppressed ......... {} (max unacked per edge: {})",
+            link.duplicates_suppressed, link.max_unacked
+        );
+    }
     if !report.crashes.is_empty() {
         let q = report.quiescence();
         println!(
@@ -146,7 +192,12 @@ pub fn cmd_run(parsed: &Parsed) -> Result<(), ArgError> {
             "{}",
             Timeline::until(Time(until))
                 .marker(report.detector_convergence())
-                .render(&report.graph, &report.events, &|p| report.crash_time(p), report.horizon)
+                .render(
+                    &report.graph,
+                    &report.events,
+                    &|p| report.crash_time(p),
+                    report.horizon
+                )
         );
     }
     Ok(())
@@ -188,20 +239,21 @@ pub fn cmd_stabilize(parsed: &Parsed) -> Result<(), ArgError> {
         seed: parsed.get_parsed("seed", 0u64)? + 1000,
         think: (1, 8),
         transient_faults: (0..fault_count)
-            .map(|k| (Time(2_000 + 400 * k), ProcessId::from((k as usize * 5 + 1) % n)))
+            .map(|k| {
+                (
+                    Time(2_000 + 400 * k),
+                    ProcessId::from((k as usize * 5 + 1) % n),
+                )
+            })
             .collect(),
     };
     let report = match &protocol {
-        ProtocolSpec::Coloring => {
-            stabilize_with(&ColoringProtocol::default(), s, &cfg, &alg)
-        }
+        ProtocolSpec::Coloring => stabilize_with(&ColoringProtocol::default(), s, &cfg, &alg),
         ProtocolSpec::ColoringAdversarial => {
             stabilize_with(&ColoringProtocol::adversarial(), s, &cfg, &alg)
         }
         ProtocolSpec::Mis => stabilize_with(&MisProtocol, s, &cfg, &alg),
-        ProtocolSpec::TokenRing(k) => {
-            stabilize_with(&TokenRingProtocol::new(*k), s, &cfg, &alg)
-        }
+        ProtocolSpec::TokenRing(k) => stabilize_with(&TokenRingProtocol::new(*k), s, &cfg, &alg),
         ProtocolSpec::BfsTree => stabilize_with(&SpanningTreeProtocol, s, &cfg, &alg),
         ProtocolSpec::Leader => stabilize_with(&LeaderProtocol, s, &cfg, &alg),
     };
@@ -225,7 +277,10 @@ pub fn cmd_threaded(parsed: &Parsed) -> Result<(), ArgError> {
     use ekbd_runtime::{RuntimeConfig, ThreadedDining};
     let n: usize = parsed.get_parsed("n", 5usize)?;
     let window_ms: u64 = parsed.get_parsed("window-ms", 400u64)?;
-    let sys = ThreadedDining::spawn(ekbd_graph::topology::ring(n.max(3)), RuntimeConfig::default());
+    let sys = ThreadedDining::spawn(
+        ekbd_graph::topology::ring(n.max(3)),
+        RuntimeConfig::default(),
+    );
     let crash: Option<usize> = match parsed.get("crash") {
         None => None,
         Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
@@ -310,6 +365,29 @@ mod tests {
     }
 
     #[test]
+    fn scenario_builder_faults_and_link() {
+        let s = scenario_from(&parsed(
+            "run --topology ring:6 --loss 0.1 --dup 0.05 --reorder 0.2:10 \
+             --partition 0,1:500-3000 --link on",
+        ))
+        .unwrap();
+        assert!(!s.faults.is_inert());
+        assert!(s.link.is_some());
+        let s = scenario_from(&parsed("run --topology ring:4")).unwrap();
+        assert!(s.faults.is_inert());
+        assert!(s.link.is_none());
+    }
+
+    #[test]
+    fn run_command_with_faults_executes() {
+        let p = parsed(
+            "run --topology ring:4 --sessions 3 --horizon 40000 \
+             --loss 0.1 --link on",
+        );
+        cmd_run(&p).unwrap();
+    }
+
+    #[test]
     fn run_command_with_timeline() {
         let p = parsed("run --topology ring:4 --sessions 3 --horizon 20000 --timeline 2000");
         cmd_run(&p).unwrap();
@@ -323,7 +401,9 @@ mod tests {
             ));
             cmd_stabilize(&p).unwrap();
         }
-        let p = parsed("stabilize --topology ring:4 --horizon 60000 --protocol token-ring:6 --faults 1");
+        let p = parsed(
+            "stabilize --topology ring:4 --horizon 60000 --protocol token-ring:6 --faults 1",
+        );
         cmd_stabilize(&p).unwrap();
     }
 

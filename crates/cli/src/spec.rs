@@ -4,6 +4,7 @@
 use crate::args::ArgError;
 use ekbd_detector::{HeartbeatConfig, ProbeConfig};
 use ekbd_graph::{random, topology, ConflictGraph, ProcessId};
+use ekbd_link::LinkConfig;
 use ekbd_sim::Time;
 
 fn bad(flag: &'static str, value: &str, expected: &'static str) -> ArgError {
@@ -52,7 +53,11 @@ impl TopologySpec {
             rest.first().ok_or_else(err)?.parse().map_err(|_| err())
         };
         let dims = |rest: &[&str]| -> Result<(usize, usize), ArgError> {
-            let (a, b) = rest.first().ok_or_else(err)?.split_once('x').ok_or_else(err)?;
+            let (a, b) = rest
+                .first()
+                .ok_or_else(err)?
+                .split_once('x')
+                .ok_or_else(err)?;
             Ok((a.parse().map_err(|_| err())?, b.parse().map_err(|_| err())?))
         };
         Ok(match kind {
@@ -177,9 +182,7 @@ impl AlgorithmSpec {
             "choy-singh" => AlgorithmSpec::ChoySingh,
             "naive" => AlgorithmSpec::Naive,
             other => match other.split_once(':') {
-                Some(("budgeted", m)) => {
-                    AlgorithmSpec::Budgeted(m.parse().map_err(|_| err())?)
-                }
+                Some(("budgeted", m)) => AlgorithmSpec::Budgeted(m.parse().map_err(|_| err())?),
                 _ => return Err(err()),
             },
         })
@@ -216,13 +219,49 @@ impl ProtocolSpec {
             "bfs-tree" => ProtocolSpec::BfsTree,
             "leader" => ProtocolSpec::Leader,
             other => match other.split_once(':') {
-                Some(("token-ring", k)) => {
-                    ProtocolSpec::TokenRing(k.parse().map_err(|_| err())?)
-                }
+                Some(("token-ring", k)) => ProtocolSpec::TokenRing(k.parse().map_err(|_| err())?),
                 _ => return Err(err()),
             },
         })
     }
+}
+
+/// Parses a `--reorder p:window` spec, e.g. `0.15:12`.
+pub fn parse_reorder(s: &str) -> Result<(f64, u64), ArgError> {
+    let err = || bad("--reorder", s, "probability:window (e.g. 0.15:12)");
+    let (p, w) = s.split_once(':').ok_or_else(err)?;
+    Ok((p.parse().map_err(|_| err())?, w.parse().map_err(|_| err())?))
+}
+
+/// Parses a `--partition procs:start-heal` spec, e.g. `0,1:500-3000`:
+/// processes 0 and 1 are cut off from the rest between ticks 500 and 3000.
+pub fn parse_partition(s: &str) -> Result<(Vec<ProcessId>, Time, Time), ArgError> {
+    let err = || bad("--partition", s, "procs:start-heal (e.g. 0,1:500-3000)");
+    let (procs, window) = s.split_once(':').ok_or_else(err)?;
+    let side: Vec<ProcessId> = procs
+        .split(',')
+        .map(|p| p.parse::<usize>().map(ProcessId::from).map_err(|_| err()))
+        .collect::<Result<_, _>>()?;
+    let (start, heal) = window.split_once('-').ok_or_else(err)?;
+    let start = Time(start.parse().map_err(|_| err())?);
+    let heal = Time(heal.parse().map_err(|_| err())?);
+    if side.is_empty() || start >= heal {
+        return Err(err());
+    }
+    Ok((side, start, heal))
+}
+
+/// Parses a `--link on|base:cap` spec: `on` for the default retransmission
+/// tuning, or an explicit `retransmit_base:max_backoff_exp` pair.
+pub fn parse_link(s: &str) -> Result<LinkConfig, ArgError> {
+    let err = || bad("--link", s, "on | retransmit_base:max_backoff_exp");
+    if s == "on" {
+        return Ok(LinkConfig::default());
+    }
+    let (base, cap) = s.split_once(':').ok_or_else(err)?;
+    Ok(LinkConfig::default()
+        .retransmit_base(base.parse().map_err(|_| err())?)
+        .max_backoff_exp(cap.parse().map_err(|_| err())?))
 }
 
 /// Parses a `process:time` crash spec.
@@ -242,21 +281,45 @@ mod tests {
     #[test]
     fn topology_specs_round_trip() {
         assert_eq!(TopologySpec::parse("ring:8"), Ok(TopologySpec::Ring(8)));
-        assert_eq!(TopologySpec::parse("grid:3x4"), Ok(TopologySpec::Grid(3, 4)));
+        assert_eq!(
+            TopologySpec::parse("grid:3x4"),
+            Ok(TopologySpec::Grid(3, 4))
+        );
         assert_eq!(
             TopologySpec::parse("gnp:12:0.3:7"),
             Ok(TopologySpec::Gnp(12, 0.3, 7))
         );
-        assert_eq!(TopologySpec::parse("hypercube:3"), Ok(TopologySpec::Hypercube(3)));
+        assert_eq!(
+            TopologySpec::parse("hypercube:3"),
+            Ok(TopologySpec::Hypercube(3))
+        );
         assert!(TopologySpec::parse("blob:3").is_err());
         assert!(TopologySpec::parse("grid:3").is_err());
         assert_eq!(TopologySpec::parse("torus:3x4").unwrap().build().len(), 12);
         assert_eq!(TopologySpec::parse("wheel:6").unwrap().build().len(), 6);
-        assert_eq!(TopologySpec::parse("tree:7").unwrap().build().edge_count(), 6);
-        assert_eq!(TopologySpec::parse("path:5").unwrap().build().edge_count(), 4);
-        assert_eq!(TopologySpec::parse("star:5").unwrap().build().max_degree(), 4);
-        assert_eq!(TopologySpec::parse("clique:4").unwrap().build().edge_count(), 6);
-        assert!(TopologySpec::parse("gnp:12:0.3:7").unwrap().build().is_connected());
+        assert_eq!(
+            TopologySpec::parse("tree:7").unwrap().build().edge_count(),
+            6
+        );
+        assert_eq!(
+            TopologySpec::parse("path:5").unwrap().build().edge_count(),
+            4
+        );
+        assert_eq!(
+            TopologySpec::parse("star:5").unwrap().build().max_degree(),
+            4
+        );
+        assert_eq!(
+            TopologySpec::parse("clique:4")
+                .unwrap()
+                .build()
+                .edge_count(),
+            6
+        );
+        assert!(TopologySpec::parse("gnp:12:0.3:7")
+            .unwrap()
+            .build()
+            .is_connected());
     }
 
     #[test]
@@ -285,9 +348,15 @@ mod tests {
     #[test]
     fn algorithm_specs() {
         assert_eq!(AlgorithmSpec::parse("alg1"), Ok(AlgorithmSpec::Algorithm1));
-        assert_eq!(AlgorithmSpec::parse("choy-singh"), Ok(AlgorithmSpec::ChoySingh));
+        assert_eq!(
+            AlgorithmSpec::parse("choy-singh"),
+            Ok(AlgorithmSpec::ChoySingh)
+        );
         assert_eq!(AlgorithmSpec::parse("naive"), Ok(AlgorithmSpec::Naive));
-        assert_eq!(AlgorithmSpec::parse("budgeted:3"), Ok(AlgorithmSpec::Budgeted(3)));
+        assert_eq!(
+            AlgorithmSpec::parse("budgeted:3"),
+            Ok(AlgorithmSpec::Budgeted(3))
+        );
         assert!(AlgorithmSpec::parse("budgeted:x").is_err());
         assert!(AlgorithmSpec::parse("dijkstra").is_err());
     }
@@ -299,7 +368,10 @@ mod tests {
             ProtocolSpec::parse("coloring-adv"),
             Ok(ProtocolSpec::ColoringAdversarial)
         );
-        assert_eq!(ProtocolSpec::parse("token-ring:7"), Ok(ProtocolSpec::TokenRing(7)));
+        assert_eq!(
+            ProtocolSpec::parse("token-ring:7"),
+            Ok(ProtocolSpec::TokenRing(7))
+        );
         assert_eq!(ProtocolSpec::parse("bfs-tree"), Ok(ProtocolSpec::BfsTree));
         assert_eq!(ProtocolSpec::parse("leader"), Ok(ProtocolSpec::Leader));
         assert!(ProtocolSpec::parse("sorting").is_err());
@@ -310,5 +382,31 @@ mod tests {
         assert_eq!(parse_crash("2:1500"), Ok((ProcessId(2), Time(1500))));
         assert!(parse_crash("2").is_err());
         assert!(parse_crash("x:1").is_err());
+    }
+
+    #[test]
+    fn fault_specs() {
+        assert_eq!(parse_reorder("0.15:12"), Ok((0.15, 12)));
+        assert!(parse_reorder("0.15").is_err());
+        assert_eq!(
+            parse_partition("0,1:500-3000"),
+            Ok((vec![ProcessId(0), ProcessId(1)], Time(500), Time(3000)))
+        );
+        assert!(
+            parse_partition("0,1:3000-500").is_err(),
+            "must heal after start"
+        );
+        assert!(parse_partition(":500-3000").is_err());
+        assert!(parse_partition("0:500").is_err());
+    }
+
+    #[test]
+    fn link_specs() {
+        assert_eq!(parse_link("on"), Ok(LinkConfig::default()));
+        assert_eq!(
+            parse_link("32:4"),
+            Ok(LinkConfig::default().retransmit_base(32).max_backoff_exp(4))
+        );
+        assert!(parse_link("soon").is_err());
     }
 }

@@ -88,12 +88,7 @@ impl BudgetedDiningProcess {
     }
 
     /// Creates the process from a colored conflict graph.
-    pub fn from_graph(
-        g: &ConflictGraph,
-        colors: &[Color],
-        id: ProcessId,
-        budget: u32,
-    ) -> Self {
+    pub fn from_graph(g: &ConflictGraph, colors: &[Color], id: ProcessId, budget: u32) -> Self {
         Self::new(
             id,
             colors[id.index()],
@@ -283,7 +278,10 @@ mod tests {
         for round in 0..3 {
             let mut out = Vec::new();
             proc_.handle(
-                DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+                DiningInput::Message {
+                    from: p(1),
+                    msg: DiningMsg::Ping,
+                },
                 &none(),
                 &mut out,
             );
@@ -291,7 +289,10 @@ mod tests {
         }
         let mut out = Vec::new();
         proc_.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut out,
         );
@@ -303,13 +304,19 @@ mod tests {
         let mut proc_ = BudgetedDiningProcess::new(p(0), 1, [(p(1), 0)], 1);
         proc_.handle(DiningInput::Hungry, &none(), &mut Vec::new());
         proc_.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut Vec::new(),
         );
         // Enter the doorway via the neighbor's ack; fork already held ⇒ eats.
         proc_.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ack,
+            },
             &none(),
             &mut Vec::new(),
         );
@@ -319,7 +326,10 @@ mod tests {
         proc_.handle(DiningInput::Hungry, &none(), &mut Vec::new());
         let mut out = Vec::new();
         proc_.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut out,
         );
@@ -334,13 +344,31 @@ mod tests {
         let mut budgeted = BudgetedDiningProcess::new(p(0), 1, [(p(1), 0), (p(2), 2)], 1);
         let script: Vec<DiningInput<DiningMsg>> = vec![
             DiningInput::Hungry,
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
-            DiningInput::Message { from: p(2), msg: DiningMsg::Ack },
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
-            DiningInput::Message { from: p(2), msg: DiningMsg::Fork },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
+            DiningInput::Message {
+                from: p(2),
+                msg: DiningMsg::Ack,
+            },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ack,
+            },
+            DiningInput::Message {
+                from: p(2),
+                msg: DiningMsg::Fork,
+            },
             DiningInput::DoneEating,
-            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Request { color: 0 },
+            },
         ];
         for input in script {
             let mut a = Vec::new();

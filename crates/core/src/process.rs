@@ -82,7 +82,11 @@ impl DiningProcess {
                 "neighbors {id} and {q} share color {color}: coloring must be proper"
             );
             ids.push(q);
-            vars.push(if color > qcolor { flag::FORK } else { flag::TOKEN });
+            vars.push(if color > qcolor {
+                flag::FORK
+            } else {
+                flag::TOKEN
+            });
         }
         DiningProcess {
             id,
@@ -180,7 +184,12 @@ impl DiningProcess {
 
     /// Action 7 (lines 21–24): receive a fork request; grant immediately if
     /// outside the doorway or hungry-with-lower-color, else defer.
-    fn on_request(&mut self, from: usize, their_color: Color, sends: &mut Vec<(ProcessId, DiningMsg)>) {
+    fn on_request(
+        &mut self,
+        from: usize,
+        their_color: Color,
+        sends: &mut Vec<(ProcessId, DiningMsg)>,
+    ) {
         debug_assert!(
             self.get(from, flag::FORK),
             "Lemma 1.1 violated: {} received a request from {} without holding the fork",
@@ -188,8 +197,7 @@ impl DiningProcess {
             self.neighbors[from]
         );
         self.set(from, flag::TOKEN, true);
-        let grant =
-            !self.inside || (self.state == DinerState::Hungry && self.color < their_color);
+        let grant = !self.inside || (self.state == DinerState::Hungry && self.color < their_color);
         if grant {
             sends.push((self.neighbors[from], DiningMsg::Fork));
             self.set(from, flag::FORK, false);
@@ -248,10 +256,7 @@ impl DiningProcess {
         }
         for j in 0..self.neighbors.len() {
             if self.get(j, flag::TOKEN) && !self.get(j, flag::FORK) {
-                sends.push((
-                    self.neighbors[j],
-                    DiningMsg::Request { color: self.color },
-                ));
+                sends.push((self.neighbors[j], DiningMsg::Request { color: self.color }));
                 self.set(j, flag::TOKEN, false);
             }
         }
@@ -271,7 +276,11 @@ impl DiningProcess {
     }
 
     /// Evaluates the internal guarded commands in enabling order.
-    fn internal_actions(&mut self, suspicion: &dyn SuspicionView, sends: &mut Vec<(ProcessId, DiningMsg)>) {
+    fn internal_actions(
+        &mut self,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, DiningMsg)>,
+    ) {
         self.try_request_acks(sends);
         self.try_enter_doorway(suspicion);
         self.try_request_forks(sends);
@@ -429,7 +438,10 @@ mod tests {
         let (mut hi, _) = pair();
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut out,
         );
@@ -446,7 +458,10 @@ mod tests {
         hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut out,
         );
@@ -457,7 +472,10 @@ mod tests {
         // the revised doorway that yields eventual 2-bounded waiting.
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut out,
         );
@@ -470,7 +488,10 @@ mod tests {
         let (mut hi, _) = pair();
         // Ack while thinking: pinged cleared, ack not recorded.
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ack,
+            },
             &none(),
             &mut Vec::new(),
         );
@@ -479,7 +500,10 @@ mod tests {
         hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ack,
+            },
             &none(),
             &mut out,
         );
@@ -496,13 +520,19 @@ mod tests {
         hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
         // Grant an ack to the neighbor while hungry: replied = true.
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut Vec::new(),
         );
         assert!(hi.replied_to(p(1)));
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ack,
+            },
             &none(),
             &mut Vec::new(),
         );
@@ -535,7 +565,10 @@ mod tests {
         // hi (thinking) acks.
         let mut m2 = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut m2,
         );
@@ -543,7 +576,10 @@ mod tests {
         // lo receives ack → enters doorway → spends token on a fork request.
         let mut m3 = Vec::new();
         lo.handle(
-            DiningInput::Message { from: p(0), msg: DiningMsg::Ack },
+            DiningInput::Message {
+                from: p(0),
+                msg: DiningMsg::Ack,
+            },
             &none(),
             &mut m3,
         );
@@ -553,17 +589,26 @@ mod tests {
         // hi is outside the doorway → grants the fork (Action 7).
         let mut m4 = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Request { color: 0 },
+            },
             &none(),
             &mut m4,
         );
         assert_eq!(m4, vec![(p(1), DiningMsg::Fork)]);
         assert!(!hi.holds_fork(p(1)));
-        assert!(hi.holds_token(p(1)), "token stays with the deferred granter");
+        assert!(
+            hi.holds_token(p(1)),
+            "token stays with the deferred granter"
+        );
         // lo receives the fork → eats.
         let mut m5 = Vec::new();
         lo.handle(
-            DiningInput::Message { from: p(0), msg: DiningMsg::Fork },
+            DiningInput::Message {
+                from: p(0),
+                msg: DiningMsg::Fork,
+            },
             &none(),
             &mut m5,
         );
@@ -583,7 +628,10 @@ mod tests {
         // hi eats first (it holds the fork; the lone neighbor acks).
         hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ack },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ack,
+            },
             &none(),
             &mut Vec::new(),
         );
@@ -591,7 +639,10 @@ mod tests {
         // A request arrives while eating: deferred (token retained).
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Request { color: 0 },
+            },
             &none(),
             &mut out,
         );
@@ -629,7 +680,10 @@ mod tests {
         let mut out = Vec::new();
         for j in [1, 2, 3] {
             p0.handle(
-                DiningInput::Message { from: p(j), msg: DiningMsg::Ack },
+                DiningInput::Message {
+                    from: p(j),
+                    msg: DiningMsg::Ack,
+                },
                 &none(),
                 &mut out,
             );
@@ -641,7 +695,10 @@ mod tests {
         // p2 grants its fork; p3's is still missing, so p0 stays hungry
         // inside the doorway holding fork(p1) and fork(p2).
         p0.handle(
-            DiningInput::Message { from: p(2), msg: DiningMsg::Fork },
+            DiningInput::Message {
+                from: p(2),
+                msg: DiningMsg::Fork,
+            },
             &none(),
             &mut Vec::new(),
         );
@@ -653,20 +710,29 @@ mod tests {
         // about: "i may lose forks to its neighbors in High_i before i eats".
         let mut out = Vec::new();
         p0.handle(
-            DiningInput::Message { from: p(2), msg: DiningMsg::Request { color: 2 } },
+            DiningInput::Message {
+                from: p(2),
+                msg: DiningMsg::Request { color: 2 },
+            },
             &none(),
             &mut out,
         );
         assert_eq!(
             out,
-            vec![(p(2), DiningMsg::Fork), (p(2), DiningMsg::Request { color: 1 })]
+            vec![
+                (p(2), DiningMsg::Fork),
+                (p(2), DiningMsg::Request { color: 1 })
+            ]
         );
         assert!(!p0.holds_fork(p(2)));
         // Request from the LOWER-color p1: hungry insider with higher color
         // defers (token retained alongside the fork).
         let mut out = Vec::new();
         p0.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Request { color: 0 } },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Request { color: 0 },
+            },
             &none(),
             &mut out,
         );
@@ -682,7 +748,10 @@ mod tests {
         // Ping arrives while inside: deferred.
         let mut out = Vec::new();
         hi.handle(
-            DiningInput::Message { from: p(1), msg: DiningMsg::Ping },
+            DiningInput::Message {
+                from: p(1),
+                msg: DiningMsg::Ping,
+            },
             &none(),
             &mut out,
         );
@@ -719,7 +788,10 @@ mod tests {
             assert_eq!(token_count, 1, "exactly one token per edge");
             let holder = if a.holds_fork(e.hi) { &a } else { &b };
             let other = if a.holds_fork(e.hi) { &b } else { &a };
-            assert!(holder.color() > other.color(), "fork starts at higher color");
+            assert!(
+                holder.color() > other.color(),
+                "fork starts at higher color"
+            );
         }
     }
 

@@ -182,7 +182,10 @@ mod tests {
         d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut out);
         assert_eq!(
             out.sends,
-            vec![(p(1), DetectorMsg::Heartbeat), (p(2), DetectorMsg::Heartbeat)]
+            vec![
+                (p(1), DetectorMsg::Heartbeat),
+                (p(2), DetectorMsg::Heartbeat)
+            ]
         );
         assert_eq!(out.timers, vec![(10, HB_TIMER_TAG)]);
         assert!(!out.changed);
@@ -239,7 +242,10 @@ mod tests {
     #[test]
     fn crashed_neighbor_stays_suspected() {
         let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
-        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
         for t in (10..500).step_by(10) {
             d.handle(
                 DetectorEvent::Timer {
@@ -256,7 +262,10 @@ mod tests {
     #[test]
     fn regular_heartbeats_prevent_suspicion() {
         let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
-        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
         for t in (5..300).step_by(10) {
             d.handle(
                 DetectorEvent::Message {
@@ -283,7 +292,10 @@ mod tests {
         // the timeout starts at 25: suspicion flaps at first, then the
         // adaptive timeout exceeds 60 and accuracy holds thereafter.
         let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
-        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
         let mut last_fp_at = None;
         for t in 1..2_000u64 {
             if t % 10 == 0 {

@@ -195,7 +195,10 @@ mod tests {
     #[test]
     fn silence_is_suspected_echo_withdraws_and_adapts() {
         let mut d = ProbeDetector::new(cfg(), [p(1)]);
-        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
         let mut out = DetectorOutput::new();
         d.handle(
             DetectorEvent::Timer {
@@ -223,7 +226,10 @@ mod tests {
     #[test]
     fn crashed_neighbor_stays_suspected_forever() {
         let mut d = ProbeDetector::new(cfg(), [p(1)]);
-        d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut DetectorOutput::new());
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
         for t in (10..400).step_by(10) {
             d.handle(
                 DetectorEvent::Timer {

@@ -94,7 +94,7 @@ impl ScriptedOracle {
                     suspect: on,
                 });
                 on = !on;
-                t = t + burst;
+                t += burst;
             }
             // At convergence, clear any lingering false suspicion…
             script.push(SuspicionChange {
@@ -246,13 +246,11 @@ mod tests {
 
     #[test]
     fn redundant_changes_do_not_report_changed() {
-        let mut o = ScriptedOracle::new(vec![
-            SuspicionChange {
-                at: Time(5),
-                target: p(1),
-                suspect: false, // already unsuspected
-            },
-        ]);
+        let mut o = ScriptedOracle::new(vec![SuspicionChange {
+            at: Time(5),
+            target: p(1),
+            suspect: false, // already unsuspected
+        }]);
         let out = drive_to(&mut o, 6);
         assert!(!out.changed);
     }
@@ -298,7 +296,7 @@ mod tests {
         let mut changes = 0;
         let mut pending = out.timers;
         while let Some((delay, tag)) = pending.pop() {
-            now = now + delay;
+            now += delay;
             let mut out = DetectorOutput::new();
             o.handle(DetectorEvent::Timer { now, tag }, &mut out);
             changes += out.changed as u32;

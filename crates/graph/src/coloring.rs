@@ -196,7 +196,10 @@ mod tests {
     fn validate_catches_monochromatic_edge() {
         let g = topology::path(3);
         let err = validate(&g, &[1, 1, 0]).unwrap_err();
-        assert!(matches!(err, ColoringError::MonochromaticEdge { color: 1, .. }));
+        assert!(matches!(
+            err,
+            ColoringError::MonochromaticEdge { color: 1, .. }
+        ));
         assert!(err.to_string().contains("share color"));
     }
 

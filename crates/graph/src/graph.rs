@@ -150,7 +150,11 @@ impl ConflictGraph {
         for nbrs in &mut adjacency {
             nbrs.sort_unstable();
         }
-        Ok(ConflictGraph { n, adjacency, edges })
+        Ok(ConflictGraph {
+            n,
+            adjacency,
+            edges,
+        })
     }
 
     /// Builds a graph from `usize` pairs; convenience for literals.
@@ -286,10 +290,7 @@ mod tests {
     #[test]
     fn graph_rejects_out_of_range() {
         let err = ConflictGraph::new(2, vec![(p(0), p(2))]).unwrap_err();
-        assert_eq!(
-            err,
-            GraphError::VertexOutOfRange { vertex: p(2), n: 2 }
-        );
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: p(2), n: 2 });
     }
 
     #[test]

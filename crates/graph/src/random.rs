@@ -43,10 +43,8 @@ pub fn connected_gnp(n: usize, p: f64, seed: u64) -> ConflictGraph {
         let parent = order[rng.gen_range(0..k)];
         edges.push((ProcessId::from(order[k]), ProcessId::from(parent)));
     }
-    let mut have: std::collections::HashSet<crate::Edge> = edges
-        .iter()
-        .map(|&(a, b)| crate::Edge::new(a, b))
-        .collect();
+    let mut have: std::collections::HashSet<crate::Edge> =
+        edges.iter().map(|&(a, b)| crate::Edge::new(a, b)).collect();
     for i in 0..n {
         for j in (i + 1)..n {
             let e = crate::Edge::new(ProcessId::from(i), ProcessId::from(j));
@@ -80,7 +78,7 @@ pub fn regularish(n: usize, d: usize, seed: u64) -> ConflictGraph {
                 ProcessId::from((i + k) % n),
             ));
         }
-        if d % 2 == 1 && n % 2 == 0 {
+        if d % 2 == 1 && n.is_multiple_of(2) {
             // Perfect matching across the ring for odd degree.
             set.insert(crate::Edge::new(
                 ProcessId::from(i),

@@ -82,6 +82,72 @@ pub fn binary_tree(n: usize) -> ConflictGraph {
     ConflictGraph::new(n, edges).expect("tree construction is always valid")
 }
 
+/// The `d`-dimensional hypercube `Q_d` on `2^d` vertices: `i` and `j` are
+/// adjacent iff they differ in exactly one bit.
+///
+/// Regular of degree `d` with logarithmic diameter — a standard shape for
+/// scaling experiments that hold degree low while growing `n`.
+pub fn hypercube(d: u32) -> ConflictGraph {
+    assert!(d <= 16, "2^{d} vertices is beyond experiment scale");
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d as usize / 2);
+    for i in 0..n {
+        for b in 0..d {
+            let j = i ^ (1 << b);
+            if i < j {
+                edges.push((ProcessId::from(i), ProcessId::from(j)));
+            }
+        }
+    }
+    ConflictGraph::new(n, edges).expect("hypercube construction is always valid")
+}
+
+/// A `rows × cols` torus: the grid with wrap-around rows and columns
+/// (4-regular for `rows, cols ≥ 3`).
+pub fn torus(rows: usize, cols: usize) -> ConflictGraph {
+    assert!(rows >= 3 && cols >= 3, "a torus needs both dimensions ≥ 3");
+    let id = |r: usize, c: usize| ProcessId::from(r * cols + c);
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push((id(r, c), id(r, (c + 1) % cols)));
+            edges.push((id(r, c), id((r + 1) % rows, c)));
+        }
+    }
+    ConflictGraph::new(rows * cols, edges).expect("torus construction is always valid")
+}
+
+/// A wheel: a hub (`p0`) connected to every vertex of an outer ring
+/// `p1 … p(n-1)`.
+///
+/// Combines the star's central contention with the ring's local
+/// contention; the hub has degree `n - 1`, ring vertices degree 3.
+pub fn wheel(n: usize) -> ConflictGraph {
+    assert!(n >= 4, "a wheel needs a hub and a ring of at least 3");
+    let mut edges: Vec<(ProcessId, ProcessId)> =
+        (1..n).map(|i| (ProcessId(0), ProcessId::from(i))).collect();
+    for i in 1..n {
+        let next = if i == n - 1 { 1 } else { i + 1 };
+        edges.push((ProcessId::from(i), ProcessId::from(next)));
+    }
+    ConflictGraph::new(n, edges).expect("wheel construction is always valid")
+}
+
+/// The complete bipartite graph `K_{a,b}`: every one of the first `a`
+/// vertices conflicts with every one of the remaining `b`.
+///
+/// Models client/server-style contention (two classes, all conflicts
+/// across); 2-colorable, so only two priority levels exist.
+pub fn complete_bipartite(a: usize, b: usize) -> ConflictGraph {
+    let mut edges = Vec::with_capacity(a * b);
+    for i in 0..a {
+        for j in 0..b {
+            edges.push((ProcessId::from(i), ProcessId::from(a + j)));
+        }
+    }
+    ConflictGraph::new(a + b, edges).expect("bipartite construction is always valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,71 +260,4 @@ mod tests {
         assert_eq!(g.degree(ProcessId(1)), 3);
         assert!(g.is_connected());
     }
-}
-
-/// The `d`-dimensional hypercube `Q_d` on `2^d` vertices: `i` and `j` are
-/// adjacent iff they differ in exactly one bit.
-///
-/// Regular of degree `d` with logarithmic diameter — a standard shape for
-/// scaling experiments that hold degree low while growing `n`.
-pub fn hypercube(d: u32) -> ConflictGraph {
-    assert!(d <= 16, "2^{d} vertices is beyond experiment scale");
-    let n = 1usize << d;
-    let mut edges = Vec::with_capacity(n * d as usize / 2);
-    for i in 0..n {
-        for b in 0..d {
-            let j = i ^ (1 << b);
-            if i < j {
-                edges.push((ProcessId::from(i), ProcessId::from(j)));
-            }
-        }
-    }
-    ConflictGraph::new(n, edges).expect("hypercube construction is always valid")
-}
-
-/// A `rows × cols` torus: the grid with wrap-around rows and columns
-/// (4-regular for `rows, cols ≥ 3`).
-pub fn torus(rows: usize, cols: usize) -> ConflictGraph {
-    assert!(rows >= 3 && cols >= 3, "a torus needs both dimensions ≥ 3");
-    let id = |r: usize, c: usize| ProcessId::from(r * cols + c);
-    let mut edges = Vec::new();
-    for r in 0..rows {
-        for c in 0..cols {
-            edges.push((id(r, c), id(r, (c + 1) % cols)));
-            edges.push((id(r, c), id((r + 1) % rows, c)));
-        }
-    }
-    ConflictGraph::new(rows * cols, edges).expect("torus construction is always valid")
-}
-
-/// A wheel: a hub (`p0`) connected to every vertex of an outer ring
-/// `p1 … p(n-1)`.
-///
-/// Combines the star's central contention with the ring's local
-/// contention; the hub has degree `n - 1`, ring vertices degree 3.
-pub fn wheel(n: usize) -> ConflictGraph {
-    assert!(n >= 4, "a wheel needs a hub and a ring of at least 3");
-    let mut edges: Vec<(ProcessId, ProcessId)> = (1..n)
-        .map(|i| (ProcessId(0), ProcessId::from(i)))
-        .collect();
-    for i in 1..n {
-        let next = if i == n - 1 { 1 } else { i + 1 };
-        edges.push((ProcessId::from(i), ProcessId::from(next)));
-    }
-    ConflictGraph::new(n, edges).expect("wheel construction is always valid")
-}
-
-/// The complete bipartite graph `K_{a,b}`: every one of the first `a`
-/// vertices conflicts with every one of the remaining `b`.
-///
-/// Models client/server-style contention (two classes, all conflicts
-/// across); 2-colorable, so only two priority levels exist.
-pub fn complete_bipartite(a: usize, b: usize) -> ConflictGraph {
-    let mut edges = Vec::with_capacity(a * b);
-    for i in 0..a {
-        for j in 0..b {
-            edges.push((ProcessId::from(i), ProcessId::from(a + j)));
-        }
-    }
-    ConflictGraph::new(a + b, edges).expect("bipartite construction is always valid")
 }

@@ -57,7 +57,13 @@ mod tests {
         d.handle(DetectorEvent::Start { now: Time::ZERO }, &mut out);
         assert!(!d.suspects(ProcessId(1)));
         let mut out = DetectorOutput::new();
-        d.handle(DetectorEvent::Timer { now: Time(5), tag: 0 }, &mut out);
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(5),
+                tag: 0,
+            },
+            &mut out,
+        );
         assert!(out.changed);
         assert!(d.suspects(ProcessId(1)));
         assert_eq!(d.suspect_set().len(), 1);

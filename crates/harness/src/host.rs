@@ -2,15 +2,27 @@ use crate::detector::AnyDetector;
 use ekbd_detector::{DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput};
 use ekbd_dining::{DinerState, DiningAlgorithm, DiningInput, DiningObs};
 use ekbd_graph::ProcessId;
+use ekbd_link::{
+    decode_timer_tag, link_timer_tag, LinkActions, LinkConfig, LinkEndpoint, LinkMsg, LinkStats,
+    LINK_TAG_BASE,
+};
 use ekbd_sim::{Context, Node, NodeEvent};
 use rand::Rng;
 
-/// Wire envelope multiplexing dining-layer and detector-layer traffic over
-/// one simulated channel per neighbor pair.
+/// Wire envelope multiplexing dining-layer, link-layer, and detector-layer
+/// traffic over one simulated channel per neighbor pair.
 #[derive(Clone, Debug)]
 pub enum Envelope<M> {
-    /// Dining-algorithm message.
+    /// Dining-algorithm message, sent bare (reliable-channel mode).
     Dining(M),
+    /// Dining-algorithm message wrapped by the reliable link layer
+    /// (sequence numbers + acks + retransmission), used when the host runs
+    /// with [`LinkConfig`] over faulty channels. Detector heartbeats are
+    /// *not* wrapped: ◇P is loss-tolerant by design (a lost heartbeat is
+    /// indistinguishable from a slow one, and the adaptive timeout absorbs
+    /// it), and wrapping perpetual monitoring traffic would defeat
+    /// link-layer quiescence.
+    Link(LinkMsg<M>),
     /// Failure-detector message (heartbeats).
     Detector(DetectorMsg),
 }
@@ -77,7 +89,9 @@ impl HostWorkload {
     }
 }
 
-/// Detector timer tags live below this; host timer tags above.
+/// Detector timer tags live below this; host timer tags above. Link-layer
+/// retransmission timers live at [`LINK_TAG_BASE`] (`1 << 41`) and above,
+/// encoded by [`ekbd_link::link_timer_tag`].
 const HOST_TAG_BASE: u64 = 1 << 40;
 const EAT_TAG: u64 = HOST_TAG_BASE;
 const HUNGER_TAG: u64 = HOST_TAG_BASE + 1;
@@ -94,6 +108,10 @@ pub struct DinerHost<A: DiningAlgorithm> {
     det: AnyDetector,
     workload: HostWorkload,
     sessions_left: u32,
+    /// Reliable link layer wrapping dining traffic; `None` sends bare
+    /// [`Envelope::Dining`] frames (the seed behavior, correct over
+    /// reliable channels).
+    link: Option<LinkEndpoint<A::Msg>>,
 }
 
 impl<A: DiningAlgorithm> DinerHost<A> {
@@ -105,7 +123,16 @@ impl<A: DiningAlgorithm> DinerHost<A> {
             det,
             workload,
             sessions_left,
+            link: None,
         }
+    }
+
+    /// Routes all dining traffic through a reliable link layer — required
+    /// for correctness whenever the scenario injects channel faults.
+    pub fn with_link(mut self, cfg: LinkConfig) -> Self {
+        let id = self.alg.id();
+        self.link = Some(LinkEndpoint::new(id, cfg));
+        self
     }
 
     /// The hosted algorithm (for state assertions).
@@ -116,6 +143,29 @@ impl<A: DiningAlgorithm> DinerHost<A> {
     /// The hosted detector.
     pub fn detector(&self) -> &AnyDetector {
         &self.det
+    }
+
+    /// The link layer's counters, if the host runs one.
+    pub fn link_stats(&self) -> Option<LinkStats> {
+        self.link.as_ref().map(|l| l.stats())
+    }
+
+    /// Transmits frames and arms timers requested by the link layer, and
+    /// feeds released payloads to the dining algorithm in order.
+    fn absorb_link_actions(
+        &mut self,
+        actions: LinkActions<A::Msg>,
+        ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
+    ) {
+        for (to, frame) in actions.sends {
+            ctx.send(to, Envelope::Link(frame));
+        }
+        for (peer, delay, epoch) in actions.timers {
+            ctx.set_timer(delay, link_timer_tag(peer, epoch));
+        }
+        for (from, msg) in actions.delivered {
+            self.drive(DiningInput::Message { from, msg }, ctx);
+        }
     }
 
     /// Applies a detector output: wraps sends, forwards timers, reports
@@ -138,9 +188,19 @@ impl<A: DiningAlgorithm> DinerHost<A> {
             let after = self.det.suspect_set();
             for &q in after.difference(&before) {
                 ctx.observe(HostObs::Suspect { target: q });
+                // Quiescence (§7 S3): stop retransmitting to the suspect.
+                if let Some(link) = self.link.as_mut() {
+                    link.on_suspect(q);
+                }
             }
             for &q in before.difference(&after) {
                 ctx.observe(HostObs::Unsuspect { target: q });
+                // False alarm: re-send everything still outstanding so a
+                // live neighbor is made whole (wait-freedom).
+                if self.link.is_some() {
+                    let actions = self.link.as_mut().unwrap().on_unsuspect(q);
+                    self.absorb_link_actions(actions, ctx);
+                }
             }
             self.drive(DiningInput::SuspicionChange, ctx);
         }
@@ -171,7 +231,14 @@ impl<A: DiningAlgorithm> DinerHost<A> {
         self.alg.handle(input, &self.det, &mut sends);
         for (to, msg) in sends {
             ctx.observe(HostObs::DiningSend { to });
-            ctx.send(to, Envelope::Dining(msg));
+            match self.link.as_mut() {
+                Some(link) => {
+                    let actions = link.send(to, msg);
+                    debug_assert!(actions.delivered.is_empty(), "send cannot deliver");
+                    self.absorb_link_actions(actions, ctx);
+                }
+                None => ctx.send(to, Envelope::Dining(msg)),
+            }
         }
         let state_after = self.alg.state();
         let inside_after = self.alg.inside_doorway();
@@ -259,7 +326,24 @@ impl<A: DiningAlgorithm> Node for DinerHost<A> {
                     ctx.set_timer(1, HUNGER_TAG);
                 }
             }
+            NodeEvent::Timer { tag } if tag >= LINK_TAG_BASE => {
+                let (peer, epoch) = decode_timer_tag(tag);
+                if let Some(link) = self.link.as_mut() {
+                    let actions = link.on_timer(peer, epoch);
+                    self.absorb_link_actions(actions, ctx);
+                }
+            }
             NodeEvent::Timer { tag } => debug_assert!(false, "unknown timer tag {tag}"),
+            NodeEvent::Message {
+                from,
+                msg: Envelope::Link(frame),
+            } => {
+                debug_assert!(self.link.is_some(), "link frame without a link layer");
+                if let Some(link) = self.link.as_mut() {
+                    let actions = link.on_message(from, frame);
+                    self.absorb_link_actions(actions, ctx);
+                }
+            }
             NodeEvent::Message {
                 from,
                 msg: Envelope::Detector(m),

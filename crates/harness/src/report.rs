@@ -3,8 +3,8 @@ use crate::scenario::Scenario;
 use ekbd_dining::{DinerState, DiningAlgorithm, DiningObs};
 use ekbd_graph::{ConflictGraph, ProcessId};
 use ekbd_metrics::{
-    ConcurrencyReport, ExclusionReport, FairnessReport, ProgressReport, QuiescenceReport,
-    SchedEvent,
+    ConcurrencyReport, ExclusionReport, FairnessReport, LinkSummary, ProgressReport,
+    QuiescenceReport, SchedEvent,
 };
 use ekbd_sim::{Simulator, Time};
 
@@ -45,6 +45,13 @@ pub struct RunReport {
     pub dining_sends: Vec<(Time, ProcessId, ProcessId)>,
     /// Simulator events processed.
     pub events_processed: u64,
+    /// Messages destroyed in transit by the fault plan (loss + partitions).
+    pub messages_dropped: u64,
+    /// Extra copies injected by duplication faults.
+    pub messages_duplicated: u64,
+    /// Aggregated link-layer counters, when the scenario ran with
+    /// [`reliable_link`](crate::Scenario::reliable_link).
+    pub link: Option<LinkSummary>,
 }
 
 impl RunReport {
@@ -77,6 +84,25 @@ impl RunReport {
         let state_bits = (0..n)
             .map(|i| sim.node(ProcessId::from(i)).algorithm().state_bits())
             .collect();
+        let link = scenario.link.map(|_| {
+            let mut summary = LinkSummary::default();
+            for i in 0..n {
+                if let Some(s) = sim.node(ProcessId::from(i)).link_stats() {
+                    summary.absorb(
+                        s.payloads_sent,
+                        s.data_sent,
+                        s.retransmissions,
+                        s.acks_sent,
+                        s.duplicates_suppressed,
+                        s.out_of_order_buffered,
+                        s.delivered,
+                        s.recoveries,
+                        s.max_unacked,
+                    );
+                }
+            }
+            summary
+        });
         RunReport {
             graph: scenario.graph.clone(),
             horizon: scenario.horizon,
@@ -90,6 +116,9 @@ impl RunReport {
             sends_to_crashed: sim.sends_to_crashed().to_vec(),
             dining_sends,
             events_processed: sim.events_processed(),
+            messages_dropped: sim.total_dropped(),
+            messages_duplicated: sim.total_duplicated(),
+            link,
         }
     }
 
@@ -235,7 +264,11 @@ mod tests {
         let progress = report.progress();
         assert!(progress.wait_free(), "starving: {:?}", progress.starving());
         assert_eq!(progress.total_sessions(), 5 * 8);
-        assert_eq!(report.exclusion().total(), 0, "silent oracle ⇒ no mistakes ever");
+        assert_eq!(
+            report.exclusion().total(),
+            0,
+            "silent oracle ⇒ no mistakes ever"
+        );
         assert!(report.fairness().max_overtakes() <= 2);
         assert!(report.max_channel_high_water <= 4, "paper §7 channel bound");
         assert_eq!(report.detector_convergence(), Time::ZERO);
@@ -259,7 +292,11 @@ mod tests {
             .horizon(Time(50_000))
             .run_algorithm1();
         assert!(report.progress().wait_free());
-        assert_eq!(report.exclusion().total(), 0, "perfect oracle ⇒ no mistakes");
+        assert_eq!(
+            report.exclusion().total(),
+            0,
+            "perfect oracle ⇒ no mistakes"
+        );
         // Quiescence: finitely many messages to the crashed process.
         let q = report.quiescence();
         assert!(q.total() < 20);

@@ -1,11 +1,14 @@
 use crate::detector::AnyDetector;
 use crate::host::{DinerHost, HostCmd, HostWorkload};
 use crate::report::RunReport;
-use ekbd_detector::{HeartbeatConfig, HeartbeatDetector, ProbeConfig, ProbeDetector, ScriptedOracle};
+use ekbd_detector::{
+    HeartbeatConfig, HeartbeatDetector, ProbeConfig, ProbeDetector, ScriptedOracle,
+};
 use ekbd_dining::{DiningAlgorithm, DiningProcess};
 use ekbd_graph::coloring::{self, Color};
 use ekbd_graph::{ConflictGraph, ProcessId};
-use ekbd_sim::{DelayModel, SimConfig, Simulator, Time};
+use ekbd_link::LinkConfig;
+use ekbd_sim::{DelayModel, FaultPlan, SimConfig, Simulator, Time};
 
 /// Which failure detector each process runs.
 #[derive(Clone, Debug)]
@@ -74,6 +77,11 @@ pub struct Scenario {
     pub manual_hunger: Vec<(ProcessId, Time)>,
     /// How long to run.
     pub horizon: Time,
+    /// Channel-fault schedule (default: none — reliable FIFO channels).
+    pub faults: FaultPlan,
+    /// Reliable link layer wrapping dining traffic (default: off). Required
+    /// for the theorems to survive a non-inert fault plan.
+    pub link: Option<LinkConfig>,
 }
 
 impl Scenario {
@@ -92,6 +100,8 @@ impl Scenario {
             crashes: Vec::new(),
             manual_hunger: Vec::new(),
             horizon: Time(100_000),
+            faults: FaultPlan::default(),
+            link: None,
         }
     }
 
@@ -166,6 +176,21 @@ impl Scenario {
         self
     }
 
+    /// Injects channel faults (loss, duplication, reordering, partitions).
+    ///
+    /// With a non-inert plan the paper's theorems are only expected to hold
+    /// when [`reliable_link`](Self::reliable_link) is also enabled.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Routes dining traffic through the `ekbd-link` reliable link layer.
+    pub fn reliable_link(mut self, cfg: LinkConfig) -> Self {
+        self.link = Some(cfg);
+        self
+    }
+
     /// Builds the detector for process `p` per the oracle spec.
     pub(crate) fn detector_for(&self, p: ProcessId) -> AnyDetector {
         let neighbors = self.graph.neighbors(p);
@@ -177,9 +202,7 @@ impl Scenario {
             .collect();
         match &self.oracle {
             OracleSpec::Silent => AnyDetector::Scripted(ScriptedOracle::silent()),
-            OracleSpec::Perfect => {
-                AnyDetector::Scripted(ScriptedOracle::perfect(neighbor_crashes))
-            }
+            OracleSpec::Perfect => AnyDetector::Scripted(ScriptedOracle::perfect(neighbor_crashes)),
             OracleSpec::Adversarial { converge_at, burst } => AnyDetector::Scripted(
                 ScriptedOracle::adversarial(neighbors, *converge_at, *burst, &neighbor_crashes),
             ),
@@ -200,14 +223,19 @@ impl Scenario {
         let cfg = SimConfig::default()
             .n(self.graph.len())
             .seed(self.seed)
-            .delay(self.delay.clone());
+            .delay(self.delay.clone())
+            .faults(self.faults.clone());
         let workload = HostWorkload {
             sessions: self.workload.sessions,
             think: self.workload.think,
             eat: self.workload.eat,
         };
         let mut sim = Simulator::new(cfg, |p, _| {
-            DinerHost::new(factory(self, p), self.detector_for(p), workload)
+            let host = DinerHost::new(factory(self, p), self.detector_for(p), workload);
+            match self.link {
+                Some(link_cfg) => host.with_link(link_cfg),
+                None => host,
+            }
         });
         for &(p, t) in &self.crashes {
             sim.schedule_crash(p, t);

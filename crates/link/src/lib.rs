@@ -1,0 +1,687 @@
+//! A self-healing reliable link layer for lossy, duplicating, reordering
+//! channels.
+//!
+//! The paper's system model (§2) assumes reliable FIFO channels; its
+//! correctness proofs (Theorems 1–3) lean on that assumption wherever a
+//! fork, token, or request message must arrive exactly once and in order.
+//! This crate restores that abstraction over the adversarial channels of
+//! [`ekbd_sim::FaultPlan`]: each [`LinkEndpoint`] wraps every outgoing
+//! payload in a [`LinkMsg::Data`] frame carrying a per-peer sequence
+//! number, acknowledges received frames cumulatively, retransmits unacked
+//! frames on a timer with exponential backoff, suppresses duplicates, and
+//! releases payloads to the application strictly in send order — *exactly
+//! once, FIFO*, as long as the channel delivers infinitely often.
+//!
+//! Two properties tie the layer back to the paper:
+//!
+//! * **Quiescence toward crashed neighbors (§7, S3).** Retransmission to a
+//!   peer stops while the local ◇P module suspects it
+//!   ([`LinkEndpoint::on_suspect`]). Since ◇P eventually and permanently
+//!   suspects every crashed process, only finitely many frames are ever
+//!   sent to a crashed neighbor.
+//! * **Wait-freedom under false suspicion.** A false suspicion pauses, but
+//!   never discards, the unacked queue. When the suspicion is retracted
+//!   ([`LinkEndpoint::on_unsuspect`]) the endpoint immediately retransmits
+//!   everything outstanding with a reset backoff, so a wrongly suspected
+//!   (live) neighbor still receives every frame — eventual delivery between
+//!   correct processes is preserved, keeping the hygienic-dining token and
+//!   fork exchanges live.
+//!
+//! The implementation is sans-io in the same style as the detector and
+//! dining crates: methods consume events and return [`LinkActions`] —
+//! frames to transmit, timers to arm, payloads to deliver — and the host
+//! (simulator or threaded runtime) performs the actual io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ekbd_sim::{Duration, ProcessId};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Tuning knobs for a [`LinkEndpoint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Initial retransmission timeout (ticks or milliseconds — the host's
+    /// time unit).
+    pub retransmit_base: Duration,
+    /// Backoff exponent cap: the timeout is
+    /// `retransmit_base << min(consecutive_timeouts, max_backoff_exp)`.
+    pub max_backoff_exp: u32,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            retransmit_base: 16,
+            max_backoff_exp: 6,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// Sets the initial retransmission timeout.
+    pub fn retransmit_base(mut self, base: Duration) -> Self {
+        self.retransmit_base = base.max(1);
+        self
+    }
+
+    /// Sets the backoff exponent cap.
+    pub fn max_backoff_exp(mut self, cap: u32) -> Self {
+        self.max_backoff_exp = cap;
+        self
+    }
+}
+
+/// Hosts that multiplex link retransmission timers with other timers on a
+/// single `u64` tag space should place link tags at or above this base.
+/// [`link_timer_tag`] encodes `(peer, epoch)` into that space.
+pub const LINK_TAG_BASE: u64 = 1 << 41;
+const LINK_EPOCH_SPAN: u64 = 1 << 32;
+
+/// Encodes a retransmission timer for `peer` with the given epoch into a
+/// single tag: `LINK_TAG_BASE + peer_index · 2³² + epoch`. Decode with
+/// [`decode_timer_tag`].
+///
+/// # Panics
+///
+/// Debug-asserts that `epoch < 2³²` — an endpoint would need billions of
+/// timer re-arms on one peer to overflow, far beyond any run's event
+/// budget.
+pub fn link_timer_tag(peer: ProcessId, epoch: u64) -> u64 {
+    debug_assert!(epoch < LINK_EPOCH_SPAN, "link timer epoch overflow");
+    LINK_TAG_BASE + (peer.index() as u64) * LINK_EPOCH_SPAN + epoch
+}
+
+/// Inverse of [`link_timer_tag`]: recovers `(peer, epoch)` from a tag at
+/// or above [`LINK_TAG_BASE`].
+pub fn decode_timer_tag(tag: u64) -> (ProcessId, u64) {
+    debug_assert!(tag >= LINK_TAG_BASE, "not a link timer tag");
+    let rel = tag - LINK_TAG_BASE;
+    (
+        ProcessId::from((rel / LINK_EPOCH_SPAN) as usize),
+        rel % LINK_EPOCH_SPAN,
+    )
+}
+
+/// The wire format of the link layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkMsg<M> {
+    /// A (re)transmission of payload number `seq` on this ordered link.
+    Data {
+        /// Per-ordered-link sequence number, starting at 0.
+        seq: u64,
+        /// The wrapped application payload.
+        payload: M,
+    },
+    /// Cumulative acknowledgment: every `seq < cum` has been received.
+    Ack {
+        /// One past the highest contiguously received sequence number.
+        cum: u64,
+    },
+}
+
+/// Everything the host must do after handing an event to the endpoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkActions<M> {
+    /// Frames to transmit, in order.
+    pub sends: Vec<(ProcessId, LinkMsg<M>)>,
+    /// Retransmission timers to arm: `(peer, delay, epoch)`. The host must
+    /// hand `epoch` back to [`LinkEndpoint::on_timer`] when the timer
+    /// fires; stale epochs are ignored, which is how superseded timers are
+    /// "cancelled" on hosts that cannot revoke a timer.
+    pub timers: Vec<(ProcessId, Duration, u64)>,
+    /// Payloads released to the application, exactly once and in send
+    /// order per peer.
+    pub delivered: Vec<(ProcessId, M)>,
+}
+
+impl<M> LinkActions<M> {
+    fn new() -> Self {
+        LinkActions {
+            sends: Vec::new(),
+            timers: Vec::new(),
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Whether the event produced no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.timers.is_empty() && self.delivered.is_empty()
+    }
+}
+
+/// Counters exposed for the metrics layer and the e14 experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Logical payloads accepted from the application via
+    /// [`LinkEndpoint::send`] (whether transmitted immediately or queued
+    /// behind a suspicion pause).
+    pub payloads_sent: u64,
+    /// First transmissions of Data frames.
+    pub data_sent: u64,
+    /// Data frames sent again by the retransmission timer or recovery.
+    pub retransmissions: u64,
+    /// Ack frames sent.
+    pub acks_sent: u64,
+    /// Received Data frames discarded as already-delivered duplicates.
+    pub duplicates_suppressed: u64,
+    /// Received Data frames parked out of order awaiting a gap fill.
+    pub out_of_order_buffered: u64,
+    /// Payloads released to the application.
+    pub delivered: u64,
+    /// Resumptions after a retracted suspicion (pause → immediate
+    /// retransmit).
+    pub recoveries: u64,
+    /// High-water mark of *distinct* unacked payloads to any single peer —
+    /// the per-edge channel bound of §7 restated for lossy channels.
+    pub max_unacked: usize,
+}
+
+/// Per-peer sender + receiver state for one ordered link pair.
+#[derive(Clone, Debug)]
+struct PeerState<M> {
+    // Sender side.
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Sent but not yet cumulatively acked, oldest first.
+    unacked: VecDeque<(u64, M)>,
+    /// Consecutive retransmission timeouts without progress.
+    backoff_exp: u32,
+    /// Epoch of the currently armed retransmission timer; fires carrying
+    /// any other epoch are stale.
+    timer_epoch: u64,
+    /// Whether a retransmission timer is currently armed.
+    timer_armed: bool,
+    /// Whether the peer is suspected crashed: retransmission is paused.
+    paused: bool,
+    // Receiver side.
+    /// Every `seq < recv_cum` has been delivered to the application.
+    recv_cum: u64,
+    /// Out-of-order frames parked until the gap before them fills.
+    recv_buf: BTreeMap<u64, M>,
+}
+
+impl<M> PeerState<M> {
+    fn new() -> Self {
+        PeerState {
+            next_seq: 0,
+            unacked: VecDeque::new(),
+            backoff_exp: 0,
+            timer_epoch: 0,
+            timer_armed: false,
+            paused: false,
+            recv_cum: 0,
+            recv_buf: BTreeMap::new(),
+        }
+    }
+}
+
+/// One process's end of the reliable link layer, multiplexing every
+/// neighbor.
+///
+/// ```
+/// use ekbd_link::{LinkConfig, LinkEndpoint, LinkMsg};
+/// use ekbd_sim::ProcessId;
+///
+/// let (a, b) = (ProcessId(0), ProcessId(1));
+/// let mut alice = LinkEndpoint::new(a, LinkConfig::default());
+/// let mut bob = LinkEndpoint::new(b, LinkConfig::default());
+///
+/// // Alice sends; the frame is wrapped and a retransmit timer requested.
+/// let out = alice.send(b, "fork");
+/// let (to, frame) = out.sends[0].clone();
+/// assert_eq!(to, b);
+///
+/// // Bob receives: the payload is released in order and an ack produced.
+/// let got = bob.on_message(a, frame);
+/// assert_eq!(got.delivered, vec![(a, "fork")]);
+///
+/// // The ack clears Alice's unacked queue.
+/// let (_, ack) = got.sends[0].clone();
+/// alice.on_message(b, ack);
+/// assert_eq!(alice.stats().data_sent, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LinkEndpoint<M> {
+    id: ProcessId,
+    config: LinkConfig,
+    peers: HashMap<ProcessId, PeerState<M>>,
+    stats: LinkStats,
+}
+
+impl<M: Clone> LinkEndpoint<M> {
+    /// Creates the endpoint for process `id`.
+    pub fn new(id: ProcessId, config: LinkConfig) -> Self {
+        LinkEndpoint {
+            id,
+            config,
+            peers: HashMap::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// This endpoint's process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Aggregate counters over all peers.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Distinct payloads currently awaiting an ack from `peer`.
+    pub fn unacked_to(&self, peer: ProcessId) -> usize {
+        self.peers.get(&peer).map_or(0, |p| p.unacked.len())
+    }
+
+    /// Whether retransmission to `peer` is currently paused by suspicion.
+    pub fn is_paused(&self, peer: ProcessId) -> bool {
+        self.peers.get(&peer).is_some_and(|p| p.paused)
+    }
+
+    fn peer(&mut self, peer: ProcessId) -> &mut PeerState<M> {
+        self.peers.entry(peer).or_insert_with(PeerState::new)
+    }
+
+    fn backoff_delay(config: &LinkConfig, exp: u32) -> Duration {
+        let exp = exp.min(config.max_backoff_exp);
+        config.retransmit_base.saturating_mul(1u64 << exp)
+    }
+
+    /// Arms (or re-arms) the retransmission timer for `peer`, bumping the
+    /// epoch so any previously armed timer becomes stale.
+    fn arm_timer(&mut self, peer: ProcessId, out: &mut LinkActions<M>) {
+        let config = self.config;
+        let st = self.peer(peer);
+        st.timer_epoch += 1;
+        st.timer_armed = true;
+        let delay = Self::backoff_delay(&config, st.backoff_exp);
+        out.timers.push((peer, delay, st.timer_epoch));
+    }
+
+    /// Queues `payload` for reliable delivery to `peer`.
+    ///
+    /// The frame is transmitted immediately unless the peer is suspected
+    /// (then it waits in the unacked queue for recovery), and a
+    /// retransmission timer is armed if none is pending.
+    pub fn send(&mut self, peer: ProcessId, payload: M) -> LinkActions<M> {
+        let mut out = LinkActions::new();
+        let st = self.peer(peer);
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.unacked.push_back((seq, payload.clone()));
+        let unacked = st.unacked.len();
+        let paused = st.paused;
+        let need_timer = !st.timer_armed;
+        self.stats.payloads_sent += 1;
+        self.stats.max_unacked = self.stats.max_unacked.max(unacked);
+        if !paused {
+            out.sends.push((peer, LinkMsg::Data { seq, payload }));
+            self.stats.data_sent += 1;
+            if need_timer {
+                self.arm_timer(peer, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Handles an incoming link frame from `peer`.
+    pub fn on_message(&mut self, peer: ProcessId, msg: LinkMsg<M>) -> LinkActions<M> {
+        let mut out = LinkActions::new();
+        match msg {
+            LinkMsg::Data { seq, payload } => {
+                let st = self.peer(peer);
+                if seq < st.recv_cum || st.recv_buf.contains_key(&seq) {
+                    self.stats.duplicates_suppressed += 1;
+                } else if seq == st.recv_cum {
+                    // In-order: release it and everything it unblocks.
+                    st.recv_cum += 1;
+                    out.delivered.push((peer, payload));
+                    while let Some(next) = st.recv_buf.remove(&st.recv_cum) {
+                        st.recv_cum += 1;
+                        out.delivered.push((peer, next));
+                    }
+                    self.stats.delivered += out.delivered.len() as u64;
+                } else {
+                    st.recv_buf.insert(seq, payload);
+                    self.stats.out_of_order_buffered += 1;
+                }
+                // Always (re-)ack: the cumulative ack is idempotent and
+                // re-acking duplicates lets a sender whose ack was lost
+                // make progress.
+                let cum = self.peer(peer).recv_cum;
+                out.sends.push((peer, LinkMsg::Ack { cum }));
+                self.stats.acks_sent += 1;
+            }
+            LinkMsg::Ack { cum } => {
+                let st = self.peer(peer);
+                let before = st.unacked.len();
+                while st.unacked.front().is_some_and(|&(seq, _)| seq < cum) {
+                    st.unacked.pop_front();
+                }
+                if st.unacked.len() < before {
+                    // Progress: the channel is alive, reset the backoff.
+                    st.backoff_exp = 0;
+                }
+                if st.unacked.is_empty() {
+                    // Nothing outstanding: let the armed timer lapse into
+                    // staleness instead of re-arming.
+                    st.timer_armed = false;
+                    st.timer_epoch += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Handles a retransmission-timer fire for `peer` carrying `epoch`.
+    ///
+    /// Stale epochs (superseded by a later arm or cancel) are ignored.
+    /// Otherwise every unacked frame is retransmitted (go-back-N) and the
+    /// timer re-armed with doubled backoff — unless the peer is suspected,
+    /// in which case the layer stays silent (quiescence, §7 S3).
+    pub fn on_timer(&mut self, peer: ProcessId, epoch: u64) -> LinkActions<M> {
+        let mut out = LinkActions::new();
+        let config = self.config;
+        let st = self.peer(peer);
+        if !st.timer_armed || epoch != st.timer_epoch {
+            return out;
+        }
+        st.timer_armed = false;
+        if st.paused || st.unacked.is_empty() {
+            return out;
+        }
+        st.backoff_exp = (st.backoff_exp + 1).min(config.max_backoff_exp);
+        let frames: Vec<(u64, M)> = st.unacked.iter().cloned().collect();
+        for (seq, payload) in frames {
+            out.sends.push((peer, LinkMsg::Data { seq, payload }));
+            self.stats.retransmissions += 1;
+        }
+        self.arm_timer(peer, &mut out);
+        out
+    }
+
+    /// Notes that the local failure detector now suspects `peer`.
+    ///
+    /// Retransmission pauses: the armed timer is invalidated and no further
+    /// frame is sent to the peer until the suspicion is retracted. Combined
+    /// with ◇P's eventual permanent suspicion of crashed processes, this
+    /// gives quiescence: only finitely many frames ever target a crashed
+    /// neighbor.
+    pub fn on_suspect(&mut self, peer: ProcessId) {
+        let st = self.peer(peer);
+        st.paused = true;
+        st.timer_armed = false;
+        st.timer_epoch += 1;
+    }
+
+    /// Notes that the local failure detector retracted its suspicion of
+    /// `peer`.
+    ///
+    /// The pause was a false alarm, so everything still outstanding is
+    /// retransmitted immediately with a reset backoff — the self-healing
+    /// step that preserves wait-freedom for wrongly suspected neighbors.
+    pub fn on_unsuspect(&mut self, peer: ProcessId) -> LinkActions<M> {
+        let mut out = LinkActions::new();
+        let st = self.peer(peer);
+        if !st.paused {
+            return out;
+        }
+        st.paused = false;
+        st.backoff_exp = 0;
+        let frames: Vec<(u64, M)> = st.unacked.iter().cloned().collect();
+        if !frames.is_empty() {
+            self.stats.recoveries += 1;
+            for (seq, payload) in frames {
+                out.sends.push((peer, LinkMsg::Data { seq, payload }));
+                self.stats.retransmissions += 1;
+            }
+            self.arm_timer(peer, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    fn endpoint() -> LinkEndpoint<u32> {
+        LinkEndpoint::new(p(0), LinkConfig::default())
+    }
+
+    fn data(out: &LinkActions<u32>) -> Vec<(u64, u32)> {
+        out.sends
+            .iter()
+            .filter_map(|(_, m)| match m {
+                LinkMsg::Data { seq, payload } => Some((*seq, *payload)),
+                LinkMsg::Ack { .. } => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn send_wraps_with_increasing_seq_and_arms_one_timer() {
+        let mut ep = endpoint();
+        let a = ep.send(p(1), 10);
+        let b = ep.send(p(1), 11);
+        assert_eq!(data(&a), vec![(0, 10)]);
+        assert_eq!(data(&b), vec![(1, 11)]);
+        assert_eq!(a.timers.len(), 1, "first send arms the timer");
+        assert!(b.timers.is_empty(), "timer already armed");
+        assert_eq!(ep.unacked_to(p(1)), 2);
+        assert_eq!(ep.stats().max_unacked, 2);
+    }
+
+    #[test]
+    fn in_order_delivery_and_cumulative_ack() {
+        let mut ep = endpoint();
+        let out = ep.on_message(p(1), LinkMsg::Data { seq: 0, payload: 5 });
+        assert_eq!(out.delivered, vec![(p(1), 5)]);
+        assert_eq!(out.sends, vec![(p(1), LinkMsg::Ack { cum: 1 })]);
+    }
+
+    #[test]
+    fn out_of_order_frames_are_parked_then_released_in_order() {
+        let mut ep = endpoint();
+        let late = ep.on_message(p(1), LinkMsg::Data { seq: 2, payload: 7 });
+        assert!(late.delivered.is_empty());
+        assert_eq!(late.sends, vec![(p(1), LinkMsg::Ack { cum: 0 })]);
+        let later = ep.on_message(p(1), LinkMsg::Data { seq: 1, payload: 6 });
+        assert!(later.delivered.is_empty());
+        let first = ep.on_message(p(1), LinkMsg::Data { seq: 0, payload: 5 });
+        assert_eq!(first.delivered, vec![(p(1), 5), (p(1), 6), (p(1), 7)]);
+        assert_eq!(first.sends, vec![(p(1), LinkMsg::Ack { cum: 3 })]);
+        assert_eq!(ep.stats().out_of_order_buffered, 2);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_but_reacked() {
+        let mut ep = endpoint();
+        ep.on_message(p(1), LinkMsg::Data { seq: 0, payload: 5 });
+        let dup = ep.on_message(p(1), LinkMsg::Data { seq: 0, payload: 5 });
+        assert!(dup.delivered.is_empty(), "payload must not surface twice");
+        assert_eq!(dup.sends, vec![(p(1), LinkMsg::Ack { cum: 1 })]);
+        assert_eq!(ep.stats().duplicates_suppressed, 1);
+        // A parked out-of-order frame also counts as already-received.
+        ep.on_message(p(1), LinkMsg::Data { seq: 3, payload: 9 });
+        ep.on_message(p(1), LinkMsg::Data { seq: 3, payload: 9 });
+        assert_eq!(ep.stats().duplicates_suppressed, 2);
+    }
+
+    #[test]
+    fn ack_clears_prefix_and_cancels_timer_when_drained() {
+        let mut ep = endpoint();
+        ep.send(p(1), 10);
+        ep.send(p(1), 11);
+        ep.on_message(p(1), LinkMsg::Ack { cum: 1 });
+        assert_eq!(ep.unacked_to(p(1)), 1);
+        ep.on_message(p(1), LinkMsg::Ack { cum: 2 });
+        assert_eq!(ep.unacked_to(p(1)), 0);
+        // The old timer epoch is now stale: firing it does nothing.
+        let out = ep.on_timer(p(1), 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn timer_retransmits_all_unacked_with_backoff() {
+        let cfg = LinkConfig::default().retransmit_base(8).max_backoff_exp(3);
+        let mut ep = LinkEndpoint::new(p(0), cfg);
+        let first = ep.send(p(1), 10);
+        ep.send(p(1), 11);
+        let (_, delay0, epoch0) = first.timers[0];
+        assert_eq!(delay0, 8);
+        let fire1 = ep.on_timer(p(1), epoch0);
+        assert_eq!(data(&fire1), vec![(0, 10), (1, 11)], "go-back-N resend");
+        let (_, delay1, epoch1) = fire1.timers[0];
+        assert_eq!(delay1, 16, "backoff doubles");
+        let fire2 = ep.on_timer(p(1), epoch1);
+        let (_, delay2, epoch2) = fire2.timers[0];
+        assert_eq!(delay2, 32);
+        // Cap: exponent stops at 3 → 8 << 3 = 64.
+        let fire3 = ep.on_timer(p(1), epoch2);
+        let (_, delay3, epoch3) = fire3.timers[0];
+        assert_eq!(delay3, 64);
+        let fire4 = ep.on_timer(p(1), epoch3);
+        let (_, delay4, _) = fire4.timers[0];
+        assert_eq!(delay4, 64, "backoff is capped");
+        assert_eq!(ep.stats().retransmissions, 8);
+    }
+
+    #[test]
+    fn stale_timer_epochs_are_ignored() {
+        let mut ep = endpoint();
+        let first = ep.send(p(1), 10);
+        let (_, _, epoch) = first.timers[0];
+        let fire = ep.on_timer(p(1), epoch);
+        assert!(!fire.sends.is_empty());
+        // The original epoch was superseded by the re-arm.
+        assert!(ep.on_timer(p(1), epoch).is_empty());
+    }
+
+    #[test]
+    fn ack_progress_resets_backoff() {
+        let mut ep = endpoint();
+        let first = ep.send(p(1), 10);
+        ep.send(p(1), 11);
+        let (_, _, epoch) = first.timers[0];
+        let fire = ep.on_timer(p(1), epoch);
+        let (_, delay_backed_off, _) = fire.timers[0];
+        assert!(delay_backed_off > LinkConfig::default().retransmit_base);
+        ep.on_message(p(1), LinkMsg::Ack { cum: 1 });
+        // Next send arms at the base delay again.
+        ep.on_message(p(1), LinkMsg::Ack { cum: 2 });
+        let next = ep.send(p(1), 12);
+        let (_, delay, _) = next.timers[0];
+        assert_eq!(delay, LinkConfig::default().retransmit_base);
+    }
+
+    #[test]
+    fn suspicion_pauses_retransmission_for_quiescence() {
+        let mut ep = endpoint();
+        let first = ep.send(p(1), 10);
+        let (_, _, epoch) = first.timers[0];
+        ep.on_suspect(p(1));
+        assert!(ep.is_paused(p(1)));
+        assert!(ep.on_timer(p(1), epoch).is_empty(), "paused: no resend");
+        // New sends while paused queue silently.
+        let queued = ep.send(p(1), 11);
+        assert!(queued.sends.is_empty());
+        assert_eq!(ep.unacked_to(p(1)), 2);
+        assert_eq!(ep.stats().data_sent, 1, "only the pre-pause transmission");
+    }
+
+    #[test]
+    fn unsuspect_recovers_everything_immediately() {
+        let mut ep = endpoint();
+        ep.send(p(1), 10);
+        ep.on_suspect(p(1));
+        ep.send(p(1), 11);
+        let out = ep.on_unsuspect(p(1));
+        assert!(!ep.is_paused(p(1)));
+        assert_eq!(data(&out), vec![(0, 10), (1, 11)]);
+        assert_eq!(out.timers.len(), 1, "recovery re-arms the timer");
+        assert_eq!(ep.stats().recoveries, 1);
+        // Unsuspecting an unsuspected peer is a no-op.
+        assert!(ep.on_unsuspect(p(1)).is_empty());
+    }
+
+    #[test]
+    fn unsuspect_with_nothing_outstanding_stays_silent() {
+        let mut ep = endpoint();
+        ep.on_suspect(p(1));
+        let out = ep.on_unsuspect(p(1));
+        assert!(out.is_empty());
+        assert_eq!(ep.stats().recoveries, 0);
+    }
+
+    #[test]
+    fn links_to_different_peers_are_independent() {
+        let mut ep = endpoint();
+        ep.send(p(1), 10);
+        ep.send(p(2), 20);
+        ep.on_suspect(p(1));
+        assert!(ep.is_paused(p(1)));
+        assert!(!ep.is_paused(p(2)));
+        assert_eq!(ep.unacked_to(p(1)), 1);
+        assert_eq!(ep.unacked_to(p(2)), 1);
+        // Sequence numbers are per-peer.
+        let b = ep.send(p(2), 21);
+        assert_eq!(data(&b), vec![(1, 21)]);
+    }
+
+    /// End-to-end over a scripted lossy channel: every payload arrives
+    /// exactly once, in order, despite loss of first transmissions.
+    #[test]
+    fn retransmission_heals_a_lossy_channel() {
+        let mut alice = LinkEndpoint::new(p(0), LinkConfig::default());
+        let mut bob = LinkEndpoint::new(p(1), LinkConfig::default());
+        let mut alice_timers: Vec<u64> = Vec::new();
+        let mut delivered = Vec::new();
+
+        let mut drop_first_data = true;
+        for k in 0..5u32 {
+            let out = alice.send(p(1), k);
+            alice_timers.extend(out.timers.iter().map(|&(_, _, e)| e));
+            for (_, frame) in out.sends {
+                if drop_first_data {
+                    // Adversary eats every first transmission.
+                    continue;
+                }
+                let got = bob.on_message(p(0), frame);
+                delivered.extend(got.delivered.iter().map(|&(_, v)| v));
+                for (_, ack) in got.sends {
+                    alice.on_message(p(1), ack);
+                }
+            }
+            drop_first_data = true;
+        }
+        assert!(delivered.is_empty(), "all first copies were lost");
+
+        // Fire timers until the queue drains (the channel is now clean).
+        let mut guard = 0;
+        while alice.unacked_to(p(1)) > 0 {
+            guard += 1;
+            assert!(guard < 100, "retransmission must converge");
+            let epochs = std::mem::take(&mut alice_timers);
+            for epoch in epochs {
+                let out = alice.on_timer(p(1), epoch);
+                alice_timers.extend(out.timers.iter().map(|&(_, _, e)| e));
+                for (_, frame) in out.sends {
+                    let got = bob.on_message(p(0), frame);
+                    delivered.extend(got.delivered.iter().map(|&(_, v)| v));
+                    for (_, ack) in got.sends {
+                        alice.on_message(p(1), ack);
+                    }
+                }
+            }
+        }
+        assert_eq!(delivered, vec![0, 1, 2, 3, 4], "exactly once, in order");
+        assert!(alice.stats().retransmissions >= 5);
+    }
+}

@@ -1,0 +1,241 @@
+//! Property tests for the reliable link layer.
+//!
+//! An adversarial channel driver applies an arbitrary schedule of frame
+//! drops, duplications, reorderings (frames are picked out of the in-flight
+//! set in arbitrary order), and timer fires. The properties checked are the
+//! two halves of exactly-once FIFO delivery between correct processes:
+//!
+//! * **No duplication, no reordering:** at every instant the receiver's
+//!   output is a prefix of the sent sequence.
+//! * **No permanent loss:** once the adversary stops (frames flow and
+//!   timers fire faithfully), every payload is delivered.
+
+use ekbd_link::{LinkActions, LinkConfig, LinkEndpoint, LinkMsg};
+use ekbd_sim::ProcessId;
+use proptest::prelude::*;
+
+const ALICE: ProcessId = ProcessId(0);
+const BOB: ProcessId = ProcessId(1);
+
+/// A frame in flight: `to_bob` gives its direction.
+#[derive(Clone, Debug)]
+struct Flight {
+    to_bob: bool,
+    frame: LinkMsg<u32>,
+}
+
+/// The adversarial channel between one sending endpoint (alice) and one
+/// receiving endpoint (bob). Only alice originates payloads; acks flow back.
+struct Channel {
+    alice: LinkEndpoint<u32>,
+    bob: LinkEndpoint<u32>,
+    in_flight: Vec<Flight>,
+    /// Epochs of alice's armed retransmission timers, oldest first.
+    timers: Vec<u64>,
+    /// Payloads surfaced by bob's endpoint, in surfacing order.
+    got: Vec<u32>,
+}
+
+impl Channel {
+    fn new() -> Self {
+        // A small retransmit base keeps healing cheap; the driver ignores
+        // the delay value anyway (it fires timers explicitly).
+        let cfg = LinkConfig::default().retransmit_base(1).max_backoff_exp(2);
+        Channel {
+            alice: LinkEndpoint::new(ALICE, cfg),
+            bob: LinkEndpoint::new(BOB, cfg),
+            in_flight: Vec::new(),
+            timers: Vec::new(),
+            got: Vec::new(),
+        }
+    }
+
+    fn absorb_alice(&mut self, out: LinkActions<u32>) {
+        for (_, frame) in out.sends {
+            self.in_flight.push(Flight {
+                to_bob: true,
+                frame,
+            });
+        }
+        self.timers.extend(out.timers.iter().map(|&(_, _, e)| e));
+        assert!(out.delivered.is_empty(), "alice receives only acks");
+    }
+
+    fn send(&mut self, payload: u32) {
+        let out = self.alice.send(BOB, payload);
+        self.absorb_alice(out);
+    }
+
+    fn fire_timer(&mut self, epoch: u64) {
+        let out = self.alice.on_timer(BOB, epoch);
+        self.absorb_alice(out);
+    }
+
+    /// Delivers one in-flight frame to its destination endpoint.
+    fn deliver(&mut self, flight: Flight) {
+        if flight.to_bob {
+            let out = self.bob.on_message(ALICE, flight.frame);
+            self.got.extend(out.delivered.iter().map(|&(_, v)| v));
+            for (_, ack) in out.sends {
+                self.in_flight.push(Flight {
+                    to_bob: false,
+                    frame: ack,
+                });
+            }
+        } else {
+            let out = self.alice.on_message(BOB, flight.frame);
+            self.absorb_alice(out);
+        }
+    }
+
+    /// The receiver's output must always be a prefix of the sent sequence —
+    /// this single check rules out duplication, reordering, and corruption.
+    fn output_is_prefix(&self) -> bool {
+        self.got.iter().enumerate().all(|(i, &v)| v == i as u32)
+    }
+
+    /// Runs the channel faithfully (deliver everything, fire every timer)
+    /// until nothing is outstanding. Returns false if it fails to converge.
+    fn heal(&mut self) -> bool {
+        for _ in 0..10_000 {
+            if self.in_flight.is_empty()
+                && self.timers.is_empty()
+                && self.alice.unacked_to(BOB) == 0
+            {
+                return true;
+            }
+            let frames = std::mem::take(&mut self.in_flight);
+            for flight in frames {
+                self.deliver(flight);
+            }
+            let epochs = std::mem::take(&mut self.timers);
+            for epoch in epochs {
+                self.fire_timer(epoch);
+            }
+        }
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Exactly-once FIFO delivery survives arbitrary loss/dup/reorder
+    /// schedules: the output never shows a payload twice or out of order,
+    /// and once the adversary stops, nothing is permanently lost.
+    #[test]
+    fn arbitrary_fault_schedules_never_duplicate_nor_permanently_lose(
+        n in 1usize..16,
+        schedule in proptest::collection::vec((0u8..100u8, 0usize..64usize), 0..160),
+    ) {
+        let mut ch = Channel::new();
+        let mut next_payload = 0u32;
+
+        for (fate, idx) in schedule {
+            match fate {
+                // Inject a fresh payload (interleaved with channel chaos).
+                0..=19 => {
+                    if (next_payload as usize) < n {
+                        ch.send(next_payload);
+                        next_payload += 1;
+                    }
+                }
+                // Fire one of alice's armed timers, in arbitrary order.
+                20..=34 => {
+                    if !ch.timers.is_empty() {
+                        let epoch = ch.timers.remove(idx % ch.timers.len());
+                        ch.fire_timer(epoch);
+                    }
+                }
+                // Drop an arbitrary in-flight frame (data or ack).
+                35..=54 => {
+                    if !ch.in_flight.is_empty() {
+                        let k = idx % ch.in_flight.len();
+                        ch.in_flight.swap_remove(k);
+                    }
+                }
+                // Deliver an arbitrary in-flight frame twice (duplication).
+                55..=69 => {
+                    if !ch.in_flight.is_empty() {
+                        let k = idx % ch.in_flight.len();
+                        let flight = ch.in_flight.swap_remove(k);
+                        ch.deliver(flight.clone());
+                        ch.deliver(flight);
+                    }
+                }
+                // Deliver an arbitrary in-flight frame once (reordering:
+                // the pick ignores send order).
+                _ => {
+                    if !ch.in_flight.is_empty() {
+                        let k = idx % ch.in_flight.len();
+                        let flight = ch.in_flight.swap_remove(k);
+                        ch.deliver(flight);
+                    }
+                }
+            }
+            prop_assert!(
+                ch.output_is_prefix(),
+                "mid-run output {:?} is not a prefix of the sent sequence",
+                ch.got
+            );
+        }
+
+        // Queue whatever the schedule did not get around to sending.
+        while (next_payload as usize) < n {
+            ch.send(next_payload);
+            next_payload += 1;
+        }
+
+        // Adversary stops: the layer must heal.
+        prop_assert!(ch.heal(), "retransmission failed to converge");
+        prop_assert_eq!(
+            &ch.got,
+            &(0..n as u32).collect::<Vec<_>>(),
+            "exactly-once FIFO delivery after healing"
+        );
+    }
+
+    /// Suspicion pauses never destroy frames: an arbitrary schedule of
+    /// suspect/unsuspect flips around a lossy channel still ends with
+    /// every payload delivered exactly once after the pause lifts.
+    #[test]
+    fn false_suspicions_only_pause_never_lose(
+        n in 1usize..12,
+        flips in proptest::collection::vec((0u8..4u8, 0usize..64usize), 0..60),
+    ) {
+        let mut ch = Channel::new();
+        for k in 0..n as u32 {
+            ch.send(k);
+        }
+        for (kind, idx) in flips {
+            match kind {
+                0 => ch.alice.on_suspect(BOB),
+                1 => {
+                    let out = ch.alice.on_unsuspect(BOB);
+                    ch.absorb_alice(out);
+                }
+                // Drop a frame while flapping.
+                2 => {
+                    if !ch.in_flight.is_empty() {
+                        let k = idx % ch.in_flight.len();
+                        ch.in_flight.swap_remove(k);
+                    }
+                }
+                // Deliver a frame while flapping.
+                _ => {
+                    if !ch.in_flight.is_empty() {
+                        let k = idx % ch.in_flight.len();
+                        let flight = ch.in_flight.swap_remove(k);
+                        ch.deliver(flight);
+                    }
+                }
+            }
+            prop_assert!(ch.output_is_prefix());
+        }
+        // Retract any standing suspicion, then heal.
+        let out = ch.alice.on_unsuspect(BOB);
+        ch.absorb_alice(out);
+        prop_assert!(ch.heal(), "recovery failed to converge");
+        prop_assert_eq!(&ch.got, &(0..n as u32).collect::<Vec<_>>());
+    }
+}

@@ -53,8 +53,7 @@ impl DetectorQualityReport {
                 // is a suspicion; its time is the detection instant.
                 let last = suspicions
                     .iter()
-                    .filter(|&&(_, ob, tg, _)| ob == o && tg == q)
-                    .next_back();
+                    .rfind(|&&(_, ob, tg, _)| ob == o && tg == q);
                 let latency = match last {
                     Some(&(t, _, _, true)) => Some(t.since(crashed_at)),
                     _ => None,
@@ -76,7 +75,12 @@ impl DetectorQualityReport {
 
     /// Worst-case detection latency, if completeness held.
     pub fn max_detection_latency(&self) -> Option<u64> {
-        self.detection.iter().map(|&(_, _, l)| l).collect::<Option<Vec<_>>>()?.into_iter().max()
+        self.detection
+            .iter()
+            .map(|&(_, _, l)| l)
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
     }
 }
 

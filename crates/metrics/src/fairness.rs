@@ -57,17 +57,15 @@ impl FairnessReport {
             }
         }
         let mut overtakes = Vec::new();
-        for j in 0..n {
+        for (j, proc_sessions) in sessions.iter().enumerate() {
             let pj = ProcessId::from(j);
-            for s in &sessions[j] {
+            for s in proc_sessions {
                 for &pi in graph.neighbors(pj) {
                     let count = eat_starts[pi.index()]
                         .iter()
                         .filter(|&&t| {
                             // An eat-start counts only while both are live.
-                            s.start <= t
-                                && t < s.end
-                                && crash_time(pi).is_none_or(|c| t < c)
+                            s.start <= t && t < s.end && crash_time(pi).is_none_or(|c| t < c)
                         })
                         .count();
                     if count > 0 {

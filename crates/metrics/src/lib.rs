@@ -25,6 +25,7 @@ mod concurrency;
 mod detector_quality;
 mod exclusion;
 mod fairness;
+mod link;
 mod progress;
 mod quiescence;
 mod stats;
@@ -34,6 +35,7 @@ pub use concurrency::ConcurrencyReport;
 pub use detector_quality::DetectorQualityReport;
 pub use exclusion::{ExclusionReport, Mistake};
 pub use fairness::{FairnessReport, Overtake};
+pub use link::LinkSummary;
 pub use progress::{ProgressReport, SessionStats};
 pub use quiescence::QuiescenceReport;
 pub use stats::Summary;
@@ -104,7 +106,9 @@ pub(crate) fn intervals_of(
     }
     for i in 0..n {
         if let Some(start) = open_at[i].take() {
-            let end = crash_time(ProcessId::from(i)).unwrap_or(horizon).min(horizon);
+            let end = crash_time(ProcessId::from(i))
+                .unwrap_or(horizon)
+                .min(horizon);
             if end > start {
                 result[i].push(Interval { start, end });
             }
@@ -119,10 +123,19 @@ mod tests {
 
     #[test]
     fn interval_overlap_semantics() {
-        let a = Interval { start: Time(0), end: Time(10) };
-        let b = Interval { start: Time(10), end: Time(20) };
+        let a = Interval {
+            start: Time(0),
+            end: Time(10),
+        };
+        let b = Interval {
+            start: Time(10),
+            end: Time(20),
+        };
         assert!(!a.overlaps(&b), "touching endpoints do not overlap");
-        let c = Interval { start: Time(9), end: Time(11) };
+        let c = Interval {
+            start: Time(9),
+            end: Time(11),
+        };
         assert!(a.overlaps(&c));
         assert!(c.overlaps(&a));
     }
@@ -141,7 +154,19 @@ mod tests {
             &|p| (p == ProcessId(0)).then_some(Time(8)),
             Time(100),
         );
-        assert_eq!(iv[0], vec![Interval { start: Time(5), end: Time(8) }]);
-        assert_eq!(iv[1], vec![Interval { start: Time(7), end: Time(100) }]);
+        assert_eq!(
+            iv[0],
+            vec![Interval {
+                start: Time(5),
+                end: Time(8)
+            }]
+        );
+        assert_eq!(
+            iv[1],
+            vec![Interval {
+                start: Time(7),
+                end: Time(100)
+            }]
+        );
     }
 }

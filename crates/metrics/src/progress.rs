@@ -1,5 +1,5 @@
-use crate::{intervals_of, SchedEvent};
 use crate::stats::Summary;
+use crate::{intervals_of, SchedEvent};
 use ekbd_dining::DiningObs;
 use ekbd_graph::ProcessId;
 use ekbd_sim::Time;

@@ -87,8 +87,9 @@ impl Timeline {
                 } else {
                     self.col(iv.end).unwrap_or(self.width)
                 };
-                for c in a..b.max(a + 1).min(self.width) {
-                    lanes[i][c] = b'#';
+                let end = b.max(a + 1).min(self.width);
+                for cell in &mut lanes[i][a..end] {
+                    *cell = b'#';
                 }
             }
         }
@@ -99,10 +100,10 @@ impl Timeline {
                 lanes[m.b.index()][c] = b'!';
             }
         }
-        for i in 0..n {
+        for (i, lane) in lanes.iter_mut().enumerate() {
             if let Some(ct) = crash_time(ProcessId::from(i)) {
                 if let Some(c) = self.col(ct) {
-                    lanes[i][c] = b'\xc3'; // placeholder, replaced below
+                    lane[c] = b'\xc3'; // placeholder, replaced below
                 }
             }
         }
@@ -160,7 +161,12 @@ mod tests {
         let g = topology::path(2);
         let events = vec![ev(0, 0, DiningObs::StartedEating)];
         let tl = Timeline::until(Time(100)).width(10);
-        let s = tl.render(&g, &events, &|p| (p == ProcessId(1)).then_some(Time(50)), Time(100));
+        let s = tl.render(
+            &g,
+            &events,
+            &|p| (p == ProcessId(1)).then_some(Time(50)),
+            Time(100),
+        );
         assert!(s.contains('×'), "{s}");
     }
 

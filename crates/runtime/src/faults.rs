@@ -1,0 +1,151 @@
+//! Sender-side channel fault injection for the threaded runtime.
+//!
+//! A lighter mirror of the simulator's [`ekbd_sim::FaultPlan`]: crossbeam
+//! channels deliver reliably and in order, so the only faults that can be
+//! injected without rewriting the transport are decided at the sender —
+//! drop the frame (loss) or send it twice (duplication). Reordering and
+//! partitions stay simulator-only; the threaded runtime exists to
+//! demonstrate runtime-independence, not to re-measure the experiments.
+//!
+//! Fault decisions are drawn from a per-process seeded stream, so the
+//! *decisions* are reproducible even though thread interleaving is not.
+
+use crossbeam_channel::Sender;
+use ekbd_graph::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Decorrelates the fault stream from any other use of the same seed
+/// (the same constant the simulator uses for its fault stream).
+const FAULT_STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Uniform channel faults applied to every payload frame a process sends.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelFaults {
+    /// Probability a frame is dropped instead of sent.
+    pub loss: f64,
+    /// Probability a sent frame is transmitted twice.
+    pub dup: f64,
+    /// Seed of the per-process fault streams.
+    pub seed: u64,
+}
+
+impl Default for ChannelFaults {
+    fn default() -> Self {
+        ChannelFaults {
+            loss: 0.0,
+            dup: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl ChannelFaults {
+    /// Loss-only faults.
+    pub fn lossy(loss: f64, seed: u64) -> Self {
+        ChannelFaults {
+            loss,
+            dup: 0.0,
+            seed,
+        }
+    }
+
+    /// Sets the duplication probability.
+    pub fn duplication(mut self, dup: f64) -> Self {
+        self.dup = dup;
+        self
+    }
+
+    /// Whether this configuration faults nothing (the default).
+    pub fn is_inert(&self) -> bool {
+        self.loss <= 0.0 && self.dup <= 0.0
+    }
+}
+
+/// A process's outgoing channels, wrapped with fault injection.
+///
+/// Control traffic (hungry/crash/shutdown commands) bypasses the faults
+/// via [`send_reliable`](Self::send_reliable); payload traffic (dining,
+/// link, detector frames) goes through [`send`](Self::send), which rolls
+/// the loss and duplication dice per frame.
+pub(crate) struct LossyLinks<T: Clone> {
+    txs: HashMap<ProcessId, Sender<T>>,
+    faults: ChannelFaults,
+    rng: StdRng,
+}
+
+impl<T: Clone> LossyLinks<T> {
+    /// Wraps `txs` for the process at `index` in the system.
+    pub fn new(txs: HashMap<ProcessId, Sender<T>>, faults: ChannelFaults, index: usize) -> Self {
+        let stream = faults.seed ^ FAULT_STREAM_SALT.wrapping_mul(index as u64 + 1);
+        LossyLinks {
+            txs,
+            faults,
+            rng: StdRng::seed_from_u64(stream),
+        }
+    }
+
+    /// Sends `msg` to `to`, subject to loss and duplication. A send to a
+    /// crashed (exited) neighbor fails silently — exactly the crash model.
+    pub fn send(&mut self, to: ProcessId, msg: T) {
+        if self.faults.loss > 0.0 && self.rng.gen_bool(self.faults.loss.clamp(0.0, 1.0)) {
+            return;
+        }
+        let dup = self.faults.dup > 0.0 && self.rng.gen_bool(self.faults.dup.clamp(0.0, 1.0));
+        if let Some(tx) = self.txs.get(&to) {
+            let _ = tx.send(msg.clone());
+            if dup {
+                let _ = tx.send(msg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+
+    fn links(faults: ChannelFaults) -> (LossyLinks<u32>, crossbeam_channel::Receiver<u32>) {
+        let (tx, rx) = unbounded();
+        let txs = [(ProcessId(1), tx)].into_iter().collect();
+        (LossyLinks::new(txs, faults, 0), rx)
+    }
+
+    #[test]
+    fn default_is_inert_and_delivers_everything_once() {
+        assert!(ChannelFaults::default().is_inert());
+        let (mut l, rx) = links(ChannelFaults::default());
+        for i in 0..100 {
+            l.send(ProcessId(1), i);
+        }
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn loss_drops_and_dup_doubles() {
+        let (mut l, rx) = links(ChannelFaults::lossy(0.5, 42).duplication(0.5));
+        for i in 0..200 {
+            l.send(ProcessId(1), i);
+        }
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert!(got.len() < 200, "half the frames should be lost");
+        let dups = got.len() - got.iter().collect::<std::collections::BTreeSet<_>>().len();
+        assert!(dups > 0, "some frames should arrive twice");
+    }
+
+    #[test]
+    fn fault_decisions_are_seed_deterministic() {
+        let run = |seed| {
+            let (mut l, rx) = links(ChannelFaults::lossy(0.3, seed).duplication(0.2));
+            for i in 0..100 {
+                l.send(ProcessId(1), i);
+            }
+            rx.try_iter().collect::<Vec<u32>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

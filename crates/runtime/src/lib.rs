@@ -8,6 +8,12 @@
 //! milliseconds as the time base, and a live
 //! [`HeartbeatDetector`](ekbd_detector::HeartbeatDetector) as ◇P₁.
 //!
+//! Channels can be made adversarial with [`ChannelFaults`] — a lighter
+//! mirror of the simulator's fault plan that drops or duplicates payload
+//! frames at the sender — and dining traffic can then be wrapped by the
+//! [`ekbd_link`] reliable link layer (`RuntimeConfig::link`), the same
+//! sans-io state machine the simulator hosts.
+//!
 //! Crashes are real: a crashed process's thread exits, its channel
 //! receivers drop, and from then on it neither sends nor receives —
 //! exactly the paper's crash-fault model.
@@ -38,7 +44,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod process;
 mod system;
 
+pub use faults::ChannelFaults;
 pub use system::{RuntimeConfig, ThreadedDining};

@@ -1,18 +1,30 @@
-use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
-use ekbd_detector::{DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, HeartbeatDetector};
+use crate::faults::LossyLinks;
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+use ekbd_detector::{
+    DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, HeartbeatDetector,
+};
 use ekbd_dining::{DinerState, DiningAlgorithm, DiningInput, DiningMsg, DiningObs};
 use ekbd_graph::ProcessId;
-use ekbd_metrics::SchedEvent;
+use ekbd_link::{
+    decode_timer_tag, link_timer_tag, LinkActions, LinkEndpoint, LinkMsg, LINK_TAG_BASE,
+};
+use ekbd_metrics::{LinkSummary, SchedEvent};
 use ekbd_sim::Time;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Messages delivered to a process thread.
+#[derive(Clone)]
 pub(crate) enum ThreadMsg {
-    /// Dining-layer traffic.
+    /// Dining-layer traffic, sent bare (reliable-channel mode).
     Dining(ProcessId, DiningMsg),
+    /// Dining-layer traffic wrapped by the reliable link layer. As on the
+    /// simulator, detector heartbeats are *not* wrapped: ◇P is
+    /// loss-tolerant by design, and wrapping perpetual monitoring traffic
+    /// would defeat link-layer quiescence.
+    Link(ProcessId, LinkMsg<DiningMsg>),
     /// Detector-layer traffic.
     Detector(ProcessId, DetectorMsg),
     /// Workload: become hungry.
@@ -28,9 +40,16 @@ pub(crate) struct ProcessThread<A: DiningAlgorithm<Msg = DiningMsg>> {
     pub alg: A,
     pub det: HeartbeatDetector,
     pub rx: Receiver<ThreadMsg>,
-    pub txs: HashMap<ProcessId, Sender<ThreadMsg>>,
+    pub links: LossyLinks<ThreadMsg>,
+    /// Reliable link layer wrapping dining traffic; `None` sends bare
+    /// `ThreadMsg::Dining` frames (correct over un-faulted channels).
+    pub link: Option<LinkEndpoint<DiningMsg>>,
+    /// Last suspect set seen, for diffing into link pause/resume calls.
+    pub suspects: BTreeSet<ProcessId>,
     pub epoch: Instant,
     pub events: Arc<Mutex<Vec<SchedEvent>>>,
+    /// System-wide link counters, folded into at thread exit.
+    pub link_stats: Arc<Mutex<LinkSummary>>,
     /// Fixed eating duration in milliseconds.
     pub eat_ms: u64,
 }
@@ -45,13 +64,32 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
         self.events.lock().push(e);
     }
 
+    /// Transmits frames and arms timers requested by the link layer, and
+    /// feeds released payloads to the dining algorithm in order.
+    fn absorb_link_actions(
+        &mut self,
+        actions: LinkActions<DiningMsg>,
+        timers: &mut Vec<(Instant, u64)>,
+    ) {
+        for (to, frame) in actions.sends {
+            self.links.send(to, ThreadMsg::Link(self.id, frame));
+        }
+        for (peer, delay_ms, epoch) in actions.timers {
+            timers.push((
+                Instant::now() + std::time::Duration::from_millis(delay_ms),
+                link_timer_tag(peer, epoch),
+            ));
+        }
+        for (from, msg) in actions.delivered {
+            self.drive(DiningInput::Message { from, msg }, timers);
+        }
+    }
+
     fn apply_detector_output(&mut self, out: DetectorOutput, timers: &mut Vec<(Instant, u64)>) {
         for (to, msg) in out.sends {
             // A send to a crashed (exited) neighbor fails; that is exactly
             // the crash model — ignore the error.
-            if let Some(tx) = self.txs.get(&to) {
-                let _ = tx.send(ThreadMsg::Detector(self.id, msg));
-            }
+            self.links.send(to, ThreadMsg::Detector(self.id, msg));
         }
         for (delay_ms, tag) in out.timers {
             timers.push((
@@ -60,6 +98,23 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
             ));
         }
         if out.changed {
+            let now_suspects = self.det.suspect_set();
+            if let Some(link) = self.link.as_mut() {
+                for &q in now_suspects.difference(&self.suspects) {
+                    link.on_suspect(q);
+                }
+                let resumed: Vec<LinkActions<DiningMsg>> = self
+                    .suspects
+                    .difference(&now_suspects)
+                    .map(|&q| link.on_unsuspect(q))
+                    .collect();
+                self.suspects = now_suspects;
+                for actions in resumed {
+                    self.absorb_link_actions(actions, timers);
+                }
+            } else {
+                self.suspects = now_suspects;
+            }
             self.drive(DiningInput::SuspicionChange, timers);
         }
     }
@@ -70,8 +125,13 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
         let mut sends = Vec::new();
         self.alg.handle(input, &self.det, &mut sends);
         for (to, msg) in sends {
-            if let Some(tx) = self.txs.get(&to) {
-                let _ = tx.send(ThreadMsg::Dining(self.id, msg));
+            match self.link.as_mut() {
+                Some(link) => {
+                    let actions = link.send(to, msg);
+                    debug_assert!(actions.delivered.is_empty());
+                    self.absorb_link_actions(actions, timers);
+                }
+                None => self.links.send(to, ThreadMsg::Dining(self.id, msg)),
             }
         }
         let after = self.alg.state();
@@ -90,9 +150,29 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
         }
     }
 
-    /// The thread body: an event loop over channel messages and timer
-    /// deadlines until shutdown or crash.
+    /// The thread body: runs the event loop, then folds this process's
+    /// link counters into the system-wide summary.
     pub fn run(mut self) {
+        self.event_loop();
+        if let Some(link) = &self.link {
+            let s = link.stats();
+            self.link_stats.lock().absorb(
+                s.payloads_sent,
+                s.data_sent,
+                s.retransmissions,
+                s.acks_sent,
+                s.duplicates_suppressed,
+                s.out_of_order_buffered,
+                s.delivered,
+                s.recoveries,
+                s.max_unacked,
+            );
+        }
+    }
+
+    /// An event loop over channel messages and timer deadlines until
+    /// shutdown or crash.
+    fn event_loop(&mut self) {
         let mut timers: Vec<(Instant, u64)> = Vec::new();
         let mut out = DetectorOutput::new();
         self.det
@@ -116,6 +196,12 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
                     if self.alg.state() == DinerState::Eating {
                         self.drive(DiningInput::DoneEating, &mut timers);
                     }
+                } else if tag >= LINK_TAG_BASE {
+                    let (peer, epoch) = decode_timer_tag(tag);
+                    if let Some(link) = self.link.as_mut() {
+                        let actions = link.on_timer(peer, epoch);
+                        self.absorb_link_actions(actions, &mut timers);
+                    }
                 } else {
                     let mut out = DetectorOutput::new();
                     let now = self.now();
@@ -132,6 +218,12 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
             match self.rx.recv_deadline(deadline) {
                 Ok(ThreadMsg::Dining(from, msg)) => {
                     self.drive(DiningInput::Message { from, msg }, &mut timers);
+                }
+                Ok(ThreadMsg::Link(from, frame)) => {
+                    if let Some(link) = self.link.as_mut() {
+                        let actions = link.on_message(from, frame);
+                        self.absorb_link_actions(actions, &mut timers);
+                    }
                 }
                 Ok(ThreadMsg::Detector(from, msg)) => {
                     let mut out = DetectorOutput::new();
@@ -153,6 +245,7 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
     }
 }
 
-/// Tag for the host-level eating timer; the heartbeat detector uses tag 1,
-/// so any value ≥ 2 is free.
+/// Tag for the host-level eating timer; the heartbeat detector uses tag 1
+/// and link timers sit in `[LINK_TAG_BASE, u64::MAX)`, so the maximum is
+/// free (checked before the link range in the dispatch above).
 const EAT_TAG: u64 = u64::MAX;

@@ -1,11 +1,13 @@
+use crate::faults::{ChannelFaults, LossyLinks};
 use crate::process::{ProcessThread, ThreadMsg};
 use crossbeam_channel::{unbounded, Sender};
 use ekbd_detector::{HeartbeatConfig, HeartbeatDetector};
 use ekbd_dining::DiningProcess;
 use ekbd_graph::{coloring, ConflictGraph, ProcessId};
-use ekbd_metrics::SchedEvent;
+use ekbd_link::{LinkConfig, LinkEndpoint};
+use ekbd_metrics::{LinkSummary, SchedEvent};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -17,6 +19,12 @@ pub struct RuntimeConfig {
     pub heartbeat: HeartbeatConfig,
     /// Eating duration in milliseconds.
     pub eat_ms: u64,
+    /// Sender-side channel faults on payload traffic (default: inert).
+    pub faults: ChannelFaults,
+    /// Reliable link layer wrapping dining traffic (default: off).
+    /// Required for dining correctness whenever `faults` is non-inert;
+    /// timer durations are in milliseconds here.
+    pub link: Option<LinkConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -28,6 +36,8 @@ impl Default for RuntimeConfig {
                 timeout_increment: 50,
             },
             eat_ms: 5,
+            faults: ChannelFaults::default(),
+            link: None,
         }
     }
 }
@@ -38,6 +48,7 @@ pub struct ThreadedDining {
     txs: Vec<Sender<ThreadMsg>>,
     handles: Vec<JoinHandle<()>>,
     events: Arc<Mutex<Vec<SchedEvent>>>,
+    link_stats: Arc<Mutex<LinkSummary>>,
     epoch: Instant,
 }
 
@@ -48,6 +59,7 @@ impl ThreadedDining {
         let colors = coloring::greedy(&graph);
         let epoch = Instant::now();
         let events: Arc<Mutex<Vec<SchedEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let link_stats: Arc<Mutex<LinkSummary>> = Arc::new(Mutex::new(LinkSummary::default()));
         let channels: Vec<_> = (0..graph.len()).map(|_| unbounded::<ThreadMsg>()).collect();
         let txs: Vec<Sender<ThreadMsg>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
         let mut handles = Vec::with_capacity(graph.len());
@@ -63,9 +75,12 @@ impl ThreadedDining {
                 alg: DiningProcess::from_graph(&graph, &colors, id),
                 det: HeartbeatDetector::new(config.heartbeat, graph.neighbors(id).iter().copied()),
                 rx,
-                txs: neighbor_txs,
+                links: LossyLinks::new(neighbor_txs, config.faults, i),
+                link: config.link.map(|cfg| LinkEndpoint::new(id, cfg)),
+                suspects: BTreeSet::new(),
                 epoch,
                 events: Arc::clone(&events),
+                link_stats: Arc::clone(&link_stats),
                 eat_ms: config.eat_ms.max(1),
             };
             handles.push(
@@ -79,6 +94,7 @@ impl ThreadedDining {
             txs,
             handles,
             events,
+            link_stats,
             epoch,
         }
     }
@@ -106,6 +122,12 @@ impl ThreadedDining {
     /// Lets the system run for `window`, then shuts every thread down and
     /// returns the recorded scheduling events.
     pub fn shutdown_after(self, window: Duration) -> Vec<SchedEvent> {
+        self.shutdown_with_link(window).0
+    }
+
+    /// Like [`shutdown_after`](Self::shutdown_after), but also returns the
+    /// system-wide link-layer counters (all zeros when the link is off).
+    pub fn shutdown_with_link(self, window: Duration) -> (Vec<SchedEvent>, LinkSummary) {
         std::thread::sleep(window);
         for tx in &self.txs {
             let _ = tx.send(ThreadMsg::Shutdown);
@@ -113,9 +135,11 @@ impl ThreadedDining {
         for h in self.handles {
             let _ = h.join();
         }
-        Arc::try_unwrap(self.events)
+        let events = Arc::try_unwrap(self.events)
             .map(|m| m.into_inner())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        let link = *self.link_stats.lock();
+        (events, link)
     }
 }
 
@@ -156,6 +180,7 @@ mod tests {
                 timeout_increment: 50,
             },
             eat_ms: 5,
+            ..RuntimeConfig::default()
         };
         let sys = ThreadedDining::spawn(g.clone(), cfg);
         for round in 0..3 {
@@ -167,6 +192,46 @@ mod tests {
         let events = sys.shutdown_after(Duration::from_millis(200));
         let report = ExclusionReport::analyze(&g, &events, &|_| None, Time(60_000));
         assert_eq!(report.total(), 0, "mistakes: {:?}", report.mistakes);
+    }
+
+    #[test]
+    fn link_layer_masks_channel_faults_on_threads() {
+        use ekbd_link::LinkConfig;
+        // 30% loss and 40% duplication on every payload frame; the link
+        // layer must still get every diner fed.
+        let cfg = RuntimeConfig {
+            faults: ChannelFaults::lossy(0.30, 42).duplication(0.40),
+            link: Some(LinkConfig::default()),
+            ..RuntimeConfig::default()
+        };
+        let sys = ThreadedDining::spawn(topology::ring(3), cfg);
+        for round in 0..3 {
+            for i in 0..3 {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(Duration::from_millis(60 + round * 10));
+        }
+        let (events, link) = sys.shutdown_with_link(Duration::from_millis(400));
+        let mut ate = [false; 3];
+        for e in &events {
+            if e.obs == DiningObs::StartedEating {
+                ate[e.process.index()] = true;
+            }
+        }
+        assert!(ate.iter().all(|&x| x), "everyone must eat: {ate:?}");
+        assert!(
+            link.payloads_sent > 0,
+            "dining traffic went through the link"
+        );
+        assert!(
+            link.retransmissions > 0,
+            "30% loss must force retransmission"
+        );
+        assert!(link.duplicates_suppressed > 0, "40% dup must be suppressed");
+        assert!(
+            link.delivered <= link.payloads_sent,
+            "never deliver more than was sent"
+        );
     }
 
     #[test]

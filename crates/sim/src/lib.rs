@@ -21,6 +21,11 @@
 //! * Crash injection: a crashed process "ceases execution without warning and
 //!   never recovers"; messages addressed to it after the crash are counted
 //!   (for the quiescence claim, §7) and discarded on delivery.
+//! * Adversarial channel faults beyond the paper's model: a seeded
+//!   [`FaultPlan`] adds per-edge message loss, duplication, bounded
+//!   reordering, and timed link partitions that heal — all recorded in the
+//!   kernel trace and exactly as deterministic per seed as a fault-free run.
+//!   The `ekbd-link` crate restores reliable FIFO delivery on top.
 //!
 //! # Example
 //!
@@ -56,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod network;
 mod node;
 mod sim;
@@ -63,6 +69,7 @@ mod time;
 mod trace;
 
 pub use ekbd_graph::ProcessId;
+pub use fault::{FaultPlan, LinkFault, Partition};
 pub use network::{ChannelStats, DelayModel};
 pub use node::{Context, Node, NodeEvent};
 pub use sim::{SimConfig, Simulator};

@@ -1,8 +1,14 @@
+use crate::fault::FaultPlan;
 use crate::time::{Duration, Time};
 use crate::ProcessId;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// Salt XORed into the run seed to derive the fault-decision RNG stream, so
+/// fault sampling never perturbs the delay/algorithm stream: a run with an
+/// inert [`FaultPlan`] is event-for-event identical to one with no plan.
+const FAULT_STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Message-delay distribution of the simulated network.
 ///
@@ -81,16 +87,47 @@ pub struct ChannelStats {
     pub high_water: usize,
     /// Total messages ever sent on the pair.
     pub total: u64,
+    /// Messages destroyed in transit (random loss or partition cut).
+    pub dropped: u64,
+    /// Extra copies injected by duplication faults.
+    pub duplicated: u64,
+    /// Messages that escaped the FIFO floor and may overtake older ones.
+    pub reordered: u64,
 }
 
-/// The reliable-FIFO network fabric.
+/// What the network decided to do with one logical send.
 ///
-/// Every message sent is eventually delivered exactly once, uncorrupted, in
-/// per-ordered-channel FIFO order. FIFO is enforced by never scheduling a
-/// delivery earlier than the previously scheduled delivery on the same
-/// ordered channel (ties broken by scheduling sequence in the event queue).
+/// The simulator turns each entry of `deliveries` into a `Deliver` event;
+/// the flags drive kernel-trace records.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct SendDisposition {
+    /// Delivery times of every copy that will arrive (empty if lost).
+    pub deliveries: Vec<Time>,
+    /// The message was destroyed by random loss.
+    pub lost: bool,
+    /// The message was destroyed by an active partition.
+    pub cut_by_partition: bool,
+    /// A duplicate copy was injected (second entry of `deliveries`).
+    pub duplicated: bool,
+    /// The primary copy bypassed the FIFO floor.
+    pub reordered: bool,
+}
+
+/// The network fabric: reliable FIFO by default, adversarial under a
+/// [`FaultPlan`].
+///
+/// Without faults, every message sent is eventually delivered exactly once,
+/// uncorrupted, in per-ordered-channel FIFO order. FIFO is enforced by never
+/// scheduling a delivery earlier than the previously scheduled delivery on
+/// the same ordered channel (ties broken by scheduling sequence in the event
+/// queue). A fault plan may drop, duplicate, or reorder messages and cut
+/// links during partitions; all decisions come from a dedicated RNG stream
+/// so runs stay deterministic per seed.
 pub(crate) struct Network {
     delay: DelayModel,
+    faults: FaultPlan,
+    /// Dedicated RNG for fault decisions (seed XOR [`FAULT_STREAM_SALT`]).
+    fault_rng: StdRng,
     /// Last scheduled delivery time per ordered channel.
     last_delivery: HashMap<(ProcessId, ProcessId), Time>,
     /// Stats per unordered pair.
@@ -108,17 +145,24 @@ fn unordered(a: ProcessId, b: ProcessId) -> (ProcessId, ProcessId) {
 }
 
 impl Network {
-    pub fn new(delay: DelayModel) -> Self {
+    pub fn new(delay: DelayModel, faults: FaultPlan, seed: u64) -> Self {
         Network {
             delay,
+            faults,
+            fault_rng: StdRng::seed_from_u64(seed ^ FAULT_STREAM_SALT),
             last_delivery: HashMap::new(),
             stats: HashMap::new(),
             to_crashed: Vec::new(),
         }
     }
 
-    /// Computes the FIFO-respecting delivery time for a message sent at
-    /// `now` on the ordered channel `from → to`, and updates accounting.
+    /// Decides the fate of a message sent at `now` on the ordered channel
+    /// `from → to` and updates accounting.
+    ///
+    /// The fault-free path computes the FIFO-respecting delivery time
+    /// exactly as the seed simulator did. Under a fault plan the message may
+    /// additionally be dropped (loss or partition), duplicated, or allowed
+    /// to overtake the FIFO floor.
     pub fn schedule_send(
         &mut self,
         now: Time,
@@ -126,19 +170,69 @@ impl Network {
         to: ProcessId,
         dest_crashed: bool,
         rng: &mut StdRng,
-    ) -> Time {
-        let raw = now + self.delay.sample(now, rng);
-        let entry = self.last_delivery.entry((from, to)).or_insert(Time::ZERO);
-        let delivery = raw.max(*entry);
-        *entry = delivery;
-        let s = self.stats.entry(unordered(from, to)).or_default();
-        s.in_transit += 1;
-        s.high_water = s.high_water.max(s.in_transit);
-        s.total += 1;
+    ) -> SendDisposition {
         if dest_crashed {
             self.to_crashed.push((now, from, to));
         }
-        delivery
+        let s = self.stats.entry(unordered(from, to)).or_default();
+        s.total += 1;
+
+        let mut disposition = SendDisposition {
+            deliveries: Vec::new(),
+            lost: false,
+            cut_by_partition: false,
+            duplicated: false,
+            reordered: false,
+        };
+
+        let fault = self.faults.fault_for(from, to);
+        if self.faults.partitioned(from, to, now) {
+            s.dropped += 1;
+            disposition.cut_by_partition = true;
+            return disposition;
+        }
+        if fault.loss > 0.0 && self.fault_rng.gen_bool(fault.loss.clamp(0.0, 1.0)) {
+            s.dropped += 1;
+            disposition.lost = true;
+            return disposition;
+        }
+
+        let raw = now + self.delay.sample(now, rng);
+        let floor = self.last_delivery.entry((from, to)).or_insert(Time::ZERO);
+        let reordered =
+            fault.reorder > 0.0 && self.fault_rng.gen_bool(fault.reorder.clamp(0.0, 1.0));
+        let delivery = if reordered {
+            // Escape the FIFO floor: deliver at the raw sampled time plus
+            // bounded jitter, possibly overtaking older messages. The floor
+            // is left untouched so later traffic is not delayed behind the
+            // straggler.
+            s.reordered += 1;
+            disposition.reordered = true;
+            if fault.reorder_window > 0 {
+                raw + self.fault_rng.gen_range(0..=fault.reorder_window)
+            } else {
+                raw
+            }
+        } else {
+            let d = raw.max(*floor);
+            *floor = d;
+            d
+        };
+        disposition.deliveries.push(delivery);
+        s.in_transit += 1;
+        s.high_water = s.high_water.max(s.in_transit);
+
+        if fault.dup > 0.0 && self.fault_rng.gen_bool(fault.dup.clamp(0.0, 1.0)) {
+            // The duplicate takes an independently sampled delay and ignores
+            // the FIFO floor — a classic retransmission ghost.
+            let extra = now + self.delay.sample(now, &mut self.fault_rng);
+            disposition.deliveries.push(extra);
+            disposition.duplicated = true;
+            s.duplicated += 1;
+            s.in_transit += 1;
+            s.high_water = s.high_water.max(s.in_transit);
+        }
+        disposition
     }
 
     /// Marks a message on `from → to` as delivered (or discarded at a
@@ -153,7 +247,10 @@ impl Network {
     }
 
     pub fn stats(&self, a: ProcessId, b: ProcessId) -> ChannelStats {
-        self.stats.get(&unordered(a, b)).copied().unwrap_or_default()
+        self.stats
+            .get(&unordered(a, b))
+            .copied()
+            .unwrap_or_default()
     }
 
     pub fn all_stats(&self) -> impl Iterator<Item = ((ProcessId, ProcessId), ChannelStats)> + '_ {
@@ -208,12 +305,15 @@ mod tests {
         let mut saw_large_pre = false;
         for _ in 0..300 {
             let pre = m.sample(Time(50), &mut rng);
-            assert!(pre >= 1 && pre <= 1000);
+            assert!((1..=1000).contains(&pre));
             saw_large_pre |= pre > 4;
             let post = m.sample(Time(100), &mut rng);
-            assert!(post >= 1 && post <= 4);
+            assert!((1..=4).contains(&post));
         }
-        assert!(saw_large_pre, "pre-GST delays should exceed delta sometimes");
+        assert!(
+            saw_large_pre,
+            "pre-GST delays should exceed delta sometimes"
+        );
         assert_eq!(m.eventual_bound(), 4);
     }
 
@@ -225,13 +325,23 @@ mod tests {
         assert_eq!(m.sample(Time(0), &mut rng), 1);
     }
 
+    fn reliable(delay: DelayModel) -> Network {
+        Network::new(delay, FaultPlan::default(), 0)
+    }
+
+    /// One delivery time from a fault-free send.
+    fn sole(d: SendDisposition) -> Time {
+        assert_eq!(d.deliveries.len(), 1, "fault-free send must deliver once");
+        d.deliveries[0]
+    }
+
     #[test]
     fn fifo_preserved_even_with_random_delays() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut net = Network::new(DelayModel::Uniform { min: 1, max: 100 });
+        let mut net = reliable(DelayModel::Uniform { min: 1, max: 100 });
         let mut last = Time::ZERO;
         for t in 0..50u64 {
-            let d = net.schedule_send(Time(t), p(0), p(1), false, &mut rng);
+            let d = sole(net.schedule_send(Time(t), p(0), p(1), false, &mut rng));
             assert!(d >= last, "delivery times must be monotone per channel");
             last = d;
         }
@@ -240,7 +350,7 @@ mod tests {
     #[test]
     fn in_transit_accounting() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut net = Network::new(DelayModel::Fixed(10));
+        let mut net = reliable(DelayModel::Fixed(10));
         net.schedule_send(Time(0), p(0), p(1), false, &mut rng);
         net.schedule_send(Time(1), p(1), p(0), false, &mut rng);
         net.schedule_send(Time(2), p(0), p(1), false, &mut rng);
@@ -257,9 +367,123 @@ mod tests {
     #[test]
     fn records_sends_to_crashed() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut net = Network::new(DelayModel::Fixed(1));
+        let mut net = reliable(DelayModel::Fixed(1));
         net.schedule_send(Time(3), p(0), p(1), true, &mut rng);
         net.schedule_send(Time(4), p(0), p(2), false, &mut rng);
         assert_eq!(net.sends_to_crashed(), &[(Time(3), p(0), p(1))]);
+    }
+
+    /// Regression test: per-edge stats are keyed on the *unordered* pair, so
+    /// high-water marks (the §7 "four messages per edge" unit) must be
+    /// identical no matter which `(from, to)` orientation is queried, and no
+    /// matter which direction the traffic flowed.
+    #[test]
+    fn edge_stats_are_orientation_symmetric() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = reliable(DelayModel::Fixed(10));
+        // Interleave both orientations, including an asymmetric count.
+        net.schedule_send(Time(0), p(3), p(1), false, &mut rng);
+        net.schedule_send(Time(1), p(1), p(3), false, &mut rng);
+        net.schedule_send(Time(2), p(3), p(1), false, &mut rng);
+        net.schedule_send(Time(3), p(3), p(1), false, &mut rng);
+        assert_eq!(net.stats(p(1), p(3)), net.stats(p(3), p(1)));
+        let s = net.stats(p(1), p(3));
+        assert_eq!(s.total, 4, "both directions accumulate on one pair");
+        assert_eq!(s.high_water, 4);
+        // Deliveries completed with either orientation drain the same pair.
+        net.complete_delivery(p(3), p(1));
+        net.complete_delivery(p(1), p(3));
+        assert_eq!(net.stats(p(1), p(3)), net.stats(p(3), p(1)));
+        assert_eq!(net.stats(p(1), p(3)).in_transit, 2);
+        assert_eq!(
+            net.stats(p(1), p(3)).high_water,
+            4,
+            "high water must be orientation-independent and sticky"
+        );
+    }
+
+    #[test]
+    fn loss_drops_messages_and_counts_them() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let plan = FaultPlan::new().loss(1.0);
+        let mut net = Network::new(DelayModel::Fixed(5), plan, 8);
+        let d = net.schedule_send(Time(0), p(0), p(1), false, &mut rng);
+        assert!(d.lost);
+        assert!(d.deliveries.is_empty());
+        let s = net.stats(p(0), p(1));
+        assert_eq!((s.total, s.dropped, s.in_transit), (1, 1, 0));
+    }
+
+    #[test]
+    fn duplication_schedules_two_copies() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let plan = FaultPlan::new().duplication(1.0);
+        let mut net = Network::new(DelayModel::Fixed(5), plan, 9);
+        let d = net.schedule_send(Time(0), p(0), p(1), false, &mut rng);
+        assert!(d.duplicated);
+        assert_eq!(d.deliveries.len(), 2);
+        let s = net.stats(p(0), p(1));
+        assert_eq!((s.total, s.duplicated, s.in_transit), (1, 1, 2));
+    }
+
+    #[test]
+    fn partition_cuts_cross_traffic_until_heal() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let plan = FaultPlan::new().partition(vec![p(0)], Time(10), Time(20));
+        let mut net = Network::new(DelayModel::Fixed(1), plan, 10);
+        let cut = net.schedule_send(Time(15), p(0), p(1), false, &mut rng);
+        assert!(cut.cut_by_partition && cut.deliveries.is_empty());
+        let healed = net.schedule_send(Time(20), p(0), p(1), false, &mut rng);
+        assert_eq!(healed.deliveries.len(), 1);
+        let s = net.stats(p(0), p(1));
+        assert_eq!((s.total, s.dropped), (2, 1));
+    }
+
+    #[test]
+    fn reordered_message_can_overtake_the_fifo_floor() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let plan = FaultPlan::new().reorder(1.0, 0);
+        let mut net = Network::new(DelayModel::Uniform { min: 1, max: 100 }, plan, 11);
+        let mut overtook = false;
+        let mut last = Time::ZERO;
+        for t in 0..100u64 {
+            let d = net.schedule_send(Time(t), p(0), p(1), false, &mut rng);
+            assert!(d.reordered);
+            let dt = sole(d);
+            overtook |= dt < last;
+            last = last.max(dt);
+        }
+        assert!(overtook, "full reordering should beat the floor sometimes");
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new().loss(0.3).duplication(0.2).reorder(0.2, 8);
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut net = Network::new(DelayModel::Uniform { min: 1, max: 9 }, plan, seed);
+            (0..200u64)
+                .map(|t| net.schedule_send(Time(t), p(0), p(1), false, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5), "same fault seed, same dispositions");
+        assert_ne!(run(5), run(6), "fault stream must depend on the seed");
+    }
+
+    #[test]
+    fn inert_plan_matches_fault_free_network_exactly() {
+        let mut rng_a = StdRng::seed_from_u64(12);
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let mut plain = reliable(DelayModel::Uniform { min: 1, max: 50 });
+        let mut inert = Network::new(
+            DelayModel::Uniform { min: 1, max: 50 },
+            FaultPlan::new().loss(0.0),
+            999,
+        );
+        for t in 0..100u64 {
+            let a = plain.schedule_send(Time(t), p(0), p(1), false, &mut rng_a);
+            let b = inert.schedule_send(Time(t), p(0), p(1), false, &mut rng_b);
+            assert_eq!(a, b, "inert plan must not perturb the delay stream");
+        }
     }
 }

@@ -31,8 +31,9 @@ pub enum NodeEvent<M, E> {
 /// lets the same algorithm code run unchanged on the discrete-event
 /// simulator and on the threaded real-time runtime.
 pub trait Node {
-    /// Message type exchanged between nodes.
-    type Msg;
+    /// Message type exchanged between nodes. `Clone` is required so the
+    /// network can inject duplicate copies under a fault plan.
+    type Msg: Clone;
     /// Externally injected events (the workload interface).
     type Ext;
     /// Observations emitted for metrics/checkers.
@@ -40,7 +41,11 @@ pub trait Node {
 
     /// Handles one event, possibly sending messages, setting timers, and
     /// emitting observations via `ctx`.
-    fn handle(&mut self, ev: NodeEvent<Self::Msg, Self::Ext>, ctx: &mut Context<'_, Self::Msg, Self::Obs>);
+    fn handle(
+        &mut self,
+        ev: NodeEvent<Self::Msg, Self::Ext>,
+        ctx: &mut Context<'_, Self::Msg, Self::Obs>,
+    );
 }
 
 /// The effect interface handed to [`Node::handle`].

@@ -1,4 +1,5 @@
 use crate::event::{EventKind, EventQueue};
+use crate::fault::FaultPlan;
 use crate::network::{ChannelStats, DelayModel, Network};
 use crate::node::{Context, Node, NodeEvent};
 use crate::time::Time;
@@ -30,6 +31,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Message delay model.
     pub delay: DelayModel,
+    /// Channel-fault schedule (loss, duplication, reordering, partitions).
+    /// The default plan is empty: a perfectly reliable FIFO network.
+    pub faults: FaultPlan,
     /// Whether to record the kernel trace (off by default; observations are
     /// always recorded).
     pub record_trace: bool,
@@ -43,6 +47,7 @@ impl Default for SimConfig {
             n: 3,
             seed: 0,
             delay: DelayModel::default(),
+            faults: FaultPlan::default(),
             record_trace: false,
             max_events: 50_000_000,
         }
@@ -63,6 +68,11 @@ impl SimConfig {
     /// Sets the delay model.
     pub fn delay(mut self, delay: DelayModel) -> Self {
         self.delay = delay;
+        self
+    }
+    /// Sets the channel-fault schedule.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
     /// Enables or disables kernel-trace recording.
@@ -112,7 +122,7 @@ impl<N: Node> Simulator<N> {
             .collect();
         let n = config.n;
         Simulator {
-            network: Network::new(config.delay.clone()),
+            network: Network::new(config.delay.clone(), config.faults.clone(), config.seed),
             config,
             time: Time::ZERO,
             queue: EventQueue::new(),
@@ -221,6 +231,16 @@ impl<N: Node> Simulator<N> {
         self.network.all_stats().map(|(_, s)| s.total).sum()
     }
 
+    /// Messages destroyed in transit by channel faults (loss + partitions).
+    pub fn total_dropped(&self) -> u64 {
+        self.network.all_stats().map(|(_, s)| s.dropped).sum()
+    }
+
+    /// Extra copies injected by duplication faults.
+    pub fn total_duplicated(&self) -> u64 {
+        self.network.all_stats().map(|(_, s)| s.duplicated).sum()
+    }
+
     /// `(send_time, from, to)` for every message sent to an
     /// already-crashed destination.
     pub fn sends_to_crashed(&self) -> &[(Time, ProcessId, ProcessId)] {
@@ -240,18 +260,51 @@ impl<N: Node> Simulator<N> {
             assert!(to.index() < self.crashed.len(), "send target out of range");
             assert!(to != target, "a process cannot send to itself");
             let dest_crashed = self.crashed[to.index()];
-            let delivery =
+            let disposition =
                 self.network
                     .schedule_send(self.time, target, to, dest_crashed, &mut self.rng);
-            self.queue
-                .push(delivery, to, EventKind::Deliver { from: target, msg });
-            if self.config.record_trace {
+            for (copy, &delivery) in disposition.deliveries.iter().enumerate() {
+                self.queue.push(
+                    delivery,
+                    to,
+                    EventKind::Deliver {
+                        from: target,
+                        msg: msg.clone(),
+                    },
+                );
+                if self.config.record_trace {
+                    let kind = if copy > 0 {
+                        TraceKind::Duplicated {
+                            from: target,
+                            to,
+                            delivery,
+                        }
+                    } else if disposition.reordered {
+                        TraceKind::Reordered {
+                            from: target,
+                            to,
+                            delivery,
+                        }
+                    } else {
+                        TraceKind::Sent {
+                            from: target,
+                            to,
+                            delivery,
+                        }
+                    };
+                    self.trace.push(TraceEvent {
+                        time: self.time,
+                        kind,
+                    });
+                }
+            }
+            if self.config.record_trace && (disposition.lost || disposition.cut_by_partition) {
                 self.trace.push(TraceEvent {
                     time: self.time,
-                    kind: TraceKind::Sent {
+                    kind: TraceKind::Lost {
                         from: target,
                         to,
-                        delivery,
+                        by_partition: disposition.cut_by_partition,
                     },
                 });
             }
@@ -400,11 +453,7 @@ mod tests {
         type Ext = u32;
         type Obs = u32;
 
-        fn handle(
-            &mut self,
-            ev: NodeEvent<u32, u32>,
-            ctx: &mut Context<'_, u32, u32>,
-        ) {
+        fn handle(&mut self, ev: NodeEvent<u32, u32>, ctx: &mut Context<'_, u32, u32>) {
             let next = ProcessId::from((ctx.id().index() + 1) % self.n);
             match ev {
                 NodeEvent::Start => {}
@@ -562,6 +611,109 @@ mod tests {
             let got: Vec<u32> = sim.observations().iter().map(|o| o.obs).collect();
             assert_eq!(got, (0..100).collect::<Vec<_>>(), "seed {seed} broke FIFO");
         }
+    }
+
+    #[test]
+    fn total_loss_starves_the_ring_but_is_traced() {
+        let cfg = SimConfig::default()
+            .n(4)
+            .seed(21)
+            .faults(FaultPlan::new().loss(1.0))
+            .record_trace(true);
+        let mut sim = Simulator::new(cfg, |_, _| RingHop { n: 4, limit: 10 });
+        sim.schedule_external(p(0), Time(1), 0);
+        assert!(sim.run(), "with every message lost the run quiesces fast");
+        // p0 observes the injected token; the forwarded copy dies in transit.
+        assert_eq!(sim.observations().len(), 1);
+        assert!(sim.trace().iter().any(|e| matches!(
+            e.kind,
+            TraceKind::Lost {
+                by_partition: false,
+                ..
+            }
+        )));
+        let s = sim.channel_stats(p(0), p(1));
+        assert_eq!((s.total, s.dropped, s.in_transit), (1, 1, 0));
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_is_traced() {
+        struct Echo;
+        impl Node for Echo {
+            type Msg = u32;
+            type Ext = ();
+            type Obs = u32;
+            fn handle(&mut self, ev: NodeEvent<u32, ()>, ctx: &mut Context<'_, u32, u32>) {
+                match ev {
+                    NodeEvent::External(()) => ctx.send(ProcessId(1), 7),
+                    NodeEvent::Message { msg, .. } => ctx.observe(msg),
+                    _ => {}
+                }
+            }
+        }
+        let cfg = SimConfig::default()
+            .n(2)
+            .seed(22)
+            .faults(FaultPlan::new().duplication(1.0))
+            .record_trace(true);
+        let mut sim = Simulator::new(cfg, |_, _| Echo);
+        sim.schedule_external(p(0), Time(1), ());
+        sim.run();
+        let got: Vec<u32> = sim.observations().iter().map(|o| o.obs).collect();
+        assert_eq!(got, vec![7, 7], "raw duplication reaches the node twice");
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Duplicated { .. })));
+        let s = sim.channel_stats(p(0), p(1));
+        assert_eq!((s.total, s.duplicated, s.in_transit), (1, 1, 0));
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let cfg = SimConfig::default()
+                .n(4)
+                .seed(seed)
+                .faults(
+                    FaultPlan::new()
+                        .loss(0.2)
+                        .duplication(0.2)
+                        .reorder(0.2, 8)
+                        .partition(vec![p(0)], Time(3), Time(9)),
+                )
+                .record_trace(true);
+            let mut sim = Simulator::new(cfg, |_, _| RingHop { n: 4, limit: 10 });
+            sim.schedule_external(p(0), Time(1), 0);
+            sim.run();
+            (sim.trace().to_vec(), sim.events_processed())
+        };
+        assert_eq!(run(33), run(33));
+    }
+
+    #[test]
+    fn partition_heals_and_traffic_resumes() {
+        let cfg = SimConfig::default()
+            .n(4)
+            .seed(25)
+            .delay(DelayModel::Fixed(1))
+            .faults(FaultPlan::new().partition(vec![p(1)], Time(0), Time(50)))
+            .record_trace(true);
+        let mut sim = Simulator::new(cfg, |_, _| RingHop { n: 4, limit: 10 });
+        // Token injected while p1 is cut off: the first hop 0→1 dies.
+        sim.schedule_external(p(0), Time(1), 0);
+        // Re-injected after heal: the ring completes.
+        sim.schedule_external(p(0), Time(60), 0);
+        sim.run();
+        assert!(sim.trace().iter().any(|e| matches!(
+            e.kind,
+            TraceKind::Lost {
+                by_partition: true,
+                ..
+            }
+        )));
+        let max_hop = sim.observations().iter().map(|o| o.obs).max().unwrap();
+        assert_eq!(max_hop, 10, "after heal the token makes the full tour");
     }
 
     #[test]

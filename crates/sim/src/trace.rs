@@ -47,6 +47,33 @@ pub enum TraceKind {
         /// The target process.
         process: ProcessId,
     },
+    /// A message was destroyed in transit by a channel fault.
+    Lost {
+        /// Sender.
+        from: ProcessId,
+        /// Intended destination.
+        to: ProcessId,
+        /// Whether an active partition (rather than random loss) cut it.
+        by_partition: bool,
+    },
+    /// A duplicate copy of a message was injected by a channel fault.
+    Duplicated {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Delivery time of the extra copy.
+        delivery: Time,
+    },
+    /// A message escaped the FIFO floor and may overtake older messages.
+    Reordered {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+        /// Its (possibly early) delivery time.
+        delivery: Time,
+    },
 }
 
 /// A timestamped [`TraceKind`].

@@ -57,12 +57,16 @@ impl Protocol for ColoringProtocol {
     }
 
     fn enabled(&self, p: ProcessId, view: &[u32], g: &ConflictGraph) -> bool {
-        g.neighbors(p).iter().any(|&q| view[q.index()] == view[p.index()])
+        g.neighbors(p)
+            .iter()
+            .any(|&q| view[q.index()] == view[p.index()])
     }
 
     fn target(&self, p: ProcessId, view: &[u32], g: &ConflictGraph) -> u32 {
         let used: Vec<u32> = g.neighbors(p).iter().map(|&q| view[q.index()]).collect();
-        (0..).find(|c| !used.contains(c)).expect("palette large enough")
+        (0..)
+            .find(|c| !used.contains(c))
+            .expect("palette large enough")
     }
 
     fn legitimate(
@@ -74,9 +78,9 @@ impl Protocol for ColoringProtocol {
         // Every edge with at least one live endpoint must be bichromatic: a
         // live process can always escape a conflict (δ+1 colors), even one
         // with a frozen crashed neighbor.
-        g.edges().iter().all(|e| {
-            (!alive(e.lo) && !alive(e.hi)) || states[e.lo.index()] != states[e.hi.index()]
-        })
+        g.edges()
+            .iter()
+            .all(|e| (!alive(e.lo) && !alive(e.hi)) || states[e.lo.index()] != states[e.hi.index()])
     }
 }
 

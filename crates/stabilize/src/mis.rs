@@ -27,7 +27,13 @@ impl Protocol for MisProtocol {
         (0..g.len()).map(|_| rng.gen_bool(0.5)).collect()
     }
 
-    fn corrupt(&self, _p: ProcessId, _states: &[bool], _g: &ConflictGraph, rng: &mut StdRng) -> bool {
+    fn corrupt(
+        &self,
+        _p: ProcessId,
+        _states: &[bool],
+        _g: &ConflictGraph,
+        rng: &mut StdRng,
+    ) -> bool {
         rng.gen_bool(0.5)
     }
 
@@ -99,7 +105,10 @@ mod tests {
         }
         // Verify it really is a maximal independent set.
         for e in g.edges() {
-            assert!(!(states[e.lo.index()] && states[e.hi.index()]), "independence");
+            assert!(
+                !(states[e.lo.index()] && states[e.hi.index()]),
+                "independence"
+            );
         }
         for q in g.processes() {
             let any_in = g.neighbors(q).iter().any(|&r| states[r.index()]);

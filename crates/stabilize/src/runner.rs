@@ -80,8 +80,7 @@ impl ScheduledRun {
         let graph = scenario.graph.clone();
         let horizon = scenario.horizon;
         let crashes = scenario.crashes.clone();
-        let crashed_in_run =
-            |p: ProcessId| crashes.iter().any(|&(q, t)| q == p && t <= horizon);
+        let crashed_in_run = |p: ProcessId| crashes.iter().any(|&(q, t)| q == p && t <= horizon);
         let alive = |p: ProcessId| !crashed_in_run(p);
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -209,10 +208,7 @@ mod tests {
     use ekbd_dining::DiningProcess;
     use ekbd_graph::topology;
 
-    fn algorithm1(
-        s: &Scenario,
-        p: ProcessId,
-    ) -> DiningProcess {
+    fn algorithm1(s: &Scenario, p: ProcessId) -> DiningProcess {
         DiningProcess::from_graph(&s.graph, &s.colors, p)
     }
 
@@ -252,7 +248,8 @@ mod tests {
             ],
             ..Default::default()
         };
-        let report = ScheduledRun::execute(&ColoringProtocol::default(), scenario, &cfg, algorithm1);
+        let report =
+            ScheduledRun::execute(&ColoringProtocol::default(), scenario, &cfg, algorithm1);
         assert!(
             report.legitimate_at_end,
             "wait-free daemon must let the protocol converge despite the crash"

@@ -52,7 +52,9 @@ impl Protocol for SpanningTreeProtocol {
     }
 
     fn random_config(&self, g: &ConflictGraph, rng: &mut StdRng) -> Vec<u32> {
-        (0..g.len()).map(|_| rng.gen_range(0..=g.len() as u32)).collect()
+        (0..g.len())
+            .map(|_| rng.gen_range(0..=g.len() as u32))
+            .collect()
     }
 
     fn corrupt(&self, _p: ProcessId, _states: &[u32], g: &ConflictGraph, rng: &mut StdRng) -> u32 {

@@ -19,7 +19,6 @@ use ekbd::harness::Scenario;
 use ekbd::sim::Time;
 use ekbd::stabilize::{ColoringProtocol, ScheduledRun, StabilizationConfig};
 
-
 fn scenario() -> Scenario {
     Scenario::new(topology::grid(3, 3))
         .seed(7)
@@ -40,7 +39,10 @@ fn config() -> StabilizationConfig {
         transient_faults: (0..12)
             .map(|k| {
                 let victims = [1usize, 3, 5, 7];
-                (Time(4_000 + 500 * k), ProcessId::from(victims[k as usize % 4]))
+                (
+                    Time(4_000 + 500 * k),
+                    ProcessId::from(victims[k as usize % 4]),
+                )
             })
             .collect(),
     }
@@ -50,22 +52,34 @@ fn main() {
     println!("Self-stabilizing (δ+1)-coloring on a 3×3 grid.");
     println!("Center process p4 crashes at t=1000; 10 transient faults follow.\n");
 
-    let wait_free = ScheduledRun::execute(&ColoringProtocol::adversarial(), scenario(), &config(), |s, p| {
-        DiningProcess::from_graph(&s.graph, &s.colors, p)
-    });
+    let wait_free = ScheduledRun::execute(
+        &ColoringProtocol::adversarial(),
+        scenario(),
+        &config(),
+        |s, p| DiningProcess::from_graph(&s.graph, &s.colors, p),
+    );
     println!("── scheduled by Algorithm 1 (wait-free daemon, ◇P₁) ──");
     println!("  protocol steps executed: {}", wait_free.steps_executed);
     println!("  faults injected:         {}", wait_free.faults_injected);
-    println!("  starving processes:      {:?}", wait_free.dining.progress().starving());
+    println!(
+        "  starving processes:      {:?}",
+        wait_free.dining.progress().starving()
+    );
     println!(
         "  converged:               {} (at {:?})",
         wait_free.legitimate_at_end, wait_free.converged_at
     );
-    assert!(wait_free.legitimate_at_end, "the wait-free daemon must converge");
+    assert!(
+        wait_free.legitimate_at_end,
+        "the wait-free daemon must converge"
+    );
 
-    let oblivious = ScheduledRun::execute(&ColoringProtocol::adversarial(), scenario(), &config(), |s, p| {
-        ChoySinghProcess::from_graph(&s.graph, &s.colors, p)
-    });
+    let oblivious = ScheduledRun::execute(
+        &ColoringProtocol::adversarial(),
+        scenario(),
+        &config(),
+        |s, p| ChoySinghProcess::from_graph(&s.graph, &s.colors, p),
+    );
     println!("\n── scheduled by Choy–Singh (crash-oblivious doorway) ──");
     println!("  protocol steps executed: {}", oblivious.steps_executed);
     println!("  faults injected:         {}", oblivious.faults_injected);

@@ -31,13 +31,16 @@ fn main() {
         .horizon(Time(50_000))
         .run_algorithm1();
 
-    println!(
-        "eating timeline, t=0..2400; '#' eating, '!' mistake begins, '×' crash\n"
-    );
+    println!("eating timeline, t=0..2400; '#' eating, '!' mistake begins, '×' crash\n");
     let rendering = Timeline::until(Time(2_400))
         .width(96)
         .marker(Time(CONVERGE))
-        .render(&graph, &report.events, &|p| report.crash_time(p), report.horizon);
+        .render(
+            &graph,
+            &report.events,
+            &|p| report.crash_time(p),
+            report.horizon,
+        );
     println!(
         "      {}  <- ◇P₁ converges (t={CONVERGE})",
         rendering.lines().next().unwrap_or("").trim_end()
@@ -52,6 +55,10 @@ fn main() {
         exclusion.total(),
         exclusion.after(Time(CONVERGE))
     );
-    assert_eq!(exclusion.after(Time(CONVERGE)), 0, "Theorem 1: clean suffix");
+    assert_eq!(
+        exclusion.after(Time(CONVERGE)),
+        0,
+        "Theorem 1: clean suffix"
+    );
     assert!(report.progress().wait_free(), "Theorem 2 despite the crash");
 }

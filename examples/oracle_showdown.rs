@@ -57,9 +57,7 @@ fn describe(name: &str, report: &RunReport) {
 }
 
 fn main() {
-    println!(
-        "clique-5, crash p1@2000, identical workload & seed — only the oracle differs\n"
-    );
+    println!("clique-5, crash p1@2000, identical workload & seed — only the oracle differs\n");
     describe("perfect P", &base().perfect_oracle().run_algorithm1());
     describe(
         "adversarial (conv 500)",

@@ -27,7 +27,10 @@ fn main() {
 
     println!("events processed ............ {}", report.events_processed);
     println!("messages sent ............... {}", report.total_messages);
-    println!("eat sessions granted ........ {}", report.total_eat_sessions());
+    println!(
+        "eat sessions granted ........ {}",
+        report.total_eat_sessions()
+    );
 
     // Theorem 2 — wait-freedom: every correct hungry process ate.
     let progress = report.progress();

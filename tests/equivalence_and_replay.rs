@@ -90,7 +90,9 @@ impl Gate {
                     (
                         DiningInput::Message {
                             from: nbr(*j),
-                            msg: DiningMsg::Request { color: if *j == 1 { 0 } else { 2 } },
+                            msg: DiningMsg::Request {
+                                color: if *j == 1 { 0 } else { 2 },
+                            },
                         },
                         BTreeSet::new(),
                     )
@@ -170,7 +172,11 @@ fn golden_replay_ring3_seed42() {
         .iter()
         .map(|e| (e.time.ticks(), e.process.0, e.obs))
         .collect();
-    assert_eq!(report.events.len(), 3 * 2 * 5, "3 procs × 2 sessions × 5 obs");
+    assert_eq!(
+        report.events.len(),
+        3 * 2 * 5,
+        "3 procs × 2 sessions × 5 obs"
+    );
     assert!(report.progress().wait_free());
     assert_eq!(report.exclusion().total(), 0);
     // Pin the first session of each process (timing and order).

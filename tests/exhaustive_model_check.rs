@@ -159,8 +159,14 @@ impl Model {
             }
             // Conservation (drops only happen at crashed endpoints).
             let wire = |pred: &dyn Fn(&DiningMsg) -> bool| -> usize {
-                w.chans[self.dir_index(a, b)].iter().filter(|m| pred(m)).count()
-                    + w.chans[self.dir_index(b, a)].iter().filter(|m| pred(m)).count()
+                w.chans[self.dir_index(a, b)]
+                    .iter()
+                    .filter(|m| pred(m))
+                    .count()
+                    + w.chans[self.dir_index(b, a)]
+                        .iter()
+                        .filter(|m| pred(m))
+                        .count()
             };
             let forks = w.procs[a.index()].holds_fork(b) as usize
                 + w.procs[b.index()].holds_fork(a) as usize
@@ -229,7 +235,10 @@ fn path2() -> (ConflictGraph, Vec<u32>) {
 }
 
 fn path3() -> (ConflictGraph, Vec<u32>) {
-    (ConflictGraph::from_pairs(3, &[(0, 1), (1, 2)]), vec![1, 0, 2])
+    (
+        ConflictGraph::from_pairs(3, &[(0, 1), (1, 2)]),
+        vec![1, 0, 2],
+    )
 }
 
 fn triangle() -> (ConflictGraph, Vec<u32>) {

@@ -43,7 +43,7 @@ fn run_with_invariants(scenario: Scenario) {
     while live.step() {
         steps += 1;
         // Checking every step is O(E) each; sample densely but not always.
-        if steps % 3 == 0 {
+        if steps.is_multiple_of(3) {
             assert_edge_invariants(&live, &graph);
         }
     }

@@ -239,8 +239,7 @@ fn fuzz(graph: ConflictGraph, seed: u64, steps: usize, crash_prob: f64) {
     for _ in 0..3 * n + 10 {
         s.settle(10_000, "converge");
         s.converge_suspicions();
-        let any_hungry = (0..n)
-            .any(|i| !s.crashed[i] && s.procs[i].state() == DinerState::Hungry);
+        let any_hungry = (0..n).any(|i| !s.crashed[i] && s.procs[i].state() == DinerState::Hungry);
         if !any_hungry {
             break;
         }

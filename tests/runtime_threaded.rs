@@ -35,6 +35,7 @@ fn threaded_clique_schedules_everyone_exclusively() {
             timeout_increment: 50,
         },
         eat_ms: 5,
+        ..RuntimeConfig::default()
     };
     let sys = ThreadedDining::spawn(g.clone(), cfg);
     for _ in 0..8 {
@@ -45,7 +46,10 @@ fn threaded_clique_schedules_everyone_exclusively() {
     }
     let events = sys.shutdown_after(Duration::from_millis(200));
     let eats = eats_per_process(&events, 4);
-    assert!(eats.iter().all(|&e| e >= 2), "everyone eats repeatedly: {eats:?}");
+    assert!(
+        eats.iter().all(|&e| e >= 2),
+        "everyone eats repeatedly: {eats:?}"
+    );
     // No false suspicion on a local machine ⇒ no exclusion mistakes at all.
     let ex = ExclusionReport::analyze(&g, &events, &|_| None, Time(600_000));
     assert_eq!(ex.total(), 0, "{:?}", ex.mistakes);
@@ -103,10 +107,7 @@ fn threaded_events_are_well_formed() {
         }
     }
     let mut last = Time::ZERO;
-    for e in events
-        .iter()
-        .filter(|e| e.process == ProcessId(0))
-    {
+    for e in events.iter().filter(|e| e.process == ProcessId(0)) {
         assert!(e.time >= last, "timestamps regress");
         last = e.time;
     }

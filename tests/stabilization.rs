@@ -16,7 +16,12 @@ fn algorithm1(s: &Scenario, p: ProcessId) -> DiningProcess {
 
 fn faults(n: usize, count: u64, from: u64) -> Vec<(Time, ProcessId)> {
     (0..count)
-        .map(|k| (Time(from + 300 * k), ProcessId::from((k as usize * 3 + 1) % n)))
+        .map(|k| {
+            (
+                Time(from + 300 * k),
+                ProcessId::from((k as usize * 3 + 1) % n),
+            )
+        })
         .collect()
 }
 
@@ -110,7 +115,10 @@ fn adversarial_faults_cannot_defeat_the_wait_free_daemon() {
         transient_faults: (0..16)
             .map(|k| {
                 let victims = [1usize, 3, 5, 7];
-                (Time(3_000 + 400 * k), ProcessId::from(victims[k as usize % 4]))
+                (
+                    Time(3_000 + 400 * k),
+                    ProcessId::from(victims[k as usize % 4]),
+                )
             })
             .collect(),
     };
@@ -131,7 +139,10 @@ fn crash_oblivious_daemon_fails_deterministically_under_adversarial_faults() {
         transient_faults: (0..16)
             .map(|k| {
                 let victims = [1usize, 3, 5, 7];
-                (Time(3_000 + 400 * k), ProcessId::from(victims[k as usize % 4]))
+                (
+                    Time(3_000 + 400 * k),
+                    ProcessId::from(victims[k as usize % 4]),
+                )
             })
             .collect(),
     };

@@ -150,7 +150,11 @@ fn two_overtakes_witness() {
     net.deliver(LO, W, DiningMsg::Request { color: 0 });
     net.deliver(HI, LO, DiningMsg::Fork); // HI outside ⇒ granted
     net.deliver(W, LO, DiningMsg::Fork); // W thinking ⇒ granted
-    assert_eq!(net.state(LO), DinerState::Eating, "LO eats after exactly 2 overtakes");
+    assert_eq!(
+        net.state(LO),
+        DinerState::Eating,
+        "LO eats after exactly 2 overtakes"
+    );
 
     // And the deferred ack releases HI afterwards — nobody starves.
     net.apply(LO, DiningInput::DoneEating);
@@ -181,7 +185,10 @@ fn two_process_fifo_caps_at_one() {
     net.deliver(HI, LO, DiningMsg::Ack);
     assert!(net.proc_(LO).inside_doorway());
     net.deliver(HI, LO, DiningMsg::Ping);
-    assert!(net.proc_(LO).deferring_ack(ProcessId::from(HI)), "inside ⇒ defers");
+    assert!(
+        net.proc_(LO).deferring_ack(ProcessId::from(HI)),
+        "inside ⇒ defers"
+    );
 
     // LO collects the fork and eats; HI stayed at one overtake.
     net.deliver(LO, HI, DiningMsg::Request { color: 0 });

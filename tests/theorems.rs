@@ -130,7 +130,10 @@ fn heartbeat_detector_end_to_end_under_gst() {
         assert!(conv < report.horizon, "detector converged (seed {seed})");
         assert!(report.progress().wait_free(), "seed {seed}");
         assert_eq!(report.exclusion().after(conv), 0, "seed {seed}");
-        assert!(report.fairness().max_overtakes_after(conv) <= 2, "seed {seed}");
+        assert!(
+            report.fairness().max_overtakes_after(conv) <= 2,
+            "seed {seed}"
+        );
     }
 }
 
@@ -215,10 +218,19 @@ fn probe_detector_end_to_end_under_gst() {
             .horizon(Time(400_000))
             .run_algorithm1();
         let conv = report.detector_convergence();
-        assert!(conv < report.horizon, "probe ◇P₁ must converge (seed {seed})");
+        assert!(
+            conv < report.horizon,
+            "probe ◇P₁ must converge (seed {seed})"
+        );
         assert!(report.progress().wait_free(), "seed {seed}");
         assert_eq!(report.exclusion().after(conv), 0, "seed {seed}");
-        assert!(report.fairness().max_overtakes_after(conv) <= 2, "seed {seed}");
-        assert!(report.quiescence().quiescent_by(report.horizon), "seed {seed}");
+        assert!(
+            report.fairness().max_overtakes_after(conv) <= 2,
+            "seed {seed}"
+        );
+        assert!(
+            report.quiescence().quiescent_by(report.horizon),
+            "seed {seed}"
+        );
     }
 }

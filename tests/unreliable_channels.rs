@@ -1,0 +1,171 @@
+//! Acceptance tests for the adversarial-channel fault injection and the
+//! self-healing link layer (ISSUE: robustness PR).
+//!
+//! The headline scenario: 10% message loss plus a link partition that
+//! heals, dining traffic wrapped by `ekbd-link`. Every correct hungry
+//! diner eats (Theorem 2), there are no exclusion violations after oracle
+//! convergence (Theorem 1), and the whole run is deterministic per seed.
+
+use ekbd_harness::{Scenario, Workload};
+use ekbd_link::LinkConfig;
+use ekbd_sim::{FaultPlan, LinkFault, ProcessId, Time};
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from(i)
+}
+
+/// The ISSUE's acceptance scenario: 10% loss everywhere, a partition that
+/// isolates two diners for a while and heals, link layer on.
+fn acceptance_scenario(seed: u64) -> Scenario {
+    Scenario::new(ekbd_graph::topology::ring(6))
+        .seed(seed)
+        .adversarial_oracle(Time(2_000), 40)
+        .workload(Workload {
+            sessions: 6,
+            think: (1, 30),
+            eat: (1, 10),
+        })
+        .faults(
+            FaultPlan::new()
+                .loss(0.10)
+                .partition(vec![p(0), p(1)], Time(500), Time(3_000)),
+        )
+        .reliable_link(LinkConfig::default())
+        .horizon(Time(120_000))
+}
+
+#[test]
+fn ten_percent_loss_and_healed_partition_stay_wait_free() {
+    let report = acceptance_scenario(42).run_algorithm1();
+    // Faults actually happened.
+    assert!(report.messages_dropped > 0, "the fault plan must bite");
+    let link = report.link.expect("link layer was enabled");
+    assert!(link.retransmissions > 0, "loss must force retransmission");
+    assert_eq!(
+        link.delivered, link.payloads_sent,
+        "every logical dining send is eventually delivered exactly once"
+    );
+    // Theorem 2 (wait-freedom): every hungry session completes.
+    let progress = report.progress();
+    assert!(progress.wait_free(), "starving: {:?}", progress.starving());
+    assert_eq!(progress.total_sessions(), 6 * 6);
+    // Theorem 1 (◇WX): no mistakes after the oracle converges.
+    assert_eq!(
+        report.exclusion().after(Time(2_000)),
+        0,
+        "no post-convergence exclusion violations"
+    );
+    // Theorem 3 (◇2-BW) in the convergence suffix.
+    assert!(report.fairness().max_overtakes_after(Time(2_000)) <= 2);
+}
+
+#[test]
+fn faulty_runs_are_fully_deterministic_per_seed() {
+    let a = acceptance_scenario(7).run_algorithm1();
+    let b = acceptance_scenario(7).run_algorithm1();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.suspicions, b.suspicions);
+    assert_eq!(a.total_messages, b.total_messages);
+    assert_eq!(a.messages_dropped, b.messages_dropped);
+    assert_eq!(a.messages_duplicated, b.messages_duplicated);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.link, b.link);
+
+    let c = acceptance_scenario(8).run_algorithm1();
+    assert_ne!(
+        (a.events_processed, a.messages_dropped),
+        (c.events_processed, c.messages_dropped),
+        "different seeds should diverge"
+    );
+}
+
+#[test]
+fn duplication_and_reordering_are_masked_by_the_link_layer() {
+    let report = Scenario::new(ekbd_graph::topology::clique(4))
+        .seed(11)
+        .workload(Workload {
+            sessions: 5,
+            think: (1, 25),
+            eat: (1, 10),
+        })
+        .faults(
+            FaultPlan::new()
+                .loss(0.05)
+                .duplication(0.10)
+                .reorder(0.15, 12),
+        )
+        .reliable_link(LinkConfig::default())
+        .horizon(Time(100_000))
+        .run_algorithm1();
+    assert!(report.messages_duplicated > 0, "duplication must bite");
+    let link = report.link.expect("link enabled");
+    assert!(
+        link.duplicates_suppressed > 0,
+        "link must have suppressed duplicates"
+    );
+    assert_eq!(
+        link.delivered, link.payloads_sent,
+        "exactly once despite dup/reorder"
+    );
+    assert!(report.progress().wait_free());
+    assert_eq!(report.exclusion().total(), 0, "silent oracle ⇒ no mistakes");
+}
+
+#[test]
+fn heavy_loss_on_one_edge_only_slows_that_edge() {
+    let report = Scenario::new(ekbd_graph::topology::ring(4))
+        .seed(3)
+        .workload(Workload {
+            sessions: 4,
+            think: (1, 20),
+            eat: (1, 8),
+        })
+        .faults(FaultPlan::new().edge_fault(p(0), p(1), LinkFault::lossy(0.5)))
+        .reliable_link(LinkConfig::default())
+        .horizon(Time(150_000))
+        .run_algorithm1();
+    assert!(
+        report.progress().wait_free(),
+        "50% loss on one edge is survivable"
+    );
+    let link = report.link.expect("link enabled");
+    assert_eq!(link.delivered, link.payloads_sent);
+}
+
+/// Quiescence toward a crashed neighbor (§7 S3): once ◇P suspects the
+/// crashed process, the link layer stops retransmitting to it, so the
+/// total number of messages addressed to it stays finite and small.
+#[test]
+fn retransmission_to_crashed_neighbor_ceases_after_suspicion() {
+    let report = Scenario::new(ekbd_graph::topology::ring(5))
+        .seed(17)
+        .perfect_oracle()
+        .crash(p(2), Time(400))
+        .workload(Workload {
+            sessions: 8,
+            think: (1, 30),
+            eat: (1, 10),
+        })
+        .faults(FaultPlan::new().loss(0.10))
+        .reliable_link(LinkConfig::default())
+        .horizon(Time(120_000))
+        .run_algorithm1();
+    assert!(report.progress().wait_free());
+    // Network-level counter includes link retransmissions: it must be
+    // finite and front-loaded (quiescent well before the horizon).
+    let to_crashed = &report.sends_to_crashed;
+    assert!(
+        to_crashed.len() < 60,
+        "sends to crashed must stay bounded, got {}",
+        to_crashed.len()
+    );
+    let last = to_crashed
+        .iter()
+        .map(|&(t, _, _)| t)
+        .max()
+        .unwrap_or(Time::ZERO);
+    assert!(
+        last < Time(60_000),
+        "retransmission to the crashed process must cease, last send at {last:?}"
+    );
+}

@@ -1,0 +1,234 @@
+//! Offline vendored stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Provides [`Criterion`], [`Bencher`], benchmark groups,
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Measurement is a simple median-of-samples timing loop — no
+//! statistical analysis, plots, or baselines — but the numbers it prints
+//! are honest wall-clock medians, good enough to compare hot paths.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by a [`Criterion`] and its groups.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_count: usize,
+    /// Target wall-clock budget per benchmark, nanoseconds.
+    target_ns: u128,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_count: 30,
+            target_ns: 300_000_000,
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI arguments, mirroring upstream's builder.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.settings, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            settings: Settings::default(),
+        }
+    }
+
+    /// Runs any deferred analysis (none here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named cluster of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.settings, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let settings = self.settings;
+        run_one(
+            &format!("{}/{}", self.name, id.0),
+            settings,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier (parameter or name/parameter pair).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// A `function/parameter` id.
+    pub fn new(function: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+/// Hands the routine-under-test to the timing loop.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    settings: Settings,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up and size the batch so one sample is neither trivially
+        // short nor longer than the per-benchmark budget allows.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once_ns = warmup.elapsed().as_nanos().max(1);
+        let budget_per_sample = self.settings.target_ns / self.settings.sample_count as u128;
+        let batch = (budget_per_sample / once_ns).clamp(1, 1_000_000) as usize;
+        for _ in 0..self.settings.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() / batch as u128);
+        }
+    }
+}
+
+fn run_one(name: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples_ns: Vec::with_capacity(settings.sample_count),
+        settings,
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    b.samples_ns.sort_unstable();
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let lo = b.samples_ns[0];
+    let hi = b.samples_ns[b.samples_ns.len() - 1];
+    println!(
+        "{name:<40} median {} [{} .. {}]",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi)
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        Criterion::default().bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert_eq!(
+            format!("{:?}", BenchmarkId::new("f", 3)),
+            "BenchmarkId(\"f/3\")"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline vendored stand-in for the `crossbeam-channel` crate (0.5 API
+//! subset), backed by `std::sync::mpsc`.
+//!
+//! Provides [`unbounded`] channels with cloneable senders and a
+//! [`Receiver::recv_deadline`] method, which is the surface this
+//! workspace's threaded runtime uses. Unlike upstream crossbeam, the
+//! receiver is not cloneable — the runtime gives each process thread its
+//! own receiver, so MPSC semantics suffice.
+
+#![forbid(unsafe_code)]
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by timed receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The wait timed out with no message available.
+    Timeout,
+    /// All senders disconnected and the queue is drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => write!(f, "channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// The sending half of an unbounded channel. Cloneable.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, never blocking. Fails only if the receiver was
+    /// dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner
+            .send(msg)
+            .map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Receives a message, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Receives a message, waiting until `deadline` at the latest.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        self.recv_timeout(deadline.saturating_duration_since(Instant::now()))
+    }
+
+    /// Receives a message if one is already queued, without blocking.
+    pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
+            mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// A non-blocking iterator over the messages already queued.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+/// Iterator returned by [`Receiver::try_iter`].
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Creates an unbounded channel: sends never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_and_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn cloned_senders_share_one_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_deadline_times_out() {
+        let (tx, rx) = unbounded::<u8>();
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(rx.recv_deadline(deadline), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(
+            rx.recv_deadline(deadline),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn past_deadline_still_drains_queued_message() {
+        let (tx, rx) = unbounded();
+        tx.send(42).unwrap();
+        // A deadline already in the past becomes a zero-duration wait,
+        // which must still return an already-queued message.
+        assert_eq!(rx.recv_deadline(Instant::now()), Ok(42));
+    }
+
+    #[test]
+    fn try_iter_drains_without_blocking() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(rx.try_iter().next(), None);
+    }
+
+    #[test]
+    fn send_after_receiver_drop_errors() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+}
