@@ -3,8 +3,8 @@
 
 use crate::args::{ArgError, Parsed};
 use crate::spec::{
-    parse_crash, parse_link, parse_partition, parse_reorder, AlgorithmSpec, OracleArg,
-    ProtocolSpec, TopologySpec,
+    parse_corrupt_state, parse_crash, parse_link, parse_partition, parse_recover, parse_reorder,
+    AlgorithmSpec, OracleArg, ProtocolSpec, TopologySpec,
 };
 use ekbd_baselines::{ChoySinghProcess, NaivePriorityProcess};
 use ekbd_dining::{BudgetedDiningProcess, DiningProcess};
@@ -25,13 +25,14 @@ USAGE:
   ekbd run       --topology SPEC [--algorithm alg1|choy-singh|naive|budgeted:m]
                  [--oracle silent|perfect|adversarial:conv:burst|heartbeat:p:t:i]
                  [--seed N] [--sessions N] [--think lo:hi] [--eat lo:hi]
-                 [--crash proc:time]... [--horizon N] [--timeline N]
+                 [--crash proc:time]... [--recover proc:time[:corrupt]]...
+                 [--corrupt-state proc:time]... [--horizon N] [--timeline N]
                  [--loss P] [--dup P] [--reorder P:WINDOW]
                  [--partition procs:start-heal]... [--link on|base:cap]
   ekbd stabilize --protocol coloring|coloring-adv|mis|token-ring:k|bfs-tree|leader
                  --topology SPEC [--algorithm ...] [--oracle ...] [--seed N]
                  [--crash proc:time]... [--faults N] [--horizon N]
-  ekbd threaded  [--n N] [--window-ms N] [--crash PROC]
+  ekbd threaded  [--n N] [--window-ms N] [--crash PROC] [--recover-ms N]
 
 TOPOLOGY SPECS:
   ring:n path:n star:n clique:n grid:RxC torus:RxC tree:n wheel:n
@@ -62,6 +63,18 @@ fn scenario_from(parsed: &Parsed) -> Result<Scenario, ArgError> {
         let (p, t) = parse_crash(c)?;
         s = s.crash(p, t);
     }
+    for r in parsed.get_all("recover") {
+        let (p, t, corrupt) = parse_recover(r)?;
+        s = if corrupt {
+            s.recover_corrupted(p, t)
+        } else {
+            s.recover(p, t)
+        };
+    }
+    for c in parsed.get_all("corrupt-state") {
+        let (p, t) = parse_corrupt_state(c)?;
+        s = s.corrupt_state(p, t);
+    }
     let mut faults = ekbd_sim::FaultPlan::new();
     if parsed.get("loss").is_some() {
         faults = faults.loss(parsed.get_parsed("loss", 0.0f64)?);
@@ -86,8 +99,18 @@ fn scenario_from(parsed: &Parsed) -> Result<Scenario, ArgError> {
     Ok(s)
 }
 
-fn run_with_algorithm(s: &Scenario, alg: &AlgorithmSpec) -> RunReport {
-    match alg {
+fn run_with_algorithm(s: &Scenario, alg: &AlgorithmSpec) -> Result<RunReport, ArgError> {
+    let has_state_faults = !s.recoveries().is_empty() || !s.corruptions().is_empty();
+    if has_state_faults && *alg != AlgorithmSpec::Algorithm1 {
+        return Err(ArgError::BadValue {
+            flag: "--algorithm".into(),
+            value: format!("{alg:?}"),
+            expected: "alg1 (only the crash-recovery variant of Algorithm 1 \
+                       supports --recover / --corrupt-state)",
+        });
+    }
+    Ok(match alg {
+        AlgorithmSpec::Algorithm1 if has_state_faults => s.run_recoverable(),
         AlgorithmSpec::Algorithm1 => s.run_algorithm1(),
         AlgorithmSpec::ChoySingh => {
             s.run_with(|sc, p| ChoySinghProcess::from_graph(&sc.graph, &sc.colors, p))
@@ -99,7 +122,7 @@ fn run_with_algorithm(s: &Scenario, alg: &AlgorithmSpec) -> RunReport {
             let m = *m;
             s.run_with(move |sc, p| BudgetedDiningProcess::from_graph(&sc.graph, &sc.colors, p, m))
         }
-    }
+    })
 }
 
 fn print_report(report: &RunReport) {
@@ -172,13 +195,46 @@ fn print_report(report: &RunReport) {
             quality.max_detection_latency()
         );
     }
+    if !report.recoveries.is_empty() || !report.corruptions.is_empty() {
+        println!(
+            "state faults ................ recoveries={} corruptions={}",
+            report.recoveries.len(),
+            report.corruptions.len()
+        );
+        for (p, at, eat) in report.readmissions() {
+            match eat {
+                Some(t) => println!(
+                    "  p{} restarted at {} ........ readmitted (first eats {} ticks later)",
+                    p.index(),
+                    at.0,
+                    t.0.saturating_sub(at.0)
+                ),
+                None => println!(
+                    "  p{} restarted at {} ........ never ate again",
+                    p.index(),
+                    at.0
+                ),
+            }
+        }
+        if let Some(stats) = &report.recovery {
+            println!(
+                "recovery layer .............. resyncs={} repairs={} local-repairs={} \
+                 stale-dropped={} suppressed={}",
+                stats.resyncs,
+                stats.repairs,
+                stats.local_repairs,
+                stats.stale_dropped,
+                stats.suppressed
+            );
+        }
+    }
 }
 
 /// `ekbd run …`
 pub fn cmd_run(parsed: &Parsed) -> Result<(), ArgError> {
     let s = scenario_from(parsed)?;
     let alg = AlgorithmSpec::parse(parsed.get("algorithm").unwrap_or("alg1"))?;
-    let report = run_with_algorithm(&s, &alg);
+    let report = run_with_algorithm(&s, &alg)?;
     println!("== ekbd run: {alg:?} ==\n");
     print_report(&report);
     if let Some(until) = parsed.get("timeline") {
@@ -274,13 +330,36 @@ pub fn cmd_stabilize(parsed: &Parsed) -> Result<(), ArgError> {
 
 /// `ekbd threaded …`
 pub fn cmd_threaded(parsed: &Parsed) -> Result<(), ArgError> {
+    use ekbd_metrics::SchedEvent;
     use ekbd_runtime::{RuntimeConfig, ThreadedDining};
+
+    fn drive<M: Clone + Send + 'static>(
+        sys: ThreadedDining<M>,
+        n: usize,
+        window_ms: u64,
+        crash: Option<usize>,
+        recover_ms: Option<u64>,
+    ) -> Vec<SchedEvent> {
+        if let Some(victim) = crash {
+            sys.crash(ProcessId::from(victim));
+        }
+        let rounds = (window_ms / 25).max(1);
+        for _ in 0..rounds {
+            if let (Some(victim), Some(at)) = (crash, recover_ms) {
+                if sys.elapsed_ms() >= at {
+                    sys.recover(ProcessId::from(victim));
+                }
+            }
+            for i in 0..n {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        sys.shutdown_after(std::time::Duration::from_millis(150))
+    }
+
     let n: usize = parsed.get_parsed("n", 5usize)?;
     let window_ms: u64 = parsed.get_parsed("window-ms", 400u64)?;
-    let sys = ThreadedDining::spawn(
-        ekbd_graph::topology::ring(n.max(3)),
-        RuntimeConfig::default(),
-    );
     let crash: Option<usize> = match parsed.get("crash") {
         None => None,
         Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
@@ -289,17 +368,34 @@ pub fn cmd_threaded(parsed: &Parsed) -> Result<(), ArgError> {
             expected: "process index",
         })?),
     };
-    if let Some(victim) = crash {
-        sys.crash(ProcessId::from(victim));
-    }
-    let rounds = (window_ms / 25).max(1);
-    for _ in 0..rounds {
-        for i in 0..n {
-            sys.make_hungry(ProcessId::from(i));
-        }
-        std::thread::sleep(std::time::Duration::from_millis(25));
-    }
-    let events = sys.shutdown_after(std::time::Duration::from_millis(150));
+    let recover_ms: Option<u64> = match parsed.get("recover-ms") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| ArgError::BadValue {
+            flag: "--recover-ms".into(),
+            value: v.to_string(),
+            expected: "milliseconds after start",
+        })?),
+    };
+    let graph = ekbd_graph::topology::ring(n.max(3));
+    // A recovery schedule needs the crash-recovery variant of Algorithm 1;
+    // plain runs keep the crash-stop original.
+    let events = if recover_ms.is_some() {
+        drive(
+            ThreadedDining::spawn_recoverable(graph, RuntimeConfig::default()),
+            n,
+            window_ms,
+            crash,
+            recover_ms,
+        )
+    } else {
+        drive(
+            ThreadedDining::spawn(graph, RuntimeConfig::default()),
+            n,
+            window_ms,
+            crash,
+            recover_ms,
+        )
+    };
     println!("== ekbd threaded: ring of {n}, {window_ms} ms ==\n");
     let mut eats = vec![0u32; n];
     for e in &events {
@@ -308,7 +404,15 @@ pub fn cmd_threaded(parsed: &Parsed) -> Result<(), ArgError> {
         }
     }
     for (i, c) in eats.iter().enumerate() {
-        let marker = if crash == Some(i) { " (crashed)" } else { "" };
+        let marker = if crash == Some(i) {
+            if recover_ms.is_some() {
+                " (crashed, recovered)"
+            } else {
+                " (crashed)"
+            }
+        } else {
+            ""
+        };
         println!("p{i}: {c} eat sessions{marker}");
     }
     Ok(())
@@ -385,6 +489,24 @@ mod tests {
              --loss 0.1 --link on",
         );
         cmd_run(&p).unwrap();
+    }
+
+    #[test]
+    fn run_command_with_recovery_faults() {
+        let p = parsed(
+            "run --topology ring:5 --sessions 4 --horizon 60000 --oracle perfect \
+             --crash 2:300 --recover 2:2000:corrupt --corrupt-state 4:3000",
+        );
+        cmd_run(&p).unwrap();
+    }
+
+    #[test]
+    fn recovery_flags_require_algorithm1() {
+        let p = parsed(
+            "run --topology ring:4 --algorithm naive --crash 1:100 --recover 1:500 \
+             --horizon 5000",
+        );
+        assert!(cmd_run(&p).is_err());
     }
 
     #[test]

@@ -274,6 +274,40 @@ pub fn parse_crash(s: &str) -> Result<(ProcessId, Time), ArgError> {
     ))
 }
 
+/// Parses a `--recover process:time[:corrupt]` spec: restart a crashed
+/// process at `time` with blank state, or (with the `corrupt` suffix) with
+/// adversarially scrambled state.
+pub fn parse_recover(s: &str) -> Result<(ProcessId, Time, bool), ArgError> {
+    let err = || bad("--recover", s, "process:time[:corrupt]");
+    let mut parts = s.split(':');
+    let p = parts.next().ok_or_else(err)?;
+    let t = parts.next().ok_or_else(err)?;
+    let corrupt = match parts.next() {
+        None => false,
+        Some("corrupt") => true,
+        Some(_) => return Err(err()),
+    };
+    if parts.next().is_some() {
+        return Err(err());
+    }
+    Ok((
+        ProcessId::from(p.parse::<usize>().map_err(|_| err())?),
+        Time(t.parse().map_err(|_| err())?),
+        corrupt,
+    ))
+}
+
+/// Parses a `--corrupt-state process:time` spec: flip fork/token/request
+/// bits of a live process mid-run.
+pub fn parse_corrupt_state(s: &str) -> Result<(ProcessId, Time), ArgError> {
+    let err = || bad("--corrupt-state", s, "process:time");
+    let (p, t) = s.split_once(':').ok_or_else(err)?;
+    Ok((
+        ProcessId::from(p.parse::<usize>().map_err(|_| err())?),
+        Time(t.parse().map_err(|_| err())?),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +416,23 @@ mod tests {
         assert_eq!(parse_crash("2:1500"), Ok((ProcessId(2), Time(1500))));
         assert!(parse_crash("2").is_err());
         assert!(parse_crash("x:1").is_err());
+    }
+
+    #[test]
+    fn recovery_specs() {
+        assert_eq!(
+            parse_recover("2:1500"),
+            Ok((ProcessId(2), Time(1500), false))
+        );
+        assert_eq!(
+            parse_recover("2:1500:corrupt"),
+            Ok((ProcessId(2), Time(1500), true))
+        );
+        assert!(parse_recover("2:1500:blank").is_err());
+        assert!(parse_recover("2:1500:corrupt:x").is_err());
+        assert!(parse_recover("2").is_err());
+        assert_eq!(parse_corrupt_state("3:900"), Ok((ProcessId(3), Time(900))));
+        assert!(parse_corrupt_state("3").is_err());
     }
 
     #[test]

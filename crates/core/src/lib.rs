@@ -40,6 +40,11 @@
 //! * [`DiningAlgorithm`] — the trait that lets baselines (crash-oblivious
 //!   doorway, naive priority dining, perfect-oracle dining) plug into the
 //!   same harnesses and metrics.
+//! * [`RecoverableDining`] — Algorithm 1 hardened for the crash-*recovery*
+//!   fault model: incarnation-stamped messages, a per-edge rejoin handshake
+//!   re-negotiating fork/token ownership after a restart, and a periodic
+//!   audit-and-repair pass that makes the daemon state self-stabilizing
+//!   under transient bit flips.
 //! * [`daemon`] — the daemon-facing view: how a scheduled client (e.g. a
 //!   self-stabilizing protocol) consumes eat-slots.
 //!
@@ -84,11 +89,13 @@ mod budgeted;
 pub mod daemon;
 mod msg;
 mod process;
+mod recovery;
 mod traits;
 
 pub use budgeted::BudgetedDiningProcess;
 pub use msg::DiningMsg;
 pub use process::DiningProcess;
+pub use recovery::{RecoverableDining, RecoveryMsg, RecoveryStats};
 pub use traits::{DinerState, DiningAlgorithm, DiningInput, DiningObs};
 
 pub use ekbd_detector::SuspicionView;

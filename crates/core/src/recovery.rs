@@ -1,0 +1,1003 @@
+//! Crash-recovery hardening of Algorithm 1: incarnation-stamped messages, a
+//! per-edge rejoin handshake, and a periodic audit-and-repair pass that makes
+//! the daemon state self-stabilizing.
+//!
+//! The paper's fault model is crash-*stop*. This module extends it to
+//! crash-*recovery* with transient state corruption, following the
+//! self-stabilization literature: a crashed process may restart with blank
+//! (or adversarially scrambled) volatile state, keeping only a single
+//! monotone counter — its **incarnation** — in stable storage, and a live
+//! process may have fork/token/request bits flipped under it at any time.
+//!
+//! Three mechanisms restore the paper's properties after such faults:
+//!
+//! 1. **Incarnation gating.** Every dining message is wrapped with the
+//!    sender's incarnation and the sender's view of the receiver's
+//!    incarnation (`dst_inc`). A message from a previous life of the peer,
+//!    or addressed to a previous life of the receiver, is dropped — so the
+//!    pre-crash protocol residue in flight cannot poison the rebuilt state.
+//! 2. **Rejoin handshake.** A restarted process announces its new
+//!    incarnation ([`RecoveryMsg::Rejoin`]) on every edge and suppresses
+//!    dining traffic on an edge until the peer re-canonicalizes it and
+//!    answers ([`RecoveryMsg::RejoinAck`]) with an authoritative fork/token
+//!    assignment — by default the initial placement (fork at the higher
+//!    color, token at the lower), except that an *eating* responder keeps
+//!    its fork so re-admission cannot violate exclusion. After the handshake
+//!    the edge again holds exactly one fork and one token, the auditable
+//!    invariant of Lemma 1. Rejoins are retried from the audit timer, so a
+//!    lost or crossed handshake (including simultaneous restarts of both
+//!    endpoints) always converges.
+//! 3. **Audit-and-repair.** Periodically each process repairs locally
+//!    impossible flag states ([`DiningProcess::audit_local`]), clears stuck
+//!    pings with 2-strike hysteresis, and exchanges per-edge fork/token
+//!    snapshots ([`RecoveryMsg::Audit`]) with live synced peers. Duplicate
+//!    or missing forks/tokens (the corruption modes that break safety or
+//!    liveness) are repaired after two consecutive bad observations by a
+//!    deterministically chosen endpoint: the lower color drops a duplicate
+//!    fork and recreates a missing token, the higher color recreates a
+//!    missing fork and drops a duplicate token. Hysteresis keeps the audit
+//!    from "repairing" a fork that is merely in flight.
+
+use crate::msg::DiningMsg;
+use crate::process::DiningProcess;
+use crate::traits::{DinerState, DiningAlgorithm, DiningInput};
+use ekbd_detector::SuspicionView;
+use ekbd_graph::coloring::Color;
+use ekbd_graph::{ConflictGraph, ProcessId};
+use std::collections::BTreeMap;
+
+/// Wire messages of the crash-recovery layer: Algorithm 1's messages
+/// wrapped with incarnation stamps, plus the rejoin handshake and the
+/// audit exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryMsg {
+    /// An Algorithm 1 message, stamped with the sender's incarnation and
+    /// the sender's view of the receiver's incarnation.
+    Dining {
+        /// Sender's incarnation.
+        inc: u64,
+        /// The incarnation of the receiver this message is addressed to.
+        dst_inc: u64,
+        /// The wrapped Algorithm 1 message.
+        msg: DiningMsg,
+    },
+    /// "I restarted as incarnation `inc`; please re-canonicalize our edge."
+    Rejoin {
+        /// The restarted sender's new incarnation.
+        inc: u64,
+    },
+    /// Answer to [`RecoveryMsg::Rejoin`]: the authoritative fork/token
+    /// assignment for the rejoiner's side of the edge.
+    RejoinAck {
+        /// The responder's incarnation.
+        inc: u64,
+        /// Echo of the rejoiner's incarnation (stale acks are dropped).
+        rejoiner_inc: u64,
+        /// Whether the rejoiner now holds the edge's fork.
+        fork: bool,
+        /// Whether the rejoiner now holds the edge's token.
+        token: bool,
+    },
+    /// Periodic per-edge state snapshot for the audit-and-repair pass.
+    Audit {
+        /// Sender's incarnation.
+        inc: u64,
+        /// The receiver incarnation this snapshot is addressed to.
+        dst_inc: u64,
+        /// Whether the sender holds the edge's fork.
+        fork: bool,
+        /// Whether the sender holds the edge's token.
+        token: bool,
+    },
+}
+
+/// Consecutive bad audit observations required before a repair fires.
+/// One round of slack absorbs forks/tokens that are merely in flight.
+const STRIKES: u8 = 2;
+
+/// Per-edge recovery bookkeeping.
+#[derive(Clone, Debug, Default)]
+struct EdgeState {
+    /// Highest incarnation of the peer seen on this edge.
+    peer_inc: u64,
+    /// Whether this side's state on the edge is authoritative. `false`
+    /// only between a restart of *this* process and the peer's
+    /// [`RecoveryMsg::RejoinAck`].
+    synced: bool,
+    dup_fork: u8,
+    missing_fork: u8,
+    dup_token: u8,
+    missing_token: u8,
+    stuck_ping: u8,
+}
+
+impl EdgeState {
+    fn fresh(synced: bool) -> Self {
+        EdgeState {
+            synced,
+            ..EdgeState::default()
+        }
+    }
+
+    fn clear_strikes(&mut self) {
+        self.dup_fork = 0;
+        self.missing_fork = 0;
+        self.dup_token = 0;
+        self.missing_token = 0;
+        self.stuck_ping = 0;
+    }
+}
+
+/// Counters exposed for the metrics layer and experiment E15.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Incoming messages dropped by incarnation gating (previous-life
+    /// residue) or because the edge was not yet resynced.
+    pub stale_dropped: u64,
+    /// Outgoing dining messages suppressed on not-yet-resynced edges.
+    pub suppressed: u64,
+    /// Fork/token repairs applied by the audit exchange.
+    pub repairs: u64,
+    /// Locally detected and repaired flag states (stuck pings, stale
+    /// session flags).
+    pub local_repairs: u64,
+    /// Completed per-edge rejoin handshakes (RejoinAcks applied).
+    pub resyncs: u64,
+}
+
+impl RecoveryStats {
+    /// Accumulates another process's counters (for run-wide aggregation).
+    pub fn absorb(&mut self, other: RecoveryStats) {
+        self.stale_dropped += other.stale_dropped;
+        self.suppressed += other.suppressed;
+        self.repairs += other.repairs;
+        self.local_repairs += other.local_repairs;
+        self.resyncs += other.resyncs;
+    }
+}
+
+/// [`DiningProcess`] hardened for the crash-recovery fault model.
+///
+/// Wraps Algorithm 1 unchanged — in fault-free runs the wrapper is an
+/// incarnation-0 pass-through and the inner machine behaves exactly as the
+/// paper specifies. See the [module docs](self) for the recovery protocol.
+#[derive(Clone, Debug)]
+pub struct RecoverableDining {
+    inner: DiningProcess,
+    id: ProcessId,
+    color: Color,
+    /// Sorted `(neighbor, color)` pairs — the immutable configuration a
+    /// rebooting process re-reads from its (conceptual) program image.
+    peers: Vec<(ProcessId, Color)>,
+    inc: u64,
+    edges: BTreeMap<ProcessId, EdgeState>,
+    stats: RecoveryStats,
+}
+
+fn splitmix(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut r = *z;
+    r = (r ^ (r >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    r = (r ^ (r >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    r ^ (r >> 31)
+}
+
+impl RecoverableDining {
+    /// Creates the recoverable process `id`; arguments as in
+    /// [`DiningProcess::new`].
+    pub fn new(
+        id: ProcessId,
+        color: Color,
+        neighbors: impl IntoIterator<Item = (ProcessId, Color)>,
+    ) -> Self {
+        let mut peers: Vec<(ProcessId, Color)> = neighbors.into_iter().collect();
+        peers.sort_unstable_by_key(|&(q, _)| q);
+        let mut inner = DiningProcess::new(id, color, peers.iter().copied());
+        inner.harden();
+        let edges = peers
+            .iter()
+            .map(|&(q, _)| (q, EdgeState::fresh(true)))
+            .collect();
+        RecoverableDining {
+            inner,
+            id,
+            color,
+            peers,
+            inc: 0,
+            edges,
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Creates the recoverable process `id` from a conflict graph and a
+    /// proper coloring.
+    pub fn from_graph(g: &ConflictGraph, colors: &[Color], id: ProcessId) -> Self {
+        Self::new(
+            id,
+            colors[id.index()],
+            g.neighbors(id).iter().map(|&q| (q, colors[q.index()])),
+        )
+    }
+
+    /// This process's current incarnation (0 = never crashed).
+    pub fn incarnation(&self) -> u64 {
+        self.inc
+    }
+
+    /// Recovery counters for the metrics layer.
+    pub fn stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// The wrapped Algorithm 1 state machine (read-only).
+    pub fn inner(&self) -> &DiningProcess {
+        &self.inner
+    }
+
+    /// Whether the edge to `q` has an authoritative fork/token assignment
+    /// (false only mid-rejoin after a restart of this process).
+    pub fn edge_synced(&self, q: ProcessId) -> bool {
+        self.edges[&q].synced
+    }
+
+    /// Whether this process holds the fork shared with `q`.
+    pub fn holds_fork(&self, q: ProcessId) -> bool {
+        self.inner.holds_fork(q)
+    }
+
+    /// Whether this process holds the token shared with `q`.
+    pub fn holds_token(&self, q: ProcessId) -> bool {
+        self.inner.holds_token(q)
+    }
+
+    fn peer_color(&self, q: ProcessId) -> Color {
+        let i = self
+            .peers
+            .binary_search_by_key(&q, |&(p, _)| p)
+            .unwrap_or_else(|_| panic!("{q} is not a neighbor of {}", self.id));
+        self.peers[i].1
+    }
+
+    /// The initial-placement rule of §3.1, as `(my_fork, my_token)`:
+    /// fork at the higher color, token at the lower.
+    fn canonical(&self, qcolor: Color) -> (bool, bool) {
+        (self.color > qcolor, self.color < qcolor)
+    }
+
+    /// Wraps raw Algorithm 1 sends with incarnation stamps; messages on
+    /// not-yet-resynced edges are suppressed (the post-sync re-evaluation
+    /// of the internal actions regenerates whatever is still needed from
+    /// the authoritative state).
+    fn forward(
+        &mut self,
+        raw: Vec<(ProcessId, DiningMsg)>,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        for (q, msg) in raw {
+            let e = &self.edges[&q];
+            if e.synced {
+                sends.push((
+                    q,
+                    RecoveryMsg::Dining {
+                        inc: self.inc,
+                        dst_inc: e.peer_inc,
+                        msg,
+                    },
+                ));
+            } else {
+                self.stats.suppressed += 1;
+            }
+        }
+    }
+
+    /// Re-evaluates the inner machine's guarded commands (Actions 2/5/6/9)
+    /// after recovery-layer state surgery.
+    fn poke(&mut self, suspicion: &dyn SuspicionView, sends: &mut Vec<(ProcessId, RecoveryMsg)>) {
+        let mut raw = Vec::new();
+        self.inner
+            .handle(DiningInput::SuspicionChange, suspicion, &mut raw);
+        self.forward(raw, sends);
+    }
+
+    fn on_rejoin(
+        &mut self,
+        from: ProcessId,
+        rinc: u64,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        let known = self.edges[&from].peer_inc;
+        if rinc < known {
+            self.stats.stale_dropped += 1;
+            return;
+        }
+        if rinc > known {
+            // First sight of this incarnation: re-canonicalize my side of
+            // the edge and hand the rejoiner the complement. An eating
+            // responder keeps its fork so re-admission cannot violate
+            // exclusion; otherwise the initial-placement rule applies.
+            let (my_fork, my_token) = if self.inner.state() == DinerState::Eating {
+                (true, false)
+            } else {
+                self.canonical(self.peer_color(from))
+            };
+            {
+                let e = self.edges.get_mut(&from).expect("neighbor");
+                e.peer_inc = rinc;
+                e.clear_strikes();
+            }
+            self.inner.reset_edge_session(from);
+            self.inner.set_fork(from, my_fork);
+            self.inner.set_token(from, my_token);
+            sends.push((
+                from,
+                RecoveryMsg::RejoinAck {
+                    inc: self.inc,
+                    rejoiner_inc: rinc,
+                    fork: !my_fork,
+                    token: !my_token,
+                },
+            ));
+            self.poke(suspicion, sends);
+        } else {
+            // Duplicate rejoin (retry): answer idempotently with the
+            // complement of the current holdings — no state surgery.
+            sends.push((
+                from,
+                RecoveryMsg::RejoinAck {
+                    inc: self.inc,
+                    rejoiner_inc: rinc,
+                    fork: !self.inner.holds_fork(from),
+                    token: !self.inner.holds_token(from),
+                },
+            ));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // message fields unpacked by the dispatcher
+    fn on_rejoin_ack(
+        &mut self,
+        from: ProcessId,
+        pinc: u64,
+        rinc: u64,
+        fork: bool,
+        token: bool,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        {
+            let e = self.edges.get_mut(&from).expect("neighbor");
+            e.peer_inc = e.peer_inc.max(pinc);
+            if rinc != self.inc || e.synced {
+                self.stats.stale_dropped += 1;
+                return;
+            }
+            e.synced = true;
+            e.clear_strikes();
+        }
+        self.inner.reset_edge_session(from);
+        self.inner.set_fork(from, fork);
+        self.inner.set_token(from, token);
+        self.stats.resyncs += 1;
+        self.poke(suspicion, sends);
+    }
+
+    #[allow(clippy::too_many_arguments)] // message fields unpacked by the dispatcher
+    fn on_audit_msg(
+        &mut self,
+        from: ProcessId,
+        pinc: u64,
+        dst: u64,
+        fork: bool,
+        token: bool,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        if self.edges[&from].peer_inc != pinc || dst != self.inc || !self.edges[&from].synced {
+            self.stats.stale_dropped += 1;
+            return;
+        }
+        let my_fork = self.inner.holds_fork(from);
+        let my_token = self.inner.holds_token(from);
+        let lower = self.color < self.peer_color(from);
+        let mut repaired = false;
+        {
+            let e = self.edges.get_mut(&from).expect("neighbor");
+            // Antisymmetric repairs with 2-strike hysteresis: exactly one
+            // endpoint acts on each anomaly, chosen by color.
+            if my_fork && fork {
+                e.dup_fork += 1;
+                if e.dup_fork >= STRIKES && lower {
+                    e.dup_fork = 0;
+                    repaired = true; // lower color drops the duplicate fork
+                }
+            } else {
+                e.dup_fork = 0;
+            }
+            if !my_fork && !fork {
+                e.missing_fork += 1;
+            } else {
+                e.missing_fork = 0;
+            }
+            if my_token && token {
+                e.dup_token += 1;
+            } else {
+                e.dup_token = 0;
+            }
+            if !my_token && !token {
+                e.missing_token += 1;
+            } else {
+                e.missing_token = 0;
+            }
+        }
+        let mut changed = false;
+        if repaired {
+            self.inner.set_fork(from, false);
+            changed = true;
+        }
+        let e = self.edges.get_mut(&from).expect("neighbor");
+        if e.missing_fork >= STRIKES && !lower {
+            e.missing_fork = 0;
+            self.inner.set_fork(from, true); // higher color recreates it
+            changed = true;
+        }
+        if e.dup_token >= STRIKES && !lower {
+            e.dup_token = 0;
+            self.inner.set_token(from, false); // higher color drops it
+            changed = true;
+        }
+        if e.missing_token >= STRIKES && lower {
+            e.missing_token = 0;
+            self.inner.set_token(from, true); // lower color recreates it
+            changed = true;
+        }
+        if changed {
+            self.stats.repairs += 1;
+            self.poke(suspicion, sends);
+        }
+    }
+}
+
+impl DiningAlgorithm for RecoverableDining {
+    type Msg = RecoveryMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn handle(
+        &mut self,
+        input: DiningInput<RecoveryMsg>,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        match input {
+            DiningInput::Message { from, msg } => match msg {
+                RecoveryMsg::Dining { inc, dst_inc, msg } => {
+                    let e = &self.edges[&from];
+                    if inc != e.peer_inc || dst_inc != self.inc || !e.synced {
+                        self.stats.stale_dropped += 1;
+                        return;
+                    }
+                    let mut raw = Vec::new();
+                    self.inner
+                        .handle(DiningInput::Message { from, msg }, suspicion, &mut raw);
+                    self.forward(raw, sends);
+                }
+                RecoveryMsg::Rejoin { inc } => self.on_rejoin(from, inc, suspicion, sends),
+                RecoveryMsg::RejoinAck {
+                    inc,
+                    rejoiner_inc,
+                    fork,
+                    token,
+                } => self.on_rejoin_ack(from, inc, rejoiner_inc, fork, token, suspicion, sends),
+                RecoveryMsg::Audit {
+                    inc,
+                    dst_inc,
+                    fork,
+                    token,
+                } => self.on_audit_msg(from, inc, dst_inc, fork, token, suspicion, sends),
+            },
+            DiningInput::Hungry => {
+                let mut raw = Vec::new();
+                self.inner.handle(DiningInput::Hungry, suspicion, &mut raw);
+                self.forward(raw, sends);
+            }
+            DiningInput::DoneEating => {
+                let mut raw = Vec::new();
+                self.inner
+                    .handle(DiningInput::DoneEating, suspicion, &mut raw);
+                self.forward(raw, sends);
+            }
+            DiningInput::SuspicionChange => self.poke(suspicion, sends),
+        }
+    }
+
+    fn state(&self) -> DinerState {
+        self.inner.state()
+    }
+
+    fn inside_doorway(&self) -> bool {
+        self.inner.inside_doorway()
+    }
+
+    /// Inner Algorithm 1 state plus the recovery layer: the 64-bit
+    /// incarnation and, per edge, the peer incarnation, the synced bit and
+    /// five 8-bit strike counters.
+    fn state_bits(&self) -> usize {
+        self.inner.state_bits() + 64 + self.peers.len() * (64 + 1 + 5 * 8)
+    }
+
+    fn supports_recovery(&self) -> bool {
+        true
+    }
+
+    fn recovery_stats(&self) -> Option<RecoveryStats> {
+        Some(self.stats)
+    }
+
+    fn restart(
+        &mut self,
+        incarnation: u64,
+        corruption: Option<u64>,
+        _suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        self.inc = incarnation;
+        // Factory reset: volatile state is rebuilt from the program image;
+        // only the incarnation counter survived in stable storage.
+        let mut inner = DiningProcess::new(self.id, self.color, self.peers.iter().copied());
+        inner.harden();
+        self.inner = inner;
+        for e in self.edges.values_mut() {
+            *e = EdgeState::fresh(false);
+        }
+        if let Some(entropy) = corruption {
+            self.scramble(entropy);
+        }
+        for &(q, _) in &self.peers.clone() {
+            sends.push((q, RecoveryMsg::Rejoin { inc: incarnation }));
+        }
+        // No poke: every edge is unsynced, so dining traffic would be
+        // suppressed anyway; the post-RejoinAck poke does the real work.
+    }
+
+    fn inject_corruption(
+        &mut self,
+        entropy: u64,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        self.scramble(entropy);
+        // Flipped bits may enable (or spuriously satisfy) internal guards;
+        // re-evaluate so the damage manifests — and can be audited — now.
+        self.poke(suspicion, sends);
+    }
+
+    fn audit(&mut self, suspicion: &dyn SuspicionView, sends: &mut Vec<(ProcessId, RecoveryMsg)>) {
+        let mut changed = false;
+        for &(q, _) in &self.peers.clone() {
+            if !self.edges[&q].synced {
+                // Retry an unfinished rejoin handshake (lost or crossed).
+                sends.push((q, RecoveryMsg::Rejoin { inc: self.inc }));
+                continue;
+            }
+            if suspicion.suspects(q) {
+                // A presumed-crashed peer re-canonicalizes the edge itself
+                // when it rejoins; auditing against it is meaningless.
+                self.edges.get_mut(&q).expect("neighbor").clear_strikes();
+                continue;
+            }
+            // Stuck ping: hungry-outside with a pending ping and no ack for
+            // two consecutive audit rounds means the ack was destroyed (the
+            // peer is live and unsuspected); clear so Action 2 re-pings.
+            let stuck = self.inner.state() == DinerState::Hungry
+                && !self.inner.inside_doorway()
+                && self.inner.ping_pending(q)
+                && !self.inner.acked_by(q);
+            let e = self.edges.get_mut(&q).expect("neighbor");
+            if stuck {
+                e.stuck_ping += 1;
+                if e.stuck_ping >= STRIKES {
+                    e.stuck_ping = 0;
+                    self.inner.reset_ping(q);
+                    self.stats.local_repairs += 1;
+                    changed = true;
+                }
+            } else {
+                e.stuck_ping = 0;
+            }
+            let dst_inc = self.edges[&q].peer_inc;
+            sends.push((
+                q,
+                RecoveryMsg::Audit {
+                    inc: self.inc,
+                    dst_inc,
+                    fork: self.inner.holds_fork(q),
+                    token: self.inner.holds_token(q),
+                },
+            ));
+        }
+        let mut raw = Vec::new();
+        if self.inner.audit_local(&mut raw) {
+            self.stats.local_repairs += 1;
+            changed = true;
+        }
+        self.forward(raw, sends);
+        if changed {
+            self.poke(suspicion, sends);
+        }
+    }
+}
+
+impl RecoverableDining {
+    /// Deterministically flips per-edge flag bits from `entropy`: roughly
+    /// three of four edges get a non-empty XOR mask over the six per-edge
+    /// bits; if the draw selects no edge at all, the first edge's fork bit
+    /// is flipped so a scheduled corruption is never a silent no-op.
+    fn scramble(&mut self, entropy: u64) {
+        let mut z = entropy;
+        let mut any = false;
+        for &(q, _) in &self.peers.clone() {
+            let r = splitmix(&mut z);
+            if r & 0b11 == 0 {
+                continue;
+            }
+            let mut mask = ((r >> 2) & 0x3F) as u8;
+            if mask == 0 {
+                mask = 0x10; // FORK
+            }
+            self.inner.corrupt_edge(q, mask);
+            any = true;
+        }
+        if !any {
+            if let Some(&(q, _)) = self.peers.first() {
+                self.inner.corrupt_edge(q, 0x10);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::from(i)
+    }
+
+    fn none() -> BTreeSet<ProcessId> {
+        BTreeSet::new()
+    }
+
+    fn sus(ids: &[usize]) -> BTreeSet<ProcessId> {
+        ids.iter().map(|&i| p(i)).collect()
+    }
+
+    /// `hi` (color 1, starts with fork) and `lo` (color 0, starts with
+    /// token), as recoverable processes.
+    fn pair() -> (RecoverableDining, RecoverableDining) {
+        let hi = RecoverableDining::new(p(0), 1, [(p(1), 0)]);
+        let lo = RecoverableDining::new(p(1), 0, [(p(0), 1)]);
+        (hi, lo)
+    }
+
+    /// Delivers `msgs` (sent by `from`) into `target`, returning its sends.
+    fn deliver(
+        target: &mut RecoverableDining,
+        from: ProcessId,
+        msgs: &[(ProcessId, RecoveryMsg)],
+        suspicion: &BTreeSet<ProcessId>,
+    ) -> Vec<(ProcessId, RecoveryMsg)> {
+        let mut out = Vec::new();
+        for &(to, msg) in msgs {
+            assert_eq!(to, target.id(), "test shuttles to the right process");
+            target.handle(DiningInput::Message { from, msg }, suspicion, &mut out);
+        }
+        out
+    }
+
+    /// Asserts the Lemma 1 edge invariant between two synced endpoints.
+    fn assert_edge_canonical(a: &RecoverableDining, b: &RecoverableDining) {
+        let forks = a.holds_fork(b.id()) as u32 + b.holds_fork(a.id()) as u32;
+        let tokens = a.holds_token(b.id()) as u32 + b.holds_token(a.id()) as u32;
+        assert_eq!(forks, 1, "exactly one fork on the edge");
+        assert_eq!(tokens, 1, "exactly one token on the edge");
+    }
+
+    #[test]
+    fn fault_free_pair_behaves_like_algorithm_1() {
+        let (mut hi, mut lo) = pair();
+        let mut m = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut m);
+        // Ping → Ack → Request → Fork, all wrapped at incarnation 0.
+        let m = deliver(&mut hi, p(1), &m, &none());
+        let m = deliver(&mut lo, p(0), &m, &none());
+        let m = deliver(&mut hi, p(1), &m, &none());
+        let m = deliver(&mut lo, p(0), &m, &none());
+        assert!(m.is_empty());
+        assert_eq!(lo.state(), DinerState::Eating);
+        assert_eq!(lo.stats(), RecoveryStats::default(), "no recovery action");
+    }
+
+    #[test]
+    fn rejoin_handshake_restores_the_edge_invariant() {
+        let (mut hi, mut lo) = pair();
+        // lo crashes and restarts blank as incarnation 1.
+        let mut rejoins = Vec::new();
+        lo.restart(1, None, &none(), &mut rejoins);
+        assert_eq!(
+            rejoins,
+            vec![(p(0), RecoveryMsg::Rejoin { inc: 1 })],
+            "restart announces the new incarnation on every edge"
+        );
+        assert!(!lo.edge_synced(p(0)));
+        let acks = deliver(&mut hi, p(1), &rejoins, &none());
+        assert_eq!(
+            acks,
+            vec![(
+                p(1),
+                RecoveryMsg::RejoinAck {
+                    inc: 0,
+                    rejoiner_inc: 1,
+                    fork: false,
+                    token: true
+                }
+            )],
+            "responder keeps the fork (higher color), hands back the token"
+        );
+        let quiet = deliver(&mut lo, p(0), &acks, &none());
+        assert!(quiet.is_empty());
+        assert!(lo.edge_synced(p(0)));
+        assert_eq!(lo.stats().resyncs, 1);
+        assert_edge_canonical(&hi, &lo);
+    }
+
+    #[test]
+    fn messages_from_or_to_a_previous_life_are_dropped() {
+        let (mut hi, mut lo) = pair();
+        // A pre-crash ping from lo's incarnation 0 is in flight…
+        let mut stale = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut stale);
+        // …lo restarts and resyncs…
+        let mut rejoins = Vec::new();
+        lo.restart(1, None, &none(), &mut rejoins);
+        let acks = deliver(&mut hi, p(1), &rejoins, &none());
+        deliver(&mut lo, p(0), &acks, &none());
+        // …then the stale ping finally arrives: dropped, no ack.
+        let before = hi.stats().stale_dropped;
+        let out = deliver(&mut hi, p(1), &stale, &none());
+        assert!(out.is_empty(), "no ack for a previous life's ping");
+        assert_eq!(hi.stats().stale_dropped, before + 1);
+        // And a message addressed to lo's previous life is dropped by lo.
+        let to_old_lo = [(
+            p(1),
+            RecoveryMsg::Dining {
+                inc: 0,
+                dst_inc: 0,
+                msg: DiningMsg::Ack,
+            },
+        )];
+        let out = deliver(&mut lo, p(0), &to_old_lo, &none());
+        assert!(out.is_empty());
+        assert!(lo.stats().stale_dropped >= 1);
+    }
+
+    #[test]
+    fn mutual_restart_converges_via_crossed_rejoins() {
+        let (mut hi, mut lo) = pair();
+        let mut hi_rejoin = Vec::new();
+        hi.restart(1, None, &none(), &mut hi_rejoin);
+        let mut lo_rejoin = Vec::new();
+        lo.restart(1, None, &none(), &mut lo_rejoin);
+        // Crossed delivery: each answers the other's rejoin.
+        let hi_acks = deliver(&mut hi, p(1), &lo_rejoin, &none());
+        let lo_acks = deliver(&mut lo, p(0), &hi_rejoin, &none());
+        let a = deliver(&mut lo, p(0), &hi_acks, &none());
+        let b = deliver(&mut hi, p(1), &lo_acks, &none());
+        assert!(a.is_empty() && b.is_empty());
+        assert!(hi.edge_synced(p(1)) && lo.edge_synced(p(0)));
+        assert_edge_canonical(&hi, &lo);
+        assert!(hi.holds_fork(p(1)), "canonical rule: fork at higher color");
+    }
+
+    #[test]
+    fn eating_responder_keeps_its_fork() {
+        // lo (color 0) eats while suspecting hi; hi "recovers" with a
+        // higher color. Canonically hi would get the fork — but handing it
+        // over mid-meal would break exclusion, so the eating responder
+        // keeps it.
+        let (mut hi, mut lo) = pair();
+        let mut m = Vec::new();
+        lo.handle(DiningInput::Hungry, &sus(&[0]), &mut m);
+        assert_eq!(lo.state(), DinerState::Eating);
+        let mut rejoins = Vec::new();
+        hi.restart(1, None, &none(), &mut rejoins);
+        let acks = deliver(&mut lo, p(0), &rejoins, &sus(&[0]));
+        assert!(acks.contains(&(
+            p(0),
+            RecoveryMsg::RejoinAck {
+                inc: 0,
+                rejoiner_inc: 1,
+                fork: false,
+                token: true
+            }
+        )));
+        deliver(&mut hi, p(1), &acks, &none());
+        assert_eq!(lo.state(), DinerState::Eating, "meal undisturbed");
+        assert!(lo.holds_fork(p(0)) && !hi.holds_fork(p(1)));
+        assert_edge_canonical(&hi, &lo);
+    }
+
+    #[test]
+    fn duplicate_rejoin_is_answered_idempotently() {
+        let (mut hi, mut lo) = pair();
+        let mut rejoins = Vec::new();
+        lo.restart(1, None, &none(), &mut rejoins);
+        let first = deliver(&mut hi, p(1), &rejoins, &none());
+        // The retry (same incarnation) must not re-canonicalize: hi's
+        // holdings are untouched and the answer matches.
+        let second = deliver(&mut hi, p(1), &rejoins, &none());
+        assert_eq!(first, second);
+        deliver(&mut lo, p(0), &first, &none());
+        assert!(lo.edge_synced(p(0)));
+        // A third ack (from the retry) is ignored — already synced.
+        let quiet = deliver(&mut lo, p(0), &second, &none());
+        assert!(quiet.is_empty());
+        assert_eq!(lo.stats().resyncs, 1);
+        assert_edge_canonical(&hi, &lo);
+    }
+
+    /// Runs `rounds` audit rounds between the two processes, shuttling the
+    /// audit traffic both ways.
+    fn audit_rounds(a: &mut RecoverableDining, b: &mut RecoverableDining, rounds: usize) {
+        for _ in 0..rounds {
+            let mut am = Vec::new();
+            a.audit(&none(), &mut am);
+            let mut bm = Vec::new();
+            b.audit(&none(), &mut bm);
+            let ra = deliver(b, a.id(), &am, &none());
+            let rb = deliver(a, b.id(), &bm, &none());
+            // Repairs may emit follow-up dining traffic; deliver it too.
+            let x = deliver(a, b.id(), &ra, &none());
+            let y = deliver(b, a.id(), &rb, &none());
+            let x2 = deliver(b, a.id(), &x, &none());
+            let y2 = deliver(a, b.id(), &y, &none());
+            deliver(a, b.id(), &x2, &none());
+            deliver(b, a.id(), &y2, &none());
+        }
+    }
+
+    #[test]
+    fn audit_repairs_a_duplicated_fork() {
+        let (mut hi, mut lo) = pair();
+        // Corruption forges a second fork at lo and destroys its token —
+        // without the token the local co-location discharge cannot
+        // shortcut the repair, so this exercises the exchange path.
+        lo.inner.corrupt_edge(p(0), 0x30);
+        assert!(hi.holds_fork(p(1)) && lo.holds_fork(p(0)));
+        audit_rounds(&mut hi, &mut lo, STRIKES as usize + 1);
+        assert_edge_canonical(&hi, &lo);
+        assert!(
+            !lo.holds_fork(p(0)),
+            "the lower color dropped the duplicate"
+        );
+        assert!(lo.stats().repairs >= 1);
+    }
+
+    #[test]
+    fn audit_discharges_colocated_token_and_fork() {
+        let (mut hi, mut lo) = pair();
+        // Corruption forges a second fork right next to lo's token. A
+        // thinking process holding both is unreachable under Algorithm 1
+        // (exit discharges the pair), so the audit discharges it locally
+        // and immediately: the fork travels to hi, which absorbs the
+        // duplicate, and the token stays.
+        lo.inner.corrupt_edge(p(0), 0x10);
+        assert!(lo.holds_fork(p(0)) && lo.holds_token(p(0)));
+        audit_rounds(&mut hi, &mut lo, 1);
+        assert_edge_canonical(&hi, &lo);
+        assert!(!lo.holds_fork(p(0)), "the pair was discharged");
+        assert!(lo.stats().local_repairs >= 1);
+    }
+
+    #[test]
+    fn audit_repairs_a_lost_token() {
+        let (mut hi, mut lo) = pair();
+        lo.inner.corrupt_edge(p(0), 0x20); // token bit flips off
+        assert!(!hi.holds_token(p(1)) && !lo.holds_token(p(0)));
+        audit_rounds(&mut hi, &mut lo, STRIKES as usize + 1);
+        assert_edge_canonical(&hi, &lo);
+        assert!(lo.holds_token(p(0)), "the lower color recreated it");
+    }
+
+    #[test]
+    fn audit_does_not_fire_on_a_single_observation() {
+        // Hysteresis: one bad observation (a fork genuinely in flight)
+        // must not trigger an exchange repair. The token is destroyed
+        // alongside so the local co-location discharge stays out of play.
+        let (mut hi, mut lo) = pair();
+        lo.inner.corrupt_edge(p(0), 0x30);
+        audit_rounds(&mut hi, &mut lo, 1);
+        assert!(
+            lo.holds_fork(p(0)) && hi.holds_fork(p(1)),
+            "one strike is not enough"
+        );
+    }
+
+    #[test]
+    fn audit_clears_a_stuck_ping() {
+        let (mut hi, _lo) = pair();
+        let mut m = Vec::new();
+        hi.handle(DiningInput::Hungry, &none(), &mut m);
+        assert_eq!(m.len(), 1, "ping out");
+        assert!(hi.inner().ping_pending(p(1)));
+        // The ack is destroyed in transit; two audit rounds later the ping
+        // flag is cleared and Action 2 re-pings immediately.
+        let mut out = Vec::new();
+        hi.audit(&none(), &mut out);
+        assert!(hi.inner().ping_pending(p(1)), "first strike only");
+        let mut out = Vec::new();
+        hi.audit(&none(), &mut out);
+        assert!(
+            out.iter().any(|&(q, m)| q == p(1)
+                && matches!(
+                    m,
+                    RecoveryMsg::Dining {
+                        msg: DiningMsg::Ping,
+                        ..
+                    }
+                )),
+            "repair re-pings: {out:?}"
+        );
+        assert!(hi.stats().local_repairs >= 1);
+    }
+
+    #[test]
+    fn corrupted_restart_still_resyncs_canonically() {
+        let (mut hi, mut lo) = pair();
+        let mut rejoins = Vec::new();
+        lo.restart(1, Some(0xDEAD_BEEF), &none(), &mut rejoins);
+        let acks = deliver(&mut hi, p(1), &rejoins, &none());
+        deliver(&mut lo, p(0), &acks, &none());
+        // Whatever the scramble did to the edge bits, the RejoinAck is
+        // authoritative.
+        assert_edge_canonical(&hi, &lo);
+    }
+
+    #[test]
+    fn scramble_is_deterministic_and_never_a_noop() {
+        let (_, lo0) = pair();
+        let mut a = lo0.clone();
+        let mut b = lo0.clone();
+        a.scramble(42);
+        b.scramble(42);
+        assert_eq!(a.inner(), b.inner(), "same entropy ⇒ same flips");
+        let mut c = lo0.clone();
+        for seed in 0..64u64 {
+            let mut d = c.clone();
+            d.scramble(seed);
+            assert_ne!(d.inner(), c.inner(), "seed {seed} must flip something");
+            c = lo0.clone();
+        }
+    }
+
+    #[test]
+    fn recovered_process_can_eat_again() {
+        let (mut hi, mut lo) = pair();
+        // lo restarts, resyncs, goes hungry, and completes a full session.
+        let mut rejoins = Vec::new();
+        lo.restart(1, None, &none(), &mut rejoins);
+        let acks = deliver(&mut hi, p(1), &rejoins, &none());
+        deliver(&mut lo, p(0), &acks, &none());
+        let mut m = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut m);
+        let m = deliver(&mut hi, p(1), &m, &none());
+        let m = deliver(&mut lo, p(0), &m, &none());
+        let m = deliver(&mut hi, p(1), &m, &none());
+        deliver(&mut lo, p(0), &m, &none());
+        assert_eq!(lo.state(), DinerState::Eating, "readmitted");
+        assert!(m.is_empty() || lo.state() == DinerState::Eating);
+    }
+}

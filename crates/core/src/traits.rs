@@ -1,3 +1,4 @@
+use crate::recovery::RecoveryStats;
 use ekbd_detector::SuspicionView;
 use ekbd_graph::ProcessId;
 use std::fmt;
@@ -107,6 +108,55 @@ pub trait DiningAlgorithm {
     /// Size of the per-process protocol state in bits, as accounted in the
     /// paper's §7 space analysis (`log₂(δ) + 6δ + c` for Algorithm 1).
     fn state_bits(&self) -> usize;
+
+    // ----- crash-recovery extension (default: crash-stop, no-ops) -------
+
+    /// Whether this algorithm implements the crash-recovery protocol
+    /// (rejoin handshake + periodic audit). Hosts only arm the audit timer
+    /// and deliver restart/corruption events when this returns `true`.
+    fn supports_recovery(&self) -> bool {
+        false
+    }
+
+    /// The process restarted after a crash with a fresh `incarnation`
+    /// (1-based restart count, the one counter kept in stable storage).
+    /// Volatile dining state was lost; `corruption` carries an entropy seed
+    /// when the reboot additionally scrambled the rebuilt state. The
+    /// implementation re-initializes itself and appends any rejoin traffic
+    /// to `sends`.
+    fn restart(
+        &mut self,
+        incarnation: u64,
+        corruption: Option<u64>,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, Self::Msg)>,
+    ) {
+        let _ = (incarnation, corruption, suspicion, sends);
+    }
+
+    /// A transient fault flipped state bits of this (live) process;
+    /// `entropy` seeds the deterministic choice of which bits.
+    fn inject_corruption(
+        &mut self,
+        entropy: u64,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, Self::Msg)>,
+    ) {
+        let _ = (entropy, suspicion, sends);
+    }
+
+    /// One round of the periodic state audit: retry unfinished rejoins,
+    /// repair locally detectable damage, and exchange per-edge fork/token
+    /// snapshots with live peers.
+    fn audit(&mut self, suspicion: &dyn SuspicionView, sends: &mut Vec<(ProcessId, Self::Msg)>) {
+        let _ = (suspicion, sends);
+    }
+
+    /// Recovery-layer counters, when the algorithm keeps them (`None` for
+    /// crash-stop algorithms).
+    fn recovery_stats(&self) -> Option<RecoveryStats> {
+        None
+    }
 }
 
 #[cfg(test)]

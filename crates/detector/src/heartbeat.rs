@@ -1,4 +1,6 @@
-use crate::module::{DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, SuspicionView};
+use crate::module::{
+    epoch_timer_tag, DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, SuspicionView,
+};
 use ekbd_sim::{Duration, ProcessId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -43,6 +45,20 @@ impl Default for HeartbeatConfig {
 ///   `period + Δ` apart. Each false suspicion grows the timeout by a fixed
 ///   increment, so after finitely many mistakes the timeout exceeds
 ///   `period + Δ` and no correct neighbor is ever suspected again.
+///
+/// Under the crash-*recovery* fault model the module additionally handles
+/// restarts on both sides of the monitoring relation:
+///
+/// * When *this* process restarts ([`DetectorEvent::Recovered`]), its
+///   volatile monitoring state is rebuilt with a fresh grace period and it
+///   broadcasts [`DetectorMsg::Alive`] stamped with the new incarnation
+///   epoch. The periodic timer tag is epoch-stamped, so the pre-crash timer
+///   chain is dead on arrival in the new incarnation.
+/// * When a monitored *neighbor* restarts, its `Alive { epoch }` refutes the
+///   (correct!) suspicion of the crashed incarnation — without counting a
+///   false positive or growing the adaptive timeout, since the suspicion was
+///   never a mistake. Refutation epochs are remembered per neighbor so a
+///   late duplicate from an old incarnation cannot mask a newer crash.
 #[derive(Clone, Debug)]
 pub struct HeartbeatDetector {
     cfg: HeartbeatConfig,
@@ -52,6 +68,10 @@ pub struct HeartbeatDetector {
     suspects: BTreeSet<ProcessId>,
     /// Count of withdrawn suspicions (false positives), per neighbor.
     false_positives: BTreeMap<ProcessId, u64>,
+    /// This process's incarnation epoch (0 until the first recovery).
+    epoch: u64,
+    /// Highest neighbor epoch whose `Alive` we have already honored.
+    refuted: BTreeMap<ProcessId, u64>,
 }
 
 /// The single timer tag used by the heartbeat detector.
@@ -72,6 +92,8 @@ impl HeartbeatDetector {
             timeout,
             suspects: BTreeSet::new(),
             false_positives: BTreeMap::new(),
+            epoch: 0,
+            refuted: BTreeMap::new(),
         }
     }
 
@@ -89,7 +111,10 @@ impl HeartbeatDetector {
         for &q in &self.neighbors {
             out.sends.push((q, DetectorMsg::Heartbeat));
         }
-        out.timers.push((self.cfg.period.max(1), HB_TIMER_TAG));
+        out.timers.push((
+            self.cfg.period.max(1),
+            epoch_timer_tag(HB_TIMER_TAG, self.epoch),
+        ));
     }
 
     fn check(&mut self, now: Time, out: &mut DetectorOutput) {
@@ -119,13 +144,13 @@ impl DetectorModule for HeartbeatDetector {
                 }
                 self.beat(out);
             }
-            DetectorEvent::Timer {
-                now,
-                tag: HB_TIMER_TAG,
-            } => {
+            DetectorEvent::Timer { now, tag }
+                if tag == epoch_timer_tag(HB_TIMER_TAG, self.epoch) =>
+            {
                 self.beat(out);
                 self.check(now, out);
             }
+            // Foreign tags and timer chains armed by a previous incarnation.
             DetectorEvent::Timer { .. } => {}
             DetectorEvent::Message {
                 from,
@@ -150,6 +175,41 @@ impl DetectorModule for HeartbeatDetector {
                         *t = t.saturating_add(self.cfg.timeout_increment);
                     }
                 }
+            }
+            DetectorEvent::Message {
+                now,
+                from,
+                msg: DetectorMsg::Alive { epoch },
+            } => {
+                // Epoch-stamped refutation: the neighbor restarted. The
+                // suspicion of its crashed incarnation was *correct*, so
+                // withdrawing it is neither a false positive nor a reason to
+                // grow the adaptive timeout. Stale copies (epoch already
+                // honored) are ignored so they cannot mask a newer crash.
+                if epoch > self.refuted.get(&from).copied().unwrap_or(0) {
+                    self.refuted.insert(from, epoch);
+                    self.last_heard.insert(from, now);
+                    if self.suspects.remove(&from) {
+                        out.changed = true;
+                    }
+                }
+            }
+            DetectorEvent::Recovered { now, epoch } => {
+                // This process restarted: volatile monitoring state is gone.
+                // Rebuild with a fresh grace period, announce the new
+                // incarnation, and restart the (epoch-stamped) beat chain.
+                self.epoch = epoch;
+                if !self.suspects.is_empty() {
+                    self.suspects.clear();
+                    out.changed = true;
+                }
+                self.refuted.clear();
+                for &q in &self.neighbors.clone() {
+                    self.last_heard.insert(q, now);
+                    self.timeout.insert(q, self.cfg.initial_timeout.max(1));
+                    out.sends.push((q, DetectorMsg::Alive { epoch }));
+                }
+                self.beat(out);
             }
         }
     }
@@ -328,5 +388,146 @@ mod tests {
         assert!(d.timeout_of(p(1)).unwrap() > 60);
         assert!(last_fp_at.unwrap() < 500, "accuracy holds in the suffix");
         assert!(!d.suspects(p(1)));
+    }
+
+    #[test]
+    fn alive_refutes_suspicion_without_counting_a_false_positive() {
+        let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(30),
+                tag: HB_TIMER_TAG,
+            },
+            &mut DetectorOutput::new(),
+        );
+        assert!(d.suspects(p(1)), "crashed neighbor is suspected");
+
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Message {
+                now: Time(40),
+                from: p(1),
+                msg: DetectorMsg::Alive { epoch: 1 },
+            },
+            &mut out,
+        );
+        assert!(out.changed);
+        assert!(!d.suspects(p(1)), "refutation withdraws the suspicion");
+        assert_eq!(d.total_false_positives(), 0, "it was a correct suspicion");
+        assert_eq!(d.timeout_of(p(1)), Some(25), "no adaptive growth either");
+    }
+
+    #[test]
+    fn stale_alive_cannot_mask_a_newer_crash() {
+        let mut d = HeartbeatDetector::new(cfg(), [p(1)]);
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
+        // First crash/recover cycle: Alive{1} honored.
+        d.handle(
+            DetectorEvent::Message {
+                now: Time(10),
+                from: p(1),
+                msg: DetectorMsg::Alive { epoch: 1 },
+            },
+            &mut DetectorOutput::new(),
+        );
+        // Second crash: suspicion re-established by silence.
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(100),
+                tag: HB_TIMER_TAG,
+            },
+            &mut DetectorOutput::new(),
+        );
+        assert!(d.suspects(p(1)));
+        // A late duplicate of the old incarnation's Alive must not refute.
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Message {
+                now: Time(101),
+                from: p(1),
+                msg: DetectorMsg::Alive { epoch: 1 },
+            },
+            &mut out,
+        );
+        assert!(!out.changed);
+        assert!(d.suspects(p(1)), "stale epoch is ignored");
+        // The genuinely newer incarnation does refute.
+        d.handle(
+            DetectorEvent::Message {
+                now: Time(102),
+                from: p(1),
+                msg: DetectorMsg::Alive { epoch: 2 },
+            },
+            &mut DetectorOutput::new(),
+        );
+        assert!(!d.suspects(p(1)));
+    }
+
+    #[test]
+    fn recovery_resets_state_broadcasts_alive_and_rearms_epoch_timer() {
+        let mut d = HeartbeatDetector::new(cfg(), [p(1), p(2)]);
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(30),
+                tag: HB_TIMER_TAG,
+            },
+            &mut DetectorOutput::new(),
+        );
+        assert!(d.suspects(p(1)) && d.suspects(p(2)));
+
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Recovered {
+                now: Time(50),
+                epoch: 1,
+            },
+            &mut out,
+        );
+        assert!(out.changed, "pre-crash suspicions were dropped");
+        assert!(d.suspect_set().is_empty(), "fresh grace period");
+        assert!(out
+            .sends
+            .iter()
+            .any(|&(q, m)| q == p(1) && m == DetectorMsg::Alive { epoch: 1 }));
+        assert!(out
+            .sends
+            .iter()
+            .any(|&(q, m)| q == p(2) && m == DetectorMsg::Heartbeat));
+        let new_tag = epoch_timer_tag(HB_TIMER_TAG, 1);
+        assert_eq!(out.timers, vec![(10, new_tag)]);
+
+        // The pre-crash timer chain is dead: its epoch-0 tag is ignored.
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(51),
+                tag: HB_TIMER_TAG,
+            },
+            &mut out,
+        );
+        assert!(out.sends.is_empty() && out.timers.is_empty() && !out.changed);
+
+        // The new-epoch chain beats and checks as usual.
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(60),
+                tag: new_tag,
+            },
+            &mut out,
+        );
+        assert!(!out.sends.is_empty() && out.timers == vec![(10, new_tag)]);
+        assert!(d.suspect_set().is_empty(), "grace still covers the silence");
     }
 }

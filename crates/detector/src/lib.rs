@@ -38,6 +38,8 @@ mod probe;
 mod scripted;
 
 pub use heartbeat::{HeartbeatConfig, HeartbeatDetector};
-pub use module::{DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, SuspicionView};
+pub use module::{
+    epoch_timer_tag, DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, SuspicionView,
+};
 pub use probe::{ProbeConfig, ProbeDetector};
 pub use scripted::{ScriptedOracle, SuspicionChange};

@@ -14,6 +14,15 @@ pub enum DetectorMsg {
     Probe,
     /// "Yes" — the answer to a [`DetectorMsg::Probe`].
     Echo,
+    /// "I am back" — broadcast by a process restarting after a crash
+    /// (crash-recovery fault model), stamped with its new incarnation
+    /// epoch. Receivers withdraw their (correct!) suspicion of the sender,
+    /// but only if the epoch is newer than any previously refuted one, so a
+    /// late copy from an older incarnation cannot mask a later crash.
+    Alive {
+        /// The sender's incarnation epoch.
+        epoch: u64,
+    },
 }
 
 /// Inputs to a [`DetectorModule`], delivered by the host process.
@@ -40,6 +49,16 @@ pub enum DetectorEvent {
         /// The payload.
         msg: DetectorMsg,
     },
+    /// This process itself restarted after a crash with a new incarnation
+    /// epoch. The module resets its volatile monitoring state and
+    /// announces the restart ([`DetectorMsg::Alive`]) so neighbors can
+    /// refute their suspicion of it.
+    Recovered {
+        /// Current time.
+        now: Time,
+        /// This process's new incarnation epoch.
+        epoch: u64,
+    },
 }
 
 /// Effects requested by a [`DetectorModule`] in response to an event.
@@ -61,6 +80,23 @@ impl DetectorOutput {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Stamps a detector timer tag with an incarnation epoch.
+///
+/// Periodic detectors re-arm their timer from the timer handler, which means
+/// a timer chain armed before a crash would keep firing into the recovered
+/// incarnation and drive suspicion checks against a grace period that no
+/// longer exists. Stamping the epoch into the tag (and accepting only
+/// current-epoch tags) kills the stale chain at its first post-restart
+/// firing.
+///
+/// The epoch is masked to 30 bits so the stamped tag stays far below the
+/// host (`1 << 40`) and link (`1 << 41`) tag namespaces; `base` occupies the
+/// low byte.
+pub fn epoch_timer_tag(base: u64, epoch: u64) -> u64 {
+    debug_assert!(base < 0x100, "detector base tags live in the low byte");
+    base | ((epoch & 0x3FFF_FFFF) << 8)
 }
 
 /// A read-only view of a suspect set, as consumed by the dining layer.
@@ -109,5 +145,17 @@ mod tests {
         assert!(out.sends.is_empty());
         assert!(out.timers.is_empty());
         assert!(!out.changed);
+    }
+
+    #[test]
+    fn epoch_tags_are_distinct_per_epoch_and_below_host_namespace() {
+        let t0 = epoch_timer_tag(1, 0);
+        let t1 = epoch_timer_tag(1, 1);
+        let t2 = epoch_timer_tag(2, 1);
+        assert_eq!(t0, 1);
+        assert_ne!(t0, t1);
+        assert_ne!(t1, t2);
+        // Even an absurd epoch stays out of the host/link tag namespaces.
+        assert!(epoch_timer_tag(2, u64::MAX) < (1 << 40));
     }
 }

@@ -1,4 +1,6 @@
-use crate::module::{DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, SuspicionView};
+use crate::module::{
+    epoch_timer_tag, DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, SuspicionView,
+};
 use ekbd_sim::{Duration, ProcessId, Time};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -43,6 +45,15 @@ impl Default for ProbeConfig {
 /// echoes again (completeness), and after GST round trips are bounded by
 /// `period + 2Δ`, so finitely many timeout bumps end the false positives
 /// (eventual accuracy).
+///
+/// Crash-recovery handling mirrors the heartbeat detector: a restart of
+/// *this* process ([`DetectorEvent::Recovered`]) rebuilds the volatile
+/// monitoring state under a fresh grace period, broadcasts
+/// [`DetectorMsg::Alive`], and moves the probe timer chain to an
+/// epoch-stamped tag; an `Alive` from a restarted *neighbor* refutes the
+/// correct suspicion of its dead incarnation without a false-positive count
+/// or timeout growth, gated on the epoch being newer than any already
+/// honored.
 #[derive(Clone, Debug)]
 pub struct ProbeDetector {
     cfg: ProbeConfig,
@@ -51,6 +62,10 @@ pub struct ProbeDetector {
     timeout: BTreeMap<ProcessId, Duration>,
     suspects: BTreeSet<ProcessId>,
     false_positives: u64,
+    /// This process's incarnation epoch (0 until the first recovery).
+    epoch: u64,
+    /// Highest neighbor epoch whose `Alive` we have already honored.
+    refuted: BTreeMap<ProcessId, u64>,
 }
 
 /// The single timer tag used by the probe detector.
@@ -71,6 +86,8 @@ impl ProbeDetector {
             timeout,
             suspects: BTreeSet::new(),
             false_positives: 0,
+            epoch: 0,
+            refuted: BTreeMap::new(),
         }
     }
 
@@ -87,7 +104,10 @@ impl ProbeDetector {
                 out.changed = true;
             }
         }
-        out.timers.push((self.cfg.period.max(1), PROBE_TIMER_TAG));
+        out.timers.push((
+            self.cfg.period.max(1),
+            epoch_timer_tag(PROBE_TIMER_TAG, self.epoch),
+        ));
     }
 }
 
@@ -108,12 +128,17 @@ impl DetectorModule for ProbeDetector {
                 for &q in &self.neighbors {
                     out.sends.push((q, DetectorMsg::Probe));
                 }
-                out.timers.push((self.cfg.period.max(1), PROBE_TIMER_TAG));
+                out.timers.push((
+                    self.cfg.period.max(1),
+                    epoch_timer_tag(PROBE_TIMER_TAG, self.epoch),
+                ));
             }
-            DetectorEvent::Timer {
-                now,
-                tag: PROBE_TIMER_TAG,
-            } => self.probe_round(now, out),
+            DetectorEvent::Timer { now, tag }
+                if tag == epoch_timer_tag(PROBE_TIMER_TAG, self.epoch) =>
+            {
+                self.probe_round(now, out)
+            }
+            // Foreign tags and timer chains armed by a previous incarnation.
             DetectorEvent::Timer { .. } => {}
             DetectorEvent::Message {
                 from,
@@ -141,6 +166,37 @@ impl DetectorModule for ProbeDetector {
                 msg: DetectorMsg::Heartbeat,
                 ..
             } => {} // push traffic from a foreign detector: ignore
+            DetectorEvent::Message {
+                now,
+                from,
+                msg: DetectorMsg::Alive { epoch },
+            } => {
+                // Epoch-gated refutation of a correct suspicion; see the
+                // heartbeat detector for the full rationale.
+                if epoch > self.refuted.get(&from).copied().unwrap_or(0) {
+                    self.refuted.insert(from, epoch);
+                    self.last_echo.insert(from, now);
+                    if self.suspects.remove(&from) {
+                        out.changed = true;
+                    }
+                }
+            }
+            DetectorEvent::Recovered { now, epoch } => {
+                self.epoch = epoch;
+                if !self.suspects.is_empty() {
+                    self.suspects.clear();
+                    out.changed = true;
+                }
+                self.refuted.clear();
+                for &q in &self.neighbors.clone() {
+                    self.last_echo.insert(q, now);
+                    self.timeout.insert(q, self.cfg.initial_timeout.max(1));
+                    out.sends.push((q, DetectorMsg::Alive { epoch }));
+                }
+                // Fresh probe round under the new-epoch timer chain; the
+                // grace period just set keeps it from suspecting anyone.
+                self.probe_round(now, out);
+            }
         }
     }
 
@@ -241,6 +297,68 @@ mod tests {
         }
         assert!(d.suspects(p(1)));
         assert_eq!(d.total_false_positives(), 0);
+    }
+
+    #[test]
+    fn alive_refutes_without_false_positive_and_recovery_moves_the_timer() {
+        let mut d = ProbeDetector::new(cfg(), [p(1)]);
+        d.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(30),
+                tag: PROBE_TIMER_TAG,
+            },
+            &mut DetectorOutput::new(),
+        );
+        assert!(d.suspects(p(1)));
+
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Message {
+                now: Time(40),
+                from: p(1),
+                msg: DetectorMsg::Alive { epoch: 1 },
+            },
+            &mut out,
+        );
+        assert!(out.changed && !d.suspects(p(1)));
+        assert_eq!(d.total_false_positives(), 0);
+
+        // Recovery of this process: Alive broadcast + epoch-stamped timer.
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Recovered {
+                now: Time(50),
+                epoch: 2,
+            },
+            &mut out,
+        );
+        let new_tag = epoch_timer_tag(PROBE_TIMER_TAG, 2);
+        assert!(out.sends.contains(&(p(1), DetectorMsg::Alive { epoch: 2 })));
+        assert_eq!(out.timers, vec![(10, new_tag)]);
+        // Old-epoch chain is dead; new-epoch chain probes.
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(55),
+                tag: PROBE_TIMER_TAG,
+            },
+            &mut out,
+        );
+        assert!(out.sends.is_empty() && out.timers.is_empty());
+        let mut out = DetectorOutput::new();
+        d.handle(
+            DetectorEvent::Timer {
+                now: Time(60),
+                tag: new_tag,
+            },
+            &mut out,
+        );
+        assert_eq!(out.sends, vec![(p(1), DetectorMsg::Probe)]);
+        assert!(d.suspect_set().is_empty(), "grace covers the silence");
     }
 
     #[test]

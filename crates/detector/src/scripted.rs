@@ -72,6 +72,39 @@ impl ScriptedOracle {
         )
     }
 
+    /// The *perfect* detector for a crash-recovery schedule: suspects each
+    /// crashed neighbor exactly from its crash time and withdraws the
+    /// suspicion exactly when that neighbor restarts (its first recovery
+    /// scheduled at or after the crash). Crashes with no later recovery
+    /// stay suspected forever, as in [`ScriptedOracle::perfect`].
+    pub fn perfect_with_recoveries(
+        crashes: impl IntoIterator<Item = (ProcessId, Time)>,
+        recoveries: impl IntoIterator<Item = (ProcessId, Time)>,
+    ) -> Self {
+        let recoveries: Vec<(ProcessId, Time)> = recoveries.into_iter().collect();
+        let mut script = Vec::new();
+        for (target, at) in crashes {
+            script.push(SuspicionChange {
+                at,
+                target,
+                suspect: true,
+            });
+            if let Some(back) = recoveries
+                .iter()
+                .filter(|&&(q, rt)| q == target && rt >= at)
+                .map(|&(_, rt)| rt)
+                .min()
+            {
+                script.push(SuspicionChange {
+                    at: back,
+                    target,
+                    suspect: false,
+                });
+            }
+        }
+        Self::new(script)
+    }
+
     /// A worst-case-but-legal ◇P₁ history: falsely suspect every process in
     /// `neighbors` during `[0, converge_at)` in alternating on/off bursts of
     /// `burst` ticks, then converge (suspect exactly the crashed from their
@@ -158,6 +191,13 @@ impl DetectorModule for ScriptedOracle {
                 // Oracles ignore network traffic but still track time.
                 out.changed |= self.advance(now);
             }
+            DetectorEvent::Recovered { now, .. } => {
+                // The script already encodes everything the oracle "knows";
+                // a restart of the host process only needs a fresh wake-up
+                // chain (the pre-crash one died with the crash).
+                out.changed |= self.advance(now);
+                self.request_next_wakeup(now, out);
+            }
         }
     }
 
@@ -242,6 +282,54 @@ mod tests {
         assert_eq!(o.suspect_set(), BTreeSet::from([p(1)]));
         drive_to(&mut o, 100);
         assert_eq!(o.suspect_set(), BTreeSet::from([p(1), p(3)]));
+    }
+
+    #[test]
+    fn perfect_with_recoveries_opens_and_closes_suspicion_windows() {
+        // p1 crashes at 10, recovers at 40, crashes again at 70 (for good);
+        // p2 crashes at 20 and never comes back.
+        let mut o = ScriptedOracle::perfect_with_recoveries(
+            [(p(1), Time(10)), (p(2), Time(20)), (p(1), Time(70))],
+            [(p(1), Time(40))],
+        );
+        drive_to(&mut o, 9);
+        assert!(o.suspect_set().is_empty());
+        drive_to(&mut o, 15);
+        assert_eq!(o.suspect_set(), BTreeSet::from([p(1)]));
+        drive_to(&mut o, 25);
+        assert_eq!(o.suspect_set(), BTreeSet::from([p(1), p(2)]));
+        drive_to(&mut o, 45);
+        assert_eq!(o.suspect_set(), BTreeSet::from([p(2)]), "p1 readmitted");
+        drive_to(&mut o, 200);
+        assert_eq!(
+            o.suspect_set(),
+            BTreeSet::from([p(1), p(2)]),
+            "second crash of p1 has no recovery: suspected forever"
+        );
+    }
+
+    #[test]
+    fn recovered_event_rearms_the_wakeup_chain() {
+        let mut o = ScriptedOracle::new(vec![SuspicionChange {
+            at: Time(50),
+            target: p(1),
+            suspect: true,
+        }]);
+        o.handle(
+            DetectorEvent::Start { now: Time::ZERO },
+            &mut DetectorOutput::new(),
+        );
+        // Host restarts at 20; the oracle must request a fresh wake-up so
+        // the pending change at 50 is still observed.
+        let mut out = DetectorOutput::new();
+        o.handle(
+            DetectorEvent::Recovered {
+                now: Time(20),
+                epoch: 1,
+            },
+            &mut out,
+        );
+        assert_eq!(out.timers, vec![(30, 0)]);
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl HostWorkload {
 const HOST_TAG_BASE: u64 = 1 << 40;
 const EAT_TAG: u64 = HOST_TAG_BASE;
 const HUNGER_TAG: u64 = HOST_TAG_BASE + 1;
+/// Audit timers are stamped with the incarnation that armed them
+/// (`AUDIT_TAG_BASE + incarnation`), so a pre-crash audit chain whose tick
+/// survives the crash in the event queue dies silently instead of doubling
+/// the audit frequency of the recovered process.
+const AUDIT_TAG_BASE: u64 = HOST_TAG_BASE + 2;
+
+/// Period of the recovery layer's audit-and-repair timer, in virtual time
+/// units. Only armed for algorithms with
+/// [`supports_recovery`](DiningAlgorithm::supports_recovery).
+pub const AUDIT_PERIOD: u64 = 50;
 
 /// A simulated process hosting a dining algorithm and a failure detector.
 ///
@@ -112,6 +122,9 @@ pub struct DinerHost<A: DiningAlgorithm> {
     /// [`Envelope::Dining`] frames (the seed behavior, correct over
     /// reliable channels).
     link: Option<LinkEndpoint<A::Msg>>,
+    /// This process's incarnation as last told by the simulator (0 until
+    /// the first restart). Stamps the audit timer chain.
+    inc: u64,
 }
 
 impl<A: DiningAlgorithm> DinerHost<A> {
@@ -124,6 +137,7 @@ impl<A: DiningAlgorithm> DinerHost<A> {
             workload,
             sessions_left,
             link: None,
+            inc: 0,
         }
     }
 
@@ -217,18 +231,12 @@ impl<A: DiningAlgorithm> DinerHost<A> {
         self.apply_detector_output(before, out, ctx);
     }
 
-    /// Feeds one input to the dining algorithm, forwards its sends, diffs
-    /// its visible state into observations, and manages the eat/think
-    /// timers of the workload.
-    fn drive(
+    /// Transmits dining-layer sends, via the link layer when present.
+    fn send_dining(
         &mut self,
-        input: DiningInput<A::Msg>,
+        sends: Vec<(ProcessId, A::Msg)>,
         ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
     ) {
-        let state_before = self.alg.state();
-        let inside_before = self.alg.inside_doorway();
-        let mut sends = Vec::new();
-        self.alg.handle(input, &self.det, &mut sends);
         for (to, msg) in sends {
             ctx.observe(HostObs::DiningSend { to });
             match self.link.as_mut() {
@@ -240,6 +248,32 @@ impl<A: DiningAlgorithm> DinerHost<A> {
                 None => ctx.send(to, Envelope::Dining(msg)),
             }
         }
+    }
+
+    /// Feeds one input to the dining algorithm, forwards its sends, diffs
+    /// its visible state into observations, and manages the eat/think
+    /// timers of the workload.
+    fn drive(
+        &mut self,
+        input: DiningInput<A::Msg>,
+        ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
+    ) {
+        self.step_alg(ctx, |alg, det, sends| alg.handle(input, det, sends));
+    }
+
+    /// Runs one algorithm step `f` (a `handle`, `audit` or
+    /// `inject_corruption` call), forwards its sends, and diffs its visible
+    /// state into observations.
+    fn step_alg(
+        &mut self,
+        ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
+        f: impl FnOnce(&mut A, &AnyDetector, &mut Vec<(ProcessId, A::Msg)>),
+    ) {
+        let state_before = self.alg.state();
+        let inside_before = self.alg.inside_doorway();
+        let mut sends = Vec::new();
+        f(&mut self.alg, &self.det, &mut sends);
+        self.send_dining(sends, ctx);
         let state_after = self.alg.state();
         let inside_after = self.alg.inside_doorway();
 
@@ -285,6 +319,14 @@ impl<A: DiningAlgorithm> DinerHost<A> {
         let delay = ctx.rng().gen_range(lo..=hi.max(lo));
         ctx.set_timer(delay, HUNGER_TAG);
     }
+
+    /// Arms the periodic audit timer for the current incarnation, for
+    /// algorithms that implement the recovery protocol.
+    fn arm_audit(&mut self, ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>) {
+        if self.alg.supports_recovery() {
+            ctx.set_timer(AUDIT_PERIOD, AUDIT_TAG_BASE + self.inc);
+        }
+    }
 }
 
 impl<A: DiningAlgorithm> Node for DinerHost<A> {
@@ -301,6 +343,7 @@ impl<A: DiningAlgorithm> Node for DinerHost<A> {
             NodeEvent::Start => {
                 self.detector_event(DetectorEvent::Start { now: ctx.now() }, ctx);
                 self.schedule_appetite(ctx);
+                self.arm_audit(ctx);
             }
             NodeEvent::Timer { tag } if tag < HOST_TAG_BASE => {
                 self.detector_event(
@@ -331,6 +374,14 @@ impl<A: DiningAlgorithm> Node for DinerHost<A> {
                 if let Some(link) = self.link.as_mut() {
                     let actions = link.on_timer(peer, epoch);
                     self.absorb_link_actions(actions, ctx);
+                }
+            }
+            NodeEvent::Timer { tag } if tag >= AUDIT_TAG_BASE => {
+                // A tick from a previous incarnation's chain is stale noise;
+                // only the current chain audits and re-arms.
+                if tag == AUDIT_TAG_BASE + self.inc {
+                    self.step_alg(ctx, |alg, det, sends| alg.audit(det, sends));
+                    ctx.set_timer(AUDIT_PERIOD, tag);
                 }
             }
             NodeEvent::Timer { tag } => debug_assert!(false, "unknown timer tag {tag}"),
@@ -372,6 +423,45 @@ impl<A: DiningAlgorithm> Node for DinerHost<A> {
                 if self.alg.state() == DinerState::Eating {
                     self.drive(DiningInput::DoneEating, ctx);
                 }
+            }
+            NodeEvent::Recover {
+                incarnation,
+                corruption,
+            } => {
+                debug_assert!(
+                    self.alg.supports_recovery(),
+                    "recovery scheduled for a crash-stop algorithm"
+                );
+                self.inc = incarnation;
+                // Order matters: the link layer resets its sequence state
+                // first so the rejoin handshake below rides clean channels,
+                // then the algorithm rebuilds itself, then the detector
+                // opens a new epoch and refutes the neighbors' suspicions
+                // of the pre-crash life.
+                if let Some(link) = self.link.as_mut() {
+                    link.on_restart(incarnation);
+                }
+                let mut sends = Vec::new();
+                self.alg
+                    .restart(incarnation, corruption, &self.det, &mut sends);
+                self.send_dining(sends, ctx);
+                self.detector_event(
+                    DetectorEvent::Recovered {
+                        now: ctx.now(),
+                        epoch: incarnation,
+                    },
+                    ctx,
+                );
+                // The new life gets a fresh workload allocation and its own
+                // incarnation-stamped audit chain.
+                self.sessions_left = self.workload.sessions;
+                self.schedule_appetite(ctx);
+                self.arm_audit(ctx);
+            }
+            NodeEvent::Corrupt { entropy } => {
+                self.step_alg(ctx, |alg, det, sends| {
+                    alg.inject_corruption(entropy, det, sends)
+                });
             }
         }
     }

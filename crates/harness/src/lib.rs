@@ -46,7 +46,7 @@ mod report;
 mod scenario;
 
 pub use detector::AnyDetector;
-pub use host::{DinerHost, Envelope, HostCmd, HostObs, HostWorkload};
+pub use host::{DinerHost, Envelope, HostCmd, HostObs, HostWorkload, AUDIT_PERIOD};
 pub use live::LiveRun;
 pub use report::RunReport;
 pub use scenario::{OracleSpec, Scenario, Workload};

@@ -26,14 +26,19 @@ impl<A: DiningAlgorithm> LiveRun<A> {
         let cfg = SimConfig::default()
             .n(scenario.graph.len())
             .seed(scenario.seed)
-            .delay(scenario.delay.clone());
+            .delay(scenario.delay.clone())
+            .faults(scenario.faults.clone());
         let workload = crate::host::HostWorkload {
             sessions: scenario.workload.sessions,
             think: scenario.workload.think,
             eat: scenario.workload.eat,
         };
         let mut sim = Simulator::new(cfg, |p, _| {
-            DinerHost::new(factory(&scenario, p), scenario.detector_for(p), workload)
+            let host = DinerHost::new(factory(&scenario, p), scenario.detector_for(p), workload);
+            match scenario.link {
+                Some(link_cfg) => host.with_link(link_cfg),
+                None => host,
+            }
         });
         for &(p, t) in &scenario.crashes {
             sim.schedule_crash(p, t);
@@ -61,6 +66,11 @@ impl<A: DiningAlgorithm> LiveRun<A> {
     /// Whether `p` has crashed by now.
     pub fn is_crashed(&self, p: ProcessId) -> bool {
         self.sim.is_crashed(p)
+    }
+
+    /// The current incarnation of `p` (0 until its first restart).
+    pub fn incarnation(&self, p: ProcessId) -> u64 {
+        self.sim.incarnation(p)
     }
 
     /// The dining algorithm hosted at `p` (for invariant assertions: fork

@@ -1,12 +1,13 @@
 use crate::host::{DinerHost, HostObs};
 use crate::scenario::Scenario;
-use ekbd_dining::{DinerState, DiningAlgorithm, DiningObs};
+use ekbd_dining::{DinerState, DiningAlgorithm, DiningObs, RecoveryStats};
 use ekbd_graph::{ConflictGraph, ProcessId};
 use ekbd_metrics::{
     ConcurrencyReport, ExclusionReport, FairnessReport, LinkSummary, ProgressReport,
     QuiescenceReport, SchedEvent,
 };
 use ekbd_sim::{Simulator, Time};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything measured in one scenario run.
 ///
@@ -22,7 +23,19 @@ pub struct RunReport {
     pub horizon: Time,
     /// The crash schedule that was applied.
     pub crashes: Vec<(ProcessId, Time)>,
-    /// Scheduling events (hungry/doorway/eat transitions).
+    /// The recovery schedule (crash-recovery fault model): `(process,
+    /// restart time)`.
+    pub recoveries: Vec<(ProcessId, Time)>,
+    /// The live-state corruption schedule.
+    pub corruptions: Vec<(ProcessId, Time)>,
+    /// Final incarnation per process (0 = never restarted).
+    pub incarnations: Vec<u64>,
+    /// Aggregated recovery-layer counters, when the algorithm keeps them.
+    pub recovery: Option<RecoveryStats>,
+    /// Scheduling events (hungry/doorway/eat transitions). For processes
+    /// that crash and later recover, the interrupted life's open intervals
+    /// are closed at the crash instant and a hungry session the crash
+    /// aborted is removed, so interval analyses see a well-formed stream.
     pub events: Vec<SchedEvent>,
     /// Suspicion history: `(when, observer, target, suspected)`.
     pub suspicions: Vec<(Time, ProcessId, ProcessId, bool)>,
@@ -78,12 +91,26 @@ impl RunReport {
             }
         }
         let n = scenario.graph.len();
+        let recoveries = scenario.recoveries();
+        let corruptions = scenario.corruptions();
+        let events = sanitize_interrupted(events, &scenario.crashes, &recoveries);
         let final_states = (0..n)
             .map(|i| sim.node(ProcessId::from(i)).algorithm().state())
             .collect();
         let state_bits = (0..n)
             .map(|i| sim.node(ProcessId::from(i)).algorithm().state_bits())
             .collect();
+        let incarnations = (0..n)
+            .map(|i| sim.incarnation(ProcessId::from(i)))
+            .collect();
+        let mut recovery: Option<RecoveryStats> = None;
+        for i in 0..n {
+            if let Some(s) = sim.node(ProcessId::from(i)).algorithm().recovery_stats() {
+                recovery
+                    .get_or_insert_with(RecoveryStats::default)
+                    .absorb(s);
+            }
+        }
         let link = scenario.link.map(|_| {
             let mut summary = LinkSummary::default();
             for i in 0..n {
@@ -107,6 +134,10 @@ impl RunReport {
             graph: scenario.graph.clone(),
             horizon: scenario.horizon,
             crashes: scenario.crashes.clone(),
+            recoveries,
+            corruptions,
+            incarnations,
+            recovery,
             events,
             suspicions,
             final_states,
@@ -122,17 +153,54 @@ impl RunReport {
         }
     }
 
-    /// Crash time of `p`, if scheduled (and before the horizon).
+    /// The instant from which `p` is *permanently* down, if any: its last
+    /// crash within the horizon with no recovery scheduled at or after it.
+    /// A process that crashes but recovers is correct again in the
+    /// crash-recovery model (and is held to wait-freedom again).
     pub fn crash_time(&self, p: ProcessId) -> Option<Time> {
-        self.crashes
+        let last_crash = self
+            .crashes
             .iter()
-            .find(|&&(q, t)| q == p && t <= self.horizon)
+            .filter(|&&(q, t)| q == p && t <= self.horizon)
             .map(|&(_, t)| t)
+            .max()?;
+        let recovered = self
+            .recoveries
+            .iter()
+            .any(|&(q, t)| q == p && t >= last_crash && t <= self.horizon);
+        (!recovered).then_some(last_crash)
     }
 
     /// Whether `p` is correct in this run.
     pub fn is_correct(&self, p: ProcessId) -> bool {
         self.crash_time(p).is_none()
+    }
+
+    /// The last scheduled process fault (restart or corruption), if any.
+    /// After this instant plus stabilization slack, every property the
+    /// paper proves must hold again (experiment E15).
+    pub fn last_fault_time(&self) -> Option<Time> {
+        let r = self.recoveries.iter().map(|&(_, t)| t).max();
+        let c = self.corruptions.iter().map(|&(_, t)| t).max();
+        r.max(c)
+    }
+
+    /// Per scheduled recovery: `(process, restart time, first eat-slot at
+    /// or after it)` — `None` in the last position when the recovered
+    /// process never ate again before the horizon. The difference of the
+    /// two times is the *time to readmission*.
+    pub fn readmissions(&self) -> Vec<(ProcessId, Time, Option<Time>)> {
+        self.recoveries
+            .iter()
+            .map(|&(p, r)| {
+                let eat = self
+                    .events
+                    .iter()
+                    .find(|e| e.process == p && e.obs == DiningObs::StartedEating && e.time >= r)
+                    .map(|e| e.time);
+                (p, r, eat)
+            })
+            .collect()
     }
 
     /// Theorem 1 analysis (◇WX safety).
@@ -227,8 +295,8 @@ impl RunReport {
         // A crashed neighbor never suspected at all: completeness not yet
         // visible — convergence did not happen within this run.
         for &(q, t) in &self.crashes {
-            if t > self.horizon {
-                continue;
+            if t > self.horizon || self.is_correct(q) {
+                continue; // a recovered process owes no completeness
             }
             for &i in self.graph.neighbors(q) {
                 if self.is_correct(i) && !hist.contains_key(&(i, q)) {
@@ -238,6 +306,113 @@ impl RunReport {
         }
         conv
     }
+}
+
+/// Interval-open/close bookkeeping for one process during sanitization.
+#[derive(Default)]
+struct LifeState {
+    next_cut: usize,
+    hungry_open: Option<usize>,
+    eating: bool,
+    inside: bool,
+}
+
+fn apply_cut(
+    s: &mut LifeState,
+    p: ProcessId,
+    t: Time,
+    extra: &mut Vec<SchedEvent>,
+    drop_idx: &mut BTreeSet<usize>,
+) {
+    if s.eating {
+        extra.push(SchedEvent::new(t, p, DiningObs::StoppedEating));
+        s.eating = false;
+    }
+    if s.inside {
+        extra.push(SchedEvent::new(t, p, DiningObs::ExitedDoorway));
+        s.inside = false;
+    }
+    if let Some(i) = s.hungry_open.take() {
+        // The crash aborted this hungry session before it was scheduled:
+        // it neither completed nor starved, so it leaves no trace.
+        drop_idx.insert(i);
+    }
+}
+
+/// Makes the event stream well-formed across crash-recovery boundaries:
+/// for each process that crashes and later restarts, eating/doorway
+/// intervals open at the crash instant are closed there and a hungry
+/// session the crash aborted is removed. Without this, interval analyses
+/// would see nested opens (pre-crash residue followed by the new life's
+/// events) and would hold the recovered process accountable for a session
+/// its previous life never finished.
+fn sanitize_interrupted(
+    events: Vec<SchedEvent>,
+    crashes: &[(ProcessId, Time)],
+    recoveries: &[(ProcessId, Time)],
+) -> Vec<SchedEvent> {
+    if recoveries.is_empty() {
+        return events;
+    }
+    // Interruption instants per process: crash times followed by a restart.
+    let mut cuts: BTreeMap<ProcessId, Vec<Time>> = BTreeMap::new();
+    for &(p, r) in recoveries {
+        let cut = crashes
+            .iter()
+            .filter(|&&(q, t)| q == p && t <= r)
+            .map(|&(_, t)| t)
+            .max();
+        if let Some(c) = cut {
+            cuts.entry(p).or_default().push(c);
+        }
+    }
+    for v in cuts.values_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
+    let mut st: BTreeMap<ProcessId, LifeState> =
+        cuts.keys().map(|&p| (p, LifeState::default())).collect();
+    let mut extra = Vec::new();
+    let mut drop_idx = BTreeSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let Some(s) = st.get_mut(&e.process) else {
+            continue;
+        };
+        let cl = &cuts[&e.process];
+        while s.next_cut < cl.len() && cl[s.next_cut] <= e.time {
+            let t = cl[s.next_cut];
+            s.next_cut += 1;
+            apply_cut(s, e.process, t, &mut extra, &mut drop_idx);
+        }
+        match e.obs {
+            DiningObs::BecameHungry => s.hungry_open = Some(i),
+            DiningObs::StartedEating => {
+                s.hungry_open = None;
+                s.eating = true;
+            }
+            DiningObs::StoppedEating => s.eating = false,
+            DiningObs::EnteredDoorway => s.inside = true,
+            DiningObs::ExitedDoorway => s.inside = false,
+        }
+    }
+    for (&p, s) in st.iter_mut() {
+        let cl = &cuts[&p];
+        while s.next_cut < cl.len() {
+            let t = cl[s.next_cut];
+            s.next_cut += 1;
+            apply_cut(s, p, t, &mut extra, &mut drop_idx);
+        }
+    }
+    let mut out: Vec<SchedEvent> = events
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !drop_idx.contains(i))
+        .map(|(_, e)| e)
+        .collect();
+    out.extend(extra);
+    // Stable by time: synthesized closers land after same-instant events.
+    out.sort_by_key(|e| e.time);
+    out
 }
 
 #[cfg(test)]
@@ -381,6 +556,84 @@ mod tests {
             .map(|&(_, o, _, _)| o)
             .collect();
         assert!(suspected_by.contains(&p(0)) && suspected_by.contains(&p(2)));
+    }
+
+    #[test]
+    fn recovered_process_rejoins_and_eats_again() {
+        let report = Scenario::new(topology::ring(5))
+            .seed(13)
+            .perfect_oracle()
+            .crash(p(2), Time(300))
+            .recover(p(2), Time(2_000))
+            .workload(Workload {
+                sessions: 8,
+                think: (1, 30),
+                eat: (1, 10),
+            })
+            .horizon(Time(60_000))
+            .run_recoverable();
+        assert!(report.is_correct(p(2)), "recovered ⇒ correct again");
+        assert_eq!(report.incarnations, vec![0, 0, 1, 0, 0]);
+        assert!(
+            report.progress().wait_free(),
+            "starving: {:?}",
+            report.progress().starving()
+        );
+        let ra = report.readmissions();
+        assert_eq!(ra.len(), 1);
+        assert!(ra[0].2.is_some(), "recovered process eats again: {ra:?}");
+        let stats = report.recovery.expect("recoverable algorithm keeps stats");
+        assert!(stats.resyncs >= 2, "both edges resynced: {stats:?}");
+        assert_eq!(
+            report.exclusion().total(),
+            0,
+            "perfect oracle, blank reboot"
+        );
+    }
+
+    #[test]
+    fn corrupted_reboot_and_live_corruption_stabilize() {
+        let report = Scenario::new(topology::clique(4))
+            .seed(29)
+            .perfect_oracle()
+            .crash(p(1), Time(400))
+            .recover_corrupted(p(1), Time(1_500))
+            .corrupt_state(p(3), Time(2_500))
+            .workload(Workload {
+                sessions: 10,
+                think: (1, 25),
+                eat: (1, 12),
+            })
+            .horizon(Time(80_000))
+            .run_recoverable();
+        assert!(report.progress().wait_free());
+        let last = report.last_fault_time().expect("faults were scheduled");
+        assert_eq!(last, Time(2_500));
+        // After the last fault plus repair slack (a few audit rounds), the
+        // schedule is mistake-free and fair again.
+        let stab = Time(last.0 + 10 * crate::AUDIT_PERIOD);
+        assert_eq!(report.exclusion().after(stab), 0);
+        assert!(report.fairness().max_overtakes_after(stab) <= 2);
+        assert!(report.readmissions()[0].2.is_some());
+    }
+
+    #[test]
+    fn recovery_runs_are_deterministic() {
+        let make = || {
+            Scenario::new(topology::grid(3, 3))
+                .seed(5)
+                .perfect_oracle()
+                .crash(p(4), Time(300))
+                .recover_corrupted(p(4), Time(1_200))
+                .corrupt_state(p(0), Time(900))
+                .horizon(Time(40_000))
+                .run_recoverable()
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.suspicions, b.suspicions);
+        assert_eq!(a.total_messages, b.total_messages);
+        assert_eq!(a.recovery, b.recovery);
     }
 
     #[test]

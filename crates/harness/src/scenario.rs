@@ -4,7 +4,7 @@ use crate::report::RunReport;
 use ekbd_detector::{
     HeartbeatConfig, HeartbeatDetector, ProbeConfig, ProbeDetector, ScriptedOracle,
 };
-use ekbd_dining::{DiningAlgorithm, DiningProcess};
+use ekbd_dining::{DiningAlgorithm, DiningProcess, RecoverableDining};
 use ekbd_graph::coloring::{self, Color};
 use ekbd_graph::{ConflictGraph, ProcessId};
 use ekbd_link::LinkConfig;
@@ -164,6 +164,47 @@ impl Scenario {
         self
     }
 
+    /// Schedules a crash-recovery restart of `p` at `at` with blank state
+    /// (crash-recovery fault model; requires an algorithm with
+    /// [`supports_recovery`](ekbd_dining::DiningAlgorithm::supports_recovery),
+    /// e.g. [`ekbd_dining::RecoverableDining`]).
+    pub fn recover(mut self, p: ProcessId, at: Time) -> Self {
+        self.faults = self.faults.clone().recover(p, at);
+        self
+    }
+
+    /// Schedules a restart of `p` at `at` that reboots with adversarially
+    /// corrupted dining state instead of blank state.
+    pub fn recover_corrupted(mut self, p: ProcessId, at: Time) -> Self {
+        self.faults = self.faults.clone().recover_corrupted(p, at);
+        self
+    }
+
+    /// Schedules a transient fault flipping fork/token/request bits of the
+    /// (live) process `p` at `at`.
+    pub fn corrupt_state(mut self, p: ProcessId, at: Time) -> Self {
+        self.faults = self.faults.clone().corrupt_state(p, at);
+        self
+    }
+
+    /// The scheduled recovery instants, as `(process, time)` pairs.
+    pub fn recoveries(&self) -> Vec<(ProcessId, Time)> {
+        self.faults
+            .recoveries
+            .iter()
+            .map(|r| (r.process, r.at))
+            .collect()
+    }
+
+    /// The scheduled live-state corruption instants.
+    pub fn corruptions(&self) -> Vec<(ProcessId, Time)> {
+        self.faults
+            .corruptions
+            .iter()
+            .map(|c| (c.process, c.at))
+            .collect()
+    }
+
     /// Schedules an extra manual hungry session.
     pub fn hunger(mut self, p: ProcessId, at: Time) -> Self {
         self.manual_hunger.push((p, at));
@@ -200,8 +241,16 @@ impl Scenario {
             .copied()
             .filter(|&(q, _)| neighbors.contains(&q))
             .collect();
+        let neighbor_recoveries: Vec<(ProcessId, Time)> = self
+            .recoveries()
+            .into_iter()
+            .filter(|&(q, _)| neighbors.contains(&q))
+            .collect();
         match &self.oracle {
             OracleSpec::Silent => AnyDetector::Scripted(ScriptedOracle::silent()),
+            OracleSpec::Perfect if !neighbor_recoveries.is_empty() => AnyDetector::Scripted(
+                ScriptedOracle::perfect_with_recoveries(neighbor_crashes, neighbor_recoveries),
+            ),
             OracleSpec::Perfect => AnyDetector::Scripted(ScriptedOracle::perfect(neighbor_crashes)),
             OracleSpec::Adversarial { converge_at, burst } => AnyDetector::Scripted(
                 ScriptedOracle::adversarial(neighbors, *converge_at, *burst, &neighbor_crashes),
@@ -250,6 +299,14 @@ impl Scenario {
     /// Runs the scenario with the paper's Algorithm 1.
     pub fn run_algorithm1(&self) -> RunReport {
         self.run_with(|s, p| DiningProcess::from_graph(&s.graph, &s.colors, p))
+    }
+
+    /// Runs the scenario with Algorithm 1 hardened for the crash-recovery
+    /// fault model ([`RecoverableDining`]): required whenever the scenario
+    /// schedules [`recover`](Self::recover) /
+    /// [`corrupt_state`](Self::corrupt_state) faults.
+    pub fn run_recoverable(&self) -> RunReport {
+        self.run_with(|s, p| RecoverableDining::from_graph(&s.graph, &s.colors, p))
     }
 }
 

@@ -82,14 +82,13 @@ const LINK_EPOCH_SPAN: u64 = 1 << 32;
 /// single tag: `LINK_TAG_BASE + peer_index · 2³² + epoch`. Decode with
 /// [`decode_timer_tag`].
 ///
-/// # Panics
-///
-/// Debug-asserts that `epoch < 2³²` — an endpoint would need billions of
-/// timer re-arms on one peer to overflow, far beyond any run's event
-/// budget.
+/// An endpoint would need billions of timer re-arms on one peer to reach
+/// `epoch = 2³²`, far beyond any run's event budget — but if it ever
+/// happens the epoch *saturates* at `2³² − 1` rather than silently bleeding
+/// into the next peer's tag range (which would misroute the timer). A
+/// saturated epoch merely risks one spurious (idempotent) retransmission.
 pub fn link_timer_tag(peer: ProcessId, epoch: u64) -> u64 {
-    debug_assert!(epoch < LINK_EPOCH_SPAN, "link timer epoch overflow");
-    LINK_TAG_BASE + (peer.index() as u64) * LINK_EPOCH_SPAN + epoch
+    LINK_TAG_BASE + (peer.index() as u64) * LINK_EPOCH_SPAN + epoch.min(LINK_EPOCH_SPAN - 1)
 }
 
 /// Inverse of [`link_timer_tag`]: recovers `(peer, epoch)` from a tag at
@@ -104,12 +103,23 @@ pub fn decode_timer_tag(tag: u64) -> (ProcessId, u64) {
 }
 
 /// The wire format of the link layer.
+///
+/// Every frame is stamped with the sender's incarnation number (`inc`) and
+/// the sender's view of the receiver's incarnation (`dst_inc`) so sequence
+/// state survives the crash-recovery fault model: a receiver drops frames
+/// addressed to a previous life of itself, and resets its per-peer state
+/// when it first sees a frame from a newer incarnation of the peer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LinkMsg<M> {
     /// A (re)transmission of payload number `seq` on this ordered link.
     Data {
-        /// Per-ordered-link sequence number, starting at 0.
+        /// Per-ordered-link sequence number, starting at 0 for each sender
+        /// incarnation.
         seq: u64,
+        /// The sender's incarnation number.
+        inc: u64,
+        /// The sender's view of the receiver's incarnation number.
+        dst_inc: u64,
         /// The wrapped application payload.
         payload: M,
     },
@@ -117,6 +127,10 @@ pub enum LinkMsg<M> {
     Ack {
         /// One past the highest contiguously received sequence number.
         cum: u64,
+        /// The sender's incarnation number.
+        inc: u64,
+        /// The sender's view of the receiver's incarnation number.
+        dst_inc: u64,
     },
 }
 
@@ -172,6 +186,12 @@ pub struct LinkStats {
     /// Resumptions after a retracted suspicion (pause → immediate
     /// retransmit).
     pub recoveries: u64,
+    /// Frames dropped because they carried a stale incarnation (either the
+    /// peer's previous life or an earlier life of this endpoint).
+    pub stale_dropped: u64,
+    /// Per-peer state resets triggered by observing a newer peer
+    /// incarnation.
+    pub incarnation_resets: u64,
     /// High-water mark of *distinct* unacked payloads to any single peer —
     /// the per-edge channel bound of §7 restated for lossy channels.
     pub max_unacked: usize,
@@ -194,6 +214,10 @@ struct PeerState<M> {
     timer_armed: bool,
     /// Whether the peer is suspected crashed: retransmission is paused.
     paused: bool,
+    /// The highest incarnation of the peer seen on any of its frames; used
+    /// both to detect peer restarts and to stamp `dst_inc` on outgoing
+    /// frames.
+    peer_inc: u64,
     // Receiver side.
     /// Every `seq < recv_cum` has been delivered to the application.
     recv_cum: u64,
@@ -210,6 +234,7 @@ impl<M> PeerState<M> {
             timer_epoch: 0,
             timer_armed: false,
             paused: false,
+            peer_inc: 0,
             recv_cum: 0,
             recv_buf: BTreeMap::new(),
         }
@@ -245,6 +270,8 @@ impl<M> PeerState<M> {
 pub struct LinkEndpoint<M> {
     id: ProcessId,
     config: LinkConfig,
+    /// This endpoint's incarnation number, stamped on every frame.
+    inc: u64,
     peers: HashMap<ProcessId, PeerState<M>>,
     stats: LinkStats,
 }
@@ -255,6 +282,7 @@ impl<M: Clone> LinkEndpoint<M> {
         LinkEndpoint {
             id,
             config,
+            inc: 0,
             peers: HashMap::new(),
             stats: LinkStats::default(),
         }
@@ -263,6 +291,23 @@ impl<M: Clone> LinkEndpoint<M> {
     /// This endpoint's process id.
     pub fn id(&self) -> ProcessId {
         self.id
+    }
+
+    /// This endpoint's incarnation number.
+    pub fn incarnation(&self) -> u64 {
+        self.inc
+    }
+
+    /// Restarts the endpoint into incarnation `inc` (crash-recovery).
+    ///
+    /// All per-peer sequence state — unacked queues, receive cursors,
+    /// parked out-of-order frames, suspicion pauses — is volatile and lost;
+    /// peers discover the restart from the new incarnation stamped on the
+    /// next outgoing frame and reset their own side in response. Cumulative
+    /// [`stats`](Self::stats) survive, since they describe the whole run.
+    pub fn on_restart(&mut self, inc: u64) {
+        self.inc = inc;
+        self.peers.clear();
     }
 
     /// Aggregate counters over all peers.
@@ -307,6 +352,7 @@ impl<M: Clone> LinkEndpoint<M> {
     /// retransmission timer is armed if none is pending.
     pub fn send(&mut self, peer: ProcessId, payload: M) -> LinkActions<M> {
         let mut out = LinkActions::new();
+        let inc = self.inc;
         let st = self.peer(peer);
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -314,10 +360,19 @@ impl<M: Clone> LinkEndpoint<M> {
         let unacked = st.unacked.len();
         let paused = st.paused;
         let need_timer = !st.timer_armed;
+        let dst_inc = st.peer_inc;
         self.stats.payloads_sent += 1;
         self.stats.max_unacked = self.stats.max_unacked.max(unacked);
         if !paused {
-            out.sends.push((peer, LinkMsg::Data { seq, payload }));
+            out.sends.push((
+                peer,
+                LinkMsg::Data {
+                    seq,
+                    inc,
+                    dst_inc,
+                    payload,
+                },
+            ));
             self.stats.data_sent += 1;
             if need_timer {
                 self.arm_timer(peer, &mut out);
@@ -327,10 +382,68 @@ impl<M: Clone> LinkEndpoint<M> {
     }
 
     /// Handles an incoming link frame from `peer`.
+    ///
+    /// Incarnation gating comes first: frames addressed to a previous life
+    /// of this endpoint, or sent by a previous life of the peer, are
+    /// dropped before any sequence-number processing. The first frame from
+    /// a *newer* peer incarnation resets all per-peer sequence state (the
+    /// peer lost its receive cursor in the crash, so outstanding frames are
+    /// meaningless — the application-level rejoin handshake regenerates
+    /// whatever still matters).
     pub fn on_message(&mut self, peer: ProcessId, msg: LinkMsg<M>) -> LinkActions<M> {
         let mut out = LinkActions::new();
+        let (msg_inc, msg_dst) = match &msg {
+            LinkMsg::Data { inc, dst_inc, .. } | LinkMsg::Ack { inc, dst_inc, .. } => {
+                (*inc, *dst_inc)
+            }
+        };
+        let my_inc = self.inc;
+        // 0 = pass, 1 = stale peer life, 2 = addressed to a previous life
+        // of this endpoint.
+        let (reset, verdict, reply_cum) = {
+            let st = self.peer(peer);
+            let reset = msg_inc > st.peer_inc;
+            if reset {
+                *st = PeerState::new();
+                st.peer_inc = msg_inc;
+            }
+            if msg_inc < st.peer_inc {
+                (reset, 1u8, 0)
+            } else if msg_dst != my_inc {
+                (reset, 2u8, st.recv_cum)
+            } else {
+                (reset, 0u8, 0)
+            }
+        };
+        if reset {
+            self.stats.incarnation_resets += 1;
+        }
+        if verdict == 1 {
+            self.stats.stale_dropped += 1;
+            return out;
+        }
+        if verdict == 2 {
+            // Addressed to another life of this endpoint. If the peer is
+            // behind (it has not yet heard from this incarnation), answer
+            // with a bare ack carrying our current incarnation: without
+            // this, two endpoints that both restarted would drop each
+            // other's frames forever.
+            self.stats.stale_dropped += 1;
+            if msg_dst < my_inc {
+                out.sends.push((
+                    peer,
+                    LinkMsg::Ack {
+                        cum: reply_cum,
+                        inc: my_inc,
+                        dst_inc: msg_inc,
+                    },
+                ));
+                self.stats.acks_sent += 1;
+            }
+            return out;
+        }
         match msg {
-            LinkMsg::Data { seq, payload } => {
+            LinkMsg::Data { seq, payload, .. } => {
                 let st = self.peer(peer);
                 if seq < st.recv_cum || st.recv_buf.contains_key(&seq) {
                     self.stats.duplicates_suppressed += 1;
@@ -350,11 +463,19 @@ impl<M: Clone> LinkEndpoint<M> {
                 // Always (re-)ack: the cumulative ack is idempotent and
                 // re-acking duplicates lets a sender whose ack was lost
                 // make progress.
-                let cum = self.peer(peer).recv_cum;
-                out.sends.push((peer, LinkMsg::Ack { cum }));
+                let st = self.peer(peer);
+                let (cum, dst_inc) = (st.recv_cum, st.peer_inc);
+                out.sends.push((
+                    peer,
+                    LinkMsg::Ack {
+                        cum,
+                        inc: my_inc,
+                        dst_inc,
+                    },
+                ));
                 self.stats.acks_sent += 1;
             }
-            LinkMsg::Ack { cum } => {
+            LinkMsg::Ack { cum, .. } => {
                 let st = self.peer(peer);
                 let before = st.unacked.len();
                 while st.unacked.front().is_some_and(|&(seq, _)| seq < cum) {
@@ -384,6 +505,7 @@ impl<M: Clone> LinkEndpoint<M> {
     pub fn on_timer(&mut self, peer: ProcessId, epoch: u64) -> LinkActions<M> {
         let mut out = LinkActions::new();
         let config = self.config;
+        let inc = self.inc;
         let st = self.peer(peer);
         if !st.timer_armed || epoch != st.timer_epoch {
             return out;
@@ -393,9 +515,18 @@ impl<M: Clone> LinkEndpoint<M> {
             return out;
         }
         st.backoff_exp = (st.backoff_exp + 1).min(config.max_backoff_exp);
+        let dst_inc = st.peer_inc;
         let frames: Vec<(u64, M)> = st.unacked.iter().cloned().collect();
         for (seq, payload) in frames {
-            out.sends.push((peer, LinkMsg::Data { seq, payload }));
+            out.sends.push((
+                peer,
+                LinkMsg::Data {
+                    seq,
+                    inc,
+                    dst_inc,
+                    payload,
+                },
+            ));
             self.stats.retransmissions += 1;
         }
         self.arm_timer(peer, &mut out);
@@ -424,17 +555,27 @@ impl<M: Clone> LinkEndpoint<M> {
     /// step that preserves wait-freedom for wrongly suspected neighbors.
     pub fn on_unsuspect(&mut self, peer: ProcessId) -> LinkActions<M> {
         let mut out = LinkActions::new();
+        let inc = self.inc;
         let st = self.peer(peer);
         if !st.paused {
             return out;
         }
         st.paused = false;
         st.backoff_exp = 0;
+        let dst_inc = st.peer_inc;
         let frames: Vec<(u64, M)> = st.unacked.iter().cloned().collect();
         if !frames.is_empty() {
             self.stats.recoveries += 1;
             for (seq, payload) in frames {
-                out.sends.push((peer, LinkMsg::Data { seq, payload }));
+                out.sends.push((
+                    peer,
+                    LinkMsg::Data {
+                        seq,
+                        inc,
+                        dst_inc,
+                        payload,
+                    },
+                ));
                 self.stats.retransmissions += 1;
             }
             self.arm_timer(peer, &mut out);
@@ -459,10 +600,29 @@ mod tests {
         out.sends
             .iter()
             .filter_map(|(_, m)| match m {
-                LinkMsg::Data { seq, payload } => Some((*seq, *payload)),
+                LinkMsg::Data { seq, payload, .. } => Some((*seq, *payload)),
                 LinkMsg::Ack { .. } => None,
             })
             .collect()
+    }
+
+    /// An incarnation-0 data frame, as exchanged before any restart.
+    fn dmsg(seq: u64, payload: u32) -> LinkMsg<u32> {
+        LinkMsg::Data {
+            seq,
+            inc: 0,
+            dst_inc: 0,
+            payload,
+        }
+    }
+
+    /// An incarnation-0 ack frame.
+    fn amsg(cum: u64) -> LinkMsg<u32> {
+        LinkMsg::Ack {
+            cum,
+            inc: 0,
+            dst_inc: 0,
+        }
     }
 
     #[test]
@@ -481,36 +641,36 @@ mod tests {
     #[test]
     fn in_order_delivery_and_cumulative_ack() {
         let mut ep = endpoint();
-        let out = ep.on_message(p(1), LinkMsg::Data { seq: 0, payload: 5 });
+        let out = ep.on_message(p(1), dmsg(0, 5));
         assert_eq!(out.delivered, vec![(p(1), 5)]);
-        assert_eq!(out.sends, vec![(p(1), LinkMsg::Ack { cum: 1 })]);
+        assert_eq!(out.sends, vec![(p(1), amsg(1))]);
     }
 
     #[test]
     fn out_of_order_frames_are_parked_then_released_in_order() {
         let mut ep = endpoint();
-        let late = ep.on_message(p(1), LinkMsg::Data { seq: 2, payload: 7 });
+        let late = ep.on_message(p(1), dmsg(2, 7));
         assert!(late.delivered.is_empty());
-        assert_eq!(late.sends, vec![(p(1), LinkMsg::Ack { cum: 0 })]);
-        let later = ep.on_message(p(1), LinkMsg::Data { seq: 1, payload: 6 });
+        assert_eq!(late.sends, vec![(p(1), amsg(0))]);
+        let later = ep.on_message(p(1), dmsg(1, 6));
         assert!(later.delivered.is_empty());
-        let first = ep.on_message(p(1), LinkMsg::Data { seq: 0, payload: 5 });
+        let first = ep.on_message(p(1), dmsg(0, 5));
         assert_eq!(first.delivered, vec![(p(1), 5), (p(1), 6), (p(1), 7)]);
-        assert_eq!(first.sends, vec![(p(1), LinkMsg::Ack { cum: 3 })]);
+        assert_eq!(first.sends, vec![(p(1), amsg(3))]);
         assert_eq!(ep.stats().out_of_order_buffered, 2);
     }
 
     #[test]
     fn duplicates_are_suppressed_but_reacked() {
         let mut ep = endpoint();
-        ep.on_message(p(1), LinkMsg::Data { seq: 0, payload: 5 });
-        let dup = ep.on_message(p(1), LinkMsg::Data { seq: 0, payload: 5 });
+        ep.on_message(p(1), dmsg(0, 5));
+        let dup = ep.on_message(p(1), dmsg(0, 5));
         assert!(dup.delivered.is_empty(), "payload must not surface twice");
-        assert_eq!(dup.sends, vec![(p(1), LinkMsg::Ack { cum: 1 })]);
+        assert_eq!(dup.sends, vec![(p(1), amsg(1))]);
         assert_eq!(ep.stats().duplicates_suppressed, 1);
         // A parked out-of-order frame also counts as already-received.
-        ep.on_message(p(1), LinkMsg::Data { seq: 3, payload: 9 });
-        ep.on_message(p(1), LinkMsg::Data { seq: 3, payload: 9 });
+        ep.on_message(p(1), dmsg(3, 9));
+        ep.on_message(p(1), dmsg(3, 9));
         assert_eq!(ep.stats().duplicates_suppressed, 2);
     }
 
@@ -519,9 +679,9 @@ mod tests {
         let mut ep = endpoint();
         ep.send(p(1), 10);
         ep.send(p(1), 11);
-        ep.on_message(p(1), LinkMsg::Ack { cum: 1 });
+        ep.on_message(p(1), amsg(1));
         assert_eq!(ep.unacked_to(p(1)), 1);
-        ep.on_message(p(1), LinkMsg::Ack { cum: 2 });
+        ep.on_message(p(1), amsg(2));
         assert_eq!(ep.unacked_to(p(1)), 0);
         // The old timer epoch is now stale: firing it does nothing.
         let out = ep.on_timer(p(1), 1);
@@ -573,9 +733,9 @@ mod tests {
         let fire = ep.on_timer(p(1), epoch);
         let (_, delay_backed_off, _) = fire.timers[0];
         assert!(delay_backed_off > LinkConfig::default().retransmit_base);
-        ep.on_message(p(1), LinkMsg::Ack { cum: 1 });
+        ep.on_message(p(1), amsg(1));
         // Next send arms at the base delay again.
-        ep.on_message(p(1), LinkMsg::Ack { cum: 2 });
+        ep.on_message(p(1), amsg(2));
         let next = ep.send(p(1), 12);
         let (_, delay, _) = next.timers[0];
         assert_eq!(delay, LinkConfig::default().retransmit_base);
@@ -683,5 +843,138 @@ mod tests {
         }
         assert_eq!(delivered, vec![0, 1, 2, 3, 4], "exactly once, in order");
         assert!(alice.stats().retransmissions >= 5);
+    }
+
+    #[test]
+    fn timer_tag_saturates_instead_of_bleeding_into_next_peer() {
+        // A sane epoch round-trips exactly.
+        assert_eq!(decode_timer_tag(link_timer_tag(p(3), 42)), (p(3), 42));
+        // At and beyond the span boundary the epoch saturates: the tag must
+        // stay inside peer 3's range, never aliasing peer 4's epoch 0.
+        let max = LINK_EPOCH_SPAN - 1;
+        assert_eq!(
+            link_timer_tag(p(3), LINK_EPOCH_SPAN),
+            link_timer_tag(p(3), max)
+        );
+        assert_eq!(link_timer_tag(p(3), u64::MAX), link_timer_tag(p(3), max));
+        assert_eq!(
+            decode_timer_tag(link_timer_tag(p(3), u64::MAX)),
+            (p(3), max)
+        );
+        assert_ne!(link_timer_tag(p(3), u64::MAX), link_timer_tag(p(4), 0));
+    }
+
+    #[test]
+    fn restart_clears_sequence_state_and_bumps_incarnation() {
+        let mut ep = endpoint();
+        ep.send(p(1), 10);
+        ep.on_message(p(1), dmsg(0, 5));
+        ep.on_suspect(p(2));
+        assert_eq!(ep.incarnation(), 0);
+        ep.on_restart(3);
+        assert_eq!(ep.incarnation(), 3);
+        assert_eq!(ep.unacked_to(p(1)), 0, "unacked queue is volatile");
+        assert!(!ep.is_paused(p(2)), "suspicion pause is volatile");
+        // Fresh sends start at seq 0 and carry the new incarnation.
+        let out = ep.send(p(1), 11);
+        assert!(matches!(
+            out.sends[0].1,
+            LinkMsg::Data { seq: 0, inc: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn frames_from_newer_peer_incarnation_reset_the_link() {
+        let mut ep = endpoint();
+        // Pre-restart traffic from the peer, including a parked frame.
+        ep.on_message(p(1), dmsg(0, 5));
+        ep.on_message(p(1), dmsg(2, 7));
+        ep.send(p(1), 10);
+        // The peer restarts (incarnation 1) and sends from seq 0 again.
+        let out = ep.on_message(
+            p(1),
+            LinkMsg::Data {
+                seq: 0,
+                inc: 1,
+                dst_inc: 0,
+                payload: 50,
+            },
+        );
+        assert_eq!(out.delivered, vec![(p(1), 50)], "fresh seq 0 delivered");
+        assert_eq!(ep.stats().incarnation_resets, 1);
+        assert_eq!(ep.unacked_to(p(1)), 0, "stale outgoing frames dropped");
+        // Frames from the peer's previous life are now dropped.
+        let stale = ep.on_message(p(1), dmsg(1, 6));
+        assert!(stale.is_empty());
+        assert!(ep.stats().stale_dropped >= 1);
+    }
+
+    #[test]
+    fn frames_addressed_to_a_previous_life_are_dropped_with_identity_ack() {
+        let mut ep = endpoint();
+        ep.on_restart(2);
+        // A frame stamped for incarnation 0 of this endpoint: dropped, but
+        // answered with an ack advertising incarnation 2 so the sender can
+        // resynchronize (breaks the mutual-restart deadlock).
+        let out = ep.on_message(p(1), dmsg(0, 5));
+        assert!(out.delivered.is_empty());
+        assert_eq!(
+            out.sends,
+            vec![(
+                p(1),
+                LinkMsg::Ack {
+                    cum: 0,
+                    inc: 2,
+                    dst_inc: 0
+                }
+            )]
+        );
+        assert_eq!(ep.stats().stale_dropped, 1);
+    }
+
+    #[test]
+    fn mutual_restart_resynchronizes_via_identity_acks() {
+        let mut alice = LinkEndpoint::new(p(0), LinkConfig::default());
+        let mut bob = LinkEndpoint::new(p(1), LinkConfig::default());
+        // Establish incarnation-0 traffic both ways.
+        for (_, f) in alice.send(p(1), 1).sends {
+            for (_, a) in bob.on_message(p(0), f).sends {
+                alice.on_message(p(1), a);
+            }
+        }
+        // Both restart at different incarnations; each still believes the
+        // other is at incarnation 0.
+        alice.on_restart(1);
+        bob.on_restart(2);
+        // Alice's first frame is stamped dst_inc 0: Bob drops it but
+        // answers with his identity; the exchange converges to delivery.
+        let mut delivered = Vec::new();
+        let mut frames: Vec<(bool, LinkMsg<u32>)> = alice
+            .send(p(1), 42)
+            .sends
+            .into_iter()
+            .map(|(_, f)| (true, f))
+            .collect();
+        let mut guard = 0;
+        while let Some((to_bob, frame)) = frames.pop() {
+            guard += 1;
+            assert!(guard < 20, "identity exchange must converge");
+            if to_bob {
+                let got = bob.on_message(p(0), frame);
+                delivered.extend(got.delivered.iter().map(|&(_, v)| v));
+                frames.extend(got.sends.into_iter().map(|(_, f)| (false, f)));
+            } else {
+                let got = alice.on_message(p(1), frame);
+                frames.extend(got.sends.into_iter().map(|(_, f)| (true, f)));
+            }
+        }
+        // The payload was dropped with the stale frame (link state is
+        // volatile), but both sides now know each other's incarnation: the
+        // next send goes straight through.
+        for (_, f) in alice.send(p(1), 43).sends {
+            let got = bob.on_message(p(0), f);
+            delivered.extend(got.delivered.iter().map(|&(_, v)| v));
+        }
+        assert_eq!(delivered, vec![43]);
     }
 }

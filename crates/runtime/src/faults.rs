@@ -63,6 +63,19 @@ impl ChannelFaults {
     }
 }
 
+/// Deterministic entropy for process-state faults (restart corruption and
+/// live bit flips): the threaded mirror of the simulator's per-event fault
+/// entropy, with an explicit `nonce` (incarnation or injection counter)
+/// standing in for virtual time, which the threaded runtime does not have.
+pub fn state_entropy(seed: u64, p: ProcessId, nonce: u64) -> u64 {
+    let mut z = seed
+        ^ (p.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ nonce.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A process's outgoing channels, wrapped with fault injection.
 ///
 /// Control traffic (hungry/crash/shutdown commands) bypasses the faults
@@ -134,6 +147,15 @@ mod tests {
         assert!(got.len() < 200, "half the frames should be lost");
         let dups = got.len() - got.iter().collect::<std::collections::BTreeSet<_>>().len();
         assert!(dups > 0, "some frames should arrive twice");
+    }
+
+    #[test]
+    fn state_entropy_is_deterministic_and_spread() {
+        let a = state_entropy(1, ProcessId(0), 1);
+        assert_eq!(a, state_entropy(1, ProcessId(0), 1));
+        assert_ne!(a, state_entropy(2, ProcessId(0), 1));
+        assert_ne!(a, state_entropy(1, ProcessId(1), 1));
+        assert_ne!(a, state_entropy(1, ProcessId(0), 2));
     }
 
     #[test]

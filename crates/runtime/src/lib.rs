@@ -14,9 +14,15 @@
 //! [`ekbd_link`] reliable link layer (`RuntimeConfig::link`), the same
 //! sans-io state machine the simulator hosts.
 //!
-//! Crashes are real: a crashed process's thread exits, its channel
-//! receivers drop, and from then on it neither sends nor receives —
-//! exactly the paper's crash-fault model.
+//! Crashes are real: under the crash-stop algorithm a crashed process's
+//! thread exits, its channel receivers drop, and from then on it neither
+//! sends nor receives — exactly the paper's crash-fault model. Under the
+//! crash-recovery variant ([`ThreadedDining::spawn_recoverable`]) the
+//! thread instead parks with all volatile state discarded, and can later
+//! be restarted — blank or with deterministically corrupted state — via
+//! [`ThreadedDining::recover`] / [`ThreadedDining::recover_corrupted`];
+//! live state faults are injected with [`ThreadedDining::corrupt_state`]
+//! and repaired by the periodic audit (`RuntimeConfig::audit_ms`).
 //!
 //! This crate exists to demonstrate runtime-independence and to host the
 //! wall-clock benchmarks; the measured experiments live on the simulator,

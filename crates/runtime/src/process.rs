@@ -1,9 +1,9 @@
-use crate::faults::LossyLinks;
+use crate::faults::{state_entropy, LossyLinks};
 use crossbeam_channel::{Receiver, RecvTimeoutError};
 use ekbd_detector::{
     DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, HeartbeatDetector,
 };
-use ekbd_dining::{DinerState, DiningAlgorithm, DiningInput, DiningMsg, DiningObs};
+use ekbd_dining::{DinerState, DiningAlgorithm, DiningInput, DiningObs};
 use ekbd_graph::ProcessId;
 use ekbd_link::{
     decode_timer_tag, link_timer_tag, LinkActions, LinkEndpoint, LinkMsg, LINK_TAG_BASE,
@@ -17,33 +17,45 @@ use std::time::Instant;
 
 /// Messages delivered to a process thread.
 #[derive(Clone)]
-pub(crate) enum ThreadMsg {
+pub(crate) enum ThreadMsg<M> {
     /// Dining-layer traffic, sent bare (reliable-channel mode).
-    Dining(ProcessId, DiningMsg),
+    Dining(ProcessId, M),
     /// Dining-layer traffic wrapped by the reliable link layer. As on the
     /// simulator, detector heartbeats are *not* wrapped: ◇P is
     /// loss-tolerant by design, and wrapping perpetual monitoring traffic
     /// would defeat link-layer quiescence.
-    Link(ProcessId, LinkMsg<DiningMsg>),
+    Link(ProcessId, LinkMsg<M>),
     /// Detector-layer traffic.
     Detector(ProcessId, DetectorMsg),
     /// Workload: become hungry.
     Hungry,
-    /// Fault injection: crash now (the thread exits without cleanup).
+    /// Fault injection: crash now. Crash-stop algorithms exit the thread;
+    /// recoverable algorithms park and drop all traffic until `Recover`.
     Crash,
+    /// Fault injection: restart a crashed recoverable process, blank or
+    /// (when `corrupt`) with deterministically scrambled state.
+    Recover {
+        /// Reboot with adversarially corrupted dining state.
+        corrupt: bool,
+    },
+    /// Fault injection: flip state bits of this (live) process.
+    Corrupt {
+        /// Seeded entropy word for the corruption.
+        entropy: u64,
+    },
     /// Orderly end of the experiment.
     Shutdown,
 }
 
-pub(crate) struct ProcessThread<A: DiningAlgorithm<Msg = DiningMsg>> {
+pub(crate) struct ProcessThread<A: DiningAlgorithm> {
     pub id: ProcessId,
     pub alg: A,
     pub det: HeartbeatDetector,
-    pub rx: Receiver<ThreadMsg>,
-    pub links: LossyLinks<ThreadMsg>,
+    pub rx: Receiver<ThreadMsg<A::Msg>>,
+    pub links: LossyLinks<ThreadMsg<A::Msg>>,
     /// Reliable link layer wrapping dining traffic; `None` sends bare
     /// `ThreadMsg::Dining` frames (correct over un-faulted channels).
-    pub link: Option<LinkEndpoint<DiningMsg>>,
+    pub link: Option<LinkEndpoint<A::Msg>>,
     /// Last suspect set seen, for diffing into link pause/resume calls.
     pub suspects: BTreeSet<ProcessId>,
     pub epoch: Instant,
@@ -52,9 +64,18 @@ pub(crate) struct ProcessThread<A: DiningAlgorithm<Msg = DiningMsg>> {
     pub link_stats: Arc<Mutex<LinkSummary>>,
     /// Fixed eating duration in milliseconds.
     pub eat_ms: u64,
+    /// Period of the recovery audit timer in milliseconds (only armed for
+    /// algorithms with `supports_recovery`).
+    pub audit_ms: u64,
+    /// Seed of the state-fault entropy stream (restart corruption).
+    pub entropy_seed: u64,
+    /// Crashed-but-recoverable: parked, dropping all traffic.
+    pub crashed: bool,
+    /// Restart counter — the "one counter in stable storage".
+    pub inc: u64,
 }
 
-impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
+impl<A: DiningAlgorithm> ProcessThread<A> {
     fn now(&self) -> Time {
         Time(self.epoch.elapsed().as_millis() as u64)
     }
@@ -68,7 +89,7 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
     /// feeds released payloads to the dining algorithm in order.
     fn absorb_link_actions(
         &mut self,
-        actions: LinkActions<DiningMsg>,
+        actions: LinkActions<A::Msg>,
         timers: &mut Vec<(Instant, u64)>,
     ) {
         for (to, frame) in actions.sends {
@@ -103,7 +124,7 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
                 for &q in now_suspects.difference(&self.suspects) {
                     link.on_suspect(q);
                 }
-                let resumed: Vec<LinkActions<DiningMsg>> = self
+                let resumed: Vec<LinkActions<A::Msg>> = self
                     .suspects
                     .difference(&now_suspects)
                     .map(|&q| link.on_unsuspect(q))
@@ -119,11 +140,8 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
         }
     }
 
-    /// Feeds the dining algorithm, mirroring the simulator host's diffing.
-    fn drive(&mut self, input: DiningInput<DiningMsg>, timers: &mut Vec<(Instant, u64)>) {
-        let before = self.alg.state();
-        let mut sends = Vec::new();
-        self.alg.handle(input, &self.det, &mut sends);
+    /// Transmits dining-layer sends, via the link layer when present.
+    fn send_dining(&mut self, sends: Vec<(ProcessId, A::Msg)>, timers: &mut Vec<(Instant, u64)>) {
         for (to, msg) in sends {
             match self.link.as_mut() {
                 Some(link) => {
@@ -134,6 +152,24 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
                 None => self.links.send(to, ThreadMsg::Dining(self.id, msg)),
             }
         }
+    }
+
+    /// Feeds the dining algorithm, mirroring the simulator host's diffing.
+    fn drive(&mut self, input: DiningInput<A::Msg>, timers: &mut Vec<(Instant, u64)>) {
+        self.step_alg(timers, |alg, det, sends| alg.handle(input, det, sends));
+    }
+
+    /// Runs one algorithm step (a `handle`, `audit` or `inject_corruption`
+    /// call), forwards its sends, and diffs its visible state.
+    fn step_alg(
+        &mut self,
+        timers: &mut Vec<(Instant, u64)>,
+        f: impl FnOnce(&mut A, &HeartbeatDetector, &mut Vec<(ProcessId, A::Msg)>),
+    ) {
+        let before = self.alg.state();
+        let mut sends = Vec::new();
+        f(&mut self.alg, &self.det, &mut sends);
+        self.send_dining(sends, timers);
         let after = self.alg.state();
         if before == DinerState::Thinking && after != DinerState::Thinking {
             self.record(DiningObs::BecameHungry);
@@ -147,6 +183,42 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
         }
         if before == DinerState::Eating && after == DinerState::Thinking {
             self.record(DiningObs::StoppedEating);
+        }
+    }
+
+    /// Restarts the crashed process: link layer first (clean channels for
+    /// the rejoin traffic), then the algorithm, then a new detector epoch
+    /// refuting the neighbors' suspicions of the pre-crash life.
+    fn restart(&mut self, corrupt: bool, timers: &mut Vec<(Instant, u64)>) {
+        self.crashed = false;
+        self.inc += 1;
+        timers.clear();
+        let corruption = corrupt.then(|| state_entropy(self.entropy_seed, self.id, self.inc));
+        if let Some(link) = self.link.as_mut() {
+            link.on_restart(self.inc);
+        }
+        let mut sends = Vec::new();
+        self.alg
+            .restart(self.inc, corruption, &self.det, &mut sends);
+        self.send_dining(sends, timers);
+        let mut out = DetectorOutput::new();
+        self.det.handle(
+            DetectorEvent::Recovered {
+                now: self.now(),
+                epoch: self.inc,
+            },
+            &mut out,
+        );
+        self.apply_detector_output(out, timers);
+        self.arm_audit(timers);
+    }
+
+    fn arm_audit(&self, timers: &mut Vec<(Instant, u64)>) {
+        if self.alg.supports_recovery() {
+            timers.push((
+                Instant::now() + std::time::Duration::from_millis(self.audit_ms),
+                AUDIT_TAG,
+            ));
         }
     }
 
@@ -171,16 +243,17 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
     }
 
     /// An event loop over channel messages and timer deadlines until
-    /// shutdown or crash.
+    /// shutdown or (unrecoverable) crash.
     fn event_loop(&mut self) {
         let mut timers: Vec<(Instant, u64)> = Vec::new();
         let mut out = DetectorOutput::new();
         self.det
             .handle(DetectorEvent::Start { now: self.now() }, &mut out);
         self.apply_detector_output(out, &mut timers);
+        self.arm_audit(&mut timers);
 
         loop {
-            // Fire every due timer.
+            // Fire every due timer (none are armed while crashed).
             let now_i = Instant::now();
             let mut due: Vec<u64> = Vec::new();
             timers.retain(|&(at, tag)| {
@@ -196,6 +269,9 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
                     if self.alg.state() == DinerState::Eating {
                         self.drive(DiningInput::DoneEating, &mut timers);
                     }
+                } else if tag == AUDIT_TAG {
+                    self.step_alg(&mut timers, |alg, det, sends| alg.audit(det, sends));
+                    self.arm_audit(&mut timers);
                 } else if tag >= LINK_TAG_BASE {
                     let (peer, epoch) = decode_timer_tag(tag);
                     if let Some(link) = self.link.as_mut() {
@@ -216,6 +292,15 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
                 .min()
                 .unwrap_or_else(|| Instant::now() + std::time::Duration::from_millis(50));
             match self.rx.recv_deadline(deadline) {
+                // A crashed (parked) recoverable process drops everything
+                // except a restart or the end of the experiment.
+                Ok(ThreadMsg::Recover { corrupt }) => {
+                    if self.crashed {
+                        self.restart(corrupt, &mut timers);
+                    }
+                }
+                Ok(ThreadMsg::Shutdown) => return,
+                Ok(_) if self.crashed => {}
                 Ok(ThreadMsg::Dining(from, msg)) => {
                     self.drive(DiningInput::Message { from, msg }, &mut timers);
                 }
@@ -237,7 +322,22 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
                         self.drive(DiningInput::Hungry, &mut timers);
                     }
                 }
-                Ok(ThreadMsg::Crash) | Ok(ThreadMsg::Shutdown) => return,
+                Ok(ThreadMsg::Corrupt { entropy }) => {
+                    self.step_alg(&mut timers, |alg, det, sends| {
+                        alg.inject_corruption(entropy, det, sends)
+                    });
+                }
+                Ok(ThreadMsg::Crash) => {
+                    if self.alg.supports_recovery() {
+                        // Park: volatile state is conceptually lost (it is
+                        // rebuilt from scratch on Recover); drop all
+                        // traffic and send nothing meanwhile.
+                        self.crashed = true;
+                        timers.clear();
+                    } else {
+                        return; // crash-stop: the thread exits for good
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return,
             }
@@ -245,7 +345,9 @@ impl<A: DiningAlgorithm<Msg = DiningMsg>> ProcessThread<A> {
     }
 }
 
-/// Tag for the host-level eating timer; the heartbeat detector uses tag 1
-/// and link timers sit in `[LINK_TAG_BASE, u64::MAX)`, so the maximum is
-/// free (checked before the link range in the dispatch above).
+/// Tag for the host-level eating timer; the recovery audit timer sits just
+/// below it, the heartbeat detector uses tag 1, and link timers sit in
+/// `[LINK_TAG_BASE, AUDIT_TAG)` — checked in that order in the dispatch
+/// above.
 const EAT_TAG: u64 = u64::MAX;
+const AUDIT_TAG: u64 = u64::MAX - 1;

@@ -1,13 +1,15 @@
-use crate::faults::{ChannelFaults, LossyLinks};
+use crate::faults::{state_entropy, ChannelFaults, LossyLinks};
 use crate::process::{ProcessThread, ThreadMsg};
 use crossbeam_channel::{unbounded, Sender};
 use ekbd_detector::{HeartbeatConfig, HeartbeatDetector};
-use ekbd_dining::DiningProcess;
-use ekbd_graph::{coloring, ConflictGraph, ProcessId};
+use ekbd_dining::{DiningAlgorithm, DiningMsg, DiningProcess, RecoverableDining, RecoveryMsg};
+use ekbd_graph::coloring::{self, Color};
+use ekbd_graph::{ConflictGraph, ProcessId};
 use ekbd_link::{LinkConfig, LinkEndpoint};
 use ekbd_metrics::{LinkSummary, SchedEvent};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -19,6 +21,9 @@ pub struct RuntimeConfig {
     pub heartbeat: HeartbeatConfig,
     /// Eating duration in milliseconds.
     pub eat_ms: u64,
+    /// Period of the recovery audit-and-repair timer in milliseconds
+    /// (only armed by algorithms that support recovery).
+    pub audit_ms: u64,
     /// Sender-side channel faults on payload traffic (default: inert).
     pub faults: ChannelFaults,
     /// Reliable link layer wrapping dining traffic (default: off).
@@ -36,43 +41,67 @@ impl Default for RuntimeConfig {
                 timeout_increment: 50,
             },
             eat_ms: 5,
+            audit_ms: 25,
             faults: ChannelFaults::default(),
             link: None,
         }
     }
 }
 
+/// Decorrelates system-side live-corruption nonces from the in-thread
+/// restart nonces (which are small incarnation numbers).
+const CORRUPT_NONCE_BASE: u64 = 1 << 32;
+
 /// A dining system running live: one OS thread per philosopher, crossbeam
 /// channels as FIFO links, wall-clock heartbeats as ◇P₁.
-pub struct ThreadedDining {
-    txs: Vec<Sender<ThreadMsg>>,
+///
+/// The message-type parameter `M` follows the hosted algorithm:
+/// [`spawn`](Self::spawn) runs the crash-stop
+/// [`DiningProcess`](ekbd_dining::DiningProcess) (`M = DiningMsg`),
+/// [`spawn_recoverable`](ThreadedDining::spawn_recoverable) runs the
+/// crash-recovery [`RecoverableDining`](ekbd_dining::RecoverableDining)
+/// (`M = RecoveryMsg`).
+pub struct ThreadedDining<M: Clone + Send + 'static = DiningMsg> {
+    txs: Vec<Sender<ThreadMsg<M>>>,
     handles: Vec<JoinHandle<()>>,
     events: Arc<Mutex<Vec<SchedEvent>>>,
     link_stats: Arc<Mutex<LinkSummary>>,
     epoch: Instant,
+    entropy_seed: u64,
+    corrupt_nonce: AtomicU64,
 }
 
-impl ThreadedDining {
-    /// Spawns the system over `graph` running Algorithm 1 with a greedy
-    /// coloring.
-    pub fn spawn(graph: ConflictGraph, config: RuntimeConfig) -> Self {
+impl<M: Clone + Send + 'static> ThreadedDining<M> {
+    /// Spawns one thread per process over `graph`, hosting the algorithm
+    /// produced by `factory` (given the graph, a greedy coloring, and the
+    /// process id).
+    fn spawn_with<A>(
+        graph: ConflictGraph,
+        config: RuntimeConfig,
+        mut factory: impl FnMut(&ConflictGraph, &[Color], ProcessId) -> A,
+    ) -> Self
+    where
+        A: DiningAlgorithm<Msg = M> + Send + 'static,
+    {
         let colors = coloring::greedy(&graph);
         let epoch = Instant::now();
         let events: Arc<Mutex<Vec<SchedEvent>>> = Arc::new(Mutex::new(Vec::new()));
         let link_stats: Arc<Mutex<LinkSummary>> = Arc::new(Mutex::new(LinkSummary::default()));
-        let channels: Vec<_> = (0..graph.len()).map(|_| unbounded::<ThreadMsg>()).collect();
-        let txs: Vec<Sender<ThreadMsg>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let channels: Vec<_> = (0..graph.len())
+            .map(|_| unbounded::<ThreadMsg<M>>())
+            .collect();
+        let txs: Vec<Sender<ThreadMsg<M>>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
         let mut handles = Vec::with_capacity(graph.len());
         for (i, (_, rx)) in channels.into_iter().enumerate() {
             let id = ProcessId::from(i);
-            let neighbor_txs: HashMap<ProcessId, Sender<ThreadMsg>> = graph
+            let neighbor_txs: HashMap<ProcessId, Sender<ThreadMsg<M>>> = graph
                 .neighbors(id)
                 .iter()
                 .map(|&q| (q, txs[q.index()].clone()))
                 .collect();
             let thread = ProcessThread {
                 id,
-                alg: DiningProcess::from_graph(&graph, &colors, id),
+                alg: factory(&graph, &colors, id),
                 det: HeartbeatDetector::new(config.heartbeat, graph.neighbors(id).iter().copied()),
                 rx,
                 links: LossyLinks::new(neighbor_txs, config.faults, i),
@@ -82,6 +111,10 @@ impl ThreadedDining {
                 events: Arc::clone(&events),
                 link_stats: Arc::clone(&link_stats),
                 eat_ms: config.eat_ms.max(1),
+                audit_ms: config.audit_ms.max(1),
+                entropy_seed: config.faults.seed,
+                crashed: false,
+                inc: 0,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -96,6 +129,8 @@ impl ThreadedDining {
             events,
             link_stats,
             epoch,
+            entropy_seed: config.faults.seed,
+            corrupt_nonce: AtomicU64::new(0),
         }
     }
 
@@ -109,9 +144,32 @@ impl ThreadedDining {
         let _ = self.txs[p.index()].send(ThreadMsg::Hungry);
     }
 
-    /// Crashes `p`: its thread exits immediately and permanently.
+    /// Crashes `p`. Under a crash-stop algorithm its thread exits
+    /// immediately and permanently; under a crash-recovery algorithm the
+    /// thread parks, dropping all traffic, until [`recover`](Self::recover).
     pub fn crash(&self, p: ProcessId) {
         let _ = self.txs[p.index()].send(ThreadMsg::Crash);
+    }
+
+    /// Restarts a crashed `p` with blank dining state and a fresh
+    /// incarnation (no-op unless `p` is crashed and recoverable).
+    pub fn recover(&self, p: ProcessId) {
+        let _ = self.txs[p.index()].send(ThreadMsg::Recover { corrupt: false });
+    }
+
+    /// Restarts a crashed `p` with adversarially corrupted dining state
+    /// drawn from the seeded state-fault stream.
+    pub fn recover_corrupted(&self, p: ProcessId) {
+        let _ = self.txs[p.index()].send(ThreadMsg::Recover { corrupt: true });
+    }
+
+    /// Flips state bits of the live process `p` (fork/token/request
+    /// scrambling under the seeded state-fault stream); the periodic audit
+    /// must repair the damage. Ignored by crash-stop algorithms.
+    pub fn corrupt_state(&self, p: ProcessId) {
+        let nonce = CORRUPT_NONCE_BASE + self.corrupt_nonce.fetch_add(1, Ordering::Relaxed);
+        let entropy = state_entropy(self.entropy_seed, p, nonce);
+        let _ = self.txs[p.index()].send(ThreadMsg::Corrupt { entropy });
     }
 
     /// Snapshot of the events recorded so far.
@@ -140,6 +198,27 @@ impl ThreadedDining {
             .unwrap_or_default();
         let link = *self.link_stats.lock();
         (events, link)
+    }
+}
+
+impl ThreadedDining {
+    /// Spawns the system over `graph` running Algorithm 1 with a greedy
+    /// coloring.
+    pub fn spawn(graph: ConflictGraph, config: RuntimeConfig) -> Self {
+        Self::spawn_with(graph, config, |g, colors, id| {
+            DiningProcess::from_graph(g, colors, id)
+        })
+    }
+}
+
+impl ThreadedDining<RecoveryMsg> {
+    /// Spawns the system over `graph` running the crash-recovery variant
+    /// of Algorithm 1: crashed processes can be restarted (blank or
+    /// corrupted) and a periodic audit repairs state-fault damage.
+    pub fn spawn_recoverable(graph: ConflictGraph, config: RuntimeConfig) -> Self {
+        Self::spawn_with(graph, config, |g, colors, id| {
+            RecoverableDining::from_graph(g, colors, id)
+        })
     }
 }
 
@@ -252,6 +331,87 @@ mod tests {
         assert!(
             eaters.contains(&ProcessId(1)) && eaters.contains(&ProcessId(2)),
             "wait-freedom on real threads: {eaters:?}"
+        );
+    }
+
+    #[test]
+    fn recovered_process_rejoins_and_eats_on_threads() {
+        // Crash p0, let its neighbors suspect it and keep eating, then
+        // restart it with corrupted state: after the rejoin handshake it
+        // must eat again, and post-restart exclusion must stay perfect.
+        let cfg = RuntimeConfig {
+            faults: ChannelFaults {
+                seed: 99,
+                ..ChannelFaults::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let sys = ThreadedDining::spawn_recoverable(topology::ring(3), cfg);
+        sys.crash(ProcessId(0));
+        std::thread::sleep(Duration::from_millis(30));
+        sys.make_hungry(ProcessId(1));
+        sys.make_hungry(ProcessId(2));
+        // Let the survivors be suspected-and-served first.
+        std::thread::sleep(Duration::from_millis(400));
+        sys.recover_corrupted(ProcessId(0));
+        std::thread::sleep(Duration::from_millis(300));
+        let restart_ms = sys.elapsed_ms();
+        for _ in 0..3 {
+            for i in 0..3 {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(Duration::from_millis(80));
+        }
+        let events = sys.shutdown_after(Duration::from_millis(500));
+        let p0_ate_after = events.iter().any(|e| {
+            e.process == ProcessId(0)
+                && e.obs == DiningObs::StartedEating
+                && e.time >= Time(restart_ms)
+        });
+        assert!(p0_ate_after, "recovered p0 must be readmitted and eat");
+        let g = topology::ring(3);
+        let post: Vec<SchedEvent> = events
+            .iter()
+            .filter(|e| e.time >= Time(restart_ms))
+            .cloned()
+            .collect();
+        let report = ExclusionReport::analyze(&g, &post, &|_| None, Time(u64::MAX));
+        assert_eq!(
+            report.total(),
+            0,
+            "post-recovery mistakes: {:?}",
+            report.mistakes
+        );
+    }
+
+    #[test]
+    fn live_corruption_is_audited_away_on_threads() {
+        // Scramble p1's state mid-run; the periodic audit must repair it
+        // and everyone keeps eating.
+        let sys = ThreadedDining::spawn_recoverable(topology::ring(3), RuntimeConfig::default());
+        for i in 0..3 {
+            sys.make_hungry(ProcessId::from(i));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        sys.corrupt_state(ProcessId(1));
+        std::thread::sleep(Duration::from_millis(200));
+        let corrupt_ms = sys.elapsed_ms();
+        for _ in 0..3 {
+            for i in 0..3 {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(Duration::from_millis(80));
+        }
+        let events = sys.shutdown_after(Duration::from_millis(400));
+        let mut ate_after = [false; 3];
+        for e in &events {
+            if e.obs == DiningObs::StartedEating && e.time >= Time(corrupt_ms) {
+                ate_after[e.process.index()] = true;
+            }
+        }
+        assert!(
+            ate_after.iter().all(|&x| x),
+            "everyone must eat after the corruption is repaired: {ate_after:?}"
         );
     }
 }

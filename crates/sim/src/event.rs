@@ -14,6 +14,15 @@ pub(crate) enum EventKind<M, E> {
     External(E),
     /// Crash the target process.
     Crash,
+    /// Restart the target process if it is crashed, optionally with
+    /// adversarially corrupted state.
+    Recover {
+        /// Whether the restarted state is corrupted rather than blank.
+        corrupt: bool,
+    },
+    /// Flip state bits of the target process if it is live (a transient
+    /// fault in the self-stabilization sense).
+    Corrupt,
 }
 
 /// A queued event, ordered by `(time, seq)`.

@@ -74,6 +74,32 @@ impl Partition {
     }
 }
 
+/// A scheduled restart of a crashed process (crash-recovery fault model).
+///
+/// If the process is not crashed when the event fires, it is a no-op; the
+/// simulator never "restarts" a live process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoverySpec {
+    /// The process to restart.
+    pub process: ProcessId,
+    /// When the restart fires.
+    pub at: Time,
+    /// Whether the process reboots with adversarially corrupted dining
+    /// state instead of blank state.
+    pub corrupt: bool,
+}
+
+/// A scheduled transient fault flipping state bits of a *live* process.
+///
+/// If the process is crashed when the event fires, it is a no-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorruptionSpec {
+    /// The process whose state is corrupted.
+    pub process: ProcessId,
+    /// When the corruption fires.
+    pub at: Time,
+}
+
 /// A deterministic, seeded schedule of channel faults for one run.
 ///
 /// Built with chained setters:
@@ -97,6 +123,10 @@ pub struct FaultPlan {
     /// Timed partitions; a message is dropped if *any* active partition cuts
     /// it.
     pub partitions: Vec<Partition>,
+    /// Scheduled restarts of crashed processes.
+    pub recoveries: Vec<RecoverySpec>,
+    /// Scheduled transient state corruptions of live processes.
+    pub corruptions: Vec<CorruptionSpec>,
 }
 
 fn unordered(a: ProcessId, b: ProcessId) -> (ProcessId, ProcessId) {
@@ -146,6 +176,32 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a restart of `p` at `t` with blank (zeroed) state.
+    pub fn recover(mut self, p: ProcessId, t: Time) -> Self {
+        self.recoveries.push(RecoverySpec {
+            process: p,
+            at: t,
+            corrupt: false,
+        });
+        self
+    }
+
+    /// Schedules a restart of `p` at `t` with adversarially corrupted state.
+    pub fn recover_corrupted(mut self, p: ProcessId, t: Time) -> Self {
+        self.recoveries.push(RecoverySpec {
+            process: p,
+            at: t,
+            corrupt: true,
+        });
+        self
+    }
+
+    /// Schedules a transient state corruption of the live process `p` at `t`.
+    pub fn corrupt_state(mut self, p: ProcessId, t: Time) -> Self {
+        self.corruptions.push(CorruptionSpec { process: p, at: t });
+        self
+    }
+
     /// The fault spec in force on the unordered edge `{a, b}`.
     pub fn fault_for(&self, a: ProcessId, b: ProcessId) -> LinkFault {
         self.overrides
@@ -166,12 +222,23 @@ impl FaultPlan {
         self.partitions.is_empty()
             && self.default_fault.is_inert()
             && self.overrides.values().all(LinkFault::is_inert)
+            && self.recoveries.is_empty()
+            && self.corruptions.is_empty()
     }
 
     /// The latest partition heal time, if any — after this instant the
     /// network is "eventually reliable" again (fault probabilities aside).
     pub fn last_heal(&self) -> Option<Time> {
         self.partitions.iter().map(|p| p.heal).max()
+    }
+
+    /// The time of the last scheduled process fault (recovery or
+    /// corruption), if any — after this instant process state is only
+    /// touched by the algorithm itself.
+    pub fn last_process_fault(&self) -> Option<Time> {
+        let r = self.recoveries.iter().map(|r| r.at).max();
+        let c = self.corruptions.iter().map(|c| c.at).max();
+        r.max(c)
     }
 }
 
@@ -223,6 +290,20 @@ mod tests {
     #[should_panic(expected = "heal")]
     fn partition_must_heal_after_start() {
         let _ = FaultPlan::new().partition(vec![p(0)], Time(5), Time(5));
+    }
+
+    #[test]
+    fn process_fault_schedules_are_not_inert() {
+        let plan = FaultPlan::new().recover(p(1), Time(50));
+        assert!(!plan.is_inert());
+        assert_eq!(plan.last_process_fault(), Some(Time(50)));
+        let plan = FaultPlan::new()
+            .recover_corrupted(p(0), Time(40))
+            .corrupt_state(p(2), Time(90));
+        assert!(!plan.is_inert());
+        assert_eq!(plan.last_process_fault(), Some(Time(90)));
+        assert!(plan.recoveries[0].corrupt);
+        assert_eq!(FaultPlan::new().last_process_fault(), None);
     }
 
     #[test]

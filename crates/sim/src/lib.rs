@@ -18,9 +18,15 @@
 //!   exactly the partial synchrony the paper cites as sufficient for ◇P.
 //! * Reliable FIFO channels with per-edge in-transit accounting (high-water
 //!   marks feed the paper's "at most four messages per edge" claim, §7).
-//! * Crash injection: a crashed process "ceases execution without warning and
-//!   never recovers"; messages addressed to it after the crash are counted
-//!   (for the quiescence claim, §7) and discarded on delivery.
+//! * Crash injection: a crashed process ceases execution without warning;
+//!   messages addressed to it after the crash are counted (for the
+//!   quiescence claim, §7) and discarded on delivery. Beyond the paper's
+//!   crash-*stop* model, a crashed process may be scheduled to *recover*
+//!   ([`Simulator::schedule_recovery`]) with blank or adversarially
+//!   corrupted state and a fresh incarnation number, and live processes may
+//!   suffer transient state corruption
+//!   ([`Simulator::schedule_corruption`]) — the crash-recovery +
+//!   transient-fault model of the self-stabilization literature.
 //! * Adversarial channel faults beyond the paper's model: a seeded
 //!   [`FaultPlan`] adds per-edge message loss, duplication, bounded
 //!   reordering, and timed link partitions that heal — all recorded in the
@@ -69,7 +75,7 @@ mod time;
 mod trace;
 
 pub use ekbd_graph::ProcessId;
-pub use fault::{FaultPlan, LinkFault, Partition};
+pub use fault::{CorruptionSpec, FaultPlan, LinkFault, Partition, RecoverySpec};
 pub use network::{ChannelStats, DelayModel};
 pub use node::{Context, Node, NodeEvent};
 pub use sim::{SimConfig, Simulator};

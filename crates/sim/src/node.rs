@@ -22,6 +22,29 @@ pub enum NodeEvent<M, E> {
     /// An externally scheduled event (workload input such as "become
     /// hungry" or "stop eating") arrived.
     External(E),
+    /// The process restarts after a crash (crash-recovery fault model).
+    ///
+    /// All volatile state is presumed lost; the node must rebuild itself
+    /// from its immutable configuration. `incarnation` is the simulator's
+    /// per-process restart counter (the paper-standard "one counter in
+    /// stable storage" assumption), strictly increasing across restarts.
+    Recover {
+        /// 1-based restart count; strictly greater than any value this
+        /// process observed in a previous life.
+        incarnation: u64,
+        /// When `Some`, the restarted state is adversarially corrupted:
+        /// the node should derive deterministic bit flips from this
+        /// entropy instead of rebooting blank.
+        corruption: Option<u64>,
+    },
+    /// A transient fault flips state bits of this (live) process.
+    ///
+    /// `entropy` is a deterministic per-event random word the node uses to
+    /// decide which bits to flip.
+    Corrupt {
+        /// Seeded entropy word for the corruption.
+        entropy: u64,
+    },
 }
 
 /// A process in the simulated system.

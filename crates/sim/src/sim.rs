@@ -105,6 +105,7 @@ pub struct Simulator<N: Node> {
     nodes: Vec<N>,
     crashed: Vec<bool>,
     crash_times: Vec<Option<Time>>,
+    incarnations: Vec<u64>,
     rng: StdRng,
     started: bool,
     events_processed: u64,
@@ -121,7 +122,7 @@ impl<N: Node> Simulator<N> {
             .map(|i| factory(ProcessId::from(i), &mut rng))
             .collect();
         let n = config.n;
-        Simulator {
+        let mut sim = Simulator {
             network: Network::new(config.delay.clone(), config.faults.clone(), config.seed),
             config,
             time: Time::ZERO,
@@ -129,12 +130,20 @@ impl<N: Node> Simulator<N> {
             nodes,
             crashed: vec![false; n],
             crash_times: vec![None; n],
+            incarnations: vec![0; n],
             rng,
             started: false,
             events_processed: 0,
             trace: Vec::new(),
             observations: Vec::new(),
+        };
+        for r in sim.config.faults.recoveries.clone() {
+            sim.schedule_recovery(r.process, r.at, r.corrupt);
         }
+        for c in sim.config.faults.corruptions.clone() {
+            sim.schedule_corruption(c.process, c.at);
+        }
+        sim
     }
 
     /// Current virtual time.
@@ -184,6 +193,28 @@ impl<N: Node> Simulator<N> {
         assert!(p.index() < self.len(), "crash target out of range");
         self.crash_times[p.index()] = Some(t);
         self.queue.push(t, p, EventKind::Crash);
+    }
+
+    /// The current incarnation of `p`: 0 until its first restart, then the
+    /// 1-based count of restarts so far.
+    pub fn incarnation(&self, p: ProcessId) -> u64 {
+        self.incarnations[p.index()]
+    }
+
+    /// Schedules process `p` to restart at time `t` (crash-recovery fault
+    /// model). A no-op if `p` is not crashed when the event fires. With
+    /// `corrupt`, the process reboots with adversarially corrupted state
+    /// (seeded, deterministic) instead of blank state.
+    pub fn schedule_recovery(&mut self, p: ProcessId, t: Time, corrupt: bool) {
+        assert!(p.index() < self.len(), "recovery target out of range");
+        self.queue.push(t, p, EventKind::Recover { corrupt });
+    }
+
+    /// Schedules a transient state corruption of `p` at time `t`. A no-op
+    /// if `p` is crashed when the event fires.
+    pub fn schedule_corruption(&mut self, p: ProcessId, t: Time) {
+        assert!(p.index() < self.len(), "corruption target out of range");
+        self.queue.push(t, p, EventKind::Corrupt);
     }
 
     /// Schedules an external (workload) event for `p` at time `t`.
@@ -402,6 +433,45 @@ impl<N: Node> Simulator<N> {
                     self.dispatch(target, NodeEvent::External(ext));
                 }
             }
+            EventKind::Recover { corrupt } => {
+                if self.crashed[target.index()] {
+                    self.crashed[target.index()] = false;
+                    self.crash_times[target.index()] = None;
+                    self.incarnations[target.index()] += 1;
+                    let incarnation = self.incarnations[target.index()];
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent {
+                            time: self.time,
+                            kind: TraceKind::Recovered {
+                                process: target,
+                                incarnation,
+                                corrupt,
+                            },
+                        });
+                    }
+                    let corruption =
+                        corrupt.then(|| fault_entropy(self.config.seed, target, self.time));
+                    self.dispatch(
+                        target,
+                        NodeEvent::Recover {
+                            incarnation,
+                            corruption,
+                        },
+                    );
+                }
+            }
+            EventKind::Corrupt => {
+                if !self.crashed[target.index()] {
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent {
+                            time: self.time,
+                            kind: TraceKind::Corrupted { process: target },
+                        });
+                    }
+                    let entropy = fault_entropy(self.config.seed, target, self.time);
+                    self.dispatch(target, NodeEvent::Corrupt { entropy });
+                }
+            }
         }
         Some(self.time)
     }
@@ -431,6 +501,18 @@ impl<N: Node> Simulator<N> {
         }
         self.time = self.time.max(horizon);
     }
+}
+
+/// Deterministic entropy word for a scheduled process fault: a
+/// splitmix64-style mix of `(seed, process, time)`, so corrupted runs are
+/// exactly as replayable per seed as clean ones.
+fn fault_entropy(seed: u64, p: ProcessId, t: Time) -> u64 {
+    let mut z = seed
+        ^ (p.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ t.ticks().wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -464,6 +546,9 @@ mod tests {
                     }
                 }
                 NodeEvent::Timer { .. } => {}
+                NodeEvent::Recover { .. } | NodeEvent::Corrupt { .. } => {
+                    ctx.observe(u32::MAX);
+                }
             }
         }
     }
@@ -522,6 +607,99 @@ mod tests {
             .iter()
             .all(|o| o.process != p(2) || o.time < Time(2)));
         assert_eq!(sim.correct_processes(), vec![p(0), p(1), p(3)]);
+    }
+
+    #[test]
+    fn recovery_restarts_a_crashed_process() {
+        let mut sim = ring_sim(5);
+        sim.schedule_crash(p(2), Time(2));
+        sim.schedule_recovery(p(2), Time(500), false);
+        // Re-inject the token after the restart so the ring completes.
+        sim.schedule_external(p(0), Time(600), 0);
+        sim.run();
+        assert!(!sim.is_crashed(p(2)));
+        assert_eq!(sim.crash_time(p(2)), None);
+        assert_eq!(sim.incarnation(p(2)), 1);
+        assert_eq!(sim.correct_processes().len(), 4);
+        // The recovered process handled the Recover event and later hops.
+        assert!(sim
+            .observations()
+            .iter()
+            .any(|o| o.process == p(2) && o.obs == u32::MAX));
+        let max_hop = sim.observations().iter().map(|o| o.obs).max().unwrap();
+        assert_eq!(max_hop, u32::MAX);
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Recovered { process, incarnation: 1, corrupt: false } if process == p(2))));
+    }
+
+    #[test]
+    fn recovery_of_live_process_is_noop() {
+        let mut sim = ring_sim(6);
+        sim.schedule_recovery(p(1), Time(100), false);
+        sim.run();
+        assert_eq!(sim.incarnation(p(1)), 0);
+        assert!(!sim
+            .trace()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Recovered { .. })));
+    }
+
+    #[test]
+    fn corruption_hits_only_live_processes() {
+        let mut sim = ring_sim(7);
+        sim.schedule_crash(p(3), Time(2));
+        sim.schedule_corruption(p(3), Time(10)); // crashed: no-op
+        sim.schedule_corruption(p(1), Time(10)); // live: delivered
+        sim.run();
+        let corrupted: Vec<ProcessId> = sim
+            .trace()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Corrupted { process } => Some(process),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(corrupted, vec![p(1)]);
+    }
+
+    #[test]
+    fn fault_plan_recoveries_are_auto_scheduled_and_deterministic() {
+        let run = |seed| {
+            let cfg = SimConfig::default()
+                .n(4)
+                .seed(seed)
+                .faults(
+                    FaultPlan::new()
+                        .recover_corrupted(p(2), Time(50))
+                        .corrupt_state(p(0), Time(30)),
+                )
+                .record_trace(true);
+            let mut sim = Simulator::new(cfg, |_, _| RingHop { n: 4, limit: 10 });
+            sim.schedule_crash(p(2), Time(2));
+            sim.schedule_external(p(0), Time(1), 0);
+            sim.run();
+            (sim.trace().to_vec(), sim.incarnation(p(2)))
+        };
+        let (trace, inc) = run(9);
+        assert_eq!(inc, 1);
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Recovered { corrupt: true, .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Corrupted { .. })));
+        assert_eq!(run(9), run(9), "fault runs are pure functions of the seed");
+    }
+
+    #[test]
+    fn fault_entropy_is_deterministic_and_spread() {
+        let a = fault_entropy(1, p(0), Time(10));
+        assert_eq!(a, fault_entropy(1, p(0), Time(10)));
+        assert_ne!(a, fault_entropy(2, p(0), Time(10)));
+        assert_ne!(a, fault_entropy(1, p(1), Time(10)));
+        assert_ne!(a, fault_entropy(1, p(0), Time(11)));
     }
 
     #[test]

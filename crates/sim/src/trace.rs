@@ -65,6 +65,20 @@ pub enum TraceKind {
         /// Delivery time of the extra copy.
         delivery: Time,
     },
+    /// A crashed process restarted (crash-recovery fault model).
+    Recovered {
+        /// The restarted process.
+        process: ProcessId,
+        /// Its new incarnation number (1-based restart count).
+        incarnation: u64,
+        /// Whether it rebooted with corrupted rather than blank state.
+        corrupt: bool,
+    },
+    /// A transient fault flipped state bits of a live process.
+    Corrupted {
+        /// The corrupted process.
+        process: ProcessId,
+    },
     /// A message escaped the FIFO floor and may overtake older messages.
     Reordered {
         /// Sender.

@@ -67,6 +67,82 @@ proptest! {
         prop_assert_eq!(a.total_messages, b.total_messages);
     }
 
+    /// Satellite of the crash-recovery model: random crash → corrupt →
+    /// recover interleavings on a 3-clique never deadlock the rejoin
+    /// handshake (every recovered process eats again) and always converge
+    /// back to a single fork and token owner per edge.
+    #[test]
+    fn crash_corrupt_recover_interleavings_converge(
+        seed in 0u64..500,
+        // Per process: (crashes?, crash time, recovery delay, corrupt?) —
+        // the two flags are 0/1 draws (the vendored shim has no Option or
+        // bool strategies).
+        cycles in proptest::collection::vec(
+            (0u64..2, 300u64..1_500, 500u64..2_000, 0u64..2),
+            3usize,
+        ),
+        corruptions in proptest::collection::vec((0usize..3, 300u64..4_000), 0..4),
+    ) {
+        use ekbd::dining::RecoverableDining;
+        use ekbd::harness::{LiveRun, AUDIT_PERIOD};
+        let mut s = Scenario::new(ekbd::graph::topology::clique(3))
+            .seed(seed)
+            .perfect_oracle()
+            .workload(Workload { sessions: 8, think: (1, 30), eat: (1, 8) })
+            .horizon(Time(80_000));
+        for (i, &(crashes, crash_t, delay, corrupt)) in cycles.iter().enumerate() {
+            if crashes == 1 {
+                let q = ProcessId::from(i);
+                s = s.crash(q, Time(crash_t));
+                s = if corrupt == 1 {
+                    s.recover_corrupted(q, Time(crash_t + delay))
+                } else {
+                    s.recover(q, Time(crash_t + delay))
+                };
+            }
+        }
+        for &(q, t) in &corruptions {
+            s = s.corrupt_state(ProcessId::from(q), Time(t));
+        }
+        let graph = s.graph.clone();
+        let last_fault = s
+            .recoveries()
+            .iter()
+            .chain(s.corruptions().iter())
+            .map(|&(_, t)| t)
+            .max();
+        let mut live = LiveRun::new(s, |sc, p| {
+            RecoverableDining::from_graph(&sc.graph, &sc.colors, p)
+        });
+        while live.step() {}
+        for e in graph.edges() {
+            let a = live.algorithm(e.lo);
+            let b = live.algorithm(e.hi);
+            prop_assert_eq!(
+                a.holds_fork(e.hi) as u32 + b.holds_fork(e.lo) as u32,
+                1,
+                "exactly one fork owner on {:?} after convergence",
+                e
+            );
+            prop_assert_eq!(
+                a.holds_token(e.hi) as u32 + b.holds_token(e.lo) as u32,
+                1,
+                "exactly one token owner on {:?} after convergence",
+                e
+            );
+        }
+        let report = live.finish();
+        let progress = report.progress();
+        prop_assert!(progress.wait_free(), "starving: {:?}", progress.starving());
+        prop_assert!(
+            report.readmissions().iter().all(|(_, _, eats)| eats.is_some()),
+            "rejoin deadlocked: {:?}",
+            report.readmissions()
+        );
+        let stable = Time(last_fault.map_or(0, |t| t.0) + 20 * AUDIT_PERIOD);
+        prop_assert_eq!(report.exclusion().after(stable), 0);
+    }
+
     /// Proper colorings from both algorithms on arbitrary graphs.
     #[test]
     fn colorings_always_proper(n in 1usize..40, p in 0.0f64..1.0, seed in 0u64..500) {
