@@ -8,7 +8,8 @@ use std::fmt;
 pub enum ArgError {
     /// No subcommand was given.
     MissingCommand,
-    /// The subcommand is not one of `run`, `stabilize`, `threaded`.
+    /// The subcommand is not one of `run`, `stabilize`, `threaded`,
+    /// `campaign`.
     UnknownCommand(String),
     /// A flag was given without a value.
     MissingValue(String),
@@ -29,7 +30,10 @@ impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArgError::MissingCommand => {
-                write!(f, "missing subcommand (run | stabilize | threaded)")
+                write!(
+                    f,
+                    "missing subcommand (run | stabilize | threaded | campaign)"
+                )
             }
             ArgError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
             ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
@@ -62,7 +66,7 @@ impl Parsed {
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, ArgError> {
         let mut it = args.into_iter();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
-        if !["run", "stabilize", "threaded"].contains(&command.as_str()) {
+        if !["run", "stabilize", "threaded", "campaign"].contains(&command.as_str()) {
             return Err(ArgError::UnknownCommand(command));
         }
         let mut flags: BTreeMap<String, Vec<String>> = BTreeMap::new();

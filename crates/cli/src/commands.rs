@@ -9,9 +9,9 @@ use crate::spec::{
 use ekbd_baselines::{ChoySinghProcess, NaivePriorityProcess};
 use ekbd_dining::{BudgetedDiningProcess, DiningProcess};
 use ekbd_graph::ProcessId;
-use ekbd_harness::{RunReport, Scenario, Workload};
+use ekbd_harness::{Campaign, RunReport, Scenario, Workload};
 use ekbd_metrics::{DetectorQualityReport, Timeline};
-use ekbd_sim::Time;
+use ekbd_sim::{EngineKind, Time};
 use ekbd_stabilize::{
     ColoringProtocol, LeaderProtocol, MisProtocol, Protocol, ScheduledRun, SpanningTreeProtocol,
     StabilizationConfig, TokenRingProtocol,
@@ -29,10 +29,15 @@ USAGE:
                  [--corrupt-state proc:time]... [--horizon N] [--timeline N]
                  [--loss P] [--dup P] [--reorder P:WINDOW]
                  [--partition procs:start-heal]... [--link on|base:cap]
+                 [--engine indexed|legacy]
   ekbd stabilize --protocol coloring|coloring-adv|mis|token-ring:k|bfs-tree|leader
                  --topology SPEC [--algorithm ...] [--oracle ...] [--seed N]
                  [--crash proc:time]... [--faults N] [--horizon N]
   ekbd threaded  [--n N] [--window-ms N] [--crash PROC] [--recover-ms N]
+  ekbd campaign  --topology SPEC [--seeds N] [--workers N|auto] [--verify on]
+                 [common `run` flags: --seed (base), --sessions, --think, --eat,
+                  --oracle, --crash, --recover, --corrupt-state, --loss, --dup,
+                  --reorder, --partition, --link, --horizon, --engine]
 
 TOPOLOGY SPECS:
   ring:n path:n star:n clique:n grid:RxC torus:RxC tree:n wheel:n
@@ -96,7 +101,20 @@ fn scenario_from(parsed: &Parsed) -> Result<Scenario, ArgError> {
     if let Some(spec) = parsed.get("link") {
         s = s.reliable_link(parse_link(spec)?);
     }
+    s = s.engine(parse_engine(parsed)?);
     Ok(s)
+}
+
+fn parse_engine(parsed: &Parsed) -> Result<EngineKind, ArgError> {
+    match parsed.get("engine").unwrap_or("indexed") {
+        "indexed" => Ok(EngineKind::Indexed),
+        "legacy" => Ok(EngineKind::Legacy),
+        other => Err(ArgError::BadValue {
+            flag: "--engine".into(),
+            value: other.to_string(),
+            expected: "indexed | legacy",
+        }),
+    }
 }
 
 fn run_with_algorithm(s: &Scenario, alg: &AlgorithmSpec) -> Result<RunReport, ArgError> {
@@ -418,12 +436,73 @@ pub fn cmd_threaded(parsed: &Parsed) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `ekbd campaign …` — fan one scenario shape across a block of seeds on
+/// worker threads and print the deterministic merged digest.
+pub fn cmd_campaign(parsed: &Parsed) -> Result<(), ArgError> {
+    let base = scenario_from(parsed)?;
+    let count: u64 = parsed.get_parsed("seeds", 16u64)?;
+    if count == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--seeds".into(),
+            value: "0".into(),
+            expected: "a positive seed count",
+        });
+    }
+    let workers: usize = match parsed.get("workers") {
+        None | Some("auto") => 0,
+        Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+            flag: "--workers".into(),
+            value: v.to_string(),
+            expected: "a worker count, or 'auto'",
+        })?,
+    };
+    let label = parsed.get("topology").unwrap_or("ring:5").to_string();
+    let base_seed = base.seed;
+    let campaign = Campaign::new().seeds(&label, &base, base_seed..base_seed + count);
+    let report = if workers == 0 {
+        campaign.run()
+    } else {
+        campaign.run_with_workers(workers)
+    };
+    println!("== ekbd campaign: {label} × {count} seeds (base seed {base_seed}) ==\n");
+    print!("{}", report.merged());
+    println!("\nworkers ..................... {}", report.workers);
+    println!(
+        "wall ........................ {:.3}s",
+        report.wall.as_secs_f64()
+    );
+    println!(
+        "throughput .................. {:.0} events/s",
+        report.total_events() as f64 / report.wall.as_secs_f64().max(1e-9)
+    );
+    if parsed.get("verify").is_some() {
+        let serial = campaign.run_serial();
+        let identical = serial.merged() == report.merged();
+        println!(
+            "serial check ................ identical={} serial-wall={:.3}s speedup={:.2}x",
+            identical,
+            serial.wall.as_secs_f64(),
+            serial.wall.as_secs_f64() / report.wall.as_secs_f64().max(1e-9)
+        );
+        if !identical {
+            return Err(ArgError::BadValue {
+                flag: "--verify".into(),
+                value: "mismatch".into(),
+                expected: "parallel merged report byte-identical to serial \
+                           (determinism violation — please report)",
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(parsed: &Parsed) -> Result<(), ArgError> {
     match parsed.command.as_str() {
         "run" => cmd_run(parsed),
         "stabilize" => cmd_stabilize(parsed),
         "threaded" => cmd_threaded(parsed),
+        "campaign" => cmd_campaign(parsed),
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
 }
@@ -534,5 +613,36 @@ mod tests {
         assert!(cmd_run(&parsed("run --topology blob:2")).is_err());
         assert!(cmd_run(&parsed("run --timeline soon")).is_err());
         assert!(cmd_stabilize(&parsed("stabilize --protocol sorting")).is_err());
+        assert!(cmd_run(&parsed("run --engine turbo")).is_err());
+        assert!(cmd_campaign(&parsed("campaign --seeds 0")).is_err());
+        assert!(cmd_campaign(&parsed("campaign --seeds 2 --workers few")).is_err());
+    }
+
+    #[test]
+    fn engine_flag_selects_kernel() {
+        let s = scenario_from(&parsed("run --topology ring:4")).unwrap();
+        assert_eq!(s.engine, EngineKind::Indexed, "indexed is the default");
+        let s = scenario_from(&parsed("run --topology ring:4 --engine legacy")).unwrap();
+        assert_eq!(s.engine, EngineKind::Legacy);
+        let p = parsed("run --topology ring:4 --sessions 2 --horizon 10000 --engine legacy");
+        cmd_run(&p).unwrap();
+    }
+
+    #[test]
+    fn campaign_command_executes_and_verifies() {
+        let p = parsed(
+            "campaign --topology ring:4 --seeds 3 --sessions 2 --horizon 10000 \
+             --workers 2 --verify on",
+        );
+        cmd_campaign(&p).unwrap();
+    }
+
+    #[test]
+    fn campaign_command_with_recovery_faults() {
+        let p = parsed(
+            "campaign --topology ring:5 --seeds 2 --sessions 2 --horizon 30000 \
+             --oracle perfect --crash 2:300 --recover 2:2000 --workers auto",
+        );
+        cmd_campaign(&p).unwrap();
     }
 }

@@ -125,6 +125,13 @@ pub struct DinerHost<A: DiningAlgorithm> {
     /// This process's incarnation as last told by the simulator (0 until
     /// the first restart). Stamps the audit timer chain.
     inc: u64,
+    /// Pooled detector-effect buffers, reused across events.
+    det_out: DetectorOutput,
+    /// Host-side mirror of the detector's suspect set, maintained across
+    /// events so suspicion diffs need no per-event snapshot of the set.
+    suspects_mirror: std::collections::BTreeSet<ProcessId>,
+    /// Pooled dining-send buffer, reused across algorithm steps.
+    sends_buf: Vec<(ProcessId, A::Msg)>,
 }
 
 impl<A: DiningAlgorithm> DinerHost<A> {
@@ -138,6 +145,9 @@ impl<A: DiningAlgorithm> DinerHost<A> {
             sessions_left,
             link: None,
             inc: 0,
+            det_out: DetectorOutput::new(),
+            suspects_mirror: std::collections::BTreeSet::new(),
+            sends_buf: Vec::new(),
         }
     }
 
@@ -182,24 +192,31 @@ impl<A: DiningAlgorithm> DinerHost<A> {
         }
     }
 
-    /// Applies a detector output: wraps sends, forwards timers, reports
-    /// suspicion changes, and — if the suspect set changed — lets the
+    /// Feeds one event to the detector and applies its output: wraps sends,
+    /// forwards timers, reports suspicion changes (diffed against the
+    /// host's persistent mirror of the suspect set, so the steady state
+    /// snapshots nothing), and — if the suspect set changed — lets the
     /// dining layer re-evaluate its oracle-guarded actions.
-    fn apply_detector_output(
+    fn detector_event(
         &mut self,
-        before: std::collections::BTreeSet<ProcessId>,
-        out: DetectorOutput,
+        ev: DetectorEvent,
         ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
     ) {
-        for (to, msg) in out.sends {
+        let mut out = std::mem::take(&mut self.det_out);
+        out.changed = false;
+        self.det.handle(ev, &mut out);
+        for (to, msg) in out.sends.drain(..) {
             ctx.send(to, Envelope::Detector(msg));
         }
-        for (delay, tag) in out.timers {
+        for (delay, tag) in out.timers.drain(..) {
             debug_assert!(tag < HOST_TAG_BASE, "detector tag collides with host tags");
             ctx.set_timer(delay, tag);
         }
-        if out.changed {
+        let changed = out.changed;
+        self.det_out = out;
+        if changed {
             let after = self.det.suspect_set();
+            let before = std::mem::take(&mut self.suspects_mirror);
             for &q in after.difference(&before) {
                 ctx.observe(HostObs::Suspect { target: q });
                 // Quiescence (§7 S3): stop retransmitting to the suspect.
@@ -216,28 +233,18 @@ impl<A: DiningAlgorithm> DinerHost<A> {
                     self.absorb_link_actions(actions, ctx);
                 }
             }
+            self.suspects_mirror = after;
             self.drive(DiningInput::SuspicionChange, ctx);
         }
-    }
-
-    fn detector_event(
-        &mut self,
-        ev: DetectorEvent,
-        ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
-    ) {
-        let before = self.det.suspect_set();
-        let mut out = DetectorOutput::new();
-        self.det.handle(ev, &mut out);
-        self.apply_detector_output(before, out, ctx);
     }
 
     /// Transmits dining-layer sends, via the link layer when present.
     fn send_dining(
         &mut self,
-        sends: Vec<(ProcessId, A::Msg)>,
+        sends: &mut Vec<(ProcessId, A::Msg)>,
         ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
     ) {
-        for (to, msg) in sends {
+        for (to, msg) in sends.drain(..) {
             ctx.observe(HostObs::DiningSend { to });
             match self.link.as_mut() {
                 Some(link) => {
@@ -271,9 +278,10 @@ impl<A: DiningAlgorithm> DinerHost<A> {
     ) {
         let state_before = self.alg.state();
         let inside_before = self.alg.inside_doorway();
-        let mut sends = Vec::new();
+        let mut sends = std::mem::take(&mut self.sends_buf);
         f(&mut self.alg, &self.det, &mut sends);
-        self.send_dining(sends, ctx);
+        self.send_dining(&mut sends, ctx);
+        self.sends_buf = sends;
         let state_after = self.alg.state();
         let inside_after = self.alg.inside_doorway();
 
@@ -441,10 +449,11 @@ impl<A: DiningAlgorithm> Node for DinerHost<A> {
                 if let Some(link) = self.link.as_mut() {
                     link.on_restart(incarnation);
                 }
-                let mut sends = Vec::new();
+                let mut sends = std::mem::take(&mut self.sends_buf);
                 self.alg
                     .restart(incarnation, corruption, &self.det, &mut sends);
-                self.send_dining(sends, ctx);
+                self.send_dining(&mut sends, ctx);
+                self.sends_buf = sends;
                 self.detector_event(
                     DetectorEvent::Recovered {
                         now: ctx.now(),

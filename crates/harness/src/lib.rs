@@ -39,12 +39,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod detector;
 mod host;
 mod live;
 mod report;
 mod scenario;
 
+pub use campaign::{Campaign, CampaignAlgorithm, CampaignJob, CampaignReport, CampaignRun};
 pub use detector::AnyDetector;
 pub use host::{DinerHost, Envelope, HostCmd, HostObs, HostWorkload, AUDIT_PERIOD};
 pub use live::LiveRun;

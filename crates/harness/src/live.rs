@@ -27,7 +27,8 @@ impl<A: DiningAlgorithm> LiveRun<A> {
             .n(scenario.graph.len())
             .seed(scenario.seed)
             .delay(scenario.delay.clone())
-            .faults(scenario.faults.clone());
+            .faults(scenario.faults.clone())
+            .engine(scenario.engine);
         let workload = crate::host::HostWorkload {
             sessions: scenario.workload.sessions,
             think: scenario.workload.think,
@@ -143,7 +144,7 @@ mod tests {
                 eat: (1, 10),
             })
             .horizon(Time(20_000));
-        let batch = scenario.clone().run_algorithm1();
+        let batch = scenario.run_algorithm1();
         let mut live = LiveRun::new(scenario, |s, p| {
             DiningProcess::from_graph(&s.graph, &s.colors, p)
         });

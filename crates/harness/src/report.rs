@@ -6,7 +6,7 @@ use ekbd_metrics::{
     ConcurrencyReport, ExclusionReport, FairnessReport, LinkSummary, ProgressReport,
     QuiescenceReport, SchedEvent,
 };
-use ekbd_sim::{Simulator, Time};
+use ekbd_sim::{Simulator, Time, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything measured in one scenario run.
@@ -65,6 +65,9 @@ pub struct RunReport {
     /// Aggregated link-layer counters, when the scenario ran with
     /// [`reliable_link`](crate::Scenario::reliable_link).
     pub link: Option<LinkSummary>,
+    /// The kernel trace, when the scenario ran with
+    /// [`record_trace`](crate::Scenario::record_trace); empty otherwise.
+    pub kernel_trace: Vec<TraceEvent>,
 }
 
 impl RunReport {
@@ -73,10 +76,21 @@ impl RunReport {
         scenario: &Scenario,
         sim: &mut Simulator<DinerHost<A>>,
     ) -> Self {
-        let mut events = Vec::new();
-        let mut suspicions = Vec::new();
-        let mut dining_sends = Vec::new();
-        for o in sim.take_observations() {
+        // Two passes: count each bucket first so the partition below never
+        // reallocates (the observation stream is by far the largest input).
+        let observations = sim.take_observations();
+        let (mut n_sched, mut n_susp, mut n_sends) = (0usize, 0usize, 0usize);
+        for o in &observations {
+            match o.obs {
+                HostObs::Sched(_) => n_sched += 1,
+                HostObs::Suspect { .. } | HostObs::Unsuspect { .. } => n_susp += 1,
+                HostObs::DiningSend { .. } => n_sends += 1,
+            }
+        }
+        let mut events = Vec::with_capacity(n_sched);
+        let mut suspicions = Vec::with_capacity(n_susp);
+        let mut dining_sends = Vec::with_capacity(n_sends);
+        for o in observations {
             match o.obs {
                 HostObs::Sched(obs) => events.push(SchedEvent::new(o.time, o.process, obs)),
                 HostObs::Suspect { target } => {
@@ -150,6 +164,7 @@ impl RunReport {
             messages_dropped: sim.total_dropped(),
             messages_duplicated: sim.total_duplicated(),
             link,
+            kernel_trace: sim.trace().to_vec(),
         }
     }
 

@@ -8,7 +8,7 @@ use ekbd_dining::{DiningAlgorithm, DiningProcess, RecoverableDining};
 use ekbd_graph::coloring::{self, Color};
 use ekbd_graph::{ConflictGraph, ProcessId};
 use ekbd_link::LinkConfig;
-use ekbd_sim::{DelayModel, FaultPlan, SimConfig, Simulator, Time};
+use ekbd_sim::{DelayModel, EngineKind, FaultPlan, SimConfig, Simulator, Time};
 
 /// Which failure detector each process runs.
 #[derive(Clone, Debug)]
@@ -82,6 +82,13 @@ pub struct Scenario {
     /// Reliable link layer wrapping dining traffic (default: off). Required
     /// for the theorems to survive a non-inert fault plan.
     pub link: Option<LinkConfig>,
+    /// Simulator kernel engine (observably identical either way; see
+    /// [`EngineKind`]).
+    pub engine: EngineKind,
+    /// Whether to record the kernel trace into
+    /// [`RunReport::kernel_trace`](crate::RunReport::kernel_trace)
+    /// (default: off — tracing clones every payload's routing record).
+    pub record_trace: bool,
 }
 
 impl Scenario {
@@ -102,6 +109,8 @@ impl Scenario {
             horizon: Time(100_000),
             faults: FaultPlan::default(),
             link: None,
+            engine: EngineKind::default(),
+            record_trace: false,
         }
     }
 
@@ -232,6 +241,23 @@ impl Scenario {
         self
     }
 
+    /// Selects the simulator kernel engine (defaults to
+    /// [`EngineKind::Indexed`]; `Legacy` keeps the pre-optimization kernel
+    /// for A/B benchmarking).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables kernel-trace recording; the trace comes back in
+    /// [`RunReport::kernel_trace`](crate::RunReport::kernel_trace). Used by
+    /// the golden-trace determinism suite to compare engines event by
+    /// event.
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
     /// Builds the detector for process `p` per the oracle spec.
     pub(crate) fn detector_for(&self, p: ProcessId) -> AnyDetector {
         let neighbors = self.graph.neighbors(p);
@@ -273,7 +299,9 @@ impl Scenario {
             .n(self.graph.len())
             .seed(self.seed)
             .delay(self.delay.clone())
-            .faults(self.faults.clone());
+            .faults(self.faults.clone())
+            .engine(self.engine)
+            .record_trace(self.record_trace);
         let workload = HostWorkload {
             sessions: self.workload.sessions,
             think: self.workload.think,
@@ -291,6 +319,17 @@ impl Scenario {
         }
         for &(p, t) in &self.manual_hunger {
             sim.schedule_external(p, t, HostCmd::BecomeHungry);
+        }
+        if self.engine == EngineKind::Indexed {
+            // Workload-shaped estimate: 5 scheduling observations per eat
+            // session plus ~3 dining sends per session-edge, with 20% slack
+            // for suspicion churn. An overrun just resumes normal growth.
+            let n = self.graph.len();
+            let deg_sum: usize = (0..n)
+                .map(|i| self.graph.neighbors(ProcessId::from(i)).len())
+                .sum();
+            let est = self.workload.sessions as usize * (5 * n + 3 * deg_sum) * 6 / 5;
+            sim.reserve_observations(est);
         }
         sim.run_until(self.horizon);
         RunReport::collect(self, &mut sim)

@@ -1,7 +1,32 @@
 use crate::time::Time;
 use crate::ProcessId;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::mem;
+
+/// Which kernel data-structure engine a simulation runs on.
+///
+/// Both engines are observably identical: for any `(seed, schedule)` they
+/// produce the same event order, the same trace, and the same statistics
+/// (enforced by the cross-engine golden-trace tests). They differ only in
+/// cost:
+///
+/// * [`Indexed`](EngineKind::Indexed) — the optimized kernel: a timer-wheel
+///   event queue indexed by `Time`, conflict-graph channels interned to dense
+///   ids backed by flat `Vec`s, pooled per-event allocations, and
+///   move-instead-of-clone message delivery.
+/// * [`Legacy`](EngineKind::Legacy) — the pre-optimization kernel
+///   (`BinaryHeap` queue, `HashMap<(ProcessId, ProcessId), _>` channel state,
+///   fresh allocations per event). Kept selectable so the E9 benchmark can
+///   measure before/after on the same build and so equivalence stays testable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Timer-wheel queue + dense interned edge state (the default).
+    #[default]
+    Indexed,
+    /// The original heap + hash-map kernel, for A/B benchmarking.
+    Legacy,
+}
 
 /// What happens when a queued event fires.
 #[derive(Debug)]
@@ -55,21 +80,81 @@ impl<M, E> Ord for Scheduled<M, E> {
     }
 }
 
-/// Deterministic priority queue of scheduled events.
-pub(crate) struct EventQueue<M, E> {
+/// Deterministic priority queue of scheduled events, in the engine flavor
+/// chosen by [`EngineKind`]. Both flavors pop in identical `(time, seq)`
+/// order.
+// One instance per simulator, accessed on every event: the wheel stays
+// inline rather than boxed so the hot path has no extra indirection.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum EventQueue<M, E> {
+    Wheel(WheelQueue<M, E>),
+    Heap(HeapQueue<M, E>),
+}
+
+impl<M, E> EventQueue<M, E> {
+    pub fn new(engine: EngineKind) -> Self {
+        match engine {
+            EngineKind::Indexed => EventQueue::Wheel(WheelQueue::new()),
+            EngineKind::Legacy => EventQueue::Heap(HeapQueue::new()),
+        }
+    }
+
+    /// Schedules `kind` at `time` for `target`; returns the sequence number.
+    #[inline]
+    pub fn push(&mut self, time: Time, target: ProcessId, kind: EventKind<M, E>) -> u64 {
+        match self {
+            EventQueue::Wheel(q) => q.push(time, target, kind),
+            EventQueue::Heap(q) => q.push(time, target, kind),
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<Scheduled<M, E>> {
+        match self {
+            EventQueue::Wheel(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<Time> {
+        match self {
+            EventQueue::Wheel(q) => q.peek_time(),
+            EventQueue::Heap(q) => q.peek_time(),
+        }
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(q) => q.len,
+            EventQueue::Heap(q) => q.heap.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Wheel(q) => q.len == 0,
+            EventQueue::Heap(q) => q.heap.is_empty(),
+        }
+    }
+}
+
+/// The pre-optimization queue: a `BinaryHeap` over [`Scheduled`].
+pub(crate) struct HeapQueue<M, E> {
     heap: BinaryHeap<Scheduled<M, E>>,
     next_seq: u64,
 }
 
-impl<M, E> EventQueue<M, E> {
+impl<M, E> HeapQueue<M, E> {
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
         }
     }
 
-    /// Schedules `kind` at `time` for `target`; returns the sequence number.
     pub fn push(&mut self, time: Time, target: ProcessId, kind: EventKind<M, E>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -89,15 +174,314 @@ impl<M, E> EventQueue<M, E> {
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|s| s.time)
     }
+}
 
-    #[cfg(test)]
-    pub fn len(&self) -> usize {
-        self.heap.len()
+const WHEEL_BITS: usize = 12;
+/// Wheel window width in ticks. Message delays and timer periods in every
+/// workload are orders of magnitude smaller, so in practice all pushes land
+/// in the window and cost O(1); anything outside spills to a sorted overflow.
+const WHEEL_SLOTS: usize = 1 << WHEEL_BITS;
+const SLOT_MASK: u64 = (WHEEL_SLOTS - 1) as u64;
+const WORDS: usize = WHEEL_SLOTS / 64;
+/// Retained scratch buffers (drained slot vectors, overflow buckets).
+const POOL_CAP: usize = 64;
+
+/// A timer-wheel event queue indexed by absolute tick.
+///
+/// The wheel covers the moving window `[cursor, cursor + WHEEL_SLOTS)`;
+/// slot `t & SLOT_MASK` holds all events at tick `t`, in push (= `seq`)
+/// order. A two-level occupancy bitmap (64-bit summary over 64 words) finds
+/// the next non-empty slot in a handful of word operations. Events outside
+/// the window — far-future pushes, and the rare push behind the cursor —
+/// live in a sorted `BTreeMap` overflow keyed by tick.
+///
+/// `cursor` only advances when a batch is *popped*, never on peek, so
+/// callers may interleave `peek_time` with external event injection (the
+/// `LiveRun` pattern) without perturbing order. Within one tick, events from
+/// the wheel and the overflow are merged by `seq`, preserving the global
+/// `(time, seq)` pop order of the legacy heap exactly.
+pub(crate) struct WheelQueue<M, E> {
+    slots: Box<[Vec<Scheduled<M, E>>]>,
+    /// Bit `i % 64` of word `i / 64` set iff slot `i` is non-empty.
+    occupied: [u64; WORDS],
+    /// Bit `w` set iff `occupied[w] != 0`.
+    summary: u64,
+    /// Wheel window anchor: every wheel-resident event has
+    /// `time ∈ [cursor, cursor + WHEEL_SLOTS)`.
+    cursor: u64,
+    /// The batch currently being popped, reversed so `pop` is `Vec::pop`.
+    draining: Vec<Scheduled<M, E>>,
+    /// Tick of the draining batch (meaningful iff `draining` is non-empty).
+    draining_time: u64,
+    /// Out-of-window events, keyed by tick, in push order per bucket.
+    overflow: BTreeMap<u64, Vec<Scheduled<M, E>>>,
+    /// Recycled empty vectors, so steady-state operation does not allocate.
+    pool: Vec<Vec<Scheduled<M, E>>>,
+    /// Cached `(next wheel tick, next overflow tick)` from the last scan,
+    /// invalidated by any push or batch staging. With the driver's
+    /// peek-then-pop loop this halves the occupancy-bitmap scans.
+    scan_cache: Option<(Option<u64>, Option<u64>)>,
+    len: usize,
+    next_seq: u64,
+}
+
+impl<M, E> WheelQueue<M, E> {
+    pub fn new() -> Self {
+        WheelQueue {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            summary: 0,
+            cursor: 0,
+            draining: Vec::new(),
+            draining_time: 0,
+            overflow: BTreeMap::new(),
+            pool: Vec::new(),
+            scan_cache: None,
+            len: 0,
+            next_seq: 0,
+        }
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+    pub fn push(&mut self, time: Time, target: ProcessId, kind: EventKind<M, E>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ev = Scheduled {
+            time,
+            seq,
+            target,
+            kind,
+        };
+        let t = time.ticks();
+        self.len += 1;
+        if t.wrapping_sub(self.cursor) < WHEEL_SLOTS as u64 && t >= self.cursor {
+            // A push can only move the next occupied tick *earlier*, so the
+            // scan cache stays valid under a min-update (no rescan needed).
+            if let Some((wheel_next, _)) = self.scan_cache.as_mut() {
+                if wheel_next.is_none_or(|w| t < w) {
+                    *wheel_next = Some(t);
+                }
+            }
+            let idx = (t & SLOT_MASK) as usize;
+            let slot = &mut self.slots[idx];
+            if slot.capacity() == 0 {
+                if let Some(buf) = self.pool.pop() {
+                    *slot = buf;
+                }
+            }
+            slot.push(ev);
+            self.mark(idx);
+        } else {
+            if let Some((_, over_next)) = self.scan_cache.as_mut() {
+                if over_next.is_none_or(|o| t < o) {
+                    *over_next = Some(t);
+                }
+            }
+            let bucket = self
+                .overflow
+                .entry(t)
+                .or_insert_with(|| self.pool.pop().unwrap_or_default());
+            bucket.push(ev);
+        }
+        seq
     }
+
+    pub fn pop(&mut self) -> Option<Scheduled<M, E>> {
+        if let Some(ev) = self.draining.pop() {
+            self.len -= 1;
+            return Some(ev);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        // Fast path: the steady state is a lone event in a wheel slot, which
+        // needs none of the batch-staging machinery (take/reverse/recycle).
+        let (wheel_next, over_next) = self.scan();
+        if let Some(w) = wheel_next {
+            if over_next.is_none_or(|o| w < o) {
+                let idx = (w & SLOT_MASK) as usize;
+                if self.slots[idx].len() == 1 {
+                    let ev = self.slots[idx].pop().expect("slot length checked");
+                    self.unmark(idx);
+                    if w > self.cursor {
+                        self.cursor = w;
+                    }
+                    self.scan_cache = None;
+                    self.len -= 1;
+                    return Some(ev);
+                }
+            }
+        }
+        self.stage_next_batch();
+        let ev = self.draining.pop().expect("staged batch is non-empty");
+        self.len -= 1;
+        Some(ev)
+    }
+
+    /// Earliest queued tick, without committing the cursor.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = if self.draining.is_empty() {
+            None
+        } else {
+            Some(self.draining_time)
+        };
+        let (wheel_next, over_next) = self.scan();
+        if let Some(t) = wheel_next {
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        if let Some(t) = over_next {
+            best = Some(best.map_or(t, |b| b.min(t)));
+        }
+        best.map(Time)
+    }
+
+    /// `(next wheel tick, next overflow tick)`, cached between mutations.
+    #[inline]
+    fn scan(&mut self) -> (Option<u64>, Option<u64>) {
+        if let Some(cached) = self.scan_cache {
+            return cached;
+        }
+        let wheel_next = self.next_occupied().map(|idx| self.slot_tick(idx));
+        let over_next = self.overflow.keys().next().copied();
+        self.scan_cache = Some((wheel_next, over_next));
+        (wheel_next, over_next)
+    }
+
+    /// Moves all events of the earliest tick into `draining` (reversed).
+    fn stage_next_batch(&mut self) {
+        let (wheel_next, over_next) = self.scan();
+        self.scan_cache = None;
+        let t = match (wheel_next, over_next) {
+            (Some(w), Some(o)) => w.min(o),
+            (Some(w), None) => w,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("len > 0 but no events staged"),
+        };
+        let from_overflow = if over_next == Some(t) {
+            self.overflow.remove(&t)
+        } else {
+            None
+        };
+        let from_wheel = if wheel_next == Some(t) {
+            let idx = (t & SLOT_MASK) as usize;
+            self.unmark(idx);
+            Some(mem::take(&mut self.slots[idx]))
+        } else {
+            None
+        };
+        // Keep the window anchored at the tick being drained so subsequent
+        // near-future pushes stay O(1) even after a long idle jump. Safe:
+        // `t` is the global minimum, so every wheel event is ≥ t and the
+        // window upper bound only grows.
+        if t > self.cursor {
+            self.cursor = t;
+        }
+        let mut batch = match (from_overflow, from_wheel) {
+            // Rare: the same tick reached both containers (a far-future
+            // bucket whose tick later entered the window while new pushes at
+            // that tick went to the wheel). Merge by `seq` to preserve order.
+            (Some(a), Some(b)) => merge_by_seq(a, b, self.pool.pop().unwrap_or_default()),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => unreachable!(),
+        };
+        batch.reverse();
+        debug_assert!(self.draining.is_empty());
+        let spent = mem::replace(&mut self.draining, batch);
+        self.draining_time = t;
+        self.recycle(spent);
+    }
+
+    #[inline]
+    fn slot_tick(&self, idx: usize) -> u64 {
+        let base = self.cursor & SLOT_MASK;
+        let dist = ((idx as u64).wrapping_sub(base)) & SLOT_MASK;
+        self.cursor + dist
+    }
+
+    /// First occupied slot in circular order from the cursor, if any.
+    fn next_occupied(&self) -> Option<usize> {
+        if self.summary == 0 {
+            return None;
+        }
+        let start = (self.cursor & SLOT_MASK) as usize;
+        let (word0, bit0) = (start / 64, start % 64);
+        let w = self.occupied[word0] & (!0u64 << bit0);
+        if w != 0 {
+            return Some(word0 * 64 + w.trailing_zeros() as usize);
+        }
+        for i in 1..WORDS {
+            let wi = (word0 + i) % WORDS;
+            if self.summary & (1 << wi) == 0 {
+                continue;
+            }
+            let w = self.occupied[wi];
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        let w = self.occupied[word0] & ((1u64 << bit0) - 1);
+        if w != 0 {
+            return Some(word0 * 64 + w.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    #[inline]
+    fn mark(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+        self.summary |= 1 << (idx / 64);
+    }
+
+    #[inline]
+    fn unmark(&mut self, idx: usize) {
+        let word = idx / 64;
+        self.occupied[word] &= !(1 << (idx % 64));
+        if self.occupied[word] == 0 {
+            self.summary &= !(1 << word);
+        }
+    }
+
+    fn recycle(&mut self, mut v: Vec<Scheduled<M, E>>) {
+        if self.pool.len() < POOL_CAP && v.capacity() > 0 {
+            v.clear();
+            self.pool.push(v);
+        }
+    }
+}
+
+/// Merges two same-tick batches, each already sorted by `seq`, into one.
+fn merge_by_seq<M, E>(
+    a: Vec<Scheduled<M, E>>,
+    b: Vec<Scheduled<M, E>>,
+    mut out: Vec<Scheduled<M, E>>,
+) -> Vec<Scheduled<M, E>> {
+    out.reserve(a.len() + b.len());
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                if x.seq < y.seq {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ia);
+                break;
+            }
+            (None, Some(_)) => {
+                out.extend(ib);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -108,30 +492,133 @@ mod tests {
         ProcessId::from(i)
     }
 
+    fn engines() -> [EngineKind; 2] {
+        [EngineKind::Indexed, EngineKind::Legacy]
+    }
+
     #[test]
     fn pops_in_time_then_seq_order() {
-        let mut q: EventQueue<u32, ()> = EventQueue::new();
-        q.push(Time(5), p(0), EventKind::Timer { tag: 1 });
-        q.push(Time(3), p(1), EventKind::Timer { tag: 2 });
-        q.push(Time(5), p(2), EventKind::Timer { tag: 3 });
-        assert_eq!(q.len(), 3);
-        assert_eq!(q.peek_time(), Some(Time(3)));
-        let a = q.pop().unwrap();
-        assert_eq!((a.time, a.target), (Time(3), p(1)));
-        let b = q.pop().unwrap();
-        let c = q.pop().unwrap();
-        // Same timestamp: scheduling order (seq) breaks the tie.
-        assert_eq!((b.time, b.target), (Time(5), p(0)));
-        assert_eq!((c.time, c.target), (Time(5), p(2)));
-        assert!(b.seq < c.seq);
-        assert!(q.is_empty());
+        for engine in engines() {
+            let mut q: EventQueue<u32, ()> = EventQueue::new(engine);
+            q.push(Time(5), p(0), EventKind::Timer { tag: 1 });
+            q.push(Time(3), p(1), EventKind::Timer { tag: 2 });
+            q.push(Time(5), p(2), EventKind::Timer { tag: 3 });
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.peek_time(), Some(Time(3)));
+            let a = q.pop().unwrap();
+            assert_eq!((a.time, a.target), (Time(3), p(1)));
+            let b = q.pop().unwrap();
+            let c = q.pop().unwrap();
+            // Same timestamp: scheduling order (seq) breaks the tie.
+            assert_eq!((b.time, b.target), (Time(5), p(0)));
+            assert_eq!((c.time, c.target), (Time(5), p(2)));
+            assert!(b.seq < c.seq);
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
     fn seq_is_globally_monotone() {
-        let mut q: EventQueue<(), ()> = EventQueue::new();
-        let s1 = q.push(Time(9), p(0), EventKind::Crash);
-        let s2 = q.push(Time(1), p(0), EventKind::Crash);
-        assert!(s2 > s1);
+        for engine in engines() {
+            let mut q: EventQueue<(), ()> = EventQueue::new(engine);
+            let s1 = q.push(Time(9), p(0), EventKind::Crash);
+            let s2 = q.push(Time(1), p(0), EventKind::Crash);
+            assert!(s2 > s1);
+        }
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        let mut q: EventQueue<u64, ()> = EventQueue::new(EngineKind::Indexed);
+        // Far beyond the wheel window.
+        let far = Time(WHEEL_SLOTS as u64 * 10 + 3);
+        q.push(far, p(0), EventKind::Timer { tag: 99 });
+        q.push(Time(1), p(0), EventKind::Timer { tag: 1 });
+        assert_eq!(q.peek_time(), Some(Time(1)));
+        assert_eq!(q.pop().unwrap().time, Time(1));
+        assert_eq!(q.peek_time(), Some(far));
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.time, far);
+        assert!(matches!(ev.kind, EventKind::Timer { tag: 99 }));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_wheel_and_overflow_merge_by_seq() {
+        let mut q: EventQueue<u64, ()> = EventQueue::new(EngineKind::Indexed);
+        let t = Time(WHEEL_SLOTS as u64 + 100);
+        // Out of window now: goes to overflow.
+        let s0 = q.push(t, p(0), EventKind::Timer { tag: 0 });
+        // Advance the cursor past the window edge so `t` enters the window.
+        q.push(Time(200), p(0), EventKind::Timer { tag: 7 });
+        q.pop().unwrap();
+        // Same tick again, now in-window: goes to the wheel slot.
+        let s1 = q.push(t, p(1), EventKind::Timer { tag: 1 });
+        assert!(s1 > s0);
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        assert_eq!((a.time, b.time), (t, t));
+        assert_eq!((a.seq, b.seq), (s0, s1), "merged batch must honor seq");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_commit_the_cursor() {
+        let mut q: EventQueue<u64, ()> = EventQueue::new(EngineKind::Indexed);
+        q.push(Time(500), p(0), EventKind::Timer { tag: 5 });
+        assert_eq!(q.peek_time(), Some(Time(500)));
+        // An earlier event injected after the peek must still pop first.
+        q.push(Time(10), p(1), EventKind::Timer { tag: 1 });
+        assert_eq!(q.peek_time(), Some(Time(10)));
+        assert_eq!(q.pop().unwrap().time, Time(10));
+        assert_eq!(q.pop().unwrap().time, Time(500));
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_random_workload() {
+        // A deterministic pseudo-random push/pop workload; both engines must
+        // produce identical (time, seq) pop sequences.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut wheel: EventQueue<u64, ()> = EventQueue::new(EngineKind::Indexed);
+        let mut heap: EventQueue<u64, ()> = EventQueue::new(EngineKind::Legacy);
+        let mut clock = 0u64;
+        for round in 0..5_000 {
+            let burst = (next() % 4) as usize;
+            for _ in 0..burst {
+                // Mostly near-future, occasionally far-future (overflow path).
+                let jump = if next() % 50 == 0 {
+                    next() % (WHEEL_SLOTS as u64 * 4)
+                } else {
+                    next() % 64
+                };
+                let t = Time(clock + jump);
+                let tag = next();
+                wheel.push(t, p(0), EventKind::Timer { tag });
+                heap.push(t, p(0), EventKind::Timer { tag });
+            }
+            if round % 3 != 0 {
+                let (a, b) = (wheel.pop(), heap.pop());
+                match (a, b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.time, x.seq), (y.time, y.seq), "round {round}");
+                        clock = x.time.ticks();
+                    }
+                    (None, None) => {}
+                    _ => panic!("engines disagree on emptiness at round {round}"),
+                }
+            }
+            assert_eq!(wheel.peek_time(), heap.peek_time(), "round {round}");
+        }
+        while let Some(y) = heap.pop() {
+            let x = wheel.pop().expect("wheel drained early");
+            assert_eq!((x.time, x.seq), (y.time, y.seq));
+        }
+        assert!(wheel.is_empty());
     }
 }

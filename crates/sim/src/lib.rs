@@ -75,6 +75,7 @@ mod time;
 mod trace;
 
 pub use ekbd_graph::ProcessId;
+pub use event::EngineKind;
 pub use fault::{CorruptionSpec, FaultPlan, LinkFault, Partition, RecoverySpec};
 pub use network::{ChannelStats, DelayModel};
 pub use node::{Context, Node, NodeEvent};

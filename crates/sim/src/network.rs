@@ -1,4 +1,5 @@
-use crate::fault::FaultPlan;
+use crate::event::EngineKind;
+use crate::fault::{FaultPlan, LinkFault};
 use crate::time::{Duration, Time};
 use crate::ProcessId;
 use rand::rngs::StdRng;
@@ -95,14 +96,58 @@ pub struct ChannelStats {
     pub reordered: u64,
 }
 
+/// Delivery times of every copy of one send: at most a primary and one
+/// duplicate, so a fixed inline array replaces the per-send `Vec` the
+/// pre-optimization kernel allocated.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Deliveries {
+    times: [Time; 2],
+    len: u8,
+}
+
+impl Deliveries {
+    const EMPTY: Deliveries = Deliveries {
+        times: [Time::ZERO; 2],
+        len: 0,
+    };
+
+    #[inline]
+    fn push(&mut self, t: Time) {
+        self.times[self.len as usize] = t;
+        self.len += 1;
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[Time] {
+        &self.times[..self.len as usize]
+    }
+}
+
+impl PartialEq for Deliveries {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Deliveries {}
+
 /// What the network decided to do with one logical send.
 ///
 /// The simulator turns each entry of `deliveries` into a `Deliver` event;
 /// the flags drive kernel-trace records.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct SendDisposition {
     /// Delivery times of every copy that will arrive (empty if lost).
-    pub deliveries: Vec<Time>,
+    pub deliveries: Deliveries,
     /// The message was destroyed by random loss.
     pub lost: bool,
     /// The message was destroyed by an active partition.
@@ -111,6 +156,100 @@ pub(crate) struct SendDisposition {
     pub duplicated: bool,
     /// The primary copy bypassed the FIFO floor.
     pub reordered: bool,
+}
+
+/// Channel/edge bookkeeping in the flavor chosen by [`EngineKind`].
+///
+/// The dense flavor interns each ordered channel `(from, to)` to a dense
+/// `u32` id on first use via an `n × n` index table, and each unordered pair
+/// to a dense edge id, so the per-message FIFO floor and stats become flat
+/// `Vec` reads instead of SipHash `HashMap` probes. The per-channel
+/// [`LinkFault`] spec is resolved once at intern time instead of per send.
+enum ChannelState {
+    Dense(DenseChannels),
+    Legacy(LegacyChannels),
+}
+
+struct DenseChannels {
+    n: usize,
+    /// `from.index() * n + to.index()` → channel id; `u32::MAX` = unassigned.
+    chan_of: Vec<u32>,
+    /// Per channel: last scheduled delivery time (the FIFO floor).
+    floor: Vec<Time>,
+    /// Per channel: the link-fault spec in force, interned once.
+    fault: Vec<LinkFault>,
+    /// Per channel: owning unordered-edge id.
+    edge_of: Vec<u32>,
+    /// Per edge: stats for the unordered pair.
+    stats: Vec<ChannelStats>,
+    /// Per edge: canonical `(lo, hi)` endpoints, in intern order.
+    edges: Vec<(ProcessId, ProcessId)>,
+}
+
+struct LegacyChannels {
+    /// Last scheduled delivery time per ordered channel.
+    last_delivery: HashMap<(ProcessId, ProcessId), Time>,
+    /// Stats per unordered pair.
+    stats: HashMap<(ProcessId, ProcessId), ChannelStats>,
+}
+
+fn unordered(a: ProcessId, b: ProcessId) -> (ProcessId, ProcessId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl DenseChannels {
+    fn new(n: usize) -> Self {
+        DenseChannels {
+            n,
+            chan_of: vec![u32::MAX; n * n],
+            floor: Vec::new(),
+            fault: Vec::new(),
+            edge_of: Vec::new(),
+            stats: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Dense id of the ordered channel `from → to`, interning on first use.
+    #[inline]
+    fn channel(&mut self, from: ProcessId, to: ProcessId, faults: &FaultPlan) -> usize {
+        let slot = from.index() * self.n + to.index();
+        let id = self.chan_of[slot];
+        if id != u32::MAX {
+            return id as usize;
+        }
+        self.intern(slot, from, to, faults)
+    }
+
+    #[cold]
+    fn intern(&mut self, slot: usize, from: ProcessId, to: ProcessId, faults: &FaultPlan) -> usize {
+        let id = self.floor.len();
+        self.chan_of[slot] = id as u32;
+        self.floor.push(Time::ZERO);
+        self.fault.push(faults.fault_for(from, to));
+        let reverse = self.chan_of[to.index() * self.n + from.index()];
+        let edge = if reverse != u32::MAX {
+            self.edge_of[reverse as usize]
+        } else {
+            let e = self.stats.len() as u32;
+            self.stats.push(ChannelStats::default());
+            self.edges.push(unordered(from, to));
+            e
+        };
+        self.edge_of.push(edge);
+        id
+    }
+
+    /// Channel id if `from → to` has carried traffic.
+    #[inline]
+    fn lookup(&self, from: ProcessId, to: ProcessId) -> Option<usize> {
+        let id = self.chan_of[from.index() * self.n + to.index()];
+        (id != u32::MAX).then_some(id as usize)
+    }
 }
 
 /// The network fabric: reliable FIFO by default, adversarial under a
@@ -122,36 +261,27 @@ pub(crate) struct SendDisposition {
 /// the same ordered channel (ties broken by scheduling sequence in the event
 /// queue). A fault plan may drop, duplicate, or reorder messages and cut
 /// links during partitions; all decisions come from a dedicated RNG stream
-/// so runs stay deterministic per seed.
+/// so runs stay deterministic per seed. The delay model and fault plan are
+/// owned by the caller and passed by reference per send.
 pub(crate) struct Network {
-    delay: DelayModel,
-    faults: FaultPlan,
     /// Dedicated RNG for fault decisions (seed XOR [`FAULT_STREAM_SALT`]).
     fault_rng: StdRng,
-    /// Last scheduled delivery time per ordered channel.
-    last_delivery: HashMap<(ProcessId, ProcessId), Time>,
-    /// Stats per unordered pair.
-    stats: HashMap<(ProcessId, ProcessId), ChannelStats>,
+    state: ChannelState,
     /// Messages sent to each destination after it crashed, by send time.
     to_crashed: Vec<(Time, ProcessId, ProcessId)>,
 }
 
-fn unordered(a: ProcessId, b: ProcessId) -> (ProcessId, ProcessId) {
-    if a <= b {
-        (a, b)
-    } else {
-        (b, a)
-    }
-}
-
 impl Network {
-    pub fn new(delay: DelayModel, faults: FaultPlan, seed: u64) -> Self {
+    pub fn new(n: usize, seed: u64, engine: EngineKind) -> Self {
         Network {
-            delay,
-            faults,
             fault_rng: StdRng::seed_from_u64(seed ^ FAULT_STREAM_SALT),
-            last_delivery: HashMap::new(),
-            stats: HashMap::new(),
+            state: match engine {
+                EngineKind::Indexed => ChannelState::Dense(DenseChannels::new(n)),
+                EngineKind::Legacy => ChannelState::Legacy(LegacyChannels {
+                    last_delivery: HashMap::new(),
+                    stats: HashMap::new(),
+                }),
+            },
             to_crashed: Vec::new(),
         }
     }
@@ -162,9 +292,13 @@ impl Network {
     /// The fault-free path computes the FIFO-respecting delivery time
     /// exactly as the seed simulator did. Under a fault plan the message may
     /// additionally be dropped (loss or partition), duplicated, or allowed
-    /// to overtake the FIFO floor.
+    /// to overtake the FIFO floor. Both storage engines draw the identical
+    /// RNG sequence, so dispositions are engine-independent.
+    #[allow(clippy::too_many_arguments)]
     pub fn schedule_send(
         &mut self,
+        delay: &DelayModel,
+        faults: &FaultPlan,
         now: Time,
         from: ProcessId,
         to: ProcessId,
@@ -174,63 +308,116 @@ impl Network {
         if dest_crashed {
             self.to_crashed.push((now, from, to));
         }
-        let s = self.stats.entry(unordered(from, to)).or_default();
-        s.total += 1;
 
         let mut disposition = SendDisposition {
-            deliveries: Vec::new(),
+            deliveries: Deliveries::EMPTY,
             lost: false,
             cut_by_partition: false,
             duplicated: false,
             reordered: false,
         };
 
-        let fault = self.faults.fault_for(from, to);
-        if self.faults.partitioned(from, to, now) {
-            s.dropped += 1;
-            disposition.cut_by_partition = true;
-            return disposition;
-        }
-        if fault.loss > 0.0 && self.fault_rng.gen_bool(fault.loss.clamp(0.0, 1.0)) {
-            s.dropped += 1;
-            disposition.lost = true;
-            return disposition;
-        }
+        match &mut self.state {
+            ChannelState::Dense(d) => {
+                let ch = d.channel(from, to, faults);
+                let edge = d.edge_of[ch] as usize;
+                d.stats[edge].total += 1;
+                let fault = d.fault[ch];
 
-        let raw = now + self.delay.sample(now, rng);
-        let floor = self.last_delivery.entry((from, to)).or_insert(Time::ZERO);
-        let reordered =
-            fault.reorder > 0.0 && self.fault_rng.gen_bool(fault.reorder.clamp(0.0, 1.0));
-        let delivery = if reordered {
-            // Escape the FIFO floor: deliver at the raw sampled time plus
-            // bounded jitter, possibly overtaking older messages. The floor
-            // is left untouched so later traffic is not delayed behind the
-            // straggler.
-            s.reordered += 1;
-            disposition.reordered = true;
-            if fault.reorder_window > 0 {
-                raw + self.fault_rng.gen_range(0..=fault.reorder_window)
-            } else {
-                raw
+                if !faults.partitions.is_empty() && faults.partitioned(from, to, now) {
+                    d.stats[edge].dropped += 1;
+                    disposition.cut_by_partition = true;
+                    return disposition;
+                }
+                if fault.loss > 0.0 && self.fault_rng.gen_bool(fault.loss.clamp(0.0, 1.0)) {
+                    d.stats[edge].dropped += 1;
+                    disposition.lost = true;
+                    return disposition;
+                }
+
+                let raw = now + delay.sample(now, rng);
+                let reordered =
+                    fault.reorder > 0.0 && self.fault_rng.gen_bool(fault.reorder.clamp(0.0, 1.0));
+                let delivery = if reordered {
+                    // Escape the FIFO floor: deliver at the raw sampled time
+                    // plus bounded jitter, possibly overtaking older
+                    // messages. The floor is left untouched so later traffic
+                    // is not delayed behind the straggler.
+                    d.stats[edge].reordered += 1;
+                    disposition.reordered = true;
+                    if fault.reorder_window > 0 {
+                        raw + self.fault_rng.gen_range(0..=fault.reorder_window)
+                    } else {
+                        raw
+                    }
+                } else {
+                    let t = raw.max(d.floor[ch]);
+                    d.floor[ch] = t;
+                    t
+                };
+                disposition.deliveries.push(delivery);
+                let s = &mut d.stats[edge];
+                s.in_transit += 1;
+                s.high_water = s.high_water.max(s.in_transit);
+
+                if fault.dup > 0.0 && self.fault_rng.gen_bool(fault.dup.clamp(0.0, 1.0)) {
+                    // The duplicate takes an independently sampled delay and
+                    // ignores the FIFO floor — a classic retransmission ghost.
+                    let extra = now + delay.sample(now, &mut self.fault_rng);
+                    disposition.deliveries.push(extra);
+                    disposition.duplicated = true;
+                    let s = &mut d.stats[edge];
+                    s.duplicated += 1;
+                    s.in_transit += 1;
+                    s.high_water = s.high_water.max(s.in_transit);
+                }
             }
-        } else {
-            let d = raw.max(*floor);
-            *floor = d;
-            d
-        };
-        disposition.deliveries.push(delivery);
-        s.in_transit += 1;
-        s.high_water = s.high_water.max(s.in_transit);
+            ChannelState::Legacy(l) => {
+                let s = l.stats.entry(unordered(from, to)).or_default();
+                s.total += 1;
+                let fault = faults.fault_for(from, to);
 
-        if fault.dup > 0.0 && self.fault_rng.gen_bool(fault.dup.clamp(0.0, 1.0)) {
-            // The duplicate takes an independently sampled delay and ignores
-            // the FIFO floor — a classic retransmission ghost.
-            let extra = now + self.delay.sample(now, &mut self.fault_rng);
-            disposition.deliveries.push(extra);
-            disposition.duplicated = true;
-            s.duplicated += 1;
-            s.in_transit += 1;
-            s.high_water = s.high_water.max(s.in_transit);
+                if faults.partitioned(from, to, now) {
+                    s.dropped += 1;
+                    disposition.cut_by_partition = true;
+                    return disposition;
+                }
+                if fault.loss > 0.0 && self.fault_rng.gen_bool(fault.loss.clamp(0.0, 1.0)) {
+                    s.dropped += 1;
+                    disposition.lost = true;
+                    return disposition;
+                }
+
+                let raw = now + delay.sample(now, rng);
+                let floor = l.last_delivery.entry((from, to)).or_insert(Time::ZERO);
+                let reordered =
+                    fault.reorder > 0.0 && self.fault_rng.gen_bool(fault.reorder.clamp(0.0, 1.0));
+                let delivery = if reordered {
+                    s.reordered += 1;
+                    disposition.reordered = true;
+                    if fault.reorder_window > 0 {
+                        raw + self.fault_rng.gen_range(0..=fault.reorder_window)
+                    } else {
+                        raw
+                    }
+                } else {
+                    let t = raw.max(*floor);
+                    *floor = t;
+                    t
+                };
+                disposition.deliveries.push(delivery);
+                s.in_transit += 1;
+                s.high_water = s.high_water.max(s.in_transit);
+
+                if fault.dup > 0.0 && self.fault_rng.gen_bool(fault.dup.clamp(0.0, 1.0)) {
+                    let extra = now + delay.sample(now, &mut self.fault_rng);
+                    disposition.deliveries.push(extra);
+                    disposition.duplicated = true;
+                    s.duplicated += 1;
+                    s.in_transit += 1;
+                    s.high_water = s.high_water.max(s.in_transit);
+                }
+            }
         }
         disposition
     }
@@ -238,23 +425,42 @@ impl Network {
     /// Marks a message on `from → to` as delivered (or discarded at a
     /// crashed destination).
     pub fn complete_delivery(&mut self, from: ProcessId, to: ProcessId) {
-        let s = self
-            .stats
-            .get_mut(&unordered(from, to))
-            .expect("delivery without matching send");
+        let s = match &mut self.state {
+            ChannelState::Dense(d) => {
+                let ch = d.lookup(from, to).expect("delivery without matching send");
+                &mut d.stats[d.edge_of[ch] as usize]
+            }
+            ChannelState::Legacy(l) => l
+                .stats
+                .get_mut(&unordered(from, to))
+                .expect("delivery without matching send"),
+        };
         debug_assert!(s.in_transit > 0, "channel accounting underflow");
         s.in_transit = s.in_transit.saturating_sub(1);
     }
 
     pub fn stats(&self, a: ProcessId, b: ProcessId) -> ChannelStats {
-        self.stats
-            .get(&unordered(a, b))
-            .copied()
-            .unwrap_or_default()
+        match &self.state {
+            ChannelState::Dense(d) => d
+                .lookup(a, b)
+                .or_else(|| d.lookup(b, a))
+                .map(|ch| d.stats[d.edge_of[ch] as usize])
+                .unwrap_or_default(),
+            ChannelState::Legacy(l) => l.stats.get(&unordered(a, b)).copied().unwrap_or_default(),
+        }
     }
 
-    pub fn all_stats(&self) -> impl Iterator<Item = ((ProcessId, ProcessId), ChannelStats)> + '_ {
-        self.stats.iter().map(|(&k, &v)| (k, v))
+    /// Stats per unordered pair. Dense storage yields edges in intern order,
+    /// legacy in hash order; all consumers aggregate order-insensitively.
+    pub fn all_stats(
+        &self,
+    ) -> Box<dyn Iterator<Item = ((ProcessId, ProcessId), ChannelStats)> + '_> {
+        match &self.state {
+            ChannelState::Dense(d) => {
+                Box::new(d.edges.iter().copied().zip(d.stats.iter().copied()))
+            }
+            ChannelState::Legacy(l) => Box::new(l.stats.iter().map(|(&k, &v)| (k, v))),
+        }
     }
 
     /// `(send_time, from, to)` records of messages addressed to already
@@ -271,6 +477,42 @@ mod tests {
 
     fn p(i: usize) -> ProcessId {
         ProcessId::from(i)
+    }
+
+    const N: usize = 8;
+
+    /// A network plus the plan/delay it is driven with, so tests keep the
+    /// old one-object call shape.
+    struct Rig {
+        net: Network,
+        delay: DelayModel,
+        plan: FaultPlan,
+    }
+
+    impl Rig {
+        fn new(delay: DelayModel, plan: FaultPlan, seed: u64, engine: EngineKind) -> Self {
+            Rig {
+                net: Network::new(N, seed, engine),
+                delay,
+                plan,
+            }
+        }
+
+        fn send(
+            &mut self,
+            now: Time,
+            from: ProcessId,
+            to: ProcessId,
+            dest_crashed: bool,
+            rng: &mut StdRng,
+        ) -> SendDisposition {
+            self.net
+                .schedule_send(&self.delay, &self.plan, now, from, to, dest_crashed, rng)
+        }
+    }
+
+    fn engines() -> [EngineKind; 2] {
+        [EngineKind::Indexed, EngineKind::Legacy]
     }
 
     #[test]
@@ -325,52 +567,56 @@ mod tests {
         assert_eq!(m.sample(Time(0), &mut rng), 1);
     }
 
-    fn reliable(delay: DelayModel) -> Network {
-        Network::new(delay, FaultPlan::default(), 0)
+    fn reliable(delay: DelayModel, engine: EngineKind) -> Rig {
+        Rig::new(delay, FaultPlan::default(), 0, engine)
     }
 
     /// One delivery time from a fault-free send.
     fn sole(d: SendDisposition) -> Time {
         assert_eq!(d.deliveries.len(), 1, "fault-free send must deliver once");
-        d.deliveries[0]
+        d.deliveries.as_slice()[0]
     }
 
     #[test]
     fn fifo_preserved_even_with_random_delays() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut net = reliable(DelayModel::Uniform { min: 1, max: 100 });
-        let mut last = Time::ZERO;
-        for t in 0..50u64 {
-            let d = sole(net.schedule_send(Time(t), p(0), p(1), false, &mut rng));
-            assert!(d >= last, "delivery times must be monotone per channel");
-            last = d;
+        for engine in engines() {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut rig = reliable(DelayModel::Uniform { min: 1, max: 100 }, engine);
+            let mut last = Time::ZERO;
+            for t in 0..50u64 {
+                let d = sole(rig.send(Time(t), p(0), p(1), false, &mut rng));
+                assert!(d >= last, "delivery times must be monotone per channel");
+                last = d;
+            }
         }
     }
 
     #[test]
     fn in_transit_accounting() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let mut net = reliable(DelayModel::Fixed(10));
-        net.schedule_send(Time(0), p(0), p(1), false, &mut rng);
-        net.schedule_send(Time(1), p(1), p(0), false, &mut rng);
-        net.schedule_send(Time(2), p(0), p(1), false, &mut rng);
-        let s = net.stats(p(1), p(0));
-        assert_eq!(s.in_transit, 3);
-        assert_eq!(s.high_water, 3);
-        assert_eq!(s.total, 3);
-        net.complete_delivery(p(0), p(1));
-        let s = net.stats(p(0), p(1));
-        assert_eq!(s.in_transit, 2);
-        assert_eq!(s.high_water, 3, "high water mark is sticky");
+        for engine in engines() {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut rig = reliable(DelayModel::Fixed(10), engine);
+            rig.send(Time(0), p(0), p(1), false, &mut rng);
+            rig.send(Time(1), p(1), p(0), false, &mut rng);
+            rig.send(Time(2), p(0), p(1), false, &mut rng);
+            let s = rig.net.stats(p(1), p(0));
+            assert_eq!(s.in_transit, 3);
+            assert_eq!(s.high_water, 3);
+            assert_eq!(s.total, 3);
+            rig.net.complete_delivery(p(0), p(1));
+            let s = rig.net.stats(p(0), p(1));
+            assert_eq!(s.in_transit, 2);
+            assert_eq!(s.high_water, 3, "high water mark is sticky");
+        }
     }
 
     #[test]
     fn records_sends_to_crashed() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut net = reliable(DelayModel::Fixed(1));
-        net.schedule_send(Time(3), p(0), p(1), true, &mut rng);
-        net.schedule_send(Time(4), p(0), p(2), false, &mut rng);
-        assert_eq!(net.sends_to_crashed(), &[(Time(3), p(0), p(1))]);
+        let mut rig = reliable(DelayModel::Fixed(1), EngineKind::Indexed);
+        rig.send(Time(3), p(0), p(1), true, &mut rng);
+        rig.send(Time(4), p(0), p(2), false, &mut rng);
+        assert_eq!(rig.net.sends_to_crashed(), &[(Time(3), p(0), p(1))]);
     }
 
     /// Regression test: per-edge stats are keyed on the *unordered* pair, so
@@ -379,75 +625,88 @@ mod tests {
     /// matter which direction the traffic flowed.
     #[test]
     fn edge_stats_are_orientation_symmetric() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut net = reliable(DelayModel::Fixed(10));
-        // Interleave both orientations, including an asymmetric count.
-        net.schedule_send(Time(0), p(3), p(1), false, &mut rng);
-        net.schedule_send(Time(1), p(1), p(3), false, &mut rng);
-        net.schedule_send(Time(2), p(3), p(1), false, &mut rng);
-        net.schedule_send(Time(3), p(3), p(1), false, &mut rng);
-        assert_eq!(net.stats(p(1), p(3)), net.stats(p(3), p(1)));
-        let s = net.stats(p(1), p(3));
-        assert_eq!(s.total, 4, "both directions accumulate on one pair");
-        assert_eq!(s.high_water, 4);
-        // Deliveries completed with either orientation drain the same pair.
-        net.complete_delivery(p(3), p(1));
-        net.complete_delivery(p(1), p(3));
-        assert_eq!(net.stats(p(1), p(3)), net.stats(p(3), p(1)));
-        assert_eq!(net.stats(p(1), p(3)).in_transit, 2);
-        assert_eq!(
-            net.stats(p(1), p(3)).high_water,
-            4,
-            "high water must be orientation-independent and sticky"
-        );
+        for engine in engines() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut rig = reliable(DelayModel::Fixed(10), engine);
+            // Interleave both orientations, including an asymmetric count.
+            rig.send(Time(0), p(3), p(1), false, &mut rng);
+            rig.send(Time(1), p(1), p(3), false, &mut rng);
+            rig.send(Time(2), p(3), p(1), false, &mut rng);
+            rig.send(Time(3), p(3), p(1), false, &mut rng);
+            assert_eq!(rig.net.stats(p(1), p(3)), rig.net.stats(p(3), p(1)));
+            let s = rig.net.stats(p(1), p(3));
+            assert_eq!(s.total, 4, "both directions accumulate on one pair");
+            assert_eq!(s.high_water, 4);
+            // Deliveries completed with either orientation drain the same pair.
+            rig.net.complete_delivery(p(3), p(1));
+            rig.net.complete_delivery(p(1), p(3));
+            assert_eq!(rig.net.stats(p(1), p(3)), rig.net.stats(p(3), p(1)));
+            assert_eq!(rig.net.stats(p(1), p(3)).in_transit, 2);
+            assert_eq!(
+                rig.net.stats(p(1), p(3)).high_water,
+                4,
+                "high water must be orientation-independent and sticky"
+            );
+        }
     }
 
     #[test]
     fn loss_drops_messages_and_counts_them() {
-        let mut rng = StdRng::seed_from_u64(8);
-        let plan = FaultPlan::new().loss(1.0);
-        let mut net = Network::new(DelayModel::Fixed(5), plan, 8);
-        let d = net.schedule_send(Time(0), p(0), p(1), false, &mut rng);
-        assert!(d.lost);
-        assert!(d.deliveries.is_empty());
-        let s = net.stats(p(0), p(1));
-        assert_eq!((s.total, s.dropped, s.in_transit), (1, 1, 0));
+        for engine in engines() {
+            let mut rng = StdRng::seed_from_u64(8);
+            let plan = FaultPlan::new().loss(1.0);
+            let mut rig = Rig::new(DelayModel::Fixed(5), plan, 8, engine);
+            let d = rig.send(Time(0), p(0), p(1), false, &mut rng);
+            assert!(d.lost);
+            assert!(d.deliveries.is_empty());
+            let s = rig.net.stats(p(0), p(1));
+            assert_eq!((s.total, s.dropped, s.in_transit), (1, 1, 0));
+        }
     }
 
     #[test]
     fn duplication_schedules_two_copies() {
-        let mut rng = StdRng::seed_from_u64(9);
-        let plan = FaultPlan::new().duplication(1.0);
-        let mut net = Network::new(DelayModel::Fixed(5), plan, 9);
-        let d = net.schedule_send(Time(0), p(0), p(1), false, &mut rng);
-        assert!(d.duplicated);
-        assert_eq!(d.deliveries.len(), 2);
-        let s = net.stats(p(0), p(1));
-        assert_eq!((s.total, s.duplicated, s.in_transit), (1, 1, 2));
+        for engine in engines() {
+            let mut rng = StdRng::seed_from_u64(9);
+            let plan = FaultPlan::new().duplication(1.0);
+            let mut rig = Rig::new(DelayModel::Fixed(5), plan, 9, engine);
+            let d = rig.send(Time(0), p(0), p(1), false, &mut rng);
+            assert!(d.duplicated);
+            assert_eq!(d.deliveries.len(), 2);
+            let s = rig.net.stats(p(0), p(1));
+            assert_eq!((s.total, s.duplicated, s.in_transit), (1, 1, 2));
+        }
     }
 
     #[test]
     fn partition_cuts_cross_traffic_until_heal() {
-        let mut rng = StdRng::seed_from_u64(10);
-        let plan = FaultPlan::new().partition(vec![p(0)], Time(10), Time(20));
-        let mut net = Network::new(DelayModel::Fixed(1), plan, 10);
-        let cut = net.schedule_send(Time(15), p(0), p(1), false, &mut rng);
-        assert!(cut.cut_by_partition && cut.deliveries.is_empty());
-        let healed = net.schedule_send(Time(20), p(0), p(1), false, &mut rng);
-        assert_eq!(healed.deliveries.len(), 1);
-        let s = net.stats(p(0), p(1));
-        assert_eq!((s.total, s.dropped), (2, 1));
+        for engine in engines() {
+            let mut rng = StdRng::seed_from_u64(10);
+            let plan = FaultPlan::new().partition(vec![p(0)], Time(10), Time(20));
+            let mut rig = Rig::new(DelayModel::Fixed(1), plan, 10, engine);
+            let cut = rig.send(Time(15), p(0), p(1), false, &mut rng);
+            assert!(cut.cut_by_partition && cut.deliveries.is_empty());
+            let healed = rig.send(Time(20), p(0), p(1), false, &mut rng);
+            assert_eq!(healed.deliveries.len(), 1);
+            let s = rig.net.stats(p(0), p(1));
+            assert_eq!((s.total, s.dropped), (2, 1));
+        }
     }
 
     #[test]
     fn reordered_message_can_overtake_the_fifo_floor() {
         let mut rng = StdRng::seed_from_u64(11);
         let plan = FaultPlan::new().reorder(1.0, 0);
-        let mut net = Network::new(DelayModel::Uniform { min: 1, max: 100 }, plan, 11);
+        let mut rig = Rig::new(
+            DelayModel::Uniform { min: 1, max: 100 },
+            plan,
+            11,
+            EngineKind::Indexed,
+        );
         let mut overtook = false;
         let mut last = Time::ZERO;
         for t in 0..100u64 {
-            let d = net.schedule_send(Time(t), p(0), p(1), false, &mut rng);
+            let d = rig.send(Time(t), p(0), p(1), false, &mut rng);
             assert!(d.reordered);
             let dt = sole(d);
             overtook |= dt < last;
@@ -458,32 +717,50 @@ mod tests {
 
     #[test]
     fn fault_decisions_are_deterministic_per_seed() {
-        let run = |seed: u64| {
+        let run = |seed: u64, engine: EngineKind| {
             let plan = FaultPlan::new().loss(0.3).duplication(0.2).reorder(0.2, 8);
             let mut rng = StdRng::seed_from_u64(42);
-            let mut net = Network::new(DelayModel::Uniform { min: 1, max: 9 }, plan, seed);
+            let mut rig = Rig::new(DelayModel::Uniform { min: 1, max: 9 }, plan, seed, engine);
             (0..200u64)
-                .map(|t| net.schedule_send(Time(t), p(0), p(1), false, &mut rng))
+                .map(|t| rig.send(Time(t), p(0), p(1), false, &mut rng))
                 .collect::<Vec<_>>()
         };
-        assert_eq!(run(5), run(5), "same fault seed, same dispositions");
-        assert_ne!(run(5), run(6), "fault stream must depend on the seed");
+        for engine in engines() {
+            assert_eq!(
+                run(5, engine),
+                run(5, engine),
+                "same fault seed, same dispositions"
+            );
+            assert_ne!(
+                run(5, engine),
+                run(6, engine),
+                "fault stream must depend on the seed"
+            );
+        }
+        assert_eq!(
+            run(5, EngineKind::Indexed),
+            run(5, EngineKind::Legacy),
+            "storage engines must draw identical fault streams"
+        );
     }
 
     #[test]
     fn inert_plan_matches_fault_free_network_exactly() {
-        let mut rng_a = StdRng::seed_from_u64(12);
-        let mut rng_b = StdRng::seed_from_u64(12);
-        let mut plain = reliable(DelayModel::Uniform { min: 1, max: 50 });
-        let mut inert = Network::new(
-            DelayModel::Uniform { min: 1, max: 50 },
-            FaultPlan::new().loss(0.0),
-            999,
-        );
-        for t in 0..100u64 {
-            let a = plain.schedule_send(Time(t), p(0), p(1), false, &mut rng_a);
-            let b = inert.schedule_send(Time(t), p(0), p(1), false, &mut rng_b);
-            assert_eq!(a, b, "inert plan must not perturb the delay stream");
+        for engine in engines() {
+            let mut rng_a = StdRng::seed_from_u64(12);
+            let mut rng_b = StdRng::seed_from_u64(12);
+            let mut plain = reliable(DelayModel::Uniform { min: 1, max: 50 }, engine);
+            let mut inert = Rig::new(
+                DelayModel::Uniform { min: 1, max: 50 },
+                FaultPlan::new().loss(0.0),
+                999,
+                engine,
+            );
+            for t in 0..100u64 {
+                let a = plain.send(Time(t), p(0), p(1), false, &mut rng_a);
+                let b = inert.send(Time(t), p(0), p(1), false, &mut rng_b);
+                assert_eq!(a, b, "inert plan must not perturb the delay stream");
+            }
         }
     }
 }

@@ -1,4 +1,5 @@
 use crate::time::{Duration, Time};
+use crate::trace::Observation;
 use crate::ProcessId;
 use rand::rngs::StdRng;
 
@@ -71,6 +72,19 @@ pub trait Node {
     );
 }
 
+/// Where [`Context::observe`] writes.
+///
+/// The legacy engine buffers raw observations per dispatch and lets the
+/// simulator wrap them afterwards (the pre-optimization cost model); the
+/// indexed engine hands the context the simulator's log directly, so each
+/// observation is stamped and stored exactly once.
+pub(crate) enum ObsSink<'a, O> {
+    /// Per-dispatch scratch, drained by the simulator after the handler.
+    Scratch(Vec<O>),
+    /// The simulator's observation log, written in place.
+    Direct(&'a mut Vec<Observation<O>>),
+}
+
 /// The effect interface handed to [`Node::handle`].
 ///
 /// Effects are buffered and applied by the simulator after the handler
@@ -81,18 +95,38 @@ pub struct Context<'a, M, O> {
     pub(crate) rng: &'a mut StdRng,
     pub(crate) sends: Vec<(ProcessId, M)>,
     pub(crate) timers: Vec<(Duration, u64)>,
-    pub(crate) observations: Vec<O>,
+    pub(crate) observations: ObsSink<'a, O>,
 }
 
 impl<'a, M, O> Context<'a, M, O> {
     pub(crate) fn new(id: ProcessId, now: Time, rng: &'a mut StdRng) -> Self {
+        Context::with_buffers(
+            id,
+            now,
+            rng,
+            Vec::new(),
+            Vec::new(),
+            ObsSink::Scratch(Vec::new()),
+        )
+    }
+
+    /// Builds a context around caller-owned effect buffers, so the simulator
+    /// can recycle them across events instead of allocating per dispatch.
+    pub(crate) fn with_buffers(
+        id: ProcessId,
+        now: Time,
+        rng: &'a mut StdRng,
+        sends: Vec<(ProcessId, M)>,
+        timers: Vec<(Duration, u64)>,
+        observations: ObsSink<'a, O>,
+    ) -> Self {
         Context {
             id,
             now,
             rng,
-            sends: Vec::new(),
-            timers: Vec::new(),
-            observations: Vec::new(),
+            sends,
+            timers,
+            observations,
         }
     }
 
@@ -119,7 +153,14 @@ impl<'a, M, O> Context<'a, M, O> {
 
     /// Emits an observation for the metrics layer.
     pub fn observe(&mut self, obs: O) {
-        self.observations.push(obs);
+        match &mut self.observations {
+            ObsSink::Scratch(v) => v.push(obs),
+            ObsSink::Direct(out) => out.push(Observation {
+                time: self.now,
+                process: self.id,
+                obs,
+            }),
+        }
     }
 
     /// Deterministic per-simulation random source.
@@ -144,6 +185,30 @@ mod tests {
         ctx.observe(41);
         assert_eq!(ctx.sends, vec![(ProcessId(0), "hi")]);
         assert_eq!(ctx.timers, vec![(1, 9)]);
-        assert_eq!(ctx.observations, vec![41]);
+        match ctx.observations {
+            ObsSink::Scratch(v) => assert_eq!(v, vec![41]),
+            ObsSink::Direct(_) => panic!("Context::new buffers in scratch"),
+        }
+    }
+
+    #[test]
+    fn direct_sink_stamps_in_place() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut log: Vec<Observation<u32>> = Vec::new();
+        let mut ctx: Context<'_, &str, u32> = Context::with_buffers(
+            ProcessId(3),
+            Time(11),
+            &mut rng,
+            Vec::new(),
+            Vec::new(),
+            ObsSink::Direct(&mut log),
+        );
+        ctx.observe(7);
+        drop(ctx);
+        assert_eq!(log.len(), 1);
+        assert_eq!(
+            (log[0].time, log[0].process, log[0].obs),
+            (Time(11), ProcessId(3), 7)
+        );
     }
 }

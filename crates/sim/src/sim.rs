@@ -1,12 +1,13 @@
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EngineKind, EventKind, EventQueue};
 use crate::fault::FaultPlan;
 use crate::network::{ChannelStats, DelayModel, Network};
-use crate::node::{Context, Node, NodeEvent};
-use crate::time::Time;
+use crate::node::{Context, Node, NodeEvent, ObsSink};
+use crate::time::{Duration, Time};
 use crate::trace::{Observation, TraceEvent, TraceKind};
 use crate::ProcessId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::mem;
 
 /// Configuration of a [`Simulator`].
 ///
@@ -39,6 +40,9 @@ pub struct SimConfig {
     pub record_trace: bool,
     /// Safety valve: [`Simulator::run`] stops after this many events.
     pub max_events: u64,
+    /// Which kernel data-structure engine to run on (observably identical;
+    /// see [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 impl Default for SimConfig {
@@ -50,6 +54,7 @@ impl Default for SimConfig {
             faults: FaultPlan::default(),
             record_trace: false,
             max_events: 50_000_000,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -85,6 +90,29 @@ impl SimConfig {
         self.max_events = max;
         self
     }
+    /// Selects the kernel engine (defaults to [`EngineKind::Indexed`]).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Reusable effect buffers swapped into each [`Context`], so the indexed
+/// engine's steady state dispatches events without heap allocation.
+/// (Observations need no scratch: the indexed engine writes them straight
+/// into the simulator's log via [`ObsSink::Direct`].)
+struct Scratch<N: Node> {
+    sends: Vec<(ProcessId, N::Msg)>,
+    timers: Vec<(Duration, u64)>,
+}
+
+impl<N: Node> Scratch<N> {
+    fn new() -> Self {
+        Scratch {
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
 }
 
 /// A deterministic discrete-event simulator over `n` [`Node`]s.
@@ -111,6 +139,7 @@ pub struct Simulator<N: Node> {
     events_processed: u64,
     trace: Vec<TraceEvent>,
     observations: Vec<Observation<N::Obs>>,
+    scratch: Scratch<N>,
 }
 
 impl<N: Node> Simulator<N> {
@@ -122,11 +151,22 @@ impl<N: Node> Simulator<N> {
             .map(|i| factory(ProcessId::from(i), &mut rng))
             .collect();
         let n = config.n;
-        let mut sim = Simulator {
-            network: Network::new(config.delay.clone(), config.faults.clone(), config.seed),
+        let mut queue = EventQueue::new(config.engine);
+        // Auto-schedule the plan-declared process faults straight off the
+        // borrowed plan — no `FaultPlan` clone is ever needed.
+        for r in &config.faults.recoveries {
+            assert!(r.process.index() < n, "recovery target out of range");
+            queue.push(r.at, r.process, EventKind::Recover { corrupt: r.corrupt });
+        }
+        for c in &config.faults.corruptions {
+            assert!(c.process.index() < n, "corruption target out of range");
+            queue.push(c.at, c.process, EventKind::Corrupt);
+        }
+        Simulator {
+            network: Network::new(n, config.seed, config.engine),
             config,
             time: Time::ZERO,
-            queue: EventQueue::new(),
+            queue,
             nodes,
             crashed: vec![false; n],
             crash_times: vec![None; n],
@@ -136,14 +176,8 @@ impl<N: Node> Simulator<N> {
             events_processed: 0,
             trace: Vec::new(),
             observations: Vec::new(),
-        };
-        for r in sim.config.faults.recoveries.clone() {
-            sim.schedule_recovery(r.process, r.at, r.corrupt);
+            scratch: Scratch::new(),
         }
-        for c in sim.config.faults.corruptions.clone() {
-            sim.schedule_corruption(c.process, c.at);
-        }
-        sim
     }
 
     /// Current virtual time.
@@ -238,6 +272,14 @@ impl<N: Node> Simulator<N> {
         std::mem::take(&mut self.observations)
     }
 
+    /// Pre-sizes the observation log for roughly `expected` entries, so a
+    /// caller that can estimate its workload's observation volume (e.g. a
+    /// scenario harness) avoids the growth re-copies of a cold `Vec`.
+    pub fn reserve_observations(&mut self, expected: usize) {
+        let have = self.observations.capacity() - self.observations.len();
+        self.observations.reserve(expected.saturating_sub(have));
+    }
+
     /// The kernel trace (empty unless [`SimConfig::record_trace`] was set).
     pub fn trace(&self) -> &[TraceEvent] {
         &self.trace
@@ -279,30 +321,69 @@ impl<N: Node> Simulator<N> {
     }
 
     fn dispatch(&mut self, target: ProcessId, ev: NodeEvent<N::Msg, N::Ext>) {
-        let mut ctx = Context::new(target, self.time, &mut self.rng);
+        // The indexed engine recycles the effect buffers and moves (rather
+        // than clones) the payload of the last delivery copy. The legacy
+        // engine keeps the pre-optimization cost model — fresh allocations
+        // and a clone per copy — so E9 measures an honest before/after.
+        let pooled = self.config.engine == EngineKind::Indexed;
+        let mut ctx = if pooled {
+            Context::with_buffers(
+                target,
+                self.time,
+                &mut self.rng,
+                mem::take(&mut self.scratch.sends),
+                mem::take(&mut self.scratch.timers),
+                ObsSink::Direct(&mut self.observations),
+            )
+        } else {
+            Context::new(target, self.time, &mut self.rng)
+        };
         self.nodes[target.index()].handle(ev, &mut ctx);
         let Context {
-            sends,
-            timers,
+            mut sends,
+            mut timers,
             observations,
             ..
         } = ctx;
-        for (to, msg) in sends {
+        // Consume the sink first: it may hold a borrow of the observation
+        // log whose lifetime is unified with the context's rng borrow.
+        match observations {
+            // Legacy cost model: wrap and copy each observation after the
+            // handler. (The indexed engine already wrote them in place.)
+            ObsSink::Scratch(mut raw) => {
+                for obs in raw.drain(..) {
+                    self.observations.push(Observation {
+                        time: self.time,
+                        process: target,
+                        obs,
+                    });
+                }
+            }
+            ObsSink::Direct(_) => {}
+        }
+        for (to, msg) in sends.drain(..) {
             assert!(to.index() < self.crashed.len(), "send target out of range");
             assert!(to != target, "a process cannot send to itself");
             let dest_crashed = self.crashed[to.index()];
-            let disposition =
-                self.network
-                    .schedule_send(self.time, target, to, dest_crashed, &mut self.rng);
-            for (copy, &delivery) in disposition.deliveries.iter().enumerate() {
-                self.queue.push(
-                    delivery,
-                    to,
-                    EventKind::Deliver {
-                        from: target,
-                        msg: msg.clone(),
-                    },
-                );
+            let disposition = self.network.schedule_send(
+                &self.config.delay,
+                &self.config.faults,
+                self.time,
+                target,
+                to,
+                dest_crashed,
+                &mut self.rng,
+            );
+            let copies = disposition.deliveries.len();
+            let mut payload = Some(msg);
+            for (copy, &delivery) in disposition.deliveries.as_slice().iter().enumerate() {
+                let msg = if pooled && copy + 1 == copies {
+                    payload.take().expect("payload moved once")
+                } else {
+                    payload.as_ref().expect("payload present").clone()
+                };
+                self.queue
+                    .push(delivery, to, EventKind::Deliver { from: target, msg });
                 if self.config.record_trace {
                     let kind = if copy > 0 {
                         TraceKind::Duplicated {
@@ -340,16 +421,13 @@ impl<N: Node> Simulator<N> {
                 });
             }
         }
-        for (delay, tag) in timers {
+        for (delay, tag) in timers.drain(..) {
             self.queue
                 .push(self.time + delay, target, EventKind::Timer { tag });
         }
-        for obs in observations {
-            self.observations.push(Observation {
-                time: self.time,
-                process: target,
-                obs,
-            });
+        if pooled {
+            self.scratch.sends = sends;
+            self.scratch.timers = timers;
         }
     }
 

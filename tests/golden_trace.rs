@@ -1,0 +1,209 @@
+//! Golden-trace determinism suite for the fast simulation kernel.
+//!
+//! The indexed engine (timer-wheel queue, dense interned channel state,
+//! pooled buffers) must be **observably identical** to the legacy engine,
+//! which deliberately preserves the pre-optimization cost model
+//! (binary-heap queue, hash-map channel state, per-event allocations).
+//! These tests pin that contract at the strongest available granularity:
+//! the full kernel trace — every send, delivery, loss, duplication,
+//! reorder, crash, recovery, corruption, and timer firing, in order, with
+//! timestamps — must be byte-equal between engines and across repeated
+//! runs of the same seed, under every fault configuration the E-suite
+//! exercises.
+//!
+//! The legacy engine *is* the golden reference: it shares none of the new
+//! queue/interning code, so equality here means the rewrite changed the
+//! kernel's cost, not its behavior.
+
+use ekbd::harness::{Campaign, Scenario, Workload};
+use ekbd::sim::{EngineKind, FaultPlan, ProcessId, Time, TraceEvent};
+use ekbd_link::LinkConfig;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from(i)
+}
+
+/// FNV-1a over the debug rendering of the full trace: stable, dependency
+/// free, and sensitive to every field of every event.
+fn trace_hash(trace: &[TraceEvent]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for ev in trace {
+        for b in format!("{ev:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= b'\n' as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The E-suite's fault configurations, each applied to the given base
+/// scenario. Returned labels name the configuration in assertion messages.
+fn fault_configs(base: Scenario) -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("reliable", base.clone()),
+        ("loss", base.clone().faults(FaultPlan::new().loss(0.10))),
+        (
+            "duplication",
+            base.clone().faults(FaultPlan::new().duplication(0.15)),
+        ),
+        (
+            "reorder",
+            base.clone().faults(FaultPlan::new().reorder(0.20, 12)),
+        ),
+        (
+            "partition",
+            base.clone().faults(FaultPlan::new().loss(0.05).partition(
+                vec![p(0), p(1)],
+                Time(500),
+                Time(3_000),
+            )),
+        ),
+        (
+            "loss+dup+reorder",
+            base.faults(
+                FaultPlan::new()
+                    .loss(0.05)
+                    .duplication(0.10)
+                    .reorder(0.15, 12),
+            ),
+        ),
+    ]
+}
+
+fn base_scenario(graph: ekbd::graph::ConflictGraph, seed: u64) -> Scenario {
+    Scenario::new(graph)
+        .seed(seed)
+        .adversarial_oracle(Time(2_000), 40)
+        .workload(Workload {
+            sessions: 5,
+            think: (1, 25),
+            eat: (1, 10),
+        })
+        .reliable_link(LinkConfig::default())
+        .horizon(Time(60_000))
+        .record_trace(true)
+}
+
+/// Runs one scenario on both engines and asserts full-trace equality plus
+/// repeat-run determinism of the indexed engine.
+fn assert_golden(label: &str, scenario: &Scenario) {
+    let legacy = scenario.clone().engine(EngineKind::Legacy).run_algorithm1();
+    let indexed = scenario
+        .clone()
+        .engine(EngineKind::Indexed)
+        .run_algorithm1();
+    assert!(
+        !legacy.kernel_trace.is_empty(),
+        "{label}: trace recording must be on for this test to mean anything"
+    );
+    // Event-by-event equality — pinpoints the first divergence on failure.
+    let n = legacy.kernel_trace.len().min(indexed.kernel_trace.len());
+    for i in 0..n {
+        assert_eq!(
+            legacy.kernel_trace[i], indexed.kernel_trace[i],
+            "{label}: engines diverge at trace index {i}"
+        );
+    }
+    assert_eq!(
+        legacy.kernel_trace.len(),
+        indexed.kernel_trace.len(),
+        "{label}: engines agree on a prefix but one trace is longer"
+    );
+    assert_eq!(
+        trace_hash(&legacy.kernel_trace),
+        trace_hash(&indexed.kernel_trace),
+        "{label}: trace hashes must match"
+    );
+    // Same seed, same engine, run again: byte-identical trace.
+    let again = scenario
+        .clone()
+        .engine(EngineKind::Indexed)
+        .run_algorithm1();
+    assert_eq!(
+        trace_hash(&indexed.kernel_trace),
+        trace_hash(&again.kernel_trace),
+        "{label}: repeat run of the indexed engine must be deterministic"
+    );
+    // The report-level aggregates the E-suite consumes must agree too.
+    assert_eq!(
+        legacy.events_processed, indexed.events_processed,
+        "{label}: events processed"
+    );
+    assert_eq!(legacy.events, indexed.events, "{label}: sched events");
+    assert_eq!(
+        legacy.total_messages, indexed.total_messages,
+        "{label}: total messages"
+    );
+    assert_eq!(
+        legacy.final_states, indexed.final_states,
+        "{label}: final states"
+    );
+}
+
+#[test]
+fn ring8_traces_identical_across_engines_and_faults() {
+    for (label, scenario) in fault_configs(base_scenario(ekbd::graph::topology::ring(8), 42)) {
+        assert_golden(&format!("ring-8/{label}"), &scenario);
+    }
+}
+
+#[test]
+fn clique6_traces_identical_across_engines_and_faults() {
+    for (label, scenario) in fault_configs(base_scenario(ekbd::graph::topology::clique(6), 7)) {
+        assert_golden(&format!("clique-6/{label}"), &scenario);
+    }
+}
+
+#[test]
+fn crash_recovery_traces_identical_across_engines() {
+    // Crash + recovery (one blank, one corrupted reboot) and a live-state
+    // corruption, under loss — the crash-recovery E-suite configuration.
+    let scenario = base_scenario(ekbd::graph::topology::ring(8), 11)
+        .crash(p(2), Time(4_000))
+        .recover(p(2), Time(9_000))
+        .crash(p(5), Time(6_000))
+        .recover_corrupted(p(5), Time(12_000))
+        .corrupt_state(p(0), Time(15_000))
+        .faults(FaultPlan::new().loss(0.05));
+    let legacy = scenario
+        .clone()
+        .engine(EngineKind::Legacy)
+        .run_recoverable();
+    let indexed = scenario.engine(EngineKind::Indexed).run_recoverable();
+    assert!(!legacy.kernel_trace.is_empty());
+    assert_eq!(
+        legacy.kernel_trace, indexed.kernel_trace,
+        "crash-recovery: full kernel traces must be identical"
+    );
+    assert_eq!(legacy.incarnations, indexed.incarnations);
+    assert_eq!(legacy.final_states, indexed.final_states);
+}
+
+#[test]
+fn campaign_parallel_merge_matches_serial_byte_for_byte() {
+    // The campaign runner must be a pure parallelization: fanning the same
+    // jobs across workers cannot change any report, and the merged
+    // (seed-ordered) rendering must be byte-identical to the serial one.
+    let base = Scenario::new(ekbd::graph::topology::ring(8))
+        .adversarial_oracle(Time(2_000), 40)
+        .workload(Workload {
+            sessions: 4,
+            think: (1, 20),
+            eat: (1, 10),
+        })
+        .faults(FaultPlan::new().loss(0.05))
+        .reliable_link(LinkConfig::default())
+        .horizon(Time(40_000));
+    let campaign = Campaign::new().seeds("ring-8", &base, 1..=12);
+    let serial = campaign.run_serial();
+    let parallel = campaign.run_with_workers(4);
+    assert_eq!(
+        serial.merged(),
+        parallel.merged(),
+        "parallel campaign must merge to the serial bytes"
+    );
+    assert_eq!(serial.total_events(), parallel.total_events());
+    assert_eq!(serial.total_sessions(), parallel.total_sessions());
+}
