@@ -122,7 +122,7 @@ fn main() {
 
         let progress = report.progress();
         let readmissions = report.readmissions();
-        let readmitted = readmissions.iter().all(|(_, _, eats)| eats.is_some());
+        let readmitted = readmissions.iter().all(|r| r.first_eat.is_some());
         let mistakes = report.exclusion().after(stable_from);
         let stats = report.recovery.expect("recovery layer active");
         let ok = progress.wait_free() && readmitted && mistakes == 0 && edge_audit && deterministic;
@@ -131,8 +131,8 @@ fn main() {
         let ticks = |i: usize| {
             readmissions
                 .iter()
-                .find(|(q, _, _)| *q == p(i))
-                .and_then(|(_, r, eats)| eats.map(|e| (e.0 - r.0).to_string()))
+                .find(|r| r.process == p(i))
+                .and_then(|r| r.time_to_readmission().map(|t| t.to_string()))
                 .unwrap_or_else(|| "never".into())
         };
         table.row([
@@ -153,6 +153,84 @@ fn main() {
         ]);
     }
     table.print();
+
+    // ---- Sub-table: the audit-period × strike-count trade-off ------------
+    println!(
+        "\nAudit knobs (ring-8, same fault schedule): a tighter period buys\n\
+         repair latency with message overhead; more strikes buy in-flight\n\
+         tolerance with repair delay. Every cell must stay safe — the knobs\n\
+         trade speed for traffic, never correctness.\n"
+    );
+    let mut table = Table::new(&[
+        "audit period",
+        "strikes",
+        "readmit p0/p1 (ticks)",
+        "repairs (edge+local)",
+        "total messages",
+        "mistakes after stab",
+        "verdict",
+    ]);
+    let mut messages_by_period: Vec<(u64, u64)> = Vec::new();
+    for period in [
+        AUDIT_PERIOD / 2,
+        AUDIT_PERIOD,
+        2 * AUDIT_PERIOD,
+        4 * AUDIT_PERIOD,
+    ] {
+        for strikes in [1u8, 2, 3] {
+            let s = scenario(topology::ring(8), 42)
+                .audit_period(period)
+                .audit_strikes(strikes);
+            let last_fault = s
+                .recoveries()
+                .iter()
+                .chain(s.corruptions().iter())
+                .map(|&(_, t)| t)
+                .max()
+                .expect("faults scheduled");
+            let stable_from = Time(last_fault.0 + 20 * period);
+            let report = s.run_recoverable();
+            let progress = report.progress();
+            let readmissions = report.readmissions();
+            let readmitted = readmissions.iter().all(|r| r.first_eat.is_some());
+            let mistakes = report.exclusion().after(stable_from);
+            let stats = report.recovery.expect("recovery layer active");
+            let ok = progress.wait_free() && readmitted && mistakes == 0;
+            all_ok &= ok;
+            if strikes == 2 {
+                messages_by_period.push((period, report.total_messages));
+            }
+            let ticks = |i: usize| {
+                readmissions
+                    .iter()
+                    .find(|r| r.process == p(i))
+                    .and_then(|r| r.time_to_readmission().map(|t| t.to_string()))
+                    .unwrap_or_else(|| "never".into())
+            };
+            table.row([
+                period.to_string(),
+                strikes.to_string(),
+                format!("{}/{}", ticks(0), ticks(1)),
+                format!("{}+{}", stats.repairs, stats.local_repairs),
+                report.total_messages.to_string(),
+                mistakes.to_string(),
+                verdict(ok),
+            ]);
+        }
+    }
+    table.print();
+    // The overhead half of the trade-off must actually show: at the default
+    // strike count, the tightest audit sends strictly more messages than
+    // the sluggishest.
+    let overhead_visible =
+        messages_by_period.first().map(|&(_, m)| m) > messages_by_period.last().map(|&(_, m)| m);
+    all_ok &= overhead_visible;
+    println!(
+        "\naudit overhead visible (messages at period {} > period {}): {}",
+        messages_by_period.first().expect("swept").0,
+        messages_by_period.last().expect("swept").0,
+        overhead_visible
+    );
 
     println!(
         "\nIncarnation-stamped messages quarantine each process's previous\n\

@@ -4,12 +4,13 @@
 use crate::args::{ArgError, Parsed};
 use crate::spec::{
     parse_corrupt_state, parse_crash, parse_link, parse_partition, parse_recover, parse_reorder,
-    AlgorithmSpec, OracleArg, ProtocolSpec, TopologySpec,
+    parse_storage_fault, AlgorithmSpec, OracleArg, ProtocolSpec, TopologySpec,
 };
 use ekbd_baselines::{ChoySinghProcess, NaivePriorityProcess};
-use ekbd_dining::{BudgetedDiningProcess, DiningProcess};
+use ekbd_dining::{BudgetedDiningProcess, DiningProcess, RestartPath};
 use ekbd_graph::ProcessId;
 use ekbd_harness::{Campaign, RunReport, Scenario, Workload};
+use ekbd_journal::StorageFaultPlan;
 use ekbd_metrics::{DetectorQualityReport, Timeline};
 use ekbd_sim::{EngineKind, Time};
 use ekbd_stabilize::{
@@ -29,6 +30,8 @@ USAGE:
                  [--corrupt-state proc:time]... [--horizon N] [--timeline N]
                  [--loss P] [--dup P] [--reorder P:WINDOW]
                  [--partition procs:start-heal]... [--link on|base:cap]
+                 [--journal on|off] [--storage-fault proc:torn|rot|stale|dropped]...
+                 [--audit-period N] [--audit-strikes N]
                  [--engine indexed|legacy]
   ekbd stabilize --protocol coloring|coloring-adv|mis|token-ring:k|bfs-tree|leader
                  --topology SPEC [--algorithm ...] [--oracle ...] [--seed N]
@@ -64,22 +67,8 @@ fn scenario_from(parsed: &Parsed) -> Result<Scenario, ArgError> {
         OracleArg::Heartbeat(cfg) => s = s.heartbeat_oracle(cfg),
         OracleArg::Probe(cfg) => s = s.probe_oracle(cfg),
     }
-    for c in parsed.get_all("crash") {
-        let (p, t) = parse_crash(c)?;
-        s = s.crash(p, t);
-    }
-    for r in parsed.get_all("recover") {
-        let (p, t, corrupt) = parse_recover(r)?;
-        s = if corrupt {
-            s.recover_corrupted(p, t)
-        } else {
-            s.recover(p, t)
-        };
-    }
-    for c in parsed.get_all("corrupt-state") {
-        let (p, t) = parse_corrupt_state(c)?;
-        s = s.corrupt_state(p, t);
-    }
+    // Channel faults first: the plan is *replaced* here, while the
+    // --crash/--recover/--corrupt-state schedules below extend it.
     let mut faults = ekbd_sim::FaultPlan::new();
     if parsed.get("loss").is_some() {
         faults = faults.loss(parsed.get_parsed("loss", 0.0f64)?);
@@ -97,6 +86,49 @@ fn scenario_from(parsed: &Parsed) -> Result<Scenario, ArgError> {
     }
     if !faults.is_inert() {
         s = s.faults(faults);
+    }
+    for c in parsed.get_all("crash") {
+        let (p, t) = parse_crash(c)?;
+        s = s.crash(p, t);
+    }
+    for r in parsed.get_all("recover") {
+        let (p, t, corrupt) = parse_recover(r)?;
+        s = if corrupt {
+            s.recover_corrupted(p, t)
+        } else {
+            s.recover(p, t)
+        };
+    }
+    for c in parsed.get_all("corrupt-state") {
+        let (p, t) = parse_corrupt_state(c)?;
+        s = s.corrupt_state(p, t);
+    }
+    if let Some(spec) = parsed.get("journal") {
+        s = match spec {
+            "on" => s.journal(true),
+            "off" => s,
+            other => {
+                return Err(ArgError::BadValue {
+                    flag: "--journal".into(),
+                    value: other.to_string(),
+                    expected: "on | off",
+                })
+            }
+        };
+    }
+    let mut storage = StorageFaultPlan::new().seed(s.seed);
+    for spec in parsed.get_all("storage-fault") {
+        let (p, mode) = parse_storage_fault(spec)?;
+        storage = storage.fault(p, mode);
+    }
+    if !storage.is_inert() {
+        s = s.storage_faults(storage);
+    }
+    if parsed.get("audit-period").is_some() {
+        s = s.audit_period(parsed.get_parsed("audit-period", ekbd_harness::AUDIT_PERIOD)?);
+    }
+    if parsed.get("audit-strikes").is_some() {
+        s = s.audit_strikes(parsed.get_parsed("audit-strikes", 2u8)?);
     }
     if let Some(spec) = parsed.get("link") {
         s = s.reliable_link(parse_link(spec)?);
@@ -118,13 +150,16 @@ fn parse_engine(parsed: &Parsed) -> Result<EngineKind, ArgError> {
 }
 
 fn run_with_algorithm(s: &Scenario, alg: &AlgorithmSpec) -> Result<RunReport, ArgError> {
-    let has_state_faults = !s.recoveries().is_empty() || !s.corruptions().is_empty();
+    let has_state_faults = !s.recoveries().is_empty()
+        || !s.corruptions().is_empty()
+        || s.journal
+        || !s.storage_faults.is_inert();
     if has_state_faults && *alg != AlgorithmSpec::Algorithm1 {
         return Err(ArgError::BadValue {
             flag: "--algorithm".into(),
             value: format!("{alg:?}"),
             expected: "alg1 (only the crash-recovery variant of Algorithm 1 \
-                       supports --recover / --corrupt-state)",
+                       supports --recover / --corrupt-state / --journal / --storage-fault)",
         });
     }
     Ok(match alg {
@@ -219,30 +254,40 @@ fn print_report(report: &RunReport) {
             report.recoveries.len(),
             report.corruptions.len()
         );
-        for (p, at, eat) in report.readmissions() {
-            match eat {
+        for r in report.readmissions() {
+            let path = match r.path {
+                Some(RestartPath::Journal { resumed, rejoined }) => {
+                    format!(" [journal: {resumed} resumed, {rejoined} rejoined]")
+                }
+                Some(RestartPath::Blank { reason }) => format!(" [blank: {reason:?}]"),
+                None => String::new(),
+            };
+            match r.first_eat {
                 Some(t) => println!(
-                    "  p{} restarted at {} ........ readmitted (first eats {} ticks later)",
-                    p.index(),
-                    at.0,
-                    t.0.saturating_sub(at.0)
+                    "  p{} restarted at {} ........ readmitted (first eats {} ticks later){}",
+                    r.process.index(),
+                    r.restarted.0,
+                    t.0.saturating_sub(r.restarted.0),
+                    path
                 ),
                 None => println!(
-                    "  p{} restarted at {} ........ never ate again",
-                    p.index(),
-                    at.0
+                    "  p{} restarted at {} ........ never ate again{}",
+                    r.process.index(),
+                    r.restarted.0,
+                    path
                 ),
             }
         }
         if let Some(stats) = &report.recovery {
             println!(
                 "recovery layer .............. resyncs={} repairs={} local-repairs={} \
-                 stale-dropped={} suppressed={}",
+                 stale-dropped={} suppressed={} fast-resumes={}",
                 stats.resyncs,
                 stats.repairs,
                 stats.local_repairs,
                 stats.stale_dropped,
-                stats.suppressed
+                stats.suppressed,
+                stats.fast_resumes
             );
         }
     }
@@ -585,6 +630,56 @@ mod tests {
             "run --topology ring:4 --algorithm naive --crash 1:100 --recover 1:500 \
              --horizon 5000",
         );
+        assert!(cmd_run(&p).is_err());
+    }
+
+    #[test]
+    fn scenario_builder_journal_and_audit_knobs() {
+        let s = scenario_from(&parsed(
+            "run --topology ring:5 --journal on --storage-fault 2:torn \
+             --storage-fault 3:stale --audit-period 25 --audit-strikes 3",
+        ))
+        .unwrap();
+        assert!(s.journal);
+        assert_eq!(
+            s.storage_faults.fault_for(ProcessId(2)),
+            Some(ekbd_journal::StorageFault::TornWrite)
+        );
+        assert_eq!(
+            s.storage_faults.fault_for(ProcessId(3)),
+            Some(ekbd_journal::StorageFault::StaleSnapshot)
+        );
+        assert_eq!(s.audit_period, 25);
+        assert_eq!(s.audit_strikes, 3);
+        assert!(scenario_from(&parsed("run --journal sideways")).is_err());
+        assert!(scenario_from(&parsed("run --storage-fault 2:melted")).is_err());
+    }
+
+    #[test]
+    fn recover_schedule_survives_channel_fault_flags() {
+        // --loss/--partition replace the fault plan; the --recover schedule
+        // must still be applied on top of it, not wiped by it.
+        let s = scenario_from(&parsed(
+            "run --topology ring:5 --loss 0.05 --partition 2:500-3000 \
+             --crash 2:300 --recover 2:2000",
+        ))
+        .unwrap();
+        assert_eq!(s.recoveries(), vec![(ProcessId(2), Time(2000))]);
+        assert!(!s.faults.is_inert());
+    }
+
+    #[test]
+    fn run_command_with_journal_and_storage_faults() {
+        let p = parsed(
+            "run --topology ring:5 --sessions 4 --horizon 60000 --oracle perfect \
+             --crash 2:300 --recover 2:2000 --journal on --storage-fault 2:rot",
+        );
+        cmd_run(&p).unwrap();
+    }
+
+    #[test]
+    fn journal_flags_require_algorithm1() {
+        let p = parsed("run --topology ring:4 --algorithm naive --journal on --horizon 5000");
         assert!(cmd_run(&p).is_err());
     }
 

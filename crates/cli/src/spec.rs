@@ -4,6 +4,7 @@
 use crate::args::ArgError;
 use ekbd_detector::{HeartbeatConfig, ProbeConfig};
 use ekbd_graph::{random, topology, ConflictGraph, ProcessId};
+use ekbd_journal::StorageFault;
 use ekbd_link::LinkConfig;
 use ekbd_sim::Time;
 
@@ -305,6 +306,24 @@ pub fn parse_corrupt_state(s: &str) -> Result<(ProcessId, Time), ArgError> {
     Ok((
         ProcessId::from(p.parse::<usize>().map_err(|_| err())?),
         Time(t.parse().map_err(|_| err())?),
+    ))
+}
+
+/// Parses a `--storage-fault process:mode` spec: corrupt the named
+/// process's stable-storage journal at load time.
+pub fn parse_storage_fault(s: &str) -> Result<(ProcessId, StorageFault), ArgError> {
+    let err = || bad("--storage-fault", s, "process:torn|rot|stale|dropped");
+    let (p, mode) = s.split_once(':').ok_or_else(err)?;
+    let mode = match mode {
+        "torn" => StorageFault::TornWrite,
+        "rot" => StorageFault::BitRot,
+        "stale" => StorageFault::StaleSnapshot,
+        "dropped" => StorageFault::DroppedSync,
+        _ => return Err(err()),
+    };
+    Ok((
+        ProcessId::from(p.parse::<usize>().map_err(|_| err())?),
+        mode,
     ))
 }
 

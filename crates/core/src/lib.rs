@@ -95,7 +95,10 @@ mod traits;
 pub use budgeted::BudgetedDiningProcess;
 pub use msg::DiningMsg;
 pub use process::DiningProcess;
-pub use recovery::{RecoverableDining, RecoveryMsg, RecoveryStats};
+pub use recovery::{
+    BlankReason, RecoverableDining, RecoveryMsg, RecoveryStats, RestartEvent, RestartPath,
+    DEFAULT_STRIKES,
+};
 pub use traits::{DinerState, DiningAlgorithm, DiningInput, DiningObs};
 
 pub use ekbd_detector::SuspicionView;

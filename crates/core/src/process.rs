@@ -338,6 +338,19 @@ impl DiningProcess {
         }
     }
 
+    /// Clears only the volatile handshake flags (`pinged`, `ack`,
+    /// `replied`) on the edge to `q`, keeping `deferred` along with the
+    /// fork and token — what a confirmed `JournalResume` does: the
+    /// journaled obligations survive the restart, but any in-flight
+    /// ping/ack exchange died with the old incarnation (or was suppressed
+    /// while the edge was unsynced) and must be restarted from scratch.
+    pub fn reset_edge_handshake(&mut self, q: ProcessId) {
+        let j = self.idx(q);
+        for f in [flag::PINGED, flag::ACK, flag::REPLIED] {
+            self.set(j, f, false);
+        }
+    }
+
     /// Clears a stuck `pinged` flag so the next internal-action pass
     /// re-pings `q` (audit repair for a ping whose ack was destroyed by a
     /// fault; Algorithm 1 would otherwise wait forever on a live peer).
@@ -352,6 +365,21 @@ impl DiningProcess {
     pub fn corrupt_edge(&mut self, q: ProcessId, mask: u8) {
         let j = self.idx(q);
         self.vars[j] ^= mask & 0x3F;
+    }
+
+    /// The raw bit-packed per-neighbor flags of the edge to `q` (low six
+    /// bits: `PINGED`, `ACK`, `REPLIED`, `DEFERRED`, `FORK`, `TOKEN`) —
+    /// what the stable-storage journal snapshots on every commit.
+    pub fn edge_flags(&self, q: ProcessId) -> u8 {
+        self.vars[self.idx(q)]
+    }
+
+    /// Overwrites the per-neighbor flags of the edge to `q` with `flags`
+    /// (low six bits) — journal replay on restart. The caller masks the
+    /// bits it trusts; session bits it does not restore are cleared.
+    pub fn restore_edge_flags(&mut self, q: ProcessId, flags: u8) {
+        let j = self.idx(q);
+        self.vars[j] = flags & 0x3F;
     }
 
     /// Local audit-and-repair: clears flag states unreachable under
@@ -372,10 +400,23 @@ impl DiningProcess {
     ///   peer waiting inside the doorway whose request was consumed;
     ///   discharge it exactly as exit would — the fork travels to the
     ///   peer, the token stays.
-    pub fn audit_local(&mut self, sends: &mut Vec<(ProcessId, DiningMsg)>) -> bool {
+    ///
+    /// Only edges accepted by `eligible` are audited. The crash-recovery
+    /// layer passes its synced-edge filter: an unsynced edge's state is
+    /// owned by the resume/rejoin protocol (a journaled mid-session
+    /// `token+fork` pair is *legitimate* there, and a discharge sent into
+    /// a suppressed edge would silently destroy the fork).
+    pub fn audit_local(
+        &mut self,
+        eligible: impl Fn(ProcessId) -> bool,
+        sends: &mut Vec<(ProcessId, DiningMsg)>,
+    ) -> bool {
         let mut repaired = false;
         let hungry_outside = self.state == DinerState::Hungry && !self.inside;
         for j in 0..self.neighbors.len() {
+            if !eligible(self.neighbors[j]) {
+                continue;
+            }
             if !hungry_outside {
                 for f in [flag::ACK, flag::REPLIED] {
                     if self.get(j, f) {

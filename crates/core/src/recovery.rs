@@ -37,6 +37,21 @@
 //!    fork and recreates a missing token, the higher color recreates a
 //!    missing fork and drops a duplicate token. Hysteresis keeps the audit
 //!    from "repairing" a fork that is merely in flight.
+//!
+//! A fourth, optional mechanism makes restarts *cheap*:
+//!
+//! 4. **Journaled resume.** When built [`RecoverableDining::with_journal`],
+//!    the process commits a checksummed [`JournalRecord`] of its entire
+//!    recoverable state (§7: it fits in `log₂(δ) + 6δ + c` bits) to stable
+//!    storage after every transition. On restart it replays the journal
+//!    and, instead of the full rejoin, asks each neighbor to confirm the
+//!    journaled pairing with a single [`RecoveryMsg::JournalResume`] /
+//!    [`RecoveryMsg::ResumeAck`] exchange; the restored fork/token bits are
+//!    accepted only if they are exactly complementary to the responder's
+//!    (the Lemma 1 edge invariant), and *any* disagreement — a missing or
+//!    corrupt journal, a refuted incarnation, an inconsistent edge —
+//!    degrades that edge to the blank rejoin handshake. A corrupt journal
+//!    can therefore delay readmission but never break safety.
 
 use crate::msg::DiningMsg;
 use crate::process::DiningProcess;
@@ -44,6 +59,7 @@ use crate::traits::{DinerState, DiningAlgorithm, DiningInput};
 use ekbd_detector::SuspicionView;
 use ekbd_graph::coloring::Color;
 use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_journal::{EdgeRecord, JournalHandle, JournalRecord};
 use std::collections::BTreeMap;
 
 /// Wire messages of the crash-recovery layer: Algorithm 1's messages
@@ -89,11 +105,42 @@ pub enum RecoveryMsg {
         /// Whether the sender holds the edge's token.
         token: bool,
     },
+    /// "I restarted as incarnation `inc` and replayed my journal; if you
+    /// still know me as `journal_inc` and you are still `peer_inc`,
+    /// confirm the edge so the rejoin handshake can be skipped."
+    JournalResume {
+        /// The restarted sender's new incarnation.
+        inc: u64,
+        /// The incarnation whose journal was replayed (the sender's
+        /// previous life as recorded in stable storage).
+        journal_inc: u64,
+        /// The journaled view of the receiver's incarnation.
+        peer_inc: u64,
+    },
+    /// Confirmation of a [`RecoveryMsg::JournalResume`]: the responder's
+    /// own holdings, so the resumer can verify the Lemma 1 edge invariant
+    /// (exactly one fork, one token) before trusting its replayed state.
+    ResumeAck {
+        /// The responder's incarnation.
+        inc: u64,
+        /// Echo of the resumer's incarnation (stale acks are dropped).
+        resumer_inc: u64,
+        /// Whether the responder holds the edge's fork.
+        fork: bool,
+        /// Whether the responder holds the edge's token.
+        token: bool,
+    },
 }
 
-/// Consecutive bad audit observations required before a repair fires.
-/// One round of slack absorbs forks/tokens that are merely in flight.
-const STRIKES: u8 = 2;
+/// Default number of consecutive bad audit observations required before a
+/// repair fires. One round of slack absorbs forks/tokens that are merely
+/// in flight; see [`RecoverableDining::with_strikes`].
+pub const DEFAULT_STRIKES: u8 = 2;
+
+/// Per-edge flag bits a journal replay trusts: fork, token, and deferred
+/// acks survive a restart; the ping/ack/replied session bits belong to a
+/// hungry session that died with the crash and are cleared.
+const RESTORE_MASK: u8 = 0x38;
 
 /// Per-edge recovery bookkeeping.
 #[derive(Clone, Debug, Default)]
@@ -104,11 +151,25 @@ struct EdgeState {
     /// only between a restart of *this* process and the peer's
     /// [`RecoveryMsg::RejoinAck`].
     synced: bool,
+    /// `Some(journal_inc)` while a journal fast path is pending on this
+    /// edge: the restart replayed a record written by `journal_inc` and
+    /// the audit timer retries [`RecoveryMsg::JournalResume`] (not
+    /// `Rejoin`) until the peer answers — which keeps the fast path alive
+    /// across partitions and message loss.
+    resume_inc: Option<u64>,
     dup_fork: u8,
     missing_fork: u8,
     dup_token: u8,
     missing_token: u8,
     stuck_ping: u8,
+    /// Fork- or token-moving dining traffic (Fork / Request messages sent
+    /// or accepted) on this edge, ever.
+    activity: u64,
+    /// Value of `activity` at the previous audit observation. A strike
+    /// only accumulates while these are equal: traffic between two audits
+    /// proves the edge state is *moving* (a snapshot crossing a fork in
+    /// flight), not stuck, and "repairing" it would mint a duplicate.
+    audit_activity: u64,
 }
 
 impl EdgeState {
@@ -143,6 +204,9 @@ pub struct RecoveryStats {
     pub local_repairs: u64,
     /// Completed per-edge rejoin handshakes (RejoinAcks applied).
     pub resyncs: u64,
+    /// Edges resynchronized by the journal fast path (consistent
+    /// ResumeAcks applied), skipping the rejoin handshake.
+    pub fast_resumes: u64,
 }
 
 impl RecoveryStats {
@@ -153,7 +217,49 @@ impl RecoveryStats {
         self.repairs += other.repairs;
         self.local_repairs += other.local_repairs;
         self.resyncs += other.resyncs;
+        self.fast_resumes += other.fast_resumes;
     }
+}
+
+/// Why a restart rebooted blank instead of replaying its journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlankReason {
+    /// No journal is configured (the PR-2 baseline behavior).
+    Disabled,
+    /// The journal was empty — nothing ever committed, or the backing
+    /// storage dropped every sync.
+    Missing,
+    /// The journaled record failed validation: bad framing or checksum
+    /// (torn write, bit rot) or an incarnation from the future.
+    Corrupt,
+}
+
+/// How one restart re-established its edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestartPath {
+    /// The journal replayed; per-edge split between confirmed fast
+    /// resumes and edges that fell back to the rejoin handshake (the
+    /// counts fill in as the handshakes complete).
+    Journal {
+        /// Edges resynced by a consistent `ResumeAck`.
+        resumed: u32,
+        /// Edges that degraded to the rejoin handshake.
+        rejoined: u32,
+    },
+    /// Blank reboot: every edge took the rejoin handshake.
+    Blank {
+        /// Why the journal was not replayed.
+        reason: BlankReason,
+    },
+}
+
+/// One entry of the per-process restart log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartEvent {
+    /// The incarnation this restart began.
+    pub incarnation: u64,
+    /// Which recovery path it took.
+    pub path: RestartPath,
 }
 
 /// [`DiningProcess`] hardened for the crash-recovery fault model.
@@ -172,6 +278,12 @@ pub struct RecoverableDining {
     inc: u64,
     edges: BTreeMap<ProcessId, EdgeState>,
     stats: RecoveryStats,
+    /// Strike threshold for audit repairs (default [`DEFAULT_STRIKES`]).
+    strikes: u8,
+    /// Stable storage; `None` runs the PR-2 blank-restart protocol.
+    journal: Option<JournalHandle>,
+    /// One entry per restart, tagged with the path it took.
+    restarts: Vec<RestartEvent>,
 }
 
 fn splitmix(z: &mut u64) -> u64 {
@@ -206,7 +318,26 @@ impl RecoverableDining {
             inc: 0,
             edges,
             stats: RecoveryStats::default(),
+            strikes: DEFAULT_STRIKES,
+            journal: None,
+            restarts: Vec::new(),
         }
+    }
+
+    /// Attaches stable storage: every committed transition is journaled
+    /// and restarts attempt the journal fast path before rejoining.
+    pub fn with_journal(mut self, journal: JournalHandle) -> Self {
+        self.journal = Some(journal);
+        self.journal_commit();
+        self
+    }
+
+    /// Overrides the audit strike threshold (consecutive bad observations
+    /// before a repair fires; minimum 1). Lower values repair faster but
+    /// risk "repairing" resources that are merely in flight.
+    pub fn with_strikes(mut self, strikes: u8) -> Self {
+        self.strikes = strikes.max(1);
+        self
     }
 
     /// Creates the recoverable process `id` from a conflict graph and a
@@ -227,6 +358,16 @@ impl RecoverableDining {
     /// Recovery counters for the metrics layer.
     pub fn stats(&self) -> RecoveryStats {
         self.stats
+    }
+
+    /// The per-restart path log (empty until the first restart).
+    pub fn restart_log(&self) -> &[RestartEvent] {
+        &self.restarts
+    }
+
+    /// Whether stable storage is attached.
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
     }
 
     /// The wrapped Algorithm 1 state machine (read-only).
@@ -274,8 +415,11 @@ impl RecoverableDining {
         sends: &mut Vec<(ProcessId, RecoveryMsg)>,
     ) {
         for (q, msg) in raw {
-            let e = &self.edges[&q];
+            let e = self.edges.get_mut(&q).expect("neighbor");
             if e.synced {
+                if matches!(msg, DiningMsg::Fork | DiningMsg::Request { .. }) {
+                    e.activity += 1;
+                }
                 sends.push((
                     q,
                     RecoveryMsg::Dining {
@@ -379,7 +523,213 @@ impl RecoverableDining {
         self.inner.set_fork(from, fork);
         self.inner.set_token(from, token);
         self.stats.resyncs += 1;
+        self.note_restart_edge(false);
         self.poke(suspicion, sends);
+    }
+
+    /// Commits the current recoverable state to stable storage (no-op
+    /// without a journal). Called after every entry point, so the journal
+    /// always holds the last committed transition.
+    fn journal_commit(&mut self) {
+        let Some(journal) = &self.journal else { return };
+        let record = JournalRecord {
+            incarnation: self.inc,
+            phase: match self.inner.state() {
+                DinerState::Thinking => 0,
+                DinerState::Hungry => 1,
+                DinerState::Eating => 2,
+            },
+            doorway: self.inner.inside_doorway(),
+            edges: self
+                .peers
+                .iter()
+                .map(|&(q, _)| {
+                    let e = &self.edges[&q];
+                    EdgeRecord {
+                        peer: q.index() as u32,
+                        peer_inc: e.peer_inc,
+                        flags: self.inner.edge_flags(q),
+                        synced: e.synced,
+                    }
+                })
+                .collect(),
+        };
+        journal.commit(&record.encode());
+    }
+
+    /// Attempts journal replay at the start of incarnation `incarnation`.
+    ///
+    /// On a valid record, restores the trusted per-edge bits (fork, token,
+    /// deferred) and marks each edge that was synced at commit time as
+    /// pending a [`RecoveryMsg::JournalResume`]; edges journaled mid-rejoin
+    /// keep the full handshake. Any validation failure leaves the blank
+    /// factory-reset state untouched.
+    fn replay_journal(&mut self, incarnation: u64) -> RestartPath {
+        let Some(journal) = &self.journal else {
+            return RestartPath::Blank {
+                reason: BlankReason::Disabled,
+            };
+        };
+        let Some(bytes) = journal.load() else {
+            return RestartPath::Blank {
+                reason: BlankReason::Missing,
+            };
+        };
+        let Ok(record) = JournalRecord::decode(&bytes) else {
+            return RestartPath::Blank {
+                reason: BlankReason::Corrupt,
+            };
+        };
+        if record.incarnation >= incarnation {
+            // A record claiming to be from this process's future is as
+            // untrustworthy as a failed checksum.
+            return RestartPath::Blank {
+                reason: BlankReason::Corrupt,
+            };
+        }
+        for er in &record.edges {
+            let q = ProcessId::from(er.peer as usize);
+            let Some(e) = self.edges.get_mut(&q) else {
+                continue; // configuration mismatch: ignore unknown edges
+            };
+            e.peer_inc = er.peer_inc;
+            if er.synced {
+                self.inner.restore_edge_flags(q, er.flags & RESTORE_MASK);
+                e.resume_inc = Some(record.incarnation);
+            }
+        }
+        RestartPath::Journal {
+            resumed: 0,
+            rejoined: 0,
+        }
+    }
+
+    /// Updates the latest restart-log entry when an edge finishes its
+    /// post-restart resync: `fast` via ResumeAck, otherwise via RejoinAck.
+    fn note_restart_edge(&mut self, fast: bool) {
+        if let Some(RestartEvent {
+            path: RestartPath::Journal { resumed, rejoined },
+            ..
+        }) = self.restarts.last_mut()
+        {
+            if fast {
+                *resumed += 1;
+            } else {
+                *rejoined += 1;
+            }
+        }
+    }
+
+    fn on_journal_resume(
+        &mut self,
+        from: ProcessId,
+        rinc: u64,
+        jinc: u64,
+        peer_view: u64,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        let known = self.edges[&from].peer_inc;
+        if rinc < known {
+            self.stats.stale_dropped += 1;
+            return;
+        }
+        if rinc == known {
+            // Retry of a resume this incarnation already registered (the
+            // first answer was lost, or the edge already degraded to the
+            // rejoin path): answer idempotently with current holdings —
+            // the resumer's consistency check decides what to do.
+            sends.push((
+                from,
+                RecoveryMsg::ResumeAck {
+                    inc: self.inc,
+                    resumer_inc: rinc,
+                    fork: self.inner.holds_fork(from),
+                    token: self.inner.holds_token(from),
+                },
+            ));
+            return;
+        }
+        let confirm = jinc == known && peer_view == self.inc && self.edges[&from].synced;
+        if confirm {
+            // The journaled pairing matches this side exactly: register
+            // the new incarnation and report holdings. Fork, token and
+            // deferred obligations stay put — but any ping/ack handshake
+            // with the *old* incarnation is dead (a ping the restarter
+            // will never answer would otherwise dangle until the audit's
+            // stuck-ping rescue), so restart it and re-evaluate.
+            {
+                let e = self.edges.get_mut(&from).expect("neighbor");
+                e.peer_inc = rinc;
+                e.clear_strikes();
+            }
+            self.inner.reset_edge_handshake(from);
+            sends.push((
+                from,
+                RecoveryMsg::ResumeAck {
+                    inc: self.inc,
+                    resumer_inc: rinc,
+                    fork: self.inner.holds_fork(from),
+                    token: self.inner.holds_token(from),
+                },
+            ));
+            self.poke(suspicion, sends);
+        } else {
+            // Refuted: the journal describes a pairing this side no longer
+            // recognizes (it restarted too, or never saw that life).
+            // Degrade to the rejoin handshake — the authoritative
+            // RejoinAck doubles as the negative answer, saving a round
+            // trip.
+            self.on_rejoin(from, rinc, suspicion, sends);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // message fields unpacked by the dispatcher
+    fn on_resume_ack(
+        &mut self,
+        from: ProcessId,
+        pinc: u64,
+        rinc: u64,
+        fork: bool,
+        token: bool,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        let consistent;
+        {
+            let e = self.edges.get_mut(&from).expect("neighbor");
+            e.peer_inc = e.peer_inc.max(pinc);
+            if rinc != self.inc || e.synced {
+                self.stats.stale_dropped += 1;
+                return;
+            }
+            // The Lemma 1 edge-consistency check: trust the replayed state
+            // only if it is exactly complementary to the responder's —
+            // one fork and one token on the edge, no more, no less.
+            consistent =
+                (self.inner.holds_fork(from) != fork) && (self.inner.holds_token(from) != token);
+            e.resume_inc = None;
+            if consistent {
+                e.synced = true;
+                e.clear_strikes();
+            }
+        }
+        if consistent {
+            // Keep the replayed fork/token/deferred bits, but drop any
+            // handshake state accrued while the edge was still unsynced —
+            // a doorway ping issued before this ack was suppressed, and
+            // leaving `pinged` set would wait forever on an ack that was
+            // never requested.
+            self.inner.reset_edge_handshake(from);
+            self.stats.fast_resumes += 1;
+            self.note_restart_edge(true);
+            self.poke(suspicion, sends);
+        } else {
+            // The edge moved while we were down (an in-flight fork died
+            // with the old incarnation, or the snapshot was stale): fall
+            // back to the rejoin handshake for this edge only.
+            sends.push((from, RecoveryMsg::Rejoin { inc: self.inc }));
+        }
     }
 
     #[allow(clippy::too_many_arguments)] // message fields unpacked by the dispatcher
@@ -400,14 +750,32 @@ impl RecoverableDining {
         let my_fork = self.inner.holds_fork(from);
         let my_token = self.inner.holds_token(from);
         let lower = self.color < self.peer_color(from);
+        let strikes = self.strikes;
         let mut repaired = false;
         {
             let e = self.edges.get_mut(&from).expect("neighbor");
-            // Antisymmetric repairs with 2-strike hysteresis: exactly one
+            // *Recreate*-type strikes (missing fork/token) only accumulate
+            // across quiet audit intervals: an in-flight transfer looks
+            // exactly like a missing fork (sender cleared, receiver not
+            // yet set), and under contention two consecutive audits can
+            // both catch traffic — hysteresis alone would then mint a
+            // second fork on a healthy edge and break ◇WX. Genuine loss
+            // leaves the edge quiet (nothing can move a fork that does not
+            // exist), so it still strikes out. *Drop*-type strikes (dup
+            // fork/token) stay on plain hysteresis: dropping can only
+            // destroy state, never violate exclusion, and a duplicate
+            // keeps traffic flowing so a quiet requirement could starve
+            // the repair indefinitely.
+            if e.activity != e.audit_activity {
+                e.audit_activity = e.activity;
+                e.missing_fork = 0;
+                e.missing_token = 0;
+            }
+            // Antisymmetric repairs with strike hysteresis: exactly one
             // endpoint acts on each anomaly, chosen by color.
             if my_fork && fork {
                 e.dup_fork += 1;
-                if e.dup_fork >= STRIKES && lower {
+                if e.dup_fork >= strikes && lower {
                     e.dup_fork = 0;
                     repaired = true; // lower color drops the duplicate fork
                 }
@@ -436,17 +804,17 @@ impl RecoverableDining {
             changed = true;
         }
         let e = self.edges.get_mut(&from).expect("neighbor");
-        if e.missing_fork >= STRIKES && !lower {
+        if e.missing_fork >= strikes && !lower {
             e.missing_fork = 0;
             self.inner.set_fork(from, true); // higher color recreates it
             changed = true;
         }
-        if e.dup_token >= STRIKES && !lower {
+        if e.dup_token >= strikes && !lower {
             e.dup_token = 0;
             self.inner.set_token(from, false); // higher color drops it
             changed = true;
         }
-        if e.missing_token >= STRIKES && lower {
+        if e.missing_token >= strikes && lower {
             e.missing_token = 0;
             self.inner.set_token(from, true); // lower color recreates it
             changed = true;
@@ -456,16 +824,8 @@ impl RecoverableDining {
             self.poke(suspicion, sends);
         }
     }
-}
 
-impl DiningAlgorithm for RecoverableDining {
-    type Msg = RecoveryMsg;
-
-    fn id(&self) -> ProcessId {
-        self.id
-    }
-
-    fn handle(
+    fn dispatch(
         &mut self,
         input: DiningInput<RecoveryMsg>,
         suspicion: &dyn SuspicionView,
@@ -474,10 +834,13 @@ impl DiningAlgorithm for RecoverableDining {
         match input {
             DiningInput::Message { from, msg } => match msg {
                 RecoveryMsg::Dining { inc, dst_inc, msg } => {
-                    let e = &self.edges[&from];
+                    let e = self.edges.get_mut(&from).expect("neighbor");
                     if inc != e.peer_inc || dst_inc != self.inc || !e.synced {
                         self.stats.stale_dropped += 1;
                         return;
+                    }
+                    if matches!(msg, DiningMsg::Fork | DiningMsg::Request { .. }) {
+                        e.activity += 1;
                     }
                     let mut raw = Vec::new();
                     self.inner
@@ -497,6 +860,17 @@ impl DiningAlgorithm for RecoverableDining {
                     fork,
                     token,
                 } => self.on_audit_msg(from, inc, dst_inc, fork, token, suspicion, sends),
+                RecoveryMsg::JournalResume {
+                    inc,
+                    journal_inc,
+                    peer_inc,
+                } => self.on_journal_resume(from, inc, journal_inc, peer_inc, suspicion, sends),
+                RecoveryMsg::ResumeAck {
+                    inc,
+                    resumer_inc,
+                    fork,
+                    token,
+                } => self.on_resume_ack(from, inc, resumer_inc, fork, token, suspicion, sends),
             },
             DiningInput::Hungry => {
                 let mut raw = Vec::new();
@@ -512,6 +886,26 @@ impl DiningAlgorithm for RecoverableDining {
             DiningInput::SuspicionChange => self.poke(suspicion, sends),
         }
     }
+}
+
+impl DiningAlgorithm for RecoverableDining {
+    type Msg = RecoveryMsg;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn handle(
+        &mut self,
+        input: DiningInput<RecoveryMsg>,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        self.dispatch(input, suspicion, sends);
+        // Write-ahead commit: the transition is journaled in the same
+        // atomic step that produced it, before its sends are released.
+        self.journal_commit();
+    }
 
     fn state(&self) -> DinerState {
         self.inner.state()
@@ -522,10 +916,12 @@ impl DiningAlgorithm for RecoverableDining {
     }
 
     /// Inner Algorithm 1 state plus the recovery layer: the 64-bit
-    /// incarnation and, per edge, the peer incarnation, the synced bit and
-    /// five 8-bit strike counters.
+    /// incarnation and, per edge, the peer incarnation, the synced bit,
+    /// the optional pending-resume incarnation (1 + 64 bits) and five
+    /// 8-bit strike counters. Restart-log entries are diagnostics, not
+    /// protocol state, and are excluded.
     fn state_bits(&self) -> usize {
-        self.inner.state_bits() + 64 + self.peers.len() * (64 + 1 + 5 * 8)
+        self.inner.state_bits() + 64 + self.peers.len() * (64 + 1 + 65 + 5 * 8)
     }
 
     fn supports_recovery(&self) -> bool {
@@ -534,6 +930,10 @@ impl DiningAlgorithm for RecoverableDining {
 
     fn recovery_stats(&self) -> Option<RecoveryStats> {
         Some(self.stats)
+    }
+
+    fn restart_log(&self) -> Option<Vec<RestartEvent>> {
+        Some(self.restarts.clone())
     }
 
     fn restart(
@@ -552,14 +952,30 @@ impl DiningAlgorithm for RecoverableDining {
         for e in self.edges.values_mut() {
             *e = EdgeState::fresh(false);
         }
+        // Journal replay happens before adversarial corruption: the
+        // corruption models damage to the rebuilt *volatile* state, and
+        // the ResumeAck consistency check (plus the audit) is what keeps
+        // a scrambled replay from going unnoticed.
+        let path = self.replay_journal(incarnation);
         if let Some(entropy) = corruption {
             self.scramble(entropy);
         }
         for &(q, _) in &self.peers.clone() {
-            sends.push((q, RecoveryMsg::Rejoin { inc: incarnation }));
+            let msg = match self.edges[&q].resume_inc {
+                Some(journal_inc) => RecoveryMsg::JournalResume {
+                    inc: incarnation,
+                    journal_inc,
+                    peer_inc: self.edges[&q].peer_inc,
+                },
+                None => RecoveryMsg::Rejoin { inc: incarnation },
+            };
+            sends.push((q, msg));
         }
+        self.restarts.push(RestartEvent { incarnation, path });
         // No poke: every edge is unsynced, so dining traffic would be
-        // suppressed anyway; the post-RejoinAck poke does the real work.
+        // suppressed anyway; the post-ResumeAck/RejoinAck poke does the
+        // real work.
+        self.journal_commit();
     }
 
     fn inject_corruption(
@@ -572,14 +988,27 @@ impl DiningAlgorithm for RecoverableDining {
         // Flipped bits may enable (or spuriously satisfy) internal guards;
         // re-evaluate so the damage manifests — and can be audited — now.
         self.poke(suspicion, sends);
+        self.journal_commit();
     }
 
     fn audit(&mut self, suspicion: &dyn SuspicionView, sends: &mut Vec<(ProcessId, RecoveryMsg)>) {
         let mut changed = false;
         for &(q, _) in &self.peers.clone() {
             if !self.edges[&q].synced {
-                // Retry an unfinished rejoin handshake (lost or crossed).
-                sends.push((q, RecoveryMsg::Rejoin { inc: self.inc }));
+                // Retry an unfinished resync (lost or crossed handshake),
+                // preserving the path the restart chose for this edge: a
+                // pending journal fast path keeps resuming — this is what
+                // carries a resume across a partition — and everything
+                // else re-rejoins.
+                let msg = match self.edges[&q].resume_inc {
+                    Some(journal_inc) => RecoveryMsg::JournalResume {
+                        inc: self.inc,
+                        journal_inc,
+                        peer_inc: self.edges[&q].peer_inc,
+                    },
+                    None => RecoveryMsg::Rejoin { inc: self.inc },
+                };
+                sends.push((q, msg));
                 continue;
             }
             if suspicion.suspects(q) {
@@ -595,10 +1024,11 @@ impl DiningAlgorithm for RecoverableDining {
                 && !self.inner.inside_doorway()
                 && self.inner.ping_pending(q)
                 && !self.inner.acked_by(q);
+            let strikes = self.strikes;
             let e = self.edges.get_mut(&q).expect("neighbor");
             if stuck {
                 e.stuck_ping += 1;
-                if e.stuck_ping >= STRIKES {
+                if e.stuck_ping >= strikes {
                     e.stuck_ping = 0;
                     self.inner.reset_ping(q);
                     self.stats.local_repairs += 1;
@@ -619,7 +1049,13 @@ impl DiningAlgorithm for RecoverableDining {
             ));
         }
         let mut raw = Vec::new();
-        if self.inner.audit_local(&mut raw) {
+        let synced: Vec<ProcessId> = self
+            .edges
+            .iter()
+            .filter(|(_, e)| e.synced)
+            .map(|(&q, _)| q)
+            .collect();
+        if self.inner.audit_local(|q| synced.contains(&q), &mut raw) {
             self.stats.local_repairs += 1;
             changed = true;
         }
@@ -627,6 +1063,7 @@ impl DiningAlgorithm for RecoverableDining {
         if changed {
             self.poke(suspicion, sends);
         }
+        self.journal_commit();
     }
 }
 
@@ -877,7 +1314,7 @@ mod tests {
         // shortcut the repair, so this exercises the exchange path.
         lo.inner.corrupt_edge(p(0), 0x30);
         assert!(hi.holds_fork(p(1)) && lo.holds_fork(p(0)));
-        audit_rounds(&mut hi, &mut lo, STRIKES as usize + 1);
+        audit_rounds(&mut hi, &mut lo, DEFAULT_STRIKES as usize + 1);
         assert_edge_canonical(&hi, &lo);
         assert!(
             !lo.holds_fork(p(0)),
@@ -907,7 +1344,7 @@ mod tests {
         let (mut hi, mut lo) = pair();
         lo.inner.corrupt_edge(p(0), 0x20); // token bit flips off
         assert!(!hi.holds_token(p(1)) && !lo.holds_token(p(0)));
-        audit_rounds(&mut hi, &mut lo, STRIKES as usize + 1);
+        audit_rounds(&mut hi, &mut lo, DEFAULT_STRIKES as usize + 1);
         assert_edge_canonical(&hi, &lo);
         assert!(lo.holds_token(p(0)), "the lower color recreated it");
     }
@@ -980,6 +1417,249 @@ mod tests {
             d.scramble(seed);
             assert_ne!(d.inner(), c.inner(), "seed {seed} must flip something");
             c = lo0.clone();
+        }
+    }
+
+    /// Shuttles one complete dining session for `lo` (which starts it):
+    /// ping → ack → request → fork.
+    fn run_session(hi: &mut RecoverableDining, lo: &mut RecoverableDining) {
+        let mut m = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut m);
+        let m = deliver(hi, lo.id(), &m, &none());
+        let m = deliver(lo, hi.id(), &m, &none());
+        let m = deliver(hi, lo.id(), &m, &none());
+        deliver(lo, hi.id(), &m, &none());
+        assert_eq!(lo.state(), DinerState::Eating);
+    }
+
+    #[test]
+    fn journaled_restart_takes_the_fast_path_and_keeps_its_fork() {
+        let (mut hi, mut lo) = pair();
+        lo = lo.with_journal(ekbd_journal::JournalHandle::in_memory());
+        run_session(&mut hi, &mut lo);
+        assert!(lo.holds_fork(p(0)), "the meal left the fork at lo");
+        // Clean crash + restart: the journal replays and the restart asks
+        // for confirmation instead of rejoining.
+        let mut m = Vec::new();
+        lo.restart(1, None, &none(), &mut m);
+        assert!(
+            matches!(m[..], [(q, RecoveryMsg::JournalResume { inc: 1, .. })] if q == p(0)),
+            "journaled restart resumes, not rejoins: {m:?}"
+        );
+        assert!(lo.holds_fork(p(0)), "replay restored the journaled fork");
+        let acks = deliver(&mut hi, p(1), &m, &none());
+        assert!(
+            matches!(acks[..], [(_, RecoveryMsg::ResumeAck { .. })]),
+            "{acks:?}"
+        );
+        deliver(&mut lo, p(0), &acks, &none());
+        assert!(lo.edge_synced(p(0)));
+        assert_eq!(lo.stats().fast_resumes, 1);
+        assert_eq!(lo.stats().resyncs, 0, "no rejoin handshake ran");
+        assert_eq!(
+            lo.restart_log(),
+            &[RestartEvent {
+                incarnation: 1,
+                path: RestartPath::Journal {
+                    resumed: 1,
+                    rejoined: 0
+                }
+            }]
+        );
+        assert_edge_canonical(&hi, &lo);
+        assert!(lo.holds_fork(p(0)), "fast path skipped fork reacquisition");
+    }
+
+    #[test]
+    fn restart_without_journal_logs_a_blank_disabled_path() {
+        let (_, mut lo) = pair();
+        let mut m = Vec::new();
+        lo.restart(1, None, &none(), &mut m);
+        assert_eq!(
+            lo.restart_log(),
+            &[RestartEvent {
+                incarnation: 1,
+                path: RestartPath::Blank {
+                    reason: BlankReason::Disabled
+                }
+            }]
+        );
+    }
+
+    #[test]
+    fn corrupt_journal_degrades_to_the_blank_restart_path() {
+        use ekbd_journal::{FaultyJournal, JournalHandle, StorageFault};
+        let (mut hi, mut lo) = pair();
+        lo = lo.with_journal(JournalHandle::new(FaultyJournal::new(
+            StorageFault::BitRot,
+            0x0BAD_5EED,
+        )));
+        run_session(&mut hi, &mut lo);
+        let mut m = Vec::new();
+        lo.restart(1, None, &none(), &mut m);
+        assert!(
+            matches!(m[..], [(_, RecoveryMsg::Rejoin { inc: 1 })]),
+            "rotted journal must reboot blank: {m:?}"
+        );
+        assert_eq!(
+            lo.restart_log()[0].path,
+            RestartPath::Blank {
+                reason: BlankReason::Corrupt
+            }
+        );
+        let acks = deliver(&mut hi, p(1), &m, &none());
+        deliver(&mut lo, p(0), &acks, &none());
+        assert!(lo.edge_synced(p(0)));
+        assert_edge_canonical(&hi, &lo);
+    }
+
+    #[test]
+    fn dropped_syncs_look_like_a_missing_journal() {
+        use ekbd_journal::{FaultyJournal, JournalHandle, StorageFault};
+        let (_, mut lo) = pair();
+        // Only a handful of commits ever happen, and the dropped-sync
+        // fault means none of them became durable.
+        lo = lo.with_journal(JournalHandle::new(FaultyJournal::new(
+            StorageFault::DroppedSync,
+            7,
+        )));
+        let mut m = Vec::new();
+        lo.restart(1, None, &none(), &mut m);
+        assert!(matches!(m[..], [(_, RecoveryMsg::Rejoin { inc: 1 })]));
+        assert_eq!(
+            lo.restart_log()[0].path,
+            RestartPath::Blank {
+                reason: BlankReason::Missing
+            }
+        );
+    }
+
+    #[test]
+    fn refuted_resume_degrades_to_the_rejoin_handshake() {
+        let (mut hi, mut lo) = pair();
+        lo = lo.with_journal(ekbd_journal::JournalHandle::in_memory());
+        run_session(&mut hi, &mut lo);
+        // Both endpoints crash. hi restarts blank first, so lo's journaled
+        // view of hi's incarnation (0) is out of date and hi must refute
+        // the resume.
+        let mut hi_rejoin = Vec::new();
+        hi.restart(1, None, &none(), &mut hi_rejoin);
+        let mut resume = Vec::new();
+        lo.restart(1, None, &none(), &mut resume);
+        let answer = deliver(&mut hi, p(1), &resume, &none());
+        assert!(
+            matches!(answer[..], [(_, RecoveryMsg::RejoinAck { .. })]),
+            "a refuted resume is answered with an authoritative RejoinAck: {answer:?}"
+        );
+        deliver(&mut lo, p(0), &answer, &none());
+        assert!(lo.edge_synced(p(0)));
+        assert_eq!(lo.stats().fast_resumes, 0);
+        assert_eq!(lo.stats().resyncs, 1);
+        assert_eq!(
+            lo.restart_log()[0].path,
+            RestartPath::Journal {
+                resumed: 0,
+                rejoined: 1
+            }
+        );
+        // Finish hi's own rejoin so both sides are synced, then check the
+        // edge invariant.
+        let acks = deliver(&mut lo, p(0), &hi_rejoin, &none());
+        deliver(&mut hi, p(1), &acks, &none());
+        assert_edge_canonical(&hi, &lo);
+    }
+
+    #[test]
+    fn stale_snapshot_fails_the_consistency_check_and_falls_back() {
+        use ekbd_journal::{FaultyJournal, JournalHandle, StorageFault};
+        let (mut hi, mut lo) = pair();
+        lo = lo.with_journal(JournalHandle::new(FaultyJournal::new(
+            StorageFault::StaleSnapshot,
+            3,
+        )));
+        run_session(&mut hi, &mut lo);
+        // The stale record predates the fork's arrival, so the replayed
+        // holdings (no fork, no token) cannot be complementary to hi's
+        // (no fork, token): the resumer must detect it and re-rejoin.
+        let mut resume = Vec::new();
+        lo.restart(1, None, &none(), &mut resume);
+        assert!(matches!(
+            resume[..],
+            [(_, RecoveryMsg::JournalResume { .. })]
+        ));
+        let acks = deliver(&mut hi, p(1), &resume, &none());
+        let fallback = deliver(&mut lo, p(0), &acks, &none());
+        assert!(
+            matches!(fallback[..], [(_, RecoveryMsg::Rejoin { inc: 1 })]),
+            "inconsistent ResumeAck falls back per-edge: {fallback:?}"
+        );
+        assert_eq!(lo.stats().fast_resumes, 0);
+        let acks = deliver(&mut hi, p(1), &fallback, &none());
+        deliver(&mut lo, p(0), &acks, &none());
+        assert!(lo.edge_synced(p(0)));
+        assert_eq!(
+            lo.restart_log()[0].path,
+            RestartPath::Journal {
+                resumed: 0,
+                rejoined: 1
+            }
+        );
+        assert_edge_canonical(&hi, &lo);
+    }
+
+    #[test]
+    fn corrupted_journaled_restart_still_converges() {
+        let (mut hi, mut lo) = pair();
+        lo = lo.with_journal(ekbd_journal::JournalHandle::in_memory());
+        run_session(&mut hi, &mut lo);
+        for entropy in [0x1u64, 0xDEAD_BEEF, 0xFEED_FACE] {
+            let mut m = Vec::new();
+            let inc = lo.incarnation() + 1;
+            lo.restart(inc, Some(entropy), &none(), &mut m);
+            let answer = deliver(&mut hi, p(1), &m, &none());
+            let follow = deliver(&mut lo, p(0), &answer, &none());
+            let answer = deliver(&mut hi, p(1), &follow, &none());
+            deliver(&mut lo, p(0), &answer, &none());
+            assert!(lo.edge_synced(p(0)), "entropy {entropy:#x}");
+            assert_edge_canonical(&hi, &lo);
+        }
+    }
+
+    #[test]
+    fn unsynced_edges_carry_no_dining_traffic() {
+        // The partition-tolerance invariant: between a restart and the
+        // peer's answer (which a partition can delay arbitrarily), the
+        // edge carries recovery handshakes only — never wrapped Algorithm
+        // 1 messages.
+        for journaled in [false, true] {
+            let (_, mut lo) = pair();
+            if journaled {
+                lo = lo.with_journal(ekbd_journal::JournalHandle::in_memory());
+                let mut hi = pair().0;
+                run_session(&mut hi, &mut lo);
+            }
+            let mut sends = Vec::new();
+            let inc = lo.incarnation() + 1;
+            lo.restart(inc, None, &none(), &mut sends);
+            lo.handle(DiningInput::Hungry, &none(), &mut sends);
+            for _ in 0..3 {
+                lo.audit(&none(), &mut sends);
+            }
+            assert!(
+                !sends
+                    .iter()
+                    .any(|(_, m)| matches!(m, RecoveryMsg::Dining { .. })),
+                "suppressed edge leaked dining traffic (journaled={journaled}): {sends:?}"
+            );
+            assert!(lo.stats().suppressed > 0, "suppression was counted");
+            if journaled {
+                assert!(
+                    sends
+                        .iter()
+                        .any(|(_, m)| matches!(m, RecoveryMsg::JournalResume { .. })),
+                    "audit keeps retrying the journal fast path"
+                );
+            }
         }
     }
 

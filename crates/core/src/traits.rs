@@ -1,4 +1,4 @@
-use crate::recovery::RecoveryStats;
+use crate::recovery::{RecoveryStats, RestartEvent};
 use ekbd_detector::SuspicionView;
 use ekbd_graph::ProcessId;
 use std::fmt;
@@ -155,6 +155,13 @@ pub trait DiningAlgorithm {
     /// Recovery-layer counters, when the algorithm keeps them (`None` for
     /// crash-stop algorithms).
     fn recovery_stats(&self) -> Option<RecoveryStats> {
+        None
+    }
+
+    /// Per-restart path log — whether each restart replayed its journal
+    /// (and how its edges split between the fast resume and the rejoin
+    /// fallback) or rebooted blank. `None` for algorithms without one.
+    fn restart_log(&self) -> Option<Vec<RestartEvent>> {
         None
     }
 }

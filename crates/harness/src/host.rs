@@ -101,9 +101,10 @@ const HUNGER_TAG: u64 = HOST_TAG_BASE + 1;
 /// the audit frequency of the recovered process.
 const AUDIT_TAG_BASE: u64 = HOST_TAG_BASE + 2;
 
-/// Period of the recovery layer's audit-and-repair timer, in virtual time
-/// units. Only armed for algorithms with
-/// [`supports_recovery`](DiningAlgorithm::supports_recovery).
+/// Default period of the recovery layer's audit-and-repair timer, in
+/// virtual time units. Only armed for algorithms with
+/// [`supports_recovery`](DiningAlgorithm::supports_recovery); override
+/// per host with [`DinerHost::with_audit_period`].
 pub const AUDIT_PERIOD: u64 = 50;
 
 /// A simulated process hosting a dining algorithm and a failure detector.
@@ -125,6 +126,8 @@ pub struct DinerHost<A: DiningAlgorithm> {
     /// This process's incarnation as last told by the simulator (0 until
     /// the first restart). Stamps the audit timer chain.
     inc: u64,
+    /// Audit-and-repair period ([`AUDIT_PERIOD`] unless overridden).
+    audit_period: u64,
     /// Pooled detector-effect buffers, reused across events.
     det_out: DetectorOutput,
     /// Host-side mirror of the detector's suspect set, maintained across
@@ -145,6 +148,7 @@ impl<A: DiningAlgorithm> DinerHost<A> {
             sessions_left,
             link: None,
             inc: 0,
+            audit_period: AUDIT_PERIOD,
             det_out: DetectorOutput::new(),
             suspects_mirror: std::collections::BTreeSet::new(),
             sends_buf: Vec::new(),
@@ -156,6 +160,15 @@ impl<A: DiningAlgorithm> DinerHost<A> {
     pub fn with_link(mut self, cfg: LinkConfig) -> Self {
         let id = self.alg.id();
         self.link = Some(LinkEndpoint::new(id, cfg));
+        self
+    }
+
+    /// Overrides the audit-and-repair period (minimum 1 tick). Shorter
+    /// periods repair corruption and retry lost rejoins sooner at the cost
+    /// of proportionally more audit traffic; E15's sensitivity sub-table
+    /// quantifies the trade-off.
+    pub fn with_audit_period(mut self, period: u64) -> Self {
+        self.audit_period = period.max(1);
         self
     }
 
@@ -332,7 +345,7 @@ impl<A: DiningAlgorithm> DinerHost<A> {
     /// algorithms that implement the recovery protocol.
     fn arm_audit(&mut self, ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>) {
         if self.alg.supports_recovery() {
-            ctx.set_timer(AUDIT_PERIOD, AUDIT_TAG_BASE + self.inc);
+            ctx.set_timer(self.audit_period, AUDIT_TAG_BASE + self.inc);
         }
     }
 }
@@ -389,7 +402,7 @@ impl<A: DiningAlgorithm> Node for DinerHost<A> {
                 // only the current chain audits and re-arms.
                 if tag == AUDIT_TAG_BASE + self.inc {
                     self.step_alg(ctx, |alg, det, sends| alg.audit(det, sends));
-                    ctx.set_timer(AUDIT_PERIOD, tag);
+                    ctx.set_timer(self.audit_period, tag);
                 }
             }
             NodeEvent::Timer { tag } => debug_assert!(false, "unknown timer tag {tag}"),

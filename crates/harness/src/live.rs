@@ -35,7 +35,8 @@ impl<A: DiningAlgorithm> LiveRun<A> {
             eat: scenario.workload.eat,
         };
         let mut sim = Simulator::new(cfg, |p, _| {
-            let host = DinerHost::new(factory(&scenario, p), scenario.detector_for(p), workload);
+            let host = DinerHost::new(factory(&scenario, p), scenario.detector_for(p), workload)
+                .with_audit_period(scenario.audit_period);
             match scenario.link {
                 Some(link_cfg) => host.with_link(link_cfg),
                 None => host,

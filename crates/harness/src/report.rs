@@ -1,6 +1,8 @@
 use crate::host::{DinerHost, HostObs};
 use crate::scenario::Scenario;
-use ekbd_dining::{DinerState, DiningAlgorithm, DiningObs, RecoveryStats};
+use ekbd_dining::{
+    DinerState, DiningAlgorithm, DiningObs, RecoveryStats, RestartEvent, RestartPath,
+};
 use ekbd_graph::{ConflictGraph, ProcessId};
 use ekbd_metrics::{
     ConcurrencyReport, ExclusionReport, FairnessReport, LinkSummary, ProgressReport,
@@ -32,6 +34,10 @@ pub struct RunReport {
     pub incarnations: Vec<u64>,
     /// Aggregated recovery-layer counters, when the algorithm keeps them.
     pub recovery: Option<RecoveryStats>,
+    /// Per-process restart logs (empty vector for a process that never
+    /// restarted or for crash-stop algorithms): which recovery path each
+    /// restart took — journal replay or blank reboot.
+    pub restart_logs: Vec<Vec<RestartEvent>>,
     /// Scheduling events (hungry/doorway/eat transitions). For processes
     /// that crash and later recover, the interrupted life's open intervals
     /// are closed at the crash instant and a hungry session the crash
@@ -68,6 +74,30 @@ pub struct RunReport {
     /// The kernel trace, when the scenario ran with
     /// [`record_trace`](crate::Scenario::record_trace); empty otherwise.
     pub kernel_trace: Vec<TraceEvent>,
+}
+
+/// One scheduled recovery and how it went: when the process restarted,
+/// when it was first scheduled to eat again, and which recovery path the
+/// restart took (journal fast resume vs blank rejoin).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Readmission {
+    /// The recovered process.
+    pub process: ProcessId,
+    /// The scheduled restart instant.
+    pub restarted: Time,
+    /// First eat-slot at or after the restart; `None` when the process
+    /// never ate again before the horizon.
+    pub first_eat: Option<Time>,
+    /// The restart path taken, when the algorithm logs one (`None` for
+    /// crash-stop algorithms or restarts past the horizon).
+    pub path: Option<RestartPath>,
+}
+
+impl Readmission {
+    /// Ticks from restart to the first renewed eat-slot, if any.
+    pub fn time_to_readmission(&self) -> Option<u64> {
+        self.first_eat.map(|e| e.0 - self.restarted.0)
+    }
 }
 
 impl RunReport {
@@ -125,6 +155,14 @@ impl RunReport {
                     .absorb(s);
             }
         }
+        let restart_logs = (0..n)
+            .map(|i| {
+                sim.node(ProcessId::from(i))
+                    .algorithm()
+                    .restart_log()
+                    .unwrap_or_default()
+            })
+            .collect();
         let link = scenario.link.map(|_| {
             let mut summary = LinkSummary::default();
             for i in 0..n {
@@ -152,6 +190,7 @@ impl RunReport {
             corruptions,
             incarnations,
             recovery,
+            restart_logs,
             events,
             suspicions,
             final_states,
@@ -200,20 +239,39 @@ impl RunReport {
         r.max(c)
     }
 
-    /// Per scheduled recovery: `(process, restart time, first eat-slot at
-    /// or after it)` — `None` in the last position when the recovered
-    /// process never ate again before the horizon. The difference of the
-    /// two times is the *time to readmission*.
-    pub fn readmissions(&self) -> Vec<(ProcessId, Time, Option<Time>)> {
-        self.recoveries
-            .iter()
-            .map(|&(p, r)| {
-                let eat = self
+    /// Per scheduled recovery: when the process restarted, when it first
+    /// ate again, and which recovery path the restart took. The difference
+    /// of the two times is the *time to readmission*.
+    pub fn readmissions(&self) -> Vec<Readmission> {
+        // The k-th scheduled recovery of `p` (in time order) produced its
+        // life with incarnation k+1; pair it with that restart-log entry.
+        let mut nth: BTreeMap<ProcessId, u64> = BTreeMap::new();
+        let mut schedule: Vec<(ProcessId, Time)> = self.recoveries.clone();
+        schedule.sort_by_key(|&(_, t)| t);
+        schedule
+            .into_iter()
+            .map(|(p, r)| {
+                let inc = {
+                    let c = nth.entry(p).or_insert(0);
+                    *c += 1;
+                    *c
+                };
+                let first_eat = self
                     .events
                     .iter()
                     .find(|e| e.process == p && e.obs == DiningObs::StartedEating && e.time >= r)
                     .map(|e| e.time);
-                (p, r, eat)
+                let path = self
+                    .restart_logs
+                    .get(p.index())
+                    .and_then(|log| log.iter().find(|ev| ev.incarnation == inc))
+                    .map(|ev| ev.path);
+                Readmission {
+                    process: p,
+                    restarted: r,
+                    first_eat,
+                    path,
+                }
             })
             .collect()
     }
@@ -596,7 +654,19 @@ mod tests {
         );
         let ra = report.readmissions();
         assert_eq!(ra.len(), 1);
-        assert!(ra[0].2.is_some(), "recovered process eats again: {ra:?}");
+        assert!(
+            ra[0].first_eat.is_some(),
+            "recovered process eats again: {ra:?}"
+        );
+        assert!(
+            matches!(
+                ra[0].path,
+                Some(ekbd_dining::RestartPath::Blank {
+                    reason: ekbd_dining::BlankReason::Disabled
+                })
+            ),
+            "no journal configured ⇒ blank path: {ra:?}"
+        );
         let stats = report.recovery.expect("recoverable algorithm keeps stats");
         assert!(stats.resyncs >= 2, "both edges resynced: {stats:?}");
         assert_eq!(
@@ -629,7 +699,7 @@ mod tests {
         let stab = Time(last.0 + 10 * crate::AUDIT_PERIOD);
         assert_eq!(report.exclusion().after(stab), 0);
         assert!(report.fairness().max_overtakes_after(stab) <= 2);
-        assert!(report.readmissions()[0].2.is_some());
+        assert!(report.readmissions()[0].first_eat.is_some());
     }
 
     #[test]

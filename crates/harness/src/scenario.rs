@@ -7,6 +7,7 @@ use ekbd_detector::{
 use ekbd_dining::{DiningAlgorithm, DiningProcess, RecoverableDining};
 use ekbd_graph::coloring::{self, Color};
 use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_journal::StorageFaultPlan;
 use ekbd_link::LinkConfig;
 use ekbd_sim::{DelayModel, EngineKind, FaultPlan, SimConfig, Simulator, Time};
 
@@ -89,6 +90,19 @@ pub struct Scenario {
     /// [`RunReport::kernel_trace`](crate::RunReport::kernel_trace)
     /// (default: off — tracing clones every payload's routing record).
     pub record_trace: bool,
+    /// Whether [`run_recoverable`](Self::run_recoverable) attaches an
+    /// in-memory stable-storage journal to every process (default: off —
+    /// the PR-2 blank-restart behavior).
+    pub journal: bool,
+    /// Stable-storage fault schedule (default: inert). A non-inert plan
+    /// implies journaling.
+    pub storage_faults: StorageFaultPlan,
+    /// Audit-and-repair period for recoverable algorithms (default:
+    /// [`crate::AUDIT_PERIOD`]).
+    pub audit_period: u64,
+    /// Audit strike threshold for recoverable algorithms (default:
+    /// [`ekbd_dining::DEFAULT_STRIKES`]).
+    pub audit_strikes: u8,
 }
 
 impl Scenario {
@@ -111,6 +125,10 @@ impl Scenario {
             link: None,
             engine: EngineKind::default(),
             record_trace: false,
+            journal: false,
+            storage_faults: StorageFaultPlan::default(),
+            audit_period: crate::host::AUDIT_PERIOD,
+            audit_strikes: ekbd_dining::DEFAULT_STRIKES,
         }
     }
 
@@ -258,6 +276,35 @@ impl Scenario {
         self
     }
 
+    /// Attaches an in-memory stable-storage journal to every recoverable
+    /// process: restarts replay the journal and attempt the cheap
+    /// `JournalResume` fast path before falling back to the rejoin
+    /// handshake.
+    pub fn journal(mut self, on: bool) -> Self {
+        self.journal = on;
+        self
+    }
+
+    /// Injects stable-storage faults (torn writes, bit rot, stale
+    /// snapshots, dropped syncs). Implies [`journal`](Self::journal).
+    pub fn storage_faults(mut self, plan: StorageFaultPlan) -> Self {
+        self.storage_faults = plan;
+        self
+    }
+
+    /// Overrides the audit-and-repair period for recoverable algorithms.
+    pub fn audit_period(mut self, period: u64) -> Self {
+        self.audit_period = period.max(1);
+        self
+    }
+
+    /// Overrides the audit strike threshold (consecutive bad observations
+    /// before a repair fires) for recoverable algorithms.
+    pub fn audit_strikes(mut self, strikes: u8) -> Self {
+        self.audit_strikes = strikes.max(1);
+        self
+    }
+
     /// Builds the detector for process `p` per the oracle spec.
     pub(crate) fn detector_for(&self, p: ProcessId) -> AnyDetector {
         let neighbors = self.graph.neighbors(p);
@@ -308,7 +355,8 @@ impl Scenario {
             eat: self.workload.eat,
         };
         let mut sim = Simulator::new(cfg, |p, _| {
-            let host = DinerHost::new(factory(self, p), self.detector_for(p), workload);
+            let host = DinerHost::new(factory(self, p), self.detector_for(p), workload)
+                .with_audit_period(self.audit_period);
             match self.link {
                 Some(link_cfg) => host.with_link(link_cfg),
                 None => host,
@@ -345,7 +393,16 @@ impl Scenario {
     /// schedules [`recover`](Self::recover) /
     /// [`corrupt_state`](Self::corrupt_state) faults.
     pub fn run_recoverable(&self) -> RunReport {
-        self.run_with(|s, p| RecoverableDining::from_graph(&s.graph, &s.colors, p))
+        let journal_on = self.journal || !self.storage_faults.is_inert();
+        self.run_with(|s, p| {
+            let alg =
+                RecoverableDining::from_graph(&s.graph, &s.colors, p).with_strikes(s.audit_strikes);
+            if journal_on {
+                alg.with_journal(s.storage_faults.store_for(p))
+            } else {
+                alg
+            }
+        })
     }
 }
 

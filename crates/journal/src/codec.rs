@@ -1,0 +1,290 @@
+//! The journal record and its paranoid byte codec.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "EKJ1"
+//! 4       8     incarnation (u64)
+//! 12      1     phase/doorway byte: bits 0-1 phase, bit 2 doorway
+//! 13      2     edge count n (u16)
+//! 15      14*n  edge records: peer u32 | peer_inc u64 | flags u8 | synced u8
+//! 15+14n  4     CRC-32 (ISO-HDLC) over bytes [0, 15+14n)
+//! ```
+//!
+//! [`JournalRecord::decode`] rejects, with a typed error, every framing
+//! violation: wrong magic, any length that does not exactly match the
+//! declared edge count, a checksum mismatch, and out-of-range phase,
+//! flag, or synced bytes. Because the CRC covers every byte before it and
+//! the length is fully determined by the edge-count field, *every*
+//! single-bit flip and *every* proper truncation of a valid encoding is
+//! detected — the property the codec proptests pin down.
+
+/// The four magic bytes opening every record.
+pub const MAGIC: [u8; 4] = *b"EKJ1";
+
+/// Per-edge flag bits carried by an [`EdgeRecord`]; matches the dining
+/// layer's bit-packed per-neighbor variables (6 bits used).
+pub const FLAG_MASK: u8 = 0x3F;
+
+const HEADER_LEN: usize = 15;
+const EDGE_LEN: usize = 14;
+const CRC_LEN: usize = 4;
+
+/// Journaled state of one conflict edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// Index of the neighbor on this edge.
+    pub peer: u32,
+    /// Last incarnation of the neighbor this process had synchronized
+    /// with when the record was committed.
+    pub peer_inc: u64,
+    /// The bit-packed per-edge dining variables (fork, token, deferred,
+    /// ping/ack/replied session bits); only the low 6 bits are valid.
+    pub flags: u8,
+    /// Whether the edge was synchronized (not suppressed) at commit time.
+    pub synced: bool,
+}
+
+/// One committed write-ahead record: the full recoverable state of a
+/// diner at the instant a state transition completed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// The incarnation that committed this record.
+    pub incarnation: u64,
+    /// Dining phase at commit time: 0 thinking, 1 hungry, 2 eating.
+    pub phase: u8,
+    /// Whether the process was inside the doorway at commit time.
+    pub doorway: bool,
+    /// Per-edge state, one entry per conflict neighbor.
+    pub edges: Vec<EdgeRecord>,
+}
+
+/// Why a byte buffer was rejected by [`JournalRecord::decode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Shorter than the fixed header + checksum.
+    TooShort,
+    /// The magic bytes are wrong.
+    BadMagic,
+    /// The buffer length does not match the declared edge count (torn
+    /// write, truncation, or appended garbage).
+    LengthMismatch,
+    /// The trailing CRC-32 does not match the payload.
+    ChecksumMismatch,
+    /// A semantic field is out of range (phase > 2, padding bits set,
+    /// flag bits above [`FLAG_MASK`], or a non-boolean synced byte).
+    BadField,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let what = match self {
+            DecodeError::TooShort => "record shorter than header + checksum",
+            DecodeError::BadMagic => "bad magic",
+            DecodeError::LengthMismatch => "length does not match edge count",
+            DecodeError::ChecksumMismatch => "CRC-32 mismatch",
+            DecodeError::BadField => "field out of range",
+        };
+        write!(f, "journal decode failed: {what}")
+    }
+}
+
+/// CRC-32 (ISO-HDLC / zlib polynomial, reflected), bitwise.
+///
+/// Records are tens of bytes, so the table-free loop is plenty fast and
+/// keeps the crate dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl JournalRecord {
+    /// Serializes the record, appending the CRC-32 of everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let n = self.edges.len();
+        debug_assert!(n <= u16::MAX as usize, "degree exceeds journal format");
+        let mut out = Vec::with_capacity(HEADER_LEN + EDGE_LEN * n + CRC_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.incarnation.to_le_bytes());
+        out.push((self.phase & 0x03) | (u8::from(self.doorway) << 2));
+        out.extend_from_slice(&(n as u16).to_le_bytes());
+        for e in &self.edges {
+            out.extend_from_slice(&e.peer.to_le_bytes());
+            out.extend_from_slice(&e.peer_inc.to_le_bytes());
+            out.push(e.flags & FLAG_MASK);
+            out.push(u8::from(e.synced));
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Deserializes and fully validates a record.
+    ///
+    /// Never panics on arbitrary input; every malformed buffer maps to a
+    /// [`DecodeError`].
+    pub fn decode(bytes: &[u8]) -> Result<JournalRecord, DecodeError> {
+        if bytes.len() < HEADER_LEN + CRC_LEN {
+            return Err(DecodeError::TooShort);
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let n = u16::from_le_bytes([bytes[13], bytes[14]]) as usize;
+        let expected = HEADER_LEN + EDGE_LEN * n + CRC_LEN;
+        if bytes.len() != expected {
+            return Err(DecodeError::LengthMismatch);
+        }
+        let body = &bytes[..expected - CRC_LEN];
+        let stored = u32::from_le_bytes([
+            bytes[expected - 4],
+            bytes[expected - 3],
+            bytes[expected - 2],
+            bytes[expected - 1],
+        ]);
+        if crc32(body) != stored {
+            return Err(DecodeError::ChecksumMismatch);
+        }
+        let pd = bytes[12];
+        if pd & !0x07 != 0 || pd & 0x03 > 2 {
+            return Err(DecodeError::BadField);
+        }
+        let mut edges = Vec::with_capacity(n);
+        for i in 0..n {
+            let at = HEADER_LEN + EDGE_LEN * i;
+            let peer = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+            let mut inc = [0u8; 8];
+            inc.copy_from_slice(&bytes[at + 4..at + 12]);
+            let flags = bytes[at + 12];
+            let synced = bytes[at + 13];
+            if flags & !FLAG_MASK != 0 || synced > 1 {
+                return Err(DecodeError::BadField);
+            }
+            edges.push(EdgeRecord {
+                peer,
+                peer_inc: u64::from_le_bytes(inc),
+                flags,
+                synced: synced == 1,
+            });
+        }
+        Ok(JournalRecord {
+            incarnation: u64::from_le_bytes([
+                bytes[4], bytes[5], bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11],
+            ]),
+            phase: pd & 0x03,
+            doorway: pd & 0x04 != 0,
+            edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JournalRecord {
+        JournalRecord {
+            incarnation: 3,
+            phase: 1,
+            doorway: true,
+            edges: vec![
+                EdgeRecord {
+                    peer: 1,
+                    peer_inc: 0,
+                    flags: 0x30,
+                    synced: true,
+                },
+                EdgeRecord {
+                    peer: 7,
+                    peer_inc: 2,
+                    flags: 0x09,
+                    synced: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let r = sample();
+        assert_eq!(JournalRecord::decode(&r.encode()), Ok(r));
+    }
+
+    #[test]
+    fn empty_edge_list_round_trips() {
+        let r = JournalRecord {
+            incarnation: 0,
+            phase: 0,
+            doorway: false,
+            edges: vec![],
+        };
+        assert_eq!(JournalRecord::decode(&r.encode()), Ok(r));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut rotted = bytes.clone();
+                rotted[i] ^= 1 << bit;
+                assert!(
+                    JournalRecord::decode(&rotted).is_err(),
+                    "flip of byte {i} bit {bit} was silently accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            assert!(
+                JournalRecord::decode(&bytes[..len]).is_err(),
+                "truncation to {len} bytes was silently accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn appended_garbage_is_detected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert_eq!(
+            JournalRecord::decode(&bytes),
+            Err(DecodeError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn encode_masks_out_of_range_inputs() {
+        let r = JournalRecord {
+            incarnation: 1,
+            phase: 2,
+            doorway: false,
+            edges: vec![EdgeRecord {
+                peer: 0,
+                peer_inc: 0,
+                flags: 0xFF, // high bits must not survive the trip
+                synced: true,
+            }],
+        };
+        let back = JournalRecord::decode(&r.encode()).unwrap();
+        assert_eq!(back.edges[0].flags, 0x3F);
+    }
+}

@@ -1,0 +1,35 @@
+//! Crash-consistent stable storage for recoverable diners.
+//!
+//! Song & Pike's bounded-space claim (§7: `log₂(δ) + 6δ + c` bits per
+//! process) means the entire safety-critical state of one diner — the
+//! per-edge fork/token/deferred bits, the doorway phase, and the
+//! incarnation number — fits in a tiny record. This crate turns that
+//! observation into a stable-storage layer:
+//!
+//! * [`JournalRecord`] / [`EdgeRecord`] — the incarnation-stamped,
+//!   CRC-32-checksummed write-ahead record a recoverable diner commits on
+//!   every state transition ([`codec`]),
+//! * [`JournalStore`] — the backend trait, with [`MemJournal`] for the
+//!   deterministic simulator and [`FileJournal`] (atomic
+//!   write-tmp-then-rename) for the threaded runtime,
+//! * [`JournalHandle`] — the cloneable, shareable handle an algorithm
+//!   keeps; cloning shares the underlying store,
+//! * [`StorageFaultPlan`] — seeded, deterministic corruption of the
+//!   stable storage itself (torn writes, single-bit rot, stale snapshots,
+//!   dropped syncs), mirroring the network `FaultPlan` idiom.
+//!
+//! The decoder is paranoid by design: any single-bit flip and any
+//! truncation of a valid record is *detected* (structural framing plus
+//! CRC), never silently accepted, so a corrupt journal can always be
+//! routed to the blank-restart path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod fault;
+pub mod store;
+
+pub use codec::{DecodeError, EdgeRecord, JournalRecord};
+pub use fault::{FaultyJournal, StorageFault, StorageFaultPlan};
+pub use store::{FileJournal, JournalHandle, JournalStore, MemJournal};

@@ -1,0 +1,202 @@
+//! Journal backends and the shareable handle.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// How many committed records [`MemJournal`] retains; the storage fault
+/// layer reaches back into this window to serve stale snapshots and to
+/// model dropped syncs.
+pub const MEM_HISTORY: usize = 16;
+
+/// A stable-storage backend for write-ahead journal records.
+///
+/// Backends store opaque bytes — encoding, checksums, and validation live
+/// in [`crate::codec`] — so a byte-level fault injector can sit between
+/// the algorithm and the store without understanding the format.
+pub trait JournalStore: Send {
+    /// Durably replaces the journal contents with `record` (one commit
+    /// per state transition; only the latest committed record matters
+    /// for recovery).
+    fn commit(&mut self, record: &[u8]);
+
+    /// Reads back the journal, `None` when nothing has ever been
+    /// committed (first boot) or the backing storage is gone.
+    fn load(&mut self) -> Option<Vec<u8>>;
+}
+
+/// In-memory backend for the deterministic simulator.
+///
+/// Keeps a bounded history of recent commits (most recent last) so the
+/// fault layer can serve older records.
+#[derive(Clone, Debug, Default)]
+pub struct MemJournal {
+    history: VecDeque<Vec<u8>>,
+    writes: u64,
+}
+
+impl MemJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        MemJournal::default()
+    }
+
+    /// Total commits ever issued (not capped by the retained window).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The record committed `k` commits before the latest (`0` = latest);
+    /// `None` when the window does not reach that far back.
+    pub fn nth_back(&self, k: usize) -> Option<Vec<u8>> {
+        let len = self.history.len();
+        if k >= len {
+            return None;
+        }
+        self.history.get(len - 1 - k).cloned()
+    }
+}
+
+impl JournalStore for MemJournal {
+    fn commit(&mut self, record: &[u8]) {
+        if self.history.len() == MEM_HISTORY {
+            self.history.pop_front();
+        }
+        self.history.push_back(record.to_vec());
+        self.writes += 1;
+    }
+
+    fn load(&mut self) -> Option<Vec<u8>> {
+        self.history.back().cloned()
+    }
+}
+
+/// File-backed journal for the threaded runtime.
+///
+/// Commits write a sibling temporary file and atomically rename it over
+/// the journal path, so a crash mid-commit leaves either the old record
+/// or the new one — never a mix. I/O errors are swallowed: a journal
+/// that fails to persist simply looks *missing* at the next restart,
+/// which recovery handles by falling back to the blank rejoin path.
+#[derive(Clone, Debug)]
+pub struct FileJournal {
+    path: PathBuf,
+    tmp: PathBuf,
+}
+
+impl FileJournal {
+    /// Journals to `path`; the parent directory must exist.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        FileJournal {
+            path,
+            tmp: PathBuf::from(tmp),
+        }
+    }
+
+    /// The journal file location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl JournalStore for FileJournal {
+    fn commit(&mut self, record: &[u8]) {
+        if std::fs::write(&self.tmp, record).is_ok() {
+            let _ = std::fs::rename(&self.tmp, &self.path);
+        }
+    }
+
+    fn load(&mut self) -> Option<Vec<u8>> {
+        std::fs::read(&self.path).ok()
+    }
+}
+
+/// Cloneable handle to a shared [`JournalStore`].
+///
+/// The recovery layer keeps one of these per process; clones share the
+/// same underlying store, so a restarted incarnation constructed from
+/// the same handle reads what the previous life committed.
+#[derive(Clone)]
+pub struct JournalHandle {
+    store: Arc<Mutex<dyn JournalStore>>,
+}
+
+impl JournalHandle {
+    /// Wraps any backend in a shareable handle.
+    pub fn new(store: impl JournalStore + 'static) -> Self {
+        JournalHandle {
+            store: Arc::new(Mutex::new(store)),
+        }
+    }
+
+    /// Convenience: a fresh in-memory journal.
+    pub fn in_memory() -> Self {
+        JournalHandle::new(MemJournal::new())
+    }
+
+    /// Commits `record` as the current journal contents.
+    pub fn commit(&self, record: &[u8]) {
+        self.store
+            .lock()
+            .expect("journal store poisoned")
+            .commit(record);
+    }
+
+    /// Loads the current journal contents.
+    pub fn load(&self) -> Option<Vec<u8>> {
+        self.store.lock().expect("journal store poisoned").load()
+    }
+}
+
+impl fmt::Debug for JournalHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JournalHandle(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_journal_serves_latest_and_history() {
+        let mut j = MemJournal::new();
+        assert_eq!(j.load(), None);
+        for i in 0u8..20 {
+            j.commit(&[i]);
+        }
+        assert_eq!(j.writes(), 20);
+        assert_eq!(j.load(), Some(vec![19]));
+        assert_eq!(j.nth_back(0), Some(vec![19]));
+        assert_eq!(j.nth_back(3), Some(vec![16]));
+        assert_eq!(j.nth_back(MEM_HISTORY - 1), Some(vec![4]));
+        assert_eq!(j.nth_back(MEM_HISTORY), None);
+    }
+
+    #[test]
+    fn handle_clones_share_the_store() {
+        let h = JournalHandle::in_memory();
+        let h2 = h.clone();
+        h.commit(b"abc");
+        assert_eq!(h2.load(), Some(b"abc".to_vec()));
+    }
+
+    #[test]
+    fn file_journal_commit_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ekbd-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut j = FileJournal::new(dir.join("p0.journal"));
+        assert_eq!(j.load(), None);
+        j.commit(b"first");
+        assert_eq!(j.load(), Some(b"first".to_vec()));
+        j.commit(b"second");
+        assert_eq!(j.load(), Some(b"second".to_vec()));
+        // No stray temp file survives a completed commit.
+        assert!(!j.tmp.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

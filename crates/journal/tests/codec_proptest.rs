@@ -1,0 +1,93 @@
+//! Property-based tests of the journal codec: encode/decode round-trip
+//! identity over arbitrary records, and *detection* (never silent
+//! acceptance of different state) for every single-bit flip and every
+//! truncation point of every encoding.
+
+use ekbd_journal::{EdgeRecord, JournalRecord};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary journal record. The vendored proptest shim has
+/// no `bool` strategy, so boolean fields are drawn as 0/1 integers.
+fn record() -> impl Strategy<Value = JournalRecord> {
+    let edge =
+        (0u32..64, 0u64..1_000, 0u8..0x40, 0u8..2).prop_map(|(peer, peer_inc, flags, synced)| {
+            EdgeRecord {
+                peer,
+                peer_inc,
+                flags,
+                synced: synced == 1,
+            }
+        });
+    (
+        0u64..10_000,
+        0u8..3,
+        0u8..2,
+        proptest::collection::vec(edge, 0..12),
+    )
+        .prop_map(|(incarnation, phase, doorway, edges)| JournalRecord {
+            incarnation,
+            phase,
+            doorway: doorway == 1,
+            edges,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-trip identity: decode(encode(r)) == r for arbitrary states.
+    #[test]
+    fn round_trip_identity(r in record()) {
+        let bytes = r.encode();
+        let back = JournalRecord::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, r);
+    }
+
+    /// Single-bit rot anywhere in the encoding is always *detected*: the
+    /// decoder either errors or — never — silently accepts different
+    /// state. (The CRC makes acceptance of changed bytes impossible.)
+    #[test]
+    fn every_single_bit_flip_is_detected(r in record()) {
+        let bytes = r.encode();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut rotted = bytes.clone();
+                rotted[i] ^= 1 << bit;
+                match JournalRecord::decode(&rotted) {
+                    Err(_) => {}
+                    Ok(decoded) => prop_assert_eq!(
+                        &decoded,
+                        &r,
+                        "flip at byte {} bit {} silently accepted as different state",
+                        i,
+                        bit
+                    ),
+                }
+            }
+        }
+    }
+
+    /// A torn write (any proper prefix) is always rejected: the declared
+    /// edge count fixes the exact record length, so no truncation point
+    /// can decode.
+    #[test]
+    fn every_truncation_point_is_detected(r in record()) {
+        let bytes = r.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                JournalRecord::decode(&bytes[..cut]).is_err(),
+                "truncation to {} of {} bytes decoded",
+                cut,
+                bytes.len()
+            );
+        }
+    }
+
+    /// Appended garbage is likewise structurally rejected.
+    #[test]
+    fn trailing_garbage_is_detected(r in record(), extra in 1usize..16, fill in 0u8..=255) {
+        let mut bytes = r.encode();
+        bytes.extend(std::iter::repeat_n(fill, extra));
+        prop_assert!(JournalRecord::decode(&bytes).is_err());
+    }
+}

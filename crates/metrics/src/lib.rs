@@ -28,6 +28,7 @@ mod fairness;
 mod link;
 mod progress;
 mod quiescence;
+mod readmission;
 mod stats;
 mod timeline;
 
@@ -38,6 +39,7 @@ pub use fairness::{FairnessReport, Overtake};
 pub use link::LinkSummary;
 pub use progress::{ProgressReport, SessionStats};
 pub use quiescence::QuiescenceReport;
+pub use readmission::ReadmissionBreakdown;
 pub use stats::Summary;
 pub use timeline::Timeline;
 

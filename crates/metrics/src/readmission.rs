@@ -1,0 +1,81 @@
+use crate::stats::Summary;
+
+/// Time-to-readmission statistics split by restart path (experiment E16).
+///
+/// Pairs each recovery with the path its restart took — `true` for a
+/// journal replay that fast-resumed at least part of its edge set, `false`
+/// for a blank reboot that ran the full rejoin handshake — and summarizes
+/// the two populations separately so their medians can be compared.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReadmissionBreakdown {
+    /// Readmission times of journal-replay restarts.
+    pub journal: Summary,
+    /// Readmission times of blank (full-rejoin) restarts.
+    pub blank: Summary,
+    /// Recoveries that never ate again before the horizon (excluded from
+    /// both summaries).
+    pub unreadmitted: usize,
+}
+
+impl ReadmissionBreakdown {
+    /// Builds a breakdown from `(journaled, time_to_readmission)` samples;
+    /// a `None` time counts toward [`unreadmitted`](Self::unreadmitted).
+    pub fn of(samples: impl IntoIterator<Item = (bool, Option<u64>)>) -> Self {
+        let mut journal = Vec::new();
+        let mut blank = Vec::new();
+        let mut unreadmitted = 0;
+        for (journaled, ticks) in samples {
+            match (journaled, ticks) {
+                (true, Some(t)) => journal.push(t),
+                (false, Some(t)) => blank.push(t),
+                (_, None) => unreadmitted += 1,
+            }
+        }
+        ReadmissionBreakdown {
+            journal: Summary::of(journal),
+            blank: Summary::of(blank),
+            unreadmitted,
+        }
+    }
+
+    /// Whether the journal population's median readmission is strictly
+    /// faster than the blank population's — `None` when either population
+    /// is empty and the comparison is meaningless.
+    pub fn journal_faster(&self) -> Option<bool> {
+        (self.journal.count > 0 && self.blank.count > 0)
+            .then_some(self.journal.p50 < self.blank.p50)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_populations_and_compares_medians() {
+        let b = ReadmissionBreakdown::of([
+            (true, Some(10)),
+            (true, Some(20)),
+            (false, Some(50)),
+            (false, Some(70)),
+            (true, None),
+        ]);
+        assert_eq!(b.journal.count, 2);
+        assert_eq!(b.blank.count, 2);
+        assert_eq!(b.unreadmitted, 1);
+        assert_eq!(b.journal_faster(), Some(true));
+    }
+
+    #[test]
+    fn empty_population_yields_no_verdict() {
+        let b = ReadmissionBreakdown::of([(true, Some(10))]);
+        assert_eq!(b.journal_faster(), None);
+        assert_eq!(ReadmissionBreakdown::of([]).journal_faster(), None);
+    }
+
+    #[test]
+    fn slower_journal_is_reported_honestly() {
+        let b = ReadmissionBreakdown::of([(true, Some(90)), (false, Some(30))]);
+        assert_eq!(b.journal_faster(), Some(false));
+    }
+}

@@ -5,17 +5,19 @@ use ekbd_detector::{HeartbeatConfig, HeartbeatDetector};
 use ekbd_dining::{DiningAlgorithm, DiningMsg, DiningProcess, RecoverableDining, RecoveryMsg};
 use ekbd_graph::coloring::{self, Color};
 use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_journal::{FileJournal, JournalHandle};
 use ekbd_link::{LinkConfig, LinkEndpoint};
 use ekbd_metrics::{LinkSummary, SchedEvent};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration of the threaded runtime.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Heartbeat detector settings, in milliseconds.
     pub heartbeat: HeartbeatConfig,
@@ -30,6 +32,12 @@ pub struct RuntimeConfig {
     /// Required for dining correctness whenever `faults` is non-inert;
     /// timer durations are in milliseconds here.
     pub link: Option<LinkConfig>,
+    /// Directory for per-process stable-storage journals (default: off).
+    /// When set, [`spawn_recoverable`](ThreadedDining::spawn_recoverable)
+    /// attaches a file-backed journal `journal-p<i>.ekj` per process, and
+    /// restarts replay it to attempt the `JournalResume` fast path. The
+    /// directory must exist.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for RuntimeConfig {
@@ -44,6 +52,7 @@ impl Default for RuntimeConfig {
             audit_ms: 25,
             faults: ChannelFaults::default(),
             link: None,
+            journal_dir: None,
         }
     }
 }
@@ -216,8 +225,16 @@ impl ThreadedDining<RecoveryMsg> {
     /// of Algorithm 1: crashed processes can be restarted (blank or
     /// corrupted) and a periodic audit repairs state-fault damage.
     pub fn spawn_recoverable(graph: ConflictGraph, config: RuntimeConfig) -> Self {
-        Self::spawn_with(graph, config, |g, colors, id| {
-            RecoverableDining::from_graph(g, colors, id)
+        let journal_dir = config.journal_dir.clone();
+        Self::spawn_with(graph, config, move |g, colors, id| {
+            let alg = RecoverableDining::from_graph(g, colors, id);
+            match &journal_dir {
+                Some(dir) => {
+                    let path = dir.join(format!("journal-p{}.ekj", id.index()));
+                    alg.with_journal(JournalHandle::new(FileJournal::new(path)))
+                }
+                None => alg,
+            }
         })
     }
 }
@@ -382,6 +399,49 @@ mod tests {
             "post-recovery mistakes: {:?}",
             report.mistakes
         );
+    }
+
+    #[test]
+    fn file_backed_journal_survives_a_threaded_restart() {
+        // With a journal directory configured, every process commits its
+        // edge state to disk; a crashed-and-recovered process replays the
+        // file and still gets readmitted.
+        let dir = std::env::temp_dir().join(format!("ekbd-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create journal dir");
+        let cfg = RuntimeConfig {
+            journal_dir: Some(dir.clone()),
+            ..RuntimeConfig::default()
+        };
+        let sys = ThreadedDining::spawn_recoverable(topology::ring(3), cfg);
+        for i in 0..3 {
+            sys.make_hungry(ProcessId::from(i));
+        }
+        std::thread::sleep(Duration::from_millis(150));
+        sys.crash(ProcessId(0));
+        std::thread::sleep(Duration::from_millis(300));
+        sys.recover(ProcessId(0));
+        std::thread::sleep(Duration::from_millis(200));
+        let restart_ms = sys.elapsed_ms();
+        for _ in 0..3 {
+            for i in 0..3 {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(Duration::from_millis(80));
+        }
+        let events = sys.shutdown_after(Duration::from_millis(400));
+        let journal = dir.join("journal-p0.ekj");
+        let bytes = std::fs::read(&journal).expect("journal file written");
+        assert!(
+            ekbd_journal::JournalRecord::decode(&bytes).is_ok(),
+            "on-disk journal decodes"
+        );
+        let p0_ate_after = events.iter().any(|e| {
+            e.process == ProcessId(0)
+                && e.obs == DiningObs::StartedEating
+                && e.time >= Time(restart_ms)
+        });
+        assert!(p0_ate_after, "journaled p0 must be readmitted and eat");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

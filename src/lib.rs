@@ -32,6 +32,7 @@ pub use ekbd_detector as detector;
 pub use ekbd_dining as dining;
 pub use ekbd_graph as graph;
 pub use ekbd_harness as harness;
+pub use ekbd_journal as journal;
 pub use ekbd_metrics as metrics;
 pub use ekbd_runtime as runtime;
 pub use ekbd_sim as sim;

@@ -182,6 +182,37 @@ fn crash_recovery_traces_identical_across_engines() {
 }
 
 #[test]
+fn journaling_without_restarts_is_trace_invisible() {
+    // The stable-storage journal is written on every transition but only
+    // ever *read* during a restart. With no restarts scheduled, a
+    // journaled run must therefore be byte-identical to an unjournaled
+    // one: commits touch no RNG, no timers, no channels. This pins the
+    // zero-overhead-when-unused contract of the journal layer.
+    for (label, scenario) in fault_configs(base_scenario(ekbd::graph::topology::ring(8), 42)) {
+        let plain = scenario.clone().journal(false).run_recoverable();
+        let journaled = scenario.clone().journal(true).run_recoverable();
+        assert!(
+            !plain.kernel_trace.is_empty(),
+            "{label}: trace recording must be on"
+        );
+        assert_eq!(
+            plain.kernel_trace, journaled.kernel_trace,
+            "{label}: journaling must not perturb the kernel trace"
+        );
+        assert_eq!(plain.events, journaled.events, "{label}: sched events");
+        assert_eq!(
+            plain.total_messages, journaled.total_messages,
+            "{label}: total messages"
+        );
+        assert_eq!(
+            trace_hash(&plain.kernel_trace),
+            trace_hash(&journaled.kernel_trace),
+            "{label}: trace hashes must match"
+        );
+    }
+}
+
+#[test]
 fn campaign_parallel_merge_matches_serial_byte_for_byte() {
     // The campaign runner must be a pure parallelization: fanning the same
     // jobs across workers cannot change any report, and the merged

@@ -185,10 +185,7 @@ fn fork_uniqueness_restored_after_recovery_and_corruption() {
     let report = live.finish();
     assert!(report.progress().wait_free());
     assert!(
-        report
-            .readmissions()
-            .iter()
-            .all(|(_, _, eats)| eats.is_some()),
+        report.readmissions().iter().all(|r| r.first_eat.is_some()),
         "the recovered process must eat again"
     );
 }

@@ -1,0 +1,205 @@
+//! End-to-end tests of the crash-consistent state journal (`ekbd-journal`)
+//! under the simulation harness: the `JournalResume` fast path on clean
+//! restarts, graceful degradation to the blank rejoin path under every
+//! stable-storage corruption mode, and partition-tolerant rejoin — a
+//! restarting process whose journal resume is cut off by a network
+//! partition keeps those edges suppressed (no algorithm traffic) until the
+//! partition heals, then readmits.
+
+use ekbd::dining::{BlankReason, RestartPath};
+use ekbd::harness::{Scenario, Workload};
+use ekbd::journal::StorageFaultPlan;
+use ekbd::sim::{ProcessId, Time};
+use ekbd_harness::AUDIT_PERIOD;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::from(i)
+}
+
+fn crash_recover_scenario(seed: u64) -> Scenario {
+    Scenario::new(ekbd::graph::topology::ring(5))
+        .seed(seed)
+        .perfect_oracle()
+        .crash(p(2), Time(600))
+        .recover(p(2), Time(4_000))
+        .workload(Workload {
+            sessions: 8,
+            think: (1, 30),
+            eat: (1, 10),
+        })
+        .horizon(Time(60_000))
+}
+
+#[test]
+fn clean_journaled_restart_takes_the_fast_path() {
+    let report = crash_recover_scenario(17).journal(true).run_recoverable();
+    assert!(report.progress().wait_free());
+    assert_eq!(report.exclusion().total(), 0);
+    let ra = report.readmissions();
+    assert_eq!(ra.len(), 1);
+    assert!(ra[0].first_eat.is_some(), "readmitted: {ra:?}");
+    // Both ring edges of the restarted process confirm the journal.
+    assert_eq!(
+        ra[0].path,
+        Some(RestartPath::Journal {
+            resumed: 2,
+            rejoined: 0
+        }),
+        "clean journal ⇒ full fast resume: {ra:?}"
+    );
+    let stats = report.recovery.expect("recovery layer active");
+    assert_eq!(stats.fast_resumes, 2, "{stats:?}");
+}
+
+#[test]
+fn every_storage_fault_degrades_safely() {
+    // Each corruption mode must end with a readmitted process, zero
+    // post-convergence exclusion mistakes, and no starved correct process.
+    // Undecodable journals (torn write, bit rot) must additionally be
+    // *detected* and routed through the blank restart path.
+    type Build = fn(StorageFaultPlan, ProcessId) -> StorageFaultPlan;
+    let cases: [(&str, Build); 4] = [
+        ("torn-write", StorageFaultPlan::torn_write),
+        ("bit-rot", StorageFaultPlan::bit_rot),
+        ("stale-snapshot", StorageFaultPlan::stale_snapshot),
+        ("dropped-sync", StorageFaultPlan::dropped_sync),
+    ];
+    for (label, build) in cases {
+        for seed in [3, 17, 92] {
+            let plan = build(StorageFaultPlan::new().seed(seed), p(2));
+            let report = crash_recover_scenario(seed)
+                .storage_faults(plan)
+                .run_recoverable();
+            assert!(
+                report.progress().wait_free(),
+                "{label}/seed {seed}: starving {:?}",
+                report.progress().starving()
+            );
+            // Perfect oracle ⇒ converged from the start: *zero* mistakes,
+            // not just eventually-zero.
+            assert_eq!(
+                report.exclusion().total(),
+                0,
+                "{label}/seed {seed}: post-convergence ◇WX mistakes"
+            );
+            let ra = report.readmissions();
+            assert!(
+                ra[0].first_eat.is_some(),
+                "{label}/seed {seed}: never readmitted"
+            );
+            let path = ra[0].path.expect("restart log present");
+            match label {
+                // An undecodable journal (bad CRC or structure) must be
+                // *detected* and routed through the blank restart path —
+                // never silently accepted.
+                "torn-write" | "bit-rot" => assert_eq!(
+                    path,
+                    RestartPath::Blank {
+                        reason: BlankReason::Corrupt
+                    },
+                    "{label}/seed {seed}: undecodable journal must be detected"
+                ),
+                // A stale snapshot decodes but may lie about edge state;
+                // any lie is caught per edge by the ResumeAck exactly-one
+                // consistency check, which falls back to the rejoin
+                // handshake (truthful stale edges may legitimately still
+                // fast-resume). A dropped sync serves a snapshot so old it
+                // reads as missing or corrupt, or likewise lies per edge.
+                _ => assert!(
+                    matches!(
+                        path,
+                        RestartPath::Journal { .. } | RestartPath::Blank { .. }
+                    ),
+                    "{label}/seed {seed}: {path:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn partitioned_resume_suppresses_edges_until_heal_then_readmits() {
+    // p2 restarts at t=4000 while a partition (t=3500..=12000) cuts it off
+    // from both ring neighbors. Its JournalResume probes die in the void:
+    // the edges stay unsynced — and unsynced edges carry no algorithm
+    // traffic (`suppressed` counts each muzzled hungry attempt) — until
+    // the heal lets the audit's retry complete the resume. After the heal
+    // it must still readmit with zero mistakes.
+    let base = crash_recover_scenario(29).journal(true);
+    // `recover` schedules live inside the fault plan: extend it rather
+    // than replace it.
+    let plan = base
+        .faults
+        .clone()
+        .partition(vec![p(2)], Time(3_500), Time(12_000));
+    let report = base.faults(plan).horizon(Time(90_000)).run_recoverable();
+    assert!(
+        report.progress().wait_free(),
+        "starving: {:?}",
+        report.progress().starving()
+    );
+    assert_eq!(report.exclusion().total(), 0, "◇WX across the partition");
+    let stats = report.recovery.expect("recovery layer active");
+    assert!(
+        stats.suppressed > 0,
+        "cut edges must suppress hungry traffic while unsynced: {stats:?}"
+    );
+    let ra = report.readmissions();
+    let eat = ra[0].first_eat.expect("readmitted after heal");
+    assert!(
+        eat >= Time(12_000),
+        "cannot eat before the partition heals: {ra:?}"
+    );
+    // The journal survived the partition: the audit keeps retrying
+    // JournalResume (not Rejoin), so the edges still fast-resume.
+    assert_eq!(
+        ra[0].path,
+        Some(RestartPath::Journal {
+            resumed: 2,
+            rejoined: 0
+        }),
+        "fast path must survive the partition: {ra:?}"
+    );
+    assert_eq!(stats.fast_resumes, 2, "{stats:?}");
+}
+
+#[test]
+fn audit_period_and_strikes_knobs_shape_repair_latency() {
+    // A tighter audit period retries the interrupted resume sooner, so the
+    // post-heal readmission lands no later than with a sluggish audit; the
+    // run stays correct at both extremes and at a higher strike threshold.
+    let run = |period: u64, strikes: u8| {
+        let base = crash_recover_scenario(41)
+            .journal(true)
+            .audit_period(period)
+            .audit_strikes(strikes);
+        let plan = base
+            .faults
+            .clone()
+            .partition(vec![p(2)], Time(3_500), Time(12_000));
+        base.faults(plan).horizon(Time(90_000)).run_recoverable()
+    };
+    let fast = run(AUDIT_PERIOD / 2, 2);
+    let slow = run(AUDIT_PERIOD * 4, 2);
+    let strict = run(AUDIT_PERIOD, 3);
+    for (label, report) in [("fast", &fast), ("slow", &slow), ("strict", &strict)] {
+        assert!(report.progress().wait_free(), "{label}: wait-freedom");
+        assert_eq!(report.exclusion().total(), 0, "{label}: ◇WX");
+        assert!(
+            report.readmissions()[0].first_eat.is_some(),
+            "{label}: readmitted"
+        );
+    }
+    // Post-heal readmission is completed by the audit's resume retry, so
+    // it can lag the heal by at most one audit period (plus messaging).
+    // The tight audit may still land a few ticks after the sluggish one
+    // when the latter's phase happens to align with the heal — but never
+    // by more than its own (short) period.
+    let t = |r: &ekbd::harness::RunReport| r.readmissions()[0].time_to_readmission().unwrap();
+    assert!(
+        t(&fast) <= t(&slow) + AUDIT_PERIOD / 2,
+        "tight audit lags by more than its own period: fast={} slow={}",
+        t(&fast),
+        t(&slow)
+    );
+}

@@ -135,7 +135,7 @@ proptest! {
         let progress = report.progress();
         prop_assert!(progress.wait_free(), "starving: {:?}", progress.starving());
         prop_assert!(
-            report.readmissions().iter().all(|(_, _, eats)| eats.is_some()),
+            report.readmissions().iter().all(|r| r.first_eat.is_some()),
             "rejoin deadlocked: {:?}",
             report.readmissions()
         );
