@@ -178,12 +178,13 @@ fn main() {
         "p0 restart path",
         "readmitted",
         "mistakes",
-        "wait-free",
+        "stale-refuted",
         "verdict",
     ]);
     for (label, mode) in modes {
         let mut ok = true;
         let mut path_str = String::new();
+        let mut stale_refuted = 0u32;
         for &seed in &seeds {
             let report = scenario(topology::ring(8), seed)
                 .storage_faults(StorageFaultPlan::new().seed(seed).fault(p(0), mode))
@@ -203,9 +204,20 @@ fn main() {
                         reason: BlankReason::Corrupt,
                     };
             }
+            if let RestartPath::Journal { stale, .. } = p0 {
+                stale_refuted += stale;
+            }
             if seed == seeds[0] {
                 path_str = format!("{p0:?}");
             }
+        }
+        // A stale snapshot decodes, so it reaches JournalResume — and the
+        // sequence comparison must refute it on at least one edge across
+        // the sweep (whether a given edge is refutable depends on whether
+        // the suppressed final commit's sends were ever observed; the
+        // per-edge fork/token check catches the rest either way).
+        if matches!(mode, StorageFault::StaleSnapshot) {
+            ok &= stale_refuted > 0;
         }
         all_ok &= ok;
         table.row([
@@ -213,7 +225,7 @@ fn main() {
             path_str,
             "all".into(),
             "0".into(),
-            ok.to_string(),
+            stale_refuted.to_string(),
             verdict(ok),
         ]);
     }
@@ -262,6 +274,82 @@ fn main() {
         ]);
     }
     table.print();
+
+    // ---- Part D: post-mortem replay matches the live restart log ---------
+    println!(
+        "\nPost-mortem replay (ring-8, clique-6): reconstructing each run's\n\
+         restart narrative from the retained journal records alone must\n\
+         reproduce every restart's path — boot source and per-edge\n\
+         resumed/rejoined/stale-refuted split — exactly as the live\n\
+         restart log recorded it.\n"
+    );
+    let mut table = Table::new(&["topology", "restarts", "replay-matched", "verdict"]);
+    for (name, graph) in [
+        ("ring-8", topology::ring(8)),
+        ("clique-6", topology::clique(6)),
+    ] {
+        let mut ok = true;
+        let mut matched = 0u32;
+        let mut restarts = 0u32;
+        for &seed in &seeds {
+            let report = scenario(graph.clone(), seed)
+                .journal(true)
+                .run_recoverable();
+            let replays = report.replay();
+            let mut nth_restart: std::collections::HashMap<usize, u64> =
+                std::collections::HashMap::new();
+            for r in report.readmissions() {
+                restarts += 1;
+                let idx = r.process.index();
+                // The k-th restart of a process is its incarnation k.
+                let k = nth_restart.entry(idx).and_modify(|n| *n += 1).or_insert(1);
+                let Some(RestartPath::Journal {
+                    resumed,
+                    rejoined,
+                    stale,
+                }) = r.path
+                else {
+                    ok = false;
+                    continue;
+                };
+                let replayed = replays[idx]
+                    .incarnations
+                    .iter()
+                    .find(|i| i.incarnation == *k);
+                match replayed {
+                    Some(i)
+                        if i.boot == ekbd_journal::BootPath::Journal
+                            && i.resync_counts() == (resumed, rejoined, stale) =>
+                    {
+                        matched += 1;
+                    }
+                    _ => ok = false,
+                }
+            }
+        }
+        ok &= restarts > 0 && matched == restarts;
+        all_ok &= ok;
+        table.row([
+            name.to_string(),
+            restarts.to_string(),
+            matched.to_string(),
+            verdict(ok),
+        ]);
+    }
+    table.print();
+
+    // With E16_DUMP_DIR set, leave one representative journal directory
+    // behind for `ekbd replay --dir` (CI smokes the CLI against it).
+    if let Ok(dir) = std::env::var("E16_DUMP_DIR") {
+        if !dir.is_empty() {
+            let report = scenario(topology::ring(8), seeds[0])
+                .journal(true)
+                .run_recoverable();
+            let dir = std::path::PathBuf::from(dir);
+            report.dump_journals(&dir).expect("dump journal dir");
+            println!("\njournals dumped to {}", dir.display());
+        }
+    }
 
     println!(
         "\nThe journal turns a restart from a renegotiation into a\n\

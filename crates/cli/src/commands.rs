@@ -32,7 +32,7 @@ USAGE:
                  [--partition procs:start-heal]... [--link on|base:cap]
                  [--journal on|off] [--storage-fault proc:torn|rot|stale|dropped]...
                  [--audit-period N] [--audit-strikes N]
-                 [--engine indexed|legacy]
+                 [--engine indexed|legacy] [--dump-journal DIR]
   ekbd stabilize --protocol coloring|coloring-adv|mis|token-ring:k|bfs-tree|leader
                  --topology SPEC [--algorithm ...] [--oracle ...] [--seed N]
                  [--crash proc:time]... [--faults N] [--horizon N]
@@ -41,6 +41,8 @@ USAGE:
                  [common `run` flags: --seed (base), --sessions, --think, --eat,
                   --oracle, --crash, --recover, --corrupt-state, --loss, --dup,
                   --reorder, --partition, --link, --horizon, --engine]
+  ekbd replay    --dir DIR    (post-mortem narrative from a journal directory
+                  written by `run --dump-journal DIR` or the threaded runtime)
 
 TOPOLOGY SPECS:
   ring:n path:n star:n clique:n grid:RxC torus:RxC tree:n wheel:n
@@ -256,8 +258,14 @@ fn print_report(report: &RunReport) {
         );
         for r in report.readmissions() {
             let path = match r.path {
-                Some(RestartPath::Journal { resumed, rejoined }) => {
-                    format!(" [journal: {resumed} resumed, {rejoined} rejoined]")
+                Some(RestartPath::Journal {
+                    resumed,
+                    rejoined,
+                    stale,
+                }) => {
+                    format!(
+                        " [journal: {resumed} resumed, {rejoined} rejoined, {stale} stale-refuted]"
+                    )
                 }
                 Some(RestartPath::Blank { reason }) => format!(" [blank: {reason:?}]"),
                 None => String::new(),
@@ -300,6 +308,20 @@ pub fn cmd_run(parsed: &Parsed) -> Result<(), ArgError> {
     let report = run_with_algorithm(&s, &alg)?;
     println!("== ekbd run: {alg:?} ==\n");
     print_report(&report);
+    if let Some(dir) = parsed.get("dump-journal") {
+        let dir = std::path::PathBuf::from(dir);
+        report.dump_journals(&dir).map_err(|e| ArgError::BadValue {
+            flag: "--dump-journal".into(),
+            value: format!("{}: {e}", dir.display()),
+            expected: "a writable directory",
+        })?;
+        let dumped = report.journals.iter().filter(|j| !j.is_empty()).count();
+        println!(
+            "\njournals dumped ............. {} file(s) in {}",
+            dumped,
+            dir.display()
+        );
+    }
     if let Some(until) = parsed.get("timeline") {
         let until: u64 = until.parse().map_err(|_| ArgError::BadValue {
             flag: "--timeline".into(),
@@ -541,6 +563,31 @@ pub fn cmd_campaign(parsed: &Parsed) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `ekbd replay --dir DIR` — reconstruct the restart narrative from a
+/// journal directory (written by `run --dump-journal` or by the threaded
+/// runtime's `journal_dir`). Read-only and deterministic: the same
+/// directory always renders byte-identically.
+pub fn cmd_replay(parsed: &Parsed) -> Result<(), ArgError> {
+    let dir = parsed.get("dir").ok_or(ArgError::MissingValue(
+        "--dir (a journal directory)".to_string(),
+    ))?;
+    let dir = std::path::PathBuf::from(dir);
+    let replays = ekbd_journal::replay::load_dir(&dir).map_err(|e| ArgError::BadValue {
+        flag: "--dir".into(),
+        value: format!("{}: {e}", dir.display()),
+        expected: "a readable journal directory",
+    })?;
+    if replays.is_empty() {
+        return Err(ArgError::BadValue {
+            flag: "--dir".into(),
+            value: dir.display().to_string(),
+            expected: "a directory containing *.ekj journal files",
+        });
+    }
+    print!("{}", ekbd_journal::replay::render(&replays));
+    Ok(())
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(parsed: &Parsed) -> Result<(), ArgError> {
     match parsed.command.as_str() {
@@ -548,6 +595,7 @@ pub fn dispatch(parsed: &Parsed) -> Result<(), ArgError> {
         "stabilize" => cmd_stabilize(parsed),
         "threaded" => cmd_threaded(parsed),
         "campaign" => cmd_campaign(parsed),
+        "replay" => cmd_replay(parsed),
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
 }
@@ -681,6 +729,24 @@ mod tests {
     fn journal_flags_require_algorithm1() {
         let p = parsed("run --topology ring:4 --algorithm naive --journal on --horizon 5000");
         assert!(cmd_run(&p).is_err());
+    }
+
+    #[test]
+    fn dump_journal_then_replay_round_trips() {
+        let dir = std::env::temp_dir().join(format!("ekbd-cli-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = parsed(&format!(
+            "run --topology ring:5 --sessions 4 --horizon 60000 --oracle perfect \
+             --crash 2:300 --recover 2:2000 --journal on --dump-journal {}",
+            dir.display()
+        ));
+        cmd_run(&p).unwrap();
+        let r = parsed(&format!("replay --dir {}", dir.display()));
+        cmd_replay(&r).unwrap();
+        // Replay of an empty/missing directory is an error, not silence.
+        assert!(cmd_replay(&parsed("replay --dir /nonexistent-ekbd")).is_err());
+        assert!(cmd_replay(&parsed("replay")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -59,7 +59,7 @@ use crate::traits::{DinerState, DiningAlgorithm, DiningInput};
 use ekbd_detector::SuspicionView;
 use ekbd_graph::coloring::Color;
 use ekbd_graph::{ConflictGraph, ProcessId};
-use ekbd_journal::{EdgeRecord, JournalHandle, JournalRecord};
+use ekbd_journal::{BootPath, EdgeRecord, JournalHandle, JournalRecord, ResyncPath};
 use std::collections::BTreeMap;
 
 /// Wire messages of the crash-recovery layer: Algorithm 1's messages
@@ -74,6 +74,12 @@ pub enum RecoveryMsg {
         inc: u64,
         /// The incarnation of the receiver this message is addressed to.
         dst_inc: u64,
+        /// Sequence number of the journal commit this send belongs to
+        /// (sends are released only after the commit, so receiving `seq`
+        /// proves the sender's record `seq` reached stable storage). The
+        /// receiver's per-edge maximum is the yardstick that refutes
+        /// stale snapshots at resume time.
+        seq: u64,
         /// The wrapped Algorithm 1 message.
         msg: DiningMsg,
     },
@@ -93,6 +99,11 @@ pub enum RecoveryMsg {
         fork: bool,
         /// Whether the rejoiner now holds the edge's token.
         token: bool,
+        /// True when this ack refutes a [`RecoveryMsg::JournalResume`]
+        /// whose sequence number proved the snapshot stale — the rejoiner
+        /// tags the edge [`ResyncPath::StaleRefuted`] instead of plain
+        /// rejoined.
+        stale: bool,
     },
     /// Periodic per-edge state snapshot for the audit-and-repair pass.
     Audit {
@@ -100,6 +111,10 @@ pub enum RecoveryMsg {
         inc: u64,
         /// The receiver incarnation this snapshot is addressed to.
         dst_inc: u64,
+        /// Sequence number of the accompanying journal commit (see
+        /// [`RecoveryMsg::Dining::seq`]); audits keep the peer's
+        /// last-seen watermark fresh even on quiet edges.
+        seq: u64,
         /// Whether the sender holds the edge's fork.
         fork: bool,
         /// Whether the sender holds the edge's token.
@@ -116,6 +131,11 @@ pub enum RecoveryMsg {
         journal_inc: u64,
         /// The journaled view of the receiver's incarnation.
         peer_inc: u64,
+        /// Sequence number of the replayed record. If the responder has
+        /// seen a higher-numbered commit from this sender, the snapshot
+        /// is provably stale and the resume is refuted immediately —
+        /// without waiting for the per-edge fork/token check.
+        seq: u64,
     },
     /// Confirmation of a [`RecoveryMsg::JournalResume`]: the responder's
     /// own holdings, so the resumer can verify the Lemma 1 edge invariant
@@ -129,6 +149,11 @@ pub enum RecoveryMsg {
         fork: bool,
         /// Whether the responder holds the edge's token.
         token: bool,
+        /// The highest commit sequence number the responder has observed
+        /// from the resumer. If it exceeds the replayed record's, the
+        /// resumer's own journal is stale (a commit it lost was visible
+        /// to this peer) and the resumer degrades the edge itself.
+        last_seen: u64,
     },
 }
 
@@ -157,6 +182,15 @@ struct EdgeState {
     /// `Rejoin`) until the peer answers — which keeps the fast path alive
     /// across partitions and message loss.
     resume_inc: Option<u64>,
+    /// Highest commit sequence number observed from the peer (messages
+    /// are stamped with the seq of the commit that released them; the
+    /// counter is monotone across the peer's incarnations). This is the
+    /// watermark a [`RecoveryMsg::JournalResume`] is checked against.
+    peer_seq: u64,
+    /// How this edge regained sync after the last restart of *this*
+    /// process ([`ResyncPath::None`] at genesis and mid-handshake) —
+    /// journaled for the post-mortem replay.
+    resync: ResyncPath,
     dup_fork: u8,
     missing_fork: u8,
     dup_token: u8,
@@ -245,6 +279,9 @@ pub enum RestartPath {
         resumed: u32,
         /// Edges that degraded to the rejoin handshake.
         rejoined: u32,
+        /// Edges whose resume was refuted by sequence comparison (the
+        /// snapshot was provably stale) before rejoining.
+        stale: u32,
     },
     /// Blank reboot: every edge took the rejoin handshake.
     Blank {
@@ -276,6 +313,22 @@ pub struct RecoverableDining {
     /// rebooting process re-reads from its (conceptual) program image.
     peers: Vec<(ProcessId, Color)>,
     inc: u64,
+    /// Monotone commit sequence number: incremented on every journal
+    /// commit point — counted even when no journal is attached, so the
+    /// seq stamps on outgoing messages are identical with and without
+    /// journaling (trace invisibility).
+    commit_seq: u64,
+    /// Last wall/virtual time reported by the host via
+    /// [`DiningAlgorithm::note_now`]; stamped into journal records as the
+    /// commit-time tick.
+    now: u64,
+    /// How the current incarnation booted (journal replay vs a blank
+    /// reason); journaled for the post-mortem replay.
+    boot: BootPath,
+    /// Sequence number of the record the last journal replay restored
+    /// (0 when the last restart went blank) — echoed in
+    /// [`RecoveryMsg::JournalResume`] for the staleness comparison.
+    resume_seq: u64,
     edges: BTreeMap<ProcessId, EdgeState>,
     stats: RecoveryStats,
     /// Strike threshold for audit repairs (default [`DEFAULT_STRIKES`]).
@@ -316,6 +369,10 @@ impl RecoverableDining {
             color,
             peers,
             inc: 0,
+            commit_seq: 0,
+            now: 0,
+            boot: BootPath::Genesis,
+            resume_seq: 0,
             edges,
             stats: RecoveryStats::default(),
             strikes: DEFAULT_STRIKES,
@@ -328,6 +385,10 @@ impl RecoverableDining {
     /// and restarts attempt the journal fast path before rejoining.
     pub fn with_journal(mut self, journal: JournalHandle) -> Self {
         self.journal = Some(journal);
+        // A reopened store already holds committed records; the sequence
+        // counter must never regress below them, or peers' last-seen
+        // watermarks would refute every future resume.
+        self.recover_seq_floor();
         self.journal_commit();
         self
     }
@@ -353,6 +414,12 @@ impl RecoverableDining {
     /// This process's current incarnation (0 = never crashed).
     pub fn incarnation(&self) -> u64 {
         self.inc
+    }
+
+    /// The monotone commit sequence number (the seq the next journal
+    /// record will carry is `commit_seq() + 1`).
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
     }
 
     /// Recovery counters for the metrics layer.
@@ -425,6 +492,10 @@ impl RecoverableDining {
                     RecoveryMsg::Dining {
                         inc: self.inc,
                         dst_inc: e.peer_inc,
+                        // The seq of the commit this send belongs to: every
+                        // entry point commits exactly once, after its sends
+                        // are produced and before they are released.
+                        seq: self.commit_seq + 1,
                         msg,
                     },
                 ));
@@ -443,10 +514,15 @@ impl RecoverableDining {
         self.forward(raw, sends);
     }
 
+    /// Handles a rejoin announcement. `stale` is set when this call
+    /// refutes a [`RecoveryMsg::JournalResume`] whose sequence number
+    /// proved the snapshot stale — the flag rides on the ack so the
+    /// rejoiner records the right [`ResyncPath`].
     fn on_rejoin(
         &mut self,
         from: ProcessId,
         rinc: u64,
+        stale: bool,
         suspicion: &dyn SuspicionView,
         sends: &mut Vec<(ProcessId, RecoveryMsg)>,
     ) {
@@ -480,6 +556,7 @@ impl RecoverableDining {
                     rejoiner_inc: rinc,
                     fork: !my_fork,
                     token: !my_token,
+                    stale,
                 },
             ));
             self.poke(suspicion, sends);
@@ -493,6 +570,7 @@ impl RecoverableDining {
                     rejoiner_inc: rinc,
                     fork: !self.inner.holds_fork(from),
                     token: !self.inner.holds_token(from),
+                    stale,
                 },
             ));
         }
@@ -506,9 +584,11 @@ impl RecoverableDining {
         rinc: u64,
         fork: bool,
         token: bool,
+        stale: bool,
         suspicion: &dyn SuspicionView,
         sends: &mut Vec<(ProcessId, RecoveryMsg)>,
     ) {
+        let outcome;
         {
             let e = self.edges.get_mut(&from).expect("neighbor");
             e.peer_inc = e.peer_inc.max(pinc);
@@ -516,6 +596,17 @@ impl RecoverableDining {
                 self.stats.stale_dropped += 1;
                 return;
             }
+            // The edge completed via the rejoin handshake; it counts as
+            // stale-refuted when either side's sequence comparison caught
+            // a stale snapshot first (the responder's verdict rides on
+            // the ack, the resumer's own was parked in `resync`).
+            outcome = if stale || e.resync == ResyncPath::StaleRefuted {
+                ResyncPath::StaleRefuted
+            } else {
+                ResyncPath::Rejoined
+            };
+            e.resync = outcome;
+            e.resume_inc = None;
             e.synced = true;
             e.clear_strikes();
         }
@@ -523,7 +614,7 @@ impl RecoverableDining {
         self.inner.set_fork(from, fork);
         self.inner.set_token(from, token);
         self.stats.resyncs += 1;
-        self.note_restart_edge(false);
+        self.note_restart_edge(outcome);
         self.poke(suspicion, sends);
     }
 
@@ -531,8 +622,14 @@ impl RecoverableDining {
     /// without a journal). Called after every entry point, so the journal
     /// always holds the last committed transition.
     fn journal_commit(&mut self) {
+        // The sequence number advances even without a journal: outgoing
+        // messages are stamped with the would-be record's seq, and the
+        // stamps must not depend on whether journaling is enabled.
+        self.commit_seq += 1;
         let Some(journal) = &self.journal else { return };
         let record = JournalRecord {
+            seq: self.commit_seq,
+            tick: self.now,
             incarnation: self.inc,
             phase: match self.inner.state() {
                 DinerState::Thinking => 0,
@@ -540,6 +637,7 @@ impl RecoverableDining {
                 DinerState::Eating => 2,
             },
             doorway: self.inner.inside_doorway(),
+            boot: self.boot,
             edges: self
                 .peers
                 .iter()
@@ -550,11 +648,33 @@ impl RecoverableDining {
                         peer_inc: e.peer_inc,
                         flags: self.inner.edge_flags(q),
                         synced: e.synced,
+                        resume_pending: e.resume_inc.is_some(),
+                        resync: e.resync,
                     }
                 })
                 .collect(),
         };
         journal.commit(&record.encode());
+    }
+
+    /// Raises `commit_seq` to the highest sequence number recoverable
+    /// from stable storage: the store's own commit counter and every
+    /// decodable retained record. Called on attach and on restart — even
+    /// when the restart then goes blank — so the counter never regresses
+    /// and peers' last-seen watermarks stay sound across any fault.
+    fn recover_seq_floor(&mut self) {
+        let Some(journal) = self.journal.clone() else {
+            return;
+        };
+        self.commit_seq = self.commit_seq.max(journal.commit_seq());
+        for k in 0.. {
+            let Some(bytes) = journal.history(k) else {
+                break;
+            };
+            if let Ok(r) = JournalRecord::decode(&bytes) {
+                self.commit_seq = self.commit_seq.max(r.seq);
+            }
+        }
     }
 
     /// Attempts journal replay at the start of incarnation `incarnation`.
@@ -565,11 +685,15 @@ impl RecoverableDining {
     /// keep the full handshake. Any validation failure leaves the blank
     /// factory-reset state untouched.
     fn replay_journal(&mut self, incarnation: u64) -> RestartPath {
-        let Some(journal) = &self.journal else {
+        if self.journal.is_none() {
             return RestartPath::Blank {
                 reason: BlankReason::Disabled,
             };
-        };
+        }
+        // Sequence recovery runs before (and independently of) record
+        // validation: a blank fallback must still never reuse a seq.
+        self.recover_seq_floor();
+        let journal = self.journal.clone().expect("journal checked above");
         let Some(bytes) = journal.load() else {
             return RestartPath::Blank {
                 reason: BlankReason::Missing,
@@ -587,6 +711,7 @@ impl RecoverableDining {
                 reason: BlankReason::Corrupt,
             };
         }
+        self.resume_seq = record.seq;
         for er in &record.edges {
             let q = ProcessId::from(er.peer as usize);
             let Some(e) = self.edges.get_mut(&q) else {
@@ -601,35 +726,44 @@ impl RecoverableDining {
         RestartPath::Journal {
             resumed: 0,
             rejoined: 0,
+            stale: 0,
         }
     }
 
     /// Updates the latest restart-log entry when an edge finishes its
-    /// post-restart resync: `fast` via ResumeAck, otherwise via RejoinAck.
-    fn note_restart_edge(&mut self, fast: bool) {
+    /// post-restart resync, bucketing it by the [`ResyncPath`] it took.
+    fn note_restart_edge(&mut self, outcome: ResyncPath) {
         if let Some(RestartEvent {
-            path: RestartPath::Journal { resumed, rejoined },
+            path:
+                RestartPath::Journal {
+                    resumed,
+                    rejoined,
+                    stale,
+                },
             ..
         }) = self.restarts.last_mut()
         {
-            if fast {
-                *resumed += 1;
-            } else {
-                *rejoined += 1;
+            match outcome {
+                ResyncPath::Resumed => *resumed += 1,
+                ResyncPath::StaleRefuted => *stale += 1,
+                _ => *rejoined += 1,
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // message fields unpacked by the dispatcher
     fn on_journal_resume(
         &mut self,
         from: ProcessId,
         rinc: u64,
         jinc: u64,
         peer_view: u64,
+        seq: u64,
         suspicion: &dyn SuspicionView,
         sends: &mut Vec<(ProcessId, RecoveryMsg)>,
     ) {
         let known = self.edges[&from].peer_inc;
+        let last_seen = self.edges[&from].peer_seq;
         if rinc < known {
             self.stats.stale_dropped += 1;
             return;
@@ -646,11 +780,19 @@ impl RecoverableDining {
                     resumer_inc: rinc,
                     fork: self.inner.holds_fork(from),
                     token: self.inner.holds_token(from),
+                    last_seen,
                 },
             ));
             return;
         }
-        let confirm = jinc == known && peer_view == self.inc && self.edges[&from].synced;
+        // Sequence refutation: a message stamped `s` is released only
+        // after record `s` reached the sender's stable storage, so having
+        // seen `s > seq` proves the replayed record is not the sender's
+        // last commit. Refute immediately — no need to wait for the
+        // fork/token consistency check (which a stale-but-complementary
+        // snapshot could even pass).
+        let stale = seq < last_seen;
+        let confirm = !stale && jinc == known && peer_view == self.inc && self.edges[&from].synced;
         if confirm {
             // The journaled pairing matches this side exactly: register
             // the new incarnation and report holdings. Fork, token and
@@ -671,16 +813,17 @@ impl RecoverableDining {
                     resumer_inc: rinc,
                     fork: self.inner.holds_fork(from),
                     token: self.inner.holds_token(from),
+                    last_seen,
                 },
             ));
             self.poke(suspicion, sends);
         } else {
-            // Refuted: the journal describes a pairing this side no longer
-            // recognizes (it restarted too, or never saw that life).
-            // Degrade to the rejoin handshake — the authoritative
-            // RejoinAck doubles as the negative answer, saving a round
-            // trip.
-            self.on_rejoin(from, rinc, suspicion, sends);
+            // Refuted: the snapshot is provably stale (`stale`), or the
+            // journal describes a pairing this side no longer recognizes
+            // (it restarted too, or never saw that life). Degrade to the
+            // rejoin handshake — the authoritative RejoinAck doubles as
+            // the negative answer, saving a round trip.
+            self.on_rejoin(from, rinc, stale, suspicion, sends);
         }
     }
 
@@ -692,9 +835,16 @@ impl RecoverableDining {
         rinc: u64,
         fork: bool,
         token: bool,
+        last_seen: u64,
         suspicion: &dyn SuspicionView,
         sends: &mut Vec<(ProcessId, RecoveryMsg)>,
     ) {
+        // Resumer-side sequence refutation: the responder has observed a
+        // commit newer than the record this restart replayed, so the
+        // journal lost (at least) that commit's transition. The replayed
+        // holdings cannot be trusted even if they happen to look
+        // complementary.
+        let stale = last_seen > self.resume_seq;
         let consistent;
         {
             let e = self.edges.get_mut(&from).expect("neighbor");
@@ -706,12 +856,18 @@ impl RecoverableDining {
             // The Lemma 1 edge-consistency check: trust the replayed state
             // only if it is exactly complementary to the responder's —
             // one fork and one token on the edge, no more, no less.
-            consistent =
-                (self.inner.holds_fork(from) != fork) && (self.inner.holds_token(from) != token);
+            consistent = !stale
+                && (self.inner.holds_fork(from) != fork)
+                && (self.inner.holds_token(from) != token);
             e.resume_inc = None;
             if consistent {
                 e.synced = true;
                 e.clear_strikes();
+                e.resync = ResyncPath::Resumed;
+            } else if stale {
+                // Park the verdict: the RejoinAck that completes this
+                // edge will bucket it as stale-refuted.
+                e.resync = ResyncPath::StaleRefuted;
             }
         }
         if consistent {
@@ -722,7 +878,7 @@ impl RecoverableDining {
             // never requested.
             self.inner.reset_edge_handshake(from);
             self.stats.fast_resumes += 1;
-            self.note_restart_edge(true);
+            self.note_restart_edge(ResyncPath::Resumed);
             self.poke(suspicion, sends);
         } else {
             // The edge moved while we were down (an in-flight fork died
@@ -738,11 +894,19 @@ impl RecoverableDining {
         from: ProcessId,
         pinc: u64,
         dst: u64,
+        seq: u64,
         fork: bool,
         token: bool,
         suspicion: &dyn SuspicionView,
         sends: &mut Vec<(ProcessId, RecoveryMsg)>,
     ) {
+        {
+            // The watermark update precedes the incarnation gate: a seq
+            // stamp proves a durable commit regardless of which life sent
+            // it (the counter is monotone across the peer's restarts).
+            let e = self.edges.get_mut(&from).expect("neighbor");
+            e.peer_seq = e.peer_seq.max(seq);
+        }
         if self.edges[&from].peer_inc != pinc || dst != self.inc || !self.edges[&from].synced {
             self.stats.stale_dropped += 1;
             return;
@@ -833,8 +997,16 @@ impl RecoverableDining {
     ) {
         match input {
             DiningInput::Message { from, msg } => match msg {
-                RecoveryMsg::Dining { inc, dst_inc, msg } => {
+                RecoveryMsg::Dining {
+                    inc,
+                    dst_inc,
+                    seq,
+                    msg,
+                } => {
                     let e = self.edges.get_mut(&from).expect("neighbor");
+                    // Watermark before gate: even a gated message proves
+                    // the peer durably committed record `seq`.
+                    e.peer_seq = e.peer_seq.max(seq);
                     if inc != e.peer_inc || dst_inc != self.inc || !e.synced {
                         self.stats.stale_dropped += 1;
                         return;
@@ -847,30 +1019,54 @@ impl RecoverableDining {
                         .handle(DiningInput::Message { from, msg }, suspicion, &mut raw);
                     self.forward(raw, sends);
                 }
-                RecoveryMsg::Rejoin { inc } => self.on_rejoin(from, inc, suspicion, sends),
+                RecoveryMsg::Rejoin { inc } => self.on_rejoin(from, inc, false, suspicion, sends),
                 RecoveryMsg::RejoinAck {
                     inc,
                     rejoiner_inc,
                     fork,
                     token,
-                } => self.on_rejoin_ack(from, inc, rejoiner_inc, fork, token, suspicion, sends),
+                    stale,
+                } => self.on_rejoin_ack(
+                    from,
+                    inc,
+                    rejoiner_inc,
+                    fork,
+                    token,
+                    stale,
+                    suspicion,
+                    sends,
+                ),
                 RecoveryMsg::Audit {
                     inc,
                     dst_inc,
+                    seq,
                     fork,
                     token,
-                } => self.on_audit_msg(from, inc, dst_inc, fork, token, suspicion, sends),
+                } => self.on_audit_msg(from, inc, dst_inc, seq, fork, token, suspicion, sends),
                 RecoveryMsg::JournalResume {
                     inc,
                     journal_inc,
                     peer_inc,
-                } => self.on_journal_resume(from, inc, journal_inc, peer_inc, suspicion, sends),
+                    seq,
+                } => {
+                    self.on_journal_resume(from, inc, journal_inc, peer_inc, seq, suspicion, sends)
+                }
                 RecoveryMsg::ResumeAck {
                     inc,
                     resumer_inc,
                     fork,
                     token,
-                } => self.on_resume_ack(from, inc, resumer_inc, fork, token, suspicion, sends),
+                    last_seen,
+                } => self.on_resume_ack(
+                    from,
+                    inc,
+                    resumer_inc,
+                    fork,
+                    token,
+                    last_seen,
+                    suspicion,
+                    sends,
+                ),
             },
             DiningInput::Hungry => {
                 let mut raw = Vec::new();
@@ -916,12 +1112,18 @@ impl DiningAlgorithm for RecoverableDining {
     }
 
     /// Inner Algorithm 1 state plus the recovery layer: the 64-bit
-    /// incarnation and, per edge, the peer incarnation, the synced bit,
-    /// the optional pending-resume incarnation (1 + 64 bits) and five
-    /// 8-bit strike counters. Restart-log entries are diagnostics, not
+    /// incarnation, commit-sequence counter and pending-resume seq, and,
+    /// per edge, the peer incarnation, the synced bit, the optional
+    /// pending-resume incarnation (1 + 64 bits), the peer's last-seen
+    /// commit seq, the 2-bit resync tag and five 8-bit strike counters.
+    /// Restart-log entries and the commit-time tick are diagnostics, not
     /// protocol state, and are excluded.
     fn state_bits(&self) -> usize {
-        self.inner.state_bits() + 64 + self.peers.len() * (64 + 1 + 65 + 5 * 8)
+        self.inner.state_bits() + 3 * 64 + self.peers.len() * (64 + 1 + 65 + 64 + 2 + 5 * 8)
+    }
+
+    fn note_now(&mut self, now: u64) {
+        self.now = now;
     }
 
     fn supports_recovery(&self) -> bool {
@@ -945,18 +1147,34 @@ impl DiningAlgorithm for RecoverableDining {
     ) {
         self.inc = incarnation;
         // Factory reset: volatile state is rebuilt from the program image;
-        // only the incarnation counter survived in stable storage.
+        // only the incarnation counter survived in stable storage. The
+        // commit-sequence counter deliberately survives too (and is
+        // re-floored from storage during replay): seq stamps must stay
+        // monotone across every restart, blank or not.
         let mut inner = DiningProcess::new(self.id, self.color, self.peers.iter().copied());
         inner.harden();
         self.inner = inner;
         for e in self.edges.values_mut() {
             *e = EdgeState::fresh(false);
         }
+        self.resume_seq = 0;
         // Journal replay happens before adversarial corruption: the
         // corruption models damage to the rebuilt *volatile* state, and
         // the ResumeAck consistency check (plus the audit) is what keeps
         // a scrambled replay from going unnoticed.
         let path = self.replay_journal(incarnation);
+        self.boot = match path {
+            RestartPath::Journal { .. } => BootPath::Journal,
+            RestartPath::Blank {
+                reason: BlankReason::Disabled,
+            } => BootPath::BlankDisabled,
+            RestartPath::Blank {
+                reason: BlankReason::Missing,
+            } => BootPath::BlankMissing,
+            RestartPath::Blank {
+                reason: BlankReason::Corrupt,
+            } => BootPath::BlankCorrupt,
+        };
         if let Some(entropy) = corruption {
             self.scramble(entropy);
         }
@@ -966,6 +1184,7 @@ impl DiningAlgorithm for RecoverableDining {
                     inc: incarnation,
                     journal_inc,
                     peer_inc: self.edges[&q].peer_inc,
+                    seq: self.resume_seq,
                 },
                 None => RecoveryMsg::Rejoin { inc: incarnation },
             };
@@ -1005,6 +1224,7 @@ impl DiningAlgorithm for RecoverableDining {
                         inc: self.inc,
                         journal_inc,
                         peer_inc: self.edges[&q].peer_inc,
+                        seq: self.resume_seq,
                     },
                     None => RecoveryMsg::Rejoin { inc: self.inc },
                 };
@@ -1043,6 +1263,7 @@ impl DiningAlgorithm for RecoverableDining {
                 RecoveryMsg::Audit {
                     inc: self.inc,
                     dst_inc,
+                    seq: self.commit_seq + 1,
                     fork: self.inner.holds_fork(q),
                     token: self.inner.holds_token(q),
                 },
@@ -1179,7 +1400,8 @@ mod tests {
                     inc: 0,
                     rejoiner_inc: 1,
                     fork: false,
-                    token: true
+                    token: true,
+                    stale: false
                 }
             )],
             "responder keeps the fork (higher color), hands back the token"
@@ -1213,6 +1435,7 @@ mod tests {
             RecoveryMsg::Dining {
                 inc: 0,
                 dst_inc: 0,
+                seq: 1,
                 msg: DiningMsg::Ack,
             },
         )];
@@ -1258,7 +1481,8 @@ mod tests {
                 inc: 0,
                 rejoiner_inc: 1,
                 fork: false,
-                token: true
+                token: true,
+                stale: false
             }
         )));
         deliver(&mut hi, p(1), &acks, &none());
@@ -1462,7 +1686,8 @@ mod tests {
                 incarnation: 1,
                 path: RestartPath::Journal {
                     resumed: 1,
-                    rejoined: 0
+                    rejoined: 0,
+                    stale: 0
                 }
             }]
         );
@@ -1559,7 +1784,8 @@ mod tests {
             lo.restart_log()[0].path,
             RestartPath::Journal {
                 resumed: 0,
-                rejoined: 1
+                rejoined: 1,
+                stale: 0
             }
         );
         // Finish hi's own rejoin so both sides are synced, then check the
@@ -1578,9 +1804,16 @@ mod tests {
             3,
         )));
         run_session(&mut hi, &mut lo);
-        // The stale record predates the fork's arrival, so the replayed
-        // holdings (no fork, no token) cannot be complementary to hi's
-        // (no fork, token): the resumer must detect it and re-rejoin.
+        // Pad with sendless commits until the epoch-deep rollback lands
+        // exactly on the request-step commit: the newest seq hi ever saw
+        // stamped (so the sequence comparison cannot refute it), yet it
+        // predates the fork's arrival. The replayed holdings (no fork, no
+        // token — both were in flight) cannot be complementary to hi's
+        // (no fork, token): only the consistency check catches it, and
+        // the resumer must re-rejoin.
+        while lo.commit_seq() < ekbd_journal::STALE_EPOCH as u64 + 3 {
+            lo.handle(DiningInput::SuspicionChange, &none(), &mut Vec::new());
+        }
         let mut resume = Vec::new();
         lo.restart(1, None, &none(), &mut resume);
         assert!(matches!(
@@ -1601,10 +1834,101 @@ mod tests {
             lo.restart_log()[0].path,
             RestartPath::Journal {
                 resumed: 0,
-                rejoined: 1
+                rejoined: 1,
+                stale: 0
             }
         );
         assert_edge_canonical(&hi, &lo);
+    }
+
+    #[test]
+    fn stale_resume_is_refuted_by_sequence_comparison() {
+        use ekbd_journal::{FaultyJournal, JournalHandle, StorageFault};
+        let (mut hi, mut lo) = pair();
+        lo = lo.with_journal(JournalHandle::new(FaultyJournal::new(
+            StorageFault::StaleSnapshot,
+            3,
+        )));
+        run_session(&mut hi, &mut lo);
+        // Pad until the journal is deep enough for the epoch-deep rollback
+        // to serve a record at all, then let an audit round stamp hi with
+        // the seq of lo's *latest* commit — so when the stale snapshot
+        // ([`STALE_EPOCH`] commits behind) tries to resume, hi's watermark
+        // refutes it outright, before any fork/token comparison.
+        while lo.commit_seq() < ekbd_journal::STALE_EPOCH as u64 {
+            lo.handle(DiningInput::SuspicionChange, &none(), &mut Vec::new());
+        }
+        let mut out = Vec::new();
+        lo.audit(&none(), &mut out);
+        deliver(&mut hi, p(1), &out, &none());
+        let mut resume = Vec::new();
+        lo.restart(1, None, &none(), &mut resume);
+        assert!(matches!(
+            resume[..],
+            [(_, RecoveryMsg::JournalResume { .. })]
+        ));
+        let answer = deliver(&mut hi, p(1), &resume, &none());
+        assert!(
+            answer
+                .iter()
+                .any(|&(_, m)| matches!(m, RecoveryMsg::RejoinAck { stale: true, .. })),
+            "the responder's seq watermark refutes the stale snapshot: {answer:?}"
+        );
+        deliver(&mut lo, p(0), &answer, &none());
+        assert!(lo.edge_synced(p(0)));
+        assert_eq!(lo.stats().fast_resumes, 0);
+        assert_eq!(
+            lo.restart_log()[0].path,
+            RestartPath::Journal {
+                resumed: 0,
+                rejoined: 0,
+                stale: 1
+            },
+            "the detection is recorded in the restart path"
+        );
+        assert_edge_canonical(&hi, &lo);
+    }
+
+    #[test]
+    fn commit_seq_is_monotone_across_process_images_and_blank_fallbacks() {
+        use ekbd_journal::{FaultyJournal, JournalHandle, StorageFault};
+        // A fresh process image re-attaching the same store (the threaded
+        // restart shape: all volatile state lost) recovers the sequence
+        // floor from stable storage before its first commit.
+        let handle = JournalHandle::in_memory();
+        let (mut hi, mut lo) = pair();
+        lo = lo.with_journal(handle.clone());
+        run_session(&mut hi, &mut lo);
+        let before = lo.commit_seq();
+        assert!(before >= 4, "attach + one dining session commit");
+        let lo2 = RecoverableDining::new(p(1), 0, [(p(0), 1)]).with_journal(handle);
+        assert_eq!(
+            lo2.commit_seq(),
+            before + 1,
+            "floor recovered from storage, attach commit on top"
+        );
+
+        // Even when every retained record is undecodable and the restart
+        // degrades to the blank path, the floor scan keeps the counter
+        // monotone — a reused seq would poison peers' watermarks.
+        let handle = JournalHandle::new(FaultyJournal::new(StorageFault::BitRot, 0x5EED));
+        let (mut hi, mut lo) = pair();
+        lo = lo.with_journal(handle.clone());
+        run_session(&mut hi, &mut lo);
+        let before = lo.commit_seq();
+        let mut lo2 = RecoverableDining::new(p(1), 0, [(p(0), 1)]).with_journal(handle);
+        let mut m = Vec::new();
+        lo2.restart(1, None, &none(), &mut m);
+        assert_eq!(
+            lo2.restart_log()[0].path,
+            RestartPath::Blank {
+                reason: BlankReason::Corrupt
+            }
+        );
+        assert!(
+            lo2.commit_seq() > before,
+            "blank fallback never reuses a sequence number"
+        );
     }
 
     #[test]

@@ -109,6 +109,14 @@ pub trait DiningAlgorithm {
     /// paper's §7 space analysis (`log₂(δ) + 6δ + c` for Algorithm 1).
     fn state_bits(&self) -> usize;
 
+    /// Informs the algorithm of the host's current time (simulation tick
+    /// or elapsed milliseconds) before an input is handled. Purely
+    /// observational — algorithms that journal use it to stamp records
+    /// with a commit-time tick; the default is a no-op.
+    fn note_now(&mut self, now: u64) {
+        let _ = now;
+    }
+
     // ----- crash-recovery extension (default: crash-stop, no-ops) -------
 
     /// Whether this algorithm implements the crash-recovery protocol

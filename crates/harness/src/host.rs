@@ -289,6 +289,9 @@ impl<A: DiningAlgorithm> DinerHost<A> {
         ctx: &mut Context<'_, Envelope<A::Msg>, HostObs>,
         f: impl FnOnce(&mut A, &AnyDetector, &mut Vec<(ProcessId, A::Msg)>),
     ) {
+        // Journaling algorithms stamp committed records with the commit
+        // time; feed them the simulation clock before the step runs.
+        self.alg.note_now(ctx.now().0);
         let state_before = self.alg.state();
         let inside_before = self.alg.inside_doorway();
         let mut sends = std::mem::take(&mut self.sends_buf);
@@ -463,6 +466,7 @@ impl<A: DiningAlgorithm> Node for DinerHost<A> {
                     link.on_restart(incarnation);
                 }
                 let mut sends = std::mem::take(&mut self.sends_buf);
+                self.alg.note_now(ctx.now().0);
                 self.alg
                     .restart(incarnation, corruption, &self.det, &mut sends);
                 self.send_dining(&mut sends, ctx);

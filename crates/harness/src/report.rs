@@ -74,6 +74,12 @@ pub struct RunReport {
     /// The kernel trace, when the scenario ran with
     /// [`record_trace`](crate::Scenario::record_trace); empty otherwise.
     pub kernel_trace: Vec<TraceEvent>,
+    /// Per-process journal contents at the end of the run (retained
+    /// records, oldest first), captured by
+    /// [`run_recoverable`](crate::Scenario::run_recoverable) when
+    /// journaling was on; empty otherwise. Feeds [`replay`](Self::replay)
+    /// and [`dump_journals`](Self::dump_journals).
+    pub journals: Vec<Vec<Vec<u8>>>,
 }
 
 /// One scheduled recovery and how it went: when the process restarted,
@@ -204,7 +210,38 @@ impl RunReport {
             messages_duplicated: sim.total_duplicated(),
             link,
             kernel_trace: sim.trace().to_vec(),
+            journals: Vec::new(),
         }
+    }
+
+    /// Post-mortem reconstruction of the restart narrative from the
+    /// captured per-process journals (see [`journals`](Self::journals)):
+    /// the same analysis `ekbd replay` performs on a journal directory,
+    /// so a live run and its dumped journals tell one story.
+    pub fn replay(&self) -> Vec<ekbd_journal::ProcessReplay> {
+        self.journals
+            .iter()
+            .enumerate()
+            .map(|(i, records)| ekbd_journal::replay::replay_process(format!("p{i}"), records))
+            .collect()
+    }
+
+    /// Writes each captured journal to `dir` as a framed segment file
+    /// `journal-p<i>.ekj` — the `FileJournal` on-disk format, so
+    /// `ekbd replay --dir` reconstructs simulated runs exactly as it does
+    /// threaded ones. The retained set is written verbatim (not
+    /// re-committed through a `FileJournal`, which would re-run compaction
+    /// on an already-compacted history and lose records); processes whose
+    /// journal retained nothing are skipped.
+    pub fn dump_journals(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (i, records) in self.journals.iter().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            ekbd_journal::write_snapshot(&dir.join(format!("journal-p{i}.ekj")), records)?;
+        }
+        Ok(())
     }
 
     /// The instant from which `p` is *permanently* down, if any: its last

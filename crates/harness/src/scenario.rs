@@ -394,15 +394,27 @@ impl Scenario {
     /// [`corrupt_state`](Self::corrupt_state) faults.
     pub fn run_recoverable(&self) -> RunReport {
         let journal_on = self.journal || !self.storage_faults.is_inert();
-        self.run_with(|s, p| {
+        // The stores are created up front and kept (cloned handles share
+        // the backing store) so the finished run can capture each
+        // process's retained records for the post-mortem replay.
+        let handles: Vec<ekbd_journal::JournalHandle> = if journal_on {
+            (0..self.graph.len())
+                .map(|i| self.storage_faults.store_for(ProcessId::from(i)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut report = self.run_with(|s, p| {
             let alg =
                 RecoverableDining::from_graph(&s.graph, &s.colors, p).with_strikes(s.audit_strikes);
             if journal_on {
-                alg.with_journal(s.storage_faults.store_for(p))
+                alg.with_journal(handles[p.index()].clone())
             } else {
                 alg
             }
-        })
+        });
+        report.journals = handles.iter().map(|h| h.dump()).collect();
+        report
     }
 }
 

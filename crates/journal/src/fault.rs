@@ -24,14 +24,24 @@ pub enum StorageFault {
     /// A single bit of the record rotted at rest. The CRC rejects it;
     /// recovery goes blank.
     BitRot,
-    /// The final commit never became durable: the load returns the
-    /// previous record (valid but one transition old).
+    /// A flush epoch never became durable: the load returns the record
+    /// from [`STALE_EPOCH`] commits back (valid, decodable — but provably
+    /// behind what peers have observed via commit-stamped messages).
     StaleSnapshot,
     /// A long run of syncs was silently dropped: the load returns the
     /// oldest retained record, or nothing at all if the history window
     /// is too short.
     DroppedSync,
 }
+
+/// How far back a [`StorageFault::StaleSnapshot`] rolls the journal:
+/// one flush epoch, i.e. half the dense retention window. Rolling back a
+/// single commit would be adversarially minimal but *information-
+/// theoretically undetectable* whenever the victim's final transitions
+/// sent nothing (the usual case right before an arbitrary crash instant);
+/// an epoch-deep rollback overlaps commits whose stamped messages peers
+/// did observe, which is exactly what the sequence comparison refutes.
+pub const STALE_EPOCH: usize = MEM_HISTORY / 2;
 
 /// Deterministic, per-process plan of storage faults.
 ///
@@ -71,7 +81,8 @@ impl StorageFaultPlan {
         self.fault(p, StorageFault::BitRot)
     }
 
-    /// Serves `p` a valid but one-commit-stale record.
+    /// Serves `p` a valid but epoch-stale record ([`STALE_EPOCH`] commits
+    /// behind the truth).
     pub fn stale_snapshot(self, p: ProcessId) -> Self {
         self.fault(p, StorageFault::StaleSnapshot)
     }
@@ -175,8 +186,31 @@ impl JournalStore for FaultyJournal {
                 bytes[byte] ^= 1 << (d % 8);
                 Some(bytes)
             }
-            StorageFault::StaleSnapshot => self.inner.nth_back(1),
+            StorageFault::StaleSnapshot => self.inner.nth_back(STALE_EPOCH),
             StorageFault::DroppedSync => self.inner.nth_back(MEM_HISTORY - 1),
+        }
+    }
+
+    fn commit_seq(&self) -> u64 {
+        self.inner.commit_seq()
+    }
+
+    fn history(&mut self, k: usize) -> Option<Vec<u8>> {
+        // History is shifted by the same lie the latest-record load
+        // tells: what reads as "k back" sits k slots behind whatever
+        // `load` serves, so recovery's history scan sees a consistent
+        // (faulted) past. Undecodable-latest modes serve the truthful
+        // at-rest records behind the damaged head.
+        match self.mode {
+            StorageFault::TornWrite | StorageFault::BitRot => {
+                if k == 0 {
+                    self.load()
+                } else {
+                    self.inner.nth_back(k)
+                }
+            }
+            StorageFault::StaleSnapshot => self.inner.nth_back(k + STALE_EPOCH),
+            StorageFault::DroppedSync => self.inner.nth_back(MEM_HISTORY - 1 + k),
         }
     }
 }
@@ -184,18 +218,23 @@ impl JournalStore for FaultyJournal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::{EdgeRecord, JournalRecord};
+    use crate::codec::{BootPath, EdgeRecord, JournalRecord, ResyncPath};
 
     fn record(inc: u64) -> Vec<u8> {
         JournalRecord {
+            seq: inc + 1,
+            tick: inc * 10,
             incarnation: inc,
             phase: 0,
             doorway: false,
+            boot: BootPath::Genesis,
             edges: vec![EdgeRecord {
                 peer: 1,
                 peer_inc: 0,
                 flags: 0x30,
                 synced: true,
+                resume_pending: false,
+                resync: ResyncPath::None,
             }],
         }
         .encode()
@@ -237,12 +276,17 @@ mod tests {
     }
 
     #[test]
-    fn stale_snapshot_serves_previous_commit() {
+    fn stale_snapshot_serves_an_epoch_old_commit() {
         let mut j = FaultyJournal::new(StorageFault::StaleSnapshot, 1);
-        j.commit(&record(1));
-        assert_eq!(j.load(), None, "a single commit has no predecessor");
-        j.commit(&record(2));
-        assert_eq!(j.load(), Some(record(1)));
+        for inc in 1..=STALE_EPOCH as u64 {
+            j.commit(&record(inc));
+        }
+        assert_eq!(j.load(), None, "younger than one epoch: nothing durable");
+        j.commit(&record(STALE_EPOCH as u64 + 1));
+        assert_eq!(j.load(), Some(record(1)), "epoch-deep rollback");
+        // The history lens is shifted by the same lie.
+        assert_eq!(j.history(0), j.load());
+        assert_eq!(j.history(1), None);
     }
 
     #[test]

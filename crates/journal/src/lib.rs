@@ -6,17 +6,23 @@
 //! incarnation number — fits in a tiny record. This crate turns that
 //! observation into a stable-storage layer:
 //!
-//! * [`JournalRecord`] / [`EdgeRecord`] — the incarnation-stamped,
-//!   CRC-32-checksummed write-ahead record a recoverable diner commits on
-//!   every state transition ([`codec`]),
-//! * [`JournalStore`] — the backend trait, with [`MemJournal`] for the
-//!   deterministic simulator and [`FileJournal`] (atomic
-//!   write-tmp-then-rename) for the threaded runtime,
+//! * [`JournalRecord`] / [`EdgeRecord`] — the seq/tick/incarnation-
+//!   stamped, CRC-32-checksummed write-ahead record a recoverable diner
+//!   commits on every state transition ([`codec`]),
+//! * [`JournalStore`] — the backend trait (commit/load plus the bounded
+//!   `commit_seq`/`history` view), with [`MemJournal`] for the
+//!   deterministic simulator and the segment-rotating, fsyncing
+//!   [`FileJournal`] for the threaded runtime,
+//! * [`history`] — the shared bounded-window-with-milestones retention
+//!   both backends implement,
 //! * [`JournalHandle`] — the cloneable, shareable handle an algorithm
 //!   keeps; cloning shares the underlying store,
 //! * [`StorageFaultPlan`] — seeded, deterministic corruption of the
 //!   stable storage itself (torn writes, single-bit rot, stale snapshots,
-//!   dropped syncs), mirroring the network `FaultPlan` idiom.
+//!   dropped syncs), mirroring the network `FaultPlan` idiom,
+//! * [`replay`] — post-mortem reconstruction of the restart narrative
+//!   (incarnations, boot paths, per-edge resync fates) from retained
+//!   records or a journal directory.
 //!
 //! The decoder is paranoid by design: any single-bit flip and any
 //! truncation of a valid record is *detected* (structural framing plus
@@ -28,8 +34,12 @@
 
 pub mod codec;
 pub mod fault;
+pub mod history;
+pub mod replay;
 pub mod store;
 
-pub use codec::{DecodeError, EdgeRecord, JournalRecord};
-pub use fault::{FaultyJournal, StorageFault, StorageFaultPlan};
-pub use store::{FileJournal, JournalHandle, JournalStore, MemJournal};
+pub use codec::{BootPath, DecodeError, EdgeRecord, JournalRecord, RecordMeta, ResyncPath};
+pub use fault::{FaultyJournal, StorageFault, StorageFaultPlan, STALE_EPOCH};
+pub use history::HistoryWindow;
+pub use replay::{IncarnationReplay, ProcessReplay};
+pub use store::{write_snapshot, FileJournal, JournalHandle, JournalStore, MemJournal};

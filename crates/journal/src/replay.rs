@@ -1,0 +1,476 @@
+//! Post-mortem replay: reconstructing the restart narrative from
+//! retained journal records.
+//!
+//! The bounded history ([`crate::history`]) keeps, per process, the dense
+//! recent commits plus first/last milestones of every evicted
+//! incarnation. That is enough to answer, after the fact and without the
+//! live restart log: how many incarnations did this process live, how
+//! did each boot (replayed vs blank, and why), which edges fast-resumed,
+//! which were renegotiated, and which resumes were refuted as stale by
+//! sequence comparison — the per-edge [`ResyncPath`] tags are journaled
+//! exactly when the live `RestartPath` counters are bumped, so the two
+//! views agree by construction.
+//!
+//! [`render`] produces a deterministic plain-text narrative: the same
+//! journal directory always renders byte-identically.
+
+use crate::codec::{BootPath, JournalRecord, ResyncPath};
+use crate::store::{read_segment, sibling};
+use std::path::Path;
+
+/// Final state of one edge within an incarnation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeSummary {
+    /// Neighbor index.
+    pub peer: u32,
+    /// Whether the edge was synchronized in the last retained record.
+    pub synced: bool,
+    /// Whether a resume answer was still outstanding at the end.
+    pub resume_pending: bool,
+    /// How the edge resynced after this incarnation's restart.
+    pub resync: ResyncPath,
+}
+
+/// One incarnation's reconstructed story.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IncarnationReplay {
+    /// Incarnation number.
+    pub incarnation: u64,
+    /// How the incarnation booted (from the journaled boot byte).
+    pub boot: BootPath,
+    /// Commit-seq range covered by the retained records.
+    pub first_seq: u64,
+    /// Last retained commit seq.
+    pub last_seq: u64,
+    /// Tick of the first retained commit.
+    pub first_tick: u64,
+    /// Tick of the last retained commit.
+    pub last_tick: u64,
+    /// Retained record count (dense + milestones; not total commits).
+    pub retained: usize,
+    /// Per-edge fate, from the incarnation's last retained record.
+    pub edges: Vec<EdgeSummary>,
+    /// Human-readable state diffs between consecutive retained records.
+    pub diffs: Vec<String>,
+}
+
+impl IncarnationReplay {
+    /// Edge tallies `(resumed, rejoined, stale_refuted)` — the same
+    /// partition the live `RestartPath::Journal` counters record.
+    pub fn resync_counts(&self) -> (u32, u32, u32) {
+        let count = |p: ResyncPath| self.edges.iter().filter(|e| e.resync == p).count() as u32;
+        (
+            count(ResyncPath::Resumed),
+            count(ResyncPath::Rejoined),
+            count(ResyncPath::StaleRefuted),
+        )
+    }
+}
+
+/// One process's reconstructed journal history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessReplay {
+    /// Display label (e.g. `p0`).
+    pub label: String,
+    /// Retained byte-buffers that failed to decode (damaged at rest).
+    pub undecodable: usize,
+    /// Incarnations in commit order.
+    pub incarnations: Vec<IncarnationReplay>,
+}
+
+fn phase_name(p: u8) -> &'static str {
+    match p {
+        0 => "thinking",
+        1 => "hungry",
+        _ => "eating",
+    }
+}
+
+/// Differences between two consecutive records, rendered as one line;
+/// `None` when nothing observable changed.
+fn diff_line(prev: &JournalRecord, next: &JournalRecord) -> Option<String> {
+    let mut parts = Vec::new();
+    if prev.phase != next.phase {
+        parts.push(format!(
+            "phase {}→{}",
+            phase_name(prev.phase),
+            phase_name(next.phase)
+        ));
+    }
+    if prev.doorway != next.doorway {
+        parts.push(if next.doorway {
+            "enters doorway".into()
+        } else {
+            "leaves doorway".into()
+        });
+    }
+    for e in &next.edges {
+        let Some(pe) = prev.edges.iter().find(|p| p.peer == e.peer) else {
+            continue;
+        };
+        let mut ed = Vec::new();
+        if pe.synced != e.synced {
+            ed.push(if e.synced { "synced" } else { "unsynced" }.to_string());
+        }
+        if pe.resume_pending != e.resume_pending {
+            ed.push(if e.resume_pending {
+                "resume-pending".into()
+            } else {
+                "resume-settled".into()
+            });
+        }
+        if pe.resync != e.resync {
+            ed.push(format!("resync={}", e.resync));
+        }
+        if pe.flags != e.flags {
+            ed.push(format!("flags {:#04x}→{:#04x}", pe.flags, e.flags));
+        }
+        if pe.peer_inc != e.peer_inc {
+            ed.push(format!("peer-inc {}→{}", pe.peer_inc, e.peer_inc));
+        }
+        if !ed.is_empty() {
+            parts.push(format!("p{} {}", e.peer, ed.join(" ")));
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(format!(
+            "seq {} t{}: {}",
+            next.seq,
+            next.tick,
+            parts.join("; ")
+        ))
+    }
+}
+
+/// Reconstructs one process's narrative from its retained raw records
+/// (oldest first — the order `JournalHandle::dump` / the on-disk
+/// segments provide). Undecodable buffers are counted, not guessed at.
+pub fn replay_process(label: impl Into<String>, raw: &[Vec<u8>]) -> ProcessReplay {
+    let mut undecodable = 0usize;
+    let mut records: Vec<JournalRecord> = raw
+        .iter()
+        .filter_map(|b| match JournalRecord::decode(b) {
+            Ok(r) => Some(r),
+            Err(_) => {
+                undecodable += 1;
+                None
+            }
+        })
+        .collect();
+    records.sort_by_key(|r| r.seq);
+    records.dedup_by_key(|r| r.seq);
+
+    let mut incarnations: Vec<OpenIncarnation> = Vec::new();
+    for r in records {
+        match incarnations.last_mut() {
+            Some(inc) if inc.incarnation == r.incarnation => {
+                // Extend the running incarnation; diff against the
+                // record we summarized last.
+                if let Some(prev) = inc.prev.take() {
+                    if let Some(line) = diff_line(&prev, &r) {
+                        inc.diffs.push(line);
+                    }
+                }
+                inc.last_seq = r.seq;
+                inc.last_tick = r.tick;
+                inc.retained += 1;
+                inc.edges = summarize_edges(&r);
+                inc.prev = Some(r);
+            }
+            _ => incarnations.push(OpenIncarnation::new(r)),
+        }
+    }
+    let incarnations = incarnations.into_iter().map(|i| i.seal()).collect();
+    ProcessReplay {
+        label: label.into(),
+        undecodable,
+        incarnations,
+    }
+}
+
+fn summarize_edges(r: &JournalRecord) -> Vec<EdgeSummary> {
+    r.edges
+        .iter()
+        .map(|e| EdgeSummary {
+            peer: e.peer,
+            synced: e.synced,
+            resume_pending: e.resume_pending,
+            resync: e.resync,
+        })
+        .collect()
+}
+
+/// Builder state: an [`IncarnationReplay`] plus the last record seen, so
+/// consecutive diffs can be computed streaming.
+struct OpenIncarnation {
+    incarnation: u64,
+    boot: BootPath,
+    first_seq: u64,
+    last_seq: u64,
+    first_tick: u64,
+    last_tick: u64,
+    retained: usize,
+    edges: Vec<EdgeSummary>,
+    diffs: Vec<String>,
+    prev: Option<JournalRecord>,
+}
+
+impl OpenIncarnation {
+    fn new(r: JournalRecord) -> OpenIncarnation {
+        OpenIncarnation {
+            incarnation: r.incarnation,
+            boot: r.boot,
+            first_seq: r.seq,
+            last_seq: r.seq,
+            first_tick: r.tick,
+            last_tick: r.tick,
+            retained: 1,
+            edges: summarize_edges(&r),
+            diffs: Vec::new(),
+            prev: Some(r),
+        }
+    }
+}
+
+impl OpenIncarnation {
+    fn seal(self) -> IncarnationReplay {
+        IncarnationReplay {
+            incarnation: self.incarnation,
+            boot: self.boot,
+            first_seq: self.first_seq,
+            last_seq: self.last_seq,
+            first_tick: self.first_tick,
+            last_tick: self.last_tick,
+            retained: self.retained,
+            edges: self.edges,
+            diffs: self.diffs,
+        }
+    }
+}
+
+fn edge_fate(e: &EdgeSummary) -> String {
+    let mut s = match e.resync {
+        ResyncPath::None => {
+            if e.synced {
+                "synced".to_string()
+            } else {
+                "unsynced".to_string()
+            }
+        }
+        path => path.to_string(),
+    };
+    if e.resume_pending {
+        s.push_str("+pending");
+    }
+    s
+}
+
+/// Renders the narratives as deterministic plain text: the same inputs
+/// always produce byte-identical output.
+pub fn render(replays: &[ProcessReplay]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let restarts: usize = replays
+        .iter()
+        .map(|p| p.incarnations.len().saturating_sub(1))
+        .sum();
+    let _ = writeln!(
+        out,
+        "journal replay: {} process(es), {} restart(s)",
+        replays.len(),
+        restarts
+    );
+    for p in replays {
+        let _ = writeln!(
+            out,
+            "\n{}: {} incarnation(s){}",
+            p.label,
+            p.incarnations.len(),
+            if p.undecodable > 0 {
+                format!(", {} undecodable record(s)", p.undecodable)
+            } else {
+                String::new()
+            }
+        );
+        for inc in &p.incarnations {
+            let (resumed, rejoined, stale) = inc.resync_counts();
+            let _ = writeln!(
+                out,
+                "  inc {} boot={}: seq {}..={}, tick {}..={}, {} retained",
+                inc.incarnation,
+                inc.boot,
+                inc.first_seq,
+                inc.last_seq,
+                inc.first_tick,
+                inc.last_tick,
+                inc.retained
+            );
+            if inc.boot != BootPath::Genesis {
+                let _ = writeln!(
+                    out,
+                    "    resync: {resumed} resumed, {rejoined} rejoined, {stale} stale-refuted"
+                );
+            }
+            if !inc.edges.is_empty() {
+                let fates: Vec<String> = inc
+                    .edges
+                    .iter()
+                    .map(|e| format!("p{} {}", e.peer, edge_fate(e)))
+                    .collect();
+                let _ = writeln!(out, "    edges: {}", fates.join(", "));
+            }
+            for d in &inc.diffs {
+                let _ = writeln!(out, "    {d}");
+            }
+        }
+    }
+    out
+}
+
+/// Loads every journal in `dir` (active + predecessor segments of each
+/// `*.ekj` file, the `FileJournal` on-disk format) and reconstructs the
+/// per-process narratives, sorted by file name. Read-only: stray temp
+/// files are ignored, not swept.
+pub fn load_dir(dir: &Path) -> std::io::Result<Vec<ProcessReplay>> {
+    let mut journals: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ekj"))
+        .collect();
+    journals.sort();
+    let mut out = Vec::new();
+    for path in journals {
+        let label = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let label = label.strip_prefix("journal-").unwrap_or(&label).to_string();
+        let mut records = read_segment(&sibling(&path, ".old"));
+        records.extend(read_segment(&path));
+        out.push(replay_process(label, &records));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::EdgeRecord;
+    use crate::store::{FileJournal, JournalStore};
+
+    fn rec(seq: u64, inc: u64, boot: BootPath, phase: u8, resync: ResyncPath) -> JournalRecord {
+        JournalRecord {
+            seq,
+            tick: seq * 7,
+            incarnation: inc,
+            phase,
+            doorway: phase == 1,
+            boot,
+            edges: vec![
+                EdgeRecord {
+                    peer: 1,
+                    peer_inc: inc,
+                    flags: 0x30,
+                    synced: resync != ResyncPath::None || inc == 0,
+                    resume_pending: false,
+                    resync,
+                },
+                EdgeRecord {
+                    peer: 3,
+                    peer_inc: 0,
+                    flags: 0x08,
+                    synced: inc == 0,
+                    resume_pending: inc != 0 && resync == ResyncPath::None,
+                    resync: ResyncPath::None,
+                },
+            ],
+        }
+    }
+
+    fn story() -> Vec<Vec<u8>> {
+        vec![
+            rec(1, 0, BootPath::Genesis, 0, ResyncPath::None).encode(),
+            rec(2, 0, BootPath::Genesis, 1, ResyncPath::None).encode(),
+            rec(3, 1, BootPath::Journal, 0, ResyncPath::None).encode(),
+            rec(4, 1, BootPath::Journal, 0, ResyncPath::Resumed).encode(),
+            rec(5, 1, BootPath::Journal, 2, ResyncPath::Resumed).encode(),
+        ]
+    }
+
+    #[test]
+    fn replay_groups_incarnations_and_counts_resyncs() {
+        let p = replay_process("p0", &story());
+        assert_eq!(p.undecodable, 0);
+        assert_eq!(p.incarnations.len(), 2);
+        let genesis = &p.incarnations[0];
+        assert_eq!(genesis.boot, BootPath::Genesis);
+        assert_eq!((genesis.first_seq, genesis.last_seq), (1, 2));
+        assert_eq!(genesis.resync_counts(), (0, 0, 0));
+        let second = &p.incarnations[1];
+        assert_eq!(second.boot, BootPath::Journal);
+        assert_eq!(second.retained, 3);
+        assert_eq!(second.resync_counts(), (1, 0, 0));
+        // The phase transitions show up as diffs.
+        assert!(
+            genesis.diffs.iter().any(|d| d.contains("thinking→hungry")),
+            "{:?}",
+            genesis.diffs
+        );
+        assert!(
+            second.diffs.iter().any(|d| d.contains("resync=resumed")),
+            "{:?}",
+            second.diffs
+        );
+    }
+
+    #[test]
+    fn replay_tolerates_damage_and_disorder() {
+        let mut raw = story();
+        raw.swap(0, 3); // out of order
+        raw.push(b"garbage".to_vec());
+        raw.push(raw[1].clone()); // duplicate seq
+        let p = replay_process("p0", &raw);
+        assert_eq!(p.undecodable, 1);
+        assert_eq!(p.incarnations.len(), 2);
+        assert_eq!(p.incarnations[1].resync_counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_readable() {
+        let replays = vec![replay_process("p0", &story())];
+        let a = render(&replays);
+        let b = render(&replays);
+        assert_eq!(a, b);
+        assert!(a.contains("p0: 2 incarnation(s)"));
+        assert!(a.contains("inc 1 boot=journal"));
+        assert!(a.contains("1 resumed, 0 rejoined, 0 stale-refuted"));
+    }
+
+    #[test]
+    fn load_dir_reads_file_journal_segments() {
+        let dir = std::env::temp_dir().join(format!("ekbd-replay-dir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut j = FileJournal::new(dir.join("journal-p0.ekj"));
+        for r in &story() {
+            j.commit(r);
+        }
+        // Force a rotation so the predecessor segment exists too.
+        for s in 6..30u64 {
+            j.commit(&rec(s, 1, BootPath::Journal, 0, ResyncPath::Resumed).encode());
+        }
+        std::fs::write(dir.join("journal-p0.ekj.tmp"), b"stray").unwrap();
+        let replays = load_dir(&dir).unwrap();
+        assert_eq!(replays.len(), 1);
+        assert_eq!(replays[0].label, "p0");
+        assert_eq!(replays[0].incarnations.len(), 2);
+        assert_eq!(replays[0].incarnations[0].first_seq, 1);
+        assert!(
+            dir.join("journal-p0.ekj.tmp").exists(),
+            "replay is read-only: stray tmp untouched"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

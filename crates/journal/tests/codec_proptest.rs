@@ -3,33 +3,53 @@
 //! acceptance of different state) for every single-bit flip and every
 //! truncation point of every encoding.
 
-use ekbd_journal::{EdgeRecord, JournalRecord};
+use ekbd_journal::{BootPath, EdgeRecord, JournalRecord, ResyncPath};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary journal record. The vendored proptest shim has
-/// no `bool` strategy, so boolean fields are drawn as 0/1 integers.
+/// no `bool` strategy, so boolean fields are drawn as 0/1 integers and
+/// enums from small integer ranges.
 fn record() -> impl Strategy<Value = JournalRecord> {
     let edge =
-        (0u32..64, 0u64..1_000, 0u8..0x40, 0u8..2).prop_map(|(peer, peer_inc, flags, synced)| {
+        (0u32..64, 0u64..1_000, 0u8..0x40, 0u8..16).prop_map(|(peer, peer_inc, flags, sync)| {
             EdgeRecord {
                 peer,
                 peer_inc,
                 flags,
-                synced: synced == 1,
+                synced: sync & 1 != 0,
+                resume_pending: sync & 2 != 0,
+                resync: match sync >> 2 {
+                    1 => ResyncPath::Resumed,
+                    2 => ResyncPath::Rejoined,
+                    3 => ResyncPath::StaleRefuted,
+                    _ => ResyncPath::None,
+                },
             }
         });
     (
-        0u64..10_000,
+        (0u64..100_000, 0u64..100_000, 0u64..10_000),
         0u8..3,
         0u8..2,
+        0u8..5,
         proptest::collection::vec(edge, 0..12),
     )
-        .prop_map(|(incarnation, phase, doorway, edges)| JournalRecord {
-            incarnation,
-            phase,
-            doorway: doorway == 1,
-            edges,
-        })
+        .prop_map(
+            |((seq, tick, incarnation), phase, doorway, boot, edges)| JournalRecord {
+                seq,
+                tick,
+                incarnation,
+                phase,
+                doorway: doorway == 1,
+                boot: match boot {
+                    1 => BootPath::Journal,
+                    2 => BootPath::BlankMissing,
+                    3 => BootPath::BlankCorrupt,
+                    4 => BootPath::BlankDisabled,
+                    _ => BootPath::Genesis,
+                },
+                edges,
+            },
+        )
 }
 
 proptest! {
@@ -89,5 +109,17 @@ proptest! {
         let mut bytes = r.encode();
         bytes.extend(std::iter::repeat_n(fill, extra));
         prop_assert!(JournalRecord::decode(&bytes).is_err());
+    }
+
+    /// The cheap header peek agrees with the full decode on every valid
+    /// encoding (the store's compaction classifier never disagrees with
+    /// recovery's validated view).
+    #[test]
+    fn peek_agrees_with_decode(r in record()) {
+        let bytes = r.encode();
+        let meta = ekbd_journal::codec::peek(&bytes).expect("valid record peeks");
+        prop_assert_eq!(meta.seq, r.seq);
+        prop_assert_eq!(meta.tick, r.tick);
+        prop_assert_eq!(meta.incarnation, r.incarnation);
     }
 }

@@ -166,6 +166,8 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
         timers: &mut Vec<(Instant, u64)>,
         f: impl FnOnce(&mut A, &HeartbeatDetector, &mut Vec<(ProcessId, A::Msg)>),
     ) {
+        let now = self.now().0;
+        self.alg.note_now(now);
         let before = self.alg.state();
         let mut sends = Vec::new();
         f(&mut self.alg, &self.det, &mut sends);
@@ -198,6 +200,7 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
             link.on_restart(self.inc);
         }
         let mut sends = Vec::new();
+        self.alg.note_now(self.now().0);
         self.alg
             .restart(self.inc, corruption, &self.det, &mut sends);
         self.send_dining(sends, timers);

@@ -429,12 +429,13 @@ mod tests {
             std::thread::sleep(Duration::from_millis(80));
         }
         let events = sys.shutdown_after(Duration::from_millis(400));
-        let journal = dir.join("journal-p0.ekj");
-        let bytes = std::fs::read(&journal).expect("journal file written");
-        assert!(
-            ekbd_journal::JournalRecord::decode(&bytes).is_ok(),
-            "on-disk journal decodes"
-        );
+        // The on-disk journal is a framed segment file now; reopen it
+        // through FileJournal and check the latest retained record decodes
+        // and carries a positive commit sequence number.
+        let mut reopened = FileJournal::new(dir.join("journal-p0.ekj"));
+        let bytes = ekbd_journal::JournalStore::load(&mut reopened).expect("journal file written");
+        let record = ekbd_journal::JournalRecord::decode(&bytes).expect("on-disk journal decodes");
+        assert!(record.seq > 0, "committed records carry a sequence number");
         let p0_ate_after = events.iter().any(|e| {
             e.process == ProcessId(0)
                 && e.obs == DiningObs::StartedEating

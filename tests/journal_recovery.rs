@@ -43,7 +43,8 @@ fn clean_journaled_restart_takes_the_fast_path() {
         ra[0].path,
         Some(RestartPath::Journal {
             resumed: 2,
-            rejoined: 0
+            rejoined: 0,
+            stale: 0
         }),
         "clean journal ⇒ full fast resume: {ra:?}"
     );
@@ -156,11 +157,74 @@ fn partitioned_resume_suppresses_edges_until_heal_then_readmits() {
         ra[0].path,
         Some(RestartPath::Journal {
             resumed: 2,
-            rejoined: 0
+            rejoined: 0,
+            stale: 0
         }),
         "fast path must survive the partition: {ra:?}"
     );
     assert_eq!(stats.fast_resumes, 2, "{stats:?}");
+}
+
+#[test]
+fn replay_narrative_matches_the_live_restart_log() {
+    // The post-mortem replay of the captured journals must tell the same
+    // story the live run recorded: one restart of p2, booted from the
+    // journal, with the same per-edge resume/rejoin/stale split.
+    let report = crash_recover_scenario(17).journal(true).run_recoverable();
+    let ra = report.readmissions();
+    let Some(RestartPath::Journal {
+        resumed,
+        rejoined,
+        stale,
+    }) = ra[0].path
+    else {
+        panic!("clean journal must take the fast path: {ra:?}");
+    };
+    let replays = report.replay();
+    assert_eq!(replays.len(), report.graph.len());
+    let p2 = &replays[2];
+    assert_eq!(p2.label, "p2");
+    assert_eq!(p2.undecodable, 0);
+    assert_eq!(p2.incarnations.len(), 2, "genesis + one restart: {p2:?}");
+    let reborn = &p2.incarnations[1];
+    assert_eq!(reborn.incarnation, 1);
+    assert_eq!(reborn.boot, ekbd::journal::BootPath::Journal);
+    assert_eq!(
+        reborn.resync_counts(),
+        (resumed, rejoined, stale),
+        "replay and live restart log must agree"
+    );
+    // Un-restarted processes replay as a single genesis incarnation.
+    for (i, pr) in replays.iter().enumerate() {
+        if i != 2 {
+            assert_eq!(pr.incarnations.len(), 1, "p{i}: {pr:?}");
+        }
+    }
+}
+
+#[test]
+fn dumped_journal_dir_replays_byte_identically() {
+    // `dump_journals` + `replay::load_dir` must reconstruct the same
+    // narrative as the in-memory `report.replay()`, and rendering the same
+    // directory twice must be byte-identical (post-mortem determinism).
+    let report = crash_recover_scenario(17).journal(true).run_recoverable();
+    let dir = std::env::temp_dir().join(format!("ekbd-replay-int-{}-{}", std::process::id(), 17));
+    let _ = std::fs::remove_dir_all(&dir);
+    report.dump_journals(&dir).expect("dump journals");
+    let from_dir = ekbd::journal::replay::load_dir(&dir).expect("load journal dir");
+    let rendered_live = ekbd::journal::replay::render(&report.replay());
+    let rendered_dir = ekbd::journal::replay::render(&from_dir);
+    assert_eq!(
+        rendered_live, rendered_dir,
+        "on-disk round trip changes the narrative"
+    );
+    let again = ekbd::journal::replay::load_dir(&dir).expect("reload journal dir");
+    assert_eq!(
+        rendered_dir,
+        ekbd::journal::replay::render(&again),
+        "same journal dir must render byte-identically"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
