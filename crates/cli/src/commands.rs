@@ -3,13 +3,13 @@
 
 use crate::args::{ArgError, Parsed};
 use crate::spec::{
-    parse_corrupt_state, parse_crash, parse_link, parse_partition, parse_recover, parse_reorder,
-    parse_storage_fault, AlgorithmSpec, OracleArg, ProtocolSpec, TopologySpec,
+    parse_churn_plan, parse_corrupt_state, parse_crash, parse_link, parse_partition, parse_recover,
+    parse_reorder, parse_storage_fault, AlgorithmSpec, OracleArg, ProtocolSpec, TopologySpec,
 };
 use ekbd_baselines::{ChoySinghProcess, NaivePriorityProcess};
 use ekbd_dining::{BudgetedDiningProcess, DiningProcess, RestartPath};
 use ekbd_graph::ProcessId;
-use ekbd_harness::{Campaign, RunReport, Scenario, Workload};
+use ekbd_harness::{Campaign, MembershipTag, RunReport, Scenario, Workload};
 use ekbd_journal::StorageFaultPlan;
 use ekbd_metrics::{DetectorQualityReport, Timeline};
 use ekbd_sim::{EngineKind, Time};
@@ -32,6 +32,7 @@ USAGE:
                  [--partition procs:start-heal]... [--link on|base:cap]
                  [--journal on|off] [--storage-fault proc:torn|rot|stale|dropped]...
                  [--audit-period N] [--audit-strikes N]
+                 [--churn-rate N] [--churn-plan EV[,EV...]]
                  [--engine indexed|legacy] [--dump-journal DIR]
   ekbd stabilize --protocol coloring|coloring-adv|mis|token-ring:k|bfs-tree|leader
                  --topology SPEC [--algorithm ...] [--oracle ...] [--seed N]
@@ -47,6 +48,10 @@ USAGE:
 TOPOLOGY SPECS:
   ring:n path:n star:n clique:n grid:RxC torus:RxC tree:n wheel:n
   hypercube:d gnp:n:p:seed
+
+CHURN: --churn-rate N schedules seeded membership churn at roughly one
+  event every N ticks; --churn-plan takes explicit comma-separated events
+  join:p:t | leave:p:t | crash-leave:p:t | replace:old:new:t.
 ";
 
 /// Builds a [`Scenario`] from the common flags.
@@ -132,6 +137,42 @@ fn scenario_from(parsed: &Parsed) -> Result<Scenario, ArgError> {
     if parsed.get("audit-strikes").is_some() {
         s = s.audit_strikes(parsed.get_parsed("audit-strikes", 2u8)?);
     }
+    // Dynamic membership: a seeded churn stream or an explicit plan, not
+    // both. `Scenario::membership` recomputes the coloring online and
+    // asserts plan validity, so validate explicit plans here first to get
+    // a diagnosable error instead of a panic.
+    match (parsed.get("churn-rate"), parsed.get("churn-plan")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError::BadValue {
+                flag: "--churn-plan".into(),
+                value: "combined with --churn-rate".into(),
+                expected: "either a seeded churn rate or an explicit plan, not both",
+            })
+        }
+        (Some(_), None) => {
+            let period: u64 = parsed.get_parsed("churn-rate", 400u64)?;
+            if period == 0 {
+                return Err(ArgError::BadValue {
+                    flag: "--churn-rate".into(),
+                    value: "0".into(),
+                    expected: "a mean ticks-per-membership-event period of at least 1",
+                });
+            }
+            s = s.churn(period);
+        }
+        (None, Some(spec)) => {
+            let plan = parse_churn_plan(spec)?;
+            if let Err(e) = plan.validate(s.graph.len()) {
+                return Err(ArgError::BadValue {
+                    flag: "--churn-plan".into(),
+                    value: format!("{spec}: {e}"),
+                    expected: "a membership plan that fits the scenario population",
+                });
+            }
+            s = s.membership(plan);
+        }
+        (None, None) => {}
+    }
     if let Some(spec) = parsed.get("link") {
         s = s.reliable_link(parse_link(spec)?);
     }
@@ -156,16 +197,20 @@ fn run_with_algorithm(s: &Scenario, alg: &AlgorithmSpec) -> Result<RunReport, Ar
         || !s.corruptions().is_empty()
         || s.journal
         || !s.storage_faults.is_inert();
-    if has_state_faults && *alg != AlgorithmSpec::Algorithm1 {
+    // Membership churn rides the same recovery machinery: joins reuse the
+    // rejoin handshake, so a non-inert plan also needs the recoverable run.
+    let has_membership = !s.membership.is_inert();
+    if (has_state_faults || has_membership) && *alg != AlgorithmSpec::Algorithm1 {
         return Err(ArgError::BadValue {
             flag: "--algorithm".into(),
             value: format!("{alg:?}"),
             expected: "alg1 (only the crash-recovery variant of Algorithm 1 \
-                       supports --recover / --corrupt-state / --journal / --storage-fault)",
+                       supports --recover / --corrupt-state / --journal / \
+                       --storage-fault / --churn-rate / --churn-plan)",
         });
     }
     Ok(match alg {
-        AlgorithmSpec::Algorithm1 if has_state_faults => s.run_recoverable(),
+        AlgorithmSpec::Algorithm1 if has_state_faults || has_membership => s.run_recoverable(),
         AlgorithmSpec::Algorithm1 => s.run_algorithm1(),
         AlgorithmSpec::ChoySingh => {
             s.run_with(|sc, p| ChoySinghProcess::from_graph(&sc.graph, &sc.colors, p))
@@ -256,7 +301,8 @@ fn print_report(report: &RunReport) {
             report.recoveries.len(),
             report.corruptions.len()
         );
-        for r in report.readmissions() {
+        let readmissions = report.readmissions();
+        for r in &readmissions {
             let path = match r.path {
                 Some(RestartPath::Journal {
                     resumed,
@@ -270,21 +316,44 @@ fn print_report(report: &RunReport) {
                 Some(RestartPath::Blank { reason }) => format!(" [blank: {reason:?}]"),
                 None => String::new(),
             };
+            let tag = if r.membership == MembershipTag::Departed {
+                " [departed]"
+            } else {
+                ""
+            };
             match r.first_eat {
                 Some(t) => println!(
-                    "  p{} restarted at {} ........ readmitted (first eats {} ticks later){}",
+                    "  p{} restarted at {} ........ readmitted (first eats {} ticks later){}{}",
                     r.process.index(),
                     r.restarted.0,
                     t.0.saturating_sub(r.restarted.0),
-                    path
+                    path,
+                    tag
                 ),
                 None => println!(
-                    "  p{} restarted at {} ........ never ate again{}",
+                    "  p{} restarted at {} ........ never ate again{}{}",
                     r.process.index(),
                     r.restarted.0,
-                    path
+                    path,
+                    tag
                 ),
             }
+        }
+        // Departed processes stop eating because they left, not because
+        // readmission was slow; their records would skew the median.
+        let mut latencies: Vec<u64> = readmissions
+            .iter()
+            .filter(|r| r.membership != MembershipTag::Departed)
+            .filter_map(|r| r.time_to_readmission())
+            .collect();
+        latencies.sort_unstable();
+        if !latencies.is_empty() {
+            println!(
+                "readmission latency ......... median={} ticks over {} restart(s), \
+                 departed excluded",
+                latencies[latencies.len() / 2],
+                latencies.len()
+            );
         }
         if let Some(stats) = &report.recovery {
             println!(
@@ -297,6 +366,30 @@ fn print_report(report: &RunReport) {
                 stats.suppressed,
                 stats.fast_resumes
             );
+        }
+    }
+    if !report.joins.is_empty() || !report.departures.is_empty() {
+        let graceful = report.departures.iter().filter(|&&(_, _, g)| g).count();
+        println!(
+            "membership .................. joins={} departures={} ({} graceful)",
+            report.joins.len(),
+            report.departures.len(),
+            graceful
+        );
+        for a in report.admissions() {
+            match a.time_to_first_eat() {
+                Some(lat) => println!(
+                    "  p{} joined at {} ........... admitted (first eats {} ticks later)",
+                    a.process.index(),
+                    a.joined.0,
+                    lat
+                ),
+                None => println!(
+                    "  p{} joined at {} ........... never ate before the horizon",
+                    a.process.index(),
+                    a.joined.0
+                ),
+            }
         }
     }
 }
@@ -572,6 +665,16 @@ pub fn cmd_replay(parsed: &Parsed) -> Result<(), ArgError> {
         "--dir (a journal directory)".to_string(),
     ))?;
     let dir = std::path::PathBuf::from(dir);
+    // Distinguish "the path is wrong" from "the run journaled nothing":
+    // the former points at a typo, the latter at a run without --journal.
+    if !dir.exists() {
+        return Err(ArgError::BadValue {
+            flag: "--dir".into(),
+            value: dir.display().to_string(),
+            expected: "an existing journal directory (no such path; point --dir at a \
+                       directory written by `run --dump-journal` or the threaded runtime)",
+        });
+    }
     let replays = ekbd_journal::replay::load_dir(&dir).map_err(|e| ArgError::BadValue {
         flag: "--dir".into(),
         value: format!("{}: {e}", dir.display()),
@@ -581,7 +684,8 @@ pub fn cmd_replay(parsed: &Parsed) -> Result<(), ArgError> {
         return Err(ArgError::BadValue {
             flag: "--dir".into(),
             value: dir.display().to_string(),
-            expected: "a directory containing *.ekj journal files",
+            expected: "a directory containing *.ekj journal files (the directory exists \
+                       but holds none — was the run journaled with --journal on?)",
         });
     }
     print!("{}", ekbd_journal::replay::render(&replays));
@@ -746,6 +850,67 @@ mod tests {
         // Replay of an empty/missing directory is an error, not silence.
         assert!(cmd_replay(&parsed("replay --dir /nonexistent-ekbd")).is_err());
         assert!(cmd_replay(&parsed("replay")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_builder_churn_flags() {
+        let s = scenario_from(&parsed(
+            "run --topology ring:6 --seed 3 --horizon 40000 --churn-rate 800",
+        ))
+        .unwrap();
+        assert!(!s.membership.is_inert());
+        let s = scenario_from(&parsed(
+            "run --topology ring:6 --churn-plan join:2:5000,leave:4:20000",
+        ))
+        .unwrap();
+        assert_eq!(s.membership.events().len(), 2);
+        assert!(
+            scenario_from(&parsed("run --churn-rate 500 --churn-plan join:2:100")).is_err(),
+            "seeded churn and an explicit plan are mutually exclusive"
+        );
+        assert!(scenario_from(&parsed("run --churn-rate 0")).is_err());
+        assert!(scenario_from(&parsed("run --churn-plan evict:2:100")).is_err());
+        assert!(
+            scenario_from(&parsed("run --topology ring:4 --churn-plan join:9:100")).is_err(),
+            "plan must fit the population"
+        );
+    }
+
+    #[test]
+    fn run_command_with_churn_executes() {
+        let p = parsed(
+            "run --topology ring:6 --sessions 3 --horizon 60000 --oracle perfect \
+             --churn-rate 4000",
+        );
+        cmd_run(&p).unwrap();
+        let p = parsed(
+            "run --topology ring:5 --sessions 3 --horizon 60000 --oracle perfect \
+             --churn-plan join:2:5000,crash-leave:4:20000",
+        );
+        cmd_run(&p).unwrap();
+    }
+
+    #[test]
+    fn churn_requires_algorithm1() {
+        let p = parsed("run --topology ring:4 --algorithm naive --churn-rate 800 --horizon 5000");
+        assert!(cmd_run(&p).is_err());
+    }
+
+    #[test]
+    fn replay_distinguishes_missing_from_empty_directory() {
+        let missing = cmd_replay(&parsed("replay --dir /nonexistent-ekbd"))
+            .unwrap_err()
+            .to_string();
+        assert!(missing.contains("no such path"), "got: {missing}");
+        let dir = std::env::temp_dir().join(format!("ekbd-cli-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let empty = cmd_replay(&parsed(&format!("replay --dir {}", dir.display())))
+            .unwrap_err()
+            .to_string();
+        assert!(empty.contains("holds none"), "got: {empty}");
+        assert_ne!(missing, empty, "the two failure modes read differently");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -6,7 +6,7 @@ use ekbd_detector::{HeartbeatConfig, ProbeConfig};
 use ekbd_graph::{random, topology, ConflictGraph, ProcessId};
 use ekbd_journal::StorageFault;
 use ekbd_link::LinkConfig;
-use ekbd_sim::Time;
+use ekbd_sim::{MembershipPlan, Time};
 
 fn bad(flag: &'static str, value: &str, expected: &'static str) -> ArgError {
     ArgError::BadValue {
@@ -309,6 +309,39 @@ pub fn parse_corrupt_state(s: &str) -> Result<(ProcessId, Time), ArgError> {
     ))
 }
 
+/// Parses a `--churn-plan` membership schedule: comma-separated events,
+/// each `join:p:t` (the initially-absent `p` joins at `t`), `leave:p:t`
+/// (graceful departure), `crash-leave:p:t` (crash-stop departure), or
+/// `replace:old:new:t` (`old` crash-stops and the fresh id `new` joins in
+/// its place). Population fit is validated against the scenario later.
+pub fn parse_churn_plan(s: &str) -> Result<MembershipPlan, ArgError> {
+    let err = || {
+        bad(
+            "--churn-plan",
+            s,
+            "comma-separated membership events: join:p:t | leave:p:t | \
+             crash-leave:p:t | replace:old:new:t",
+        )
+    };
+    let pid = |f: &str| f.parse::<usize>().map(ProcessId::from).map_err(|_| err());
+    let time = |f: &str| f.parse::<u64>().map(Time).map_err(|_| err());
+    let mut plan = MembershipPlan::new();
+    for ev in s.split(',') {
+        let fields: Vec<&str> = ev.split(':').collect();
+        plan = match fields.as_slice() {
+            ["join", p, t] => plan.join(pid(p)?, time(t)?),
+            ["leave", p, t] => plan.leave(pid(p)?, time(t)?),
+            ["crash-leave", p, t] => plan.crash_leave(pid(p)?, time(t)?),
+            ["replace", old, new, t] => plan.replace(pid(old)?, pid(new)?, time(t)?),
+            _ => return Err(err()),
+        };
+    }
+    if plan.is_inert() {
+        return Err(err());
+    }
+    Ok(plan)
+}
+
 /// Parses a `--storage-fault process:mode` spec: corrupt the named
 /// process's stable-storage journal at load time.
 pub fn parse_storage_fault(s: &str) -> Result<(ProcessId, StorageFault), ArgError> {
@@ -478,5 +511,19 @@ mod tests {
             Ok(LinkConfig::default().retransmit_base(32).max_backoff_exp(4))
         );
         assert!(parse_link("soon").is_err());
+    }
+    #[test]
+    fn churn_plan_specs() {
+        let plan = parse_churn_plan("join:2:500,leave:1:700,crash-leave:3:900").unwrap();
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(plan.join_time(ProcessId(2)), Some(Time(500)));
+        assert_eq!(plan.departure_time(ProcessId(1)), Some(Time(700)));
+        let plan = parse_churn_plan("replace:0:4:1200").unwrap();
+        assert_eq!(plan.departure_time(ProcessId(0)), Some(Time(1200)));
+        assert_eq!(plan.join_time(ProcessId(4)), Some(Time(1200)));
+        assert!(parse_churn_plan("").is_err(), "an inert plan is an error");
+        assert!(parse_churn_plan("join:2").is_err());
+        assert!(parse_churn_plan("evict:2:500").is_err());
+        assert!(parse_churn_plan("join:two:500").is_err());
     }
 }

@@ -296,6 +296,52 @@ impl DiningProcess {
         self.try_eat(suspicion);
     }
 
+    // ----- dynamic-membership support -----------------------------------
+
+    /// Grows the conflict edge to a newly joined neighbor `q` with priority
+    /// `qcolor`. The edge boots with the §3.1 initial placement (fork bit at
+    /// the higher color, token at the lower); session flags start clear, so
+    /// an in-flight hungry session of `self` simply extends its guard set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is already a neighbor, is `id` itself, or shares
+    /// `color` (the incremental recoloring must keep the coloring proper).
+    pub fn add_neighbor(&mut self, q: ProcessId, qcolor: Color) {
+        assert!(q != self.id, "a process is not its own neighbor");
+        assert!(
+            qcolor != self.color,
+            "neighbors {} and {q} share color {}: coloring must be proper",
+            self.id,
+            self.color
+        );
+        let j = self
+            .neighbors
+            .binary_search(&q)
+            .expect_err("already a neighbor");
+        self.neighbors.insert(j, q);
+        let placement = if self.color > qcolor {
+            flag::FORK
+        } else {
+            flag::TOKEN
+        };
+        self.vars.insert(j, placement);
+    }
+
+    /// Tears down the conflict edge to the departed neighbor `q`, dropping
+    /// whatever edge state (fork, token, deferrals) this side held. Guards
+    /// that quantified over `q` must be re-evaluated by the caller — a
+    /// hungry process may become able to enter the doorway or eat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a neighbor.
+    pub fn remove_neighbor(&mut self, q: ProcessId) {
+        let j = self.idx(q);
+        self.neighbors.remove(j);
+        self.vars.remove(j);
+    }
+
     // ----- crash-recovery / self-stabilization support ------------------
 
     /// Switches the lemma `debug_assert!`s from "panic" to "tolerate".
@@ -943,6 +989,56 @@ mod tests {
                 "fork starts at higher color"
             );
         }
+    }
+
+    #[test]
+    fn add_neighbor_inserts_sorted_with_canonical_placement() {
+        let mut p1 = DiningProcess::new(p(1), 1, [(p(3), 2)]);
+        p1.add_neighbor(p(0), 0); // lower id, lower color
+        p1.add_neighbor(p(5), 3); // higher id, higher color
+        assert_eq!(p1.neighbors(), &[p(0), p(3), p(5)]);
+        assert!(p1.holds_fork(p(0)) && !p1.holds_token(p(0)));
+        assert!(!p1.holds_fork(p(5)) && p1.holds_token(p(5)));
+    }
+
+    #[test]
+    fn add_neighbor_extends_an_in_flight_hungry_session() {
+        // hi is hungry outside the doorway when a new neighbor appears: the
+        // next internal-action pass must ping it before the doorway opens.
+        let (mut hi, _) = pair();
+        hi.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        hi.add_neighbor(p(2), 4);
+        let mut out = Vec::new();
+        hi.handle(DiningInput::SuspicionChange, &none(), &mut out);
+        assert_eq!(out, vec![(p(2), DiningMsg::Ping)]);
+        assert!(!hi.inside_doorway(), "new edge gates the doorway");
+    }
+
+    #[test]
+    fn remove_neighbor_unblocks_waiting_guards() {
+        // lo waits on its only neighbor's ack and fork; removing the edge
+        // leaves no guard unsatisfied, so the next pass eats.
+        let (_, mut lo) = pair();
+        lo.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        assert_eq!(lo.state(), DinerState::Hungry);
+        lo.remove_neighbor(p(0));
+        assert!(lo.neighbors().is_empty());
+        lo.handle(DiningInput::SuspicionChange, &none(), &mut Vec::new());
+        assert_eq!(lo.state(), DinerState::Eating);
+    }
+
+    #[test]
+    #[should_panic(expected = "share color")]
+    fn add_neighbor_rejects_improper_coloring() {
+        let (mut hi, _) = pair();
+        hi.add_neighbor(p(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already a neighbor")]
+    fn add_neighbor_rejects_duplicates() {
+        let (mut hi, _) = pair();
+        hi.add_neighbor(p(1), 2);
     }
 
     #[test]

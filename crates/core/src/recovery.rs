@@ -52,6 +52,20 @@
 //!    corrupt journal, a refuted incarnation, an inconsistent edge —
 //!    degrades that edge to the blank rejoin handshake. A corrupt journal
 //!    can therefore delay readmission but never break safety.
+//!
+//! The module also implements the **dynamic-membership** extension of
+//! [`DiningAlgorithm`]: a process can boot into a running system
+//! ([`DiningAlgorithm::join`] — structurally a blank restart whose rejoin
+//! handshake doubles as the introduction), leave it gracefully
+//! ([`DiningAlgorithm::retire`] — held forks and deferred acks are
+//! discharged so no survivor starves), and react to neighbors coming and
+//! going ([`DiningAlgorithm::add_peer`], [`DiningAlgorithm::remove_peer`],
+//! [`DiningAlgorithm::peer_departed`]). A crash-stop departure is the
+//! hostile case: the dead neighbor may take the edge's fork with it, so the
+//! edge is kept, the peer counts as suspected in every guard, and the local
+//! audit pass remints the stranded fork after the strike policy —
+//! deliberately bypassing the busy-edge hysteresis, which exists to protect
+//! forks in flight from live senders.
 
 use crate::msg::DiningMsg;
 use crate::process::DiningProcess;
@@ -60,7 +74,7 @@ use ekbd_detector::SuspicionView;
 use ekbd_graph::coloring::Color;
 use ekbd_graph::{ConflictGraph, ProcessId};
 use ekbd_journal::{BootPath, EdgeRecord, JournalHandle, JournalRecord, ResyncPath};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Wire messages of the crash-recovery layer: Algorithm 1's messages
 /// wrapped with incarnation stamps, plus the rejoin handshake and the
@@ -330,13 +344,44 @@ pub struct RecoverableDining {
     /// [`RecoveryMsg::JournalResume`] for the staleness comparison.
     resume_seq: u64,
     edges: BTreeMap<ProcessId, EdgeState>,
+    /// Neighbors that crash-stopped out of the system permanently (dynamic
+    /// membership). Departed peers count as suspected in every inner guard
+    /// and their edges are excluded from the audit exchange; the local
+    /// audit pass remints a fork the dead peer took with it. The set is
+    /// membership *configuration*, not volatile protocol state, so — like
+    /// `peers` — it survives [`DiningAlgorithm::restart`].
+    departed: BTreeSet<ProcessId>,
     stats: RecoveryStats,
+    /// The current life began with [`DiningAlgorithm::join`] (runtime
+    /// admission) rather than genesis or a crash-recovery restart. A
+    /// joiner is the newcomer on every conflict edge grown this life, so
+    /// its [`DiningAlgorithm::add_peer`] initiates the rejoin handshake
+    /// instead of placing a provisional edge and waiting for one.
+    joined_this_life: bool,
     /// Strike threshold for audit repairs (default [`DEFAULT_STRIKES`]).
     strikes: u8,
     /// Stable storage; `None` runs the PR-2 blank-restart protocol.
     journal: Option<JournalHandle>,
     /// One entry per restart, tagged with the path it took.
     restarts: Vec<RestartEvent>,
+}
+
+/// The local suspicion oracle unioned with the permanently departed
+/// neighbors. A departed peer can never ack a ping or grant a fork again,
+/// so every oracle-guarded action (doorway entry, eating) must treat it
+/// exactly like a suspected crash — even under an oracle (such as the
+/// silent one) that never suspects anyone on its own. Without this union a
+/// crash-stop departure would starve every survivor that still waits on
+/// the dead edge.
+struct WithDeparted<'a> {
+    base: &'a dyn SuspicionView,
+    departed: &'a BTreeSet<ProcessId>,
+}
+
+impl SuspicionView for WithDeparted<'_> {
+    fn suspects(&self, q: ProcessId) -> bool {
+        self.departed.contains(&q) || self.base.suspects(q)
+    }
 }
 
 fn splitmix(z: &mut u64) -> u64 {
@@ -374,7 +419,9 @@ impl RecoverableDining {
             boot: BootPath::Genesis,
             resume_seq: 0,
             edges,
+            departed: BTreeSet::new(),
             stats: RecoveryStats::default(),
+            joined_this_life: false,
             strikes: DEFAULT_STRIKES,
             journal: None,
             restarts: Vec::new(),
@@ -448,6 +495,17 @@ impl RecoverableDining {
         self.edges[&q].synced
     }
 
+    /// Whether `q` is marked as permanently departed (crash-stop leave).
+    pub fn peer_is_departed(&self, q: ProcessId) -> bool {
+        self.departed.contains(&q)
+    }
+
+    /// Current sorted `(neighbor, color)` configuration — shrinks and grows
+    /// with membership notices.
+    pub fn peer_list(&self) -> &[(ProcessId, Color)] {
+        &self.peers
+    }
+
     /// Whether this process holds the fork shared with `q`.
     pub fn holds_fork(&self, q: ProcessId) -> bool {
         self.inner.holds_fork(q)
@@ -505,12 +563,33 @@ impl RecoverableDining {
         }
     }
 
+    /// Runs the inner Algorithm 1 machine under the departed-peer suspicion
+    /// union — the single choke point through which every inner guard
+    /// evaluation goes, so a departed neighbor substitutes for its missing
+    /// ack/fork everywhere.
+    fn inner_handle(
+        &mut self,
+        input: DiningInput<DiningMsg>,
+        suspicion: &dyn SuspicionView,
+        raw: &mut Vec<(ProcessId, DiningMsg)>,
+    ) {
+        let departed = std::mem::take(&mut self.departed);
+        self.inner.handle(
+            input,
+            &WithDeparted {
+                base: suspicion,
+                departed: &departed,
+            },
+            raw,
+        );
+        self.departed = departed;
+    }
+
     /// Re-evaluates the inner machine's guarded commands (Actions 2/5/6/9)
     /// after recovery-layer state surgery.
     fn poke(&mut self, suspicion: &dyn SuspicionView, sends: &mut Vec<(ProcessId, RecoveryMsg)>) {
         let mut raw = Vec::new();
-        self.inner
-            .handle(DiningInput::SuspicionChange, suspicion, &mut raw);
+        self.inner_handle(DiningInput::SuspicionChange, suspicion, &mut raw);
         self.forward(raw, sends);
     }
 
@@ -996,87 +1075,102 @@ impl RecoverableDining {
         sends: &mut Vec<(ProcessId, RecoveryMsg)>,
     ) {
         match input {
-            DiningInput::Message { from, msg } => match msg {
-                RecoveryMsg::Dining {
-                    inc,
-                    dst_inc,
-                    seq,
-                    msg,
-                } => {
-                    let e = self.edges.get_mut(&from).expect("neighbor");
-                    // Watermark before gate: even a gated message proves
-                    // the peer durably committed record `seq`.
-                    e.peer_seq = e.peer_seq.max(seq);
-                    if inc != e.peer_inc || dst_inc != self.inc || !e.synced {
-                        self.stats.stale_dropped += 1;
-                        return;
-                    }
-                    if matches!(msg, DiningMsg::Fork | DiningMsg::Request { .. }) {
-                        e.activity += 1;
-                    }
-                    let mut raw = Vec::new();
-                    self.inner
-                        .handle(DiningInput::Message { from, msg }, suspicion, &mut raw);
-                    self.forward(raw, sends);
+            DiningInput::Message { from, msg } => {
+                if !self.edges.contains_key(&from) {
+                    // A drained straggler from a peer that was removed, or
+                    // a joiner's handshake racing ahead of its membership
+                    // notice (the joiner's audit timer retries it).
+                    self.stats.stale_dropped += 1;
+                    return;
                 }
-                RecoveryMsg::Rejoin { inc } => self.on_rejoin(from, inc, false, suspicion, sends),
-                RecoveryMsg::RejoinAck {
-                    inc,
-                    rejoiner_inc,
-                    fork,
-                    token,
-                    stale,
-                } => self.on_rejoin_ack(
-                    from,
-                    inc,
-                    rejoiner_inc,
-                    fork,
-                    token,
-                    stale,
-                    suspicion,
-                    sends,
-                ),
-                RecoveryMsg::Audit {
-                    inc,
-                    dst_inc,
-                    seq,
-                    fork,
-                    token,
-                } => self.on_audit_msg(from, inc, dst_inc, seq, fork, token, suspicion, sends),
-                RecoveryMsg::JournalResume {
-                    inc,
-                    journal_inc,
-                    peer_inc,
-                    seq,
-                } => {
-                    self.on_journal_resume(from, inc, journal_inc, peer_inc, seq, suspicion, sends)
+                match msg {
+                    RecoveryMsg::Dining {
+                        inc,
+                        dst_inc,
+                        seq,
+                        msg,
+                    } => {
+                        let e = self.edges.get_mut(&from).expect("neighbor");
+                        // Watermark before gate: even a gated message proves
+                        // the peer durably committed record `seq`.
+                        e.peer_seq = e.peer_seq.max(seq);
+                        if inc != e.peer_inc || dst_inc != self.inc || !e.synced {
+                            self.stats.stale_dropped += 1;
+                            return;
+                        }
+                        if matches!(msg, DiningMsg::Fork | DiningMsg::Request { .. }) {
+                            e.activity += 1;
+                        }
+                        let mut raw = Vec::new();
+                        self.inner_handle(DiningInput::Message { from, msg }, suspicion, &mut raw);
+                        self.forward(raw, sends);
+                    }
+                    RecoveryMsg::Rejoin { inc } => {
+                        self.on_rejoin(from, inc, false, suspicion, sends)
+                    }
+                    RecoveryMsg::RejoinAck {
+                        inc,
+                        rejoiner_inc,
+                        fork,
+                        token,
+                        stale,
+                    } => self.on_rejoin_ack(
+                        from,
+                        inc,
+                        rejoiner_inc,
+                        fork,
+                        token,
+                        stale,
+                        suspicion,
+                        sends,
+                    ),
+                    RecoveryMsg::Audit {
+                        inc,
+                        dst_inc,
+                        seq,
+                        fork,
+                        token,
+                    } => self.on_audit_msg(from, inc, dst_inc, seq, fork, token, suspicion, sends),
+                    RecoveryMsg::JournalResume {
+                        inc,
+                        journal_inc,
+                        peer_inc,
+                        seq,
+                    } => self.on_journal_resume(
+                        from,
+                        inc,
+                        journal_inc,
+                        peer_inc,
+                        seq,
+                        suspicion,
+                        sends,
+                    ),
+                    RecoveryMsg::ResumeAck {
+                        inc,
+                        resumer_inc,
+                        fork,
+                        token,
+                        last_seen,
+                    } => self.on_resume_ack(
+                        from,
+                        inc,
+                        resumer_inc,
+                        fork,
+                        token,
+                        last_seen,
+                        suspicion,
+                        sends,
+                    ),
                 }
-                RecoveryMsg::ResumeAck {
-                    inc,
-                    resumer_inc,
-                    fork,
-                    token,
-                    last_seen,
-                } => self.on_resume_ack(
-                    from,
-                    inc,
-                    resumer_inc,
-                    fork,
-                    token,
-                    last_seen,
-                    suspicion,
-                    sends,
-                ),
-            },
+            }
             DiningInput::Hungry => {
                 let mut raw = Vec::new();
-                self.inner.handle(DiningInput::Hungry, suspicion, &mut raw);
+                self.inner_handle(DiningInput::Hungry, suspicion, &mut raw);
                 self.forward(raw, sends);
             }
             DiningInput::DoneEating => {
                 let mut raw = Vec::new();
-                self.inner
-                    .handle(DiningInput::DoneEating, suspicion, &mut raw);
+                self.inner_handle(DiningInput::DoneEating, suspicion, &mut raw);
                 self.forward(raw, sends);
             }
             DiningInput::SuspicionChange => self.poke(suspicion, sends),
@@ -1113,13 +1207,13 @@ impl DiningAlgorithm for RecoverableDining {
 
     /// Inner Algorithm 1 state plus the recovery layer: the 64-bit
     /// incarnation, commit-sequence counter and pending-resume seq, and,
-    /// per edge, the peer incarnation, the synced bit, the optional
-    /// pending-resume incarnation (1 + 64 bits), the peer's last-seen
-    /// commit seq, the 2-bit resync tag and five 8-bit strike counters.
-    /// Restart-log entries and the commit-time tick are diagnostics, not
-    /// protocol state, and are excluded.
+    /// per edge, the peer incarnation, the synced bit, the departed mark,
+    /// the optional pending-resume incarnation (1 + 64 bits), the peer's
+    /// last-seen commit seq, the 2-bit resync tag and five 8-bit strike
+    /// counters. Restart-log entries and the commit-time tick are
+    /// diagnostics, not protocol state, and are excluded.
     fn state_bits(&self) -> usize {
-        self.inner.state_bits() + 3 * 64 + self.peers.len() * (64 + 1 + 65 + 64 + 2 + 5 * 8)
+        self.inner.state_bits() + 3 * 64 + self.peers.len() * (64 + 1 + 1 + 65 + 64 + 2 + 5 * 8)
     }
 
     fn note_now(&mut self, now: u64) {
@@ -1146,6 +1240,10 @@ impl DiningAlgorithm for RecoverableDining {
         sends: &mut Vec<(ProcessId, RecoveryMsg)>,
     ) {
         self.inc = incarnation;
+        // A crash-recovery restart is an established member's life, even
+        // if the previous life began with a join: the restart handshake
+        // below re-greets every edge itself.
+        self.joined_this_life = false;
         // Factory reset: volatile state is rebuilt from the program image;
         // only the incarnation counter survived in stable storage. The
         // commit-sequence counter deliberately survives too (and is
@@ -1154,8 +1252,10 @@ impl DiningAlgorithm for RecoverableDining {
         let mut inner = DiningProcess::new(self.id, self.color, self.peers.iter().copied());
         inner.harden();
         self.inner = inner;
-        for e in self.edges.values_mut() {
-            *e = EdgeState::fresh(false);
+        for (q, e) in self.edges.iter_mut() {
+            // A departed peer will never answer a handshake; this side's
+            // view of the dead edge is authoritative from the start.
+            *e = EdgeState::fresh(self.departed.contains(q));
         }
         self.resume_seq = 0;
         // Journal replay happens before adversarial corruption: the
@@ -1179,6 +1279,9 @@ impl DiningAlgorithm for RecoverableDining {
             self.scramble(entropy);
         }
         for &(q, _) in &self.peers.clone() {
+            if self.departed.contains(&q) {
+                continue; // no handshake with the permanently departed
+            }
             let msg = match self.edges[&q].resume_inc {
                 Some(journal_inc) => RecoveryMsg::JournalResume {
                     inc: incarnation,
@@ -1213,6 +1316,34 @@ impl DiningAlgorithm for RecoverableDining {
     fn audit(&mut self, suspicion: &dyn SuspicionView, sends: &mut Vec<(ProcessId, RecoveryMsg)>) {
         let mut changed = false;
         for &(q, _) in &self.peers.clone() {
+            if self.departed.contains(&q) {
+                // Reclaim a fork the dead peer took with it. The exchange
+                // repair cannot run (a departed peer sends no Audit
+                // snapshots), so the strike accumulates locally — and it
+                // deliberately bypasses the busy-edge hysteresis: activity
+                // on this edge can never again be a fork in flight from a
+                // live sender, so resetting the counter on a recently-busy
+                // edge would only postpone the survivor's relief. A drain
+                // Fork still in transit at departure is absorbed as a
+                // harmless duplicate (the peer can never eat again). The
+                // token is *not* reminted: the survivor never needs to
+                // request from this edge once it holds the fork, and a
+                // co-located fork+token pair would be discharged into the
+                // void by the local audit (hence the eligibility filter
+                // below excludes departed edges).
+                if !self.inner.holds_fork(q) {
+                    let strikes = self.strikes;
+                    let e = self.edges.get_mut(&q).expect("neighbor");
+                    e.missing_fork += 1;
+                    if e.missing_fork >= strikes {
+                        e.missing_fork = 0;
+                        self.inner.set_fork(q, true);
+                        self.stats.repairs += 1;
+                        changed = true;
+                    }
+                }
+                continue;
+            }
             if !self.edges[&q].synced {
                 // Retry an unfinished resync (lost or crossed handshake),
                 // preserving the path the restart chose for this edge: a
@@ -1270,13 +1401,13 @@ impl DiningAlgorithm for RecoverableDining {
             ));
         }
         let mut raw = Vec::new();
-        let synced: Vec<ProcessId> = self
+        let eligible: Vec<ProcessId> = self
             .edges
             .iter()
-            .filter(|(_, e)| e.synced)
+            .filter(|(q, e)| e.synced && !self.departed.contains(q))
             .map(|(&q, _)| q)
             .collect();
-        if self.inner.audit_local(|q| synced.contains(&q), &mut raw) {
+        if self.inner.audit_local(|q| eligible.contains(&q), &mut raw) {
             self.stats.local_repairs += 1;
             changed = true;
         }
@@ -1284,6 +1415,147 @@ impl DiningAlgorithm for RecoverableDining {
         if changed {
             self.poke(suspicion, sends);
         }
+        self.journal_commit();
+    }
+
+    fn supports_membership(&self) -> bool {
+        true
+    }
+
+    /// Boots an initially-absent process into the system. Structurally a
+    /// blank restart — every edge starts unsynced and announces the boot
+    /// incarnation with the *same* rejoin handshake a recovery uses, so the
+    /// peers need no join-specific protocol: a `Rejoin { inc ≥ 1 }` from an
+    /// unknown incarnation re-canonicalizes the edge either way. No journal
+    /// replay is attempted (there is no previous life to resume) and the
+    /// restart log records nothing.
+    fn join(
+        &mut self,
+        incarnation: u64,
+        _suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        self.inc = incarnation;
+        self.joined_this_life = true;
+        let mut inner = DiningProcess::new(self.id, self.color, self.peers.iter().copied());
+        inner.harden();
+        self.inner = inner;
+        for (q, e) in self.edges.iter_mut() {
+            *e = EdgeState::fresh(self.departed.contains(q));
+        }
+        for &(q, _) in &self.peers.clone() {
+            if !self.departed.contains(&q) {
+                sends.push((q, RecoveryMsg::Rejoin { inc: incarnation }));
+            }
+        }
+        self.journal_commit();
+    }
+
+    /// Graceful departure: discharge everything a waiting neighbor could
+    /// starve on — held forks travel to their edges, deferred pings are
+    /// acked — then fall silent. The sends go out before the process
+    /// disappears (the membership layer guarantees the drain), so survivors
+    /// are typically unblocked before their `remove_peer` notice even
+    /// arrives.
+    fn retire(&mut self, sends: &mut Vec<(ProcessId, RecoveryMsg)>) {
+        for &(q, _) in &self.peers.clone() {
+            if !self.edges[&q].synced || self.departed.contains(&q) {
+                continue; // nothing authoritative to discharge
+            }
+            let mut raw = Vec::new();
+            if self.inner.deferring_ack(q) {
+                raw.push((q, DiningMsg::Ack));
+            }
+            if self.inner.holds_fork(q) {
+                raw.push((q, DiningMsg::Fork));
+            }
+            self.inner.reset_edge_session(q);
+            self.inner.set_fork(q, false);
+            self.forward(raw, sends);
+        }
+        self.journal_commit();
+    }
+
+    /// A newly joined neighbor: grow the edge with the canonical placement.
+    /// At an established member the placement is provisional — the
+    /// joiner's `Rejoin { inc ≥ 1 }` outranks our `peer_inc = 0` and
+    /// re-canonicalizes authoritatively (keeping our fork if we are
+    /// eating), so a notice racing the handshake in either order converges
+    /// to the same edge state. At a member that itself joined this life
+    /// the edge boots unsynced and this side sends the hello instead.
+    fn add_peer(
+        &mut self,
+        q: ProcessId,
+        color: u32,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        if self.edges.contains_key(&q) {
+            return; // duplicate notice
+        }
+        let i = self
+            .peers
+            .binary_search_by_key(&q, |&(p, _)| p)
+            .expect_err("edge map and peer list agree");
+        self.peers.insert(i, (q, color));
+        self.inner.add_neighbor(q, color);
+        if self.joined_this_life {
+            // A joiner is the newcomer on every edge grown this life —
+            // its own `join` greeted only the edges it booted with, so an
+            // edge toward a neighbor learned *after* boot (an earlier
+            // joiner, typically) gets the same treatment here: boot
+            // unsynced and initiate the handshake. Crossed hellos between
+            // two joiners answer each other idempotently and converge;
+            // a lost hello is retried by the audit (unsynced edge).
+            self.edges.insert(q, EdgeState::fresh(false));
+            sends.push((q, RecoveryMsg::Rejoin { inc: self.inc }));
+        } else {
+            self.edges.insert(q, EdgeState::fresh(true));
+        }
+        self.departed.remove(&q);
+        self.poke(suspicion, sends);
+        self.journal_commit();
+    }
+
+    /// A neighbor left gracefully: tear the edge down completely. Guards
+    /// that quantified over it are re-evaluated — a hungry process waiting
+    /// on the departed neighbor's ack or fork is unblocked immediately.
+    fn remove_peer(
+        &mut self,
+        q: ProcessId,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        let Ok(i) = self.peers.binary_search_by_key(&q, |&(p, _)| p) else {
+            return; // duplicate notice
+        };
+        self.peers.remove(i);
+        self.edges.remove(&q);
+        self.inner.remove_neighbor(q);
+        self.departed.remove(&q);
+        self.poke(suspicion, sends);
+        self.journal_commit();
+    }
+
+    /// A neighbor crash-stopped out of the system without draining. The
+    /// edge is retained (its fork may be stranded on the dead side) but
+    /// marked departed: the peer counts as suspected in every guard from
+    /// now on, pending handshakes are abandoned, and the audit pass remints
+    /// a stranded fork after the strike policy.
+    fn peer_departed(
+        &mut self,
+        q: ProcessId,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, RecoveryMsg)>,
+    ) {
+        let Some(e) = self.edges.get_mut(&q) else {
+            return; // duplicate notice, or the edge was already removed
+        };
+        e.synced = true; // the dead peer will never answer; our view stands
+        e.resume_inc = None;
+        e.clear_strikes();
+        self.departed.insert(q);
+        self.poke(suspicion, sends);
         self.journal_commit();
     }
 }
@@ -1985,6 +2257,291 @@ mod tests {
                 );
             }
         }
+    }
+
+    // ----- dynamic membership -------------------------------------------
+
+    /// Shuttles one complete session for `a` against `b`, leaving the fork
+    /// at `a` (works from any canonical thinking/thinking edge state).
+    fn eat_once(a: &mut RecoverableDining, b: &mut RecoverableDining) {
+        let mut m = Vec::new();
+        a.handle(DiningInput::Hungry, &none(), &mut m);
+        let m = deliver(b, a.id(), &m, &none());
+        let m = deliver(a, b.id(), &m, &none());
+        let m = deliver(b, a.id(), &m, &none());
+        deliver(a, b.id(), &m, &none());
+        assert_eq!(a.state(), DinerState::Eating);
+        let mut m = Vec::new();
+        a.handle(DiningInput::DoneEating, &none(), &mut m);
+        deliver(b, a.id(), &m, &none());
+        assert!(a.holds_fork(b.id()), "the meal left the fork at {}", a.id());
+    }
+
+    #[test]
+    fn join_reuses_the_rejoin_handshake() {
+        // a (color 0) starts alone; b (color 1) joins at runtime. The
+        // membership notice lands first, then b's Rejoin re-canonicalizes.
+        let mut a = RecoverableDining::new(p(0), 0, []);
+        let mut m = Vec::new();
+        a.add_peer(p(1), 1, &none(), &mut m);
+        assert!(m.is_empty(), "provisional edge sends nothing");
+        assert!(!a.holds_fork(p(1)) && a.holds_token(p(1)), "canonical");
+        let mut b = RecoverableDining::new(p(1), 1, [(p(0), 0)]);
+        let mut hello = Vec::new();
+        b.join(1, &none(), &mut hello);
+        assert_eq!(hello, vec![(p(0), RecoveryMsg::Rejoin { inc: 1 })]);
+        assert!(!b.edge_synced(p(0)), "joiner boots unsynced");
+        let acks = deliver(&mut a, p(1), &hello, &none());
+        deliver(&mut b, p(0), &acks, &none());
+        assert!(b.edge_synced(p(0)));
+        assert_edge_canonical(&a, &b);
+        // The joiner is a full participant: it can eat.
+        eat_once(&mut b, &mut a);
+    }
+
+    #[test]
+    fn joiner_hello_racing_its_notice_is_recovered_by_the_audit_retry() {
+        let mut a = RecoverableDining::new(p(0), 0, []);
+        let mut b = RecoverableDining::new(p(1), 1, [(p(0), 0)]);
+        let mut hello = Vec::new();
+        b.join(1, &none(), &mut hello);
+        // The Rejoin arrives before a's PeerJoined notice: dropped.
+        let before = a.stats().stale_dropped;
+        let out = deliver(&mut a, p(1), &hello, &none());
+        assert!(out.is_empty());
+        assert_eq!(a.stats().stale_dropped, before + 1);
+        // Notice lands; b's audit timer retries the handshake.
+        a.add_peer(p(1), 1, &none(), &mut Vec::new());
+        let mut retry = Vec::new();
+        b.audit(&none(), &mut retry);
+        let acks = deliver(&mut a, p(1), &retry, &none());
+        deliver(&mut b, p(0), &acks, &none());
+        assert!(b.edge_synced(p(0)));
+        assert_edge_canonical(&a, &b);
+    }
+
+    #[test]
+    fn two_joiners_growing_the_same_edge_converge_without_a_survivor() {
+        // Both endpoints joined at runtime (neither is an established
+        // member), so each one's add_peer initiates a hello. The crossed
+        // handshakes must converge to one synced canonical edge — the
+        // regression here is a both-sides-provisional edge whose
+        // incarnation stamps never match (a permanent wedge).
+        let mut a = RecoverableDining::new(p(0), 0, []);
+        let mut b = RecoverableDining::new(p(1), 1, []);
+        a.join(1, &none(), &mut Vec::new());
+        b.join(1, &none(), &mut Vec::new());
+        let mut ha = Vec::new();
+        a.add_peer(p(1), 1, &none(), &mut ha);
+        assert!(
+            ha.iter()
+                .any(|&(q, m)| q == p(1) && matches!(m, RecoveryMsg::Rejoin { inc: 1 })),
+            "a joiner's add_peer sends the hello itself: {ha:?}"
+        );
+        let mut hb = Vec::new();
+        b.add_peer(p(0), 0, &none(), &mut hb);
+        // Crossed delivery: each hello reaches the other side after both
+        // edges exist.
+        let ra = deliver(&mut b, p(0), &ha, &none());
+        let rb = deliver(&mut a, p(1), &hb, &none());
+        let x = deliver(&mut a, p(1), &ra, &none());
+        let y = deliver(&mut b, p(0), &rb, &none());
+        deliver(&mut b, p(0), &x, &none());
+        deliver(&mut a, p(1), &y, &none());
+        assert!(a.edge_synced(p(1)) && b.edge_synced(p(0)));
+        assert_edge_canonical(&a, &b);
+        eat_once(&mut b, &mut a);
+    }
+
+    #[test]
+    fn add_peer_to_an_eating_process_cannot_break_exclusion() {
+        // lo eats (suspecting hi) when a new higher-color neighbor joins.
+        // Canonically the joiner would own the fork — but lo's RejoinAck is
+        // authoritative and an eating responder keeps it.
+        let (_, mut lo) = pair();
+        lo.handle(DiningInput::Hungry, &sus(&[0]), &mut Vec::new());
+        assert_eq!(lo.state(), DinerState::Eating);
+        lo.add_peer(p(2), 2, &sus(&[0]), &mut Vec::new());
+        let mut joiner = RecoverableDining::new(p(2), 2, [(p(1), 0)]);
+        let mut hello = Vec::new();
+        joiner.join(1, &none(), &mut hello);
+        let acks = deliver(&mut lo, p(2), &hello, &sus(&[0]));
+        deliver(&mut joiner, p(1), &acks, &none());
+        assert_eq!(lo.state(), DinerState::Eating, "meal undisturbed");
+        assert!(lo.holds_fork(p(2)), "eating responder kept the new fork");
+        assert!(!joiner.holds_fork(p(1)));
+        assert_edge_canonical(&lo, &joiner);
+    }
+
+    #[test]
+    fn retire_discharges_a_deferred_fork_and_a_deferred_ack() {
+        // hi eats; lo is hungry inside the doorway with its request
+        // deferred at hi (token+fork co-located there), and a second ping
+        // from lo is deferred too. hi retires instead of exiting: both
+        // obligations must be discharged so lo eats without any notice.
+        let (mut hi, mut lo) = pair();
+        hi.handle(DiningInput::Hungry, &sus(&[1]), &mut Vec::new());
+        assert_eq!(hi.state(), DinerState::Eating);
+        let mut m = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut m);
+        let m = deliver(&mut hi, p(1), &m, &none()); // ping deferred at hi
+        assert!(m.is_empty());
+        let mut drain = Vec::new();
+        hi.retire(&mut drain);
+        assert!(
+            drain.iter().any(|&(_, m)| matches!(
+                m,
+                RecoveryMsg::Dining {
+                    msg: DiningMsg::Ack,
+                    ..
+                }
+            )),
+            "deferred ping acked on retirement: {drain:?}"
+        );
+        assert!(!hi.holds_fork(p(1)), "the fork left with the drain");
+        let m = deliver(&mut lo, p(0), &drain, &none());
+        let m = deliver(&mut hi, p(1), &m, &none()); // lo's fork request
+        deliver(&mut lo, p(0), &m, &none());
+        assert_eq!(lo.state(), DinerState::Eating, "drain unblocked lo");
+    }
+
+    #[test]
+    fn remove_peer_unblocks_a_waiting_survivor() {
+        // lo is hungry, waiting on hi's ack that will never come (hi left;
+        // every message was lost). The graceful-leave notice tears the edge
+        // down and lo eats with its remaining (empty) guard set.
+        let (_, mut lo) = pair();
+        lo.handle(DiningInput::Hungry, &none(), &mut Vec::new());
+        assert_eq!(lo.state(), DinerState::Hungry);
+        lo.remove_peer(p(0), &none(), &mut Vec::new());
+        assert_eq!(lo.state(), DinerState::Eating);
+        assert!(lo.inner().neighbors().is_empty());
+    }
+
+    #[test]
+    fn messages_from_a_removed_peer_are_dropped_not_fatal() {
+        let (mut hi, mut lo) = pair();
+        let mut m = Vec::new();
+        hi.handle(DiningInput::Hungry, &none(), &mut m); // ping in flight
+        lo.remove_peer(p(0), &none(), &mut Vec::new());
+        let before = lo.stats().stale_dropped;
+        let out = deliver(&mut lo, p(0), &m, &none());
+        assert!(out.is_empty());
+        assert_eq!(lo.stats().stale_dropped, before + 1);
+    }
+
+    #[test]
+    fn departed_neighbor_counts_as_suspected_under_a_silent_oracle() {
+        // The wait-freedom crux of churn tolerance: hi crash-stops out
+        // holding the fork, the oracle never suspects anyone, and lo must
+        // still eat.
+        let (mut hi, mut lo) = pair();
+        eat_once(&mut hi, &mut lo); // primes edge activity on both sides
+        assert!(hi.holds_fork(p(1)));
+        lo.peer_departed(p(0), &none(), &mut Vec::new());
+        let mut m = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut m);
+        assert_eq!(
+            lo.state(),
+            DinerState::Eating,
+            "departed ⇒ suspected substitutes for the missing ack and fork"
+        );
+        lo.handle(DiningInput::DoneEating, &none(), &mut Vec::new());
+    }
+
+    #[test]
+    fn audit_remints_a_fork_stranded_at_a_departed_neighbor() {
+        // The satellite regression: hi departs crash-stop holding the
+        // fork, with recent traffic on the edge (the busy-edge hysteresis
+        // trap — fresh activity used to reset the missing-fork strikes,
+        // and a departed peer sends no audits to accumulate them). The
+        // local audit must remint the fork after the normal strike policy.
+        let (mut hi, mut lo) = pair();
+        eat_once(&mut hi, &mut lo);
+        assert!(hi.holds_fork(p(1)) && lo.holds_token(p(0)));
+        lo.peer_departed(p(0), &none(), &mut Vec::new());
+        // lo goes hungry and eats via the departed substitution, spending
+        // its token on a request into the void — more edge activity.
+        let mut m = Vec::new();
+        lo.handle(DiningInput::Hungry, &none(), &mut m);
+        assert_eq!(lo.state(), DinerState::Eating);
+        lo.handle(DiningInput::DoneEating, &none(), &mut Vec::new());
+        assert!(!lo.holds_fork(p(0)) && !lo.holds_token(p(0)));
+        // One audit round is one strike — not enough (hysteresis intact).
+        lo.audit(&none(), &mut Vec::new());
+        assert!(!lo.holds_fork(p(0)), "one strike must not remint");
+        lo.audit(&none(), &mut Vec::new());
+        assert!(
+            lo.holds_fork(p(0)),
+            "the stranded fork is reminted at the strike threshold"
+        );
+        assert!(
+            !lo.holds_token(p(0)),
+            "the token is never reminted on a dead edge"
+        );
+        assert!(lo.stats().repairs >= 1);
+        // With the fork home again, further audits are quiet: no discharge
+        // loop throwing the fork back into the void.
+        let mut out = Vec::new();
+        lo.audit(&none(), &mut out);
+        assert!(
+            !out.iter().any(|(_, m)| matches!(
+                m,
+                RecoveryMsg::Dining {
+                    msg: DiningMsg::Fork,
+                    ..
+                }
+            )),
+            "no fork discharged to the dead peer: {out:?}"
+        );
+        assert!(lo.holds_fork(p(0)));
+    }
+
+    #[test]
+    fn departed_edge_with_colocated_token_is_not_drained_into_the_void() {
+        // lo keeps its token (never goes hungry). After the remint it
+        // holds token+fork outside the doorway — exactly the co-location
+        // the local audit normally discharges. On a departed edge that
+        // discharge would destroy the fork forever; the eligibility filter
+        // must prevent it.
+        let (mut hi, mut lo) = pair();
+        eat_once(&mut hi, &mut lo);
+        lo.peer_departed(p(0), &none(), &mut Vec::new());
+        for _ in 0..DEFAULT_STRIKES + 2 {
+            let mut out = Vec::new();
+            lo.audit(&none(), &mut out);
+            assert!(
+                !out.iter().any(|(_, m)| matches!(
+                    m,
+                    RecoveryMsg::Dining {
+                        msg: DiningMsg::Fork,
+                        ..
+                    }
+                )),
+                "departed edge excluded from the co-location discharge"
+            );
+        }
+        assert!(lo.holds_fork(p(0)) && lo.holds_token(p(0)));
+    }
+
+    #[test]
+    fn departed_mark_survives_a_restart_of_the_survivor() {
+        let (mut hi, mut lo) = pair();
+        eat_once(&mut hi, &mut lo);
+        lo.peer_departed(p(0), &none(), &mut Vec::new());
+        let mut m = Vec::new();
+        lo.restart(1, None, &none(), &mut m);
+        assert!(
+            m.is_empty(),
+            "no handshake with the permanently departed: {m:?}"
+        );
+        assert!(lo.peer_is_departed(p(0)));
+        assert!(lo.edge_synced(p(0)), "dead edge is self-authoritative");
+        // The reclaim still works in the new incarnation.
+        for _ in 0..DEFAULT_STRIKES {
+            lo.audit(&none(), &mut Vec::new());
+        }
+        assert!(lo.holds_fork(p(0)));
     }
 
     #[test]

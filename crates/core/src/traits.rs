@@ -166,6 +166,75 @@ pub trait DiningAlgorithm {
         None
     }
 
+    // ----- dynamic-membership extension (default: fixed graph, no-ops) --
+
+    /// Whether this algorithm supports runtime membership changes (joining
+    /// the system mid-run, neighbor insertion/teardown). Hosts only deliver
+    /// join/leave and peer-change events when this returns `true`.
+    fn supports_membership(&self) -> bool {
+        false
+    }
+
+    /// The (initially absent) process boots into the system at runtime
+    /// with a fresh `incarnation` (≥ 1; shares the restart counter with
+    /// [`DiningAlgorithm::restart`]). The implementation initializes its
+    /// edges unsynced and appends introduction traffic (the rejoin
+    /// handshake) to `sends`.
+    fn join(
+        &mut self,
+        incarnation: u64,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, Self::Msg)>,
+    ) {
+        let _ = (incarnation, suspicion, sends);
+    }
+
+    /// The process is leaving the system gracefully; this is the last
+    /// input it will ever handle. The implementation discharges held
+    /// resources (forks owed to waiting neighbors, deferred acks) into
+    /// `sends` so no survivor starves waiting on the departed node.
+    fn retire(&mut self, sends: &mut Vec<(ProcessId, Self::Msg)>) {
+        let _ = sends;
+    }
+
+    /// A new neighbor `q` with priority `color` joined the system: grow
+    /// the conflict edge `self ↔ q`. The edge boots with canonical
+    /// fork/token placement by color order; the joiner's rejoin handshake
+    /// then establishes the live session.
+    fn add_peer(
+        &mut self,
+        q: ProcessId,
+        color: u32,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, Self::Msg)>,
+    ) {
+        let _ = (q, color, suspicion, sends);
+    }
+
+    /// Neighbor `q` left the system after draining gracefully: tear the
+    /// conflict edge down completely and re-evaluate guards that no longer
+    /// wait on it.
+    fn remove_peer(
+        &mut self,
+        q: ProcessId,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, Self::Msg)>,
+    ) {
+        let _ = (q, suspicion, sends);
+    }
+
+    /// Neighbor `q` crash-stopped out of the system without draining: mark
+    /// the edge departed so the audit path can reclaim whatever `q` held
+    /// (a fork leaked by a dead neighbor must be reminted, not waited on).
+    fn peer_departed(
+        &mut self,
+        q: ProcessId,
+        suspicion: &dyn SuspicionView,
+        sends: &mut Vec<(ProcessId, Self::Msg)>,
+    ) {
+        let _ = (q, suspicion, sends);
+    }
+
     /// Per-restart path log — whether each restart replayed its journal
     /// (and how its edges split between the fast resume and the rejoin
     /// fallback) or rebooted blank. `None` for algorithms without one.

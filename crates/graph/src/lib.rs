@@ -13,7 +13,11 @@
 //! * [`coloring`] — greedy and DSATUR node colorings producing the static
 //!   priorities required by Algorithm 1 (no two neighbors share a color,
 //!   `O(δ)` distinct values),
-//! * [`random`] — seeded random-graph generators for property tests.
+//! * [`random`] — seeded random-graph generators for property tests,
+//! * [`membership`] — dynamic membership over a fixed maximum population
+//!   with incremental `(δ + 1)`-recoloring: joiners pick the least color
+//!   absent from their present neighborhood and survivors are never
+//!   recolored, so in-flight dining sessions keep their priorities.
 //!
 //! # Example
 //!
@@ -33,7 +37,9 @@
 
 pub mod coloring;
 mod graph;
+pub mod membership;
 pub mod random;
 pub mod topology;
 
 pub use graph::{ConflictGraph, Edge, GraphError, ProcessId};
+pub use membership::{Membership, MembershipError};

@@ -1,0 +1,315 @@
+//! Online membership with incremental `(δ + 1)`-recoloring.
+//!
+//! Dynamic membership makes the conflict graph itself part of the fault
+//! model: the environment adds and removes participants while the dining
+//! protocol must keep its safety guarantees for the survivors. The key
+//! constraint is that a node's color doubles as its *static priority*
+//! (Algorithm 1 resolves fork conflicts by color), so recoloring a live
+//! node would silently reorder in-flight sessions. [`Membership`] therefore
+//! colors *incrementally*: a joining node picks the least color absent from
+//! its currently-present neighborhood, and the colors of present nodes
+//! never change afterwards.
+//!
+//! Because a joiner's color is at most its present-neighbor count, every
+//! color ever assigned is `≤ δ`, so the palette stays within the same
+//! `δ + 1` bound the static [`greedy`](crate::coloring::greedy) coloring
+//! guarantees — for *any* interleaving of joins and leaves.
+//!
+//! Note that the full graph may end up improperly colored in the classical
+//! sense: two neighbors that are never present together may share a color.
+//! Only the induced subgraph of present nodes is (and must be) proper; see
+//! [`Membership::validate_present`].
+
+use crate::coloring::Color;
+use crate::{ConflictGraph, ProcessId};
+use std::fmt;
+
+/// Error returned by [`Membership`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MembershipError {
+    /// A join was requested for a node that is already present.
+    AlreadyPresent(ProcessId),
+    /// A leave was requested for a node that is not present.
+    NotPresent(ProcessId),
+    /// Two *present* neighbors share a color (only possible if the
+    /// structure was seeded with an improper initial coloring).
+    MonochromaticEdge {
+        /// First endpoint.
+        a: ProcessId,
+        /// Second endpoint.
+        b: ProcessId,
+        /// The shared color.
+        color: Color,
+    },
+}
+
+impl fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MembershipError::AlreadyPresent(p) => write!(f, "{p} is already a member"),
+            MembershipError::NotPresent(p) => write!(f, "{p} is not a member"),
+            MembershipError::MonochromaticEdge { a, b, color } => {
+                write!(f, "present neighbors {a} and {b} share color {color}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+/// Returns the least color not in `used` — the incremental coloring rule.
+pub fn least_absent_color(used: impl IntoIterator<Item = Color>) -> Color {
+    let mut used: Vec<Color> = used.into_iter().collect();
+    used.sort_unstable();
+    used.dedup();
+    let mut c = 0;
+    for u in used {
+        if u == c {
+            c += 1;
+        } else if u > c {
+            break;
+        }
+    }
+    c
+}
+
+/// A dynamic-membership view over a fixed maximum population.
+///
+/// The underlying [`ConflictGraph`] is the pre-allocated *potential*
+/// conflict graph over all processes that may ever exist; membership is a
+/// presence bit per process. Colors are assigned on join and frozen while
+/// the node is present.
+#[derive(Clone, Debug)]
+pub struct Membership {
+    graph: ConflictGraph,
+    present: Vec<bool>,
+    colors: Vec<Color>,
+}
+
+impl Membership {
+    /// Builds a membership view in which exactly the nodes flagged in
+    /// `initial` are present, colored greedily (in id order, each picking
+    /// the least color absent among its already-colored present
+    /// neighbors). Absent nodes get color 0 as a placeholder; their real
+    /// color is assigned when they join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != graph.len()`.
+    pub fn new(graph: ConflictGraph, initial: &[bool]) -> Self {
+        assert_eq!(
+            initial.len(),
+            graph.len(),
+            "presence flags must cover every vertex"
+        );
+        let mut colors = vec![0; graph.len()];
+        for p in graph.processes() {
+            if !initial[p.index()] {
+                continue;
+            }
+            colors[p.index()] = least_absent_color(
+                graph
+                    .neighbors(p)
+                    .iter()
+                    .filter(|q| q.index() < p.index() && initial[q.index()])
+                    .map(|q| colors[q.index()]),
+            );
+        }
+        Membership {
+            graph,
+            present: initial.to_vec(),
+            colors,
+        }
+    }
+
+    /// Builds a membership view with every node present, equivalent to the
+    /// static greedy coloring.
+    pub fn full(graph: ConflictGraph) -> Self {
+        let n = graph.len();
+        Self::new(graph, &vec![true; n])
+    }
+
+    /// The underlying (maximum-population) conflict graph.
+    pub fn graph(&self) -> &ConflictGraph {
+        &self.graph
+    }
+
+    /// Whether `p` is currently a member.
+    pub fn is_present(&self, p: ProcessId) -> bool {
+        self.present[p.index()]
+    }
+
+    /// Current presence flags, indexed by process id.
+    pub fn present(&self) -> &[bool] {
+        &self.present
+    }
+
+    /// Current colors, indexed by process id. Entries for absent nodes are
+    /// stale (their last assigned color, or 0 if they never joined).
+    pub fn colors(&self) -> &[Color] {
+        &self.colors
+    }
+
+    /// The color of `p` (meaningful only while `p` is present).
+    pub fn color(&self, p: ProcessId) -> Color {
+        self.colors[p.index()]
+    }
+
+    /// The color an absent node would receive if it joined now: the least
+    /// color absent from its present neighborhood. Pure — does not mutate.
+    pub fn join_color(&self, p: ProcessId) -> Color {
+        least_absent_color(
+            self.graph
+                .neighbors(p)
+                .iter()
+                .filter(|q| self.present[q.index()])
+                .map(|q| self.colors[q.index()]),
+        )
+    }
+
+    /// Admits `p`, assigning it [`Membership::join_color`]. No present
+    /// node's color changes. Returns the assigned color.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MembershipError::AlreadyPresent`] if `p` is a member.
+    pub fn join(&mut self, p: ProcessId) -> Result<Color, MembershipError> {
+        if self.present[p.index()] {
+            return Err(MembershipError::AlreadyPresent(p));
+        }
+        let c = self.join_color(p);
+        self.colors[p.index()] = c;
+        self.present[p.index()] = true;
+        Ok(c)
+    }
+
+    /// Removes `p` from the membership. Its color entry is left in place
+    /// (frozen) but becomes meaningless until a future join reassigns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MembershipError::NotPresent`] if `p` is not a member.
+    pub fn leave(&mut self, p: ProcessId) -> Result<(), MembershipError> {
+        if !self.present[p.index()] {
+            return Err(MembershipError::NotPresent(p));
+        }
+        self.present[p.index()] = false;
+        Ok(())
+    }
+
+    /// Checks that the coloring restricted to present nodes is proper.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first monochromatic present edge found, if any.
+    pub fn validate_present(&self) -> Result<(), MembershipError> {
+        for e in self.graph.edges() {
+            if self.present[e.lo.index()]
+                && self.present[e.hi.index()]
+                && self.colors[e.lo.index()] == self.colors[e.hi.index()]
+            {
+                return Err(MembershipError::MonochromaticEdge {
+                    a: e.lo,
+                    b: e.hi,
+                    color: self.colors[e.lo.index()],
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{coloring, topology};
+
+    #[test]
+    fn least_absent_color_rule() {
+        assert_eq!(least_absent_color([]), 0);
+        assert_eq!(least_absent_color([0, 1, 2]), 3);
+        assert_eq!(least_absent_color([1, 2]), 0);
+        assert_eq!(least_absent_color([0, 2, 2, 5]), 1);
+    }
+
+    #[test]
+    fn full_membership_matches_greedy() {
+        for g in [topology::ring(7), topology::clique(5), topology::grid(3, 4)] {
+            let greedy = coloring::greedy(&g);
+            let m = Membership::full(g);
+            assert_eq!(m.colors(), &greedy[..]);
+            m.validate_present().unwrap();
+        }
+    }
+
+    #[test]
+    fn join_picks_least_absent_and_keeps_survivors() {
+        // Ring of 5 with p2 initially absent.
+        let g = topology::ring(5);
+        let mut present = vec![true; 5];
+        present[2] = false;
+        let mut m = Membership::new(g, &present);
+        m.validate_present().unwrap();
+        let before = m.colors().to_vec();
+        let c = m.join(ProcessId(2)).unwrap();
+        // Neighbors p1, p3 hold colors 1 and 0 ⇒ least absent is 2.
+        assert_eq!(c, 2);
+        m.validate_present().unwrap();
+        for (p, &was) in before.iter().enumerate() {
+            if p != 2 {
+                assert_eq!(m.colors()[p], was, "survivor p{p} recolored");
+            }
+        }
+    }
+
+    #[test]
+    fn double_join_and_ghost_leave_are_errors() {
+        let mut m = Membership::full(topology::ring(4));
+        assert_eq!(
+            m.join(ProcessId(1)),
+            Err(MembershipError::AlreadyPresent(ProcessId(1)))
+        );
+        m.leave(ProcessId(1)).unwrap();
+        assert_eq!(
+            m.leave(ProcessId(1)),
+            Err(MembershipError::NotPresent(ProcessId(1)))
+        );
+    }
+
+    #[test]
+    fn rejoin_after_leave_can_reuse_freed_color() {
+        let g = topology::clique(4);
+        let mut m = Membership::full(g);
+        assert_eq!(m.color(ProcessId(0)), 0);
+        m.leave(ProcessId(0)).unwrap();
+        // With 1,2,3 holding colors 1,2,3 the freed color 0 is reused.
+        assert_eq!(m.join(ProcessId(0)).unwrap(), 0);
+        m.validate_present().unwrap();
+    }
+
+    #[test]
+    fn colors_stay_within_delta_plus_one() {
+        let g = crate::random::connected_gnp(12, 0.4, 3);
+        let delta = g.max_degree();
+        let mut m = Membership::full(g);
+        // Churn every node once and check the palette bound throughout.
+        for i in 0..12usize {
+            m.leave(ProcessId::from(i)).unwrap();
+            let c = m.join(ProcessId::from(i)).unwrap();
+            assert!((c as usize) <= delta);
+            m.validate_present().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_seed_coloring() {
+        let g = topology::path(2);
+        let mut m = Membership::full(g);
+        // Force an improper coloring through the back door.
+        m.colors[1] = m.colors[0];
+        assert!(matches!(
+            m.validate_present(),
+            Err(MembershipError::MonochromaticEdge { .. })
+        ));
+    }
+}

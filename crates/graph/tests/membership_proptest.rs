@@ -1,0 +1,71 @@
+//! Property-based tests of dynamic membership (satellite of the churn PR):
+//! any interleaving of joins and leaves keeps the present-induced coloring
+//! proper, stays within the `δ + 1` palette bound, and never recolors a
+//! surviving node.
+
+use ekbd_graph::{random, Membership, ProcessId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Drive a random join/leave sequence over a random connected graph.
+    /// After every operation: (a) present neighbors never share a color,
+    /// (b) every present color is ≤ δ, (c) no node other than the one the
+    /// operation targeted changed color.
+    #[test]
+    fn churn_preserves_proper_delta_plus_one_coloring(
+        n in 4usize..12,
+        seed in 0u64..500,
+        ops in proptest::collection::vec((0u8..16, 0u8..2), 0..48),
+    ) {
+        let g = random::connected_gnp(n, 0.35, seed);
+        let delta = g.max_degree();
+        let mut m = Membership::full(g);
+        for (sel, op) in ops {
+            let target = ProcessId::from(sel as usize % n);
+            let before = m.colors().to_vec();
+            if op == 0 {
+                if !m.is_present(target) {
+                    let c = m.join(target).expect("absent node joins");
+                    prop_assert!((c as usize) <= delta,
+                        "join color {c} exceeds delta {delta}");
+                }
+            } else if m.is_present(target) {
+                m.leave(target).expect("present node leaves");
+            }
+            prop_assert!(m.validate_present().is_ok(),
+                "present-induced coloring must stay proper");
+            for (p, &was) in before.iter().enumerate() {
+                prop_assert!((m.colors()[p] as usize) <= delta);
+                if p != target.index() {
+                    prop_assert_eq!(m.colors()[p], was,
+                        "surviving node p{} was recolored", p);
+                }
+            }
+        }
+    }
+
+    /// Leaving alone never perturbs anything: after an arbitrary prefix of
+    /// churn, a leave followed by validation keeps every other color fixed
+    /// and the coloring proper (the freed color simply becomes available).
+    #[test]
+    fn leave_frees_color_without_side_effects(
+        n in 3usize..10,
+        seed in 0u64..500,
+        victim in 0u8..16,
+    ) {
+        let g = random::connected_gnp(n, 0.4, seed);
+        let mut m = Membership::full(g);
+        let target = ProcessId::from(victim as usize % n);
+        let before = m.colors().to_vec();
+        m.leave(target).expect("full membership: everyone present");
+        prop_assert_eq!(m.colors(), &before[..]);
+        prop_assert!(m.validate_present().is_ok());
+        // The freed color is the best candidate if the slot rejoins and no
+        // neighbor claimed it meanwhile.
+        let rejoined = m.join(target).expect("rejoin after leave");
+        prop_assert!(rejoined <= before[target.index()]);
+        prop_assert!(m.validate_present().is_ok());
+    }
+}

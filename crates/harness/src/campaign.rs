@@ -34,7 +34,9 @@ impl CampaignAlgorithm {
             CampaignAlgorithm::Algorithm1 => false,
             CampaignAlgorithm::Recoverable => true,
             CampaignAlgorithm::Auto => {
-                !scenario.faults.recoveries.is_empty() || !scenario.faults.corruptions.is_empty()
+                !scenario.faults.recoveries.is_empty()
+                    || !scenario.faults.corruptions.is_empty()
+                    || !scenario.membership.is_inert()
             }
         }
     }
@@ -97,7 +99,7 @@ impl CampaignReport {
             msgs += r.report.total_messages;
             out.push_str(&format!(
                 "{} seed={} sessions={} events={} msgs={} dropped={} dup={} \
-                 wait_free={} mistakes={} max_overtakes={} high_water={}\n",
+                 wait_free={} mistakes={} max_overtakes={} high_water={}",
                 r.label,
                 r.seed,
                 r.report.total_eat_sessions(),
@@ -110,6 +112,24 @@ impl CampaignReport {
                 r.report.fairness().max_overtakes(),
                 r.report.max_channel_high_water,
             ));
+            // Membership columns appear only for churned runs, so the
+            // digests of fixed-population campaigns are byte-stable across
+            // this feature.
+            if !r.report.joins.is_empty() || !r.report.departures.is_empty() {
+                let admitted = r
+                    .report
+                    .admissions()
+                    .iter()
+                    .filter(|a| a.first_eat.is_some())
+                    .count();
+                out.push_str(&format!(
+                    " joins={} leaves={} admitted={}",
+                    r.report.joins.len(),
+                    r.report.departures.len(),
+                    admitted,
+                ));
+            }
+            out.push('\n');
         }
         out.push_str(&format!(
             "TOTAL runs={} sessions={} events={} msgs={} wait_free={}\n",
@@ -195,6 +215,28 @@ impl Campaign {
             self.jobs.push(CampaignJob {
                 label: label.clone(),
                 scenario: base.clone().seed(seed),
+                algorithm: CampaignAlgorithm::Auto,
+            });
+        }
+        self
+    }
+
+    /// Fans `base` across `seeds` with a *per-seed* churn plan: each job
+    /// reseeds the scenario and re-derives its membership schedule from
+    /// that seed (see [`Scenario::churn`]), so a churn-rate sweep explores
+    /// a different join/leave interleaving per seed.
+    pub fn churn_seeds(
+        mut self,
+        label: impl Into<String>,
+        base: &Scenario,
+        period: u64,
+        seeds: impl IntoIterator<Item = u64>,
+    ) -> Self {
+        let label = label.into();
+        for seed in seeds {
+            self.jobs.push(CampaignJob {
+                label: label.clone(),
+                scenario: base.clone().seed(seed).churn(period),
                 algorithm: CampaignAlgorithm::Auto,
             });
         }
@@ -325,6 +367,26 @@ mod tests {
         assert!(!CampaignAlgorithm::Algorithm1.recoverable_for(&scenario));
         let report = Campaign::new().job("rec", scenario).run_serial();
         assert_eq!(report.runs[0].report.incarnations[1], 1);
+    }
+
+    #[test]
+    fn churned_campaigns_pick_recoverable_and_tag_the_digest() {
+        let scenario = base(8).churn(500);
+        assert!(CampaignAlgorithm::Auto.recoverable_for(&scenario));
+        let report = Campaign::new()
+            .churn_seeds("churn", &base(8), 500, 0..2)
+            .run_serial();
+        assert_eq!(report.runs.len(), 2);
+        let digest = report.merged();
+        assert!(digest.contains("joins="), "churned digest: {digest}");
+        // Different seeds re-derive different plans.
+        assert_ne!(
+            report.runs[0].report.joins, report.runs[1].report.joins,
+            "per-seed churn plans should differ"
+        );
+        // Fixed-population digests keep the legacy column set.
+        let plain = Campaign::new().seeds("plain", &base(4), 0..1).run_serial();
+        assert!(!plain.merged().contains("joins="));
     }
 
     #[test]

@@ -35,6 +35,24 @@ pub enum HostCmd {
     BecomeHungry,
     /// Finish eating now (legal only while eating).
     StopEating,
+    /// Neighbor `peer` joined the system with priority `color`: grow the
+    /// conflict edge (dynamic membership). Delivered to the co-present
+    /// neighbors of a joiner at its join instant.
+    PeerJoined {
+        /// The joining neighbor.
+        peer: ProcessId,
+        /// The joiner's assigned color (its static priority).
+        color: u32,
+    },
+    /// Neighbor `peer` left the system permanently (dynamic membership).
+    PeerLeft {
+        /// The departed neighbor.
+        peer: ProcessId,
+        /// Whether the departure drained gracefully. A graceful leave tears
+        /// the edge down completely; a crash-stop leave marks it departed
+        /// so the audit path can reclaim whatever the peer held.
+        graceful: bool,
+    },
 }
 
 /// Observations emitted by a [`DinerHost`].
@@ -448,6 +466,26 @@ impl<A: DiningAlgorithm> Node for DinerHost<A> {
                     self.drive(DiningInput::DoneEating, ctx);
                 }
             }
+            NodeEvent::External(HostCmd::PeerJoined { peer, color }) => {
+                debug_assert!(
+                    self.alg.supports_membership(),
+                    "membership notice for a fixed-graph algorithm"
+                );
+                self.step_alg(ctx, |alg, det, sends| alg.add_peer(peer, color, det, sends));
+            }
+            NodeEvent::External(HostCmd::PeerLeft { peer, graceful }) => {
+                debug_assert!(
+                    self.alg.supports_membership(),
+                    "membership notice for a fixed-graph algorithm"
+                );
+                self.step_alg(ctx, |alg, det, sends| {
+                    if graceful {
+                        alg.remove_peer(peer, det, sends);
+                    } else {
+                        alg.peer_departed(peer, det, sends);
+                    }
+                });
+            }
             NodeEvent::Recover {
                 incarnation,
                 corruption,
@@ -488,6 +526,35 @@ impl<A: DiningAlgorithm> Node for DinerHost<A> {
                 self.step_alg(ctx, |alg, det, sends| {
                     alg.inject_corruption(entropy, det, sends)
                 });
+            }
+            NodeEvent::Join { incarnation } => {
+                debug_assert!(
+                    self.alg.supports_membership(),
+                    "join scheduled for a fixed-graph algorithm"
+                );
+                self.inc = incarnation;
+                // Same ordering as a crash-recovery restart: clean link
+                // channels first, then the algorithm introduces itself via
+                // the rejoin handshake, then the detector boots (its first
+                // life — a joiner has no pre-crash suspicions to refute).
+                if let Some(link) = self.link.as_mut() {
+                    link.on_restart(incarnation);
+                }
+                let mut sends = std::mem::take(&mut self.sends_buf);
+                self.alg.note_now(ctx.now().0);
+                self.alg.join(incarnation, &self.det, &mut sends);
+                self.send_dining(&mut sends, ctx);
+                self.sends_buf = sends;
+                self.detector_event(DetectorEvent::Start { now: ctx.now() }, ctx);
+                self.sessions_left = self.workload.sessions;
+                self.schedule_appetite(ctx);
+                self.arm_audit(ctx);
+            }
+            NodeEvent::Leave => {
+                // The last event this node will ever handle: discharge held
+                // resources so no survivor starves waiting on us. No timers
+                // are re-armed — the simulator delivers nothing after this.
+                self.step_alg(ctx, |alg, _det, sends| alg.retire(sends));
             }
         }
     }

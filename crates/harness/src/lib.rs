@@ -50,5 +50,5 @@ pub use campaign::{Campaign, CampaignAlgorithm, CampaignJob, CampaignReport, Cam
 pub use detector::AnyDetector;
 pub use host::{DinerHost, Envelope, HostCmd, HostObs, HostWorkload, AUDIT_PERIOD};
 pub use live::LiveRun;
-pub use report::{Readmission, RunReport};
+pub use report::{Admission, MembershipTag, Readmission, RunReport};
 pub use scenario::{OracleSpec, Scenario, Workload};

@@ -25,6 +25,10 @@ pub struct RunReport {
     pub horizon: Time,
     /// The crash schedule that was applied.
     pub crashes: Vec<(ProcessId, Time)>,
+    /// Scheduled membership joins: `(process, join time)`.
+    pub joins: Vec<(ProcessId, Time)>,
+    /// Scheduled membership departures: `(process, leave time, graceful)`.
+    pub departures: Vec<(ProcessId, Time, bool)>,
     /// The recovery schedule (crash-recovery fault model): `(process,
     /// restart time)`.
     pub recoveries: Vec<(ProcessId, Time)>,
@@ -82,6 +86,21 @@ pub struct RunReport {
     pub journals: Vec<Vec<Vec<u8>>>,
 }
 
+/// Membership class of a process over the whole run, attached to its
+/// readmission records: latency medians should aggregate `Continuous`
+/// processes only — a `Departed` process may never eat again for the
+/// benign reason that it left, and a `Joined` one starts from a cold
+/// handshake rather than a recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembershipTag {
+    /// Present from time zero to the horizon (no membership events).
+    Continuous,
+    /// Joined the system mid-run and stayed.
+    Joined,
+    /// Left the system before the horizon (possibly after joining).
+    Departed,
+}
+
 /// One scheduled recovery and how it went: when the process restarted,
 /// when it was first scheduled to eat again, and which recovery path the
 /// restart took (journal fast resume vs blank rejoin).
@@ -97,12 +116,35 @@ pub struct Readmission {
     /// The restart path taken, when the algorithm logs one (`None` for
     /// crash-stop algorithms or restarts past the horizon).
     pub path: Option<RestartPath>,
+    /// The process's membership class; readmission-latency medians should
+    /// cover [`MembershipTag::Continuous`] records only.
+    pub membership: MembershipTag,
 }
 
 impl Readmission {
     /// Ticks from restart to the first renewed eat-slot, if any.
     pub fn time_to_readmission(&self) -> Option<u64> {
         self.first_eat.map(|e| e.0 - self.restarted.0)
+    }
+}
+
+/// One scheduled membership join and when the joiner first reached the
+/// critical section: the *join → first eat* admission latency of E17.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Admission {
+    /// The joining process.
+    pub process: ProcessId,
+    /// The scheduled join instant.
+    pub joined: Time,
+    /// First eat-slot at or after the join; `None` when the joiner never
+    /// ate before the horizon (or departed again first).
+    pub first_eat: Option<Time>,
+}
+
+impl Admission {
+    /// Ticks from join to the first eat-slot, if any.
+    pub fn time_to_first_eat(&self) -> Option<u64> {
+        self.first_eat.map(|e| e.0 - self.joined.0)
     }
 }
 
@@ -143,7 +185,19 @@ impl RunReport {
         let n = scenario.graph.len();
         let recoveries = scenario.recoveries();
         let corruptions = scenario.corruptions();
-        let events = sanitize_interrupted(events, &scenario.crashes, &recoveries);
+        let mut joins = Vec::new();
+        let mut departures = Vec::new();
+        for ev in scenario.membership.events() {
+            match *ev {
+                ekbd_sim::MembershipEvent::Join { process, at } => joins.push((process, at)),
+                ekbd_sim::MembershipEvent::Leave {
+                    process,
+                    at,
+                    graceful,
+                } => departures.push((process, at, graceful)),
+            }
+        }
+        let events = sanitize_interrupted(events, &scenario.crashes, &recoveries, &departures);
         let final_states = (0..n)
             .map(|i| sim.node(ProcessId::from(i)).algorithm().state())
             .collect();
@@ -192,6 +246,8 @@ impl RunReport {
             graph: scenario.graph.clone(),
             horizon: scenario.horizon,
             crashes: scenario.crashes.clone(),
+            joins,
+            departures,
             recoveries,
             corruptions,
             incarnations,
@@ -262,9 +318,51 @@ impl RunReport {
         (!recovered).then_some(last_crash)
     }
 
-    /// Whether `p` is correct in this run.
+    /// The instant `p` permanently left the system (dynamic membership),
+    /// if a departure was scheduled within the horizon.
+    pub fn departure_time(&self, p: ProcessId) -> Option<Time> {
+        self.departures
+            .iter()
+            .find(|&&(q, t, _)| q == p && t <= self.horizon)
+            .map(|&(_, t, _)| t)
+    }
+
+    /// The instant `p` joined the system (dynamic membership), if a join
+    /// was scheduled within the horizon.
+    pub fn join_time(&self, p: ProcessId) -> Option<Time> {
+        self.joins
+            .iter()
+            .find(|&&(q, t)| q == p && t <= self.horizon)
+            .map(|&(_, t)| t)
+    }
+
+    /// The instant from which `p` is permanently out of the computation —
+    /// its unrecovered crash ([`crash_time`](Self::crash_time)) or its
+    /// membership departure, whichever comes first. Safety and liveness
+    /// analyses excuse a process only from this point on; a joiner is held
+    /// to every obligation from its join.
+    pub fn cut_time(&self, p: ProcessId) -> Option<Time> {
+        match (self.crash_time(p), self.departure_time(p)) {
+            (Some(c), Some(d)) => Some(c.min(d)),
+            (c, d) => c.or(d),
+        }
+    }
+
+    /// The process's membership class over this run (see [`MembershipTag`]).
+    pub fn membership_tag(&self, p: ProcessId) -> MembershipTag {
+        if self.departure_time(p).is_some() {
+            MembershipTag::Departed
+        } else if self.join_time(p).is_some() {
+            MembershipTag::Joined
+        } else {
+            MembershipTag::Continuous
+        }
+    }
+
+    /// Whether `p` is correct in this run (never permanently crashed and
+    /// never departed).
     pub fn is_correct(&self, p: ProcessId) -> bool {
-        self.crash_time(p).is_none()
+        self.cut_time(p).is_none()
     }
 
     /// The last scheduled process fault (restart or corruption), if any.
@@ -308,6 +406,29 @@ impl RunReport {
                     restarted: r,
                     first_eat,
                     path,
+                    membership: self.membership_tag(p),
+                }
+            })
+            .collect()
+    }
+
+    /// Per scheduled membership join: when the process joined and when it
+    /// first ate. The difference is the E17 *join → first eat* latency.
+    pub fn admissions(&self) -> Vec<Admission> {
+        let mut schedule = self.joins.clone();
+        schedule.sort_by_key(|&(_, t)| t);
+        schedule
+            .into_iter()
+            .map(|(p, j)| {
+                let first_eat = self
+                    .events
+                    .iter()
+                    .find(|e| e.process == p && e.obs == DiningObs::StartedEating && e.time >= j)
+                    .map(|e| e.time);
+                Admission {
+                    process: p,
+                    joined: j,
+                    first_eat,
                 }
             })
             .collect()
@@ -318,7 +439,7 @@ impl RunReport {
         ExclusionReport::analyze(
             &self.graph,
             &self.events,
-            &|p| self.crash_time(p),
+            &|p| self.cut_time(p),
             self.horizon,
         )
     }
@@ -328,7 +449,7 @@ impl RunReport {
         FairnessReport::analyze(
             &self.graph,
             &self.events,
-            &|p| self.crash_time(p),
+            &|p| self.cut_time(p),
             self.horizon,
         )
     }
@@ -338,7 +459,7 @@ impl RunReport {
         ProgressReport::analyze(
             self.graph.len(),
             &self.events,
-            &|p| self.crash_time(p),
+            &|p| self.cut_time(p),
             self.horizon,
         )
     }
@@ -350,7 +471,7 @@ impl RunReport {
             .dining_sends
             .iter()
             .copied()
-            .filter(|&(t, _, to)| self.crash_time(to).is_some_and(|c| c <= t))
+            .filter(|&(t, _, to)| self.cut_time(to).is_some_and(|c| c <= t))
             .collect();
         QuiescenceReport::analyze(&to_crashed, &self.crashes)
     }
@@ -360,7 +481,7 @@ impl RunReport {
         ConcurrencyReport::analyze(
             self.graph.len(),
             &self.events,
-            &|p| self.crash_time(p),
+            &|p| self.cut_time(p),
             self.horizon,
         )
     }
@@ -449,22 +570,24 @@ fn apply_cut(
     }
 }
 
-/// Makes the event stream well-formed across crash-recovery boundaries:
-/// for each process that crashes and later restarts, eating/doorway
-/// intervals open at the crash instant are closed there and a hungry
-/// session the crash aborted is removed. Without this, interval analyses
-/// would see nested opens (pre-crash residue followed by the new life's
-/// events) and would hold the recovered process accountable for a session
-/// its previous life never finished.
+/// Makes the event stream well-formed across crash-recovery and membership
+/// boundaries: for each process that crashes and later restarts,
+/// eating/doorway intervals open at the crash instant are closed there and
+/// a hungry session the crash aborted is removed, and likewise at a
+/// membership departure (a leaver's final life ends mid-interval). Without
+/// this, interval analyses would see nested or dangling opens and would
+/// hold a process accountable for a session it never got to finish.
 fn sanitize_interrupted(
     events: Vec<SchedEvent>,
     crashes: &[(ProcessId, Time)],
     recoveries: &[(ProcessId, Time)],
+    departures: &[(ProcessId, Time, bool)],
 ) -> Vec<SchedEvent> {
-    if recoveries.is_empty() {
+    if recoveries.is_empty() && departures.is_empty() {
         return events;
     }
-    // Interruption instants per process: crash times followed by a restart.
+    // Interruption instants per process: crash times followed by a restart,
+    // plus membership departures (which are always final).
     let mut cuts: BTreeMap<ProcessId, Vec<Time>> = BTreeMap::new();
     for &(p, r) in recoveries {
         let cut = crashes
@@ -475,6 +598,9 @@ fn sanitize_interrupted(
         if let Some(c) = cut {
             cuts.entry(p).or_default().push(c);
         }
+    }
+    for &(p, t, _) in departures {
+        cuts.entry(p).or_default().push(t);
     }
     for v in cuts.values_mut() {
         v.sort_unstable();
@@ -756,6 +882,150 @@ mod tests {
         assert_eq!(a.suspicions, b.suspicions);
         assert_eq!(a.total_messages, b.total_messages);
         assert_eq!(a.recovery, b.recovery);
+    }
+
+    #[test]
+    fn joiner_boots_mid_run_syncs_and_eats() {
+        let report = Scenario::new(topology::ring(5))
+            .seed(17)
+            .membership(ekbd_sim::MembershipPlan::new().join(p(2), Time(500)))
+            .workload(Workload {
+                sessions: 8,
+                think: (1, 30),
+                eat: (1, 10),
+            })
+            .horizon(Time(60_000))
+            .run_recoverable();
+        assert_eq!(report.incarnations[2], 1, "joiners boot at incarnation 1");
+        assert!(
+            report.progress().wait_free(),
+            "starving: {:?}",
+            report.progress().starving()
+        );
+        assert_eq!(report.exclusion().total(), 0, "churn must not break ◇WX");
+        let adm = report.admissions();
+        assert_eq!(adm.len(), 1);
+        assert_eq!(adm[0].joined, Time(500));
+        assert!(adm[0].first_eat.is_some(), "joiner must eat: {adm:?}");
+        assert_eq!(report.membership_tag(p(2)), crate::MembershipTag::Joined);
+        assert!(report.is_correct(p(2)), "a joiner that stays is correct");
+    }
+
+    #[test]
+    fn graceful_leaver_drains_and_survivors_keep_running() {
+        let report = Scenario::new(topology::ring(5))
+            .seed(23)
+            .membership(ekbd_sim::MembershipPlan::new().leave(p(1), Time(700)))
+            .workload(Workload {
+                sessions: 8,
+                think: (1, 30),
+                eat: (1, 10),
+            })
+            .horizon(Time(60_000))
+            .run_recoverable();
+        assert_eq!(report.cut_time(p(1)), Some(Time(700)));
+        assert!(!report.is_correct(p(1)), "departed ⇒ excused, not correct");
+        assert_eq!(report.membership_tag(p(1)), crate::MembershipTag::Departed);
+        assert!(
+            report.progress().wait_free(),
+            "survivors starve: {:?}",
+            report.progress().starving()
+        );
+        assert_eq!(report.exclusion().total(), 0);
+    }
+
+    #[test]
+    fn crash_stop_departure_cannot_starve_survivors() {
+        // p1 leaves without draining; whatever fork it held is reminted by
+        // the survivors' audit path after the strike policy.
+        let report = Scenario::new(topology::clique(4))
+            .seed(31)
+            .membership(ekbd_sim::MembershipPlan::new().crash_leave(p(1), Time(600)))
+            .workload(Workload {
+                sessions: 10,
+                think: (1, 25),
+                eat: (1, 12),
+            })
+            .horizon(Time(80_000))
+            .run_recoverable();
+        assert!(
+            report.progress().wait_free(),
+            "starving: {:?}",
+            report.progress().starving()
+        );
+        assert_eq!(report.exclusion().total(), 0);
+        assert_eq!(report.membership_tag(p(1)), crate::MembershipTag::Departed);
+    }
+
+    #[test]
+    fn replace_swaps_an_id_without_disturbing_survivors() {
+        let report = Scenario::new(topology::ring(6))
+            .seed(41)
+            .membership(ekbd_sim::MembershipPlan::new().replace(p(1), p(4), Time(800)))
+            .workload(Workload {
+                sessions: 6,
+                think: (1, 30),
+                eat: (1, 10),
+            })
+            .horizon(Time(60_000))
+            .run_recoverable();
+        assert_eq!(report.membership_tag(p(1)), crate::MembershipTag::Departed);
+        assert_eq!(report.membership_tag(p(4)), crate::MembershipTag::Joined);
+        assert_eq!(report.incarnations[4], 1);
+        assert!(
+            report.progress().wait_free(),
+            "starving: {:?}",
+            report.progress().starving()
+        );
+        assert_eq!(report.exclusion().total(), 0);
+        assert!(report.admissions()[0].first_eat.is_some());
+    }
+
+    #[test]
+    fn seeded_churn_runs_are_deterministic_and_safe() {
+        let make = || {
+            Scenario::new(topology::grid(3, 4))
+                .seed(7)
+                .horizon(Time(40_000))
+                .churn(800)
+                .workload(Workload {
+                    sessions: 6,
+                    think: (1, 30),
+                    eat: (1, 10),
+                })
+                .run_recoverable()
+        };
+        let (a, b) = (make(), make());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.suspicions, b.suspicions);
+        assert_eq!(a.total_messages, b.total_messages);
+        assert!(
+            !a.joins.is_empty() && !a.departures.is_empty(),
+            "churn plan must move in both directions"
+        );
+        assert_eq!(a.exclusion().total(), 0, "churn must not break ◇WX");
+        let starving = a.progress().starving();
+        for q in a.graph.processes() {
+            if a.join_time(q).is_none() && a.departure_time(q).is_none() {
+                assert!(
+                    !starving.contains(&q),
+                    "continuously-present {q} starves under churn"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn membership_recolors_online_and_keeps_survivor_colors() {
+        let with_join = Scenario::new(topology::ring(5))
+            .membership(ekbd_sim::MembershipPlan::new().join(p(2), Time(500)));
+        // Initially-present nodes keep the colors of the induced subgraph;
+        // the joiner takes the least color absent from its neighborhood.
+        for q in [0usize, 1, 3, 4] {
+            assert!(with_join.colors[q] <= 1, "induced ring-path is 2-colorable");
+        }
+        assert_ne!(with_join.colors[2], with_join.colors[1]);
+        assert_ne!(with_join.colors[2], with_join.colors[3]);
     }
 
     #[test]

@@ -6,10 +6,12 @@ use ekbd_detector::{
 };
 use ekbd_dining::{DiningAlgorithm, DiningProcess, RecoverableDining};
 use ekbd_graph::coloring::{self, Color};
-use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_graph::{ConflictGraph, Membership, ProcessId};
 use ekbd_journal::StorageFaultPlan;
 use ekbd_link::LinkConfig;
-use ekbd_sim::{DelayModel, EngineKind, FaultPlan, SimConfig, Simulator, Time};
+use ekbd_sim::{
+    DelayModel, EngineKind, FaultPlan, MembershipEvent, MembershipPlan, SimConfig, Simulator, Time,
+};
 
 /// Which failure detector each process runs.
 #[derive(Clone, Debug)]
@@ -103,6 +105,11 @@ pub struct Scenario {
     /// Audit strike threshold for recoverable algorithms (default:
     /// [`ekbd_dining::DEFAULT_STRIKES`]).
     pub audit_strikes: u8,
+    /// Dynamic-membership schedule (default: inert — a fixed population).
+    /// A non-inert plan requires a membership-capable algorithm
+    /// ([`supports_membership`](ekbd_dining::DiningAlgorithm::supports_membership)),
+    /// i.e. [`run_recoverable`](Self::run_recoverable).
+    pub membership: MembershipPlan,
 }
 
 impl Scenario {
@@ -129,6 +136,7 @@ impl Scenario {
             storage_faults: StorageFaultPlan::default(),
             audit_period: crate::host::AUDIT_PERIOD,
             audit_strikes: ekbd_dining::DEFAULT_STRIKES,
+            membership: MembershipPlan::new(),
         }
     }
 
@@ -305,6 +313,35 @@ impl Scenario {
         self
     }
 
+    /// Schedules dynamic membership and recomputes the coloring *online*:
+    /// initially-present processes are colored greedily over their induced
+    /// subgraph, then each joiner (in join order) takes the least color
+    /// absent from its co-present neighborhood — existing colors never
+    /// change, so in-flight sessions keep their priorities. Replaces any
+    /// coloring set earlier; note that the resulting colors are only
+    /// guaranteed proper on the *co-present* induced subgraphs, not on the
+    /// full graph (two neighbors that never coexist may share a color).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not validate against the graph's population
+    /// (see [`MembershipPlan::validate`]).
+    pub fn membership(mut self, plan: MembershipPlan) -> Self {
+        plan.validate(self.graph.len())
+            .expect("membership plan must fit the scenario population");
+        self.colors = membership_colors(&self.graph, &plan);
+        self.membership = plan;
+        self
+    }
+
+    /// Convenience: seeded churn at roughly one membership event every
+    /// `period` ticks ([`MembershipPlan::seeded_churn`]), derived from the
+    /// scenario's *current* seed and horizon — set those first.
+    pub fn churn(self, period: u64) -> Self {
+        let plan = MembershipPlan::seeded_churn(self.graph.len(), period, self.horizon, self.seed);
+        self.membership(plan)
+    }
+
     /// Builds the detector for process `p` per the oracle spec.
     pub(crate) fn detector_for(&self, p: ProcessId) -> AnyDetector {
         let neighbors = self.graph.neighbors(p);
@@ -355,7 +392,19 @@ impl Scenario {
             eat: self.workload.eat,
         };
         let mut sim = Simulator::new(cfg, |p, _| {
-            let host = DinerHost::new(factory(self, p), self.detector_for(p), workload)
+            let alg = if self.membership.is_inert() {
+                factory(self, p)
+            } else {
+                let view = self.construction_view(p);
+                let alg = factory(&view, p);
+                assert!(
+                    alg.supports_membership(),
+                    "a membership plan requires a membership-capable algorithm \
+                     (e.g. RecoverableDining; use run_recoverable)"
+                );
+                alg
+            };
+            let host = DinerHost::new(alg, self.detector_for(p), workload)
                 .with_audit_period(self.audit_period);
             match self.link {
                 Some(link_cfg) => host.with_link(link_cfg),
@@ -368,6 +417,7 @@ impl Scenario {
         for &(p, t) in &self.manual_hunger {
             sim.schedule_external(p, t, HostCmd::BecomeHungry);
         }
+        self.schedule_membership(&mut sim);
         if self.engine == EngineKind::Indexed {
             // Workload-shaped estimate: 5 scheduling observations per eat
             // session plus ~3 dining sends per session-edge, with 20% slack
@@ -381,6 +431,102 @@ impl Scenario {
         }
         sim.run_until(self.horizon);
         RunReport::collect(self, &mut sim)
+    }
+
+    /// The scenario a process is *constructed* from under the membership
+    /// plan: the conflict graph minus the edges `p` must not start with.
+    /// Initially-absent neighbors are introduced when they join (via
+    /// [`HostCmd::PeerJoined`] notices), and a neighbor that departs
+    /// before a joiner `p` ever boots never shares an edge with it at all.
+    /// Filtering must happen *before* construction rather than by pruning
+    /// after it: online recoloring lets a joiner legitimately reuse the
+    /// color of a neighbor that left first, so a never-co-present pair may
+    /// share a color and must not meet a proper-coloring construction
+    /// check.
+    fn construction_view(&self, p: ProcessId) -> Scenario {
+        let my_join = self.membership.join_time(p);
+        let pairs: Vec<(usize, usize)> = self
+            .graph
+            .edges()
+            .iter()
+            .filter(|e| match e.other(p) {
+                None => true,
+                Some(q) => {
+                    let q_joins_later = self.membership.join_time(q).is_some();
+                    let q_gone_before_my_boot = my_join
+                        .zip(self.membership.departure_time(q))
+                        .is_some_and(|(j, d)| d <= j);
+                    !q_joins_later && !q_gone_before_my_boot
+                }
+            })
+            .map(|e| (e.lo.index(), e.hi.index()))
+            .collect();
+        let mut view = self.clone();
+        view.graph = ConflictGraph::from_pairs(self.graph.len(), &pairs);
+        view
+    }
+
+    /// Schedules the membership plan: presence flips on the simulator plus
+    /// [`HostCmd::PeerJoined`]/[`HostCmd::PeerLeft`] notices to each
+    /// co-present neighbor at the change instant. A joiner learns of
+    /// neighbors that joined before (or with) it one tick after its own
+    /// boot, so the notice cannot race the `Join` event and be dropped
+    /// while it is still absent.
+    fn schedule_membership<A: DiningAlgorithm>(&self, sim: &mut Simulator<DinerHost<A>>) {
+        if self.membership.is_inert() {
+            return;
+        }
+        let plan = &self.membership;
+        for (i, absent) in plan.initially_absent(self.graph.len()).iter().enumerate() {
+            if *absent {
+                sim.set_initially_absent(ProcessId::from(i));
+            }
+        }
+        let co_present = |q: ProcessId, at: Time| {
+            plan.join_time(q).is_none_or(|t| t < at)
+                && plan.departure_time(q).is_none_or(|t| t > at)
+        };
+        for ev in plan.events() {
+            match *ev {
+                MembershipEvent::Join { process, at } => {
+                    sim.schedule_join(process, at);
+                    for &q in self.graph.neighbors(process) {
+                        if co_present(q, at) {
+                            let cmd = HostCmd::PeerJoined {
+                                peer: process,
+                                color: self.colors[process.index()],
+                            };
+                            sim.schedule_external(q, at, cmd);
+                        }
+                        let joined_by_now = plan.join_time(q).is_some_and(|t| t <= at)
+                            && plan.departure_time(q).is_none_or(|t| t > at);
+                        if joined_by_now {
+                            let cmd = HostCmd::PeerJoined {
+                                peer: q,
+                                color: self.colors[q.index()],
+                            };
+                            sim.schedule_external(process, Time(at.0 + 1), cmd);
+                        }
+                    }
+                }
+                MembershipEvent::Leave {
+                    process,
+                    at,
+                    graceful,
+                } => {
+                    sim.schedule_leave(process, at, graceful);
+                    for &q in self.graph.neighbors(process) {
+                        if co_present(q, at) {
+                            let cmd = HostCmd::PeerLeft {
+                                peer: process,
+                                graceful,
+                            };
+                            sim.schedule_external(q, at, cmd);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Runs the scenario with the paper's Algorithm 1.
@@ -416,6 +562,34 @@ impl Scenario {
         report.journals = handles.iter().map(|h| h.dump()).collect();
         report
     }
+}
+
+/// The effective coloring of a run under `plan`: greedy over the
+/// initially-present induced subgraph, then each joiner — in time order,
+/// leaves applied first at an instant so a `replace` pair never constrains
+/// itself — takes the least color absent among its co-present neighbors.
+/// Present nodes are never recolored, which is what keeps in-flight session
+/// priorities stable; the proptest suite in `ekbd-graph` checks that every
+/// such sequence stays proper on the co-present subgraph.
+fn membership_colors(graph: &ConflictGraph, plan: &MembershipPlan) -> Vec<Color> {
+    let n = graph.len();
+    let initial: Vec<bool> = plan.initially_absent(n).iter().map(|a| !a).collect();
+    let mut m = Membership::new(graph.clone(), &initial);
+    let mut events: Vec<MembershipEvent> = plan.events().to_vec();
+    // Stable: leaves before joins at the same instant.
+    events.sort_by_key(|e| (e.at(), matches!(e, MembershipEvent::Join { .. })));
+    for ev in events {
+        match ev {
+            MembershipEvent::Join { process, .. } => {
+                m.join(process).expect("validated plan cannot double-join");
+            }
+            MembershipEvent::Leave { process, .. } => {
+                m.leave(process)
+                    .expect("validated plan cannot double-leave");
+            }
+        }
+    }
+    m.colors().to_vec()
 }
 
 #[cfg(test)]

@@ -43,6 +43,33 @@ pub(crate) enum ThreadMsg<M> {
         /// Seeded entropy word for the corruption.
         entropy: u64,
     },
+    /// Membership: this (absent) process joins the system now with a
+    /// fresh incarnation. Ignored unless the process is absent.
+    Join,
+    /// Membership: this process leaves the system permanently. A graceful
+    /// leaver drains first (discharging held forks and deferred acks); a
+    /// crash-stop leaver just parks, leaving reclamation to the
+    /// survivors' audit.
+    Leave {
+        /// Drain before departing.
+        graceful: bool,
+    },
+    /// Membership: neighbor `peer` (with priority `color`) joined — grow
+    /// the conflict edge with canonical fork placement.
+    PeerJoined {
+        /// The joining neighbor.
+        peer: ProcessId,
+        /// Its (δ+1)-recoloring priority.
+        color: u32,
+    },
+    /// Membership: neighbor `peer` left — tear the edge down (graceful)
+    /// or mark it departed for audit reclamation (crash-stop).
+    PeerLeft {
+        /// The departing neighbor.
+        peer: ProcessId,
+        /// Whether it drained before leaving.
+        graceful: bool,
+    },
     /// Orderly end of the experiment.
     Shutdown,
 }
@@ -71,6 +98,9 @@ pub(crate) struct ProcessThread<A: DiningAlgorithm> {
     pub entropy_seed: u64,
     /// Crashed-but-recoverable: parked, dropping all traffic.
     pub crashed: bool,
+    /// Not (or no longer) a member: parked, dropping all traffic, until a
+    /// `Join` boots it (initially-absent spawn) or forever (departed).
+    pub absent: bool,
     /// Restart counter — the "one counter in stable storage".
     pub inc: u64,
 }
@@ -171,8 +201,12 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
         let before = self.alg.state();
         let mut sends = Vec::new();
         f(&mut self.alg, &self.det, &mut sends);
-        self.send_dining(sends, timers);
         let after = self.alg.state();
+        // Record the transition BEFORE transmitting its sends: the shared
+        // epoch makes cross-thread timestamps comparable, so stamping the
+        // released fork's StoppedEating only after the send could let the
+        // receiver stamp its StartedEating first (this thread preempted
+        // in between) and fabricate a ◇WX overlap that never happened.
         if before == DinerState::Thinking && after != DinerState::Thinking {
             self.record(DiningObs::BecameHungry);
         }
@@ -186,6 +220,7 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
         if before == DinerState::Eating && after == DinerState::Thinking {
             self.record(DiningObs::StoppedEating);
         }
+        self.send_dining(sends, timers);
     }
 
     /// Restarts the crashed process: link layer first (clean channels for
@@ -204,6 +239,38 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
         self.alg
             .restart(self.inc, corruption, &self.det, &mut sends);
         self.send_dining(sends, timers);
+        let mut out = DetectorOutput::new();
+        self.det.handle(
+            DetectorEvent::Recovered {
+                now: self.now(),
+                epoch: self.inc,
+            },
+            &mut out,
+        );
+        self.apply_detector_output(out, timers);
+        self.arm_audit(timers);
+    }
+
+    /// Boots an absent process into the system: fresh incarnation, clean
+    /// link channels, the algorithm's `join` (introduction traffic toward
+    /// any pre-wired edges), and a first detector life. Conflict edges to
+    /// co-present neighbors arrive as `PeerJoined` notices queued right
+    /// behind the `Join` on this thread's FIFO channel.
+    fn boot(&mut self, timers: &mut Vec<(Instant, u64)>) {
+        self.absent = false;
+        self.crashed = false;
+        self.inc += 1;
+        timers.clear();
+        if let Some(link) = self.link.as_mut() {
+            link.on_restart(self.inc);
+        }
+        let mut sends = Vec::new();
+        self.alg.note_now(self.now().0);
+        self.alg.join(self.inc, &self.det, &mut sends);
+        self.send_dining(sends, timers);
+        // Same detector life-change as a restart: the neighbors suspected
+        // the absent process (rightly — no heartbeats), and only an
+        // epoch-stamped Alive refutes a standing suspicion.
         let mut out = DetectorOutput::new();
         self.det.handle(
             DetectorEvent::Recovered {
@@ -249,11 +316,15 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
     /// shutdown or (unrecoverable) crash.
     fn event_loop(&mut self) {
         let mut timers: Vec<(Instant, u64)> = Vec::new();
-        let mut out = DetectorOutput::new();
-        self.det
-            .handle(DetectorEvent::Start { now: self.now() }, &mut out);
-        self.apply_detector_output(out, &mut timers);
-        self.arm_audit(&mut timers);
+        // An initially-absent process stays dark — no heartbeats, no audit
+        // — until its Join boots it.
+        if !self.absent {
+            let mut out = DetectorOutput::new();
+            self.det
+                .handle(DetectorEvent::Start { now: self.now() }, &mut out);
+            self.apply_detector_output(out, &mut timers);
+            self.arm_audit(&mut timers);
+        }
 
         loop {
             // Fire every due timer (none are armed while crashed).
@@ -296,14 +367,29 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
                 .unwrap_or_else(|| Instant::now() + std::time::Duration::from_millis(50));
             match self.rx.recv_deadline(deadline) {
                 // A crashed (parked) recoverable process drops everything
-                // except a restart or the end of the experiment.
+                // except a restart or the end of the experiment; an absent
+                // one additionally accepts a membership Join.
                 Ok(ThreadMsg::Recover { corrupt }) => {
-                    if self.crashed {
+                    if self.crashed && !self.absent {
                         self.restart(corrupt, &mut timers);
                     }
                 }
+                Ok(ThreadMsg::Join) => {
+                    if self.absent {
+                        self.boot(&mut timers);
+                    }
+                }
+                Ok(ThreadMsg::Leave { graceful }) => {
+                    if !self.absent {
+                        if graceful && !self.crashed {
+                            self.step_alg(&mut timers, |alg, _det, sends| alg.retire(sends));
+                        }
+                        self.absent = true;
+                        timers.clear();
+                    }
+                }
                 Ok(ThreadMsg::Shutdown) => return,
-                Ok(_) if self.crashed => {}
+                Ok(_) if self.crashed || self.absent => {}
                 Ok(ThreadMsg::Dining(from, msg)) => {
                     self.drive(DiningInput::Message { from, msg }, &mut timers);
                 }
@@ -324,6 +410,20 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
                     if self.alg.state() == DinerState::Thinking {
                         self.drive(DiningInput::Hungry, &mut timers);
                     }
+                }
+                Ok(ThreadMsg::PeerJoined { peer, color }) => {
+                    self.step_alg(&mut timers, |alg, det, sends| {
+                        alg.add_peer(peer, color, det, sends)
+                    });
+                }
+                Ok(ThreadMsg::PeerLeft { peer, graceful }) => {
+                    self.step_alg(&mut timers, |alg, det, sends| {
+                        if graceful {
+                            alg.remove_peer(peer, det, sends)
+                        } else {
+                            alg.peer_departed(peer, det, sends)
+                        }
+                    });
                 }
                 Ok(ThreadMsg::Corrupt { entropy }) => {
                     self.step_alg(&mut timers, |alg, det, sends| {

@@ -4,7 +4,7 @@ use crossbeam_channel::{unbounded, Sender};
 use ekbd_detector::{HeartbeatConfig, HeartbeatDetector};
 use ekbd_dining::{DiningAlgorithm, DiningMsg, DiningProcess, RecoverableDining, RecoveryMsg};
 use ekbd_graph::coloring::{self, Color};
-use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_graph::{ConflictGraph, Membership, ProcessId};
 use ekbd_journal::{FileJournal, JournalHandle};
 use ekbd_link::{LinkConfig, LinkEndpoint};
 use ekbd_metrics::{LinkSummary, SchedEvent};
@@ -78,6 +78,11 @@ pub struct ThreadedDining<M: Clone + Send + 'static = DiningMsg> {
     epoch: Instant,
     entropy_seed: u64,
     corrupt_nonce: AtomicU64,
+    graph: ConflictGraph,
+    colors: Vec<Color>,
+    /// Membership ledger: which processes are currently in the system.
+    /// Fixed-population spawns start (and stay) all-true.
+    present: Mutex<Vec<bool>>,
 }
 
 impl<M: Clone + Send + 'static> ThreadedDining<M> {
@@ -93,6 +98,23 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
         A: DiningAlgorithm<Msg = M> + Send + 'static,
     {
         let colors = coloring::greedy(&graph);
+        let present = vec![true; graph.len()];
+        Self::spawn_colored(graph, config, colors, present, &mut factory)
+    }
+
+    /// [`spawn_with`](Self::spawn_with) under an explicit coloring and
+    /// initial membership: processes with `present[i] == false` park dark
+    /// (no heartbeats, no traffic) until [`join`](ThreadedDining::join).
+    fn spawn_colored<A>(
+        graph: ConflictGraph,
+        config: RuntimeConfig,
+        colors: Vec<Color>,
+        present: Vec<bool>,
+        mut factory: impl FnMut(&ConflictGraph, &[Color], ProcessId) -> A,
+    ) -> Self
+    where
+        A: DiningAlgorithm<Msg = M> + Send + 'static,
+    {
         let epoch = Instant::now();
         let events: Arc<Mutex<Vec<SchedEvent>>> = Arc::new(Mutex::new(Vec::new()));
         let link_stats: Arc<Mutex<LinkSummary>> = Arc::new(Mutex::new(LinkSummary::default()));
@@ -123,6 +145,7 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
                 audit_ms: config.audit_ms.max(1),
                 entropy_seed: config.faults.seed,
                 crashed: false,
+                absent: !present[i],
                 inc: 0,
             };
             handles.push(
@@ -140,6 +163,9 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
             epoch,
             entropy_seed: config.faults.seed,
             corrupt_nonce: AtomicU64::new(0),
+            graph,
+            colors,
+            present: Mutex::new(present),
         }
     }
 
@@ -236,6 +262,107 @@ impl ThreadedDining<RecoveryMsg> {
                 None => alg,
             }
         })
+    }
+
+    /// Spawns a churn-capable system: processes with
+    /// `initially_present[i] == false` park dark until
+    /// [`join`](Self::join), and any process can later be removed with
+    /// [`leave`](Self::leave). Colors come from the online (δ+1)-
+    /// recoloring ledger — initially-present processes are greedily
+    /// colored over their induced subgraph, and each absent process is
+    /// pre-assigned (in id order) the least color absent from its
+    /// neighborhood, so no survivor ever recolors when it joins.
+    pub fn spawn_recoverable_with_membership(
+        graph: ConflictGraph,
+        config: RuntimeConfig,
+        initially_present: &[bool],
+    ) -> Self {
+        assert_eq!(
+            initially_present.len(),
+            graph.len(),
+            "one presence flag per process"
+        );
+        let mut ledger = Membership::new(graph.clone(), initially_present);
+        for (i, present) in initially_present.iter().enumerate() {
+            if !present {
+                ledger
+                    .join(ProcessId::from(i))
+                    .expect("spawn-time join coloring of an absent process");
+            }
+        }
+        let colors = ledger.colors().to_vec();
+        let journal_dir = config.journal_dir.clone();
+        let initially_present = initially_present.to_vec();
+        let present = initially_present.clone();
+        Self::spawn_colored(graph, config, colors, present, move |g, colors, id| {
+            let mut alg = RecoverableDining::from_graph(g, colors, id);
+            // Prune the edges membership will grow at runtime: an absent
+            // process boots with no edges (they arrive as PeerJoined
+            // notices queued behind its Join), and a present process drops
+            // its edges toward the absent (re-added symmetrically when
+            // they join).
+            let nobody = BTreeSet::new();
+            let mut sink = Vec::new();
+            for &q in g.neighbors(id) {
+                if !initially_present[id.index()] || !initially_present[q.index()] {
+                    alg.remove_peer(q, &nobody, &mut sink);
+                }
+            }
+            debug_assert!(sink.is_empty(), "pruning at spawn cannot send");
+            match &journal_dir {
+                Some(dir) => {
+                    let path = dir.join(format!("journal-p{}.ekj", id.index()));
+                    alg.with_journal(JournalHandle::new(FileJournal::new(path)))
+                }
+                None => alg,
+            }
+        })
+    }
+
+    /// Admits the absent process `p` into the system: boots its thread
+    /// with a fresh incarnation and grows the conflict edges toward every
+    /// co-present neighbor (canonical fork placement on both sides, by
+    /// color order). No-op if `p` is already a member.
+    pub fn join(&self, p: ProcessId) {
+        let mut present = self.present.lock();
+        if present[p.index()] {
+            return;
+        }
+        // The joiner's FIFO channel guarantees Join is processed before
+        // the PeerJoined introductions queued right behind it.
+        let _ = self.txs[p.index()].send(ThreadMsg::Join);
+        for &q in self.graph.neighbors(p) {
+            if present[q.index()] {
+                let _ = self.txs[q.index()].send(ThreadMsg::PeerJoined {
+                    peer: p,
+                    color: self.colors[p.index()],
+                });
+                let _ = self.txs[p.index()].send(ThreadMsg::PeerJoined {
+                    peer: q,
+                    color: self.colors[q.index()],
+                });
+            }
+        }
+        present[p.index()] = true;
+    }
+
+    /// Removes the member `p` permanently. Graceful departure drains
+    /// first — `p` discharges held forks and deferred acks, and survivors
+    /// tear the shared edges down; a crash-stop departure (`graceful =
+    /// false`) parks `p` mid-whatever, and the survivors' periodic audit
+    /// reclaims any fork it held. No-op if `p` is not a member.
+    pub fn leave(&self, p: ProcessId, graceful: bool) {
+        let mut present = self.present.lock();
+        if !present[p.index()] {
+            return;
+        }
+        present[p.index()] = false;
+        let _ = self.txs[p.index()].send(ThreadMsg::Leave { graceful });
+        for &q in self.graph.neighbors(p) {
+            if present[q.index()] {
+                let _ = self.txs[q.index()].send(ThreadMsg::PeerLeft { peer: p, graceful });
+            }
+        }
     }
 }
 
@@ -443,6 +570,124 @@ mod tests {
         });
         assert!(p0_ate_after, "journaled p0 must be readmitted and eat");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn joiner_comes_online_and_eats_on_threads() {
+        // p2 starts outside the system on a 4-ring; the other three run
+        // normally. Mid-run p2 joins: it must be admitted and eat, and
+        // its neighbors must keep eating afterwards.
+        let g = topology::ring(4);
+        let present = [true, true, false, true];
+        let sys = ThreadedDining::spawn_recoverable_with_membership(
+            g,
+            RuntimeConfig::default(),
+            &present,
+        );
+        for i in [0usize, 1, 3] {
+            sys.make_hungry(ProcessId::from(i));
+        }
+        std::thread::sleep(Duration::from_millis(150));
+        sys.join(ProcessId(2));
+        std::thread::sleep(Duration::from_millis(100));
+        let join_ms = sys.elapsed_ms();
+        for _ in 0..4 {
+            for i in 0..4 {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(Duration::from_millis(80));
+        }
+        let events = sys.shutdown_after(Duration::from_millis(500));
+        let mut ate_after = [false; 4];
+        for e in &events {
+            if e.obs == DiningObs::StartedEating && e.time >= Time(join_ms) {
+                ate_after[e.process.index()] = true;
+            }
+        }
+        assert!(
+            ate_after.iter().all(|&x| x),
+            "joiner and survivors must all eat after the join: {ate_after:?}"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| e.process == ProcessId(2) && e.time < Time(join_ms - 100)),
+            "an absent process emits nothing before its join"
+        );
+    }
+
+    #[test]
+    fn graceful_leaver_drains_and_survivors_keep_eating_on_threads() {
+        // p1 departs gracefully mid-run on a clique; its drained forks
+        // must not wedge anyone — every survivor keeps eating afterwards.
+        let g = topology::clique(4);
+        let present = [true; 4];
+        let sys = ThreadedDining::spawn_recoverable_with_membership(
+            g,
+            RuntimeConfig::default(),
+            &present,
+        );
+        for i in 0..4 {
+            sys.make_hungry(ProcessId::from(i));
+        }
+        std::thread::sleep(Duration::from_millis(150));
+        sys.leave(ProcessId(1), true);
+        std::thread::sleep(Duration::from_millis(50));
+        let leave_ms = sys.elapsed_ms();
+        for _ in 0..4 {
+            for i in 0..4 {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(Duration::from_millis(80));
+        }
+        let events = sys.shutdown_after(Duration::from_millis(500));
+        let mut ate_after = [false; 4];
+        for e in &events {
+            if e.obs == DiningObs::StartedEating && e.time >= Time(leave_ms) {
+                ate_after[e.process.index()] = true;
+            }
+        }
+        assert!(
+            ate_after[0] && ate_after[2] && ate_after[3],
+            "survivors must keep eating after a graceful departure: {ate_after:?}"
+        );
+        assert!(!ate_after[1], "a departed process never eats again");
+    }
+
+    #[test]
+    fn crash_stop_departure_is_reclaimed_by_the_audit_on_threads() {
+        // p0 leaves without draining on a 3-ring — whatever fork it held
+        // is gone with it. The survivors' audit must remint and neither
+        // may starve.
+        let sys = ThreadedDining::spawn_recoverable_with_membership(
+            topology::ring(3),
+            RuntimeConfig::default(),
+            &[true; 3],
+        );
+        for i in 0..3 {
+            sys.make_hungry(ProcessId::from(i));
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        sys.leave(ProcessId(0), false);
+        std::thread::sleep(Duration::from_millis(50));
+        let leave_ms = sys.elapsed_ms();
+        for _ in 0..4 {
+            for i in 0..3 {
+                sys.make_hungry(ProcessId::from(i));
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let events = sys.shutdown_after(Duration::from_millis(600));
+        let mut ate_after = [false; 3];
+        for e in &events {
+            if e.obs == DiningObs::StartedEating && e.time >= Time(leave_ms) {
+                ate_after[e.process.index()] = true;
+            }
+        }
+        assert!(
+            ate_after[1] && ate_after[2],
+            "survivors must outlive a crash-stop departure: {ate_after:?}"
+        );
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub(crate) enum EventKind<M, E> {
     /// Flip state bits of the target process if it is live (a transient
     /// fault in the self-stabilization sense).
     Corrupt,
+    /// Boot the target process into the system if it is absent (dynamic
+    /// membership).
+    Join,
+    /// Remove the target process from the system if it is present.
+    Leave {
+        /// Whether the process gets a final drain event before going
+        /// silent (graceful) or vanishes without warning (crash-stop).
+        graceful: bool,
+    },
 }
 
 /// A queued event, ordered by `(time, seq)`.

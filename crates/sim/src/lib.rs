@@ -27,6 +27,12 @@
 //!   suffer transient state corruption
 //!   ([`Simulator::schedule_corruption`]) — the crash-recovery +
 //!   transient-fault model of the self-stabilization literature.
+//! * Dynamic membership: a seeded [`MembershipPlan`] schedules join and
+//!   leave events over a fixed maximum population, so the conflict graph
+//!   itself becomes part of the fault model. Initially-absent processes
+//!   boot mid-run ([`Simulator::schedule_join`]) with a fresh incarnation;
+//!   present processes depart permanently ([`Simulator::schedule_leave`]),
+//!   either gracefully (one final drain event) or crash-stop.
 //! * Adversarial channel faults beyond the paper's model: a seeded
 //!   [`FaultPlan`] adds per-edge message loss, duplication, bounded
 //!   reordering, and timed link partitions that heal — all recorded in the
@@ -68,6 +74,7 @@
 
 mod event;
 mod fault;
+mod membership;
 mod network;
 mod node;
 mod sim;
@@ -77,6 +84,7 @@ mod trace;
 pub use ekbd_graph::ProcessId;
 pub use event::EngineKind;
 pub use fault::{CorruptionSpec, FaultPlan, LinkFault, Partition, RecoverySpec};
+pub use membership::{MembershipEvent, MembershipPlan, MembershipPlanError};
 pub use network::{ChannelStats, DelayModel};
 pub use node::{Context, Node, NodeEvent};
 pub use sim::{SimConfig, Simulator};

@@ -46,6 +46,21 @@ pub enum NodeEvent<M, E> {
         /// Seeded entropy word for the corruption.
         entropy: u64,
     },
+    /// The (initially absent) process boots into the system at runtime
+    /// (dynamic membership). Delivered instead of [`NodeEvent::Start`];
+    /// the node initializes itself and introduces itself to its present
+    /// neighbors.
+    Join {
+        /// The simulator's per-process restart counter, shared with
+        /// [`NodeEvent::Recover`]: a joiner boots at incarnation ≥ 1, so a
+        /// later crash + recovery of the same process keeps the counter
+        /// strictly increasing.
+        incarnation: u64,
+    },
+    /// The process is leaving the system gracefully; this is the last
+    /// event it will ever handle. Outgoing sends still go out, so the node
+    /// should discharge held resources (forks, deferred acks) here.
+    Leave,
 }
 
 /// A process in the simulated system.

@@ -132,6 +132,11 @@ pub struct Simulator<N: Node> {
     network: Network,
     nodes: Vec<N>,
     crashed: Vec<bool>,
+    /// Dynamic-membership presence. An absent process behaves like a
+    /// crashed one (drops deliveries, timers, externals) but has never
+    /// started — or has permanently left. All-true without a membership
+    /// schedule, so churn-free runs are bit-identical to the seed kernel.
+    present: Vec<bool>,
     crash_times: Vec<Option<Time>>,
     incarnations: Vec<u64>,
     rng: StdRng,
@@ -169,6 +174,7 @@ impl<N: Node> Simulator<N> {
             queue,
             nodes,
             crashed: vec![false; n],
+            present: vec![true; n],
             crash_times: vec![None; n],
             incarnations: vec![0; n],
             rng,
@@ -255,6 +261,41 @@ impl<N: Node> Simulator<N> {
     pub fn schedule_external(&mut self, p: ProcessId, t: Time, ev: N::Ext) {
         assert!(p.index() < self.len(), "external target out of range");
         self.queue.push(t, p, EventKind::External(ev));
+    }
+
+    /// Marks `p` as initially absent (dynamic membership). Must be called
+    /// before the first event is processed: the process gets no `Start`
+    /// event and drops everything addressed to it until a scheduled join
+    /// boots it.
+    pub fn set_initially_absent(&mut self, p: ProcessId) {
+        assert!(p.index() < self.len(), "membership target out of range");
+        assert!(!self.started, "initial membership is fixed at start-up");
+        self.present[p.index()] = false;
+    }
+
+    /// Schedules the absent process `p` to join the system at `t`. A no-op
+    /// if `p` is already present when the event fires. The joiner boots at
+    /// the next incarnation of the shared restart counter (≥ 1), so a
+    /// later crash + recovery stays strictly increasing.
+    pub fn schedule_join(&mut self, p: ProcessId, t: Time) {
+        assert!(p.index() < self.len(), "membership target out of range");
+        self.queue.push(t, p, EventKind::Join);
+    }
+
+    /// Schedules the present process `p` to leave the system at `t`,
+    /// permanently. With `graceful`, the node handles one final
+    /// [`NodeEvent::Leave`] (its outgoing sends are still delivered) before
+    /// going silent; otherwise it crash-stops out with no warning. A no-op
+    /// if `p` is absent or crashed when the event fires.
+    pub fn schedule_leave(&mut self, p: ProcessId, t: Time, graceful: bool) {
+        assert!(p.index() < self.len(), "membership target out of range");
+        self.queue.push(t, p, EventKind::Leave { graceful });
+    }
+
+    /// Whether `p` is currently a member of the system (present and not
+    /// merely crashed; a crashed member is still a member).
+    pub fn is_present(&self, p: ProcessId) -> bool {
+        self.present[p.index()]
     }
 
     /// Events processed so far.
@@ -364,7 +405,7 @@ impl<N: Node> Simulator<N> {
         for (to, msg) in sends.drain(..) {
             assert!(to.index() < self.crashed.len(), "send target out of range");
             assert!(to != target, "a process cannot send to itself");
-            let dest_crashed = self.crashed[to.index()];
+            let dest_crashed = self.crashed[to.index()] || !self.present[to.index()];
             let disposition = self.network.schedule_send(
                 &self.config.delay,
                 &self.config.faults,
@@ -437,7 +478,9 @@ impl<N: Node> Simulator<N> {
         }
         self.started = true;
         for i in 0..self.len() {
-            self.dispatch(ProcessId::from(i), NodeEvent::Start);
+            if self.present[i] {
+                self.dispatch(ProcessId::from(i), NodeEvent::Start);
+            }
         }
     }
 
@@ -469,7 +512,7 @@ impl<N: Node> Simulator<N> {
             }
             EventKind::Deliver { from, msg } => {
                 self.network.complete_delivery(from, target);
-                if self.crashed[target.index()] {
+                if self.crashed[target.index()] || !self.present[target.index()] {
                     if self.config.record_trace {
                         self.trace.push(TraceEvent {
                             time: self.time,
@@ -487,7 +530,7 @@ impl<N: Node> Simulator<N> {
                 }
             }
             EventKind::Timer { tag } => {
-                if !self.crashed[target.index()] {
+                if !self.crashed[target.index()] && self.present[target.index()] {
                     if self.config.record_trace {
                         self.trace.push(TraceEvent {
                             time: self.time,
@@ -501,7 +544,7 @@ impl<N: Node> Simulator<N> {
                 }
             }
             EventKind::External(ext) => {
-                if !self.crashed[target.index()] {
+                if !self.crashed[target.index()] && self.present[target.index()] {
                     if self.config.record_trace {
                         self.trace.push(TraceEvent {
                             time: self.time,
@@ -512,7 +555,7 @@ impl<N: Node> Simulator<N> {
                 }
             }
             EventKind::Recover { corrupt } => {
-                if self.crashed[target.index()] {
+                if self.crashed[target.index()] && self.present[target.index()] {
                     self.crashed[target.index()] = false;
                     self.crash_times[target.index()] = None;
                     self.incarnations[target.index()] += 1;
@@ -539,7 +582,7 @@ impl<N: Node> Simulator<N> {
                 }
             }
             EventKind::Corrupt => {
-                if !self.crashed[target.index()] {
+                if !self.crashed[target.index()] && self.present[target.index()] {
                     if self.config.record_trace {
                         self.trace.push(TraceEvent {
                             time: self.time,
@@ -548,6 +591,47 @@ impl<N: Node> Simulator<N> {
                     }
                     let entropy = fault_entropy(self.config.seed, target, self.time);
                     self.dispatch(target, NodeEvent::Corrupt { entropy });
+                }
+            }
+            EventKind::Join => {
+                if !self.present[target.index()] && !self.crashed[target.index()] {
+                    self.present[target.index()] = true;
+                    // Joiners share the restart counter with recoveries so a
+                    // later crash + recovery keeps incarnations monotone.
+                    self.incarnations[target.index()] += 1;
+                    let incarnation = self.incarnations[target.index()];
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent {
+                            time: self.time,
+                            kind: TraceKind::Joined {
+                                process: target,
+                                incarnation,
+                            },
+                        });
+                    }
+                    self.dispatch(target, NodeEvent::Join { incarnation });
+                }
+            }
+            EventKind::Leave { graceful } => {
+                if self.present[target.index()] {
+                    // A crashed member can still be removed (it just gets
+                    // no drain); once departed, a scheduled recovery can
+                    // never resurrect it.
+                    if graceful && !self.crashed[target.index()] {
+                        // The drain handler runs while the node is still
+                        // present, so its farewell sends go out normally.
+                        self.dispatch(target, NodeEvent::Leave);
+                    }
+                    self.present[target.index()] = false;
+                    if self.config.record_trace {
+                        self.trace.push(TraceEvent {
+                            time: self.time,
+                            kind: TraceKind::Left {
+                                process: target,
+                                graceful,
+                            },
+                        });
+                    }
                 }
             }
         }
@@ -623,8 +707,8 @@ mod tests {
                         ctx.send(next, c + 1);
                     }
                 }
-                NodeEvent::Timer { .. } => {}
-                NodeEvent::Recover { .. } | NodeEvent::Corrupt { .. } => {
+                NodeEvent::Timer { .. } | NodeEvent::Leave => {}
+                NodeEvent::Recover { .. } | NodeEvent::Corrupt { .. } | NodeEvent::Join { .. } => {
                     ctx.observe(u32::MAX);
                 }
             }
@@ -769,6 +853,113 @@ mod tests {
             .iter()
             .any(|e| matches!(e.kind, TraceKind::Corrupted { .. })));
         assert_eq!(run(9), run(9), "fault runs are pure functions of the seed");
+    }
+
+    #[test]
+    fn initially_absent_process_never_starts_and_drops_traffic() {
+        let mut sim = ring_sim(11);
+        sim.set_initially_absent(p(2));
+        sim.run();
+        assert!(!sim.is_present(p(2)));
+        // The token dies at the absent p2 exactly as at a crashed one.
+        assert!(sim.observations().iter().all(|o| o.process != p(2)));
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::DroppedAtCrashed { to, .. } if to == p(2))));
+        let max_hop = sim.observations().iter().map(|o| o.obs).max().unwrap();
+        assert!(max_hop < 10, "token must not pass through an absent node");
+    }
+
+    #[test]
+    fn join_boots_an_absent_process_with_fresh_incarnation() {
+        let mut sim = ring_sim(12);
+        sim.set_initially_absent(p(2));
+        sim.schedule_join(p(2), Time(500));
+        // Re-inject the token after the join so the ring completes.
+        sim.schedule_external(p(0), Time(600), 0);
+        sim.run();
+        assert!(sim.is_present(p(2)));
+        assert_eq!(sim.incarnation(p(2)), 1);
+        // The joiner saw its Join event (observed as u32::MAX by RingHop)
+        // and then forwarded real traffic.
+        assert!(sim
+            .observations()
+            .iter()
+            .any(|o| o.process == p(2) && o.obs == u32::MAX));
+        let max_hop = sim.observations().iter().map(|o| o.obs).max().unwrap();
+        assert_eq!(max_hop, u32::MAX);
+        assert!(sim.trace().iter().any(
+            |e| matches!(e.kind, TraceKind::Joined { process, incarnation: 1 } if process == p(2))
+        ));
+        // Joining an already-present process is a no-op.
+        let mut sim = ring_sim(12);
+        sim.schedule_join(p(1), Time(100));
+        sim.run();
+        assert_eq!(sim.incarnation(p(1)), 0);
+        assert!(!sim
+            .trace()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Joined { .. })));
+    }
+
+    #[test]
+    fn leave_permanently_silences_a_process() {
+        for graceful in [false, true] {
+            let mut sim = ring_sim(13);
+            sim.schedule_leave(p(2), Time(2), graceful);
+            sim.run();
+            assert!(!sim.is_present(p(2)));
+            // No event reaches p2 after the leave fires.
+            assert!(sim
+                .observations()
+                .iter()
+                .all(|o| o.process != p(2) || o.time < Time(2)));
+            assert!(sim.trace().iter().any(|e| matches!(
+                e.kind,
+                TraceKind::Left { process, graceful: g } if process == p(2) && g == graceful
+            )));
+            // A recovery scheduled after departure must not resurrect it:
+            // departure is permanent even for an already-crashed node.
+            let mut sim = ring_sim(13);
+            sim.schedule_crash(p(2), Time(2));
+            sim.schedule_leave(p(2), Time(3), graceful);
+            sim.schedule_recovery(p(2), Time(50), false);
+            sim.run();
+            assert!(!sim.is_present(p(2)));
+            assert_eq!(sim.incarnation(p(2)), 0, "departed nodes never recover");
+        }
+    }
+
+    #[test]
+    fn membership_runs_are_deterministic_per_seed() {
+        let run = |seed| {
+            let cfg = SimConfig::default().n(6).seed(seed).record_trace(true);
+            let mut sim = Simulator::new(cfg, |_, _| RingHop { n: 6, limit: 40 });
+            sim.set_initially_absent(p(4));
+            sim.schedule_join(p(4), Time(30));
+            sim.schedule_leave(p(1), Time(60), true);
+            sim.schedule_external(p(0), Time(1), 0);
+            sim.schedule_external(p(0), Time(100), 0);
+            sim.run();
+            (sim.trace().to_vec(), sim.events_processed())
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn churn_free_runs_are_byte_identical_to_seed_kernel() {
+        // The membership machinery must be invisible when unused: a run on
+        // the extended kernel with an empty plan produces the identical
+        // trace, observation log, and event count as the seed behavior.
+        let mut plain = ring_sim(77);
+        plain.run();
+        let mut noop = ring_sim(77);
+        // Exercising only the no-op paths (present joins, absent leaves are
+        // not scheduled at all here) must not perturb anything.
+        noop.run();
+        assert_eq!(plain.trace(), noop.trace());
+        assert_eq!(plain.events_processed(), noop.events_processed());
     }
 
     #[test]

@@ -88,6 +88,21 @@ pub enum TraceKind {
         /// Its (possibly early) delivery time.
         delivery: Time,
     },
+    /// An initially-absent process joined the system (dynamic membership).
+    Joined {
+        /// The joining process.
+        process: ProcessId,
+        /// Its boot incarnation (shares the restart counter with
+        /// [`TraceKind::Recovered`]).
+        incarnation: u64,
+    },
+    /// A process left the system permanently (dynamic membership).
+    Left {
+        /// The departing process.
+        process: ProcessId,
+        /// Whether it drained gracefully (`true`) or crash-stopped out.
+        graceful: bool,
+    },
 }
 
 /// A timestamped [`TraceKind`].
