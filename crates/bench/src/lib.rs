@@ -22,6 +22,10 @@
 //! | `e12_message_cost` | engineering context — doorway cost vs. baselines |
 //! | `e13_partitionable` | §8 — ◇P₁ and the daemon survive crash partitions |
 //! | `e14_unreliable_channels` | beyond the paper — theorems survive lossy channels behind `ekbd-link` |
+//! | `e15_crash_recovery` | beyond the paper — crash/recover/corrupt rejoin via the audit handshake |
+//! | `e16_journal` | beyond the paper — durable journal, storage faults, post-mortem replay |
+//! | `e17_churn` | beyond the paper — dynamic membership churn with online admission |
+//! | `e18_chaos` | beyond the paper — composed chaos schedules + automatic shrinking |
 //! | `criterion_perf` | statistical micro-benchmarks (Criterion) |
 //!
 //! This library crate holds the plain-text table writer and small helpers

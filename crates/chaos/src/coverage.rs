@@ -1,0 +1,140 @@
+//! Coverage accounting for exploration campaigns: which combinations of
+//! fault axes have been exercised on which topology.
+//!
+//! The unit of coverage is an *axis-combination mask* per topology: a
+//! schedule mixing channel noise with a crash on `ring-8` marks
+//! `{channel, crash}` as visited there. The report renders the visited
+//! combinations and — the actionable part — which of the ten axis *pairs*
+//! a campaign never touched, since pairwise composition is where
+//! single-axis gates (E14–E17) are blind.
+
+use crate::schedule::{Axis, FaultSchedule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Accumulated coverage across one exploration campaign.
+#[derive(Clone, Debug, Default)]
+pub struct Coverage {
+    seen: BTreeMap<String, BTreeSet<u8>>,
+}
+
+impl Coverage {
+    /// Empty coverage.
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Record one executed schedule.
+    pub fn record(&mut self, schedule: &FaultSchedule) {
+        self.seen
+            .entry(schedule.topology.clone())
+            .or_default()
+            .insert(schedule.axis_mask());
+    }
+
+    /// Number of distinct (topology, axis-combination) cells visited.
+    pub fn cells(&self) -> usize {
+        self.seen.values().map(BTreeSet::len).sum()
+    }
+
+    /// Axis pairs exercised together on at least one topology.
+    pub fn pairs_covered(&self) -> BTreeSet<(Axis, Axis)> {
+        let mut pairs = BTreeSet::new();
+        for masks in self.seen.values() {
+            for &mask in masks {
+                for (i, a) in Axis::ALL.iter().enumerate() {
+                    for b in &Axis::ALL[i + 1..] {
+                        if mask & a.bit() != 0 && mask & b.bit() != 0 {
+                            pairs.insert((*a, *b));
+                        }
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Axis pairs no schedule in the campaign ever combined.
+    pub fn pairs_missing(&self) -> Vec<(Axis, Axis)> {
+        let covered = self.pairs_covered();
+        let mut missing = Vec::new();
+        for (i, a) in Axis::ALL.iter().enumerate() {
+            for b in &Axis::ALL[i + 1..] {
+                if !covered.contains(&(*a, *b)) {
+                    missing.push((*a, *b));
+                }
+            }
+        }
+        missing
+    }
+
+    /// Human-readable campaign summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("coverage: axis combinations exercised per topology\n");
+        for (topo, masks) in &self.seen {
+            let combos: Vec<String> = masks.iter().map(|&m| combo_name(m)).collect();
+            out.push_str(&format!("  {topo}: {}\n", combos.join(", ")));
+        }
+        let missing = self.pairs_missing();
+        if missing.is_empty() {
+            out.push_str("  all 10 axis pairs exercised\n");
+        } else {
+            let names: Vec<String> = missing
+                .iter()
+                .map(|(a, b)| format!("{}+{}", a.name(), b.name()))
+                .collect();
+            out.push_str(&format!("  pairs never combined: {}\n", names.join(", ")));
+        }
+        out
+    }
+}
+
+/// Render an axis mask as `channel+crash+storage`.
+pub fn combo_name(mask: u8) -> String {
+    let names: Vec<&str> = Axis::ALL
+        .into_iter()
+        .filter(|a| mask & a.bit() != 0)
+        .map(Axis::name)
+        .collect();
+    if names.is_empty() {
+        "none".to_string()
+    } else {
+        names.join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Intensity;
+
+    #[test]
+    fn coverage_accumulates_and_reports() {
+        let mut cov = Coverage::new();
+        for seed in 0..32 {
+            let s = FaultSchedule::generate("ring-8", seed, &Intensity::heavy()).unwrap();
+            cov.record(&s);
+        }
+        assert!(cov.cells() >= 2);
+        assert!(!cov.pairs_covered().is_empty());
+        let text = cov.summary();
+        assert!(text.contains("ring-8"));
+        // Recording the same schedules again changes nothing.
+        let cells = cov.cells();
+        for seed in 0..32 {
+            let s = FaultSchedule::generate("ring-8", seed, &Intensity::heavy()).unwrap();
+            cov.record(&s);
+        }
+        assert_eq!(cov.cells(), cells);
+    }
+
+    #[test]
+    fn combo_names_follow_axis_order() {
+        assert_eq!(combo_name(0), "none");
+        assert_eq!(
+            combo_name(Axis::Channel.bit() | Axis::Storage.bit()),
+            "channel+storage"
+        );
+        assert_eq!(combo_name(0b11111), "channel+partition+crash+storage+churn");
+    }
+}

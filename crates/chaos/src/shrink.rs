@@ -1,0 +1,217 @@
+//! Delta-debugging shrinker for failing schedules.
+//!
+//! Classic ddmin (Zeller & Hildebrandt) over the schedule's event list:
+//! partition the events into `granularity` chunks, try each chunk alone
+//! and each complement, keep whichever smaller candidate still fails the
+//! caller's oracle, refine the granularity when nothing does, and stop at
+//! a locally (1-)minimal failing event set. The oracle decides failure —
+//! in practice it validates the candidate (invalid compositions count as
+//! *not failing*, since dropping events can orphan a recovery or a
+//! storage fault) and re-runs the simulator deterministically, accepting
+//! only candidates that reproduce the *same* [`RunClass`] as the
+//! original.
+//!
+//! The shrinker itself is deterministic and purely subtractive: the
+//! result's events are a subsequence of the input's, so seed, topology,
+//! horizon, and every surviving event are bit-identical to the original.
+//!
+//! [`RunClass`]: crate::schedule::RunClass
+
+use crate::schedule::FaultSchedule;
+
+/// Accounting from one shrink run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Oracle invocations (candidate runs) performed.
+    pub tests: usize,
+    /// Event count of the schedule the shrink started from.
+    pub original: usize,
+    /// Event count of the minimized schedule.
+    pub shrunk: usize,
+}
+
+/// Minimize `schedule` against `still_fails`, which must return `true`
+/// exactly when a candidate reproduces the original failure.
+///
+/// `schedule` itself is assumed to fail (callers establish that before
+/// shrinking); the returned schedule is a locally-minimal failing
+/// sub-schedule — dropping any single remaining event makes the failure
+/// disappear or the schedule invalid.
+pub fn shrink<F>(schedule: &FaultSchedule, mut still_fails: F) -> (FaultSchedule, ShrinkStats)
+where
+    F: FnMut(&FaultSchedule) -> bool,
+{
+    let mut events = schedule.events.clone();
+    let mut tests = 0usize;
+    let original = events.len();
+    let mut granularity = 2usize;
+
+    while events.len() >= 2 {
+        let chunks = chunk_bounds(events.len(), granularity);
+        let mut reduced = false;
+
+        // Try each chunk alone (big jumps first), then each complement.
+        for &(lo, hi) in &chunks {
+            let candidate: Vec<_> = events[lo..hi].to_vec();
+            if candidate.len() == events.len() {
+                continue;
+            }
+            tests += 1;
+            if still_fails(&schedule.with_events(candidate.clone())) {
+                events = candidate;
+                granularity = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        for &(lo, hi) in &chunks {
+            if hi - lo == events.len() {
+                continue;
+            }
+            let candidate: Vec<_> = events[..lo].iter().chain(&events[hi..]).cloned().collect();
+            tests += 1;
+            if still_fails(&schedule.with_events(candidate.clone())) {
+                events = candidate;
+                granularity = (granularity - 1).max(2);
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+
+        if granularity >= events.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(events.len());
+    }
+
+    let shrunk = schedule.with_events(events);
+    let stats = ShrinkStats {
+        tests,
+        original,
+        shrunk: shrunk.events.len(),
+    };
+    (shrunk, stats)
+}
+
+/// Split `len` items into `granularity` near-equal contiguous chunks.
+fn chunk_bounds(len: usize, granularity: usize) -> Vec<(usize, usize)> {
+    let g = granularity.min(len).max(1);
+    let base = len / g;
+    let extra = len % g;
+    let mut bounds = Vec::with_capacity(g);
+    let mut lo = 0;
+    for i in 0..g {
+        let hi = lo + base + usize::from(i < extra);
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    bounds
+}
+
+/// True when `small` is a subsequence of `big` — the shrinker's
+/// structural guarantee, shared with the proptest suite.
+pub fn is_subsequence(small: &FaultSchedule, big: &FaultSchedule) -> bool {
+    let mut it = big.events.iter();
+    small
+        .events
+        .iter()
+        .all(|ev| it.by_ref().any(|candidate| candidate == ev))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ChaosEvent;
+    use ekbd_sim::{ProcessId, Time};
+
+    fn crash(i: usize) -> ChaosEvent {
+        ChaosEvent::Crash {
+            process: ProcessId::from(i),
+            at: Time(100 + i as u64),
+        }
+    }
+
+    fn sched(n: usize) -> FaultSchedule {
+        let mut s = FaultSchedule::new("ring-32", 1, Time(10_000));
+        for i in 0..n {
+            s.events.push(crash(i));
+        }
+        s
+    }
+
+    /// Oracle: fails iff the candidate still contains every culprit.
+    fn contains_all(culprits: &[usize]) -> impl Fn(&FaultSchedule) -> bool + '_ {
+        move |s: &FaultSchedule| culprits.iter().all(|&i| s.events.contains(&crash(i)))
+    }
+
+    #[test]
+    fn single_culprit_shrinks_to_one_event() {
+        let original = sched(16);
+        let (shrunk, stats) = shrink(&original, contains_all(&[11]));
+        assert_eq!(shrunk.events, vec![crash(11)]);
+        assert_eq!(stats.original, 16);
+        assert_eq!(stats.shrunk, 1);
+        assert!(stats.tests > 0);
+        assert!(is_subsequence(&shrunk, &original));
+        assert_eq!(shrunk.seed, original.seed);
+        assert_eq!(shrunk.topology, original.topology);
+    }
+
+    #[test]
+    fn interacting_culprits_survive_together() {
+        let original = sched(20);
+        let (shrunk, _) = shrink(&original, contains_all(&[3, 17]));
+        assert_eq!(shrunk.events, vec![crash(3), crash(17)]);
+        assert!(is_subsequence(&shrunk, &original));
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let culprits = [2, 9, 13];
+        let original = sched(14);
+        let oracle = contains_all(&culprits);
+        let (shrunk, _) = shrink(&original, &oracle);
+        assert!(oracle(&shrunk));
+        for skip in 0..shrunk.events.len() {
+            let mut fewer = shrunk.events.clone();
+            fewer.remove(skip);
+            assert!(
+                !oracle(&shrunk.with_events(fewer)),
+                "dropping event {skip} should stop the failure"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_on_empty_and_singleton_is_identity() {
+        let empty = sched(0);
+        let (s, stats) = shrink(&empty, |_| true);
+        assert!(s.events.is_empty());
+        assert_eq!(stats.tests, 0);
+        let one = sched(1);
+        let (s, _) = shrink(&one, |_| true);
+        assert_eq!(s.events.len(), 1);
+    }
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for len in 1..20 {
+            for g in 1..25 {
+                let bounds = chunk_bounds(len, g);
+                assert_eq!(bounds.first().unwrap().0, 0);
+                assert_eq!(bounds.last().unwrap().1, len);
+                for w in bounds.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                    assert!(w[0].0 < w[0].1);
+                }
+            }
+        }
+    }
+}

@@ -9,7 +9,7 @@ pub enum ArgError {
     /// No subcommand was given.
     MissingCommand,
     /// The subcommand is not one of `run`, `stabilize`, `threaded`,
-    /// `campaign`, `replay`.
+    /// `campaign`, `replay`, `chaos`.
     UnknownCommand(String),
     /// A flag was given without a value.
     MissingValue(String),
@@ -32,7 +32,7 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => {
                 write!(
                     f,
-                    "missing subcommand (run | stabilize | threaded | campaign | replay)"
+                    "missing subcommand (run | stabilize | threaded | campaign | replay | chaos)"
                 )
             }
             ArgError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
@@ -66,7 +66,16 @@ impl Parsed {
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Parsed, ArgError> {
         let mut it = args.into_iter();
         let command = it.next().ok_or(ArgError::MissingCommand)?;
-        if !["run", "stabilize", "threaded", "campaign", "replay"].contains(&command.as_str()) {
+        if ![
+            "run",
+            "stabilize",
+            "threaded",
+            "campaign",
+            "replay",
+            "chaos",
+        ]
+        .contains(&command.as_str())
+        {
             return Err(ArgError::UnknownCommand(command));
         }
         let mut flags: BTreeMap<String, Vec<String>> = BTreeMap::new();

@@ -44,10 +44,19 @@ USAGE:
                   --reorder, --partition, --link, --horizon, --engine]
   ekbd replay    --dir DIR    (post-mortem narrative from a journal directory
                   written by `run --dump-journal DIR` or the threaded runtime)
+  ekbd chaos     [--topology SPEC]... [--count N] [--seed BASE]
+                 [--intensity light|default|heavy] [--out DIR]
+                 (explore: run seeded composite schedules; failures become
+                  shrunk replayable artifacts under --out)
+  ekbd chaos     --replay FILE   (re-run a committed .chaos artifact and
+                  check it reproduces its `expect` class)
+  ekbd chaos     --shrink FILE [--out FILE]   (ddmin a failing schedule to
+                  a locally-minimal artifact)
 
 TOPOLOGY SPECS:
   ring:n path:n star:n clique:n grid:RxC torus:RxC tree:n wheel:n
   hypercube:d gnp:n:p:seed
+  (chaos schedules use the dash form: ring-8 grid-3x4 gnp-12-0.3)
 
 CHURN: --churn-rate N schedules seeded membership churn at roughly one
   event every N ticks; --churn-plan takes explicit comma-separated events
@@ -692,6 +701,205 @@ pub fn cmd_replay(parsed: &Parsed) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Maps a chaos-layer error onto the flag that caused it.
+fn chaos_arg_err(flag: &'static str, e: ekbd_chaos::ScheduleError) -> ArgError {
+    ArgError::BadValue {
+        flag: flag.into(),
+        value: e.to_string(),
+        expected: "a valid chaos schedule",
+    }
+}
+
+/// Prints the watchdog's verdict for one schedule.
+fn print_chaos_outcome(schedule: &ekbd_chaos::FaultSchedule, o: &ekbd_harness::ChaosOutcome) {
+    let axes: Vec<&str> = schedule.axes().iter().map(|a| a.name()).collect();
+    println!(
+        "schedule .................... {} seed {} ({} events; {})",
+        schedule.topology,
+        schedule.seed,
+        schedule.events.len(),
+        axes.join("+")
+    );
+    println!("class ....................... {}", o.class);
+    println!("stabilized at ............... t={}", o.stabilized_at.0);
+    println!(
+        "mistakes (total / after) .... {} / {}",
+        o.mistakes_total, o.mistakes_after
+    );
+    println!("deterministic rerun ......... {}", o.deterministic);
+    if !o.starving.is_empty() {
+        println!("starving .................... {:?}", o.starving);
+    }
+}
+
+/// `ekbd chaos --replay FILE` — re-run a committed artifact; if it
+/// carries an `expect` line, reproducing any other class is an error.
+fn chaos_replay(path: &std::path::Path) -> Result<(), ArgError> {
+    let schedule =
+        ekbd_chaos::codec::read_artifact(path).map_err(|e| chaos_arg_err("--replay", e))?;
+    let outcome = ekbd_harness::run_chaos(&schedule).map_err(|e| chaos_arg_err("--replay", e))?;
+    println!("== ekbd chaos replay: {} ==\n", path.display());
+    print_chaos_outcome(&schedule, &outcome);
+    match schedule.expect {
+        Some(expected) if outcome.class == expected => {
+            println!("\nexpected class reproduced ({expected})");
+            Ok(())
+        }
+        Some(expected) => Err(ArgError::BadValue {
+            flag: "--replay".into(),
+            value: format!("ran {} but artifact expects {}", outcome.class, expected),
+            expected: "the artifact's recorded run class to reproduce",
+        }),
+        None => {
+            if outcome.is_failure() {
+                eprintln!(
+                    "chaos invariant failure ({}); reproduce with: {}",
+                    outcome.class,
+                    ekbd_chaos::codec::replay_command(path)
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `ekbd chaos --shrink FILE [--out FILE]` — ddmin a failing schedule to
+/// a locally-minimal artifact that reproduces the same class.
+fn chaos_shrink(parsed: &Parsed, path: &std::path::Path) -> Result<(), ArgError> {
+    let schedule =
+        ekbd_chaos::codec::read_artifact(path).map_err(|e| chaos_arg_err("--shrink", e))?;
+    let outcome = ekbd_harness::run_chaos(&schedule).map_err(|e| chaos_arg_err("--shrink", e))?;
+    if !outcome.is_failure() {
+        return Err(ArgError::BadValue {
+            flag: "--shrink".into(),
+            value: format!("{} runs {}", path.display(), outcome.class),
+            expected: "a failing schedule (nothing to shrink)",
+        });
+    }
+    let class = outcome.class;
+    println!(
+        "== ekbd chaos shrink: {} ({} events, {class}) ==",
+        path.display(),
+        schedule.events.len()
+    );
+    let (small, stats) = ekbd_harness::shrink_failing(&schedule, class);
+    let out = parsed
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| path.with_extension("min.chaos"));
+    ekbd_chaos::codec::write_artifact(&small.expecting(class), &out)
+        .map_err(|e| chaos_arg_err("--out", e))?;
+    println!(
+        "shrunk {} -> {} events in {} oracle runs",
+        stats.original, stats.shrunk, stats.tests
+    );
+    println!(
+        "wrote {}; replay with: {}",
+        out.display(),
+        ekbd_chaos::codec::replay_command(&out)
+    );
+    Ok(())
+}
+
+/// `ekbd chaos` (explore) — generate and run seeded composite schedules
+/// across topologies; every failure is persisted, shrunk, and reported
+/// with its exact replay command, then the axis-coverage summary prints.
+fn chaos_explore(parsed: &Parsed) -> Result<(), ArgError> {
+    let flagged = parsed.get_all("topology");
+    let topologies: Vec<String> = if flagged.is_empty() {
+        ["ring-8", "clique-6", "grid-3x4", "gnp-12-0.3"]
+            .map(String::from)
+            .to_vec()
+    } else {
+        flagged.to_vec()
+    };
+    let count: u64 = parsed.get_parsed("count", 8u64)?;
+    if count == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--count".into(),
+            value: "0".into(),
+            expected: "a positive schedule count per topology",
+        });
+    }
+    let base: u64 = parsed.get_parsed("seed", 1u64)?;
+    let intensity = match parsed.get("intensity") {
+        None => ekbd_chaos::Intensity::default_mix(),
+        Some(name) => ekbd_chaos::Intensity::parse(name).ok_or_else(|| ArgError::BadValue {
+            flag: "--intensity".into(),
+            value: name.to_string(),
+            expected: "light | default | heavy",
+        })?,
+    };
+    let out_dir = std::path::PathBuf::from(parsed.get("out").unwrap_or("chaos-artifacts"));
+    println!(
+        "== ekbd chaos explore: {} topologies × {count} seeds ({} intensity, base seed {base}) ==\n",
+        topologies.len(),
+        intensity.name
+    );
+    let mut coverage = ekbd_chaos::Coverage::new();
+    let mut failures = 0usize;
+    for topo in &topologies {
+        for k in 0..count {
+            let seed = base + k;
+            let schedule = ekbd_chaos::FaultSchedule::generate(topo, seed, &intensity)
+                .map_err(|e| chaos_arg_err("--topology", e))?;
+            let outcome =
+                ekbd_harness::run_chaos(&schedule).map_err(|e| chaos_arg_err("--topology", e))?;
+            coverage.record(&schedule);
+            let axes: Vec<&str> = schedule.axes().iter().map(|a| a.name()).collect();
+            println!(
+                "  {topo} seed {seed:<4} {:<32} {}",
+                axes.join("+"),
+                outcome.class
+            );
+            if outcome.is_failure() {
+                failures += 1;
+                ekbd_harness::emit_repro_artifact(&schedule, outcome.class, &out_dir)
+                    .map_err(|e| chaos_arg_err("--out", e))?;
+                let (small, stats) = ekbd_harness::shrink_failing(&schedule, outcome.class);
+                let min_path = out_dir.join(format!(
+                    "{topo}-seed{seed}-{}.min.chaos",
+                    outcome.class.as_str()
+                ));
+                ekbd_chaos::codec::write_artifact(&small.expecting(outcome.class), &min_path)
+                    .map_err(|e| chaos_arg_err("--out", e))?;
+                println!(
+                    "    shrunk {} -> {} events; replay with: {}",
+                    stats.original,
+                    stats.shrunk,
+                    ekbd_chaos::codec::replay_command(&min_path)
+                );
+            }
+        }
+    }
+    println!("\n{}", coverage.summary());
+    let total = topologies.len() as u64 * count;
+    if failures > 0 {
+        Err(ArgError::BadValue {
+            flag: "--out".into(),
+            value: format!("{failures}/{total} schedules failed"),
+            expected: "every schedule wait-free (shrunk repro artifacts written; see above)",
+        })
+    } else {
+        println!("all {total} schedules wait-free");
+        Ok(())
+    }
+}
+
+/// `ekbd chaos` — explore (default), `--replay FILE`, or `--shrink FILE`.
+pub fn cmd_chaos(parsed: &Parsed) -> Result<(), ArgError> {
+    match (parsed.get("replay"), parsed.get("shrink")) {
+        (Some(_), Some(_)) => Err(ArgError::BadValue {
+            flag: "--replay".into(),
+            value: "--shrink".into(),
+            expected: "at most one of --replay / --shrink per invocation",
+        }),
+        (Some(path), None) => chaos_replay(std::path::Path::new(path)),
+        (None, Some(path)) => chaos_shrink(parsed, std::path::Path::new(path)),
+        (None, None) => chaos_explore(parsed),
+    }
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(parsed: &Parsed) -> Result<(), ArgError> {
     match parsed.command.as_str() {
@@ -700,6 +908,7 @@ pub fn dispatch(parsed: &Parsed) -> Result<(), ArgError> {
         "threaded" => cmd_threaded(parsed),
         "campaign" => cmd_campaign(parsed),
         "replay" => cmd_replay(parsed),
+        "chaos" => cmd_chaos(parsed),
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
 }
@@ -970,5 +1179,95 @@ mod tests {
              --oracle perfect --crash 2:300 --recover 2:2000 --workers auto",
         );
         cmd_campaign(&p).unwrap();
+    }
+
+    /// A small planted failure: one never-healing partition wedges the
+    /// isolated process's ring neighbors (stalled), padded with noise so
+    /// the shrinker has something to discard.
+    fn planted_stall() -> ekbd_chaos::FaultSchedule {
+        ekbd_chaos::FaultSchedule::new("ring-5", 11, Time(60_000))
+            .event(ekbd_chaos::ChaosEvent::Noise(ekbd_chaos::ChannelNoise {
+                loss: 0.02,
+                dup: 0.0,
+                reorder: 0.0,
+                reorder_window: 0,
+            }))
+            .event(ekbd_chaos::ChaosEvent::Partition {
+                side: vec![ProcessId(2)],
+                start: Time(50),
+                heal: Time(60_000),
+            })
+    }
+
+    #[test]
+    fn chaos_explore_small_campaign_is_wait_free() {
+        let dir = std::env::temp_dir().join(format!("ekbd-chaos-cli-{}", std::process::id()));
+        let p = parsed(&format!(
+            "chaos --topology ring-5 --count 2 --seed 3 --intensity light --out {}",
+            dir.display()
+        ));
+        cmd_chaos(&p).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_replay_checks_the_expected_class() {
+        let dir = std::env::temp_dir().join(format!("ekbd-chaos-replay-{}", std::process::id()));
+        let ok = dir.join("stall.chaos");
+        let schedule = planted_stall().expecting(ekbd_chaos::RunClass::Stalled);
+        ekbd_chaos::codec::write_artifact(&schedule, &ok).unwrap();
+        cmd_chaos(&parsed(&format!("chaos --replay {}", ok.display()))).unwrap();
+        // The same schedule tagged with the wrong class must fail loudly.
+        let wrong = dir.join("wrong.chaos");
+        let mistagged = planted_stall().expecting(ekbd_chaos::RunClass::ExclusionMistake);
+        ekbd_chaos::codec::write_artifact(&mistagged, &wrong).unwrap();
+        let err = cmd_chaos(&parsed(&format!("chaos --replay {}", wrong.display())))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("stalled"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_shrink_writes_a_minimal_artifact() {
+        let dir = std::env::temp_dir().join(format!("ekbd-chaos-shrink-{}", std::process::id()));
+        let big = dir.join("stall.chaos");
+        ekbd_chaos::codec::write_artifact(&planted_stall(), &big).unwrap();
+        let out = dir.join("minimal.chaos");
+        cmd_chaos(&parsed(&format!(
+            "chaos --shrink {} --out {}",
+            big.display(),
+            out.display()
+        )))
+        .unwrap();
+        let small = ekbd_chaos::codec::read_artifact(&out).unwrap();
+        assert_eq!(
+            small.events.len(),
+            1,
+            "the noise padding must be shrunk away"
+        );
+        assert_eq!(small.expect, Some(ekbd_chaos::RunClass::Stalled));
+        // The shrunk artifact replays to the same class.
+        cmd_chaos(&parsed(&format!("chaos --replay {}", out.display()))).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_flag_errors_surface() {
+        assert!(cmd_chaos(&parsed("chaos --replay a --shrink b")).is_err());
+        assert!(cmd_chaos(&parsed("chaos --replay /nonexistent-ekbd.chaos")).is_err());
+        assert!(cmd_chaos(&parsed("chaos --count 0")).is_err());
+        assert!(cmd_chaos(&parsed("chaos --intensity brutal")).is_err());
+        assert!(cmd_chaos(&parsed("chaos --topology blob-2 --count 1")).is_err());
+        // Shrinking a healthy schedule is a usage error, not a crash.
+        let dir = std::env::temp_dir().join(format!("ekbd-chaos-healthy-{}", std::process::id()));
+        let path = dir.join("healthy.chaos");
+        let healthy = ekbd_chaos::FaultSchedule::new("ring-5", 1, Time(60_000));
+        ekbd_chaos::codec::write_artifact(&healthy, &path).unwrap();
+        let err = cmd_chaos(&parsed(&format!("chaos --shrink {}", path.display())))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("nothing to shrink"), "got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

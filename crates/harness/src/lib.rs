@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod chaos;
 mod detector;
 mod host;
 mod live;
@@ -47,6 +48,9 @@ mod report;
 mod scenario;
 
 pub use campaign::{Campaign, CampaignAlgorithm, CampaignJob, CampaignReport, CampaignRun};
+pub use chaos::{
+    emit_repro_artifact, reproduces, run_chaos, shrink_failing, ChaosOutcome, CHAOS_WORKLOAD,
+};
 pub use detector::AnyDetector;
 pub use host::{DinerHost, Envelope, HostCmd, HostObs, HostWorkload, AUDIT_PERIOD};
 pub use live::LiveRun;

@@ -466,12 +466,53 @@ impl Scenario {
         view
     }
 
+    /// When a membership notice scheduled for `q` at `at` can actually be
+    /// absorbed. A neighbor that is *crashed* at the change instant would
+    /// silently miss the notice and — once recovered — wait forever on a
+    /// departed peer (a composite crash × churn stall the chaos gate
+    /// found); modeling a recovering process re-syncing membership, the
+    /// notice is deferred to one tick after the recovery that ends the
+    /// down interval covering `at`. `None` means `q` is down at `at` for
+    /// good and the notice would never be read.
+    fn notice_time(&self, q: ProcessId, at: Time) -> Option<Time> {
+        let mut crashes: Vec<Time> = self
+            .crashes
+            .iter()
+            .filter(|(p, _)| *p == q)
+            .map(|&(_, t)| t)
+            .collect();
+        crashes.sort();
+        let mut recoveries: Vec<Time> = self
+            .recoveries()
+            .iter()
+            .filter(|(p, _)| *p == q)
+            .map(|&(_, t)| t)
+            .collect();
+        recoveries.sort();
+        for (k, &c) in crashes.iter().enumerate() {
+            match recoveries.get(k) {
+                Some(&r) => {
+                    if (c..r).contains(&at) {
+                        return Some(Time(r.0 + 1));
+                    }
+                }
+                None => {
+                    if at >= c {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(at)
+    }
+
     /// Schedules the membership plan: presence flips on the simulator plus
     /// [`HostCmd::PeerJoined`]/[`HostCmd::PeerLeft`] notices to each
     /// co-present neighbor at the change instant. A joiner learns of
     /// neighbors that joined before (or with) it one tick after its own
     /// boot, so the notice cannot race the `Join` event and be dropped
-    /// while it is still absent.
+    /// while it is still absent. Notices to a crashed neighbor are
+    /// deferred until it recovers (see [`Self::notice_time`]).
     fn schedule_membership<A: DiningAlgorithm>(&self, sim: &mut Simulator<DinerHost<A>>) {
         if self.membership.is_inert() {
             return;
@@ -492,20 +533,24 @@ impl Scenario {
                     sim.schedule_join(process, at);
                     for &q in self.graph.neighbors(process) {
                         if co_present(q, at) {
-                            let cmd = HostCmd::PeerJoined {
-                                peer: process,
-                                color: self.colors[process.index()],
-                            };
-                            sim.schedule_external(q, at, cmd);
+                            if let Some(when) = self.notice_time(q, at) {
+                                let cmd = HostCmd::PeerJoined {
+                                    peer: process,
+                                    color: self.colors[process.index()],
+                                };
+                                sim.schedule_external(q, when, cmd);
+                            }
                         }
                         let joined_by_now = plan.join_time(q).is_some_and(|t| t <= at)
                             && plan.departure_time(q).is_none_or(|t| t > at);
                         if joined_by_now {
-                            let cmd = HostCmd::PeerJoined {
-                                peer: q,
-                                color: self.colors[q.index()],
-                            };
-                            sim.schedule_external(process, Time(at.0 + 1), cmd);
+                            if let Some(when) = self.notice_time(process, Time(at.0 + 1)) {
+                                let cmd = HostCmd::PeerJoined {
+                                    peer: q,
+                                    color: self.colors[q.index()],
+                                };
+                                sim.schedule_external(process, when, cmd);
+                            }
                         }
                     }
                 }
@@ -517,11 +562,13 @@ impl Scenario {
                     sim.schedule_leave(process, at, graceful);
                     for &q in self.graph.neighbors(process) {
                         if co_present(q, at) {
-                            let cmd = HostCmd::PeerLeft {
-                                peer: process,
-                                graceful,
-                            };
-                            sim.schedule_external(q, at, cmd);
+                            if let Some(when) = self.notice_time(q, at) {
+                                let cmd = HostCmd::PeerLeft {
+                                    peer: process,
+                                    graceful,
+                                };
+                                sim.schedule_external(q, when, cmd);
+                            }
                         }
                     }
                 }

@@ -1,11 +1,12 @@
 //! Sender-side channel fault injection for the threaded runtime.
 //!
 //! A lighter mirror of the simulator's [`ekbd_sim::FaultPlan`]: crossbeam
-//! channels deliver reliably and in order, so the only faults that can be
-//! injected without rewriting the transport are decided at the sender —
-//! drop the frame (loss) or send it twice (duplication). Reordering and
-//! partitions stay simulator-only; the threaded runtime exists to
-//! demonstrate runtime-independence, not to re-measure the experiments.
+//! channels deliver reliably and in order, so every injectable fault is
+//! decided at the sender — drop the frame (loss), send it twice
+//! (duplication), or hold it back one slot so the next frame to the same
+//! destination overtakes it (reorder). Partitions stay simulator-only;
+//! the threaded runtime exists to demonstrate runtime-independence, not
+//! to re-measure the experiments.
 //!
 //! Fault decisions are drawn from a per-process seeded stream, so the
 //! *decisions* are reproducible even though thread interleaving is not.
@@ -27,6 +28,10 @@ pub struct ChannelFaults {
     pub loss: f64,
     /// Probability a sent frame is transmitted twice.
     pub dup: f64,
+    /// Probability a sent frame is held back and overtaken by the next
+    /// frame to the same destination (pairwise swap; like loss, only
+    /// safe under the link layer's retransmission).
+    pub reorder: f64,
     /// Seed of the per-process fault streams.
     pub seed: u64,
 }
@@ -36,6 +41,7 @@ impl Default for ChannelFaults {
         ChannelFaults {
             loss: 0.0,
             dup: 0.0,
+            reorder: 0.0,
             seed: 0,
         }
     }
@@ -46,8 +52,8 @@ impl ChannelFaults {
     pub fn lossy(loss: f64, seed: u64) -> Self {
         ChannelFaults {
             loss,
-            dup: 0.0,
             seed,
+            ..ChannelFaults::default()
         }
     }
 
@@ -57,9 +63,15 @@ impl ChannelFaults {
         self
     }
 
+    /// Sets the reorder probability.
+    pub fn reorder(mut self, reorder: f64) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
     /// Whether this configuration faults nothing (the default).
     pub fn is_inert(&self) -> bool {
-        self.loss <= 0.0 && self.dup <= 0.0
+        self.loss <= 0.0 && self.dup <= 0.0 && self.reorder <= 0.0
     }
 }
 
@@ -86,6 +98,10 @@ pub(crate) struct LossyLinks<T: Clone> {
     txs: HashMap<ProcessId, Sender<T>>,
     faults: ChannelFaults,
     rng: StdRng,
+    /// One held-back frame per destination: a frame stashed here is
+    /// emitted *after* the next frame to the same destination, swapping
+    /// the pair's order.
+    held: HashMap<ProcessId, T>,
 }
 
 impl<T: Clone> LossyLinks<T> {
@@ -96,20 +112,35 @@ impl<T: Clone> LossyLinks<T> {
             txs,
             faults,
             rng: StdRng::seed_from_u64(stream),
+            held: HashMap::new(),
         }
     }
 
-    /// Sends `msg` to `to`, subject to loss and duplication. A send to a
-    /// crashed (exited) neighbor fails silently — exactly the crash model.
+    /// Sends `msg` to `to`, subject to loss, duplication, and pairwise
+    /// reordering. A send to a crashed (exited) neighbor fails silently —
+    /// exactly the crash model. A held-back frame with no successor is
+    /// never flushed, which is indistinguishable from loss and equally
+    /// covered by the link layer's retransmission.
     pub fn send(&mut self, to: ProcessId, msg: T) {
         if self.faults.loss > 0.0 && self.rng.gen_bool(self.faults.loss.clamp(0.0, 1.0)) {
             return;
         }
         let dup = self.faults.dup > 0.0 && self.rng.gen_bool(self.faults.dup.clamp(0.0, 1.0));
+        let hold = self.faults.reorder > 0.0
+            && !self.held.contains_key(&to)
+            && self.rng.gen_bool(self.faults.reorder.clamp(0.0, 1.0));
+        if hold {
+            self.held.insert(to, msg);
+            return;
+        }
+        let overtaken = self.held.remove(&to);
         if let Some(tx) = self.txs.get(&to) {
             let _ = tx.send(msg.clone());
             if dup {
                 let _ = tx.send(msg);
+            }
+            if let Some(earlier) = overtaken {
+                let _ = tx.send(earlier);
             }
         }
     }
@@ -169,5 +200,40 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn certain_reorder_swaps_adjacent_pairs() {
+        assert!(!ChannelFaults::default().reorder(0.5).is_inert());
+        let (mut l, rx) = links(ChannelFaults::default().reorder(1.0));
+        for i in 0..6 {
+            l.send(ProcessId(1), i);
+        }
+        // Every frame is held until the next one overtakes it.
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got, vec![1, 0, 3, 2, 5, 4]);
+    }
+
+    #[test]
+    fn reorder_decisions_are_seed_deterministic() {
+        let run = |seed| {
+            let (mut l, rx) = links(
+                ChannelFaults::lossy(0.2, seed)
+                    .duplication(0.1)
+                    .reorder(0.4),
+            );
+            for i in 0..200 {
+                l.send(ProcessId(1), i);
+            }
+            rx.try_iter().collect::<Vec<u32>>()
+        };
+        let once = run(11);
+        assert_eq!(once, run(11));
+        assert_ne!(once, run(12));
+        // Some pair actually arrived out of order.
+        assert!(
+            once.windows(2).any(|w| w[0] > w[1]),
+            "reorder at p=0.4 over 200 frames must swap at least one pair"
+        );
     }
 }

@@ -83,7 +83,7 @@ mod trace;
 
 pub use ekbd_graph::ProcessId;
 pub use event::EngineKind;
-pub use fault::{CorruptionSpec, FaultPlan, LinkFault, Partition, RecoverySpec};
+pub use fault::{CorruptionSpec, FaultPlan, FaultPlanError, LinkFault, Partition, RecoverySpec};
 pub use membership::{MembershipEvent, MembershipPlan, MembershipPlanError};
 pub use network::{ChannelStats, DelayModel};
 pub use node::{Context, Node, NodeEvent};
