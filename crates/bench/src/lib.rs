@@ -26,6 +26,7 @@
 //! | `e16_journal` | beyond the paper — durable journal, storage faults, post-mortem replay |
 //! | `e17_churn` | beyond the paper — dynamic membership churn with online admission |
 //! | `e18_chaos` | beyond the paper — composed chaos schedules + automatic shrinking |
+//! | `e19_scale` | beyond the paper — packed S1-state kernel sharded over 10⁵-node graphs |
 //! | `criterion_perf` | statistical micro-benchmarks (Criterion) |
 //!
 //! This library crate holds the plain-text table writer and small helpers

@@ -34,6 +34,10 @@ USAGE:
                  [--audit-period N] [--audit-strikes N]
                  [--churn-rate N] [--churn-plan EV[,EV...]]
                  [--engine indexed|legacy] [--dump-journal DIR]
+                 [--obs dense|streaming] [--shards N]
+                 (--obs streaming aggregates metrics online in O(n) memory;
+                  --shards N runs the fault-free packed scale kernel over N
+                  worker threads — built for 10⁵+-process graphs)
   ekbd stabilize --protocol coloring|coloring-adv|mis|token-ring:k|bfs-tree|leader
                  --topology SPEC [--algorithm ...] [--oracle ...] [--seed N]
                  [--crash proc:time]... [--faults N] [--horizon N]
@@ -55,7 +59,7 @@ USAGE:
 
 TOPOLOGY SPECS:
   ring:n path:n star:n clique:n grid:RxC torus:RxC tree:n wheel:n
-  hypercube:d gnp:n:p:seed
+  hypercube:d gnp:n:p:seed powerlaw:n:m:seed
   (chaos schedules use the dash form: ring-8 grid-3x4 gnp-12-0.3)
 
 CHURN: --churn-rate N schedules seeded membership churn at roughly one
@@ -403,8 +407,196 @@ fn print_report(report: &RunReport) {
     }
 }
 
+/// `ekbd run … --shards N`: the packed scale tier — bit-packed S1 state,
+/// streaming aggregation, sharded drive loop. Fault-free by construction,
+/// so every fault/oracle flag is rejected rather than silently ignored.
+fn cmd_run_scale(parsed: &Parsed, shards: usize) -> Result<(), ArgError> {
+    const INCOMPATIBLE: &[&str] = &[
+        "crash",
+        "recover",
+        "corrupt-state",
+        "loss",
+        "dup",
+        "reorder",
+        "partition",
+        "link",
+        "journal",
+        "storage-fault",
+        "churn-rate",
+        "churn-plan",
+        "timeline",
+        "dump-journal",
+        "engine",
+    ];
+    for flag in INCOMPATIBLE {
+        if parsed.get(flag).is_some() {
+            return Err(ArgError::BadValue {
+                flag: "--shards".into(),
+                value: format!("combined with --{flag}"),
+                expected: "the packed scale tier is fault-free: no fault, link, \
+                           membership, or trace flags",
+            });
+        }
+    }
+    if parsed.get("oracle").is_some_and(|o| o != "silent") {
+        return Err(ArgError::BadValue {
+            flag: "--oracle".into(),
+            value: parsed.get("oracle").unwrap_or_default().to_string(),
+            expected: "silent (the packed scale tier runs crash-free)",
+        });
+    }
+    if parsed.get("algorithm").is_some_and(|a| a != "alg1") {
+        return Err(ArgError::BadValue {
+            flag: "--algorithm".into(),
+            value: parsed.get("algorithm").unwrap_or_default().to_string(),
+            expected: "alg1 (the packed kernel implements Algorithm 1 only)",
+        });
+    }
+    if shards == 0 || shards > 256 {
+        return Err(ArgError::BadValue {
+            flag: "--shards".into(),
+            value: shards.to_string(),
+            expected: "1..=256 worker shards",
+        });
+    }
+    let eat = parsed.get_range("eat", (1, 10))?;
+    if eat.1 > 8191 {
+        return Err(ArgError::BadValue {
+            flag: "--eat".into(),
+            value: format!("{}:{}", eat.0, eat.1),
+            expected: "an upper bound of at most 8191 ticks (the packed \
+                       event word's aux field)",
+        });
+    }
+    let think = parsed.get_range("think", (1, 40))?;
+    let topology = TopologySpec::parse(parsed.get("topology").unwrap_or("ring:5"))?;
+    let g = topology.build();
+    let colors = ekbd_graph::coloring::greedy(&g);
+    let part = ekbd_graph::partition::greedy_edge_cut(&g, shards);
+    let cfg = ekbd_sim::ScaleConfig::default()
+        .seed(parsed.get_parsed("seed", 0u64)?)
+        .horizon(parsed.get_parsed("horizon", 1_000_000u64)?)
+        .sessions(parsed.get_parsed("sessions", 3u32)?)
+        .think(think.0, think.1)
+        .eat(eat.0, eat.1);
+    let kernel = ekbd_sim::PackedKernel::new(&g, &colors, &part, cfg);
+    let state_bytes = kernel.state_bytes();
+    let report = ekbd_sim::run_sharded(kernel);
+    println!("== ekbd run: packed scale tier (Algorithm 1) ==\n");
+    println!(
+        "processes ................... {} ({} edges, max degree {})",
+        report.n,
+        g.edge_count(),
+        g.max_degree()
+    );
+    println!(
+        "shards ...................... {} ({} cut edges)",
+        report.shards,
+        part.cut_edges(&g)
+    );
+    println!(
+        "packed state ................ {state_bytes} bytes ({:.1} per process)",
+        state_bytes as f64 / report.n as f64
+    );
+    println!(
+        "events processed ............ {} ({:.0} events/s)",
+        report.events,
+        report.events_per_sec()
+    );
+    println!("protocol messages ........... {}", report.messages);
+    println!("final tick .................. {}", report.final_tick);
+    println!(
+        "eat sessions ................ total={} min/process={}",
+        report.eats.iter().map(|&e| e as u64).sum::<u64>(),
+        report.min_eats()
+    );
+    println!("scheduling mistakes ......... {}", report.mistakes);
+    println!("starving processes .......... {}", report.starving);
+    println!("hungry→eat latency .......... {}", report.latency.brief());
+    println!(
+        "verdict ..................... {}",
+        if report.verdict() { "PASS" } else { "FAIL" }
+    );
+    println!("fingerprint ................. {}", report.fingerprint());
+    Ok(())
+}
+
+/// `ekbd run … --obs streaming`: the full simulator with streaming
+/// aggregation instead of a dense observation log.
+fn cmd_run_streaming(parsed: &Parsed) -> Result<(), ArgError> {
+    let s = scenario_from(parsed)?;
+    if parsed.get("algorithm").is_some_and(|a| a != "alg1") {
+        return Err(ArgError::BadValue {
+            flag: "--algorithm".into(),
+            value: parsed.get("algorithm").unwrap_or_default().to_string(),
+            expected: "alg1 (--obs streaming aggregates Algorithm 1 runs)",
+        });
+    }
+    if !s.recoveries().is_empty() || !s.corruptions().is_empty() || !s.membership.is_inert() {
+        return Err(ArgError::BadValue {
+            flag: "--obs".into(),
+            value: "streaming with recovery or membership faults".into(),
+            expected: "crash-stop scenarios only (dense observation can \
+                       sanitize interrupted lives; a streaming pass cannot)",
+        });
+    }
+    let report = s.run_algorithm1_streaming();
+    println!("== ekbd run: Algorithm1 (streaming observers) ==\n");
+    println!("processes ................... {}", report.n);
+    println!(
+        "eat sessions ................ total={}",
+        report.total_sessions()
+    );
+    println!("scheduling mistakes ......... {}", report.mistakes);
+    println!(
+        "wait-free ................... {} ({} starving)",
+        report.wait_free(),
+        report.starving.len()
+    );
+    println!(
+        "detector convergence ........ {} / horizon {}",
+        report.convergence.0, report.horizon.0
+    );
+    println!("hungry→eat latency .......... {}", report.latency.brief());
+    println!("dining messages ............. {}", report.dining_sends);
+    for e in &report.excerpts {
+        println!(
+            "  excerpt: p{} started eating at {} after {} hungry ticks",
+            e.process, e.tick, e.latency
+        );
+    }
+    Ok(())
+}
+
 /// `ekbd run …`
 pub fn cmd_run(parsed: &Parsed) -> Result<(), ArgError> {
+    if let Some(spec) = parsed.get("shards") {
+        let shards: usize = spec.parse().map_err(|_| ArgError::BadValue {
+            flag: "--shards".into(),
+            value: spec.to_string(),
+            expected: "a shard count in 1..=256",
+        })?;
+        if parsed.get("obs").is_some_and(|o| o == "dense") {
+            return Err(ArgError::BadValue {
+                flag: "--obs".into(),
+                value: "dense".into(),
+                expected: "streaming (the packed scale tier never stores \
+                           dense observations)",
+            });
+        }
+        return cmd_run_scale(parsed, shards);
+    }
+    match parsed.get("obs").unwrap_or("dense") {
+        "dense" => {}
+        "streaming" => return cmd_run_streaming(parsed),
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "--obs".into(),
+                value: other.to_string(),
+                expected: "dense | streaming",
+            })
+        }
+    }
     let s = scenario_from(parsed)?;
     let alg = AlgorithmSpec::parse(parsed.get("algorithm").unwrap_or("alg1"))?;
     let report = run_with_algorithm(&s, &alg)?;

@@ -39,13 +39,22 @@ pub enum TopologySpec {
     Hypercube(u32),
     /// `gnp:n:p:seed` (connected variant)
     Gnp(usize, f64, u64),
+    /// `powerlaw:n:m:seed` (Barabási–Albert preferential attachment)
+    Powerlaw(usize, usize, u64),
 }
+
+/// Node count above which `gnp:` builds through the O(n + edges)
+/// geometric-skip sampler instead of the O(n²) coin-flip walk. The two
+/// samplers draw different RNG streams, so the threshold keeps every
+/// paper-scale graph — and with it every golden trace — byte-identical
+/// while making 10⁵-node specs tractable.
+const SPARSE_GNP_THRESHOLD: usize = 2_048;
 
 impl TopologySpec {
     /// Parses a topology spec string.
     pub fn parse(s: &str) -> Result<Self, ArgError> {
         const EXPECT: &str =
-            "ring:n | path:n | star:n | clique:n | grid:RxC | torus:RxC | tree:n | wheel:n | hypercube:d | gnp:n:p:seed";
+            "ring:n | path:n | star:n | clique:n | grid:RxC | torus:RxC | tree:n | wheel:n | hypercube:d | gnp:n:p:seed | powerlaw:n:m:seed";
         let err = || bad("--topology", s, EXPECT);
         let mut parts = s.split(':');
         let kind = parts.next().ok_or_else(err)?;
@@ -87,6 +96,20 @@ impl TopologySpec {
                     rest[2].parse().map_err(|_| err())?,
                 )
             }
+            "powerlaw" => {
+                if rest.len() != 3 {
+                    return Err(err());
+                }
+                let m: usize = rest[1].parse().map_err(|_| err())?;
+                if m == 0 {
+                    return Err(err());
+                }
+                TopologySpec::Powerlaw(
+                    rest[0].parse().map_err(|_| err())?,
+                    m,
+                    rest[2].parse().map_err(|_| err())?,
+                )
+            }
             _ => return Err(err()),
         })
     }
@@ -103,7 +126,11 @@ impl TopologySpec {
             TopologySpec::Tree(n) => topology::binary_tree(n),
             TopologySpec::Wheel(n) => topology::wheel(n),
             TopologySpec::Hypercube(d) => topology::hypercube(d),
-            TopologySpec::Gnp(n, p, seed) => random::connected_gnp(n, p, seed),
+            TopologySpec::Gnp(n, p, seed) if n <= SPARSE_GNP_THRESHOLD => {
+                random::connected_gnp(n, p, seed)
+            }
+            TopologySpec::Gnp(n, p, seed) => random::sparse_gnp(n, p, seed),
+            TopologySpec::Powerlaw(n, m, seed) => random::powerlaw(n, m, seed),
         }
     }
 }
@@ -406,6 +433,24 @@ mod tests {
             .unwrap()
             .build()
             .is_connected());
+        assert_eq!(
+            TopologySpec::parse("powerlaw:100:2:5"),
+            Ok(TopologySpec::Powerlaw(100, 2, 5))
+        );
+        let pl = TopologySpec::parse("powerlaw:100:2:5").unwrap().build();
+        assert_eq!(pl.len(), 100);
+        assert!(pl.is_connected());
+        assert!(TopologySpec::parse("powerlaw:100:0:5").is_err());
+        assert!(TopologySpec::parse("powerlaw:100:2").is_err());
+    }
+
+    #[test]
+    fn gnp_spec_keeps_the_legacy_sampler_at_paper_scale() {
+        // The golden traces pin the small-graph RNG stream: below the
+        // sparse threshold the spec must keep building via connected_gnp.
+        let spec = TopologySpec::parse("gnp:60:0.08:3").unwrap();
+        let direct = random::connected_gnp(60, 0.08, 3);
+        assert_eq!(spec.build().edges(), direct.edges());
     }
 
     #[test]

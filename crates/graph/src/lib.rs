@@ -13,7 +13,11 @@
 //! * [`coloring`] — greedy and DSATUR node colorings producing the static
 //!   priorities required by Algorithm 1 (no two neighbors share a color,
 //!   `O(δ)` distinct values),
-//! * [`random`] — seeded random-graph generators for property tests,
+//! * [`random`] — seeded random-graph generators for property tests
+//!   (including sparse `G(n, p)` and Barabási–Albert power-law graphs for
+//!   the scale tier),
+//! * [`partition`] — deterministic greedy edge-cut partitioning for the
+//!   sharded simulation kernel,
 //! * [`membership`] — dynamic membership over a fixed maximum population
 //!   with incremental `(δ + 1)`-recoloring: joiners pick the least color
 //!   absent from their present neighborhood and survivors are never
@@ -38,6 +42,7 @@
 pub mod coloring;
 mod graph;
 pub mod membership;
+pub mod partition;
 pub mod random;
 pub mod topology;
 

@@ -57,6 +57,102 @@ pub fn connected_gnp(n: usize, p: f64, seed: u64) -> ConflictGraph {
     ConflictGraph::new(n, edges).expect("connected_gnp edges are valid by construction")
 }
 
+/// Sparse `G(n, p)` via geometric edge skipping: instead of flipping a coin
+/// per candidate pair (`O(n²)` RNG draws), jump straight to the next present
+/// edge with a geometric skip length, so work is `O(n + m)`.
+///
+/// The sampled distribution is exactly `G(n, p)`, but the *stream of RNG
+/// draws* differs from [`gnp`], so for a given seed the two generators
+/// produce different (equally valid) graphs. Small-graph call sites that
+/// have golden traces keyed to [`gnp`] must keep using it; the CLI only
+/// routes to this generator above a size threshold.
+pub fn sparse_gnp(n: usize, p: f64, seed: u64) -> ConflictGraph {
+    let p = p.clamp(0.0, 1.0);
+    if n < 2 || p <= 0.0 {
+        return ConflictGraph::new(n, Vec::new()).expect("empty graph is valid");
+    }
+    if p >= 1.0 {
+        return gnp(n, 1.0, seed);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    // Candidate pairs (i, j), i < j, enumerated lexicographically as a flat
+    // index; `log(1 - u) / log(1 - p)` skips are i.i.d. geometric.
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let ln_q = (1.0 - p).ln();
+    let mut cursor: u64 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / ln_q).floor() as u64;
+        cursor = match cursor.checked_add(skip) {
+            Some(c) => c,
+            None => break,
+        };
+        if cursor >= total {
+            break;
+        }
+        // Unrank `cursor` to (i, j): row i holds n-1-i pairs.
+        let mut i = 0u64;
+        let mut idx = cursor;
+        let mut row = n as u64 - 1;
+        while idx >= row {
+            idx -= row;
+            i += 1;
+            row -= 1;
+        }
+        let j = i + 1 + idx;
+        edges.push((ProcessId::from(i as usize), ProcessId::from(j as usize)));
+        cursor += 1;
+    }
+    ConflictGraph::new(n, edges).expect("sparse_gnp edges are valid by construction")
+}
+
+/// Seeded Barabási–Albert-style power-law graph: starts from a clique on
+/// `m + 1` vertices, then attaches each new vertex to `m` distinct existing
+/// vertices chosen with probability proportional to their current degree
+/// (preferential attachment via the repeated-endpoints list).
+///
+/// The resulting degree distribution has a heavy tail (`P(deg = d) ∝ d⁻³`
+/// asymptotically) — hubs of degree `≫ m` alongside a majority at exactly
+/// `m` — which is the contention regime where distributed daemons differ
+/// most from central ones.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn powerlaw(n: usize, m: usize, seed: u64) -> ConflictGraph {
+    assert!(m > 0, "attachment count m must be positive");
+    let core = (m + 1).min(n);
+    let mut edges: Vec<(ProcessId, ProcessId)> = Vec::new();
+    // `targets` lists every edge endpoint once per incidence, so uniform
+    // sampling from it is degree-proportional sampling of vertices.
+    let mut targets: Vec<usize> = Vec::with_capacity(2 * n * m);
+    for i in 0..core {
+        for j in (i + 1)..core {
+            edges.push((ProcessId::from(i), ProcessId::from(j)));
+            targets.push(i);
+            targets.push(j);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked: Vec<usize> = Vec::with_capacity(m);
+    for v in core..n {
+        picked.clear();
+        while picked.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            edges.push((ProcessId::from(v), ProcessId::from(t)));
+            targets.push(v);
+            targets.push(t);
+        }
+    }
+    ConflictGraph::new(n, edges).expect("powerlaw edges are valid by construction")
+}
+
 /// A random `d`-regular-ish graph built by edge switching over a ring
 /// (degree is exactly `d` when `n·d` is even and `d < n`; otherwise falls
 /// back to the nearest feasible construction).
@@ -170,5 +266,90 @@ mod tests {
     #[should_panic(expected = "degree must be < n")]
     fn regularish_rejects_degree_ge_n() {
         let _ = regularish(4, 4, 0);
+    }
+
+    #[test]
+    fn sparse_gnp_is_deterministic_in_seed() {
+        let a = sparse_gnp(200, 0.05, 42);
+        let b = sparse_gnp(200, 0.05, 42);
+        assert_eq!(a, b);
+        let c = sparse_gnp(200, 0.05, 43);
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn sparse_gnp_extremes() {
+        assert_eq!(sparse_gnp(10, 0.0, 1).edge_count(), 0);
+        assert_eq!(sparse_gnp(10, 1.0, 1).edge_count(), 45);
+        assert!(sparse_gnp(0, 0.5, 1).is_empty());
+        assert_eq!(sparse_gnp(1, 0.5, 1).len(), 1);
+    }
+
+    #[test]
+    fn sparse_gnp_edge_density_matches_p() {
+        // 500 vertices, p = 0.02 → expected m ≈ 2495, sd ≈ 49. Accept ±5 sd.
+        let g = sparse_gnp(500, 0.02, 7);
+        let m = g.edge_count() as f64;
+        assert!((2250.0..=2750.0).contains(&m), "edge count {m} implausible");
+    }
+
+    #[test]
+    fn powerlaw_is_deterministic_in_seed() {
+        let a = powerlaw(300, 3, 9);
+        let b = powerlaw(300, 3, 9);
+        assert_eq!(a, b);
+        let c = powerlaw(300, 3, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn powerlaw_shape() {
+        let n = 400;
+        let m = 3;
+        let g = powerlaw(n, m, 11);
+        assert_eq!(g.len(), n);
+        assert!(g.is_connected(), "BA attachment keeps the graph connected");
+        // Every vertex after the core attaches with exactly m edges; the
+        // core is a clique on m+1 vertices.
+        assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+        assert!(g.processes().all(|p| g.degree(p) >= m));
+    }
+
+    #[test]
+    fn powerlaw_has_heavy_tail() {
+        let n = 1000;
+        let m = 2;
+        let g = powerlaw(n, m, 3);
+        let mut degs: Vec<usize> = g.processes().map(|p| g.degree(p)).collect();
+        degs.sort_unstable();
+        let max = *degs.last().unwrap();
+        let median = degs[n / 2];
+        // Preferential attachment: hubs grow ≫ the median (which stays ≈ m),
+        // unlike gnp where max/median is O(1). 8× is conservative at n=1000.
+        assert!(median <= 2 * m, "median degree {median} should stay near m");
+        assert!(
+            max >= 8 * median,
+            "max degree {max} vs median {median}: no heavy tail"
+        );
+        // Degree-counting sanity: ~half of all vertices sit at exactly m.
+        let at_m = degs.iter().filter(|&&d| d == m).count();
+        assert!(
+            at_m * 3 >= n,
+            "expected a large mass at degree m, got {at_m}"
+        );
+    }
+
+    #[test]
+    fn powerlaw_tiny_instances() {
+        assert!(powerlaw(0, 2, 1).is_empty());
+        assert_eq!(powerlaw(1, 2, 1).edge_count(), 0);
+        // n=3, m=2: core clique on min(m+1, n) = 3 vertices.
+        assert_eq!(powerlaw(3, 2, 1).edge_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "attachment count m must be positive")]
+    fn powerlaw_rejects_zero_m() {
+        let _ = powerlaw(10, 0, 1);
     }
 }

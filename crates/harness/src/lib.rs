@@ -46,6 +46,7 @@ mod host;
 mod live;
 mod report;
 mod scenario;
+mod streaming;
 
 pub use campaign::{Campaign, CampaignAlgorithm, CampaignJob, CampaignReport, CampaignRun};
 pub use chaos::{
@@ -56,3 +57,4 @@ pub use host::{DinerHost, Envelope, HostCmd, HostObs, HostWorkload, AUDIT_PERIOD
 pub use live::LiveRun;
 pub use report::{Admission, MembershipTag, Readmission, RunReport};
 pub use scenario::{OracleSpec, Scenario, Workload};
+pub use streaming::StreamingRunReport;

@@ -77,6 +77,9 @@ mod fault;
 mod membership;
 mod network;
 mod node;
+pub mod obs;
+pub mod packed;
+pub mod shard;
 mod sim;
 mod time;
 mod trace;
@@ -87,6 +90,9 @@ pub use fault::{CorruptionSpec, FaultPlan, FaultPlanError, LinkFault, Partition,
 pub use membership::{MembershipEvent, MembershipPlan, MembershipPlanError};
 pub use network::{ChannelStats, DelayModel};
 pub use node::{Context, Node, NodeEvent};
+pub use obs::{LatencyHistogram, Reservoir, StreamSink};
+pub use packed::{EatExcerpt, PackedKernel, ScaleConfig};
+pub use shard::{run_sharded, ScaleRunReport};
 pub use sim::{SimConfig, Simulator};
 pub use time::{Duration, Time};
 pub use trace::{Observation, TraceEvent, TraceKind};

@@ -1,3 +1,4 @@
+use crate::obs::StreamSink;
 use crate::time::{Duration, Time};
 use crate::trace::Observation;
 use crate::ProcessId;
@@ -98,6 +99,9 @@ pub(crate) enum ObsSink<'a, O> {
     Scratch(Vec<O>),
     /// The simulator's observation log, written in place.
     Direct(&'a mut Vec<Observation<O>>),
+    /// A streaming aggregator (the scale tier): each observation is
+    /// consumed immediately and never stored densely.
+    Stream(&'a mut dyn StreamSink<O>),
 }
 
 /// The effect interface handed to [`Node::handle`].
@@ -114,17 +118,6 @@ pub struct Context<'a, M, O> {
 }
 
 impl<'a, M, O> Context<'a, M, O> {
-    pub(crate) fn new(id: ProcessId, now: Time, rng: &'a mut StdRng) -> Self {
-        Context::with_buffers(
-            id,
-            now,
-            rng,
-            Vec::new(),
-            Vec::new(),
-            ObsSink::Scratch(Vec::new()),
-        )
-    }
-
     /// Builds a context around caller-owned effect buffers, so the simulator
     /// can recycle them across events instead of allocating per dispatch.
     pub(crate) fn with_buffers(
@@ -175,6 +168,7 @@ impl<'a, M, O> Context<'a, M, O> {
                 process: self.id,
                 obs,
             }),
+            ObsSink::Stream(sink) => sink.record(self.now, self.id, obs),
         }
     }
 
@@ -192,7 +186,14 @@ mod tests {
     #[test]
     fn context_buffers_effects() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut ctx: Context<'_, &str, u32> = Context::new(ProcessId(2), Time(7), &mut rng);
+        let mut ctx: Context<'_, &str, u32> = Context::with_buffers(
+            ProcessId(2),
+            Time(7),
+            &mut rng,
+            Vec::new(),
+            Vec::new(),
+            ObsSink::Scratch(Vec::new()),
+        );
         assert_eq!(ctx.id(), ProcessId(2));
         assert_eq!(ctx.now(), Time(7));
         ctx.send(ProcessId(0), "hi");
@@ -202,7 +203,7 @@ mod tests {
         assert_eq!(ctx.timers, vec![(1, 9)]);
         match ctx.observations {
             ObsSink::Scratch(v) => assert_eq!(v, vec![41]),
-            ObsSink::Direct(_) => panic!("Context::new buffers in scratch"),
+            _ => panic!("this context buffers in scratch"),
         }
     }
 

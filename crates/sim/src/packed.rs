@@ -1,0 +1,975 @@
+//! The bit-packed scale-tier dining kernel (S1 space bound, §7).
+//!
+//! The general [`Simulator`](crate::Simulator) runs arbitrary [`Node`]
+//! state machines with boxed messages and dense per-edge structs — perfect
+//! for the fault machinery, too heavy for 10⁵–10⁶ processes. This module is
+//! a *specialized* kernel for fault-free Algorithm 1 at scale:
+//!
+//! * **State** realizes the paper's S1 bound: per process, 3 header bits
+//!   (2-bit phase + doorway bit) and exactly **6 bits per incident edge**
+//!   (`pinged/ack/replied/deferred/fork/token`), packed contiguously into
+//!   `u64` words indexed by CSR slot. Colors live once in a shared
+//!   immutable table (`⌈log₂(δ+1)⌉` bits each in spirit; a `u32` in
+//!   practice). Everything else is bounded per-process or per-edge
+//!   counters.
+//! * **Events** are single `u64` words — `(to, kind, slot, aux)` bit
+//!   fields whose natural integer order *is* the canonical per-tick
+//!   processing order, which is what makes runs invariant in the shard
+//!   count (see [`shard`](crate::shard)).
+//! * **Delays** are stateless hashes of `(seed, edge, per-channel seq)`,
+//!   clamped to per-channel FIFO by a monotone bump, so a message's
+//!   delivery tick is a pure function of the run's history on that channel
+//!   — identical no matter which shard computes it.
+//!
+//! The kernel mirrors `ekbd-dining`'s `DiningProcess` action-for-action
+//! (the ten actions of Algorithm 1, internal guards evaluated in enabling
+//! order 2 → 5 → 6 → 9 after every event). It deliberately omits the
+//! failure-detector, crash, and membership machinery: the scale tier
+//! answers throughput and contention questions on correct runs, and the
+//! general simulator plus golden traces remain the oracle for faults.
+//!
+//! Safety checking at scale cannot afford dense traces, so exclusion is
+//! checked *in flight*: every eating session broadcasts a ghost `EatMark`
+//! (not part of the protocol, never touching FIFO state) carrying its
+//! interval to each neighbor at a fixed 1-tick delay; each endpoint of an
+//! edge detects each overlapping interval pair exactly once and the
+//! higher-id endpoint counts it. A fault-free run must report zero.
+
+use crate::obs::{splitmix, LatencyHistogram, Reservoir};
+use ekbd_graph::partition::Partition;
+use ekbd_graph::{ConflictGraph, ProcessId};
+
+/// Phase values in the 2-bit header field.
+const THINKING: u8 = 0;
+const HUNGRY: u8 = 1;
+const EATING: u8 = 2;
+/// Doorway bit in the header.
+const INSIDE: u8 = 1 << 2;
+
+/// Per-edge flag bits, identical to `ekbd-dining`'s layout.
+const PINGED: u8 = 1 << 0;
+const ACK: u8 = 1 << 1;
+const REPLIED: u8 = 1 << 2;
+const DEFERRED: u8 = 1 << 3;
+const FORK: u8 = 1 << 4;
+const TOKEN: u8 = 1 << 5;
+
+/// Event kinds, ordered so that the packed-word integer order gives the
+/// canonical intra-tick processing order. Protocol messages (0–3) sort
+/// before the ghost `EatMark` (4): a process that starts eating at tick
+/// `t` always does so before handling marks arriving at `t`, which is what
+/// makes overlap detection exactly-once (see `on_mark`).
+const K_PING: u64 = 0;
+const K_ACK: u64 = 1;
+const K_REQUEST: u64 = 2;
+const K_FORK: u64 = 3;
+const K_MARK: u64 = 4;
+const K_HUNGRY: u64 = 5;
+const K_EATEND: u64 = 6;
+
+/// Bit layout of a packed event word: `to` in the top bits so that plain
+/// `u64` sort orders by `(to, kind, slot, aux)`.
+const TO_SHIFT: u32 = 38; // 26 bits
+const KIND_SHIFT: u32 = 35; // 3 bits
+const SLOT_SHIFT: u32 = 13; // 22 bits
+const AUX_MASK: u64 = (1 << 13) - 1; // 13 bits
+
+#[inline]
+fn encode(to: u32, kind: u64, slot: u32, aux: u64) -> u64 {
+    debug_assert!(to < (1 << 26) && kind < 8 && slot < (1 << 22) && aux <= AUX_MASK);
+    ((to as u64) << TO_SHIFT) | (kind << KIND_SHIFT) | ((slot as u64) << SLOT_SHIFT) | aux
+}
+
+#[inline]
+fn decode(w: u64) -> (u32, u64, u32, u64) {
+    (
+        (w >> TO_SHIFT) as u32,
+        (w >> KIND_SHIFT) & 0x7,
+        ((w >> SLOT_SHIFT) & 0x3f_ffff) as u32,
+        w & AUX_MASK,
+    )
+}
+
+/// Configuration of a scale-tier run.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// RNG seed; the run is a pure function of `(graph, colors, seed)`.
+    pub seed: u64,
+    /// Hard tick ceiling; runs normally quiesce well before it.
+    pub horizon: u64,
+    /// Eating sessions each process performs before going quiet.
+    pub sessions: u32,
+    /// Thinking-time range (ticks, inclusive) between sessions.
+    pub think: (u64, u64),
+    /// Eating-duration range (ticks, inclusive); upper bound ≤ 8191 so a
+    /// duration fits the event word's aux field.
+    pub eat: (u64, u64),
+    /// Maximum message delay; each message takes `1..=delay_max` ticks
+    /// (then FIFO-bumped), hashed statelessly from the channel history.
+    pub delay_max: u64,
+    /// Reservoir capacity for sampled eating-session excerpts.
+    pub excerpt_cap: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            seed: 0,
+            horizon: 1_000_000,
+            sessions: 3,
+            think: (1, 40),
+            eat: (1, 10),
+            delay_max: 4,
+            excerpt_cap: 16,
+        }
+    }
+}
+
+impl ScaleConfig {
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+    /// Sets the tick ceiling.
+    pub fn horizon(mut self, horizon: u64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+    /// Sets the per-process session count.
+    pub fn sessions(mut self, sessions: u32) -> Self {
+        self.sessions = sessions;
+        self
+    }
+    /// Sets the thinking-time range.
+    pub fn think(mut self, lo: u64, hi: u64) -> Self {
+        self.think = (lo, hi);
+        self
+    }
+    /// Sets the eating-duration range.
+    pub fn eat(mut self, lo: u64, hi: u64) -> Self {
+        self.eat = (lo, hi);
+        self
+    }
+    /// Sets the maximum message delay.
+    pub fn delay_max(mut self, d: u64) -> Self {
+        self.delay_max = d.max(1);
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.think.0 >= 1 && self.think.0 <= self.think.1,
+            "bad think range"
+        );
+        assert!(self.eat.0 >= 1 && self.eat.0 <= self.eat.1, "bad eat range");
+        assert!(
+            self.eat.1 <= AUX_MASK,
+            "eat duration must fit the aux field"
+        );
+        assert!(self.delay_max >= 1, "delay_max must be ≥ 1");
+        assert!(self.sessions >= 1, "sessions must be ≥ 1");
+    }
+
+    fn wheel_len(&self) -> usize {
+        // Longest schedulable offset: 1 + think.1 (next hunger), eat.1
+        // (session end), or delay_max plus the FIFO bump headroom (the
+        // paper's ≤ 4 in-flight messages per edge, with margin).
+        (self.think.1 + 1).max(self.eat.1).max(self.delay_max + 16) as usize + 2
+    }
+}
+
+/// A per-session excerpt kept by the reservoir sampler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EatExcerpt {
+    /// Tick the session started eating.
+    pub tick: u64,
+    /// The eating process.
+    pub process: u32,
+    /// Hungry→eat latency of the session, in ticks.
+    pub latency: u64,
+}
+
+/// One shard's slice of the packed kernel: the state of its member
+/// processes and a local timer wheel. All cross-shard interaction goes
+/// through explicit `(delivery_tick, event_word)` batches.
+pub(crate) struct ShardState {
+    id: usize,
+    /// Global ids of member processes, ascending.
+    pub(crate) members: Vec<u32>,
+    /// Local CSR: `loff[l]..loff[l+1]` are member `l`'s adjacency slots.
+    loff: Vec<u32>,
+    /// Global neighbor id per local slot (sorted within each process).
+    ladj: Vec<u32>,
+    /// For local slot `g` (me → q), my slot index within q's adjacency —
+    /// stamped into event words so the receiver's lookup is O(1).
+    rev_slot: Vec<u32>,
+    /// 3 header bits per member (phase + doorway).
+    header: Vec<u8>,
+    /// 6 flag bits per local slot, packed into contiguous words: slot `g`
+    /// occupies bits `[6g, 6g+6)` — the S1 layout, literally.
+    flags: Vec<u64>,
+    /// Per-channel send counter (me → q), feeding the stateless delay hash.
+    seq: Vec<u32>,
+    /// Per-channel last delivery tick, enforcing FIFO.
+    last_del: Vec<u64>,
+    /// Most recent neighbor eating interval learned from an `EatMark`,
+    /// per local slot; `[0, 0)` until the first mark.
+    nbr_start: Vec<u64>,
+    nbr_end: Vec<u64>,
+    /// Per-member workload state.
+    hungry_since: Vec<u64>,
+    eat_start: Vec<u64>,
+    eat_end: Vec<u64>,
+    pub(crate) eats: Vec<u32>,
+    /// Timer wheel: ring of per-tick event lists.
+    wheel: Vec<Vec<u64>>,
+    pending: usize,
+    /// Scratch for the current tick's sorted events.
+    batch: Vec<u64>,
+    // ---- per-shard counters, merged into the run report ----
+    pub(crate) events: u64,
+    pub(crate) messages: u64,
+    pub(crate) mistakes: u64,
+    pub(crate) latency: LatencyHistogram,
+    pub(crate) excerpts: Reservoir<EatExcerpt>,
+}
+
+/// A shard's final state plus the tick its worker stopped at, moved out
+/// of a worker thread at the end of a sharded run.
+pub(crate) struct ShardHandle {
+    pub(crate) state: ShardState,
+    pub(crate) final_tick: u64,
+}
+
+/// The packed kernel: shared immutable topology plus one [`ShardState`]
+/// per shard. Drive it with [`run_sequential`](Self::run_sequential) (one
+/// thread, any shard count) or [`shard::run_sharded`](crate::shard::run_sharded)
+/// (one worker thread per shard) — both produce identical results.
+pub struct PackedKernel {
+    pub(crate) config: ScaleConfig,
+    pub(crate) n: usize,
+    /// Shard of each process.
+    pub(crate) owner: Vec<u8>,
+    /// Static priorities (proper coloring), shared by all shards.
+    colors: std::sync::Arc<Vec<u32>>,
+    pub(crate) shards: Vec<ShardState>,
+}
+
+/// The merged result of a scale-tier run.
+#[derive(Clone, Debug)]
+pub struct ScaleRunReport {
+    /// Process count.
+    pub n: usize,
+    /// Shard count the run used.
+    pub shards: usize,
+    /// Events processed (kernel dispatches, all shards).
+    pub events: u64,
+    /// Protocol messages sent (pings/acks/requests/forks; marks excluded).
+    pub messages: u64,
+    /// Final virtual tick.
+    pub final_tick: u64,
+    /// Completed eating sessions per process, indexed by id.
+    pub eats: Vec<u32>,
+    /// Overlapping eating-interval pairs across conflict edges (must be 0).
+    pub mistakes: u64,
+    /// Processes still hungry when the run ended.
+    pub starving: u64,
+    /// Hungry→eat latency distribution.
+    pub latency: LatencyHistogram,
+    /// Deterministically sampled session excerpts.
+    pub excerpts: Vec<EatExcerpt>,
+    /// Wall-clock duration of the drive loop, in nanoseconds (excluded
+    /// from the fingerprint; 0 for sequential runs driven without timing).
+    pub wall_nanos: u128,
+}
+
+impl ScaleRunReport {
+    /// Whether the run upholds the scale-tier gate: zero exclusion
+    /// mistakes and every process ate at least once.
+    pub fn verdict(&self) -> bool {
+        self.mistakes == 0 && self.eats.iter().all(|&e| e >= 1)
+    }
+
+    /// Fewest completed sessions over all processes.
+    pub fn min_eats(&self) -> u32 {
+        self.eats.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Aggregate events per second, from `wall_nanos` (0 if untimed).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_nanos as f64 / 1e9)
+        }
+    }
+
+    /// A canonical digest of everything deterministic about the run —
+    /// byte-identical across reruns with the same `(seed, shards)`, and by
+    /// design across *different* shard counts too. Wall-clock fields are
+    /// excluded.
+    pub fn fingerprint(&self) -> String {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &e in &self.eats {
+            h = splitmix(h ^ e as u64);
+        }
+        let mut ex = 0xe37_79b9u64;
+        for e in &self.excerpts {
+            ex = splitmix(ex ^ e.tick ^ ((e.process as u64) << 32) ^ e.latency.rotate_left(17));
+        }
+        format!(
+            "packed-scale-v1 n={} events={} msgs={} ticks={} eats#{:016x} \
+             mistakes={} starving={} lat[{}] ex#{:016x}",
+            self.n,
+            self.events,
+            self.messages,
+            self.final_tick,
+            h,
+            self.mistakes,
+            self.starving,
+            self.latency.brief(),
+            ex
+        )
+    }
+}
+
+#[inline]
+fn mix3(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    splitmix(
+        seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ b.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+            ^ c.wrapping_mul(0x94d0_49bb_1331_11eb),
+    )
+}
+
+/// Seeded duration in `lo..=hi` for `(process, counter)`, salted so think
+/// and eat draws are independent streams.
+#[inline]
+fn ranged(seed: u64, salt: u64, p: u32, counter: u32, range: (u64, u64)) -> u64 {
+    range.0 + mix3(seed ^ salt, p as u64, counter as u64, 0x5eed) % (range.1 - range.0 + 1)
+}
+
+impl ShardState {
+    #[inline]
+    fn local_of(&self, global: u32) -> usize {
+        self.members
+            .binary_search(&global)
+            .expect("event routed to non-member")
+    }
+
+    #[inline]
+    fn get_flag(&self, g: usize, f: u8) -> bool {
+        let bit = g * 6;
+        let (w, o) = (bit / 64, (bit % 64) as u32);
+        let six = if o <= 58 {
+            (self.flags[w] >> o) & 0x3f
+        } else {
+            ((self.flags[w] >> o) | (self.flags[w + 1] << (64 - o))) & 0x3f
+        };
+        six & f as u64 != 0
+    }
+
+    #[inline]
+    fn set_flag(&mut self, g: usize, f: u8, v: bool) {
+        let bit = g * 6;
+        let (w, o) = (bit / 64, (bit % 64) as u32);
+        if o <= 58 {
+            if v {
+                self.flags[w] |= (f as u64) << o;
+            } else {
+                self.flags[w] &= !((f as u64) << o);
+            }
+        } else {
+            // o in 59..=63: the 6-bit field straddles words w and w+1.
+            let low = (f as u64) << o;
+            let high = (f as u64) >> (64 - o);
+            if v {
+                self.flags[w] |= low;
+                self.flags[w + 1] |= high;
+            } else {
+                self.flags[w] &= !low;
+                self.flags[w + 1] &= !high;
+            }
+        }
+    }
+
+    #[inline]
+    fn phase(&self, l: usize) -> u8 {
+        self.header[l] & 0x3
+    }
+
+    #[inline]
+    fn set_phase(&mut self, l: usize, p: u8) {
+        self.header[l] = (self.header[l] & !0x3) | p;
+    }
+
+    #[inline]
+    fn inside(&self, l: usize) -> bool {
+        self.header[l] & INSIDE != 0
+    }
+
+    #[inline]
+    fn set_inside(&mut self, l: usize, v: bool) {
+        if v {
+            self.header[l] |= INSIDE;
+        } else {
+            self.header[l] &= !INSIDE;
+        }
+    }
+
+    #[inline]
+    fn slots(&self, l: usize) -> std::ops::Range<usize> {
+        self.loff[l] as usize..self.loff[l + 1] as usize
+    }
+
+    fn push_wheel(&mut self, now: u64, delivery: u64, word: u64) {
+        let len = self.wheel.len() as u64;
+        assert!(
+            delivery > now && delivery - now < len,
+            "delivery {delivery} outside wheel window at tick {now}"
+        );
+        self.wheel[(delivery % len) as usize].push(word);
+        self.pending += 1;
+    }
+
+    /// Earliest tick after `now` with a scheduled local event.
+    fn next_after(&self, now: u64) -> u64 {
+        if self.pending == 0 {
+            return u64::MAX;
+        }
+        let len = self.wheel.len() as u64;
+        for dt in 1..len {
+            if !self.wheel[((now + dt) % len) as usize].is_empty() {
+                return now + dt;
+            }
+        }
+        unreachable!("pending events must live within the wheel window");
+    }
+
+    /// Sends a protocol message on local slot `g` (member `l` → its `j`-th
+    /// neighbor): stateless hashed delay, FIFO-bumped per channel.
+    #[allow(clippy::too_many_arguments)] // hot path: fields unpacked by the dispatcher
+    fn send(
+        &mut self,
+        seed: u64,
+        delay_max: u64,
+        now: u64,
+        l: usize,
+        g: usize,
+        kind: u64,
+        owner: &[u8],
+        out: &mut [Vec<(u64, u64)>],
+    ) {
+        let from = self.members[l];
+        let to = self.ladj[g];
+        let delay = 1 + mix3(seed, from as u64, to as u64, self.seq[g] as u64) % delay_max;
+        self.seq[g] += 1;
+        let delivery = (now + delay).max(self.last_del[g] + 1);
+        self.last_del[g] = delivery;
+        self.messages += 1;
+        let word = encode(to, kind, self.rev_slot[g], 0);
+        let dst = owner[to as usize] as usize;
+        if dst == self.id {
+            self.push_wheel(now, delivery, word);
+        } else {
+            out[dst].push((delivery, word));
+        }
+    }
+
+    /// Action 2: while hungry outside, ping neighbors missing an ack.
+    fn try_request_acks(
+        &mut self,
+        seed: u64,
+        delay_max: u64,
+        now: u64,
+        l: usize,
+        owner: &[u8],
+        out: &mut [Vec<(u64, u64)>],
+    ) {
+        if self.phase(l) != HUNGRY || self.inside(l) {
+            return;
+        }
+        for g in self.slots(l) {
+            if !self.get_flag(g, PINGED) && !self.get_flag(g, ACK) {
+                self.set_flag(g, PINGED, true);
+                self.send(seed, delay_max, now, l, g, K_PING, owner, out);
+            }
+        }
+    }
+
+    /// Action 5: enter the doorway once every neighbor acked (the scale
+    /// tier is fault-free, so the suspicion escape hatch never fires).
+    fn try_enter_doorway(&mut self, l: usize) {
+        if self.phase(l) != HUNGRY || self.inside(l) {
+            return;
+        }
+        if self.slots(l).all(|g| self.get_flag(g, ACK)) {
+            self.set_inside(l, true);
+            for g in self.slots(l) {
+                self.set_flag(g, ACK, false);
+                self.set_flag(g, REPLIED, false);
+            }
+        }
+    }
+
+    /// Action 6: inside the doorway, spend tokens on missing forks.
+    fn try_request_forks(
+        &mut self,
+        seed: u64,
+        delay_max: u64,
+        now: u64,
+        l: usize,
+        owner: &[u8],
+        out: &mut [Vec<(u64, u64)>],
+    ) {
+        if self.phase(l) != HUNGRY || !self.inside(l) {
+            return;
+        }
+        for g in self.slots(l) {
+            if self.get_flag(g, TOKEN) && !self.get_flag(g, FORK) {
+                self.set_flag(g, TOKEN, false);
+                self.send(seed, delay_max, now, l, g, K_REQUEST, owner, out);
+            }
+        }
+    }
+
+    /// Action 9: eat once every fork is held; emits marks, checks overlap
+    /// against stored neighbor intervals (detection site 2), schedules the
+    /// session end.
+    fn try_eat(
+        &mut self,
+        cfg: &ScaleConfig,
+        now: u64,
+        l: usize,
+        owner: &[u8],
+        out: &mut [Vec<(u64, u64)>],
+    ) {
+        if self.phase(l) != HUNGRY || !self.inside(l) {
+            return;
+        }
+        if !self.slots(l).all(|g| self.get_flag(g, FORK)) {
+            return;
+        }
+        self.set_phase(l, EATING);
+        let me = self.members[l];
+        let dur = ranged(cfg.seed, eat_salt(), me, self.eats[l], cfg.eat);
+        self.eat_start[l] = now;
+        self.eat_end[l] = now + dur;
+        let lat = now - self.hungry_since[l];
+        self.latency.record(lat);
+        self.excerpts.offer(
+            mix3(cfg.seed, now, me as u64, 0xec5e),
+            EatExcerpt {
+                tick: now,
+                process: me,
+                latency: lat,
+            },
+        );
+        self.push_wheel(now, now + dur, encode(me, K_EATEND, 0, 0));
+        for g in self.slots(l) {
+            let q = self.ladj[g];
+            // Site 2: my new interval vs the neighbor interval last heard.
+            if self.nbr_end[g] > 0
+                && self.nbr_start[g] < now + dur
+                && now < self.nbr_end[g]
+                && me > q
+            {
+                self.mistakes += 1;
+            }
+            // Ghost mark: fixed 1-tick delay, outside the FIFO channel.
+            let word = encode(q, K_MARK, self.rev_slot[g], dur);
+            let dst = owner[q as usize] as usize;
+            if dst == self.id {
+                self.push_wheel(now, now + 1, word);
+            } else {
+                out[dst].push((now + 1, word));
+            }
+        }
+    }
+
+    fn internal_actions(
+        &mut self,
+        cfg: &ScaleConfig,
+        now: u64,
+        l: usize,
+        owner: &[u8],
+        out: &mut [Vec<(u64, u64)>],
+    ) {
+        self.try_request_acks(cfg.seed, cfg.delay_max, now, l, owner, out);
+        self.try_enter_doorway(l);
+        self.try_request_forks(cfg.seed, cfg.delay_max, now, l, owner, out);
+        self.try_eat(cfg, now, l, owner, out);
+    }
+
+    /// Action 10: exit — grant deferred requests and pings, go thinking.
+    fn exit(
+        &mut self,
+        seed: u64,
+        delay_max: u64,
+        now: u64,
+        l: usize,
+        owner: &[u8],
+        out: &mut [Vec<(u64, u64)>],
+    ) {
+        self.set_inside(l, false);
+        self.set_phase(l, THINKING);
+        for g in self.slots(l) {
+            if self.get_flag(g, TOKEN) && self.get_flag(g, FORK) {
+                self.set_flag(g, FORK, false);
+                self.send(seed, delay_max, now, l, g, K_FORK, owner, out);
+            }
+            if self.get_flag(g, DEFERRED) {
+                self.set_flag(g, DEFERRED, false);
+                self.send(seed, delay_max, now, l, g, K_ACK, owner, out);
+            }
+        }
+    }
+
+    /// Processes every event scheduled for tick `now`, appending
+    /// cross-shard events to `out[dst_shard]`.
+    pub(crate) fn process_tick(
+        &mut self,
+        cfg: &ScaleConfig,
+        colors: &[u32],
+        owner: &[u8],
+        now: u64,
+        out: &mut [Vec<(u64, u64)>],
+    ) {
+        let slot = (now % self.wheel.len() as u64) as usize;
+        if self.wheel[slot].is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        batch.append(&mut self.wheel[slot]);
+        self.pending -= batch.len();
+        // Canonical order: plain integer sort = (to, kind, slot, aux).
+        batch.sort_unstable();
+        for &word in &batch {
+            self.events += 1;
+            let (to, kind, slot, aux) = decode(word);
+            let l = self.local_of(to);
+            match kind {
+                K_PING => {
+                    let g = self.loff[l] as usize + slot as usize;
+                    // Action 3: defer if inside or already replied this
+                    // session; otherwise ack (and remember it while hungry).
+                    if self.inside(l) || self.get_flag(g, REPLIED) {
+                        self.set_flag(g, DEFERRED, true);
+                    } else {
+                        self.set_flag(g, REPLIED, self.phase(l) == HUNGRY);
+                        self.send(cfg.seed, cfg.delay_max, now, l, g, K_ACK, owner, out);
+                    }
+                    self.internal_actions(cfg, now, l, owner, out);
+                }
+                K_ACK => {
+                    let g = self.loff[l] as usize + slot as usize;
+                    // Action 4.
+                    let useful = self.phase(l) == HUNGRY && !self.inside(l);
+                    self.set_flag(g, ACK, useful);
+                    self.set_flag(g, PINGED, false);
+                    self.internal_actions(cfg, now, l, owner, out);
+                }
+                K_REQUEST => {
+                    let g = self.loff[l] as usize + slot as usize;
+                    let from = self.ladj[g];
+                    // Action 7: the requester's color comes from the shared
+                    // table instead of riding in the message.
+                    debug_assert!(self.get_flag(g, FORK), "Lemma 1.1: request without fork");
+                    self.set_flag(g, TOKEN, true);
+                    let grant = self.get_flag(g, FORK)
+                        && (!self.inside(l)
+                            || (self.phase(l) == HUNGRY
+                                && colors[to as usize] < colors[from as usize]));
+                    if grant {
+                        self.set_flag(g, FORK, false);
+                        self.send(cfg.seed, cfg.delay_max, now, l, g, K_FORK, owner, out);
+                    }
+                    self.internal_actions(cfg, now, l, owner, out);
+                }
+                K_FORK => {
+                    let g = self.loff[l] as usize + slot as usize;
+                    // Action 8.
+                    debug_assert!(!self.get_flag(g, FORK), "Lemma 1.2: duplicate fork");
+                    self.set_flag(g, FORK, true);
+                    self.internal_actions(cfg, now, l, owner, out);
+                }
+                K_MARK => {
+                    // Ghost message: neighbor's session interval is
+                    // [now - 1, now - 1 + aux). Site 1 of overlap
+                    // detection; no internal actions (not a protocol event).
+                    let g = self.loff[l] as usize + slot as usize;
+                    let (ms, me_) = (now - 1, now - 1 + aux);
+                    let q = self.ladj[g];
+                    if self.phase(l) == EATING
+                        && self.eat_start[l] < me_
+                        && ms < self.eat_end[l]
+                        && to > q
+                    {
+                        self.mistakes += 1;
+                    }
+                    self.nbr_start[g] = ms;
+                    self.nbr_end[g] = me_;
+                }
+                K_HUNGRY => {
+                    debug_assert_eq!(self.phase(l), THINKING);
+                    self.set_phase(l, HUNGRY);
+                    self.hungry_since[l] = now;
+                    self.internal_actions(cfg, now, l, owner, out);
+                }
+                K_EATEND => {
+                    debug_assert_eq!(self.phase(l), EATING);
+                    self.exit(cfg.seed, cfg.delay_max, now, l, owner, out);
+                    self.eats[l] += 1;
+                    if self.eats[l] < cfg.sessions {
+                        let think = ranged(cfg.seed, think_salt(), to, self.eats[l], cfg.think);
+                        self.push_wheel(now, now + 1 + think, encode(to, K_HUNGRY, 0, 0));
+                    }
+                    self.internal_actions(cfg, now, l, owner, out);
+                }
+                _ => unreachable!("unknown event kind"),
+            }
+        }
+        self.batch = batch;
+    }
+
+    /// Packages this shard's final state for hand-back from a worker
+    /// thread (sharded driver only).
+    pub(crate) fn into_handle(self, final_tick: u64) -> ShardHandle {
+        ShardHandle {
+            state: self,
+            final_tick,
+        }
+    }
+
+    /// Accepts a batch of cross-shard events delivered after a barrier.
+    pub(crate) fn accept(&mut self, now: u64, batch: &mut Vec<(u64, u64)>) {
+        for (delivery, word) in batch.drain(..) {
+            self.push_wheel(now, delivery, word);
+        }
+    }
+
+    /// Earliest pending tick, for the global time-advance consensus.
+    pub(crate) fn next_event_after(&self, now: u64) -> u64 {
+        self.next_after(now)
+    }
+}
+
+// Salt constants for the independent think/eat duration hash streams.
+#[inline]
+fn eat_salt() -> u64 {
+    0xea7
+}
+#[inline]
+fn think_salt() -> u64 {
+    0x7417
+}
+
+impl PackedKernel {
+    /// Builds the kernel: per-shard CSR slices of `graph`, initial fork at
+    /// the higher-color endpoint and token at the lower (§3.1), and every
+    /// process's first hunger pre-scheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coloring is not proper for `graph`, the partition
+    /// does not cover `graph`, or the config is inconsistent.
+    pub fn new(
+        graph: &ConflictGraph,
+        colors: &[u32],
+        partition: &Partition,
+        config: ScaleConfig,
+    ) -> Self {
+        config.validate();
+        let n = graph.len();
+        assert!(
+            n < (1 << 26),
+            "packed event words index at most 2^26 processes"
+        );
+        assert_eq!(colors.len(), n, "coloring must cover the graph");
+        assert_eq!(
+            partition.assignment.len(),
+            n,
+            "partition must cover the graph"
+        );
+        assert!(
+            partition.shards <= u8::MAX as usize + 1,
+            "at most 256 shards"
+        );
+        assert!(
+            graph.max_degree() < (1 << 22),
+            "packed event words index at most 2^22 neighbors"
+        );
+        let owner: Vec<u8> = partition.assignment.iter().map(|&s| s as u8).collect();
+        let wheel_len = config.wheel_len();
+        let mut shards = Vec::with_capacity(partition.shards);
+        for (sid, members) in partition.members().into_iter().enumerate() {
+            let members: Vec<u32> = members.iter().map(|p| p.index() as u32).collect();
+            let mut loff = Vec::with_capacity(members.len() + 1);
+            let mut ladj = Vec::new();
+            let mut rev_slot = Vec::new();
+            let mut flags_bits = 0usize;
+            loff.push(0u32);
+            for &m in &members {
+                let p = ProcessId::from(m as usize);
+                for &q in graph.neighbors(p) {
+                    assert_ne!(
+                        colors[m as usize],
+                        colors[q.index()],
+                        "coloring must be proper"
+                    );
+                    ladj.push(q.index() as u32);
+                    let back = graph
+                        .neighbors(q)
+                        .binary_search(&p)
+                        .expect("adjacency is symmetric");
+                    rev_slot.push(back as u32);
+                }
+                loff.push(ladj.len() as u32);
+            }
+            flags_bits += ladj.len() * 6;
+            let mut shard = ShardState {
+                id: sid,
+                loff,
+                header: vec![THINKING; members.len()],
+                flags: vec![0u64; flags_bits.div_ceil(64) + 1],
+                seq: vec![0; ladj.len()],
+                last_del: vec![0; ladj.len()],
+                nbr_start: vec![0; ladj.len()],
+                nbr_end: vec![0; ladj.len()],
+                hungry_since: vec![0; members.len()],
+                eat_start: vec![0; members.len()],
+                eat_end: vec![0; members.len()],
+                eats: vec![0; members.len()],
+                wheel: vec![Vec::new(); wheel_len],
+                pending: 0,
+                batch: Vec::new(),
+                events: 0,
+                messages: 0,
+                mistakes: 0,
+                latency: LatencyHistogram::new(),
+                excerpts: Reservoir::new(config.seed ^ 0xe8ce_4a17, config.excerpt_cap),
+                members,
+                ladj,
+                rev_slot,
+            };
+            // §3.1 initial placement: fork at the higher color, token at
+            // the lower; and every process schedules its first hunger.
+            for l in 0..shard.members.len() {
+                let me = shard.members[l];
+                for g in shard.slots(l) {
+                    let q = shard.ladj[g];
+                    if colors[me as usize] > colors[q as usize] {
+                        shard.set_flag(g, FORK, true);
+                    } else {
+                        shard.set_flag(g, TOKEN, true);
+                    }
+                }
+                let think = ranged(config.seed, think_salt(), me, 0, config.think);
+                shard.push_wheel(0, 1 + think, encode(me, K_HUNGRY, 0, 0));
+            }
+            shards.push(shard);
+        }
+        PackedKernel {
+            config,
+            n,
+            owner,
+            colors: std::sync::Arc::new(colors.to_vec()),
+            shards,
+        }
+    }
+
+    /// Shared color table (read-only, used by every shard).
+    pub(crate) fn colors(&self) -> std::sync::Arc<Vec<u32>> {
+        self.colors.clone()
+    }
+
+    /// Approximate resident bytes of all mutable kernel state — the number
+    /// the S1 bound governs. Excludes the shared graph/colors.
+    pub fn state_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.header.len()
+                    + s.flags.len() * 8
+                    + (s.seq.len() + s.rev_slot.len() + s.ladj.len()) * 4
+                    + (s.last_del.len() + s.nbr_start.len() + s.nbr_end.len()) * 8
+                    + (s.hungry_since.len() + s.eat_start.len() + s.eat_end.len()) * 8
+                    + s.eats.len() * 4
+            })
+            .sum()
+    }
+
+    /// Drives every shard in lock-step on the calling thread. Exists as
+    /// the reference implementation the threaded driver must match
+    /// bit-for-bit, and as the `--shards 1` fast path.
+    pub fn run_sequential(mut self) -> ScaleRunReport {
+        let cfg = self.config.clone();
+        let colors = self.colors();
+        let k = self.shards.len();
+        let mut out: Vec<Vec<Vec<(u64, u64)>>> = vec![vec![Vec::new(); k]; k];
+        let mut now = 0u64;
+        loop {
+            let next = self
+                .shards
+                .iter()
+                .map(|s| s.next_event_after(now))
+                .min()
+                .unwrap_or(u64::MAX);
+            if next == u64::MAX || next > cfg.horizon {
+                break;
+            }
+            now = next;
+            for (sid, shard) in self.shards.iter_mut().enumerate() {
+                shard.process_tick(&cfg, &colors, &self.owner, now, &mut out[sid]);
+            }
+            for row in out.iter_mut() {
+                for (dst, cell) in row.iter_mut().enumerate() {
+                    if !cell.is_empty() {
+                        self.shards[dst].accept(now, cell);
+                    }
+                }
+            }
+        }
+        self.into_report(now, 0)
+    }
+
+    /// Folds per-shard state into the merged report.
+    pub(crate) fn into_report(self, final_tick: u64, wall_nanos: u128) -> ScaleRunReport {
+        let mut eats = vec![0u32; self.n];
+        let mut starving = 0u64;
+        let mut events = 0u64;
+        let mut messages = 0u64;
+        let mut mistakes = 0u64;
+        let mut latency = LatencyHistogram::new();
+        let mut excerpts = Reservoir::new(self.config.seed ^ 0xe8ce_4a17, self.config.excerpt_cap);
+        let shard_count = self.shards.len();
+        for shard in self.shards {
+            for (l, &m) in shard.members.iter().enumerate() {
+                eats[m as usize] = shard.eats[l];
+                if shard.phase(l) == HUNGRY {
+                    starving += 1;
+                }
+            }
+            events += shard.events;
+            messages += shard.messages;
+            mistakes += shard.mistakes;
+            latency.merge(&shard.latency);
+            excerpts.merge(shard.excerpts);
+        }
+        ScaleRunReport {
+            n: self.n,
+            shards: shard_count,
+            events,
+            messages,
+            final_tick,
+            eats,
+            mistakes,
+            starving,
+            latency,
+            excerpts: excerpts.items().cloned().collect(),
+            wall_nanos,
+        }
+    }
+}

@@ -2,6 +2,7 @@ use crate::event::{EngineKind, EventKind, EventQueue};
 use crate::fault::FaultPlan;
 use crate::network::{ChannelStats, DelayModel, Network};
 use crate::node::{Context, Node, NodeEvent, ObsSink};
+use crate::obs::StreamSink;
 use crate::time::{Duration, Time};
 use crate::trace::{Observation, TraceEvent, TraceKind};
 use crate::ProcessId;
@@ -144,6 +145,9 @@ pub struct Simulator<N: Node> {
     events_processed: u64,
     trace: Vec<TraceEvent>,
     observations: Vec<Observation<N::Obs>>,
+    /// When set, observations stream into this sink instead of the dense
+    /// log — the scale tier's `O(processes)` memory mode.
+    streaming: Option<Box<dyn StreamSink<N::Obs>>>,
     scratch: Scratch<N>,
 }
 
@@ -182,8 +186,22 @@ impl<N: Node> Simulator<N> {
             events_processed: 0,
             trace: Vec::new(),
             observations: Vec::new(),
+            streaming: None,
             scratch: Scratch::new(),
         }
+    }
+
+    /// Routes all subsequent observations into `sink` instead of the dense
+    /// log. Dense entries already collected stay where they are; the
+    /// streaming sink sees only what is emitted after this call (so install
+    /// it before the first [`step`](Self::step)).
+    pub fn set_streaming(&mut self, sink: Box<dyn StreamSink<N::Obs>>) {
+        self.streaming = Some(sink);
+    }
+
+    /// Removes and returns the streaming sink, if one was installed.
+    pub fn take_streaming(&mut self) -> Option<Box<dyn StreamSink<N::Obs>>> {
+        self.streaming.take()
     }
 
     /// Current virtual time.
@@ -367,6 +385,11 @@ impl<N: Node> Simulator<N> {
         // engine keeps the pre-optimization cost model — fresh allocations
         // and a clone per copy — so E9 measures an honest before/after.
         let pooled = self.config.engine == EngineKind::Indexed;
+        let sink = match (&mut self.streaming, pooled) {
+            (Some(s), _) => ObsSink::Stream(s.as_mut()),
+            (None, true) => ObsSink::Direct(&mut self.observations),
+            (None, false) => ObsSink::Scratch(Vec::new()),
+        };
         let mut ctx = if pooled {
             Context::with_buffers(
                 target,
@@ -374,10 +397,17 @@ impl<N: Node> Simulator<N> {
                 &mut self.rng,
                 mem::take(&mut self.scratch.sends),
                 mem::take(&mut self.scratch.timers),
-                ObsSink::Direct(&mut self.observations),
+                sink,
             )
         } else {
-            Context::new(target, self.time, &mut self.rng)
+            Context::with_buffers(
+                target,
+                self.time,
+                &mut self.rng,
+                Vec::new(),
+                Vec::new(),
+                sink,
+            )
         };
         self.nodes[target.index()].handle(ev, &mut ctx);
         let Context {
@@ -400,7 +430,7 @@ impl<N: Node> Simulator<N> {
                     });
                 }
             }
-            ObsSink::Direct(_) => {}
+            ObsSink::Direct(_) | ObsSink::Stream(_) => {}
         }
         for (to, msg) in sends.drain(..) {
             assert!(to.index() < self.crashed.len(), "send target out of range");
