@@ -9,7 +9,7 @@ pub enum ArgError {
     /// No subcommand was given.
     MissingCommand,
     /// The subcommand is not one of `run`, `stabilize`, `threaded`,
-    /// `campaign`, `replay`, `chaos`.
+    /// `campaign`, `replay`, `chaos`, `serve`, `loadgen`.
     UnknownCommand(String),
     /// A flag was given without a value.
     MissingValue(String),
@@ -32,7 +32,7 @@ impl fmt::Display for ArgError {
             ArgError::MissingCommand => {
                 write!(
                     f,
-                    "missing subcommand (run | stabilize | threaded | campaign | replay | chaos)"
+                    "missing subcommand (run | stabilize | threaded | campaign | replay | chaos | serve | loadgen)"
                 )
             }
             ArgError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
@@ -73,6 +73,8 @@ impl Parsed {
             "campaign",
             "replay",
             "chaos",
+            "serve",
+            "loadgen",
         ]
         .contains(&command.as_str())
         {

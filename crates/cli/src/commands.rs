@@ -56,6 +56,17 @@ USAGE:
                   check it reproduces its `expect` class)
   ekbd chaos     --shrink FILE [--out FILE]   (ddmin a failing schedule to
                   a locally-minimal artifact)
+  ekbd serve     --listen HOST:PORT | --uds PATH [--topology SPEC]
+                 [--serve-ms N] [--max-sessions N] [--send-queue N]
+                 [--heartbeat-ms N] [--journal-dir DIR]
+                 (daemon as a service: sessions bind dining processes over
+                  TCP or a Unix socket; connection deaths crash them,
+                  reconnects ride the journal resume path)
+  ekbd loadgen   --connect HOST:PORT | --uds PATH --clients N
+                 [--sessions N] [--kill FRAC] [--think-ms N] [--seed N]
+                 (drive hungry/eat churn against a serve instance, killing
+                  FRAC of the fleet mid-session; prints grant latency
+                  p50/p99/p999 and the readmission table)
 
 TOPOLOGY SPECS:
   ring:n path:n star:n clique:n grid:RxC torus:RxC tree:n wheel:n
@@ -252,8 +263,8 @@ fn print_report(report: &RunReport) {
     println!("starving (correct) .......... {:?}", progress.starving());
     let lat = progress.latency_summary();
     println!(
-        "hungry latency .............. p50={} p99={} max={}",
-        lat.p50, lat.p99, lat.max
+        "hungry latency .............. p50={} p99={} p999={} max={}",
+        lat.p50, lat.p99, lat.p999, lat.max
     );
     println!("detector convergence ........ {conv}");
     println!(
@@ -431,10 +442,10 @@ fn cmd_run_scale(parsed: &Parsed, shards: usize) -> Result<(), ArgError> {
     for flag in INCOMPATIBLE {
         if parsed.get(flag).is_some() {
             return Err(ArgError::BadValue {
-                flag: "--shards".into(),
-                value: format!("combined with --{flag}"),
-                expected: "the packed scale tier is fault-free: no fault, link, \
-                           membership, or trace flags",
+                flag: format!("--{flag}"),
+                value: "combined with --shards".into(),
+                expected: "the packed scale tier is fault-free; drop --shards to \
+                           run the dense tier, which supports this flag",
             });
         }
     }
@@ -1092,6 +1103,146 @@ pub fn cmd_chaos(parsed: &Parsed) -> Result<(), ArgError> {
     }
 }
 
+/// Reads the transport address from `--<flag>` (TCP) or `--uds` (Unix
+/// socket path); exactly one must be present.
+fn net_addr(parsed: &Parsed, tcp_flag: &'static str) -> Result<ekbd_net::ServerAddr, ArgError> {
+    match (parsed.get(tcp_flag), parsed.get("uds")) {
+        (Some(hostport), None) => Ok(ekbd_net::ServerAddr::Tcp(hostport.to_string())),
+        (None, Some(path)) => Ok(ekbd_net::ServerAddr::Uds(std::path::PathBuf::from(path))),
+        (Some(_), Some(_)) => Err(ArgError::BadValue {
+            flag: format!("--{tcp_flag}"),
+            value: "combined with --uds".into(),
+            expected: "exactly one transport: --listen/--connect HOST:PORT or --uds PATH",
+        }),
+        (None, None) => Err(ArgError::MissingValue(format!(
+            "--{tcp_flag} HOST:PORT or --uds PATH"
+        ))),
+    }
+}
+
+/// `ekbd serve …` — expose a dining system as a network daemon.
+pub fn cmd_serve(parsed: &Parsed) -> Result<(), ArgError> {
+    use ekbd_net::{DaemonServer, ServerConfig};
+
+    let addr = net_addr(parsed, "listen")?;
+    let topology = TopologySpec::parse(parsed.get("topology").unwrap_or("ring:8"))?;
+    let serve_ms: u64 = parsed.get_parsed("serve-ms", 2_000u64)?;
+    let mut cfg = ServerConfig {
+        max_sessions: parsed.get_parsed("max-sessions", 64usize)?,
+        send_queue: parsed.get_parsed("send-queue", 64usize)?,
+        heartbeat_ms: parsed.get_parsed("heartbeat-ms", 200u64)?,
+        ..ServerConfig::default()
+    };
+    if let Some(dir) = parsed.get("journal-dir") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).map_err(|e| ArgError::BadValue {
+            flag: "--journal-dir".into(),
+            value: format!("{}: {e}", dir.display()),
+            expected: "a creatable journal directory",
+        })?;
+        cfg.runtime.journal_dir = Some(dir);
+    }
+    let server =
+        DaemonServer::start(topology.build(), &addr, cfg).map_err(|e| ArgError::BadValue {
+            flag: "--listen".into(),
+            value: format!("{addr}: {e}"),
+            expected: "a bindable address",
+        })?;
+    println!("== ekbd serve ==\n");
+    println!("listening ................... {}", server.local_addr());
+    println!(
+        "topology .................... {}",
+        parsed.get("topology").unwrap_or("ring:8")
+    );
+    println!("serving for ................. {serve_ms} ms");
+    std::thread::sleep(std::time::Duration::from_millis(serve_ms));
+    let run = server.shutdown();
+    let eats = run
+        .events
+        .iter()
+        .filter(|e| e.obs == ekbd_dining::DiningObs::StartedEating)
+        .count();
+    println!();
+    println!(
+        "sessions admitted ........... fresh={} resumed={} rejoined={}",
+        run.stats.fresh, run.stats.resumed, run.stats.rejoined
+    );
+    println!(
+        "overload shed ............... busy={} slow-reader={} heartbeat={}",
+        run.stats.shed_busy, run.stats.shed_slow, run.stats.heartbeat_drops
+    );
+    println!(
+        "protocol errors ............. {}",
+        run.stats.protocol_errors
+    );
+    println!("grants served ............... {eats}");
+    println!("runtime restarts ............ {}", run.restarts.len());
+    Ok(())
+}
+
+/// `ekbd loadgen …` — drive a client fleet against a serve instance.
+pub fn cmd_loadgen(parsed: &Parsed) -> Result<(), ArgError> {
+    use ekbd_metrics::Summary;
+    use ekbd_net::{run_load, LoadPlan};
+
+    let addr = net_addr(parsed, "connect")?;
+    let clients: usize = parsed.get_parsed("clients", 4usize)?;
+    if clients == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--clients".into(),
+            value: "0".into(),
+            expected: "a positive fleet size",
+        });
+    }
+    let kill: f64 = parsed.get_parsed("kill", 0.0f64)?;
+    if !(0.0..=1.0).contains(&kill) {
+        return Err(ArgError::BadValue {
+            flag: "--kill".into(),
+            value: kill.to_string(),
+            expected: "a fraction in [0, 1]",
+        });
+    }
+    let plan = LoadPlan {
+        clients,
+        sessions_per_client: parsed.get_parsed("sessions", 10usize)?,
+        think_ms: parsed.get_parsed("think-ms", 5u64)?,
+        kill_fraction: kill,
+        seed: parsed.get_parsed("seed", 7u64)?,
+        ..LoadPlan::default()
+    };
+    let report = run_load(&addr, &plan);
+    let lat = Summary::of(report.latencies_ms.iter().copied());
+    println!(
+        "== ekbd loadgen: {clients} clients × {} sessions ==\n",
+        plan.sessions_per_client
+    );
+    println!(
+        "sessions completed .......... {}/{}",
+        report.completed_sessions, report.planned_sessions
+    );
+    println!(
+        "grant latency (ms) .......... p50={} p99={} p999={} max={}",
+        lat.p50, lat.p99, lat.p999, lat.max
+    );
+    println!(
+        "kills / reconnects .......... {}/{}",
+        report.killed, report.reconnected
+    );
+    for r in &report.readmissions {
+        println!("  p{} readmitted via {} in {} ms", r.process, r.path, r.ms);
+    }
+    println!("busy retries absorbed ....... {}", report.busy_retries);
+    for e in &report.errors {
+        println!("error: {e}");
+    }
+    if report.errors.is_empty() && report.completed_sessions == report.planned_sessions {
+        println!("\nverdict ..................... PASS");
+    } else {
+        println!("\nverdict ..................... FAIL");
+    }
+    Ok(())
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(parsed: &Parsed) -> Result<(), ArgError> {
     match parsed.command.as_str() {
@@ -1101,6 +1252,8 @@ pub fn dispatch(parsed: &Parsed) -> Result<(), ArgError> {
         "campaign" => cmd_campaign(parsed),
         "replay" => cmd_replay(parsed),
         "chaos" => cmd_chaos(parsed),
+        "serve" => cmd_serve(parsed),
+        "loadgen" => cmd_loadgen(parsed),
         other => Err(ArgError::UnknownCommand(other.to_string())),
     }
 }
@@ -1166,6 +1319,58 @@ mod tests {
              --loss 0.1 --link on",
         );
         cmd_run(&p).unwrap();
+    }
+
+    #[test]
+    fn net_commands_validate_their_transport() {
+        // No transport at all.
+        assert!(matches!(
+            cmd_loadgen(&parsed("loadgen --clients 2")),
+            Err(ArgError::MissingValue(_))
+        ));
+        // Both transports at once.
+        assert!(matches!(
+            cmd_serve(&parsed("serve --listen 127.0.0.1:0 --uds /tmp/x.sock")),
+            Err(ArgError::BadValue { .. })
+        ));
+        // Degenerate fleet and out-of-range kill fraction.
+        assert!(matches!(
+            cmd_loadgen(&parsed("loadgen --connect 127.0.0.1:1 --clients 0")),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(
+            cmd_loadgen(&parsed(
+                "loadgen --connect 127.0.0.1:1 --clients 2 --kill 1.5"
+            )),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn loadgen_drives_a_live_server_end_to_end() {
+        // Full stack: a real server on an ephemeral port, the loadgen
+        // command pointed at it, kills included.
+        let server = ekbd_net::DaemonServer::start(
+            ekbd_graph::topology::ring(3),
+            &ekbd_net::ServerAddr::Tcp("127.0.0.1:0".into()),
+            ekbd_net::ServerConfig::default(),
+        )
+        .unwrap();
+        let ekbd_net::ServerAddr::Tcp(addr) = server.local_addr().clone() else {
+            unreachable!("tcp server")
+        };
+        let p = parsed(&format!(
+            "loadgen --connect {addr} --clients 3 --sessions 2 --kill 0.3 --seed 5"
+        ));
+        cmd_loadgen(&p).unwrap();
+        let run = server.shutdown();
+        assert_eq!(run.stats.fresh, 3, "every client bound: {:?}", run.stats);
+        assert_eq!(
+            run.stats.resumed + run.stats.rejoined,
+            1,
+            "exactly one kill was readmitted: {:?}",
+            run.stats
+        );
     }
 
     #[test]
@@ -1343,6 +1548,21 @@ mod tests {
         assert!(cmd_run(&parsed("run --engine turbo")).is_err());
         assert!(cmd_campaign(&parsed("campaign --seeds 0")).is_err());
         assert!(cmd_campaign(&parsed("campaign --seeds 2 --workers few")).is_err());
+    }
+
+    #[test]
+    fn scale_tier_error_names_the_offending_flag() {
+        // The packed tier must say *which* flag is incompatible and point
+        // at the dense tier, not just blame --shards generically.
+        let err = cmd_run(&parsed("run --topology ring:8 --shards 2 --crash 1:100"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--crash"), "got: {err}");
+        assert!(err.contains("dense tier"), "got: {err}");
+        let err = cmd_run(&parsed("run --topology ring:8 --shards 2 --journal on"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--journal"), "got: {err}");
     }
 
     #[test]

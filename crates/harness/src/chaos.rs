@@ -72,11 +72,16 @@ impl Scenario {
         schedule.validate()?;
         let graph = schedule.build_topology()?;
         let parts = schedule.parts();
+        // The audit period is pinned to the historical constant rather
+        // than the degree-derived scenario default: committed `.chaos`
+        // artifacts record an expected class, and that classification
+        // must stay reproducible as defaults evolve.
         let mut s = Scenario::new(graph)
             .seed(schedule.seed)
             .horizon(schedule.horizon)
             .perfect_oracle()
             .workload(CHAOS_WORKLOAD)
+            .audit_period(AUDIT_PERIOD)
             .faults(parts.faults)
             .storage_faults(parts.storage);
         for (p, t) in parts.crashes {

@@ -125,6 +125,24 @@ const AUDIT_TAG_BASE: u64 = HOST_TAG_BASE + 2;
 /// per host with [`DinerHost::with_audit_period`].
 pub const AUDIT_PERIOD: u64 = 50;
 
+/// Degree-derived audit-and-repair period: the default a
+/// [`Scenario`](crate::Scenario) uses when the operator does not pick one.
+///
+/// An audit pass exchanges one probe round with every neighbor, so its
+/// useful cadence scales with the densest neighborhood: a high-degree
+/// process needs a longer window for all replies to land (the probe
+/// round-trip is bounded by twice the max message delay, default 8, per
+/// neighbor wave), while auditing a sparse graph more often is nearly
+/// free. `10·(δ+3)` gives each neighbor wave a generous round-trip
+/// budget plus three waves of slack; the clamp keeps pathological graphs
+/// (isolated nodes, hubs with hundreds of edges) inside the regime E15's
+/// sensitivity sweep validated. At δ = 2 — every ring, the topology the
+/// fixed [`AUDIT_PERIOD`] was tuned on — the formula reproduces exactly
+/// the historical constant 50.
+pub fn derived_audit_period(max_degree: usize) -> u64 {
+    (10 * (max_degree as u64 + 3)).clamp(30, 240)
+}
+
 /// A simulated process hosting a dining algorithm and a failure detector.
 ///
 /// The host owns all the plumbing the paper leaves implicit: delivering

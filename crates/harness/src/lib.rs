@@ -53,7 +53,9 @@ pub use chaos::{
     emit_repro_artifact, reproduces, run_chaos, shrink_failing, ChaosOutcome, CHAOS_WORKLOAD,
 };
 pub use detector::AnyDetector;
-pub use host::{DinerHost, Envelope, HostCmd, HostObs, HostWorkload, AUDIT_PERIOD};
+pub use host::{
+    derived_audit_period, DinerHost, Envelope, HostCmd, HostObs, HostWorkload, AUDIT_PERIOD,
+};
 pub use live::LiveRun;
 pub use report::{Admission, MembershipTag, Readmission, RunReport};
 pub use scenario::{OracleSpec, Scenario, Workload};

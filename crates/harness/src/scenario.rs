@@ -100,7 +100,8 @@ pub struct Scenario {
     /// implies journaling.
     pub storage_faults: StorageFaultPlan,
     /// Audit-and-repair period for recoverable algorithms (default:
-    /// [`crate::AUDIT_PERIOD`]).
+    /// derived from the graph's max degree via
+    /// [`crate::derived_audit_period`]).
     pub audit_period: u64,
     /// Audit strike threshold for recoverable algorithms (default:
     /// [`ekbd_dining::DEFAULT_STRIKES`]).
@@ -118,6 +119,7 @@ impl Scenario {
     /// horizon 100 000.
     pub fn new(graph: ConflictGraph) -> Self {
         let colors = coloring::greedy(&graph);
+        let audit_period = crate::host::derived_audit_period(graph.max_degree());
         Scenario {
             graph,
             colors,
@@ -134,7 +136,7 @@ impl Scenario {
             record_trace: false,
             journal: false,
             storage_faults: StorageFaultPlan::default(),
-            audit_period: crate::host::AUDIT_PERIOD,
+            audit_period,
             audit_strikes: ekbd_dining::DEFAULT_STRIKES,
             membership: MembershipPlan::new(),
         }
@@ -656,6 +658,31 @@ mod tests {
         assert_eq!(s.crashes, vec![(ProcessId(1), Time(10))]);
         assert_eq!(s.manual_hunger, vec![(ProcessId(0), Time(5))]);
         coloring::validate(&s.graph, &s.colors).unwrap();
+    }
+
+    #[test]
+    fn audit_period_defaults_from_max_degree() {
+        use crate::host::{derived_audit_period, AUDIT_PERIOD};
+        // Pin the formula: 10·(δ+3), clamped to [30, 240].
+        assert_eq!(derived_audit_period(0), 30);
+        assert_eq!(derived_audit_period(1), 40);
+        assert_eq!(derived_audit_period(2), AUDIT_PERIOD, "rings keep 50");
+        assert_eq!(derived_audit_period(4), 70);
+        assert_eq!(derived_audit_period(5), 80);
+        assert_eq!(derived_audit_period(21), 240);
+        assert_eq!(derived_audit_period(1_000), 240, "hub clamp");
+
+        // Scenario::new picks it up from the graph; rings stay at the
+        // historical constant, denser graphs stretch their audit window.
+        assert_eq!(Scenario::new(topology::ring(8)).audit_period, AUDIT_PERIOD);
+        assert_eq!(Scenario::new(topology::clique(6)).audit_period, 80);
+        // An explicit override still wins.
+        assert_eq!(
+            Scenario::new(topology::clique(6))
+                .audit_period(25)
+                .audit_period,
+            25
+        );
     }
 
     #[test]

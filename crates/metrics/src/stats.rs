@@ -13,6 +13,8 @@ pub struct Summary {
     pub p50: u64,
     /// 99th percentile, nearest-rank (0 if empty).
     pub p99: u64,
+    /// 99.9th percentile, nearest-rank (0 if empty).
+    pub p999: u64,
 }
 
 impl Summary {
@@ -36,6 +38,7 @@ impl Summary {
             mean: sum as f64 / count as f64,
             p50: rank(0.50),
             p99: rank(0.99),
+            p999: rank(0.999),
         }
     }
 }
@@ -68,5 +71,16 @@ mod tests {
         let s = Summary::of(1..=100u64);
         assert_eq!(s.p50, 50);
         assert_eq!(s.p99, 99);
+        // With 100 samples the 99.9th nearest rank is the max.
+        assert_eq!(s.p999, 100);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_scale() {
+        // 1..=1000: rank(0.99) = sample 990, rank(0.999) = sample 999.
+        let s = Summary::of(1..=1000u64);
+        assert_eq!(s.p99, 990);
+        assert_eq!(s.p999, 999);
+        assert_eq!(s.max, 1000);
     }
 }

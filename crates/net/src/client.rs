@@ -1,0 +1,390 @@
+//! The daemon client: dials a [`DaemonServer`](crate::DaemonServer),
+//! binds a dining process, and drives hungry → granted → released cycles
+//! over the EKN1 wire protocol.
+//!
+//! The client owns the retry policy: connection attempts and `Busy` sheds
+//! back off exponentially with seeded jitter (deterministic per client,
+//! decorrelated across a fleet), and [`DaemonClient::reconnect`] rides
+//! the session-resume fast path before falling back to a fresh `Hello`.
+
+use crate::conn::{splitmix64, Conn, ServerAddr};
+use crate::wire::{decode_frame, encode_frame, AdmitPath, Frame, WireError};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Client-side policy knobs.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Seed for the jittered backoff stream (mixed with the process id,
+    /// so a fleet sharing one seed still decorrelates).
+    pub seed: u64,
+    /// First backoff step in milliseconds; doubles per failed attempt.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Dial/handshake attempts before giving up.
+    pub max_attempts: u32,
+    /// Socket read timeout in milliseconds (the granularity at which
+    /// waits notice their deadline).
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            seed: 1,
+            base_backoff_ms: 10,
+            max_backoff_ms: 500,
+            max_attempts: 8,
+            read_timeout_ms: 25,
+        }
+    }
+}
+
+/// Why a client operation failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server refused with this `Reject` code.
+    Rejected(u8),
+    /// Every attempt was shed with `Busy`.
+    Busy,
+    /// The wait's deadline passed.
+    Timeout,
+    /// The server sent bytes that are not a valid frame.
+    Protocol(WireError),
+    /// The connection closed mid-operation.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Rejected(code) => write!(f, "rejected by server (code {code})"),
+            ClientError::Busy => write!(f, "shed busy on every attempt"),
+            ClientError::Timeout => write!(f, "timed out"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A bound session with a daemon server.
+///
+/// The `Debug` form shows the session identity, not the socket.
+pub struct DaemonClient {
+    addr: ServerAddr,
+    cfg: ClientConfig,
+    process: u32,
+    conn: Conn,
+    acc: Vec<u8>,
+    session: u64,
+    token: u64,
+    path: AdmitPath,
+    rng: u64,
+    /// `Busy` sheds absorbed by this client's retry loops so far.
+    pub busy_retries: u64,
+}
+
+impl fmt::Debug for DaemonClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DaemonClient")
+            .field("process", &self.process)
+            .field("session", &self.session)
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DaemonClient {
+    /// Dials `addr` and binds `process` with a fresh `Hello`, retrying
+    /// through `Busy` sheds and transient dial failures with jittered
+    /// exponential backoff.
+    pub fn connect(
+        addr: &ServerAddr,
+        process: u32,
+        cfg: ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let mut rng = cfg.seed ^ (u64::from(process) << 32) ^ 0xC11E_57AB;
+        let mut busy_retries = 0;
+        let mut last: ClientError = ClientError::Busy;
+        for attempt in 0..cfg.max_attempts.max(1) {
+            match Self::dial_and_bind(addr, &cfg, Frame::Hello { process }) {
+                Ok((conn, acc, session, token, path)) => {
+                    return Ok(DaemonClient {
+                        addr: addr.clone(),
+                        cfg,
+                        process,
+                        conn,
+                        acc,
+                        session,
+                        token,
+                        path,
+                        rng,
+                        busy_retries,
+                    });
+                }
+                Err(ClientError::Rejected(code)) => return Err(ClientError::Rejected(code)),
+                Err(e) => {
+                    if matches!(e, ClientError::Busy) {
+                        busy_retries += 1;
+                    }
+                    last = e;
+                    std::thread::sleep(backoff(&cfg, &mut rng, attempt));
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Re-establishes the session after a dead connection: `Resume` with
+    /// the held credentials rides the server's journal fast path; if the
+    /// server no longer knows the session, falls back to a fresh `Hello`.
+    /// Returns the admission path the server reported.
+    pub fn reconnect(&mut self) -> Result<AdmitPath, ClientError> {
+        let mut last: ClientError = ClientError::Busy;
+        for attempt in 0..self.cfg.max_attempts.max(1) {
+            let resume = Frame::Resume {
+                process: self.process,
+                session: self.session,
+                token: self.token,
+            };
+            match Self::dial_and_bind(&self.addr, &self.cfg, resume) {
+                Ok((conn, acc, session, token, path)) => {
+                    self.conn = conn;
+                    self.acc = acc;
+                    self.session = session;
+                    self.token = token;
+                    self.path = path;
+                    return Ok(path);
+                }
+                // The server has not detached the dead connection yet —
+                // transient: back off and resume again.
+                Err(ClientError::Rejected(code)) if code == crate::wire::REJECT_ALREADY_BOUND => {
+                    last = ClientError::Rejected(code);
+                }
+                // The session is gone server-side: rebind fresh.
+                Err(ClientError::Rejected(_)) => {
+                    match Self::dial_and_bind(
+                        &self.addr,
+                        &self.cfg,
+                        Frame::Hello {
+                            process: self.process,
+                        },
+                    ) {
+                        Ok((conn, acc, session, token, path)) => {
+                            self.conn = conn;
+                            self.acc = acc;
+                            self.session = session;
+                            self.token = token;
+                            self.path = path;
+                            return Ok(path);
+                        }
+                        Err(ClientError::Rejected(code))
+                            if code == crate::wire::REJECT_ALREADY_BOUND =>
+                        {
+                            last = ClientError::Rejected(code);
+                        }
+                        Err(ClientError::Rejected(code)) => {
+                            return Err(ClientError::Rejected(code))
+                        }
+                        Err(e) => {
+                            if matches!(e, ClientError::Busy) {
+                                self.busy_retries += 1;
+                            }
+                            last = e;
+                        }
+                    }
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::Busy) {
+                        self.busy_retries += 1;
+                    }
+                    last = e;
+                }
+            }
+            let delay = backoff(&self.cfg, &mut self.rng, attempt);
+            std::thread::sleep(delay);
+        }
+        Err(last)
+    }
+
+    fn dial_and_bind(
+        addr: &ServerAddr,
+        cfg: &ClientConfig,
+        handshake: Frame,
+    ) -> Result<(Conn, Vec<u8>, u64, u64, AdmitPath), ClientError> {
+        let mut conn = Conn::dial(addr)?;
+        conn.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))?;
+        conn.write_all(&encode_frame(&handshake))?;
+        let mut acc = Vec::with_capacity(256);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match read_frame(&mut conn, &mut acc, deadline)? {
+                Frame::Welcome {
+                    session,
+                    token,
+                    path,
+                } => return Ok((conn, acc, session, token, path)),
+                Frame::Busy { retry_after_ms } => {
+                    // Honor the server's hint before the caller's own
+                    // backoff kicks in.
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms)));
+                    return Err(ClientError::Busy);
+                }
+                Frame::Reject { code } => return Err(ClientError::Rejected(code)),
+                // Tolerate a stray frame racing ahead of the Welcome.
+                _ => {}
+            }
+        }
+    }
+
+    /// The dining process this session is bound to.
+    pub fn process(&self) -> u32 {
+        self.process
+    }
+
+    /// The admission path of the most recent (re)connect.
+    pub fn admit_path(&self) -> AdmitPath {
+        self.path
+    }
+
+    /// Requests to eat: sends `Hungry`.
+    pub fn hungry(&mut self) -> Result<(), ClientError> {
+        self.conn.write_all(&encode_frame(&Frame::Hungry))?;
+        Ok(())
+    }
+
+    /// Waits until the daemon grants the table (`Granted`), answering
+    /// heartbeats along the way. Returns the server-side grant time.
+    pub fn wait_granted(&mut self, timeout: Duration) -> Result<u64, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.next_frame(deadline)? {
+                Frame::Granted { at_ms } => return Ok(at_ms),
+                // A release from a previous cycle may still be in flight.
+                Frame::Released { .. } => {}
+                frame => return Err(unexpected(frame)),
+            }
+        }
+    }
+
+    /// Waits until the grant is released (`Released`), answering
+    /// heartbeats along the way. Returns the server-side release time.
+    pub fn wait_released(&mut self, timeout: Duration) -> Result<u64, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.next_frame(deadline)? {
+                Frame::Released { at_ms } => return Ok(at_ms),
+                // A duplicate grant (re-sent hungry) is not an error.
+                Frame::Granted { .. } => {}
+                frame => return Err(unexpected(frame)),
+            }
+        }
+    }
+
+    /// Simulates an abrupt client death: hard-closes the socket without
+    /// `Bye`. The server crashes the bound process and keeps the session
+    /// detached; [`reconnect`](Self::reconnect) revives it.
+    pub fn kill(&mut self) {
+        self.conn.kill();
+    }
+
+    /// Graceful goodbye: the server detaches the session without
+    /// crashing the process.
+    pub fn bye(mut self) {
+        let _ = self.conn.write_all(&encode_frame(&Frame::Bye));
+        self.conn.kill();
+    }
+
+    /// Reads the next non-heartbeat frame, replying to server `Ping`s
+    /// inline so heartbeat liveness is maintained by any blocked wait.
+    fn next_frame(&mut self, deadline: Instant) -> Result<Frame, ClientError> {
+        let mut chunk = [0u8; 1024];
+        loop {
+            match decode_frame(&self.acc) {
+                Ok(Some((frame, n))) => {
+                    self.acc.drain(..n);
+                    match frame {
+                        Frame::Ping { nonce } => {
+                            self.conn.write_all(&encode_frame(&Frame::Pong { nonce }))?;
+                        }
+                        Frame::Pong { .. } => {}
+                        other => return Ok(other),
+                    }
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Protocol(e)),
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            match self.conn.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::Closed),
+                Ok(n) => self.acc.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+fn unexpected(frame: Frame) -> ClientError {
+    // The server only sends framed protocol states; anything else here
+    // means the two sides disagree about the session phase.
+    let _ = frame;
+    ClientError::Closed
+}
+
+/// Jittered exponential backoff: full period doubling capped at the
+/// ceiling, then uniformly jittered over `[delay/2, delay]` so a fleet
+/// retrying together spreads out instead of thundering back as a herd.
+fn backoff(cfg: &ClientConfig, rng: &mut u64, attempt: u32) -> Duration {
+    let exp = attempt.min(16);
+    let delay = cfg
+        .base_backoff_ms
+        .max(1)
+        .saturating_mul(1u64 << exp)
+        .min(cfg.max_backoff_ms.max(1));
+    let half = delay / 2;
+    let jitter = splitmix64(rng) % (half + 1);
+    Duration::from_millis(half + jitter)
+}
+
+/// Handshake-side frame read with a hard deadline.
+fn read_frame(conn: &mut Conn, acc: &mut Vec<u8>, deadline: Instant) -> Result<Frame, ClientError> {
+    let mut chunk = [0u8; 1024];
+    loop {
+        match decode_frame(acc) {
+            Ok(Some((frame, n))) => {
+                acc.drain(..n);
+                return Ok(frame);
+            }
+            Ok(None) => {}
+            Err(e) => return Err(ClientError::Protocol(e)),
+        }
+        if Instant::now() >= deadline {
+            return Err(ClientError::Timeout);
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => return Err(ClientError::Closed),
+            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(ClientError::Io(e)),
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Transport abstraction: one connection type over TCP or Unix-domain
+//! sockets, so the session layer is transport-agnostic.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a daemon server listens (or a client connects).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerAddr {
+    /// A TCP endpoint, e.g. `127.0.0.1:7411`. Port `0` binds an
+    /// ephemeral port; the resolved address is reported back by
+    /// [`DaemonServer::local_addr`](crate::DaemonServer::local_addr).
+    Tcp(String),
+    /// A Unix-domain socket path. A stale socket file left by a dead
+    /// server is removed at bind time.
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
+impl fmt::Display for ServerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerAddr::Tcp(a) => write!(f, "tcp://{a}"),
+            #[cfg(unix)]
+            ServerAddr::Uds(p) => write!(f, "uds://{}", p.display()),
+        }
+    }
+}
+
+/// One accepted or dialed connection, over either transport.
+pub(crate) enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Conn {
+    pub(crate) fn dial(addr: &ServerAddr) -> io::Result<Conn> {
+        match addr {
+            ServerAddr::Tcp(a) => {
+                let s = TcpStream::connect(a.as_str())?;
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+            #[cfg(unix)]
+            ServerAddr::Uds(p) => Ok(Conn::Uds(UnixStream::connect(p)?)),
+        }
+    }
+
+    pub(crate) fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.try_clone().map(Conn::Uds),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Hard-closes both directions; any blocked read on a clone of this
+    /// connection wakes with EOF or an error.
+    pub(crate) fn kill(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Uds(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, listening socket over either transport.
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(UnixListener),
+}
+
+impl Listener {
+    /// Binds `addr` and returns the listener plus the *resolved* address
+    /// (TCP port `0` becomes the kernel-assigned port).
+    pub(crate) fn bind(addr: &ServerAddr) -> io::Result<(Listener, ServerAddr)> {
+        match addr {
+            ServerAddr::Tcp(a) => {
+                let l = TcpListener::bind(a.as_str())?;
+                let resolved = ServerAddr::Tcp(l.local_addr()?.to_string());
+                Ok((Listener::Tcp(l), resolved))
+            }
+            #[cfg(unix)]
+            ServerAddr::Uds(p) => {
+                let _ = std::fs::remove_file(p);
+                let l = UnixListener::bind(p)?;
+                Ok((Listener::Uds(l), ServerAddr::Uds(p.clone())))
+            }
+        }
+    }
+
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Uds(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    pub(crate) fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listener::Uds(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Uds(s))
+            }
+        }
+    }
+}
+
+/// `splitmix64` step — the workspace's stock seedable generator, used
+/// here for session tokens and client-side backoff jitter.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

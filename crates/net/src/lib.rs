@@ -1,0 +1,69 @@
+//! # ekbd-net — the daemon as a service
+//!
+//! Exposes a [`ThreadedDining`](ekbd_runtime::ThreadedDining) system over
+//! the network: clients bind dining processes as *sessions* over TCP or
+//! Unix-domain sockets and drive hungry → granted → released cycles,
+//! while the paper's wait-freedom and exclusion guarantees keep holding
+//! on the server side.
+//!
+//! The design maps network failures onto the crash-recovery fault model
+//! the workspace already proves out:
+//!
+//! * a dead connection **crashes** the bound process — the daemon treats
+//!   a vanished client exactly like a crashed philosopher, so its
+//!   neighbors keep eating (wait-freedom under real packet loss);
+//! * a reconnect **recovers** it — presenting the session credentials
+//!   rides the journal fast-resume path when stable storage has a valid
+//!   snapshot, and degrades to the blank rejoin handshake otherwise,
+//!   with the taken path reported honestly in the `Welcome` frame;
+//! * overload is **shed, not queued**: admissions past the session cap
+//!   get a clean `Busy` with a retry hint, slow readers are disconnected
+//!   when their bounded send queue fills, and silent connections are
+//!   culled by a strike-gated heartbeat (suspicion, then conviction —
+//!   the ◇P₁ idiom applied to sockets).
+//!
+//! Everything is plain `std::net` + OS threads + bounded crossbeam
+//! queues; there is no async runtime. See `docs/NET.md` for the wire
+//! protocol and operational guidance, and experiment E20 for the
+//! measured behavior under connection churn.
+//!
+//! ## Quick tour
+//!
+//! ```no_run
+//! use ekbd_net::{ClientConfig, DaemonClient, DaemonServer, ServerAddr, ServerConfig};
+//! use ekbd_graph::topology;
+//! use std::time::Duration;
+//!
+//! let server = DaemonServer::start(
+//!     topology::ring(5),
+//!     &ServerAddr::Tcp("127.0.0.1:0".into()),
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//! let addr = server.local_addr().clone();
+//!
+//! let mut client = DaemonClient::connect(&addr, 0, ClientConfig::default()).unwrap();
+//! client.hungry().unwrap();
+//! client.wait_granted(Duration::from_secs(2)).unwrap();
+//! client.wait_released(Duration::from_secs(2)).unwrap();
+//! client.bye();
+//!
+//! let run = server.shutdown();
+//! assert!(run.stats.fresh >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conn;
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, ClientError, DaemonClient};
+pub use conn::ServerAddr;
+pub use loadgen::{kill_set, run_load, LoadPlan, LoadReport, Readmission};
+pub use server::{DaemonServer, ServerConfig, ServerRun, ServerStats};
+pub use wire::{AdmitPath, Frame, WireError};

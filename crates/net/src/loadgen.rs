@@ -1,0 +1,268 @@
+//! Load generator: a fleet of daemon clients driving hungry/eat churn
+//! against a server, with a scripted connection-kill fault plan.
+//!
+//! Each client binds its own dining process and runs a fixed number of
+//! hungry → granted → released sessions. A deterministic subset of the
+//! fleet is killed mid-run (socket hard-close, no `Bye`) and must
+//! reconnect through the session-resume handshake; the report records
+//! the grant latencies, every readmission (path and wall time), and the
+//! shedding the fleet absorbed.
+
+use crate::client::{ClientConfig, ClientError, DaemonClient};
+use crate::conn::ServerAddr;
+use crate::wire::AdmitPath;
+use std::time::{Duration, Instant};
+
+/// What the fleet should do.
+#[derive(Clone, Debug)]
+pub struct LoadPlan {
+    /// Fleet size; client `i` binds dining process `i`, so the served
+    /// graph must have at least this many processes.
+    pub clients: usize,
+    /// Hungry → granted → released cycles per client.
+    pub sessions_per_client: usize,
+    /// Think time between cycles, in milliseconds.
+    pub think_ms: u64,
+    /// Fraction of the fleet killed mid-run (`ceil(fraction × clients)`
+    /// clients, chosen deterministically from `seed`).
+    pub kill_fraction: f64,
+    /// Seed for the kill choice and per-client backoff jitter.
+    pub seed: u64,
+    /// Per-client policy (the seed inside is overridden per client).
+    pub client: ClientConfig,
+    /// Per-wait deadline for a grant, in milliseconds. A client re-sends
+    /// `Hungry` on expiry (a request can be lost to a crash) up to three
+    /// times before recording an error.
+    pub grant_timeout_ms: u64,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        LoadPlan {
+            clients: 4,
+            sessions_per_client: 10,
+            think_ms: 5,
+            kill_fraction: 0.0,
+            seed: 7,
+            client: ClientConfig::default(),
+            grant_timeout_ms: 2_000,
+        }
+    }
+}
+
+/// One readmission a killed client completed.
+#[derive(Clone, Copy, Debug)]
+pub struct Readmission {
+    /// The dining process the client is bound to.
+    pub process: u32,
+    /// The admission path the server reported in the `Welcome`.
+    pub path: AdmitPath,
+    /// Wall time from the kill to being readmitted, in milliseconds.
+    pub ms: u64,
+}
+
+/// What the fleet experienced.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Hungry → granted latency of every completed cycle, milliseconds
+    /// (client-side wall clock, including any re-sent requests).
+    pub latencies_ms: Vec<u64>,
+    /// Every readmission, in completion order.
+    pub readmissions: Vec<Readmission>,
+    /// Clients the plan killed.
+    pub killed: usize,
+    /// Killed clients that got readmitted.
+    pub reconnected: usize,
+    /// `Busy` sheds absorbed across the fleet's retry loops.
+    pub busy_retries: u64,
+    /// Cycles completed across the fleet.
+    pub completed_sessions: usize,
+    /// Cycles the plan asked for across the fleet.
+    pub planned_sessions: usize,
+    /// Per-client failures, for the caller's verdict.
+    pub errors: Vec<String>,
+}
+
+/// Which clients the plan kills: exactly `ceil(fraction × clients)` of
+/// them, rotated by the seed so the set is deterministic but not just a
+/// prefix of the id space.
+pub fn kill_set(clients: usize, fraction: f64, seed: u64) -> Vec<bool> {
+    let k = ((fraction.clamp(0.0, 1.0) * clients as f64).ceil()) as usize;
+    let rot = if clients == 0 {
+        0
+    } else {
+        (seed as usize) % clients
+    };
+    (0..clients)
+        .map(|i| (i + rot) % clients.max(1) < k)
+        .collect()
+}
+
+struct ClientOutcome {
+    latencies_ms: Vec<u64>,
+    readmission: Option<Readmission>,
+    killed: bool,
+    busy_retries: u64,
+    completed: usize,
+    error: Option<String>,
+}
+
+/// Runs the whole plan against `addr`, one thread per client, and
+/// aggregates the fleet's experience.
+pub fn run_load(addr: &ServerAddr, plan: &LoadPlan) -> LoadReport {
+    let kills = kill_set(plan.clients, plan.kill_fraction, plan.seed);
+    let mut handles = Vec::with_capacity(plan.clients);
+    for (i, &kill_me) in kills.iter().enumerate() {
+        let addr = addr.clone();
+        let plan = plan.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ekbd-loadgen-{i}"))
+                .spawn(move || run_client(&addr, &plan, i as u32, kill_me))
+                .expect("spawn loadgen client thread"),
+        );
+    }
+    let mut report = LoadReport {
+        planned_sessions: plan.clients * plan.sessions_per_client,
+        ..LoadReport::default()
+    };
+    for h in handles {
+        let outcome = match h.join() {
+            Ok(o) => o,
+            Err(_) => ClientOutcome {
+                latencies_ms: Vec::new(),
+                readmission: None,
+                killed: false,
+                busy_retries: 0,
+                completed: 0,
+                error: Some("client thread panicked".into()),
+            },
+        };
+        report.latencies_ms.extend(outcome.latencies_ms);
+        if outcome.killed {
+            report.killed += 1;
+        }
+        if let Some(r) = outcome.readmission {
+            report.reconnected += 1;
+            report.readmissions.push(r);
+        }
+        report.busy_retries += outcome.busy_retries;
+        report.completed_sessions += outcome.completed;
+        if let Some(e) = outcome.error {
+            report.errors.push(e);
+        }
+    }
+    report
+}
+
+fn run_client(addr: &ServerAddr, plan: &LoadPlan, process: u32, kill_me: bool) -> ClientOutcome {
+    let mut outcome = ClientOutcome {
+        latencies_ms: Vec::new(),
+        readmission: None,
+        killed: false,
+        busy_retries: 0,
+        completed: 0,
+        error: None,
+    };
+    let cfg = ClientConfig {
+        seed: plan.seed ^ (u64::from(process).wrapping_mul(0x9E37_79B9)),
+        ..plan.client.clone()
+    };
+    let mut client = match DaemonClient::connect(addr, process, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            outcome.error = Some(format!("p{process}: connect failed: {e}"));
+            return outcome;
+        }
+    };
+    // Mid-run kill point: after half the sessions (at least one, so the
+    // session has observable pre-kill history to resume).
+    let kill_at = kill_me.then(|| (plan.sessions_per_client / 2).max(1));
+    for s in 0..plan.sessions_per_client {
+        if kill_at == Some(s) {
+            client.kill();
+            outcome.killed = true;
+            let t0 = Instant::now();
+            match client.reconnect() {
+                Ok(path) => {
+                    outcome.readmission = Some(Readmission {
+                        process,
+                        path,
+                        ms: t0.elapsed().as_millis() as u64,
+                    });
+                }
+                Err(e) => {
+                    outcome.error = Some(format!("p{process}: reconnect failed: {e}"));
+                    outcome.busy_retries += client.busy_retries;
+                    return outcome;
+                }
+            }
+        }
+        match run_session(&mut client, plan) {
+            Ok(latency_ms) => {
+                outcome.latencies_ms.push(latency_ms);
+                outcome.completed += 1;
+            }
+            Err(e) => {
+                outcome.error = Some(format!("p{process}: session {s} failed: {e}"));
+                outcome.busy_retries += client.busy_retries;
+                return outcome;
+            }
+        }
+        if plan.think_ms > 0 {
+            std::thread::sleep(Duration::from_millis(plan.think_ms));
+        }
+    }
+    outcome.busy_retries += client.busy_retries;
+    client.bye();
+    outcome
+}
+
+/// One hungry → granted → released cycle. The grant wait re-sends
+/// `Hungry` on timeout — a request sent into a just-crashed incarnation
+/// is legitimately lost, and re-requesting is idempotent (the daemon
+/// ignores `Hungry` unless the process is thinking).
+fn run_session(client: &mut DaemonClient, plan: &LoadPlan) -> Result<u64, ClientError> {
+    let t0 = Instant::now();
+    let grant_timeout = Duration::from_millis(plan.grant_timeout_ms.max(1));
+    let mut last = ClientError::Timeout;
+    for _ in 0..3 {
+        client.hungry()?;
+        match client.wait_granted(grant_timeout) {
+            Ok(_at) => {
+                client.wait_released(grant_timeout)?;
+                return Ok(t0.elapsed().as_millis() as u64);
+            }
+            Err(ClientError::Timeout) => last = ClientError::Timeout,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_set_is_exact_and_deterministic() {
+        for clients in [1usize, 4, 7, 10] {
+            for (fraction, want) in [(0.0, 0), (0.25, clients.div_ceil(4)), (1.0, clients)] {
+                let set = kill_set(clients, fraction, 99);
+                assert_eq!(
+                    set.iter().filter(|&&k| k).count(),
+                    want,
+                    "clients={clients} fraction={fraction}"
+                );
+                assert_eq!(set, kill_set(clients, fraction, 99), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn kill_set_rotates_with_the_seed() {
+        let a = kill_set(8, 0.25, 0);
+        let b = kill_set(8, 0.25, 3);
+        assert_ne!(a, b, "different seeds pick different victims");
+    }
+}

@@ -1,0 +1,780 @@
+//! The daemon server: a [`ThreadedDining`] system exposed over TCP or
+//! Unix-domain sockets, one session per dining process.
+//!
+//! # Threading model
+//!
+//! No async runtime — thread-per-connection over `std::net`, with bounded
+//! crossbeam queues as the only backpressure mechanism:
+//!
+//! * an **acceptor** thread polls the (nonblocking) listener and spawns
+//!   one connection thread per accepted socket;
+//! * each **connection** thread runs the handshake, then loops decoding
+//!   frames off the socket (hungry requests, heartbeat replies, goodbye);
+//! * a **writer** thread per connection drains a *bounded* send queue to
+//!   the socket, so a slow or stalled reader backs pressure up into the
+//!   queue instead of blocking the event pump — when the queue fills, the
+//!   session is declared a slow reader and disconnected;
+//! * one **event pump** thread drains the runtime's live event tap
+//!   ([`ThreadedDining::tap_events`]), translating `StartedEating` /
+//!   `StoppedEating` into `Granted` / `Released` frames, and runs the
+//!   heartbeat sweep.
+//!
+//! # Fault-tolerant sessions
+//!
+//! A connection death is mapped onto the paper's crash-recovery fault
+//! model: the bound process is crashed in the dining system, and the
+//! session is kept *detached* server-side. A client reconnecting with its
+//! session credentials revives the process ([`ThreadedDining::recover`]),
+//! and the `Welcome` tags which recovery path the new incarnation took —
+//! the journal fast-resume or the blank rejoin handshake — straight from
+//! the runtime's [`RestartNotice`] stream.
+//!
+//! # Overload shedding
+//!
+//! Admission is capped ([`ServerConfig::max_sessions`]): a `Hello` past
+//! the cap is answered with a clean `Busy` frame carrying a retry hint,
+//! and nothing is allocated server-side. Established sessions are never
+//! shed by admission pressure — only by their own slow reading or
+//! heartbeat silence.
+
+use crate::conn::{splitmix64, Conn, Listener, ServerAddr};
+use crate::wire::{
+    decode_frame, encode_frame, AdmitPath, Frame, REJECT_ALREADY_BOUND, REJECT_BAD_PROCESS,
+    REJECT_UNKNOWN_SESSION,
+};
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use ekbd_dining::{DiningObs, RecoveryMsg, RestartPath};
+use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_metrics::{LinkSummary, SchedEvent};
+use ekbd_runtime::{RestartNotice, RuntimeConfig, ThreadedDining};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`DaemonServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// The threaded dining runtime under the sessions.
+    pub runtime: RuntimeConfig,
+    /// Admission cap: a `Hello` that would create session number
+    /// `max_sessions + 1` is shed with a `Busy` frame instead.
+    pub max_sessions: usize,
+    /// Capacity of each connection's bounded send queue. A session whose
+    /// queue fills (a reader too slow for its own event stream) is
+    /// disconnected rather than allowed to stall the pump.
+    pub send_queue: usize,
+    /// Heartbeat sweep period in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Suspicion gate: consecutive silent sweeps tolerated before a
+    /// session is declared dead. Any inbound frame resets the count, so a
+    /// session only times out after `heartbeat_strikes × heartbeat_ms` of
+    /// total silence — one missed beat is suspicion, not conviction.
+    pub heartbeat_strikes: u32,
+    /// Retry hint carried in `Busy` shed responses, in milliseconds.
+    pub busy_retry_ms: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            runtime: RuntimeConfig::default(),
+            max_sessions: 64,
+            send_queue: 64,
+            heartbeat_ms: 200,
+            heartbeat_strikes: 5,
+            busy_retry_ms: 100,
+        }
+    }
+}
+
+/// Monotonic counters published by a running server.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted off the listener.
+    pub accepted: u64,
+    /// Sessions admitted fresh (first binding of a process).
+    pub fresh: u64,
+    /// Readmissions that rode the journal fast-resume path (or a
+    /// graceful detach where nothing was lost).
+    pub resumed: u64,
+    /// Readmissions that fell back to the blank rejoin handshake.
+    pub rejoined: u64,
+    /// `Hello`s shed with `Busy` at the admission cap.
+    pub shed_busy: u64,
+    /// Sessions disconnected for filling their bounded send queue.
+    pub shed_slow: u64,
+    /// Sessions disconnected by the heartbeat suspicion gate.
+    pub heartbeat_drops: u64,
+    /// Connections dropped for malformed or out-of-protocol frames.
+    pub protocol_errors: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    accepted: AtomicU64,
+    fresh: AtomicU64,
+    resumed: AtomicU64,
+    rejoined: AtomicU64,
+    shed_busy: AtomicU64,
+    shed_slow: AtomicU64,
+    heartbeat_drops: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            rejoined: self.rejoined.load(Ordering::Relaxed),
+            shed_busy: self.shed_busy.load(Ordering::Relaxed),
+            shed_slow: self.shed_slow.load(Ordering::Relaxed),
+            heartbeat_drops: self.heartbeat_drops.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Everything a stopped server hands back.
+pub struct ServerRun {
+    /// The full scheduling trace of the dining system.
+    pub events: Vec<SchedEvent>,
+    /// Link-layer counters (all zero when the reliable link is off).
+    pub link: LinkSummary,
+    /// Every restart the runtime performed, tagged with its path.
+    pub restarts: Vec<RestartNotice>,
+    /// Final server counters.
+    pub stats: ServerStats,
+}
+
+/// A live connection attached to a session.
+struct Attached {
+    /// Bounded queue feeding the connection's writer thread.
+    out: Sender<Vec<u8>>,
+    /// Clone of the socket, used only to hard-close it from the pump.
+    stream: Conn,
+    /// Consecutive silent heartbeat sweeps; reset by any inbound frame.
+    strikes: Arc<AtomicU32>,
+    /// Which attachment this is, so a connection thread only cleans up
+    /// its own binding (the process may have been rebound since).
+    generation: u64,
+}
+
+/// Server-side session state for one dining process. Survives connection
+/// deaths: `conn` detaches but the slot (and its credentials) remain.
+struct Session {
+    session: u64,
+    token: u64,
+    conn: Option<Attached>,
+    /// An admission for this slot is in flight (its recovery wait runs
+    /// outside the sessions lock).
+    binding: bool,
+    /// The process was crashed by an ungraceful disconnect and awaits
+    /// `recover` on the next (re)admission.
+    crashed: bool,
+    /// Restart notices for this process already consumed, so each
+    /// readmission waits for *its* notice, not a historical one.
+    restarts_seen: usize,
+}
+
+struct ServerInner {
+    cfg: ServerConfig,
+    graph_len: usize,
+    /// `Option` so [`DaemonServer::shutdown`] can take the system out
+    /// while detached connection threads still hold the `Arc`.
+    sys: Mutex<Option<ThreadedDining<RecoveryMsg>>>,
+    sessions: Mutex<HashMap<u32, Session>>,
+    next_session: AtomicU64,
+    next_generation: AtomicU64,
+    token_rng: Mutex<u64>,
+    running: AtomicBool,
+    stats: AtomicStats,
+}
+
+impl ServerInner {
+    fn with_sys<R>(&self, f: impl FnOnce(&ThreadedDining<RecoveryMsg>) -> R) -> Option<R> {
+        self.sys.lock().as_ref().map(f)
+    }
+
+    /// Queues `frame` to the session bound to `p`, if any. A full queue
+    /// means the reader is slower than its own event stream: the session
+    /// is hard-closed so backpressure never reaches the pump.
+    fn push_to(&self, p: u32, frame: &Frame) {
+        let bytes = encode_frame(frame);
+        let sessions = self.sessions.lock();
+        let Some(att) = sessions.get(&p).and_then(|s| s.conn.as_ref()) else {
+            return;
+        };
+        match att.out.try_send(bytes) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.stats.shed_slow.fetch_add(1, Ordering::Relaxed);
+                att.stream.kill();
+            }
+            // Writer already gone; the reader's cleanup will detach.
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    fn route(&self, e: SchedEvent) {
+        let frame = match e.obs {
+            DiningObs::StartedEating => Frame::Granted { at_ms: e.time.0 },
+            DiningObs::StoppedEating => Frame::Released { at_ms: e.time.0 },
+            _ => return,
+        };
+        self.push_to(e.process.index() as u32, &frame);
+    }
+
+    /// One heartbeat sweep: every attached session earns a strike and a
+    /// fresh `Ping`; a session past the strike gate is hard-closed (its
+    /// connection thread then crashes the process and detaches).
+    fn heartbeat_sweep(&self, nonce: u32) {
+        let mut alive: Vec<u32> = Vec::new();
+        {
+            let sessions = self.sessions.lock();
+            for (&p, slot) in sessions.iter() {
+                let Some(att) = &slot.conn else { continue };
+                let strikes = att.strikes.fetch_add(1, Ordering::Relaxed) + 1;
+                if strikes > self.cfg.heartbeat_strikes {
+                    self.stats.heartbeat_drops.fetch_add(1, Ordering::Relaxed);
+                    att.stream.kill();
+                } else {
+                    alive.push(p);
+                }
+            }
+        }
+        for p in alive {
+            self.push_to(p, &Frame::Ping { nonce });
+        }
+    }
+
+    /// Revives a crashed process and reports which recovery path its new
+    /// incarnation took, by watching the runtime's restart notices.
+    /// Returns the updated consumed-notice count alongside the path.
+    fn recover_and_classify(&self, p: u32, seen: usize) -> (usize, AdmitPath) {
+        let pid = ProcessId::from(p as usize);
+        self.with_sys(|sys| sys.recover(pid));
+        let deadline = Instant::now() + Duration::from_secs(3);
+        loop {
+            let mine = self
+                .with_sys(|sys| {
+                    sys.restart_paths()
+                        .into_iter()
+                        .filter(|n| n.process == pid)
+                        .collect::<Vec<RestartNotice>>()
+                })
+                .unwrap_or_default();
+            if mine.len() > seen {
+                let path = match mine.last().expect("nonempty").event.path {
+                    RestartPath::Journal { .. } => AdmitPath::Resumed,
+                    RestartPath::Blank { .. } => AdmitPath::Rejoined,
+                };
+                return (mine.len(), path);
+            }
+            if Instant::now() >= deadline {
+                // The notice never surfaced (system shutting down, or the
+                // process was not actually crashed): claim the weak path.
+                return (seen, AdmitPath::Rejoined);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn count_admission(&self, path: AdmitPath) {
+        match path {
+            AdmitPath::Fresh => self.stats.fresh.fetch_add(1, Ordering::Relaxed),
+            AdmitPath::Resumed => self.stats.resumed.fetch_add(1, Ordering::Relaxed),
+            AdmitPath::Rejoined => self.stats.rejoined.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// What a connection's admission decided.
+enum Admission {
+    /// Session admitted: serve it.
+    Admitted {
+        process: u32,
+        generation: u64,
+        out_rx: Receiver<Vec<u8>>,
+        strikes: Arc<AtomicU32>,
+        welcome: Frame,
+    },
+    /// Answered (`Busy` / `Reject`) and done: close the connection.
+    Answered(Frame),
+    /// Malformed handshake: close without answering.
+    Drop,
+}
+
+/// Claims the binding slot for `p` under the lock: validates, creates the
+/// slot if admission allows, and marks it `binding` so concurrent
+/// handshakes for the same process observe `ALREADY_BOUND`. On success
+/// returns `(crashed, restarts_seen)` of the claimed slot.
+fn claim_binding(
+    inner: &ServerInner,
+    process: u32,
+    check: impl FnOnce(Option<&Session>) -> Result<(), Frame>,
+) -> Result<(bool, usize), Admission> {
+    if process as usize >= inner.graph_len {
+        return Err(Admission::Answered(Frame::Reject {
+            code: REJECT_BAD_PROCESS,
+        }));
+    }
+    let mut sessions = inner.sessions.lock();
+    let slot = sessions.get(&process);
+    if slot.is_some_and(|s| s.conn.is_some() || s.binding) {
+        return Err(Admission::Answered(Frame::Reject {
+            code: REJECT_ALREADY_BOUND,
+        }));
+    }
+    if let Err(answer) = check(slot) {
+        return Err(Admission::Answered(answer));
+    }
+    if let Some(slot) = sessions.get_mut(&process) {
+        slot.binding = true;
+        return Ok((slot.crashed, slot.restarts_seen));
+    }
+    if sessions.len() >= inner.cfg.max_sessions {
+        inner.stats.shed_busy.fetch_add(1, Ordering::Relaxed);
+        return Err(Admission::Answered(Frame::Busy {
+            retry_after_ms: inner.cfg.busy_retry_ms,
+        }));
+    }
+    sessions.insert(
+        process,
+        Session {
+            session: 0,
+            token: 0,
+            conn: None,
+            binding: true,
+            crashed: false,
+            restarts_seen: 0,
+        },
+    );
+    Ok((false, 0))
+}
+
+/// Completes a claimed binding: installs the attachment (with the socket
+/// clone the pump uses to hard-close) and stamps credentials.
+fn install(
+    inner: &ServerInner,
+    process: u32,
+    session: u64,
+    token: u64,
+    restarts_seen: usize,
+    path: AdmitPath,
+    stream: Conn,
+) -> Admission {
+    let (out_tx, out_rx) = bounded::<Vec<u8>>(inner.cfg.send_queue.max(1));
+    let strikes = Arc::new(AtomicU32::new(0));
+    let generation = inner.next_generation.fetch_add(1, Ordering::Relaxed);
+    let mut sessions = inner.sessions.lock();
+    let slot = sessions.get_mut(&process).expect("claimed binding exists");
+    slot.session = session;
+    slot.token = token;
+    slot.restarts_seen = restarts_seen;
+    slot.crashed = false;
+    slot.binding = false;
+    slot.conn = Some(Attached {
+        out: out_tx,
+        stream,
+        strikes: Arc::clone(&strikes),
+        generation,
+    });
+    Admission::Admitted {
+        process,
+        generation,
+        out_rx,
+        strikes,
+        welcome: Frame::Welcome {
+            session,
+            token,
+            path,
+        },
+    }
+}
+
+fn admit(inner: &Arc<ServerInner>, first: Frame, stream: Conn) -> Admission {
+    match first {
+        Frame::Hello { process } => {
+            let (crashed, seen) = match claim_binding(inner, process, |_| Ok(())) {
+                Ok(c) => c,
+                Err(a) => return a,
+            };
+            // A crashed process is revived before its fresh rebinding,
+            // and the recovery path reported honestly even though the
+            // client presented no credentials — the journal replays
+            // regardless of who asks.
+            let (seen, path) = if crashed {
+                inner.recover_and_classify(process, seen)
+            } else {
+                (seen, AdmitPath::Fresh)
+            };
+            inner.count_admission(path);
+            let session = inner.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+            let token = splitmix64(&mut inner.token_rng.lock());
+            install(inner, process, session, token, seen, path, stream)
+        }
+        Frame::Resume {
+            process,
+            session,
+            token,
+        } => {
+            let checked = claim_binding(inner, process, |slot| match slot {
+                Some(s) if s.session == session && s.token == token => Ok(()),
+                _ => Err(Frame::Reject {
+                    code: REJECT_UNKNOWN_SESSION,
+                }),
+            });
+            let (crashed, seen) = match checked {
+                Ok(c) => c,
+                Err(a) => return a,
+            };
+            let (seen, path) = if crashed {
+                inner.recover_and_classify(process, seen)
+            } else {
+                // Detached gracefully (`Bye`): nothing was lost, the
+                // session resumes trivially.
+                (seen, AdmitPath::Resumed)
+            };
+            inner.count_admission(path);
+            install(inner, process, session, token, seen, path, stream)
+        }
+        _ => {
+            inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            Admission::Drop
+        }
+    }
+}
+
+/// How a served connection ended.
+enum Ended {
+    /// Client said `Bye`: detach without crashing the process.
+    Graceful,
+    /// EOF, socket error, malformed frame, or server shutdown: crash the
+    /// process and keep the session detached for a future `Resume`.
+    Ungraceful,
+}
+
+/// Reads whole frames off `stream` until `deadline`, returning the first
+/// complete one (handshake helper). Leftover bytes stay in `acc`.
+fn read_one_frame(stream: &mut Conn, acc: &mut Vec<u8>, deadline: Instant) -> Result<Frame, Ended> {
+    let mut chunk = [0u8; 1024];
+    loop {
+        match decode_frame(acc) {
+            Ok(Some((frame, n))) => {
+                acc.drain(..n);
+                return Ok(frame);
+            }
+            Ok(None) => {}
+            Err(_) => return Err(Ended::Ungraceful),
+        }
+        if Instant::now() >= deadline {
+            return Err(Ended::Ungraceful);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(Ended::Ungraceful),
+            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+            Err(_) => return Err(Ended::Ungraceful),
+        }
+    }
+}
+
+/// One connection, handshake to goodbye. Runs on its own thread.
+fn serve_conn(inner: Arc<ServerInner>, mut stream: Conn) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut acc: Vec<u8> = Vec::with_capacity(256);
+    let handshake_deadline = Instant::now() + Duration::from_secs(2);
+    let first = match read_one_frame(&mut stream, &mut acc, handshake_deadline) {
+        Ok(f) => f,
+        Err(_) => {
+            inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            stream.kill();
+            return;
+        }
+    };
+    let clone_for_pump = match stream.try_clone() {
+        Ok(c) => c,
+        Err(_) => {
+            stream.kill();
+            return;
+        }
+    };
+    let admission = admit(&inner, first, clone_for_pump);
+    let (process, generation, out_rx, strikes, welcome) = match admission {
+        Admission::Admitted {
+            process,
+            generation,
+            out_rx,
+            strikes,
+            welcome,
+        } => (process, generation, out_rx, strikes, welcome),
+        Admission::Answered(frame) => {
+            let _ = stream.write_all(&encode_frame(&frame));
+            stream.kill();
+            return;
+        }
+        Admission::Drop => {
+            stream.kill();
+            return;
+        }
+    };
+    if stream.write_all(&encode_frame(&welcome)).is_err() {
+        detach(&inner, process, generation, Ended::Ungraceful);
+        stream.kill();
+        return;
+    }
+
+    // Writer: owns its socket clone, drains the bounded queue until every
+    // sender is gone (detach) or the socket dies.
+    let writer = match stream.try_clone() {
+        Ok(mut w) => std::thread::spawn(move || {
+            while let Ok(bytes) = out_rx.recv() {
+                if w.write_all(&bytes).is_err() {
+                    break;
+                }
+            }
+        }),
+        Err(_) => {
+            detach(&inner, process, generation, Ended::Ungraceful);
+            stream.kill();
+            return;
+        }
+    };
+
+    let ended = reader_loop(&inner, &mut stream, &mut acc, process, &strikes);
+    detach(&inner, process, generation, ended);
+    stream.kill();
+    let _ = writer.join();
+}
+
+/// Decodes and dispatches inbound frames until the connection ends.
+fn reader_loop(
+    inner: &Arc<ServerInner>,
+    stream: &mut Conn,
+    acc: &mut Vec<u8>,
+    process: u32,
+    strikes: &AtomicU32,
+) -> Ended {
+    let pid = ProcessId::from(process as usize);
+    let mut chunk = [0u8; 4096];
+    loop {
+        loop {
+            match decode_frame(acc) {
+                Ok(Some((frame, n))) => {
+                    acc.drain(..n);
+                    strikes.store(0, Ordering::Relaxed);
+                    match frame {
+                        Frame::Hungry => {
+                            inner.with_sys(|sys| sys.make_hungry(pid));
+                        }
+                        Frame::Ping { nonce } => {
+                            inner.push_to(process, &Frame::Pong { nonce });
+                        }
+                        Frame::Pong { .. } => {}
+                        Frame::Bye => return Ended::Graceful,
+                        // Anything else is out of protocol mid-session.
+                        _ => {
+                            inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            return Ended::Ungraceful;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return Ended::Ungraceful;
+                }
+            }
+        }
+        if !inner.running.load(Ordering::Relaxed) {
+            return Ended::Ungraceful;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ended::Ungraceful,
+            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+            Err(_) => return Ended::Ungraceful,
+        }
+    }
+}
+
+/// The single cleanup path: detaches this connection from its session (if
+/// it is still the current attachment) and maps the disconnect onto the
+/// fault model — ungraceful ends crash the process, `Bye` does not.
+fn detach(inner: &Arc<ServerInner>, process: u32, generation: u64, ended: Ended) {
+    let mut crash = false;
+    {
+        let mut sessions = inner.sessions.lock();
+        if let Some(slot) = sessions.get_mut(&process) {
+            if slot
+                .conn
+                .as_ref()
+                .is_some_and(|att| att.generation == generation)
+            {
+                slot.conn = None;
+                if matches!(ended, Ended::Ungraceful) {
+                    slot.crashed = true;
+                    crash = true;
+                }
+            }
+        }
+    }
+    if crash {
+        inner.with_sys(|sys| sys.crash(ProcessId::from(process as usize)));
+    }
+}
+
+/// A running daemon server. Dropping it without calling
+/// [`shutdown`](Self::shutdown) leaves threads running; always shut down.
+pub struct DaemonServer {
+    inner: Arc<ServerInner>,
+    acceptor: JoinHandle<()>,
+    pump: JoinHandle<()>,
+    local_addr: ServerAddr,
+}
+
+impl DaemonServer {
+    /// Binds `addr`, spawns the dining system over `graph`, and starts
+    /// serving sessions.
+    pub fn start(graph: ConflictGraph, addr: &ServerAddr, cfg: ServerConfig) -> io::Result<Self> {
+        let (listener, local_addr) = Listener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let sys = ThreadedDining::spawn_recoverable(graph.clone(), cfg.runtime.clone());
+        let tap = sys.tap_events();
+        let heartbeat_ms = cfg.heartbeat_ms.max(1);
+        let inner = Arc::new(ServerInner {
+            cfg,
+            graph_len: graph.len(),
+            sys: Mutex::new(Some(sys)),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            next_generation: AtomicU64::new(0),
+            token_rng: Mutex::new(0x00EB_D0DA_E500_0001),
+            running: AtomicBool::new(true),
+            stats: AtomicStats::default(),
+        });
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ekbd-net-accept".into())
+                .spawn(move || {
+                    while inner.running.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok(stream) => {
+                                inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                                let inner = Arc::clone(&inner);
+                                let _ = std::thread::Builder::new()
+                                    .name("ekbd-net-conn".into())
+                                    .spawn(move || serve_conn(inner, stream));
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                })
+                .expect("spawn acceptor thread")
+        };
+
+        let pump = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ekbd-net-pump".into())
+                .spawn(move || {
+                    let beat = Duration::from_millis(heartbeat_ms);
+                    let mut last_beat = Instant::now();
+                    let mut nonce: u32 = 0;
+                    while inner.running.load(Ordering::Relaxed) {
+                        match tap.recv_timeout(Duration::from_millis(10)) {
+                            Ok(e) => inner.route(e),
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                        for e in tap.try_iter() {
+                            inner.route(e);
+                        }
+                        if last_beat.elapsed() >= beat {
+                            last_beat = Instant::now();
+                            nonce = nonce.wrapping_add(1);
+                            inner.heartbeat_sweep(nonce);
+                        }
+                    }
+                })
+                .expect("spawn pump thread")
+        };
+
+        Ok(DaemonServer {
+            inner,
+            acceptor,
+            pump,
+            local_addr,
+        })
+    }
+
+    /// The resolved listen address (TCP port `0` becomes the actual
+    /// kernel-assigned port) — what clients should dial.
+    pub fn local_addr(&self) -> &ServerAddr {
+        &self.local_addr
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Stops accepting, closes every connection, tears the dining system
+    /// down, and returns the full run record.
+    pub fn shutdown(self) -> ServerRun {
+        self.inner.running.store(false, Ordering::Relaxed);
+        {
+            let sessions = self.inner.sessions.lock();
+            for slot in sessions.values() {
+                if let Some(att) = &slot.conn {
+                    att.stream.kill();
+                }
+            }
+        }
+        let _ = self.acceptor.join();
+        let _ = self.pump.join();
+        // Give connection threads a beat to run their cleanup (they are
+        // detached; each exits promptly once its socket is closed).
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < deadline {
+            let any_attached = self
+                .inner
+                .sessions
+                .lock()
+                .values()
+                .any(|s| s.conn.is_some());
+            if !any_attached {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let sys = self.inner.sys.lock().take();
+        let (events, link, restarts) = match sys {
+            Some(sys) => {
+                let restarts = sys.restart_paths();
+                let (events, link) = sys.shutdown_with_link(Duration::ZERO);
+                (events, link, restarts)
+            }
+            None => (Vec::new(), LinkSummary::default(), Vec::new()),
+        };
+        ServerRun {
+            events,
+            link,
+            restarts,
+            stats: self.inner.stats.snapshot(),
+        }
+    }
+}

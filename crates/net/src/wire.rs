@@ -1,0 +1,540 @@
+//! EKN1 — the length-framed, CRC-covered wire codec.
+//!
+//! Grown from the EKJ2 journal framing (same CRC-32, same
+//! fixed-little-endian discipline, same refuse-don't-guess decoding): every
+//! frame is
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "EKN1"
+//! 4       2     body length (u16 LE) — type byte + payload
+//! 6       1     frame type
+//! 7       L-1   payload (fixed layout per type)
+//! 6+L     4     CRC-32 (LE) over bytes [0, 6+L)
+//! ```
+//!
+//! The checksum covers the header too, so a corrupted length field cannot
+//! redirect the CRC check to attacker-chosen bytes: the frame either
+//! verifies exactly as framed or is rejected. Decoding is *streaming* —
+//! [`decode_frame`] distinguishes "not enough bytes yet" (`Ok(None)`) from
+//! malformed input (`Err`), and a server drops the connection on the
+//! latter, never panicking.
+
+use ekbd_journal::codec::crc32;
+use std::fmt;
+
+/// Frame magic: EKBD net, format 1.
+pub const MAGIC: [u8; 4] = *b"EKN1";
+
+/// Hard cap on the body (type + payload) of any frame. The largest
+/// legitimate body today is [`Frame::Welcome`] at 18 bytes; the cap
+/// bounds what a hostile length field can make the server buffer.
+pub const MAX_BODY: usize = 64;
+
+/// Frame-level overhead: magic + length + trailing CRC.
+pub const OVERHEAD: usize = 4 + 2 + 4;
+
+/// How a session admission was satisfied, carried in [`Frame::Welcome`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitPath {
+    /// First binding of this process: no prior session existed.
+    Fresh,
+    /// Reconnect rode the `JournalResume` fast path — the daemon-side
+    /// process replayed its journal and kept (most of) its edge state.
+    Resumed,
+    /// Reconnect fell back to a blank restart + rejoin handshake.
+    Rejoined,
+}
+
+impl AdmitPath {
+    fn to_byte(self) -> u8 {
+        match self {
+            AdmitPath::Fresh => 0,
+            AdmitPath::Resumed => 1,
+            AdmitPath::Rejoined => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<AdmitPath> {
+        match b {
+            0 => Some(AdmitPath::Fresh),
+            1 => Some(AdmitPath::Resumed),
+            2 => Some(AdmitPath::Rejoined),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AdmitPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitPath::Fresh => write!(f, "fresh"),
+            AdmitPath::Resumed => write!(f, "resumed"),
+            AdmitPath::Rejoined => write!(f, "rejoined"),
+        }
+    }
+}
+
+/// Reject code: the session/token pair in a `Resume` is unknown or stale.
+pub const REJECT_UNKNOWN_SESSION: u8 = 1;
+/// Reject code: the process id is outside the served graph.
+pub const REJECT_BAD_PROCESS: u8 = 2;
+/// Reject code: the process is already bound to a live connection.
+pub const REJECT_ALREADY_BOUND: u8 = 3;
+
+/// One protocol frame. Timestamps are milliseconds on the *server's*
+/// runtime epoch, so client-side subtraction yields server-side spans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: open a fresh session binding `process`.
+    Hello {
+        /// The dining process to bind.
+        process: u32,
+    },
+    /// Client → server: reconnect to an existing session after a dead
+    /// connection. The server revives the crashed process and reports
+    /// which recovery path it took.
+    Resume {
+        /// The dining process of the session.
+        process: u32,
+        /// The session id issued by the original `Welcome`.
+        session: u64,
+        /// The capability token issued by the original `Welcome`.
+        token: u64,
+    },
+    /// Server → client: admitted. Carries the credentials to `Resume`
+    /// with later, plus how this admission was satisfied.
+    Welcome {
+        /// Session id (stable across reconnects of the same session).
+        session: u64,
+        /// Capability token a later `Resume` must echo.
+        token: u64,
+        /// How the admission was satisfied.
+        path: AdmitPath,
+    },
+    /// Server → client: overload shed — the accept cap is reached. Try
+    /// again after the hinted delay; nothing was allocated server-side.
+    Busy {
+        /// Server's backoff hint, in milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Server → client: terminal refusal (see the `REJECT_*` codes).
+    Reject {
+        /// Machine-readable refusal code.
+        code: u8,
+    },
+    /// Client → server: the bound process wants to eat.
+    Hungry,
+    /// Server → client: the daemon scheduled the session — it is eating.
+    Granted {
+        /// Server-epoch milliseconds when eating began.
+        at_ms: u64,
+    },
+    /// Server → client: the eating session ended; the process thinks.
+    Released {
+        /// Server-epoch milliseconds when eating stopped.
+        at_ms: u64,
+    },
+    /// Heartbeat probe (either direction).
+    Ping {
+        /// Echoed verbatim in the matching [`Frame::Pong`].
+        nonce: u32,
+    },
+    /// Heartbeat reply (either direction).
+    Pong {
+        /// The probe nonce being answered.
+        nonce: u32,
+    },
+    /// Graceful goodbye: unbind without crashing the process.
+    Bye,
+}
+
+const T_HELLO: u8 = 1;
+const T_RESUME: u8 = 2;
+const T_WELCOME: u8 = 3;
+const T_BUSY: u8 = 4;
+const T_REJECT: u8 = 5;
+const T_HUNGRY: u8 = 6;
+const T_GRANTED: u8 = 7;
+const T_RELEASED: u8 = 8;
+const T_PING: u8 = 9;
+const T_PONG: u8 = 10;
+const T_BYE: u8 = 11;
+
+/// Why a byte sequence failed to decode as a frame. Mirrors the journal
+/// codec's refuse-don't-guess posture: any of these closes the session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic,
+    /// The length field is zero or exceeds [`MAX_BODY`].
+    BadLength(u16),
+    /// The trailing CRC does not match the framed bytes.
+    ChecksumMismatch,
+    /// Unknown frame-type byte.
+    BadType(u8),
+    /// The payload length does not match the frame type's layout, or a
+    /// field holds an unrepresentable value.
+    BadPayload(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadLength(l) => write!(f, "bad frame length {l}"),
+            WireError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            WireError::BadType(t) => write!(f, "unknown frame type {t}"),
+            WireError::BadPayload(t) => write!(f, "malformed payload for frame type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn get_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Encodes `frame` as one EKN1 wire frame.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(24);
+    match frame {
+        Frame::Hello { process } => {
+            body.push(T_HELLO);
+            put_u32(&mut body, *process);
+        }
+        Frame::Resume {
+            process,
+            session,
+            token,
+        } => {
+            body.push(T_RESUME);
+            put_u32(&mut body, *process);
+            put_u64(&mut body, *session);
+            put_u64(&mut body, *token);
+        }
+        Frame::Welcome {
+            session,
+            token,
+            path,
+        } => {
+            body.push(T_WELCOME);
+            put_u64(&mut body, *session);
+            put_u64(&mut body, *token);
+            body.push(path.to_byte());
+        }
+        Frame::Busy { retry_after_ms } => {
+            body.push(T_BUSY);
+            put_u32(&mut body, *retry_after_ms);
+        }
+        Frame::Reject { code } => {
+            body.push(T_REJECT);
+            body.push(*code);
+        }
+        Frame::Hungry => body.push(T_HUNGRY),
+        Frame::Granted { at_ms } => {
+            body.push(T_GRANTED);
+            put_u64(&mut body, *at_ms);
+        }
+        Frame::Released { at_ms } => {
+            body.push(T_RELEASED);
+            put_u64(&mut body, *at_ms);
+        }
+        Frame::Ping { nonce } => {
+            body.push(T_PING);
+            put_u32(&mut body, *nonce);
+        }
+        Frame::Pong { nonce } => {
+            body.push(T_PONG);
+            put_u32(&mut body, *nonce);
+        }
+        Frame::Bye => body.push(T_BYE),
+    }
+    debug_assert!(!body.is_empty() && body.len() <= MAX_BODY);
+    let mut out = Vec::with_capacity(OVERHEAD + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(body.len() as u16).to_le_bytes());
+    out.extend_from_slice(&body);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
+    let t = body[0];
+    let p = &body[1..];
+    let expect = |n: usize| -> Result<(), WireError> {
+        if p.len() == n {
+            Ok(())
+        } else {
+            Err(WireError::BadPayload(t))
+        }
+    };
+    match t {
+        T_HELLO => {
+            expect(4)?;
+            Ok(Frame::Hello {
+                process: get_u32(p),
+            })
+        }
+        T_RESUME => {
+            expect(20)?;
+            Ok(Frame::Resume {
+                process: get_u32(p),
+                session: get_u64(&p[4..]),
+                token: get_u64(&p[12..]),
+            })
+        }
+        T_WELCOME => {
+            expect(17)?;
+            let path = AdmitPath::from_byte(p[16]).ok_or(WireError::BadPayload(t))?;
+            Ok(Frame::Welcome {
+                session: get_u64(p),
+                token: get_u64(&p[8..]),
+                path,
+            })
+        }
+        T_BUSY => {
+            expect(4)?;
+            Ok(Frame::Busy {
+                retry_after_ms: get_u32(p),
+            })
+        }
+        T_REJECT => {
+            expect(1)?;
+            Ok(Frame::Reject { code: p[0] })
+        }
+        T_HUNGRY => {
+            expect(0)?;
+            Ok(Frame::Hungry)
+        }
+        T_GRANTED => {
+            expect(8)?;
+            Ok(Frame::Granted { at_ms: get_u64(p) })
+        }
+        T_RELEASED => {
+            expect(8)?;
+            Ok(Frame::Released { at_ms: get_u64(p) })
+        }
+        T_PING => {
+            expect(4)?;
+            Ok(Frame::Ping { nonce: get_u32(p) })
+        }
+        T_PONG => {
+            expect(4)?;
+            Ok(Frame::Pong { nonce: get_u32(p) })
+        }
+        T_BYE => {
+            expect(0)?;
+            Ok(Frame::Bye)
+        }
+        other => Err(WireError::BadType(other)),
+    }
+}
+
+/// Streaming decode: tries to read one frame from the front of `buf`.
+///
+/// * `Ok(Some((frame, consumed)))` — a complete, checksum-verified frame;
+///   the caller drains `consumed` bytes and may call again for the next.
+/// * `Ok(None)` — `buf` is a valid proper prefix; read more bytes.
+/// * `Err(_)` — `buf` can never become a valid frame; close the session.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    // Reject a wrong magic as soon as the bytes diverge — a garbage
+    // stream is detected at its first byte, not after MAX_BODY of them.
+    let probe = buf.len().min(4);
+    if buf[..probe] != MAGIC[..probe] {
+        return Err(WireError::BadMagic);
+    }
+    if buf.len() < 6 {
+        return Ok(None);
+    }
+    let len = u16::from_le_bytes([buf[4], buf[5]]);
+    if len == 0 || len as usize > MAX_BODY {
+        return Err(WireError::BadLength(len));
+    }
+    let total = 6 + len as usize + 4;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let framed = &buf[..6 + len as usize];
+    let want = get_u32(&buf[6 + len as usize..total]);
+    if crc32(framed) != want {
+        return Err(WireError::ChecksumMismatch);
+    }
+    let frame = parse_body(&buf[6..6 + len as usize])?;
+    Ok(Some((frame, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Hello { process: 7 },
+            Frame::Resume {
+                process: 3,
+                session: 0x1122_3344_5566_7788,
+                token: u64::MAX,
+            },
+            Frame::Welcome {
+                session: 42,
+                token: 0xdead_beef,
+                path: AdmitPath::Resumed,
+            },
+            Frame::Welcome {
+                session: 0,
+                token: 0,
+                path: AdmitPath::Fresh,
+            },
+            Frame::Busy {
+                retry_after_ms: 250,
+            },
+            Frame::Reject {
+                code: REJECT_UNKNOWN_SESSION,
+            },
+            Frame::Hungry,
+            Frame::Granted { at_ms: 123_456 },
+            Frame::Released {
+                at_ms: u64::MAX - 1,
+            },
+            Frame::Ping { nonce: 9 },
+            Frame::Pong { nonce: 9 },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_frame_type() {
+        for f in samples() {
+            let bytes = encode_frame(&f);
+            let (back, consumed) = decode_frame(&bytes).unwrap().expect("complete frame");
+            assert_eq!(back, f);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decodes_back_to_back_frames_from_one_buffer() {
+        let mut buf = Vec::new();
+        for f in samples() {
+            buf.extend_from_slice(&encode_frame(&f));
+        }
+        let mut at = 0;
+        let mut decoded = Vec::new();
+        while at < buf.len() {
+            let (f, n) = decode_frame(&buf[at..]).unwrap().expect("complete");
+            decoded.push(f);
+            at += n;
+        }
+        assert_eq!(decoded, samples());
+    }
+
+    #[test]
+    fn every_truncation_point_is_incomplete_never_a_frame() {
+        for f in samples() {
+            let bytes = encode_frame(&f);
+            for cut in 0..bytes.len() {
+                let r = decode_frame(&bytes[..cut]);
+                assert!(
+                    !matches!(r, Ok(Some(_))),
+                    "truncation at {cut}/{} of {f:?} produced a frame",
+                    bytes.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        for f in samples() {
+            let bytes = encode_frame(&f);
+            for byte in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut bad = bytes.clone();
+                    bad[byte] ^= 1 << bit;
+                    let r = decode_frame(&bad);
+                    // A flip may leave the buffer looking incomplete (a
+                    // grown length field) — that is detection too. What
+                    // it may never do is yield a frame.
+                    assert!(
+                        !matches!(r, Ok(Some(_))),
+                        "bit {bit} of byte {byte} in {f:?} survived"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_streams_are_rejected_at_the_first_divergent_byte() {
+        assert_eq!(decode_frame(b"zzzz"), Err(WireError::BadMagic));
+        assert_eq!(decode_frame(&[0u8; 64]), Err(WireError::BadMagic));
+        // Diverging inside the magic is caught before 4 bytes arrive.
+        assert_eq!(decode_frame(b"EKX"), Err(WireError::BadMagic));
+        // A true prefix of the magic is just incomplete.
+        assert_eq!(decode_frame(b"EK"), Ok(None));
+        assert_eq!(decode_frame(b""), Ok(None));
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_rejected() {
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        assert_eq!(decode_frame(&buf), Err(WireError::BadLength(0)));
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&(MAX_BODY as u16 + 1).to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::BadLength(MAX_BODY as u16 + 1))
+        );
+    }
+
+    #[test]
+    fn refixed_unknown_type_is_bad_type_not_checksum() {
+        // Re-CRC a corrupted type byte: the checksum passes, so the type
+        // check itself must catch it (defense in depth past the CRC).
+        let mut bytes = encode_frame(&Frame::Bye);
+        bytes[6] = 200;
+        let crc = crc32(&bytes[..bytes.len() - 4]);
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_frame(&bytes), Err(WireError::BadType(200)));
+    }
+
+    #[test]
+    fn refixed_bad_admit_path_is_rejected() {
+        let mut bytes = encode_frame(&Frame::Welcome {
+            session: 1,
+            token: 2,
+            path: AdmitPath::Fresh,
+        });
+        let n = bytes.len();
+        bytes[n - 5] = 9; // the path byte, just before the CRC
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_frame(&bytes), Err(WireError::BadPayload(3)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_for_the_next_frame() {
+        let mut bytes = encode_frame(&Frame::Hungry);
+        bytes.extend_from_slice(b"EK"); // start of the next frame
+        let (f, n) = decode_frame(&bytes).unwrap().expect("complete");
+        assert_eq!(f, Frame::Hungry);
+        assert_eq!(n, bytes.len() - 2);
+    }
+}

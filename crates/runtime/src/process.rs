@@ -1,5 +1,6 @@
 use crate::faults::{state_entropy, LossyLinks};
-use crossbeam_channel::{Receiver, RecvTimeoutError};
+use crate::system::RestartNotice;
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
 use ekbd_detector::{
     DetectorEvent, DetectorModule, DetectorMsg, DetectorOutput, HeartbeatDetector,
 };
@@ -87,6 +88,16 @@ pub(crate) struct ProcessThread<A: DiningAlgorithm> {
     pub suspects: BTreeSet<ProcessId>,
     pub epoch: Instant,
     pub events: Arc<Mutex<Vec<SchedEvent>>>,
+    /// Live event tap (see [`ThreadedDining::tap_events`]); cleared on a
+    /// dropped receiver.
+    ///
+    /// [`ThreadedDining::tap_events`]: crate::ThreadedDining::tap_events
+    pub tap: Arc<Mutex<Option<Sender<SchedEvent>>>>,
+    /// Shared restart-notice log (see
+    /// [`ThreadedDining::restart_paths`]).
+    ///
+    /// [`ThreadedDining::restart_paths`]: crate::ThreadedDining::restart_paths
+    pub restart_log: Arc<Mutex<Vec<RestartNotice>>>,
     /// System-wide link counters, folded into at thread exit.
     pub link_stats: Arc<Mutex<LinkSummary>>,
     /// Fixed eating duration in milliseconds.
@@ -113,6 +124,12 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
     fn record(&self, obs: DiningObs) {
         let e = SchedEvent::new(self.now(), self.id, obs);
         self.events.lock().push(e);
+        let mut tap = self.tap.lock();
+        if let Some(tx) = tap.as_ref() {
+            if tx.send(e).is_err() {
+                *tap = None;
+            }
+        }
     }
 
     /// Transmits frames and arms timers requested by the link layer, and
@@ -238,6 +255,19 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
         self.alg.note_now(self.now().0);
         self.alg
             .restart(self.inc, corruption, &self.det, &mut sends);
+        // Publish which recovery path this incarnation took (queried via
+        // the generic trait hook, so crash-stop algorithms publish
+        // nothing) before transmitting: an observer that sees the rejoin
+        // traffic's effects must already see the notice.
+        if let Some(log) = self.alg.restart_log() {
+            if let Some(event) = log.into_iter().last() {
+                self.restart_log.lock().push(RestartNotice {
+                    process: self.id,
+                    at_ms: self.now().0,
+                    event,
+                });
+            }
+        }
         self.send_dining(sends, timers);
         let mut out = DetectorOutput::new();
         self.det.handle(

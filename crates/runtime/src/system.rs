@@ -1,8 +1,10 @@
 use crate::faults::{state_entropy, ChannelFaults, LossyLinks};
 use crate::process::{ProcessThread, ThreadMsg};
-use crossbeam_channel::{unbounded, Sender};
+use crossbeam_channel::{unbounded, Receiver, Sender};
 use ekbd_detector::{HeartbeatConfig, HeartbeatDetector};
-use ekbd_dining::{DiningAlgorithm, DiningMsg, DiningProcess, RecoverableDining, RecoveryMsg};
+use ekbd_dining::{
+    DiningAlgorithm, DiningMsg, DiningProcess, RecoverableDining, RecoveryMsg, RestartEvent,
+};
 use ekbd_graph::coloring::{self, Color};
 use ekbd_graph::{ConflictGraph, Membership, ProcessId};
 use ekbd_journal::{FileJournal, JournalHandle};
@@ -61,6 +63,20 @@ impl Default for RuntimeConfig {
 /// restart nonces (which are small incarnation numbers).
 const CORRUPT_NONCE_BASE: u64 = 1 << 32;
 
+/// One restart a recoverable process completed, published live by its
+/// thread: which recovery path the new incarnation took, stamped with the
+/// runtime's shared wall-clock epoch. The net session layer reads these to
+/// tag a reconnect as journal-resumed vs rejoined.
+#[derive(Clone, Debug)]
+pub struct RestartNotice {
+    /// The restarted process.
+    pub process: ProcessId,
+    /// Milliseconds since the system epoch when the restart ran.
+    pub at_ms: u64,
+    /// The incarnation and recovery path taken.
+    pub event: RestartEvent,
+}
+
 /// A dining system running live: one OS thread per philosopher, crossbeam
 /// channels as FIFO links, wall-clock heartbeats as ◇P₁.
 ///
@@ -74,6 +90,11 @@ pub struct ThreadedDining<M: Clone + Send + 'static = DiningMsg> {
     txs: Vec<Sender<ThreadMsg<M>>>,
     handles: Vec<JoinHandle<()>>,
     events: Arc<Mutex<Vec<SchedEvent>>>,
+    /// Live event tap: when installed, every recorded [`SchedEvent`] is
+    /// also streamed here (in addition to the `events` vector).
+    tap: Arc<Mutex<Option<Sender<SchedEvent>>>>,
+    /// Restart notices published by recoverable process threads.
+    restart_log: Arc<Mutex<Vec<RestartNotice>>>,
     link_stats: Arc<Mutex<LinkSummary>>,
     epoch: Instant,
     entropy_seed: u64,
@@ -117,6 +138,8 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
     {
         let epoch = Instant::now();
         let events: Arc<Mutex<Vec<SchedEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let tap: Arc<Mutex<Option<Sender<SchedEvent>>>> = Arc::new(Mutex::new(None));
+        let restart_log: Arc<Mutex<Vec<RestartNotice>>> = Arc::new(Mutex::new(Vec::new()));
         let link_stats: Arc<Mutex<LinkSummary>> = Arc::new(Mutex::new(LinkSummary::default()));
         let channels: Vec<_> = (0..graph.len())
             .map(|_| unbounded::<ThreadMsg<M>>())
@@ -140,6 +163,8 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
                 suspects: BTreeSet::new(),
                 epoch,
                 events: Arc::clone(&events),
+                tap: Arc::clone(&tap),
+                restart_log: Arc::clone(&restart_log),
                 link_stats: Arc::clone(&link_stats),
                 eat_ms: config.eat_ms.max(1),
                 audit_ms: config.audit_ms.max(1),
@@ -159,6 +184,8 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
             txs,
             handles,
             events,
+            tap,
+            restart_log,
             link_stats,
             epoch,
             entropy_seed: config.faults.seed,
@@ -210,6 +237,27 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
     /// Snapshot of the events recorded so far.
     pub fn events_so_far(&self) -> Vec<SchedEvent> {
         self.events.lock().clone()
+    }
+
+    /// Installs a live event tap and returns its receiving end: every
+    /// [`SchedEvent`] recorded from now on is also streamed to the
+    /// returned channel, letting an observer (the net server's event
+    /// pump) react without polling [`events_so_far`](Self::events_so_far).
+    /// Installing a new tap replaces the previous one; if the receiver is
+    /// dropped the tap uninstalls itself on the next event.
+    pub fn tap_events(&self) -> Receiver<SchedEvent> {
+        let (tx, rx) = unbounded();
+        *self.tap.lock() = Some(tx);
+        rx
+    }
+
+    /// Snapshot of the restart notices published so far: one entry per
+    /// completed [`recover`](Self::recover) /
+    /// [`recover_corrupted`](Self::recover_corrupted), tagging the
+    /// recovery path the new incarnation took (journal fast-resume vs
+    /// blank rejoin). Empty for crash-stop algorithms.
+    pub fn restart_paths(&self) -> Vec<RestartNotice> {
+        self.restart_log.lock().clone()
     }
 
     /// Lets the system run for `window`, then shuts every thread down and

@@ -39,8 +39,8 @@ fn main() {
     assert!(progress.wait_free());
     let lat = progress.latency_summary();
     println!(
-        "  hungry-session latency: p50={} p99={} max={}",
-        lat.p50, lat.p99, lat.max
+        "  hungry-session latency: p50={} p99={} p999={} max={}",
+        lat.p50, lat.p99, lat.p999, lat.max
     );
 
     // Theorem 1 — ◇WX: mistakes happen only before the oracle converges.

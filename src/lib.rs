@@ -20,7 +20,9 @@
 //! * [`stabilize`] — self-stabilizing protocols scheduled by the daemon,
 //! * [`metrics`] — property checkers (exclusion, fairness, quiescence, …),
 //! * [`harness`] — declarative scenario runner wiring everything together,
-//! * [`runtime`] — threaded real-time runtime for the same state machines.
+//! * [`runtime`] — threaded real-time runtime for the same state machines,
+//! * [`net`] — networked daemon-as-a-service: TCP/UDS server, fault-
+//!   tolerant sessions, client library, and load generator.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture
 //! and the experiment index.
@@ -34,6 +36,7 @@ pub use ekbd_graph as graph;
 pub use ekbd_harness as harness;
 pub use ekbd_journal as journal;
 pub use ekbd_metrics as metrics;
+pub use ekbd_net as net;
 pub use ekbd_runtime as runtime;
 pub use ekbd_sim as sim;
 pub use ekbd_stabilize as stabilize;

@@ -1,11 +1,11 @@
 //! Offline vendored stand-in for the `crossbeam-channel` crate (0.5 API
 //! subset), backed by `std::sync::mpsc`.
 //!
-//! Provides [`unbounded`] channels with cloneable senders and a
-//! [`Receiver::recv_deadline`] method, which is the surface this
-//! workspace's threaded runtime uses. Unlike upstream crossbeam, the
-//! receiver is not cloneable — the runtime gives each process thread its
-//! own receiver, so MPSC semantics suffice.
+//! Provides [`unbounded`] and [`bounded`] channels with cloneable senders,
+//! a [`Receiver::recv_deadline`] method, and [`Sender::try_send`] — the
+//! surface this workspace's threaded runtime and net server use. Unlike
+//! upstream crossbeam, the receiver is not cloneable — the runtime gives
+//! each process thread its own receiver, so MPSC semantics suffice.
 
 #![forbid(unsafe_code)]
 
@@ -19,6 +19,24 @@ pub struct SendError<T>(pub T);
 impl<T> std::fmt::Display for SendError<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and its buffer is full.
+    Full(T),
+    /// The receiver was dropped.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
     }
 }
 
@@ -54,26 +72,50 @@ impl std::fmt::Display for RecvTimeoutError {
 
 impl std::error::Error for RecvTimeoutError {}
 
-/// The sending half of an unbounded channel. Cloneable.
+/// The sending half of a channel. Cloneable.
 pub struct Sender<T> {
-    inner: mpsc::Sender<T>,
+    inner: AnySender<T>,
+}
+
+enum AnySender<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         Sender {
-            inner: self.inner.clone(),
+            inner: match &self.inner {
+                AnySender::Unbounded(tx) => AnySender::Unbounded(tx.clone()),
+                AnySender::Bounded(tx) => AnySender::Bounded(tx.clone()),
+            },
         }
     }
 }
 
 impl<T> Sender<T> {
-    /// Sends a message, never blocking. Fails only if the receiver was
-    /// dropped.
+    /// Sends a message. On an unbounded channel this never blocks; on a
+    /// bounded channel it blocks while the buffer is full. Fails only if
+    /// the receiver was dropped.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.inner
-            .send(msg)
-            .map_err(|mpsc::SendError(v)| SendError(v))
+        match &self.inner {
+            AnySender::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(v)| SendError(v)),
+            AnySender::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(v)| SendError(v)),
+        }
+    }
+
+    /// Sends a message without ever blocking: a bounded channel whose
+    /// buffer is full reports [`TrySendError::Full`] instead of waiting.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        match &self.inner {
+            AnySender::Unbounded(tx) => tx
+                .send(msg)
+                .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+            AnySender::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            }),
+        }
     }
 }
 
@@ -131,7 +173,25 @@ impl<T> Iterator for TryIter<'_, T> {
 /// Creates an unbounded channel: sends never block.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
-    (Sender { inner: tx }, Receiver { inner: rx })
+    (
+        Sender {
+            inner: AnySender::Unbounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+/// Creates a bounded channel holding at most `cap` queued messages:
+/// [`Sender::send`] blocks while full, [`Sender::try_send`] reports
+/// [`TrySendError::Full`] instead.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        Sender {
+            inner: AnySender::Bounded(tx),
+        },
+        Receiver { inner: rx },
+    )
 }
 
 #[cfg(test)]
@@ -192,5 +252,27 @@ mod tests {
         let (tx, rx) = unbounded();
         drop(rx);
         assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+    }
+
+    #[test]
+    fn unbounded_try_send_never_fills() {
+        let (tx, rx) = unbounded();
+        for i in 0..1000 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(rx.try_iter().count(), 1000);
     }
 }
