@@ -150,6 +150,7 @@ fn main() {
             max_attempts: 3,
             ..ClientConfig::default()
         },
+        multiplex: 1,
     };
     let start = std::time::Instant::now();
     let overload_report = run_load(&addr, &overload_plan);

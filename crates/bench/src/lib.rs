@@ -27,6 +27,8 @@
 //! | `e17_churn` | beyond the paper — dynamic membership churn with online admission |
 //! | `e18_chaos` | beyond the paper — composed chaos schedules + automatic shrinking |
 //! | `e19_scale` | beyond the paper — packed S1-state kernel sharded over 10⁵-node graphs |
+//! | `e20_net` | beyond the paper — networked sessions survive connection churn |
+//! | `e21_reactor` | beyond the paper — readiness reactor: 1024 multiplexed sessions, blast-radius kills |
 //! | `criterion_perf` | statistical micro-benchmarks (Criterion) |
 //!
 //! This library crate holds the plain-text table writer and small helpers

@@ -59,13 +59,18 @@ USAGE:
   ekbd serve     --listen HOST:PORT | --uds PATH [--topology SPEC]
                  [--serve-ms N] [--max-sessions N] [--send-queue N]
                  [--heartbeat-ms N] [--journal-dir DIR]
-                 (daemon as a service: sessions bind dining processes over
-                  TCP or a Unix socket; connection deaths crash them,
-                  reconnects ride the journal resume path)
+                 [--reactor-threads N] [--backend threaded|scale[:SEED]]
+                 (daemon as a service: a readiness reactor multiplexes
+                  sessions over TCP or a Unix socket; connection deaths
+                  crash the bound processes, reconnects ride the journal
+                  resume path; the scale backend fronts the bit-packed
+                  kernel instead of the threaded runtime)
   ekbd loadgen   --connect HOST:PORT | --uds PATH --clients N
                  [--sessions N] [--kill FRAC] [--think-ms N] [--seed N]
+                 [--multiplex K]
                  (drive hungry/eat churn against a serve instance, killing
-                  FRAC of the fleet mid-session; prints grant latency
+                  FRAC of the fleet mid-session; --multiplex K binds K
+                  processes per connection; prints grant latency
                   p50/p99/p999 and the readmission table)
 
 TOPOLOGY SPECS:
@@ -1120,6 +1125,22 @@ fn net_addr(parsed: &Parsed, tcp_flag: &'static str) -> Result<ekbd_net::ServerA
     }
 }
 
+/// Reads `--backend threaded | scale | scale:SEED`.
+fn backend_spec(parsed: &Parsed) -> Result<ekbd_net::BackendSpec, ArgError> {
+    match parsed.get("backend") {
+        None | Some("threaded") => Ok(ekbd_net::BackendSpec::Threaded),
+        Some("scale") => Ok(ekbd_net::BackendSpec::Scale { seed: 1 }),
+        Some(v) => match v.strip_prefix("scale:").and_then(|s| s.parse().ok()) {
+            Some(seed) => Ok(ekbd_net::BackendSpec::Scale { seed }),
+            None => Err(ArgError::BadValue {
+                flag: "--backend".into(),
+                value: v.to_string(),
+                expected: "threaded | scale | scale:SEED",
+            }),
+        },
+    }
+}
+
 /// `ekbd serve …` — expose a dining system as a network daemon.
 pub fn cmd_serve(parsed: &Parsed) -> Result<(), ArgError> {
     use ekbd_net::{DaemonServer, ServerConfig};
@@ -1127,7 +1148,11 @@ pub fn cmd_serve(parsed: &Parsed) -> Result<(), ArgError> {
     let addr = net_addr(parsed, "listen")?;
     let topology = TopologySpec::parse(parsed.get("topology").unwrap_or("ring:8"))?;
     let serve_ms: u64 = parsed.get_parsed("serve-ms", 2_000u64)?;
+    let backend = backend_spec(parsed)?;
+    let reactor_threads = parsed.get_parsed("reactor-threads", 2usize)?.max(1);
     let mut cfg = ServerConfig {
+        backend: backend.clone(),
+        reactor_threads,
         max_sessions: parsed.get_parsed("max-sessions", 64usize)?,
         send_queue: parsed.get_parsed("send-queue", 64usize)?,
         heartbeat_ms: parsed.get_parsed("heartbeat-ms", 200u64)?,
@@ -1154,6 +1179,8 @@ pub fn cmd_serve(parsed: &Parsed) -> Result<(), ArgError> {
         "topology .................... {}",
         parsed.get("topology").unwrap_or("ring:8")
     );
+    println!("backend ..................... {backend:?}");
+    println!("reactor threads ............. {reactor_threads}");
     println!("serving for ................. {serve_ms} ms");
     std::thread::sleep(std::time::Duration::from_millis(serve_ms));
     let run = server.shutdown();
@@ -1172,11 +1199,21 @@ pub fn cmd_serve(parsed: &Parsed) -> Result<(), ArgError> {
         run.stats.shed_busy, run.stats.shed_slow, run.stats.heartbeat_drops
     );
     println!(
-        "protocol errors ............. {}",
-        run.stats.protocol_errors
+        "protocol errors ............. {} (handshake timeouts: {})",
+        run.stats.protocol_errors, run.stats.handshake_timeouts
     );
+    println!("sessions reaped ............. {}", run.stats.reaped);
     println!("grants served ............... {eats}");
     println!("runtime restarts ............ {}", run.restarts.len());
+    if let Some(scale) = &run.scale {
+        println!(
+            "scale kernel ................ n={} eats={} mistakes={} final_tick={}",
+            scale.n,
+            scale.eats.iter().map(|&e| u64::from(e)).sum::<u64>(),
+            scale.mistakes,
+            scale.final_tick
+        );
+    }
     Ok(())
 }
 
@@ -1202,19 +1239,28 @@ pub fn cmd_loadgen(parsed: &Parsed) -> Result<(), ArgError> {
             expected: "a fraction in [0, 1]",
         });
     }
+    let multiplex: usize = parsed.get_parsed("multiplex", 1usize)?;
+    if multiplex == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--multiplex".into(),
+            value: "0".into(),
+            expected: "at least one process per connection",
+        });
+    }
     let plan = LoadPlan {
         clients,
         sessions_per_client: parsed.get_parsed("sessions", 10usize)?,
         think_ms: parsed.get_parsed("think-ms", 5u64)?,
         kill_fraction: kill,
         seed: parsed.get_parsed("seed", 7u64)?,
+        multiplex,
         ..LoadPlan::default()
     };
     let report = run_load(&addr, &plan);
     let lat = Summary::of(report.latencies_ms.iter().copied());
     println!(
-        "== ekbd loadgen: {clients} clients × {} sessions ==\n",
-        plan.sessions_per_client
+        "== ekbd loadgen: {clients} clients × {} processes × {} sessions ==\n",
+        multiplex, plan.sessions_per_client
     );
     println!(
         "sessions completed .......... {}/{}",

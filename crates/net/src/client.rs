@@ -1,14 +1,30 @@
 //! The daemon client: dials a [`DaemonServer`](crate::DaemonServer),
-//! binds a dining process, and drives hungry → granted → released cycles
+//! binds dining processes, and drives hungry → granted → released cycles
 //! over the EKN1 wire protocol.
 //!
-//! The client owns the retry policy: connection attempts and `Busy` sheds
-//! back off exponentially with seeded jitter (deterministic per client,
-//! decorrelated across a fleet), and [`DaemonClient::reconnect`] rides
-//! the session-resume fast path before falling back to a fresh `Hello`.
+//! Two shapes:
+//!
+//! * [`DaemonClient`] — one socket, one process: the original
+//!   session-per-connection client.
+//! * [`MuxClient`] — one socket, many processes: authenticates a primary
+//!   with `Hello`/`Resume`, then multiplexes any number of secondaries
+//!   over the same connection with `Bind`/`Unbind` (the gateway/proxy
+//!   shape). Event frames are process-tagged, so the caller demuxes with
+//!   [`MuxClient::next_event`].
+//!
+//! The client owns the retry policy: connection attempts and `Busy`
+//! sheds back off exponentially with seeded jitter (deterministic per
+//! client, decorrelated across a fleet). A `Busy` answer carries the
+//! server's retry hint; the retry loop honors `max(hint, backoff)`
+//! exactly once per attempt, and never sleeps after the final attempt —
+//! a failed call returns at once, with the hint in the error for the
+//! caller's own scheduling.
 
 use crate::conn::{splitmix64, Conn, ServerAddr};
-use crate::wire::{decode_frame, encode_frame, AdmitPath, Frame, WireError};
+use crate::wire::{
+    decode_frame, encode_frame, AdmitPath, Frame, WireError, REJECT_ALREADY_BOUND,
+};
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
@@ -47,10 +63,13 @@ impl Default for ClientConfig {
 pub enum ClientError {
     /// Socket-level failure.
     Io(io::Error),
-    /// The server refused with this `Reject` code.
+    /// The server refused with this `Reject` (or `BindReject`) code.
     Rejected(u8),
     /// Every attempt was shed with `Busy`.
-    Busy,
+    Busy {
+        /// The server's most recent retry hint, in milliseconds.
+        hint_ms: u32,
+    },
     /// The wait's deadline passed.
     Timeout,
     /// The server sent bytes that are not a valid frame.
@@ -64,7 +83,9 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Rejected(code) => write!(f, "rejected by server (code {code})"),
-            ClientError::Busy => write!(f, "shed busy on every attempt"),
+            ClientError::Busy { hint_ms } => {
+                write!(f, "shed busy on every attempt (retry hint {hint_ms}ms)")
+            }
             ClientError::Timeout => write!(f, "timed out"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::Closed => write!(f, "connection closed"),
@@ -77,6 +98,57 @@ impl std::error::Error for ClientError {}
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+/// Sleeps before the next attempt — but only if one remains. The server's
+/// `Busy` hint and the client's own jittered backoff are reconciled by
+/// taking the larger of the two, once; they never stack.
+fn sleep_before_retry(
+    cfg: &ClientConfig,
+    rng: &mut u64,
+    attempt: u32,
+    attempts: u32,
+    last: &ClientError,
+) {
+    if attempt + 1 >= attempts {
+        return;
+    }
+    let mut delay = backoff(cfg, rng, attempt);
+    if let ClientError::Busy { hint_ms } = last {
+        delay = delay.max(Duration::from_millis(u64::from(*hint_ms)));
+    }
+    std::thread::sleep(delay);
+}
+
+/// Dials and runs one handshake. A `Busy` answer returns immediately
+/// with the hint attached — the *caller's* retry loop owns all sleeping.
+fn dial_and_bind(
+    addr: &ServerAddr,
+    cfg: &ClientConfig,
+    handshake: Frame,
+) -> Result<(Conn, Vec<u8>, u64, u64, AdmitPath), ClientError> {
+    let mut conn = Conn::dial(addr)?;
+    conn.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))?;
+    conn.write_all(&encode_frame(&handshake))?;
+    let mut acc = Vec::with_capacity(256);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match read_frame(&mut conn, &mut acc, deadline)? {
+            Frame::Welcome {
+                session,
+                token,
+                path,
+            } => return Ok((conn, acc, session, token, path)),
+            Frame::Busy { retry_after_ms } => {
+                return Err(ClientError::Busy {
+                    hint_ms: retry_after_ms,
+                })
+            }
+            Frame::Reject { code } => return Err(ClientError::Rejected(code)),
+            // Tolerate a stray frame racing ahead of the Welcome.
+            _ => {}
+        }
     }
 }
 
@@ -118,9 +190,10 @@ impl DaemonClient {
     ) -> Result<Self, ClientError> {
         let mut rng = cfg.seed ^ (u64::from(process) << 32) ^ 0xC11E_57AB;
         let mut busy_retries = 0;
-        let mut last: ClientError = ClientError::Busy;
-        for attempt in 0..cfg.max_attempts.max(1) {
-            match Self::dial_and_bind(addr, &cfg, Frame::Hello { process }) {
+        let mut last: ClientError = ClientError::Busy { hint_ms: 0 };
+        let attempts = cfg.max_attempts.max(1);
+        for attempt in 0..attempts {
+            match dial_and_bind(addr, &cfg, Frame::Hello { process }) {
                 Ok((conn, acc, session, token, path)) => {
                     return Ok(DaemonClient {
                         addr: addr.clone(),
@@ -137,11 +210,11 @@ impl DaemonClient {
                 }
                 Err(ClientError::Rejected(code)) => return Err(ClientError::Rejected(code)),
                 Err(e) => {
-                    if matches!(e, ClientError::Busy) {
+                    if matches!(e, ClientError::Busy { .. }) {
                         busy_retries += 1;
                     }
                     last = e;
-                    std::thread::sleep(backoff(&cfg, &mut rng, attempt));
+                    sleep_before_retry(&cfg, &mut rng, attempt, attempts, &last);
                 }
             }
         }
@@ -153,14 +226,15 @@ impl DaemonClient {
     /// server no longer knows the session, falls back to a fresh `Hello`.
     /// Returns the admission path the server reported.
     pub fn reconnect(&mut self) -> Result<AdmitPath, ClientError> {
-        let mut last: ClientError = ClientError::Busy;
-        for attempt in 0..self.cfg.max_attempts.max(1) {
+        let mut last: ClientError = ClientError::Busy { hint_ms: 0 };
+        let attempts = self.cfg.max_attempts.max(1);
+        for attempt in 0..attempts {
             let resume = Frame::Resume {
                 process: self.process,
                 session: self.session,
                 token: self.token,
             };
-            match Self::dial_and_bind(&self.addr, &self.cfg, resume) {
+            match dial_and_bind(&self.addr, &self.cfg, resume) {
                 Ok((conn, acc, session, token, path)) => {
                     self.conn = conn;
                     self.acc = acc;
@@ -171,12 +245,12 @@ impl DaemonClient {
                 }
                 // The server has not detached the dead connection yet —
                 // transient: back off and resume again.
-                Err(ClientError::Rejected(code)) if code == crate::wire::REJECT_ALREADY_BOUND => {
+                Err(ClientError::Rejected(code)) if code == REJECT_ALREADY_BOUND => {
                     last = ClientError::Rejected(code);
                 }
                 // The session is gone server-side: rebind fresh.
                 Err(ClientError::Rejected(_)) => {
-                    match Self::dial_and_bind(
+                    match dial_and_bind(
                         &self.addr,
                         &self.cfg,
                         Frame::Hello {
@@ -191,16 +265,14 @@ impl DaemonClient {
                             self.path = path;
                             return Ok(path);
                         }
-                        Err(ClientError::Rejected(code))
-                            if code == crate::wire::REJECT_ALREADY_BOUND =>
-                        {
+                        Err(ClientError::Rejected(code)) if code == REJECT_ALREADY_BOUND => {
                             last = ClientError::Rejected(code);
                         }
                         Err(ClientError::Rejected(code)) => {
                             return Err(ClientError::Rejected(code))
                         }
                         Err(e) => {
-                            if matches!(e, ClientError::Busy) {
+                            if matches!(e, ClientError::Busy { .. }) {
                                 self.busy_retries += 1;
                             }
                             last = e;
@@ -208,46 +280,15 @@ impl DaemonClient {
                     }
                 }
                 Err(e) => {
-                    if matches!(e, ClientError::Busy) {
+                    if matches!(e, ClientError::Busy { .. }) {
                         self.busy_retries += 1;
                     }
                     last = e;
                 }
             }
-            let delay = backoff(&self.cfg, &mut self.rng, attempt);
-            std::thread::sleep(delay);
+            sleep_before_retry(&self.cfg, &mut self.rng, attempt, attempts, &last);
         }
         Err(last)
-    }
-
-    fn dial_and_bind(
-        addr: &ServerAddr,
-        cfg: &ClientConfig,
-        handshake: Frame,
-    ) -> Result<(Conn, Vec<u8>, u64, u64, AdmitPath), ClientError> {
-        let mut conn = Conn::dial(addr)?;
-        conn.set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))?;
-        conn.write_all(&encode_frame(&handshake))?;
-        let mut acc = Vec::with_capacity(256);
-        let deadline = Instant::now() + Duration::from_secs(5);
-        loop {
-            match read_frame(&mut conn, &mut acc, deadline)? {
-                Frame::Welcome {
-                    session,
-                    token,
-                    path,
-                } => return Ok((conn, acc, session, token, path)),
-                Frame::Busy { retry_after_ms } => {
-                    // Honor the server's hint before the caller's own
-                    // backoff kicks in.
-                    std::thread::sleep(Duration::from_millis(u64::from(retry_after_ms)));
-                    return Err(ClientError::Busy);
-                }
-                Frame::Reject { code } => return Err(ClientError::Rejected(code)),
-                // Tolerate a stray frame racing ahead of the Welcome.
-                _ => {}
-            }
-        }
     }
 
     /// The dining process this session is bound to.
@@ -262,7 +303,9 @@ impl DaemonClient {
 
     /// Requests to eat: sends `Hungry`.
     pub fn hungry(&mut self) -> Result<(), ClientError> {
-        self.conn.write_all(&encode_frame(&Frame::Hungry))?;
+        self.conn.write_all(&encode_frame(&Frame::Hungry {
+            process: self.process,
+        }))?;
         Ok(())
     }
 
@@ -272,9 +315,11 @@ impl DaemonClient {
         let deadline = Instant::now() + timeout;
         loop {
             match self.next_frame(deadline)? {
-                Frame::Granted { at_ms } => return Ok(at_ms),
-                // A release from a previous cycle may still be in flight.
-                Frame::Released { .. } => {}
+                Frame::Granted { process, at_ms } if process == self.process => return Ok(at_ms),
+                // A release from a previous cycle may still be in
+                // flight; another process's event is never ours to act
+                // on (single-process client, but tolerate it).
+                Frame::Released { .. } | Frame::Granted { .. } => {}
                 frame => return Err(unexpected(frame)),
             }
         }
@@ -286,9 +331,9 @@ impl DaemonClient {
         let deadline = Instant::now() + timeout;
         loop {
             match self.next_frame(deadline)? {
-                Frame::Released { at_ms } => return Ok(at_ms),
+                Frame::Released { process, at_ms } if process == self.process => return Ok(at_ms),
                 // A duplicate grant (re-sent hungry) is not an error.
-                Frame::Granted { .. } => {}
+                Frame::Granted { .. } | Frame::Released { .. } => {}
                 frame => return Err(unexpected(frame)),
             }
         }
@@ -312,6 +357,328 @@ impl DaemonClient {
     /// inline so heartbeat liveness is maintained by any blocked wait.
     fn next_frame(&mut self, deadline: Instant) -> Result<Frame, ClientError> {
         let mut chunk = [0u8; 1024];
+        loop {
+            match decode_frame(&self.acc) {
+                Ok(Some((frame, n))) => {
+                    self.acc.drain(..n);
+                    match frame {
+                        Frame::Ping { nonce } => {
+                            self.conn.write_all(&encode_frame(&Frame::Pong { nonce }))?;
+                        }
+                        Frame::Pong { .. } => {}
+                        other => return Ok(other),
+                    }
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => return Err(ClientError::Protocol(e)),
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            match self.conn.read(&mut chunk) {
+                Ok(0) => return Err(ClientError::Closed),
+                Ok(n) => self.acc.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+/// One demultiplexed table event from a [`MuxClient`] connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MuxEvent {
+    /// `process` was granted the table at server time `at_ms`.
+    Granted {
+        /// The granted process.
+        process: u32,
+        /// Server-side grant time, ms.
+        at_ms: u64,
+    },
+    /// `process` released the table at server time `at_ms`.
+    Released {
+        /// The releasing process.
+        process: u32,
+        /// Server-side release time, ms.
+        at_ms: u64,
+    },
+}
+
+/// A multiplexed session: one socket fronting many dining processes.
+///
+/// The connection authenticates a *primary* process (whose credentials
+/// also anchor [`reconnect`](Self::reconnect)), then binds secondaries
+/// with [`bind`](Self::bind). All event frames arrive process-tagged on
+/// the one socket; drive the whole fleet with
+/// [`hungry`](Self::hungry) / [`next_event`](Self::next_event).
+pub struct MuxClient {
+    addr: ServerAddr,
+    cfg: ClientConfig,
+    primary: u32,
+    conn: Conn,
+    acc: Vec<u8>,
+    session: u64,
+    token: u64,
+    path: AdmitPath,
+    rng: u64,
+    /// Secondary processes currently bound (primary excluded).
+    bound: Vec<u32>,
+    /// Events decoded while waiting for a control answer.
+    pending: VecDeque<MuxEvent>,
+    /// `Busy` sheds absorbed by this client's retry loops so far.
+    pub busy_retries: u64,
+}
+
+impl fmt::Debug for MuxClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MuxClient")
+            .field("primary", &self.primary)
+            .field("session", &self.session)
+            .field("bound", &self.bound)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MuxClient {
+    /// Dials `addr` and authenticates `primary` with a fresh `Hello`,
+    /// retrying through `Busy` sheds with jittered backoff.
+    pub fn connect(
+        addr: &ServerAddr,
+        primary: u32,
+        cfg: ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let mut rng = cfg.seed ^ (u64::from(primary) << 32) ^ 0x3A7E_11E5;
+        let mut busy_retries = 0;
+        let mut last: ClientError = ClientError::Busy { hint_ms: 0 };
+        let attempts = cfg.max_attempts.max(1);
+        for attempt in 0..attempts {
+            match dial_and_bind(addr, &cfg, Frame::Hello { process: primary }) {
+                Ok((conn, acc, session, token, path)) => {
+                    return Ok(MuxClient {
+                        addr: addr.clone(),
+                        cfg,
+                        primary,
+                        conn,
+                        acc,
+                        session,
+                        token,
+                        path,
+                        rng,
+                        bound: Vec::new(),
+                        pending: VecDeque::new(),
+                        busy_retries,
+                    });
+                }
+                Err(ClientError::Rejected(code)) => return Err(ClientError::Rejected(code)),
+                Err(e) => {
+                    if matches!(e, ClientError::Busy { .. }) {
+                        busy_retries += 1;
+                    }
+                    last = e;
+                    sleep_before_retry(&cfg, &mut rng, attempt, attempts, &last);
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// The primary process anchoring this connection.
+    pub fn primary(&self) -> u32 {
+        self.primary
+    }
+
+    /// The admission path of the most recent (re)connect.
+    pub fn admit_path(&self) -> AdmitPath {
+        self.path
+    }
+
+    /// Every process currently bound on this connection, primary first.
+    pub fn processes(&self) -> Vec<u32> {
+        let mut all = vec![self.primary];
+        all.extend_from_slice(&self.bound);
+        all
+    }
+
+    /// Binds a secondary `process` onto this connection, returning the
+    /// admission path the server reported for it.
+    pub fn bind(&mut self, process: u32) -> Result<AdmitPath, ClientError> {
+        self.conn
+            .write_all(&encode_frame(&Frame::Bind { process }))?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match self.read_any(deadline)? {
+                Frame::Bound { process: p, path } if p == process => {
+                    self.bound.push(process);
+                    return Ok(path);
+                }
+                Frame::BindReject { process: p, code } if p == process => {
+                    return Err(if code == crate::wire::REJECT_BUSY {
+                        ClientError::Busy {
+                            hint_ms: self.cfg.base_backoff_ms as u32,
+                        }
+                    } else {
+                        ClientError::Rejected(code)
+                    });
+                }
+                // Answers for other in-flight binds or stray unbinds.
+                Frame::Bound { .. } | Frame::BindReject { .. } | Frame::Unbound { .. } => {}
+                frame => return Err(unexpected(frame)),
+            }
+        }
+    }
+
+    /// Gracefully detaches a secondary (or the primary's entry in the
+    /// event stream stays — the primary itself cannot be unbound).
+    pub fn unbind(&mut self, process: u32) -> Result<(), ClientError> {
+        if !self.bound.contains(&process) {
+            return Err(ClientError::Rejected(crate::wire::REJECT_BAD_PROCESS));
+        }
+        self.conn
+            .write_all(&encode_frame(&Frame::Unbind { process }))?;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match self.read_any(deadline)? {
+                Frame::Unbound { process: p } if p == process => {
+                    self.bound.retain(|&b| b != process);
+                    return Ok(());
+                }
+                Frame::Bound { .. } | Frame::BindReject { .. } | Frame::Unbound { .. } => {}
+                frame => return Err(unexpected(frame)),
+            }
+        }
+    }
+
+    /// Requests to eat on behalf of any bound process.
+    pub fn hungry(&mut self, process: u32) -> Result<(), ClientError> {
+        if process != self.primary && !self.bound.contains(&process) {
+            return Err(ClientError::Rejected(crate::wire::REJECT_BAD_PROCESS));
+        }
+        self.conn
+            .write_all(&encode_frame(&Frame::Hungry { process }))?;
+        Ok(())
+    }
+
+    /// The next table event for *any* bound process, answering
+    /// heartbeats along the way.
+    pub fn next_event(&mut self, timeout: Duration) -> Result<MuxEvent, ClientError> {
+        if let Some(e) = self.pending.pop_front() {
+            return Ok(e);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.read_any(deadline)? {
+                Frame::Granted { process, at_ms } => {
+                    return Ok(MuxEvent::Granted { process, at_ms })
+                }
+                Frame::Released { process, at_ms } => {
+                    return Ok(MuxEvent::Released { process, at_ms })
+                }
+                // Stale control answers are dropped, not errors.
+                Frame::Bound { .. } | Frame::BindReject { .. } | Frame::Unbound { .. } => {}
+                frame => return Err(unexpected(frame)),
+            }
+        }
+    }
+
+    /// Re-establishes the whole multiplexed session after a dead
+    /// connection: resumes the primary under its credentials (falling
+    /// back to `Hello` if the server reaped the session), then re-binds
+    /// every secondary. Returns each process with the admission path the
+    /// server reported for it, primary first.
+    pub fn reconnect(&mut self) -> Result<Vec<(u32, AdmitPath)>, ClientError> {
+        let mut last: ClientError = ClientError::Busy { hint_ms: 0 };
+        let attempts = self.cfg.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let resume = Frame::Resume {
+                process: self.primary,
+                session: self.session,
+                token: self.token,
+            };
+            let dialed = match dial_and_bind(&self.addr, &self.cfg, resume) {
+                Ok(ok) => Some(ok),
+                Err(ClientError::Rejected(code)) if code == REJECT_ALREADY_BOUND => {
+                    last = ClientError::Rejected(code);
+                    None
+                }
+                Err(ClientError::Rejected(_)) => {
+                    // Session reaped server-side: start the fleet over.
+                    match dial_and_bind(
+                        &self.addr,
+                        &self.cfg,
+                        Frame::Hello {
+                            process: self.primary,
+                        },
+                    ) {
+                        Ok(ok) => Some(ok),
+                        Err(ClientError::Rejected(code)) if code == REJECT_ALREADY_BOUND => {
+                            last = ClientError::Rejected(code);
+                            None
+                        }
+                        Err(ClientError::Rejected(code)) => {
+                            return Err(ClientError::Rejected(code))
+                        }
+                        Err(e) => {
+                            if matches!(e, ClientError::Busy { .. }) {
+                                self.busy_retries += 1;
+                            }
+                            last = e;
+                            None
+                        }
+                    }
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::Busy { .. }) {
+                        self.busy_retries += 1;
+                    }
+                    last = e;
+                    None
+                }
+            };
+            if let Some((conn, acc, session, token, path)) = dialed {
+                self.conn = conn;
+                self.acc = acc;
+                self.session = session;
+                self.token = token;
+                self.path = path;
+                self.pending.clear();
+                let secondaries = std::mem::take(&mut self.bound);
+                let mut paths = vec![(self.primary, path)];
+                for p in secondaries {
+                    match self.bind(p) {
+                        Ok(bp) => paths.push((p, bp)),
+                        // A secondary that cannot rebind (e.g. claimed by
+                        // someone else meanwhile) is dropped from the
+                        // fleet, not fatal to the connection.
+                        Err(_) => {}
+                    }
+                }
+                return Ok(paths);
+            }
+            sleep_before_retry(&self.cfg, &mut self.rng, attempt, attempts, &last);
+        }
+        Err(last)
+    }
+
+    /// Simulates an abrupt client death: hard-closes the socket without
+    /// `Bye`. The server crashes *every* process bound here.
+    pub fn kill(&mut self) {
+        self.conn.kill();
+    }
+
+    /// Graceful goodbye: the server detaches every bound process without
+    /// crashing any of them.
+    pub fn bye(mut self) {
+        let _ = self.conn.write_all(&encode_frame(&Frame::Bye));
+        self.conn.kill();
+    }
+
+    /// Reads the next frame, replying to `Ping`s inline and stashing
+    /// event frames encountered while a control call waits (the caller
+    /// decides which frames it is looking for; events never get lost).
+    fn read_any(&mut self, deadline: Instant) -> Result<Frame, ClientError> {
+        let mut chunk = [0u8; 4096];
         loop {
             match decode_frame(&self.acc) {
                 Ok(Some((frame, n))) => {

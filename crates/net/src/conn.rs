@@ -4,6 +4,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -17,7 +18,9 @@ pub enum ServerAddr {
     /// [`DaemonServer::local_addr`](crate::DaemonServer::local_addr).
     Tcp(String),
     /// A Unix-domain socket path. A stale socket file left by a dead
-    /// server is removed at bind time.
+    /// server is removed at bind time; a path with a *live* server
+    /// behind it is refused with `AddrInUse` (the bind probe-connects
+    /// first, so one server can never unlink another's socket).
     #[cfg(unix)]
     Uds(PathBuf),
 }
@@ -52,19 +55,29 @@ impl Conn {
         }
     }
 
-    pub(crate) fn try_clone(&self) -> io::Result<Conn> {
-        match self {
-            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
-            #[cfg(unix)]
-            Conn::Uds(s) => s.try_clone().map(Conn::Uds),
-        }
-    }
-
     pub(crate) fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
         match self {
             Conn::Tcp(s) => s.set_read_timeout(t),
             #[cfg(unix)]
             Conn::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    /// The raw fd, for readiness registration. The reactor keeps the
+    /// `Conn` alive strictly longer than the registration.
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        match self {
+            Conn::Tcp(s) => s.as_raw_fd(),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.as_raw_fd(),
         }
     }
 
@@ -130,7 +143,23 @@ impl Listener {
             }
             #[cfg(unix)]
             ServerAddr::Uds(p) => {
-                let _ = std::fs::remove_file(p);
+                // Never displace a live server: probe-connect first. Only
+                // a refused connection proves the file is a stale corpse
+                // left by a dead server; that one is unlinked and rebound.
+                match UnixStream::connect(p) {
+                    Ok(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("a live server already listens on {}", p.display()),
+                        ));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                        std::fs::remove_file(p)?;
+                    }
+                    // No file at all: plain first bind. Any other probe
+                    // failure falls through to bind, which reports it.
+                    Err(_) => {}
+                }
                 let l = UnixListener::bind(p)?;
                 Ok((Listener::Uds(l), ServerAddr::Uds(p.clone())))
             }
@@ -142,6 +171,15 @@ impl Listener {
             Listener::Tcp(l) => l.set_nonblocking(nb),
             #[cfg(unix)]
             Listener::Uds(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// The raw fd of the listening socket, for readiness registration.
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            #[cfg(unix)]
+            Listener::Uds(l) => l.as_raw_fd(),
         }
     }
 

@@ -22,10 +22,18 @@
 //!   culled by a strike-gated heartbeat (suspicion, then conviction —
 //!   the ◇P₁ idiom applied to sockets).
 //!
-//! Everything is plain `std::net` + OS threads + bounded crossbeam
-//! queues; there is no async runtime. See `docs/NET.md` for the wire
-//! protocol and operational guidance, and experiment E20 for the
-//! measured behavior under connection churn.
+//! Everything is plain `std::net` + a small readiness reactor over the
+//! vendored epoll shim; there is no async runtime and no
+//! thread-per-connection. A handful of reactor threads own slabs of
+//! nonblocking connections, one event-pump thread bridges the dining
+//! runtime's tap into the sessions, and blocking recovery waits run on
+//! short-lived admission workers. One connection can multiplex many
+//! dining processes (`Bind`/`Unbind` — the gateway shape, see
+//! [`MuxClient`]), and the server can front either the full threaded
+//! runtime or the bit-packed scale-tier kernel
+//! ([`server::BackendSpec`]). See `docs/NET.md` for the wire protocol
+//! and operational guidance, and experiments E20/E21 for the measured
+//! behavior under connection churn and reactor load.
 //!
 //! ## Quick tour
 //!
@@ -56,14 +64,15 @@
 #![warn(missing_docs)]
 
 mod conn;
+mod poll;
 
 pub mod client;
 pub mod loadgen;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientConfig, ClientError, DaemonClient};
+pub use client::{ClientConfig, ClientError, DaemonClient, MuxClient, MuxEvent};
 pub use conn::ServerAddr;
 pub use loadgen::{kill_set, run_load, LoadPlan, LoadReport, Readmission};
-pub use server::{DaemonServer, ServerConfig, ServerRun, ServerStats};
+pub use server::{BackendSpec, DaemonServer, ServerConfig, ServerRun, ServerStats};
 pub use wire::{AdmitPath, Frame, WireError};

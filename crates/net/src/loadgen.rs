@@ -1,14 +1,16 @@
 //! Load generator: a fleet of daemon clients driving hungry/eat churn
 //! against a server, with a scripted connection-kill fault plan.
 //!
-//! Each client binds its own dining process and runs a fixed number of
-//! hungry → granted → released sessions. A deterministic subset of the
-//! fleet is killed mid-run (socket hard-close, no `Bye`) and must
+//! Each client binds its own dining process — or, with
+//! [`LoadPlan::multiplex`] > 1, a *block* of processes over one
+//! [`MuxClient`] connection — and runs a fixed number of hungry →
+//! granted → released sessions per process. A deterministic subset of
+//! the fleet is killed mid-run (socket hard-close, no `Bye`) and must
 //! reconnect through the session-resume handshake; the report records
 //! the grant latencies, every readmission (path and wall time), and the
 //! shedding the fleet absorbed.
 
-use crate::client::{ClientConfig, ClientError, DaemonClient};
+use crate::client::{ClientConfig, ClientError, DaemonClient, MuxClient, MuxEvent};
 use crate::conn::ServerAddr;
 use crate::wire::AdmitPath;
 use std::time::{Duration, Instant};
@@ -34,6 +36,11 @@ pub struct LoadPlan {
     /// `Hungry` on expiry (a request can be lost to a crash) up to three
     /// times before recording an error.
     pub grant_timeout_ms: u64,
+    /// Dining processes per connection. At 1 (the default) every client
+    /// is a [`DaemonClient`] bound to process `i`; above 1, client `i`
+    /// is a [`MuxClient`] fronting the process block
+    /// `[i·multiplex, (i+1)·multiplex)` over a single socket.
+    pub multiplex: usize,
 }
 
 impl Default for LoadPlan {
@@ -46,6 +53,7 @@ impl Default for LoadPlan {
             seed: 7,
             client: ClientConfig::default(),
             grant_timeout_ms: 2_000,
+            multiplex: 1,
         }
     }
 }
@@ -98,9 +106,10 @@ pub fn kill_set(clients: usize, fraction: f64, seed: u64) -> Vec<bool> {
         .collect()
 }
 
+#[derive(Default)]
 struct ClientOutcome {
     latencies_ms: Vec<u64>,
-    readmission: Option<Readmission>,
+    readmissions: Vec<Readmission>,
     killed: bool,
     busy_retries: u64,
     completed: usize,
@@ -111,6 +120,7 @@ struct ClientOutcome {
 /// aggregates the fleet's experience.
 pub fn run_load(addr: &ServerAddr, plan: &LoadPlan) -> LoadReport {
     let kills = kill_set(plan.clients, plan.kill_fraction, plan.seed);
+    let multiplex = plan.multiplex.max(1);
     let mut handles = Vec::with_capacity(plan.clients);
     for (i, &kill_me) in kills.iter().enumerate() {
         let addr = addr.clone();
@@ -118,34 +128,36 @@ pub fn run_load(addr: &ServerAddr, plan: &LoadPlan) -> LoadReport {
         handles.push(
             std::thread::Builder::new()
                 .name(format!("ekbd-loadgen-{i}"))
-                .spawn(move || run_client(&addr, &plan, i as u32, kill_me))
+                .spawn(move || {
+                    if plan.multiplex.max(1) > 1 {
+                        run_mux_client(&addr, &plan, i, kill_me)
+                    } else {
+                        run_client(&addr, &plan, i as u32, kill_me)
+                    }
+                })
                 .expect("spawn loadgen client thread"),
         );
     }
     let mut report = LoadReport {
-        planned_sessions: plan.clients * plan.sessions_per_client,
+        planned_sessions: plan.clients * multiplex * plan.sessions_per_client,
         ..LoadReport::default()
     };
     for h in handles {
         let outcome = match h.join() {
             Ok(o) => o,
             Err(_) => ClientOutcome {
-                latencies_ms: Vec::new(),
-                readmission: None,
-                killed: false,
-                busy_retries: 0,
-                completed: 0,
                 error: Some("client thread panicked".into()),
+                ..ClientOutcome::default()
             },
         };
         report.latencies_ms.extend(outcome.latencies_ms);
         if outcome.killed {
             report.killed += 1;
         }
-        if let Some(r) = outcome.readmission {
+        if !outcome.readmissions.is_empty() {
             report.reconnected += 1;
-            report.readmissions.push(r);
         }
+        report.readmissions.extend(outcome.readmissions);
         report.busy_retries += outcome.busy_retries;
         report.completed_sessions += outcome.completed;
         if let Some(e) = outcome.error {
@@ -156,14 +168,7 @@ pub fn run_load(addr: &ServerAddr, plan: &LoadPlan) -> LoadReport {
 }
 
 fn run_client(addr: &ServerAddr, plan: &LoadPlan, process: u32, kill_me: bool) -> ClientOutcome {
-    let mut outcome = ClientOutcome {
-        latencies_ms: Vec::new(),
-        readmission: None,
-        killed: false,
-        busy_retries: 0,
-        completed: 0,
-        error: None,
-    };
+    let mut outcome = ClientOutcome::default();
     let cfg = ClientConfig {
         seed: plan.seed ^ (u64::from(process).wrapping_mul(0x9E37_79B9)),
         ..plan.client.clone()
@@ -185,7 +190,7 @@ fn run_client(addr: &ServerAddr, plan: &LoadPlan, process: u32, kill_me: bool) -
             let t0 = Instant::now();
             match client.reconnect() {
                 Ok(path) => {
-                    outcome.readmission = Some(Readmission {
+                    outcome.readmissions.push(Readmission {
                         process,
                         path,
                         ms: t0.elapsed().as_millis() as u64,
@@ -211,6 +216,178 @@ fn run_client(addr: &ServerAddr, plan: &LoadPlan, process: u32, kill_me: bool) -
         }
         if plan.think_ms > 0 {
             std::thread::sleep(Duration::from_millis(plan.think_ms));
+        }
+    }
+    outcome.busy_retries += client.busy_retries;
+    client.bye();
+    outcome
+}
+
+/// Per-process cycle state inside a multiplexed client.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MuxState {
+    Thinking,
+    Hungry,
+    Eating,
+}
+
+/// Drives one [`MuxClient`] fronting a block of `plan.multiplex` dining
+/// processes: all cycles interleave over the single socket, demuxed by
+/// the process tag on every event frame. The kill point hard-closes the
+/// socket once half the block's cycles are done, which crashes *every*
+/// process bound to it; one `reconnect` resumes the primary and re-binds
+/// the block, and each process's readmission path is recorded.
+fn run_mux_client(
+    addr: &ServerAddr,
+    plan: &LoadPlan,
+    client_index: usize,
+    kill_me: bool,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome::default();
+    let k = plan.multiplex.max(1);
+    let base = (client_index * k) as u32;
+    let cfg = ClientConfig {
+        seed: plan.seed ^ (u64::from(base).wrapping_mul(0x9E37_79B9)),
+        ..plan.client.clone()
+    };
+    let mut client = match MuxClient::connect(addr, base, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            outcome.error = Some(format!("mux{client_index}: connect failed: {e}"));
+            return outcome;
+        }
+    };
+    for j in 1..k {
+        if let Err(e) = client.bind(base + j as u32) {
+            outcome.error = Some(format!("mux{client_index}: bind p{} failed: {e}", base + j as u32));
+            outcome.busy_retries += client.busy_retries;
+            return outcome;
+        }
+    }
+
+    struct Slot {
+        state: MuxState,
+        remaining: usize,
+        ready_at: Instant,
+        sent_at: Instant,
+        resends: u32,
+    }
+    let now = Instant::now();
+    let mut slots: Vec<Slot> = (0..k)
+        .map(|_| Slot {
+            state: MuxState::Thinking,
+            remaining: plan.sessions_per_client,
+            ready_at: now,
+            sent_at: now,
+            resends: 0,
+        })
+        .collect();
+    let total = k * plan.sessions_per_client;
+    let kill_at = kill_me.then(|| (total / 2).max(1));
+    let grant_timeout = Duration::from_millis(plan.grant_timeout_ms.max(1));
+    // Short poll tick so newly-thought-out processes go hungry promptly
+    // even while another process's grant is pending.
+    let tick = grant_timeout.min(Duration::from_millis(25));
+
+    loop {
+        if kill_at == Some(outcome.completed) && !outcome.killed {
+            client.kill();
+            outcome.killed = true;
+            let t0 = Instant::now();
+            match client.reconnect() {
+                Ok(paths) => {
+                    let ms = t0.elapsed().as_millis() as u64;
+                    for (process, path) in paths {
+                        outcome.readmissions.push(Readmission { process, path, ms });
+                    }
+                    // Everything in flight died with the socket; restart
+                    // the interrupted cycles from thinking.
+                    let now = Instant::now();
+                    for s in &mut slots {
+                        s.state = MuxState::Thinking;
+                        s.ready_at = now;
+                        s.resends = 0;
+                    }
+                }
+                Err(e) => {
+                    outcome.error = Some(format!("mux{client_index}: reconnect failed: {e}"));
+                    outcome.busy_retries += client.busy_retries;
+                    return outcome;
+                }
+            }
+        }
+        let now = Instant::now();
+        for (j, s) in slots.iter_mut().enumerate() {
+            if s.state == MuxState::Thinking && s.remaining > 0 && now >= s.ready_at {
+                if let Err(e) = client.hungry(base + j as u32) {
+                    outcome.error =
+                        Some(format!("mux{client_index}: hungry p{} failed: {e}", base + j as u32));
+                    outcome.busy_retries += client.busy_retries;
+                    return outcome;
+                }
+                s.state = MuxState::Hungry;
+                s.sent_at = now;
+            }
+        }
+        if slots.iter().all(|s| s.remaining == 0) {
+            break;
+        }
+        match client.next_event(tick) {
+            Ok(MuxEvent::Granted { process, .. }) => {
+                let j = process.wrapping_sub(base) as usize;
+                if let Some(s) = slots.get_mut(j) {
+                    if s.state == MuxState::Hungry {
+                        s.state = MuxState::Eating;
+                    }
+                }
+            }
+            Ok(MuxEvent::Released { process, .. }) => {
+                let j = process.wrapping_sub(base) as usize;
+                if let Some(s) = slots.get_mut(j) {
+                    if s.state == MuxState::Eating {
+                        s.state = MuxState::Thinking;
+                        s.remaining -= 1;
+                        s.resends = 0;
+                        s.ready_at = Instant::now() + Duration::from_millis(plan.think_ms);
+                        outcome.latencies_ms.push(s.sent_at.elapsed().as_millis() as u64);
+                        outcome.completed += 1;
+                    }
+                }
+            }
+            Err(ClientError::Timeout) => {
+                // Re-request for processes whose grant wait expired — a
+                // Hungry sent into a just-crashed incarnation is
+                // legitimately lost and re-requesting is idempotent.
+                let now = Instant::now();
+                for (j, s) in slots.iter_mut().enumerate() {
+                    if s.state == MuxState::Hungry && now.duration_since(s.sent_at) > grant_timeout {
+                        if s.resends >= 3 {
+                            outcome.error = Some(format!(
+                                "mux{client_index}: p{} starved past {} resends",
+                                base + j as u32,
+                                s.resends
+                            ));
+                            outcome.busy_retries += client.busy_retries;
+                            return outcome;
+                        }
+                        s.resends += 1;
+                        s.sent_at = now;
+                        if let Err(e) = client.hungry(base + j as u32) {
+                            outcome.error = Some(format!(
+                                "mux{client_index}: re-hungry p{} failed: {e}",
+                                base + j as u32
+                            ));
+                            outcome.busy_retries += client.busy_retries;
+                            return outcome;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                outcome.error = Some(format!("mux{client_index}: event pump failed: {e}"));
+                outcome.busy_retries += client.busy_retries;
+                return outcome;
+            }
         }
     }
     outcome.busy_retries += client.busy_retries;

@@ -1,71 +1,132 @@
-//! The daemon server: a [`ThreadedDining`] system exposed over TCP or
-//! Unix-domain sockets, one session per dining process.
+//! The daemon server: a dining backend exposed over TCP or Unix-domain
+//! sockets, one session per dining process, many sessions per connection.
 //!
 //! # Threading model
 //!
-//! No async runtime — thread-per-connection over `std::net`, with bounded
-//! crossbeam queues as the only backpressure mechanism:
+//! No async runtime — a small readiness-based reactor over the vendored
+//! epoll shim ([`crate::poll`]):
 //!
-//! * an **acceptor** thread polls the (nonblocking) listener and spawns
-//!   one connection thread per accepted socket;
-//! * each **connection** thread runs the handshake, then loops decoding
-//!   frames off the socket (hungry requests, heartbeat replies, goodbye);
-//! * a **writer** thread per connection drains a *bounded* send queue to
-//!   the socket, so a slow or stalled reader backs pressure up into the
-//!   queue instead of blocking the event pump — when the queue fills, the
-//!   session is declared a slow reader and disconnected;
-//! * one **event pump** thread drains the runtime's live event tap
-//!   ([`ThreadedDining::tap_events`]), translating `StartedEating` /
-//!   `StoppedEating` into `Granted` / `Released` frames, and runs the
-//!   heartbeat sweep.
+//! * an **acceptor** thread polls the (nonblocking) listener for
+//!   readiness and hands accepted sockets to the reactors round-robin;
+//! * **N reactor threads** ([`ServerConfig::reactor_threads`]) each own a
+//!   slab of nonblocking connections. A reactor runs the handshake state
+//!   machine, decodes inbound frames off per-connection read
+//!   accumulators, and drains per-connection write buffers — there are
+//!   no per-connection threads, no writer threads, and no bounded
+//!   queues; a connection whose write buffer exceeds
+//!   [`ServerConfig::send_queue`] frames is a slow reader and is
+//!   disconnected. Heartbeat strikes and handshake deadlines are swept
+//!   by the owning reactor between polls. Cross-thread work (event
+//!   frames from the pump, admission completions) arrives on a command
+//!   queue flushed by an eventfd wakeup;
+//! * one **event pump** thread drains the backend's live event tap,
+//!   translating `StartedEating` / `StoppedEating` into process-tagged
+//!   `Granted` / `Released` frames, and runs the detach-TTL reaper
+//!   ([`ServerConfig::detach_ttl_ms`]).
+//!
+//! Blocking work never runs on a reactor: a readmission that must wait
+//! for the runtime's recovery notice is parked on a short-lived admission
+//! worker thread that posts its verdict back to the reactor's queue.
+//!
+//! # Multiplexed sessions
+//!
+//! A connection authenticates one *primary* process with `Hello` /
+//! `Resume`, then may bind any number of *secondary* processes with
+//! `Bind { process }` — the gateway/proxy shape, where one socket fronts
+//! a whole fleet of dining processes. Event frames are process-tagged so
+//! the client can demultiplex. An ungraceful disconnect crashes every
+//! process bound on the connection; `Unbind` detaches one gracefully.
 //!
 //! # Fault-tolerant sessions
 //!
 //! A connection death is mapped onto the paper's crash-recovery fault
-//! model: the bound process is crashed in the dining system, and the
-//! session is kept *detached* server-side. A client reconnecting with its
-//! session credentials revives the process ([`ThreadedDining::recover`]),
-//! and the `Welcome` tags which recovery path the new incarnation took —
-//! the journal fast-resume or the blank rejoin handshake — straight from
-//! the runtime's [`RestartNotice`] stream.
+//! model: each bound process is crashed in the dining system, and its
+//! session is kept *detached* server-side. A client reconnecting with
+//! its session credentials revives the process, and the `Welcome` (or
+//! `Bound`) tags which recovery path the new incarnation took — the
+//! journal fast-resume or the blank rejoin handshake — straight from the
+//! runtime's [`RestartNotice`] stream. Detached sessions do not live
+//! forever: after [`ServerConfig::detach_ttl_ms`] without a reconnect
+//! the reaper deletes the slot, invalidating its credentials and
+//! returning its admission capacity (the crash-stop case).
+//!
+//! # Backends
+//!
+//! [`BackendSpec::Threaded`] runs the full [`ThreadedDining`] runtime —
+//! one OS thread per philosopher, journal recovery, the works.
+//! [`BackendSpec::Scale`] fronts the bit-packed scale-tier kernel
+//! ([`ekbd_sim::InteractiveScale`]) instead: a single driver thread
+//! serves hunger injections for up to hundreds of thousands of
+//! processes. The scale kernel is fault-free, so disconnects there
+//! detach without crashing and every resume is trivial.
 //!
 //! # Overload shedding
 //!
 //! Admission is capped ([`ServerConfig::max_sessions`]): a `Hello` past
-//! the cap is answered with a clean `Busy` frame carrying a retry hint,
-//! and nothing is allocated server-side. Established sessions are never
-//! shed by admission pressure — only by their own slow reading or
-//! heartbeat silence.
+//! the cap is answered with a clean `Busy` frame carrying a retry hint
+//! (a `Bind` with `BindReject { code: REJECT_BUSY }`), and nothing is
+//! allocated server-side. Established sessions are never shed by
+//! admission pressure — only by their own slow reading or heartbeat
+//! silence.
 
 use crate::conn::{splitmix64, Conn, Listener, ServerAddr};
+use crate::poll::{Poller, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::wire::{
     decode_frame, encode_frame, AdmitPath, Frame, REJECT_ALREADY_BOUND, REJECT_BAD_PROCESS,
-    REJECT_UNKNOWN_SESSION,
+    REJECT_BUSY, REJECT_UNKNOWN_SESSION,
 };
-use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ekbd_dining::{DiningObs, RecoveryMsg, RestartPath};
-use ekbd_graph::{ConflictGraph, ProcessId};
+use ekbd_graph::{coloring, ConflictGraph, ProcessId};
 use ekbd_metrics::{LinkSummary, SchedEvent};
 use ekbd_runtime::{RestartNotice, RuntimeConfig, ThreadedDining};
+use ekbd_sim::{InteractiveScale, ScaleConfig, ScaleRunReport, Time};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Reserved poll token for a reactor's wakeup eventfd; connection tokens
+/// are slab indices and can never reach it.
+const WAKER_TOKEN: u64 = u64::MAX;
+
+/// Read-accumulator ceiling while an admission is parked on a worker: a
+/// client pipelining more than this before its `Welcome` is broken.
+const ADMIT_ACC_CAP: usize = 64 * 1024;
+
+/// Which dining backend a server fronts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// The full crash-recovery runtime: one OS thread per philosopher,
+    /// journal resume, restart notices.
+    Threaded,
+    /// The bit-packed scale-tier kernel in interactive mode, driven by a
+    /// single thread. Fault-free: disconnects detach without crashing.
+    Scale {
+        /// Kernel seed; virtual-time dynamics are a pure function of it.
+        seed: u64,
+    },
+}
 
 /// Configuration of a [`DaemonServer`].
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// The threaded dining runtime under the sessions.
+    /// The threaded dining runtime under the sessions (ignored by the
+    /// scale backend).
     pub runtime: RuntimeConfig,
+    /// Which backend to front.
+    pub backend: BackendSpec,
+    /// Reactor threads sharing the connection load.
+    pub reactor_threads: usize,
     /// Admission cap: a `Hello` that would create session number
     /// `max_sessions + 1` is shed with a `Busy` frame instead.
     pub max_sessions: usize,
-    /// Capacity of each connection's bounded send queue. A session whose
-    /// queue fills (a reader too slow for its own event stream) is
-    /// disconnected rather than allowed to stall the pump.
+    /// Capacity, in frames, of each connection's write buffer. A session
+    /// whose buffer fills (a reader too slow for its own event stream)
+    /// is disconnected rather than allowed to hold memory hostage.
     pub send_queue: usize,
     /// Heartbeat sweep period in milliseconds.
     pub heartbeat_ms: u64,
@@ -76,17 +137,30 @@ pub struct ServerConfig {
     pub heartbeat_strikes: u32,
     /// Retry hint carried in `Busy` shed responses, in milliseconds.
     pub busy_retry_ms: u32,
+    /// Handshake deadline in milliseconds: a dialer that has not
+    /// completed `Hello`/`Resume` by then is dropped (counted in
+    /// [`ServerStats::handshake_timeouts`], *not* as a protocol error).
+    pub handshake_ms: u64,
+    /// Detached-session time-to-live in milliseconds: a session that
+    /// stays detached this long is reaped — credentials invalidated,
+    /// admission slot reclaimed. Covers the crash-stop client that will
+    /// never resume.
+    pub detach_ttl_ms: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             runtime: RuntimeConfig::default(),
+            backend: BackendSpec::Threaded,
+            reactor_threads: 2,
             max_sessions: 64,
             send_queue: 64,
             heartbeat_ms: 200,
             heartbeat_strikes: 5,
             busy_retry_ms: 100,
+            handshake_ms: 2_000,
+            detach_ttl_ms: 30_000,
         }
     }
 }
@@ -103,14 +177,20 @@ pub struct ServerStats {
     pub resumed: u64,
     /// Readmissions that fell back to the blank rejoin handshake.
     pub rejoined: u64,
-    /// `Hello`s shed with `Busy` at the admission cap.
+    /// `Hello`s and `Bind`s shed with busy answers at the admission cap.
     pub shed_busy: u64,
-    /// Sessions disconnected for filling their bounded send queue.
+    /// Connections disconnected for filling their write buffer.
     pub shed_slow: u64,
-    /// Sessions disconnected by the heartbeat suspicion gate.
+    /// Connections disconnected by the heartbeat suspicion gate.
     pub heartbeat_drops: u64,
     /// Connections dropped for malformed or out-of-protocol frames.
     pub protocol_errors: u64,
+    /// Dialers dropped for silence at the handshake deadline — connected
+    /// but never spoke. Deliberately *not* a protocol error: the peer
+    /// broke no framing rule, it just never said anything.
+    pub handshake_timeouts: u64,
+    /// Detached sessions deleted by the TTL reaper.
+    pub reaped: u64,
 }
 
 #[derive(Default)]
@@ -123,6 +203,8 @@ struct AtomicStats {
     shed_slow: AtomicU64,
     heartbeat_drops: AtomicU64,
     protocol_errors: AtomicU64,
+    handshake_timeouts: AtomicU64,
+    reaped: AtomicU64,
 }
 
 impl AtomicStats {
@@ -136,6 +218,8 @@ impl AtomicStats {
             shed_slow: self.shed_slow.load(Ordering::Relaxed),
             heartbeat_drops: self.heartbeat_drops.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            handshake_timeouts: self.handshake_timeouts.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,51 +228,205 @@ impl AtomicStats {
 pub struct ServerRun {
     /// The full scheduling trace of the dining system.
     pub events: Vec<SchedEvent>,
-    /// Link-layer counters (all zero when the reliable link is off).
+    /// Link-layer counters (all zero when the reliable link is off, and
+    /// for the scale backend).
     pub link: LinkSummary,
-    /// Every restart the runtime performed, tagged with its path.
+    /// Every restart the runtime performed, tagged with its path —
+    /// snapshotted *after* runtime teardown, so restarts completing
+    /// during the shutdown window are never dropped.
     pub restarts: Vec<RestartNotice>,
+    /// The scale kernel's run report, when the scale backend served.
+    pub scale: Option<ScaleRunReport>,
     /// Final server counters.
     pub stats: ServerStats,
 }
 
-/// A live connection attached to a session.
-struct Attached {
-    /// Bounded queue feeding the connection's writer thread.
-    out: Sender<Vec<u8>>,
-    /// Clone of the socket, used only to hard-close it from the pump.
-    stream: Conn,
-    /// Consecutive silent heartbeat sweeps; reset by any inbound frame.
-    strikes: Arc<AtomicU32>,
-    /// Which attachment this is, so a connection thread only cleans up
-    /// its own binding (the process may have been rebound since).
-    generation: u64,
+// ---------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------
+
+enum ScaleCmd {
+    Hungry(u32),
+}
+
+/// The scale backend: one driver thread owning an [`InteractiveScale`]
+/// kernel, fed hunger injections over a channel, emitting wall-clock-
+/// stamped [`SchedEvent`]s to the pump's tap.
+struct ScaleService {
+    tx: Sender<ScaleCmd>,
+    handle: JoinHandle<(Vec<SchedEvent>, ScaleRunReport)>,
+}
+
+impl ScaleService {
+    fn start(graph: &ConflictGraph, seed: u64) -> (ScaleService, Receiver<SchedEvent>) {
+        let colors = coloring::greedy(graph);
+        let mut kernel = InteractiveScale::new(graph, &colors, ScaleConfig::default().seed(seed));
+        let (tx, rx) = unbounded::<ScaleCmd>();
+        let (tap_tx, tap_rx) = unbounded::<SchedEvent>();
+        let handle = std::thread::Builder::new()
+            .name("ekbd-net-scale".into())
+            .spawn(move || {
+                let start = Instant::now();
+                let mut log: Vec<SchedEvent> = Vec::new();
+                let mut obs = Vec::new();
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(ScaleCmd::Hungry(p)) => {
+                            kernel.inject_hungry(p);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    for cmd in rx.try_iter() {
+                        match cmd {
+                            ScaleCmd::Hungry(p) => {
+                                kernel.inject_hungry(p);
+                            }
+                        }
+                    }
+                    obs.clear();
+                    kernel.step(1u64 << 16, &mut obs);
+                    if obs.is_empty() {
+                        continue;
+                    }
+                    let at = start.elapsed().as_millis() as u64;
+                    for o in &obs {
+                        let e = SchedEvent::new(
+                            Time(at),
+                            ProcessId::from(o.process as usize),
+                            if o.started {
+                                DiningObs::StartedEating
+                            } else {
+                                DiningObs::StoppedEating
+                            },
+                        );
+                        log.push(e);
+                        let _ = tap_tx.send(e);
+                    }
+                }
+                (log, kernel.finish())
+            })
+            .expect("spawn scale driver thread");
+        (ScaleService { tx, handle }, tap_rx)
+    }
+
+    fn stop(self) -> (Vec<SchedEvent>, ScaleRunReport) {
+        drop(self.tx);
+        self.handle
+            .join()
+            .unwrap_or_else(|_| (Vec::new(), panic_report()))
+    }
+}
+
+/// Placeholder report for the (never observed in practice) case of a
+/// panicked scale driver.
+fn panic_report() -> ScaleRunReport {
+    ScaleRunReport {
+        n: 0,
+        shards: 0,
+        events: 0,
+        messages: 0,
+        final_tick: 0,
+        eats: Vec::new(),
+        mistakes: u64::MAX,
+        starving: 0,
+        latency: ekbd_sim::LatencyHistogram::new(),
+        excerpts: Vec::new(),
+        wall_nanos: 0,
+    }
+}
+
+/// The dining system behind the sessions.
+enum Backend {
+    Threaded(ThreadedDining<RecoveryMsg>),
+    Scale(ScaleService),
+}
+
+impl Backend {
+    fn make_hungry(&self, p: u32) {
+        match self {
+            Backend::Threaded(sys) => sys.make_hungry(ProcessId::from(p as usize)),
+            Backend::Scale(svc) => {
+                let _ = svc.tx.send(ScaleCmd::Hungry(p));
+            }
+        }
+    }
+
+    fn crash(&self, p: u32) {
+        match self {
+            Backend::Threaded(sys) => sys.crash(ProcessId::from(p as usize)),
+            // The scale kernel is fault-free: a vanished client just
+            // stops injecting hunger.
+            Backend::Scale(_) => {}
+        }
+    }
+
+    fn recover(&self, p: u32) {
+        match self {
+            Backend::Threaded(sys) => sys.recover(ProcessId::from(p as usize)),
+            Backend::Scale(_) => {}
+        }
+    }
+
+    fn restart_paths(&self) -> Vec<RestartNotice> {
+        match self {
+            Backend::Threaded(sys) => sys.restart_paths(),
+            Backend::Scale(_) => Vec::new(),
+        }
+    }
+
+    fn supports_recovery(&self) -> bool {
+        matches!(self, Backend::Threaded(_))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session table
+// ---------------------------------------------------------------------
+
+/// Where a session's live connection lives: which reactor, which slab
+/// slot, and the attachment generation (slots are reused; generations
+/// are not).
+#[derive(Clone, Copy)]
+struct ConnRef {
+    reactor: usize,
+    slot: usize,
+    gen: u64,
 }
 
 /// Server-side session state for one dining process. Survives connection
-/// deaths: `conn` detaches but the slot (and its credentials) remain.
+/// deaths: `conn` detaches but the slot (and its credentials) remain —
+/// until the detach-TTL reaper deletes it.
 struct Session {
     session: u64,
     token: u64,
-    conn: Option<Attached>,
+    conn: Option<ConnRef>,
     /// An admission for this slot is in flight (its recovery wait runs
-    /// outside the sessions lock).
+    /// on a worker thread, outside the sessions lock).
     binding: bool,
-    /// The process was crashed by an ungraceful disconnect and awaits
-    /// `recover` on the next (re)admission.
-    crashed: bool,
-    /// Restart notices for this process already consumed, so each
-    /// readmission waits for *its* notice, not a historical one.
-    restarts_seen: usize,
+    /// When the session last detached; `None` while attached. The reaper
+    /// deletes detached slots older than the TTL.
+    detached_at: Option<Instant>,
 }
 
 struct ServerInner {
     cfg: ServerConfig,
     graph_len: usize,
-    /// `Option` so [`DaemonServer::shutdown`] can take the system out
-    /// while detached connection threads still hold the `Arc`.
-    sys: Mutex<Option<ThreadedDining<RecoveryMsg>>>,
+    /// `Option` so [`DaemonServer::shutdown`] can take the backend out
+    /// for consuming teardown while reactors still hold the `Arc`.
+    backend: Mutex<Option<Backend>>,
     sessions: Mutex<HashMap<u32, Session>>,
+    /// Per-process crashed-awaiting-recovery flags. Lives *outside* the
+    /// session table so reaping a crashed session does not forget that
+    /// the underlying process still needs `recover` on readmission.
+    crashed: Mutex<Vec<bool>>,
+    /// Per-process count of restart notices already consumed, so each
+    /// readmission waits for *its* notice, not a historical one. Also
+    /// outside the session table, for the same reason.
+    restarts_seen: Mutex<Vec<usize>>,
+    /// Reactor command queues, for the pump and the acceptor. Set once
+    /// at startup (reactors need the inner first).
+    reactors: OnceLock<Vec<Arc<ReactorShared>>>,
     next_session: AtomicU64,
     next_generation: AtomicU64,
     token_rng: Mutex<u64>,
@@ -196,74 +434,214 @@ struct ServerInner {
     stats: AtomicStats,
 }
 
-impl ServerInner {
-    fn with_sys<R>(&self, f: impl FnOnce(&ThreadedDining<RecoveryMsg>) -> R) -> Option<R> {
-        self.sys.lock().as_ref().map(f)
-    }
+/// Why a binding claim was refused.
+enum ClaimError {
+    BadProcess,
+    AlreadyBound,
+    UnknownSession,
+    Busy,
+}
 
-    /// Queues `frame` to the session bound to `p`, if any. A full queue
-    /// means the reader is slower than its own event stream: the session
-    /// is hard-closed so backpressure never reaches the pump.
-    fn push_to(&self, p: u32, frame: &Frame) {
-        let bytes = encode_frame(frame);
-        let sessions = self.sessions.lock();
-        let Some(att) = sessions.get(&p).and_then(|s| s.conn.as_ref()) else {
-            return;
-        };
-        match att.out.try_send(bytes) {
-            Ok(()) => {}
-            Err(TrySendError::Full(_)) => {
-                self.stats.shed_slow.fetch_add(1, Ordering::Relaxed);
-                att.stream.kill();
-            }
-            // Writer already gone; the reader's cleanup will detach.
-            Err(TrySendError::Disconnected(_)) => {}
+impl ClaimError {
+    /// The reject code for a `Bind` refusal.
+    fn bind_code(&self) -> u8 {
+        match self {
+            ClaimError::BadProcess => REJECT_BAD_PROCESS,
+            ClaimError::AlreadyBound => REJECT_ALREADY_BOUND,
+            ClaimError::UnknownSession => REJECT_UNKNOWN_SESSION,
+            ClaimError::Busy => REJECT_BUSY,
         }
     }
 
+    /// The answer frame for a handshake refusal.
+    fn handshake_frame(&self, busy_retry_ms: u32) -> Frame {
+        match self {
+            ClaimError::Busy => Frame::Busy {
+                retry_after_ms: busy_retry_ms,
+            },
+            other => Frame::Reject {
+                code: other.bind_code(),
+            },
+        }
+    }
+}
+
+impl ServerInner {
+    fn with_backend<R>(&self, f: impl FnOnce(&Backend) -> R) -> Option<R> {
+        self.backend.lock().as_ref().map(f)
+    }
+
+    /// Claims the binding slot for `process` under the lock: validates,
+    /// creates the slot if admission allows, and marks it `binding` so
+    /// concurrent handshakes for the same process observe
+    /// `ALREADY_BOUND`. On success returns `(crashed, restarts_seen)` of
+    /// the claimed process. The caller counts `shed_busy`.
+    fn claim_binding(
+        &self,
+        process: u32,
+        check: impl FnOnce(Option<&Session>) -> Result<(), ClaimError>,
+    ) -> Result<(bool, usize), ClaimError> {
+        if process as usize >= self.graph_len {
+            return Err(ClaimError::BadProcess);
+        }
+        let mut sessions = self.sessions.lock();
+        let slot = sessions.get(&process);
+        if slot.is_some_and(|s| s.conn.is_some() || s.binding) {
+            return Err(ClaimError::AlreadyBound);
+        }
+        check(slot)?;
+        if let Some(slot) = sessions.get_mut(&process) {
+            slot.binding = true;
+        } else {
+            if sessions.len() >= self.cfg.max_sessions {
+                return Err(ClaimError::Busy);
+            }
+            sessions.insert(
+                process,
+                Session {
+                    session: 0,
+                    token: 0,
+                    conn: None,
+                    binding: true,
+                    detached_at: None,
+                },
+            );
+        }
+        let crashed = self.crashed.lock()[process as usize];
+        let seen = self.restarts_seen.lock()[process as usize];
+        Ok((crashed, seen))
+    }
+
+    /// Completes a claimed binding: stamps credentials and attaches the
+    /// connection reference.
+    #[allow(clippy::too_many_arguments)] // admission state is this wide
+    fn complete_admission(
+        &self,
+        process: u32,
+        session: u64,
+        token: u64,
+        seen: usize,
+        path: AdmitPath,
+        conn: ConnRef,
+    ) {
+        {
+            let mut sessions = self.sessions.lock();
+            let slot = sessions.get_mut(&process).expect("claimed binding exists");
+            slot.session = session;
+            slot.token = token;
+            slot.binding = false;
+            slot.detached_at = None;
+            slot.conn = Some(conn);
+        }
+        self.crashed.lock()[process as usize] = false;
+        self.restarts_seen.lock()[process as usize] = seen;
+        self.count_admission(path);
+    }
+
+    /// Unwinds a claimed binding whose connection died while its
+    /// admission worker was waiting: the slot detaches (the worker
+    /// already revived the process, so it is no longer crashed) and no
+    /// admission is counted.
+    fn rollback_claim(&self, process: u32, seen: usize) {
+        {
+            let mut sessions = self.sessions.lock();
+            if let Some(slot) = sessions.get_mut(&process) {
+                slot.binding = false;
+                slot.detached_at = Some(Instant::now());
+            }
+        }
+        self.crashed.lock()[process as usize] = false;
+        self.restarts_seen.lock()[process as usize] = seen;
+    }
+
+    /// Detaches `process` if `gen` still owns its attachment. Returns
+    /// whether this call performed the detach (the process may have been
+    /// rebound since). An ungraceful detach marks the process crashed
+    /// when the backend can recover it.
+    fn detach_process(&self, process: u32, gen: u64, graceful: bool) -> bool {
+        {
+            let mut sessions = self.sessions.lock();
+            let Some(slot) = sessions.get_mut(&process) else {
+                return false;
+            };
+            if !slot.conn.as_ref().is_some_and(|c| c.gen == gen) {
+                return false;
+            }
+            slot.conn = None;
+            slot.detached_at = Some(Instant::now());
+        }
+        if !graceful && self.with_backend(|b| b.supports_recovery()).unwrap_or(false) {
+            self.crashed.lock()[process as usize] = true;
+        }
+        true
+    }
+
+    /// The detach-TTL reaper (pump thread): deletes sessions that have
+    /// been detached longer than the TTL. Their credentials die with
+    /// them and their admission capacity returns to the pool; a crashed
+    /// process stays crashed in the backend until some future `Hello`
+    /// revives it.
+    fn reap_detached(&self) {
+        let ttl = Duration::from_millis(self.cfg.detach_ttl_ms.max(1));
+        let mut sessions = self.sessions.lock();
+        let before = sessions.len();
+        sessions.retain(|_, s| {
+            s.conn.is_some() || s.binding || s.detached_at.is_none_or(|t| t.elapsed() < ttl)
+        });
+        let reaped = (before - sessions.len()) as u64;
+        if reaped > 0 {
+            self.stats.reaped.fetch_add(reaped, Ordering::Relaxed);
+        }
+    }
+
+    /// Queues `frame` to the session bound to `p`, if any, by posting to
+    /// the owning reactor.
+    fn push_to(&self, p: u32, frame: &Frame) {
+        let conn = {
+            let sessions = self.sessions.lock();
+            match sessions.get(&p).and_then(|s| s.conn.as_ref()) {
+                Some(c) => *c,
+                None => return,
+            }
+        };
+        if let Some(reactors) = self.reactors.get() {
+            reactors[conn.reactor].post(Cmd::Send {
+                slot: conn.slot,
+                gen: conn.gen,
+                bytes: encode_frame(frame),
+            });
+        }
+    }
+
+    /// Translates a backend event into a process-tagged session frame.
     fn route(&self, e: SchedEvent) {
+        let process = e.process.index() as u32;
         let frame = match e.obs {
-            DiningObs::StartedEating => Frame::Granted { at_ms: e.time.0 },
-            DiningObs::StoppedEating => Frame::Released { at_ms: e.time.0 },
+            DiningObs::StartedEating => Frame::Granted {
+                process,
+                at_ms: e.time.0,
+            },
+            DiningObs::StoppedEating => Frame::Released {
+                process,
+                at_ms: e.time.0,
+            },
             _ => return,
         };
-        self.push_to(e.process.index() as u32, &frame);
-    }
-
-    /// One heartbeat sweep: every attached session earns a strike and a
-    /// fresh `Ping`; a session past the strike gate is hard-closed (its
-    /// connection thread then crashes the process and detaches).
-    fn heartbeat_sweep(&self, nonce: u32) {
-        let mut alive: Vec<u32> = Vec::new();
-        {
-            let sessions = self.sessions.lock();
-            for (&p, slot) in sessions.iter() {
-                let Some(att) = &slot.conn else { continue };
-                let strikes = att.strikes.fetch_add(1, Ordering::Relaxed) + 1;
-                if strikes > self.cfg.heartbeat_strikes {
-                    self.stats.heartbeat_drops.fetch_add(1, Ordering::Relaxed);
-                    att.stream.kill();
-                } else {
-                    alive.push(p);
-                }
-            }
-        }
-        for p in alive {
-            self.push_to(p, &Frame::Ping { nonce });
-        }
+        self.push_to(process, &frame);
     }
 
     /// Revives a crashed process and reports which recovery path its new
     /// incarnation took, by watching the runtime's restart notices.
-    /// Returns the updated consumed-notice count alongside the path.
+    /// Blocking — runs on admission worker threads only, never on a
+    /// reactor. Returns the updated consumed-notice count with the path.
     fn recover_and_classify(&self, p: u32, seen: usize) -> (usize, AdmitPath) {
         let pid = ProcessId::from(p as usize);
-        self.with_sys(|sys| sys.recover(pid));
+        self.with_backend(|b| b.recover(p));
         let deadline = Instant::now() + Duration::from_secs(3);
         loop {
             let mine = self
-                .with_sys(|sys| {
-                    sys.restart_paths()
+                .with_backend(|b| {
+                    b.restart_paths()
                         .into_iter()
                         .filter(|n| n.process == pid)
                         .collect::<Vec<RestartNotice>>()
@@ -294,367 +672,811 @@ impl ServerInner {
     }
 }
 
-/// What a connection's admission decided.
-enum Admission {
-    /// Session admitted: serve it.
-    Admitted {
+// ---------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------
+
+/// Cross-thread commands into a reactor, drained on eventfd wakeup.
+enum Cmd {
+    /// Adopt a freshly accepted connection into the slab.
+    Adopt(Conn),
+    /// Queue bytes to slot `slot` if generation `gen` still lives there.
+    Send { slot: usize, gen: u64, bytes: Vec<u8> },
+    /// An admission worker finished its recovery wait.
+    AdmissionDone {
+        slot: usize,
+        gen: u64,
         process: u32,
-        generation: u64,
-        out_rx: Receiver<Vec<u8>>,
-        strikes: Arc<AtomicU32>,
-        welcome: Frame,
+        session: u64,
+        token: u64,
+        seen: usize,
+        path: AdmitPath,
+        primary: bool,
     },
-    /// Answered (`Busy` / `Reject`) and done: close the connection.
-    Answered(Frame),
-    /// Malformed handshake: close without answering.
-    Drop,
+    /// Close every connection and exit once the slab drains.
+    Shutdown,
 }
 
-/// Claims the binding slot for `p` under the lock: validates, creates the
-/// slot if admission allows, and marks it `binding` so concurrent
-/// handshakes for the same process observe `ALREADY_BOUND`. On success
-/// returns `(crashed, restarts_seen)` of the claimed slot.
-fn claim_binding(
-    inner: &ServerInner,
-    process: u32,
-    check: impl FnOnce(Option<&Session>) -> Result<(), Frame>,
-) -> Result<(bool, usize), Admission> {
-    if process as usize >= inner.graph_len {
-        return Err(Admission::Answered(Frame::Reject {
-            code: REJECT_BAD_PROCESS,
-        }));
-    }
-    let mut sessions = inner.sessions.lock();
-    let slot = sessions.get(&process);
-    if slot.is_some_and(|s| s.conn.is_some() || s.binding) {
-        return Err(Admission::Answered(Frame::Reject {
-            code: REJECT_ALREADY_BOUND,
-        }));
-    }
-    if let Err(answer) = check(slot) {
-        return Err(Admission::Answered(answer));
-    }
-    if let Some(slot) = sessions.get_mut(&process) {
-        slot.binding = true;
-        return Ok((slot.crashed, slot.restarts_seen));
-    }
-    if sessions.len() >= inner.cfg.max_sessions {
-        inner.stats.shed_busy.fetch_add(1, Ordering::Relaxed);
-        return Err(Admission::Answered(Frame::Busy {
-            retry_after_ms: inner.cfg.busy_retry_ms,
-        }));
-    }
-    sessions.insert(
-        process,
-        Session {
-            session: 0,
-            token: 0,
-            conn: None,
-            binding: true,
-            crashed: false,
-            restarts_seen: 0,
-        },
-    );
-    Ok((false, 0))
+struct ReactorShared {
+    queue: Mutex<VecDeque<Cmd>>,
+    waker: Waker,
 }
 
-/// Completes a claimed binding: installs the attachment (with the socket
-/// clone the pump uses to hard-close) and stamps credentials.
-fn install(
-    inner: &ServerInner,
-    process: u32,
-    session: u64,
-    token: u64,
-    restarts_seen: usize,
-    path: AdmitPath,
-    stream: Conn,
-) -> Admission {
-    let (out_tx, out_rx) = bounded::<Vec<u8>>(inner.cfg.send_queue.max(1));
-    let strikes = Arc::new(AtomicU32::new(0));
-    let generation = inner.next_generation.fetch_add(1, Ordering::Relaxed);
-    let mut sessions = inner.sessions.lock();
-    let slot = sessions.get_mut(&process).expect("claimed binding exists");
-    slot.session = session;
-    slot.token = token;
-    slot.restarts_seen = restarts_seen;
-    slot.crashed = false;
-    slot.binding = false;
-    slot.conn = Some(Attached {
-        out: out_tx,
-        stream,
-        strikes: Arc::clone(&strikes),
-        generation,
-    });
-    Admission::Admitted {
-        process,
-        generation,
-        out_rx,
-        strikes,
-        welcome: Frame::Welcome {
-            session,
-            token,
-            path,
-        },
+impl ReactorShared {
+    fn post(&self, cmd: Cmd) {
+        self.queue.lock().push_back(cmd);
+        self.waker.wake();
     }
 }
 
-fn admit(inner: &Arc<ServerInner>, first: Frame, stream: Conn) -> Admission {
-    match first {
-        Frame::Hello { process } => {
-            let (crashed, seen) = match claim_binding(inner, process, |_| Ok(())) {
-                Ok(c) => c,
-                Err(a) => return a,
-            };
-            // A crashed process is revived before its fresh rebinding,
-            // and the recovery path reported honestly even though the
-            // client presented no credentials — the journal replays
-            // regardless of who asks.
-            let (seen, path) = if crashed {
-                inner.recover_and_classify(process, seen)
-            } else {
-                (seen, AdmitPath::Fresh)
-            };
-            inner.count_admission(path);
-            let session = inner.next_session.fetch_add(1, Ordering::Relaxed) + 1;
-            let token = splitmix64(&mut inner.token_rng.lock());
-            install(inner, process, session, token, seen, path, stream)
-        }
-        Frame::Resume {
-            process,
-            session,
-            token,
-        } => {
-            let checked = claim_binding(inner, process, |slot| match slot {
-                Some(s) if s.session == session && s.token == token => Ok(()),
-                _ => Err(Frame::Reject {
-                    code: REJECT_UNKNOWN_SESSION,
-                }),
-            });
-            let (crashed, seen) = match checked {
-                Ok(c) => c,
-                Err(a) => return a,
-            };
-            let (seen, path) = if crashed {
-                inner.recover_and_classify(process, seen)
-            } else {
-                // Detached gracefully (`Bye`): nothing was lost, the
-                // session resumes trivially.
-                (seen, AdmitPath::Resumed)
-            };
-            inner.count_admission(path);
-            install(inner, process, session, token, seen, path, stream)
-        }
-        _ => {
-            inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            Admission::Drop
-        }
-    }
+/// Connection lifecycle within a reactor.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the first frame (`Hello`/`Resume`), under deadline.
+    Handshaking,
+    /// Primary admission parked on a worker; inbound bytes buffer.
+    Admitting,
+    /// Serving: primary bound, frames flow, `Bind` accepted.
+    Open,
+    /// Terminal answer queued; close once the write buffer drains.
+    Draining,
 }
 
-/// How a served connection ended.
-enum Ended {
-    /// Client said `Bye`: detach without crashing the process.
-    Graceful,
-    /// EOF, socket error, malformed frame, or server shutdown: crash the
-    /// process and keep the session detached for a future `Resume`.
-    Ungraceful,
+/// One slab entry: a nonblocking connection with its read accumulator
+/// and write buffer.
+struct ConnEntry {
+    conn: Conn,
+    /// Attachment generation shared by every process bound on this
+    /// connection; stale cross-thread commands are discarded by it.
+    gen: u64,
+    acc: Vec<u8>,
+    wq: VecDeque<Vec<u8>>,
+    /// Bytes of `wq.front()` already written.
+    wpos: usize,
+    /// Readiness mask currently registered with the poller.
+    interest: u32,
+    phase: Phase,
+    /// Processes bound on this connection (primary first).
+    bound: Vec<u32>,
+    /// Consecutive silent heartbeat sweeps; any inbound byte resets it.
+    strikes: u32,
+    /// Outstanding admission workers; the slot is not reusable until
+    /// they all report back, even after death.
+    pending: u32,
+    dead: bool,
+    /// Handshake deadline; `None` once admitted.
+    deadline: Option<Instant>,
 }
 
-/// Reads whole frames off `stream` until `deadline`, returning the first
-/// complete one (handshake helper). Leftover bytes stay in `acc`.
-fn read_one_frame(stream: &mut Conn, acc: &mut Vec<u8>, deadline: Instant) -> Result<Frame, Ended> {
-    let mut chunk = [0u8; 1024];
-    loop {
-        match decode_frame(acc) {
-            Ok(Some((frame, n))) => {
-                acc.drain(..n);
-                return Ok(frame);
-            }
-            Ok(None) => {}
-            Err(_) => return Err(Ended::Ungraceful),
-        }
-        if Instant::now() >= deadline {
-            return Err(Ended::Ungraceful);
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(Ended::Ungraceful),
-            Ok(n) => acc.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
-            Err(_) => return Err(Ended::Ungraceful),
-        }
-    }
-}
-
-/// One connection, handshake to goodbye. Runs on its own thread.
-fn serve_conn(inner: Arc<ServerInner>, mut stream: Conn) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-    let mut acc: Vec<u8> = Vec::with_capacity(256);
-    let handshake_deadline = Instant::now() + Duration::from_secs(2);
-    let first = match read_one_frame(&mut stream, &mut acc, handshake_deadline) {
-        Ok(f) => f,
-        Err(_) => {
-            inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            stream.kill();
-            return;
-        }
-    };
-    let clone_for_pump = match stream.try_clone() {
-        Ok(c) => c,
-        Err(_) => {
-            stream.kill();
-            return;
-        }
-    };
-    let admission = admit(&inner, first, clone_for_pump);
-    let (process, generation, out_rx, strikes, welcome) = match admission {
-        Admission::Admitted {
-            process,
-            generation,
-            out_rx,
-            strikes,
-            welcome,
-        } => (process, generation, out_rx, strikes, welcome),
-        Admission::Answered(frame) => {
-            let _ = stream.write_all(&encode_frame(&frame));
-            stream.kill();
-            return;
-        }
-        Admission::Drop => {
-            stream.kill();
-            return;
-        }
-    };
-    if stream.write_all(&encode_frame(&welcome)).is_err() {
-        detach(&inner, process, generation, Ended::Ungraceful);
-        stream.kill();
-        return;
-    }
-
-    // Writer: owns its socket clone, drains the bounded queue until every
-    // sender is gone (detach) or the socket dies.
-    let writer = match stream.try_clone() {
-        Ok(mut w) => std::thread::spawn(move || {
-            while let Ok(bytes) = out_rx.recv() {
-                if w.write_all(&bytes).is_err() {
-                    break;
+/// Flushes the write buffer as far as the socket allows. `Ok(true)` when
+/// fully drained, `Ok(false)` when the socket would block, `Err` on a
+/// fatal socket error.
+fn flush_entry(entry: &mut ConnEntry) -> io::Result<bool> {
+    while let Some(front) = entry.wq.front() {
+        match entry.conn.write(&front[entry.wpos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                entry.wpos += n;
+                if entry.wpos == front.len() {
+                    entry.wq.pop_front();
+                    entry.wpos = 0;
                 }
             }
-        }),
-        Err(_) => {
-            detach(&inner, process, generation, Ended::Ungraceful);
-            stream.kill();
-            return;
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
-    };
-
-    let ended = reader_loop(&inner, &mut stream, &mut acc, process, &strikes);
-    detach(&inner, process, generation, ended);
-    stream.kill();
-    let _ = writer.join();
+    }
+    Ok(true)
 }
 
-/// Decodes and dispatches inbound frames until the connection ends.
-fn reader_loop(
-    inner: &Arc<ServerInner>,
-    stream: &mut Conn,
-    acc: &mut Vec<u8>,
-    process: u32,
-    strikes: &AtomicU32,
-) -> Ended {
-    let pid = ProcessId::from(process as usize);
-    let mut chunk = [0u8; 4096];
-    loop {
+struct Reactor {
+    inner: Arc<ServerInner>,
+    shared: Arc<ReactorShared>,
+    index: usize,
+    poller: Poller,
+    slab: Vec<Option<ConnEntry>>,
+    free: Vec<usize>,
+    nonce: u32,
+    shutting_down: bool,
+}
+
+impl Reactor {
+    fn new(
+        inner: Arc<ServerInner>,
+        shared: Arc<ReactorShared>,
+        index: usize,
+    ) -> io::Result<Reactor> {
+        let poller = Poller::new()?;
+        poller.add(shared.waker.raw_fd(), EPOLLIN, WAKER_TOKEN)?;
+        Ok(Reactor {
+            inner,
+            shared,
+            index,
+            poller,
+            slab: Vec::new(),
+            free: Vec::new(),
+            nonce: 0,
+            shutting_down: false,
+        })
+    }
+
+    fn run(mut self) {
+        let beat = Duration::from_millis(self.inner.cfg.heartbeat_ms.max(1));
+        let mut next_beat = Instant::now() + beat;
+        let mut events: Vec<(u64, u32)> = Vec::new();
         loop {
-            match decode_frame(acc) {
-                Ok(Some((frame, n))) => {
-                    acc.drain(..n);
-                    strikes.store(0, Ordering::Relaxed);
-                    match frame {
-                        Frame::Hungry => {
-                            inner.with_sys(|sys| sys.make_hungry(pid));
-                        }
-                        Frame::Ping { nonce } => {
-                            inner.push_to(process, &Frame::Pong { nonce });
-                        }
-                        Frame::Pong { .. } => {}
-                        Frame::Bye => return Ended::Graceful,
-                        // Anything else is out of protocol mid-session.
-                        _ => {
-                            inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            return Ended::Ungraceful;
-                        }
+            self.drain_cmds();
+            if self.shutting_down && self.slab.iter().all(Option::is_none) {
+                break;
+            }
+            let now = Instant::now();
+            let mut wake_at = next_beat;
+            for e in self.slab.iter().flatten() {
+                if let Some(d) = e.deadline {
+                    if d < wake_at {
+                        wake_at = d;
                     }
                 }
-                Ok(None) => break,
-                Err(_) => {
-                    inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    return Ended::Ungraceful;
+            }
+            let timeout = wake_at.saturating_duration_since(now).as_millis().min(100) as i32;
+            events.clear();
+            let _ = self.poller.wait(&mut events, 128, timeout);
+            for i in 0..events.len() {
+                let (token, ready) = events[i];
+                if token == WAKER_TOKEN {
+                    self.shared.waker.drain();
+                } else {
+                    self.handle_event(token as usize, ready);
+                }
+            }
+            self.drain_cmds();
+            let now = Instant::now();
+            if now >= next_beat {
+                self.heartbeat();
+                next_beat = now + beat;
+            }
+            self.sweep_deadlines(now);
+        }
+    }
+
+    fn drain_cmds(&mut self) {
+        loop {
+            let cmd = self.shared.queue.lock().pop_front();
+            let Some(cmd) = cmd else { break };
+            match cmd {
+                Cmd::Adopt(conn) => self.adopt(conn),
+                Cmd::Send { slot, gen, bytes } => {
+                    let live = self.slab.get(slot).and_then(Option::as_ref);
+                    if live.is_some_and(|e| e.gen == gen && !e.dead) {
+                        self.queue_bytes(slot, bytes);
+                    }
+                }
+                Cmd::AdmissionDone {
+                    slot,
+                    gen,
+                    process,
+                    session,
+                    token,
+                    seen,
+                    path,
+                    primary,
+                } => self.admission_done(slot, gen, process, session, token, seen, path, primary),
+                Cmd::Shutdown => {
+                    self.shutting_down = true;
+                    for slot in 0..self.slab.len() {
+                        self.conn_end(slot, false);
+                    }
                 }
             }
         }
-        if !inner.running.load(Ordering::Relaxed) {
-            return Ended::Ungraceful;
+    }
+
+    fn adopt(&mut self, conn: Conn) {
+        if self.shutting_down {
+            conn.kill();
+            return;
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Ended::Ungraceful,
-            Ok(n) => acc.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
-            Err(_) => return Ended::Ungraceful,
+        if conn.set_nonblocking(true).is_err() {
+            conn.kill();
+            return;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slab.push(None);
+                self.slab.len() - 1
+            }
+        };
+        let gen = self.inner.next_generation.fetch_add(1, Ordering::Relaxed);
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if self.poller.add(conn.raw_fd(), interest, slot as u64).is_err() {
+            conn.kill();
+            self.free.push(slot);
+            return;
+        }
+        let deadline = Instant::now() + Duration::from_millis(self.inner.cfg.handshake_ms.max(1));
+        self.slab[slot] = Some(ConnEntry {
+            conn,
+            gen,
+            acc: Vec::with_capacity(256),
+            wq: VecDeque::new(),
+            wpos: 0,
+            interest,
+            phase: Phase::Handshaking,
+            bound: Vec::new(),
+            strikes: 0,
+            pending: 0,
+            dead: false,
+            deadline: Some(deadline),
+        });
+    }
+
+    fn handle_event(&mut self, slot: usize, ready: u32) {
+        let Some(entry) = self.slab.get(slot).and_then(Option::as_ref) else {
+            return;
+        };
+        if entry.dead {
+            return;
+        }
+        if ready & EPOLLERR != 0 {
+            if entry.phase == Phase::Handshaking {
+                self.fail_handshake(slot, false);
+            } else {
+                self.conn_end(slot, false);
+            }
+            return;
+        }
+        if ready & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
+            self.do_read(slot);
+        }
+        let still = self.slab.get(slot).and_then(Option::as_ref);
+        if ready & EPOLLOUT != 0 && still.is_some_and(|e| !e.dead) {
+            self.flush(slot);
+        }
+    }
+
+    /// Reads everything available into the accumulator, then decodes.
+    fn do_read(&mut self, slot: usize) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let Some(entry) = self.slab[slot].as_mut() else {
+                return;
+            };
+            if entry.dead {
+                return;
+            }
+            match entry.conn.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF without Bye: a handshake that never completed
+                    // is the dialer's protocol failure; an established
+                    // session crashes its processes.
+                    if entry.phase == Phase::Handshaking {
+                        self.fail_handshake(slot, false);
+                    } else {
+                        self.conn_end(slot, false);
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    entry.strikes = 0;
+                    if entry.phase == Phase::Draining {
+                        // Read-and-discard so the peer never sees a reset
+                        // before our terminal answer flushes.
+                        continue;
+                    }
+                    entry.acc.extend_from_slice(&chunk[..n]);
+                    if entry.phase == Phase::Admitting && entry.acc.len() > ADMIT_ACC_CAP {
+                        self.close_protocol_error(slot);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    if entry.phase == Phase::Handshaking {
+                        self.fail_handshake(slot, false);
+                    } else {
+                        self.conn_end(slot, false);
+                    }
+                    return;
+                }
+            }
+        }
+        self.process_frames(slot);
+    }
+
+    /// Decodes and dispatches buffered frames while the phase allows.
+    fn process_frames(&mut self, slot: usize) {
+        loop {
+            let Some(entry) = self.slab[slot].as_mut() else {
+                return;
+            };
+            if entry.dead || !matches!(entry.phase, Phase::Handshaking | Phase::Open) {
+                return;
+            }
+            let frame = match decode_frame(&entry.acc) {
+                Ok(Some((frame, n))) => {
+                    entry.acc.drain(..n);
+                    frame
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    self.close_protocol_error(slot);
+                    return;
+                }
+            };
+            match entry.phase {
+                Phase::Handshaking => self.on_handshake_frame(slot, frame),
+                Phase::Open => self.dispatch_open(slot, frame),
+                _ => unreachable!("checked above"),
+            }
+        }
+    }
+
+    fn on_handshake_frame(&mut self, slot: usize, frame: Frame) {
+        match frame {
+            Frame::Hello { process } => self.begin_primary(slot, process, None),
+            Frame::Resume {
+                process,
+                session,
+                token,
+            } => self.begin_primary(slot, process, Some((session, token))),
+            _ => self.close_protocol_error(slot),
+        }
+    }
+
+    /// Primary admission: claim, then either complete inline (fresh or
+    /// graceful resume) or park the recovery wait on a worker.
+    fn begin_primary(&mut self, slot: usize, process: u32, creds: Option<(u64, u64)>) {
+        let inner = Arc::clone(&self.inner);
+        let claim = match creds {
+            None => inner.claim_binding(process, |_| Ok(())),
+            Some((session, token)) => inner.claim_binding(process, |s| match s {
+                Some(s) if s.session == session && s.token == token => Ok(()),
+                _ => Err(ClaimError::UnknownSession),
+            }),
+        };
+        let (crashed, seen) = match claim {
+            Ok(c) => c,
+            Err(e) => {
+                if matches!(e, ClaimError::Busy) {
+                    inner.stats.shed_busy.fetch_add(1, Ordering::Relaxed);
+                }
+                let answer = e.handshake_frame(inner.cfg.busy_retry_ms);
+                self.drain_close(slot, &answer);
+                return;
+            }
+        };
+        let (session, token, easy_path) = match creds {
+            None => {
+                let session = inner.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+                let token = splitmix64(&mut inner.token_rng.lock());
+                // A fresh binding — even of a slot another session left
+                // behind gracefully — reports the fresh path: no state
+                // was carried over on the client's behalf.
+                (session, token, AdmitPath::Fresh)
+            }
+            // Detached gracefully (`Bye`): nothing was lost, the session
+            // resumes trivially under its existing credentials.
+            Some((s, t)) => (s, t, AdmitPath::Resumed),
+        };
+        if crashed {
+            self.spawn_admission(slot, process, session, token, seen, true);
+        } else {
+            self.finish_admission(slot, process, session, token, seen, easy_path, true);
+        }
+    }
+
+    /// Secondary admission over an established connection.
+    fn on_bind(&mut self, slot: usize, process: u32) {
+        let inner = Arc::clone(&self.inner);
+        match inner.claim_binding(process, |_| Ok(())) {
+            Err(e) => {
+                if matches!(e, ClaimError::Busy) {
+                    inner.stats.shed_busy.fetch_add(1, Ordering::Relaxed);
+                }
+                self.queue_frame(
+                    slot,
+                    &Frame::BindReject {
+                        process,
+                        code: e.bind_code(),
+                    },
+                );
+            }
+            Ok((crashed, seen)) => {
+                let session = inner.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+                let token = splitmix64(&mut inner.token_rng.lock());
+                if crashed {
+                    self.spawn_admission(slot, process, session, token, seen, false);
+                } else {
+                    self.finish_admission(
+                        slot,
+                        process,
+                        session,
+                        token,
+                        seen,
+                        AdmitPath::Fresh,
+                        false,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Parks a crashed-process admission on a worker thread; the reactor
+    /// keeps serving and the verdict comes back as a command.
+    fn spawn_admission(
+        &mut self,
+        slot: usize,
+        process: u32,
+        session: u64,
+        token: u64,
+        seen: usize,
+        primary: bool,
+    ) {
+        let Some(entry) = self.slab[slot].as_mut() else {
+            return;
+        };
+        entry.pending += 1;
+        if primary {
+            entry.phase = Phase::Admitting;
+            entry.deadline = None;
+        }
+        let gen = entry.gen;
+        let inner = Arc::clone(&self.inner);
+        let shared = Arc::clone(&self.shared);
+        let spawned = std::thread::Builder::new()
+            .name("ekbd-net-admit".into())
+            .spawn(move || {
+                let (seen, path) = inner.recover_and_classify(process, seen);
+                shared.post(Cmd::AdmissionDone {
+                    slot,
+                    gen,
+                    process,
+                    session,
+                    token,
+                    seen,
+                    path,
+                    primary,
+                });
+            });
+        if spawned.is_err() {
+            // Could not spawn: unwind the claim and drop the dialer.
+            let entry = self.slab[slot].as_mut().expect("checked above");
+            entry.pending -= 1;
+            self.inner.rollback_claim(process, seen);
+            self.conn_end(slot, false);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // admission state is this wide
+    fn admission_done(
+        &mut self,
+        slot: usize,
+        gen: u64,
+        process: u32,
+        session: u64,
+        token: u64,
+        seen: usize,
+        path: AdmitPath,
+        primary: bool,
+    ) {
+        let Some(entry) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+            // The slot can only be freed once pending drops to zero, so
+            // a missing entry means bookkeeping is broken.
+            debug_assert!(false, "admission verdict for a freed slot");
+            self.inner.rollback_claim(process, seen);
+            return;
+        };
+        entry.pending -= 1;
+        if entry.dead || entry.gen != gen {
+            self.inner.rollback_claim(process, seen);
+            self.gc(slot);
+            return;
+        }
+        self.finish_admission(slot, process, session, token, seen, path, primary);
+    }
+
+    /// Installs a decided admission and answers the client.
+    #[allow(clippy::too_many_arguments)] // admission state is this wide
+    fn finish_admission(
+        &mut self,
+        slot: usize,
+        process: u32,
+        session: u64,
+        token: u64,
+        seen: usize,
+        path: AdmitPath,
+        primary: bool,
+    ) {
+        let Some(entry) = self.slab[slot].as_mut() else {
+            return;
+        };
+        let gen = entry.gen;
+        entry.bound.push(process);
+        if primary {
+            entry.phase = Phase::Open;
+            entry.deadline = None;
+        }
+        self.inner.complete_admission(
+            process,
+            session,
+            token,
+            seen,
+            path,
+            ConnRef {
+                reactor: self.index,
+                slot,
+                gen,
+            },
+        );
+        let answer = if primary {
+            Frame::Welcome {
+                session,
+                token,
+                path,
+            }
+        } else {
+            Frame::Bound { process, path }
+        };
+        self.queue_frame(slot, &answer);
+        if primary {
+            // Frames may have buffered behind the parked admission.
+            self.process_frames(slot);
+        }
+    }
+
+    fn dispatch_open(&mut self, slot: usize, frame: Frame) {
+        match frame {
+            Frame::Hungry { process } => {
+                let bound = self.slab[slot]
+                    .as_ref()
+                    .is_some_and(|e| e.bound.contains(&process));
+                if bound {
+                    self.inner.with_backend(|b| b.make_hungry(process));
+                } else {
+                    self.close_protocol_error(slot);
+                }
+            }
+            Frame::Ping { nonce } => {
+                self.queue_frame(slot, &Frame::Pong { nonce });
+            }
+            Frame::Pong { .. } => {}
+            Frame::Bind { process } => self.on_bind(slot, process),
+            Frame::Unbind { process } => {
+                let entry = self.slab[slot].as_mut().expect("dispatch on live slot");
+                let gen = entry.gen;
+                if let Some(pos) = entry.bound.iter().position(|&p| p == process) {
+                    entry.bound.swap_remove(pos);
+                    self.inner.detach_process(process, gen, true);
+                    self.queue_frame(slot, &Frame::Unbound { process });
+                } else {
+                    self.close_protocol_error(slot);
+                }
+            }
+            Frame::Bye => self.conn_end(slot, true),
+            // Anything else is out of protocol mid-session.
+            _ => self.close_protocol_error(slot),
+        }
+    }
+
+    /// Queues an answer frame and closes once it flushes.
+    fn drain_close(&mut self, slot: usize, frame: &Frame) {
+        let Some(entry) = self.slab[slot].as_mut() else {
+            return;
+        };
+        entry.phase = Phase::Draining;
+        entry.deadline = None;
+        entry.acc.clear();
+        entry.wq.push_back(encode_frame(frame));
+        self.flush(slot);
+    }
+
+    fn queue_frame(&mut self, slot: usize, frame: &Frame) {
+        self.queue_bytes(slot, encode_frame(frame));
+    }
+
+    fn queue_bytes(&mut self, slot: usize, bytes: Vec<u8>) {
+        let Some(entry) = self.slab[slot].as_mut() else {
+            return;
+        };
+        if entry.dead {
+            return;
+        }
+        if entry.wq.len() >= self.inner.cfg.send_queue.max(1) {
+            // The reader is slower than its own event stream.
+            self.inner.stats.shed_slow.fetch_add(1, Ordering::Relaxed);
+            self.conn_end(slot, false);
+            return;
+        }
+        entry.wq.push_back(bytes);
+        self.flush(slot);
+    }
+
+    /// Writes as much as the socket takes, re-arms `EPOLLOUT` while any
+    /// buffer remains, and finishes a draining close once empty.
+    fn flush(&mut self, slot: usize) {
+        let (fatal, drained, phase) = {
+            let Some(entry) = self.slab[slot].as_mut() else {
+                return;
+            };
+            if entry.dead {
+                return;
+            }
+            match flush_entry(entry) {
+                Ok(drained) => {
+                    let want = EPOLLIN | EPOLLRDHUP | if drained { 0 } else { EPOLLOUT };
+                    if want != entry.interest
+                        && self
+                            .poller
+                            .modify(entry.conn.raw_fd(), want, slot as u64)
+                            .is_ok()
+                    {
+                        entry.interest = want;
+                    }
+                    (false, drained, entry.phase)
+                }
+                Err(_) => (true, false, entry.phase),
+            }
+        };
+        if fatal {
+            if phase == Phase::Handshaking {
+                self.fail_handshake(slot, false);
+            } else {
+                self.conn_end(slot, false);
+            }
+        } else if drained && phase == Phase::Draining {
+            self.conn_end(slot, true);
+        }
+    }
+
+    /// One heartbeat sweep over this reactor's open connections.
+    fn heartbeat(&mut self) {
+        self.nonce = self.nonce.wrapping_add(1);
+        let nonce = self.nonce;
+        let mut dead: Vec<usize> = Vec::new();
+        let mut ping: Vec<usize> = Vec::new();
+        for (slot, entry) in self.slab.iter_mut().enumerate() {
+            let Some(entry) = entry else { continue };
+            if entry.dead || entry.phase != Phase::Open {
+                continue;
+            }
+            entry.strikes += 1;
+            if entry.strikes > self.inner.cfg.heartbeat_strikes {
+                dead.push(slot);
+            } else {
+                ping.push(slot);
+            }
+        }
+        for slot in dead {
+            self.inner
+                .stats
+                .heartbeat_drops
+                .fetch_add(1, Ordering::Relaxed);
+            self.conn_end(slot, false);
+        }
+        for slot in ping {
+            self.queue_frame(slot, &Frame::Ping { nonce });
+        }
+    }
+
+    /// Drops handshakes that blew their deadline: counted as timeouts,
+    /// not protocol errors — silence breaks no framing rule.
+    fn sweep_deadlines(&mut self, now: Instant) {
+        let expired: Vec<usize> = self
+            .slab
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, e)| {
+                let e = e.as_ref()?;
+                (!e.dead && e.phase == Phase::Handshaking && e.deadline.is_some_and(|d| d <= now))
+                    .then_some(slot)
+            })
+            .collect();
+        for slot in expired {
+            self.fail_handshake(slot, true);
+        }
+    }
+
+    fn close_protocol_error(&mut self, slot: usize) {
+        self.inner
+            .stats
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        self.conn_end(slot, false);
+    }
+
+    /// A handshake that never completed: `timeout` separates the silent
+    /// dialer from the one that broke framing or hung up mid-word.
+    fn fail_handshake(&mut self, slot: usize, timeout: bool) {
+        let counter = if timeout {
+            &self.inner.stats.handshake_timeouts
+        } else {
+            &self.inner.stats.protocol_errors
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.conn_end(slot, false);
+    }
+
+    /// The single teardown path: detaches every bound process (crashing
+    /// them if ungraceful), deregisters, and hard-closes. The slot is
+    /// recycled once outstanding admission workers report back.
+    fn conn_end(&mut self, slot: usize, graceful: bool) {
+        let (bound, gen) = {
+            let Some(entry) = self.slab.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if entry.dead {
+                return;
+            }
+            entry.dead = true;
+            self.poller.delete(entry.conn.raw_fd());
+            entry.conn.kill();
+            entry.wq.clear();
+            entry.acc.clear();
+            (std::mem::take(&mut entry.bound), entry.gen)
+        };
+        for p in bound {
+            if self.inner.detach_process(p, gen, graceful) && !graceful {
+                self.inner.with_backend(|b| b.crash(p));
+            }
+        }
+        self.gc(slot);
+    }
+
+    /// Frees a dead slot once no admission worker can still address it.
+    fn gc(&mut self, slot: usize) {
+        let freeable = self.slab[slot]
+            .as_ref()
+            .is_some_and(|e| e.dead && e.pending == 0);
+        if freeable {
+            self.slab[slot] = None;
+            self.free.push(slot);
         }
     }
 }
 
-/// The single cleanup path: detaches this connection from its session (if
-/// it is still the current attachment) and maps the disconnect onto the
-/// fault model — ungraceful ends crash the process, `Bye` does not.
-fn detach(inner: &Arc<ServerInner>, process: u32, generation: u64, ended: Ended) {
-    let mut crash = false;
-    {
-        let mut sessions = inner.sessions.lock();
-        if let Some(slot) = sessions.get_mut(&process) {
-            if slot
-                .conn
-                .as_ref()
-                .is_some_and(|att| att.generation == generation)
-            {
-                slot.conn = None;
-                if matches!(ended, Ended::Ungraceful) {
-                    slot.crashed = true;
-                    crash = true;
-                }
-            }
-        }
-    }
-    if crash {
-        inner.with_sys(|sys| sys.crash(ProcessId::from(process as usize)));
-    }
-}
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
 
 /// A running daemon server. Dropping it without calling
 /// [`shutdown`](Self::shutdown) leaves threads running; always shut down.
 pub struct DaemonServer {
     inner: Arc<ServerInner>,
     acceptor: JoinHandle<()>,
+    reactors: Vec<JoinHandle<()>>,
     pump: JoinHandle<()>,
     local_addr: ServerAddr,
 }
 
 impl DaemonServer {
-    /// Binds `addr`, spawns the dining system over `graph`, and starts
-    /// serving sessions.
+    /// Binds `addr`, spawns the configured backend over `graph`, and
+    /// starts serving sessions.
     pub fn start(graph: ConflictGraph, addr: &ServerAddr, cfg: ServerConfig) -> io::Result<Self> {
         let (listener, local_addr) = Listener::bind(addr)?;
         listener.set_nonblocking(true)?;
-        let sys = ThreadedDining::spawn_recoverable(graph.clone(), cfg.runtime.clone());
-        let tap = sys.tap_events();
-        let heartbeat_ms = cfg.heartbeat_ms.max(1);
+        let (backend, tap) = match cfg.backend {
+            BackendSpec::Threaded => {
+                let sys = ThreadedDining::spawn_recoverable(graph.clone(), cfg.runtime.clone());
+                let tap = sys.tap_events();
+                (Backend::Threaded(sys), tap)
+            }
+            BackendSpec::Scale { seed } => {
+                let (svc, tap) = ScaleService::start(&graph, seed);
+                (Backend::Scale(svc), tap)
+            }
+        };
+        let n_reactors = cfg.reactor_threads.max(1);
         let inner = Arc::new(ServerInner {
             cfg,
             graph_len: graph.len(),
-            sys: Mutex::new(Some(sys)),
+            backend: Mutex::new(Some(backend)),
             sessions: Mutex::new(HashMap::new()),
+            crashed: Mutex::new(vec![false; graph.len()]),
+            restarts_seen: Mutex::new(vec![0; graph.len()]),
+            reactors: OnceLock::new(),
             next_session: AtomicU64::new(0),
             next_generation: AtomicU64::new(0),
             token_rng: Mutex::new(0x00EB_D0DA_E500_0001),
@@ -662,24 +1484,62 @@ impl DaemonServer {
             stats: AtomicStats::default(),
         });
 
+        let mut shareds = Vec::with_capacity(n_reactors);
+        let mut reactors = Vec::with_capacity(n_reactors);
+        for i in 0..n_reactors {
+            let shared = Arc::new(ReactorShared {
+                queue: Mutex::new(VecDeque::new()),
+                waker: Waker::new()?,
+            });
+            let reactor = Reactor::new(Arc::clone(&inner), Arc::clone(&shared), i)?;
+            shareds.push(shared);
+            reactors.push(
+                std::thread::Builder::new()
+                    .name(format!("ekbd-net-reactor-{i}"))
+                    .spawn(move || reactor.run())
+                    .expect("spawn reactor thread"),
+            );
+        }
+        inner
+            .reactors
+            .set(shareds)
+            .unwrap_or_else(|_| unreachable!("reactors set once"));
+
         let acceptor = {
             let inner = Arc::clone(&inner);
+            let poller = {
+                let mut p = Poller::new()?;
+                p.add(listener.raw_fd(), EPOLLIN, 0)?;
+                // Probe once so a broken poller fails startup, not the
+                // accept loop.
+                let mut scratch = Vec::new();
+                let _ = p.wait(&mut scratch, 1, 0)?;
+                p
+            };
             std::thread::Builder::new()
                 .name("ekbd-net-accept".into())
                 .spawn(move || {
+                    let mut poller = poller;
+                    let mut events: Vec<(u64, u32)> = Vec::new();
+                    let mut next = 0usize;
                     while inner.running.load(Ordering::Relaxed) {
-                        match listener.accept() {
-                            Ok(stream) => {
-                                inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                                let inner = Arc::clone(&inner);
-                                let _ = std::thread::Builder::new()
-                                    .name("ekbd-net-conn".into())
-                                    .spawn(move || serve_conn(inner, stream));
+                        events.clear();
+                        let _ = poller.wait(&mut events, 8, 50);
+                        if events.is_empty() {
+                            continue;
+                        }
+                        loop {
+                            match listener.accept() {
+                                Ok(conn) => {
+                                    inner.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                                    let reactors =
+                                        inner.reactors.get().expect("reactors initialized");
+                                    reactors[next % reactors.len()].post(Cmd::Adopt(conn));
+                                    next = next.wrapping_add(1);
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                                Err(_) => break,
                             }
-                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(Duration::from_millis(5));
-                            }
-                            Err(_) => std::thread::sleep(Duration::from_millis(5)),
                         }
                     }
                 })
@@ -691,9 +1551,10 @@ impl DaemonServer {
             std::thread::Builder::new()
                 .name("ekbd-net-pump".into())
                 .spawn(move || {
-                    let beat = Duration::from_millis(heartbeat_ms);
-                    let mut last_beat = Instant::now();
-                    let mut nonce: u32 = 0;
+                    let sweep_every = Duration::from_millis(
+                        (inner.cfg.detach_ttl_ms / 4).clamp(5, 250),
+                    );
+                    let mut last_sweep = Instant::now();
                     while inner.running.load(Ordering::Relaxed) {
                         match tap.recv_timeout(Duration::from_millis(10)) {
                             Ok(e) => inner.route(e),
@@ -703,10 +1564,9 @@ impl DaemonServer {
                         for e in tap.try_iter() {
                             inner.route(e);
                         }
-                        if last_beat.elapsed() >= beat {
-                            last_beat = Instant::now();
-                            nonce = nonce.wrapping_add(1);
-                            inner.heartbeat_sweep(nonce);
+                        if last_sweep.elapsed() >= sweep_every {
+                            last_sweep = Instant::now();
+                            inner.reap_detached();
                         }
                     }
                 })
@@ -716,6 +1576,7 @@ impl DaemonServer {
         Ok(DaemonServer {
             inner,
             acceptor,
+            reactors,
             pump,
             local_addr,
         })
@@ -732,48 +1593,40 @@ impl DaemonServer {
         self.inner.stats.snapshot()
     }
 
-    /// Stops accepting, closes every connection, tears the dining system
-    /// down, and returns the full run record.
+    /// Stops accepting, closes every connection (crashing their bound
+    /// processes, as any ungraceful disconnect does), tears the backend
+    /// down, and returns the full run record. Restart notices are
+    /// snapshotted *after* the runtime joins, so a recovery racing the
+    /// shutdown still lands in [`ServerRun::restarts`].
     pub fn shutdown(self) -> ServerRun {
         self.inner.running.store(false, Ordering::Relaxed);
-        {
-            let sessions = self.inner.sessions.lock();
-            for slot in sessions.values() {
-                if let Some(att) = &slot.conn {
-                    att.stream.kill();
-                }
-            }
-        }
         let _ = self.acceptor.join();
-        let _ = self.pump.join();
-        // Give connection threads a beat to run their cleanup (they are
-        // detached; each exits promptly once its socket is closed).
-        let deadline = Instant::now() + Duration::from_millis(500);
-        while Instant::now() < deadline {
-            let any_attached = self
-                .inner
-                .sessions
-                .lock()
-                .values()
-                .any(|s| s.conn.is_some());
-            if !any_attached {
-                break;
+        if let Some(reactors) = self.inner.reactors.get() {
+            for shared in reactors {
+                shared.post(Cmd::Shutdown);
             }
-            std::thread::sleep(Duration::from_millis(5));
         }
-        let sys = self.inner.sys.lock().take();
-        let (events, link, restarts) = match sys {
-            Some(sys) => {
-                let restarts = sys.restart_paths();
-                let (events, link) = sys.shutdown_with_link(Duration::ZERO);
-                (events, link, restarts)
+        for handle in self.reactors {
+            let _ = handle.join();
+        }
+        let _ = self.pump.join();
+        let backend = self.inner.backend.lock().take();
+        let (events, link, restarts, scale) = match backend {
+            Some(Backend::Threaded(sys)) => {
+                let run = sys.shutdown_complete(Duration::ZERO);
+                (run.events, run.link, run.restarts, None)
             }
-            None => (Vec::new(), LinkSummary::default(), Vec::new()),
+            Some(Backend::Scale(svc)) => {
+                let (events, report) = svc.stop();
+                (events, LinkSummary::default(), Vec::new(), Some(report))
+            }
+            None => (Vec::new(), LinkSummary::default(), Vec::new(), None),
         };
         ServerRun {
             events,
             link,
             restarts,
+            scale,
             stats: self.inner.stats.snapshot(),
         }
     }

@@ -27,7 +27,7 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"EKN1";
 
 /// Hard cap on the body (type + payload) of any frame. The largest
-/// legitimate body today is [`Frame::Welcome`] at 18 bytes; the cap
+/// legitimate body today is [`Frame::Resume`] at 21 bytes; the cap
 /// bounds what a hostile length field can make the server buffer.
 pub const MAX_BODY: usize = 64;
 
@@ -81,6 +81,9 @@ pub const REJECT_UNKNOWN_SESSION: u8 = 1;
 pub const REJECT_BAD_PROCESS: u8 = 2;
 /// Reject code: the process is already bound to a live connection.
 pub const REJECT_ALREADY_BOUND: u8 = 3;
+/// Reject code (in [`Frame::BindReject`] only): the admission cap is
+/// reached — the connection-level equivalent is a [`Frame::Busy`].
+pub const REJECT_BUSY: u8 = 4;
 
 /// One protocol frame. Timestamps are milliseconds on the *server's*
 /// runtime epoch, so client-side subtraction yields server-side spans.
@@ -123,15 +126,23 @@ pub enum Frame {
         /// Machine-readable refusal code.
         code: u8,
     },
-    /// Client → server: the bound process wants to eat.
-    Hungry,
+    /// Client → server: the named bound process wants to eat. The process
+    /// tag lets one multiplexed connection speak for several sessions.
+    Hungry {
+        /// Which bound process is hungry.
+        process: u32,
+    },
     /// Server → client: the daemon scheduled the session — it is eating.
     Granted {
+        /// Which bound process the grant is for.
+        process: u32,
         /// Server-epoch milliseconds when eating began.
         at_ms: u64,
     },
     /// Server → client: the eating session ended; the process thinks.
     Released {
+        /// Which bound process was released.
+        process: u32,
         /// Server-epoch milliseconds when eating stopped.
         at_ms: u64,
     },
@@ -147,6 +158,43 @@ pub enum Frame {
     },
     /// Graceful goodbye: unbind without crashing the process.
     Bye,
+    /// Client → server: bind an *additional* dining process onto this
+    /// already-admitted connection (gateway/proxy multiplexing). Answered
+    /// with [`Frame::Bound`] or [`Frame::BindReject`].
+    Bind {
+        /// The dining process to bind as a secondary session.
+        process: u32,
+    },
+    /// Client → server: gracefully release a secondary binding made with
+    /// [`Frame::Bind`] (the primary unbinds with [`Frame::Bye`]).
+    /// Answered with [`Frame::Unbound`].
+    Unbind {
+        /// The secondary process to unbind.
+        process: u32,
+    },
+    /// Server → client: the [`Frame::Bind`] succeeded.
+    Bound {
+        /// The process now bound.
+        process: u32,
+        /// How the binding was satisfied (a crashed detached slot is
+        /// revived exactly like a `Hello` on one).
+        path: AdmitPath,
+    },
+    /// Server → client: the [`Frame::Bind`] was refused (`REJECT_*` code,
+    /// including [`REJECT_BUSY`] at the admission cap). The connection
+    /// and its other bindings stay up.
+    BindReject {
+        /// The process whose bind was refused.
+        process: u32,
+        /// Machine-readable refusal code.
+        code: u8,
+    },
+    /// Server → client: the [`Frame::Unbind`] completed; the process was
+    /// detached gracefully (not crashed).
+    Unbound {
+        /// The process now unbound.
+        process: u32,
+    },
 }
 
 const T_HELLO: u8 = 1;
@@ -160,6 +208,11 @@ const T_RELEASED: u8 = 8;
 const T_PING: u8 = 9;
 const T_PONG: u8 = 10;
 const T_BYE: u8 = 11;
+const T_BIND: u8 = 12;
+const T_UNBIND: u8 = 13;
+const T_BOUND: u8 = 14;
+const T_BIND_REJECT: u8 = 15;
+const T_UNBOUND: u8 = 16;
 
 /// Why a byte sequence failed to decode as a frame. Mirrors the journal
 /// codec's refuse-don't-guess posture: any of these closes the session.
@@ -244,13 +297,18 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.push(T_REJECT);
             body.push(*code);
         }
-        Frame::Hungry => body.push(T_HUNGRY),
-        Frame::Granted { at_ms } => {
+        Frame::Hungry { process } => {
+            body.push(T_HUNGRY);
+            put_u32(&mut body, *process);
+        }
+        Frame::Granted { process, at_ms } => {
             body.push(T_GRANTED);
+            put_u32(&mut body, *process);
             put_u64(&mut body, *at_ms);
         }
-        Frame::Released { at_ms } => {
+        Frame::Released { process, at_ms } => {
             body.push(T_RELEASED);
+            put_u32(&mut body, *process);
             put_u64(&mut body, *at_ms);
         }
         Frame::Ping { nonce } => {
@@ -262,6 +320,28 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_u32(&mut body, *nonce);
         }
         Frame::Bye => body.push(T_BYE),
+        Frame::Bind { process } => {
+            body.push(T_BIND);
+            put_u32(&mut body, *process);
+        }
+        Frame::Unbind { process } => {
+            body.push(T_UNBIND);
+            put_u32(&mut body, *process);
+        }
+        Frame::Bound { process, path } => {
+            body.push(T_BOUND);
+            put_u32(&mut body, *process);
+            body.push(path.to_byte());
+        }
+        Frame::BindReject { process, code } => {
+            body.push(T_BIND_REJECT);
+            put_u32(&mut body, *process);
+            body.push(*code);
+        }
+        Frame::Unbound { process } => {
+            body.push(T_UNBOUND);
+            put_u32(&mut body, *process);
+        }
     }
     debug_assert!(!body.is_empty() && body.len() <= MAX_BODY);
     let mut out = Vec::with_capacity(OVERHEAD + body.len());
@@ -318,16 +398,24 @@ fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
             Ok(Frame::Reject { code: p[0] })
         }
         T_HUNGRY => {
-            expect(0)?;
-            Ok(Frame::Hungry)
+            expect(4)?;
+            Ok(Frame::Hungry {
+                process: get_u32(p),
+            })
         }
         T_GRANTED => {
-            expect(8)?;
-            Ok(Frame::Granted { at_ms: get_u64(p) })
+            expect(12)?;
+            Ok(Frame::Granted {
+                process: get_u32(p),
+                at_ms: get_u64(&p[4..]),
+            })
         }
         T_RELEASED => {
-            expect(8)?;
-            Ok(Frame::Released { at_ms: get_u64(p) })
+            expect(12)?;
+            Ok(Frame::Released {
+                process: get_u32(p),
+                at_ms: get_u64(&p[4..]),
+            })
         }
         T_PING => {
             expect(4)?;
@@ -340,6 +428,39 @@ fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
         T_BYE => {
             expect(0)?;
             Ok(Frame::Bye)
+        }
+        T_BIND => {
+            expect(4)?;
+            Ok(Frame::Bind {
+                process: get_u32(p),
+            })
+        }
+        T_UNBIND => {
+            expect(4)?;
+            Ok(Frame::Unbind {
+                process: get_u32(p),
+            })
+        }
+        T_BOUND => {
+            expect(5)?;
+            let path = AdmitPath::from_byte(p[4]).ok_or(WireError::BadPayload(t))?;
+            Ok(Frame::Bound {
+                process: get_u32(p),
+                path,
+            })
+        }
+        T_BIND_REJECT => {
+            expect(5)?;
+            Ok(Frame::BindReject {
+                process: get_u32(p),
+                code: p[4],
+            })
+        }
+        T_UNBOUND => {
+            expect(4)?;
+            Ok(Frame::Unbound {
+                process: get_u32(p),
+            })
         }
         other => Err(WireError::BadType(other)),
     }
@@ -406,14 +527,29 @@ mod tests {
             Frame::Reject {
                 code: REJECT_UNKNOWN_SESSION,
             },
-            Frame::Hungry,
-            Frame::Granted { at_ms: 123_456 },
+            Frame::Hungry { process: 2 },
+            Frame::Granted {
+                process: 2,
+                at_ms: 123_456,
+            },
             Frame::Released {
+                process: u32::MAX,
                 at_ms: u64::MAX - 1,
             },
             Frame::Ping { nonce: 9 },
             Frame::Pong { nonce: 9 },
             Frame::Bye,
+            Frame::Bind { process: 17 },
+            Frame::Unbind { process: 17 },
+            Frame::Bound {
+                process: 17,
+                path: AdmitPath::Rejoined,
+            },
+            Frame::BindReject {
+                process: 17,
+                code: REJECT_BUSY,
+            },
+            Frame::Unbound { process: 17 },
         ]
     }
 
@@ -531,10 +667,10 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_left_for_the_next_frame() {
-        let mut bytes = encode_frame(&Frame::Hungry);
+        let mut bytes = encode_frame(&Frame::Hungry { process: 0 });
         bytes.extend_from_slice(b"EK"); // start of the next frame
         let (f, n) = decode_frame(&bytes).unwrap().expect("complete");
-        assert_eq!(f, Frame::Hungry);
+        assert_eq!(f, Frame::Hungry { process: 0 });
         assert_eq!(n, bytes.len() - 2);
     }
 }

@@ -4,7 +4,7 @@
 use ekbd_graph::topology;
 use ekbd_net::{
     run_load, AdmitPath, ClientConfig, ClientError, DaemonClient, DaemonServer, LoadPlan,
-    ServerAddr, ServerConfig,
+    MuxClient, MuxEvent, ServerAddr, ServerConfig,
 };
 use ekbd_runtime::RuntimeConfig;
 use std::io::Write;
@@ -120,7 +120,7 @@ fn admission_cap_sheds_with_busy() {
         },
     );
     assert!(
-        matches!(over, Err(ClientError::Busy)),
+        matches!(over, Err(ClientError::Busy { .. })),
         "third session must be shed: {over:?}",
     );
     a.bye();
@@ -197,6 +197,118 @@ fn malformed_frames_close_the_session_never_the_server() {
         "both hostile connections were counted: {:?}",
         run.stats
     );
+}
+
+#[test]
+fn mux_client_drives_many_processes_over_one_socket() {
+    let server =
+        DaemonServer::start(topology::ring(6), &ephemeral_tcp(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr().clone();
+    let mut mux = MuxClient::connect(&addr, 0, ClientConfig::default()).unwrap();
+    for p in 1..=3u32 {
+        assert_eq!(mux.bind(p).unwrap(), AdmitPath::Fresh);
+    }
+    assert_eq!(mux.processes(), vec![0, 1, 2, 3]);
+
+    // All four go hungry on the same socket; every one must eat.
+    for p in 0..=3u32 {
+        mux.hungry(p).unwrap();
+    }
+    let mut ate = [false; 4];
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while ate.iter().any(|&e| !e) {
+        assert!(std::time::Instant::now() < deadline, "mux fleet starved");
+        match mux.next_event(wait_timeout()).unwrap() {
+            MuxEvent::Released { process, .. } => ate[process as usize] = true,
+            MuxEvent::Granted { .. } => {}
+        }
+    }
+
+    // Unbinding a secondary is graceful: no crash, no restart.
+    mux.unbind(3).unwrap();
+    assert!(mux.hungry(3).is_err(), "unbound process refuses requests");
+    mux.bye();
+    let run = server.shutdown();
+    assert_eq!(run.stats.fresh, 4, "one Hello + three Binds: {:?}", run.stats);
+    assert_eq!(run.restarts.len(), 0, "graceful teardown crashed nobody");
+}
+
+#[test]
+fn mux_kill_crashes_block_and_reconnect_rebinds_it() {
+    let dir = std::env::temp_dir().join(format!("ekbd-net-mux-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = ServerConfig {
+        runtime: RuntimeConfig {
+            journal_dir: Some(dir.clone()),
+            ..RuntimeConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = DaemonServer::start(topology::ring(4), &ephemeral_tcp(), cfg).unwrap();
+    let addr = server.local_addr().clone();
+    let mut mux = MuxClient::connect(&addr, 0, ClientConfig::default()).unwrap();
+    mux.bind(1).unwrap();
+    mux.bind(2).unwrap();
+    mux.hungry(0).unwrap();
+    loop {
+        if let MuxEvent::Released { process: 0, .. } = mux.next_event(wait_timeout()).unwrap() {
+            break;
+        }
+    }
+
+    mux.kill();
+    let paths = mux.reconnect().expect("mux reconnect");
+    assert_eq!(paths.len(), 3, "primary and both secondaries readmitted");
+    for (p, path) in &paths {
+        assert_ne!(
+            *path,
+            AdmitPath::Fresh,
+            "p{p} readmitted with history, not fresh"
+        );
+    }
+
+    // The revived block still gets fed.
+    mux.hungry(1).unwrap();
+    loop {
+        if let MuxEvent::Released { process: 1, .. } = mux.next_event(wait_timeout()).unwrap() {
+            break;
+        }
+    }
+    mux.bye();
+    let run = server.shutdown();
+    assert_eq!(
+        run.stats.resumed + run.stats.rejoined,
+        3,
+        "all three bindings were readmissions: {:?}",
+        run.stats
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loadgen_multiplexed_fleet_completes() {
+    let server =
+        DaemonServer::start(topology::ring(8), &ephemeral_tcp(), ServerConfig::default()).unwrap();
+    let addr = server.local_addr().clone();
+    let plan = LoadPlan {
+        clients: 2,
+        sessions_per_client: 3,
+        think_ms: 1,
+        kill_fraction: 0.0,
+        seed: 5,
+        grant_timeout_ms: 5_000,
+        multiplex: 4,
+        ..LoadPlan::default()
+    };
+    let report = run_load(&addr, &plan);
+    let run = server.shutdown();
+    assert_eq!(report.errors, Vec::<String>::new(), "no client failed");
+    assert_eq!(report.planned_sessions, 2 * 4 * 3);
+    assert_eq!(
+        report.completed_sessions, report.planned_sessions,
+        "every multiplexed cycle completed"
+    );
+    assert_eq!(run.stats.fresh, 8, "two connections admitted eight processes");
 }
 
 #[test]

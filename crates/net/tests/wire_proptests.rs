@@ -11,38 +11,58 @@ use proptest::prelude::*;
 /// fields from full-width ranges.
 fn frame() -> impl Strategy<Value = Frame> {
     (
-        0u8..11,
+        0u8..16,
         0u32..u32::MAX,
         0u64..u64::MAX,
         0u64..u64::MAX,
         0u8..3,
     )
-        .prop_map(|(variant, small, wide_a, wide_b, path)| match variant {
-            0 => Frame::Hello { process: small },
-            1 => Frame::Resume {
-                process: small,
-                session: wide_a,
-                token: wide_b,
-            },
-            2 => Frame::Welcome {
-                session: wide_a,
-                token: wide_b,
-                path: match path {
-                    0 => AdmitPath::Fresh,
-                    1 => AdmitPath::Resumed,
-                    _ => AdmitPath::Rejoined,
+        .prop_map(|(variant, small, wide_a, wide_b, path)| {
+            let admit = match path {
+                0 => AdmitPath::Fresh,
+                1 => AdmitPath::Resumed,
+                _ => AdmitPath::Rejoined,
+            };
+            match variant {
+                0 => Frame::Hello { process: small },
+                1 => Frame::Resume {
+                    process: small,
+                    session: wide_a,
+                    token: wide_b,
                 },
-            },
-            3 => Frame::Busy {
-                retry_after_ms: small,
-            },
-            4 => Frame::Reject { code: path },
-            5 => Frame::Hungry,
-            6 => Frame::Granted { at_ms: wide_a },
-            7 => Frame::Released { at_ms: wide_a },
-            8 => Frame::Ping { nonce: small },
-            9 => Frame::Pong { nonce: small },
-            _ => Frame::Bye,
+                2 => Frame::Welcome {
+                    session: wide_a,
+                    token: wide_b,
+                    path: admit,
+                },
+                3 => Frame::Busy {
+                    retry_after_ms: small,
+                },
+                4 => Frame::Reject { code: path },
+                5 => Frame::Hungry { process: small },
+                6 => Frame::Granted {
+                    process: small,
+                    at_ms: wide_a,
+                },
+                7 => Frame::Released {
+                    process: small,
+                    at_ms: wide_a,
+                },
+                8 => Frame::Ping { nonce: small },
+                9 => Frame::Pong { nonce: small },
+                10 => Frame::Bye,
+                11 => Frame::Bind { process: small },
+                12 => Frame::Unbind { process: small },
+                13 => Frame::Bound {
+                    process: small,
+                    path: admit,
+                },
+                14 => Frame::BindReject {
+                    process: small,
+                    code: path,
+                },
+                _ => Frame::Unbound { process: small },
+            }
         })
 }
 

@@ -88,11 +88,11 @@ pub(crate) struct ProcessThread<A: DiningAlgorithm> {
     pub suspects: BTreeSet<ProcessId>,
     pub epoch: Instant,
     pub events: Arc<Mutex<Vec<SchedEvent>>>,
-    /// Live event tap (see [`ThreadedDining::tap_events`]); cleared on a
-    /// dropped receiver.
+    /// Live event taps (see [`ThreadedDining::tap_events`]); a tap whose
+    /// receiver was dropped is pruned on the next event.
     ///
     /// [`ThreadedDining::tap_events`]: crate::ThreadedDining::tap_events
-    pub tap: Arc<Mutex<Option<Sender<SchedEvent>>>>,
+    pub tap: Arc<Mutex<Vec<Sender<SchedEvent>>>>,
     /// Shared restart-notice log (see
     /// [`ThreadedDining::restart_paths`]).
     ///
@@ -124,12 +124,7 @@ impl<A: DiningAlgorithm> ProcessThread<A> {
     fn record(&self, obs: DiningObs) {
         let e = SchedEvent::new(self.now(), self.id, obs);
         self.events.lock().push(e);
-        let mut tap = self.tap.lock();
-        if let Some(tx) = tap.as_ref() {
-            if tx.send(e).is_err() {
-                *tap = None;
-            }
-        }
+        self.tap.lock().retain(|tx| tx.send(e).is_ok());
     }
 
     /// Transmits frames and arms timers requested by the link layer, and

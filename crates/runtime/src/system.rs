@@ -90,9 +90,9 @@ pub struct ThreadedDining<M: Clone + Send + 'static = DiningMsg> {
     txs: Vec<Sender<ThreadMsg<M>>>,
     handles: Vec<JoinHandle<()>>,
     events: Arc<Mutex<Vec<SchedEvent>>>,
-    /// Live event tap: when installed, every recorded [`SchedEvent`] is
-    /// also streamed here (in addition to the `events` vector).
-    tap: Arc<Mutex<Option<Sender<SchedEvent>>>>,
+    /// Live event taps: every recorded [`SchedEvent`] is streamed to each
+    /// installed subscriber (in addition to the `events` vector).
+    tap: Arc<Mutex<Vec<Sender<SchedEvent>>>>,
     /// Restart notices published by recoverable process threads.
     restart_log: Arc<Mutex<Vec<RestartNotice>>>,
     link_stats: Arc<Mutex<LinkSummary>>,
@@ -138,7 +138,7 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
     {
         let epoch = Instant::now();
         let events: Arc<Mutex<Vec<SchedEvent>>> = Arc::new(Mutex::new(Vec::new()));
-        let tap: Arc<Mutex<Option<Sender<SchedEvent>>>> = Arc::new(Mutex::new(None));
+        let tap: Arc<Mutex<Vec<Sender<SchedEvent>>>> = Arc::new(Mutex::new(Vec::new()));
         let restart_log: Arc<Mutex<Vec<RestartNotice>>> = Arc::new(Mutex::new(Vec::new()));
         let link_stats: Arc<Mutex<LinkSummary>> = Arc::new(Mutex::new(LinkSummary::default()));
         let channels: Vec<_> = (0..graph.len())
@@ -243,11 +243,12 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
     /// [`SchedEvent`] recorded from now on is also streamed to the
     /// returned channel, letting an observer (the net server's event
     /// pump) react without polling [`events_so_far`](Self::events_so_far).
-    /// Installing a new tap replaces the previous one; if the receiver is
-    /// dropped the tap uninstalls itself on the next event.
+    /// Taps fan out — installing another one *adds* a subscriber rather
+    /// than replacing the previous; a tap whose receiver is dropped
+    /// uninstalls itself on the next event.
     pub fn tap_events(&self) -> Receiver<SchedEvent> {
         let (tx, rx) = unbounded();
-        *self.tap.lock() = Some(tx);
+        self.tap.lock().push(tx);
         rx
     }
 
@@ -282,6 +283,36 @@ impl<M: Clone + Send + 'static> ThreadedDining<M> {
         let link = *self.link_stats.lock();
         (events, link)
     }
+
+    /// Like [`shutdown_with_link`](Self::shutdown_with_link), but also
+    /// returns the restart notices — snapshotted **after** every thread
+    /// has joined. A `Recover` queued just before the shutdown still
+    /// completes during teardown (each thread drains its FIFO channel up
+    /// to the `Shutdown` marker), and its notice is published by
+    /// `restart()` before any rejoin traffic is transmitted, so the
+    /// post-join snapshot is the only one guaranteed to be complete.
+    pub fn shutdown_complete(self, window: Duration) -> RuntimeRun {
+        let restart_log = Arc::clone(&self.restart_log);
+        let (events, link) = self.shutdown_with_link(window);
+        let restarts = restart_log.lock().clone();
+        RuntimeRun {
+            events,
+            link,
+            restarts,
+        }
+    }
+}
+
+/// Everything a completed teardown hands back (see
+/// [`ThreadedDining::shutdown_complete`]).
+pub struct RuntimeRun {
+    /// The full scheduling trace.
+    pub events: Vec<SchedEvent>,
+    /// System-wide link-layer counters (zeros when the link is off).
+    pub link: LinkSummary,
+    /// Every restart performed over the system's lifetime, including any
+    /// that completed during the teardown itself.
+    pub restarts: Vec<RestartNotice>,
 }
 
 impl ThreadedDining {

@@ -91,7 +91,7 @@ pub use membership::{MembershipEvent, MembershipPlan, MembershipPlanError};
 pub use network::{ChannelStats, DelayModel};
 pub use node::{Context, Node, NodeEvent};
 pub use obs::{LatencyHistogram, Reservoir, StreamSink};
-pub use packed::{EatExcerpt, PackedKernel, ScaleConfig};
+pub use packed::{EatExcerpt, EatObs, InteractiveScale, PackedKernel, ScaleConfig};
 pub use shard::{run_sharded, ScaleRunReport};
 pub use sim::{SimConfig, Simulator};
 pub use time::{Duration, Time};

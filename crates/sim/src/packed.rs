@@ -233,6 +233,11 @@ pub(crate) struct ShardState {
     pub(crate) mistakes: u64,
     pub(crate) latency: LatencyHistogram,
     pub(crate) excerpts: Reservoir<EatExcerpt>,
+    /// When set, eat start/stop transitions are appended to `obs` for an
+    /// external driver ([`InteractiveScale`]) to drain. Off (and empty)
+    /// for the batch workload paths.
+    record_obs: bool,
+    obs: Vec<(u64, u32, bool)>,
 }
 
 /// A shard's final state plus the tick its worker stopped at, moved out
@@ -567,6 +572,9 @@ impl ShardState {
             },
         );
         self.push_wheel(now, now + dur, encode(me, K_EATEND, 0, 0));
+        if self.record_obs {
+            self.obs.push((now, me, true));
+        }
         for g in self.slots(l) {
             let q = self.ladj[g];
             // Site 2: my new interval vs the neighbor interval last heard.
@@ -713,6 +721,12 @@ impl ShardState {
                     self.nbr_end[g] = me_;
                 }
                 K_HUNGRY => {
+                    if self.record_obs && self.phase(l) != THINKING {
+                        // An external driver may race an injection against
+                        // an in-flight grant; a hunger landing on a
+                        // non-thinking process is dropped, not asserted.
+                        continue;
+                    }
                     debug_assert_eq!(self.phase(l), THINKING);
                     self.set_phase(l, HUNGRY);
                     self.hungry_since[l] = now;
@@ -722,6 +736,9 @@ impl ShardState {
                     debug_assert_eq!(self.phase(l), EATING);
                     self.exit(cfg.seed, cfg.delay_max, now, l, owner, out);
                     self.eats[l] += 1;
+                    if self.record_obs {
+                        self.obs.push((now, to, false));
+                    }
                     if self.eats[l] < cfg.sessions {
                         let think = ranged(cfg.seed, think_salt(), to, self.eats[l], cfg.think);
                         self.push_wheel(now, now + 1 + think, encode(to, K_HUNGRY, 0, 0));
@@ -850,6 +867,8 @@ impl PackedKernel {
                 mistakes: 0,
                 latency: LatencyHistogram::new(),
                 excerpts: Reservoir::new(config.seed ^ 0xe8ce_4a17, config.excerpt_cap),
+                record_obs: false,
+                obs: Vec::new(),
                 members,
                 ladj,
                 rev_slot,
@@ -971,5 +990,215 @@ impl PackedKernel {
             excerpts: excerpts.items().cloned().collect(),
             wall_nanos,
         }
+    }
+}
+
+/// One eat-session transition observed by an [`InteractiveScale`] driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EatObs {
+    /// Virtual tick of the transition.
+    pub tick: u64,
+    /// The process whose session changed.
+    pub process: u32,
+    /// `true` when the process started eating, `false` when it stopped.
+    pub started: bool,
+}
+
+/// An externally driven packed kernel: the batch workload (pre-scheduled
+/// hungers, per-process session quotas) is stripped out, and hunger is
+/// instead *injected* by a caller — the net server's scale backend — who
+/// drains eat start/stop observations as virtual time advances.
+///
+/// Single-shard by construction: an interactive driver serializes at the
+/// injection boundary anyway, so sharding would only buy barrier overhead.
+/// Determinism is preserved per *injection schedule*: the same sequence of
+/// `inject_hungry`/`step` calls replays the same virtual history.
+pub struct InteractiveScale {
+    kernel: PackedKernel,
+    now: u64,
+    /// Per-process "a K_HUNGRY is scheduled or being served" latch, so a
+    /// double injection can never violate the kernel's one-hunger-in-
+    /// flight invariant. Cleared when the grant (eat start) is observed.
+    queued: Vec<bool>,
+    /// Single-shard scratch for `process_tick`'s cross-shard interface;
+    /// stays empty (a shard never routes to itself through `out`).
+    out_scratch: Vec<Vec<(u64, u64)>>,
+}
+
+impl InteractiveScale {
+    /// Builds an interactive kernel over `graph` with the given proper
+    /// coloring. `config.sessions`/`horizon` are ignored (the caller owns
+    /// the workload and the clock); think/eat/delay ranges still shape
+    /// the virtual-time dynamics.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`PackedKernel::new`].
+    pub fn new(graph: &ConflictGraph, colors: &[u32], config: ScaleConfig) -> Self {
+        // `sessions: 1` disables the K_EATEND hunger rescheduling after
+        // the first session; combined with the wheel flush below, the
+        // kernel starts fully quiescent and only moves when fed.
+        let config = ScaleConfig {
+            sessions: 1,
+            ..config
+        };
+        let part = Partition {
+            assignment: vec![0; graph.len()],
+            shards: 1,
+        };
+        let mut kernel = PackedKernel::new(graph, colors, &part, config);
+        let shard = &mut kernel.shards[0];
+        for cell in &mut shard.wheel {
+            cell.clear();
+        }
+        shard.pending = 0;
+        shard.record_obs = true;
+        InteractiveScale {
+            queued: vec![false; graph.len()],
+            kernel,
+            now: 0,
+            out_scratch: vec![Vec::new()],
+        }
+    }
+
+    /// Current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Process count.
+    pub fn len(&self) -> usize {
+        self.kernel.n
+    }
+
+    /// Whether the kernel has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.kernel.n == 0
+    }
+
+    /// Whether any events are pending (i.e. [`step`](Self::step) would
+    /// advance virtual time).
+    pub fn has_pending(&self) -> bool {
+        self.kernel.shards[0].pending > 0
+    }
+
+    /// Injects hunger for process `p`, scheduling its `K_HUNGRY` one tick
+    /// out. Returns `false` (and does nothing) if `p` is out of range, is
+    /// not currently thinking, or already has an unserved injection.
+    pub fn inject_hungry(&mut self, p: u32) -> bool {
+        if p as usize >= self.queued.len() || self.queued[p as usize] {
+            return false;
+        }
+        let shard = &mut self.kernel.shards[0];
+        let l = shard.local_of(p);
+        if shard.phase(l) != THINKING {
+            return false;
+        }
+        shard.push_wheel(self.now, self.now + 1, encode(p, K_HUNGRY, 0, 0));
+        self.queued[p as usize] = true;
+        true
+    }
+
+    /// Advances virtual time until the kernel is quiescent or `max_ticks`
+    /// event-bearing ticks have been processed, appending observed eat
+    /// transitions to `obs`. Returns the number of ticks processed.
+    pub fn step(&mut self, max_ticks: u64, obs: &mut Vec<EatObs>) -> u64 {
+        let color_table = self.kernel.colors();
+        let cfg = self.kernel.config.clone();
+        let PackedKernel { owner, shards, .. } = &mut self.kernel;
+        let shard = &mut shards[0];
+        let mut ticks = 0u64;
+        while ticks < max_ticks {
+            let next = shard.next_event_after(self.now);
+            if next == u64::MAX {
+                break;
+            }
+            self.now = next;
+            shard.process_tick(&cfg, &color_table, owner, next, &mut self.out_scratch);
+            debug_assert!(
+                self.out_scratch[0].is_empty(),
+                "single shard never emits cross-shard events"
+            );
+            ticks += 1;
+        }
+        for (tick, p, started) in shard.obs.drain(..) {
+            if started {
+                self.queued[p as usize] = false;
+            }
+            obs.push(EatObs {
+                tick,
+                process: p,
+                started,
+            });
+        }
+        ticks
+    }
+
+    /// Consumes the kernel into the standard scale-run report (wall time
+    /// is the caller's to stamp; recorded as 0 here).
+    pub fn finish(self) -> ScaleRunReport {
+        let now = self.now;
+        self.kernel.into_report(now, 0)
+    }
+}
+
+#[cfg(test)]
+mod interactive_tests {
+    use super::*;
+    use ekbd_graph::{coloring, topology};
+
+    #[test]
+    fn interactive_kernel_starts_quiescent_and_serves_injections() {
+        let g = topology::ring(12);
+        let colors = coloring::greedy(&g);
+        let mut ik = InteractiveScale::new(&g, &colors, ScaleConfig::default().seed(9));
+        assert!(!ik.has_pending(), "no batch workload may be pre-scheduled");
+        let mut obs = Vec::new();
+        assert_eq!(ik.step(1_000, &mut obs), 0);
+        assert!(obs.is_empty());
+
+        for p in 0..12u32 {
+            assert!(ik.inject_hungry(p));
+            assert!(!ik.inject_hungry(p), "double injection must be refused");
+        }
+        while ik.has_pending() {
+            ik.step(10_000, &mut obs);
+        }
+        let starts = obs.iter().filter(|o| o.started).count();
+        let stops = obs.iter().filter(|o| !o.started).count();
+        assert_eq!(starts, 12, "every injected process eats exactly once");
+        assert_eq!(stops, 12, "every session ends");
+
+        // Second round: everyone is thinking again, injections re-admit.
+        let before = ik.now();
+        for p in 0..12u32 {
+            assert!(ik.inject_hungry(p), "process {p} should accept a second meal");
+        }
+        while ik.has_pending() {
+            ik.step(10_000, &mut obs);
+        }
+        assert!(ik.now() > before);
+        let report = ik.finish();
+        assert_eq!(report.mistakes, 0);
+        assert!(report.eats.iter().all(|&e| e == 2));
+    }
+
+    #[test]
+    fn interactive_runs_replay_deterministically() {
+        let g = topology::ring(8);
+        let colors = coloring::greedy(&g);
+        let run = |seed: u64| {
+            let mut ik = InteractiveScale::new(&g, &colors, ScaleConfig::default().seed(seed));
+            let mut obs = Vec::new();
+            for p in [3u32, 7, 0, 5] {
+                ik.inject_hungry(p);
+            }
+            while ik.has_pending() {
+                ik.step(1 << 20, &mut obs);
+            }
+            (obs, ik.finish().fingerprint())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, run(43).1, "seed must steer the dynamics");
     }
 }

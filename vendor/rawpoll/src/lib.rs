@@ -1,0 +1,266 @@
+//! Vendored readiness-polling shim: the thinnest possible wrapper over the
+//! kernel's `epoll` and `eventfd` interfaces, speaking [`std::os::fd`]
+//! types. This crate exists so the workspace's network runtime can be
+//! readiness-based without pulling in an async runtime **or** the `libc`
+//! crate: the three `extern "C"` declarations below resolve against the C
+//! library that `std` already links.
+//!
+//! All `unsafe` in the workspace's polling path is confined to this crate;
+//! the caller-facing API is safe:
+//!
+//! * [`Epoll`] — create / add / modify / delete / wait, with a `u64` token
+//!   per registration and a bitmask of [`EPOLLIN`]-style readiness flags.
+//! * [`eventfd`] — a wakeup fd (nonblocking, close-on-exec). Write 8 bytes
+//!   to wake a waiting `Epoll`, read 8 bytes to drain; both directions work
+//!   through a plain `std::fs::File` built over the returned [`OwnedFd`].
+//!
+//! On non-Linux targets every call returns [`io::ErrorKind::Unsupported`],
+//! keeping the workspace compiling; the network reactor is Linux-hosted.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::{OwnedFd, RawFd};
+
+/// Readiness: the fd is readable (or has pending accepts).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Condition: the fd is in an error state.
+pub const EPOLLERR: u32 = 0x008;
+/// Condition: hangup — the peer closed its end.
+pub const EPOLLHUP: u32 = 0x010;
+/// Condition: the peer shut down the write half (half-close).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::*;
+    use std::os::fd::{AsRawFd, FromRawFd};
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EFD_NONBLOCK: i32 = 0x800;
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EINTR: i32 = 4;
+
+    /// The kernel ABI struct. On x86-64 the kernel declares it packed, and
+    /// the packed layout is identical on the other Linux targets Rust
+    /// supports here, so one definition serves them all.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// An epoll instance. Closed on drop.
+    pub struct Epoll {
+        fd: OwnedFd,
+        /// Reused kernel-event buffer so `wait` allocates only on growth.
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Epoll {
+        /// Creates a close-on-exec epoll instance.
+        pub fn new() -> io::Result<Epoll> {
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Epoll {
+                fd: unsafe { OwnedFd::from_raw_fd(fd) },
+                buf: Vec::new(),
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+        }
+
+        /// Registers `fd` for the `events` mask under `token`.
+        pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events, token)
+        }
+
+        /// Changes the registration of `fd` to the `events` mask / `token`.
+        pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events, token)
+        }
+
+        /// Removes `fd` from the interest set.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Waits up to `timeout_ms` (`-1` blocks indefinitely) for up to
+        /// `max` events and appends `(token, readiness_mask)` pairs to
+        /// `out`. Returns the number of events delivered; `EINTR` retries
+        /// internally.
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<(u64, u32)>,
+            max: usize,
+            timeout_ms: i32,
+        ) -> io::Result<usize> {
+            let max = max.clamp(1, 4096);
+            self.buf.resize(max, EpollEvent { events: 0, data: 0 });
+            loop {
+                let n = unsafe {
+                    epoll_wait(
+                        self.fd.as_raw_fd(),
+                        self.buf.as_mut_ptr(),
+                        max as i32,
+                        timeout_ms,
+                    )
+                };
+                if n < 0 {
+                    let err = io::Error::last_os_error();
+                    if err.raw_os_error() == Some(EINTR) {
+                        continue;
+                    }
+                    return Err(err);
+                }
+                for ev in &self.buf[..n as usize] {
+                    // Copy out of the packed struct before use.
+                    let (data, events) = (ev.data, ev.events);
+                    out.push((data, events));
+                }
+                return Ok(n as usize);
+            }
+        }
+    }
+
+    /// Creates a nonblocking, close-on-exec event fd with counter 0.
+    pub fn make_eventfd() -> io::Result<OwnedFd> {
+        let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+        Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::*;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "rawpoll requires Linux epoll",
+        ))
+    }
+
+    /// Stub epoll instance for non-Linux targets; every call fails with
+    /// [`io::ErrorKind::Unsupported`].
+    pub struct Epoll;
+
+    impl Epoll {
+        /// Always fails off Linux.
+        pub fn new() -> io::Result<Epoll> {
+            unsupported()
+        }
+        /// Always fails off Linux.
+        pub fn add(&self, _fd: RawFd, _events: u32, _token: u64) -> io::Result<()> {
+            unsupported()
+        }
+        /// Always fails off Linux.
+        pub fn modify(&self, _fd: RawFd, _events: u32, _token: u64) -> io::Result<()> {
+            unsupported()
+        }
+        /// Always fails off Linux.
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            unsupported()
+        }
+        /// Always fails off Linux.
+        pub fn wait(
+            &mut self,
+            _out: &mut Vec<(u64, u32)>,
+            _max: usize,
+            _timeout_ms: i32,
+        ) -> io::Result<usize> {
+            unsupported()
+        }
+    }
+
+    /// Always fails off Linux.
+    pub fn make_eventfd() -> io::Result<OwnedFd> {
+        unsupported()
+    }
+}
+
+pub use imp::{make_eventfd, Epoll};
+
+/// Creates a wakeup event fd — see [`make_eventfd`]. Named `eventfd` at the
+/// crate root for call-site clarity.
+pub fn eventfd() -> io::Result<OwnedFd> {
+    make_eventfd()
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains() {
+        let mut ep = Epoll::new().unwrap();
+        let efd = eventfd().unwrap();
+        ep.add(efd.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        // Nothing pending: times out with no events.
+        let mut out = Vec::new();
+        assert_eq!(ep.wait(&mut out, 8, 0).unwrap(), 0);
+
+        // A write wakes the poller with our token.
+        let mut file = std::fs::File::from(efd);
+        file.write_all(&1u64.to_ne_bytes()).unwrap();
+        let n = ep.wait(&mut out, 8, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(out[0].0, 42);
+        assert_ne!(out[0].1 & EPOLLIN, 0);
+
+        // Draining resets it: the next wait times out again.
+        let mut buf = [0u8; 8];
+        file.read_exact(&mut buf).unwrap();
+        out.clear();
+        assert_eq!(ep.wait(&mut out, 8, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn modify_and_delete_are_honored() {
+        let mut ep = Epoll::new().unwrap();
+        let efd = eventfd().unwrap();
+        ep.add(efd.as_raw_fd(), EPOLLIN, 1).unwrap();
+        let mut file = std::fs::File::from(efd);
+        file.write_all(&1u64.to_ne_bytes()).unwrap();
+
+        // Retag the registration; the new token is reported.
+        ep.modify(file.as_raw_fd(), EPOLLIN, 2).unwrap();
+        let mut out = Vec::new();
+        ep.wait(&mut out, 8, 1000).unwrap();
+        assert_eq!(out[0].0, 2);
+
+        // Deleted fds stop reporting even though the counter is nonzero.
+        ep.delete(file.as_raw_fd()).unwrap();
+        out.clear();
+        assert_eq!(ep.wait(&mut out, 8, 0).unwrap(), 0);
+    }
+}
